@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the hot kernels: PWL evaluation, the
+//! coefficient-table datapath, ADU decoding, gradient computation and the
+//! hardware-model end-to-end path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsfu_core::boundary::BoundarySpec;
+use flexsfu_core::init::uniform_pwl;
+use flexsfu_core::CoeffTable;
+use flexsfu_formats::{DataFormat, FloatFormat};
+use flexsfu_hw::{FlexSfu, FlexSfuConfig};
+use flexsfu_optim::grad::SampledProblem;
+use flexsfu_funcs::{Activation, Gelu};
+
+fn bench_pwl_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pwl_eval");
+    for n in [8usize, 16, 32, 64] {
+        let pwl = uniform_pwl(&Gelu, n, (-8.0, 8.0));
+        let xs: Vec<f64> = (0..1024).map(|i| -8.0 + 16.0 * i as f64 / 1023.0).collect();
+        group.bench_with_input(BenchmarkId::new("breakpoints", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &x in &xs {
+                    acc += pwl.eval(black_box(x));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coeff_table(c: &mut Criterion) {
+    let pwl = uniform_pwl(&Gelu, 31, (-8.0, 8.0));
+    let table = CoeffTable::from_pwl(&pwl);
+    let xs: Vec<f64> = (0..1024).map(|i| -8.0 + 16.0 * i as f64 / 1023.0).collect();
+    c.bench_function("coeff_table_eval_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += table.eval(black_box(x));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_exact_gelu(c: &mut Criterion) {
+    // Baseline for the PWL comparison: the exact erf-based GELU.
+    let xs: Vec<f64> = (0..1024).map(|i| -8.0 + 16.0 * i as f64 / 1023.0).collect();
+    c.bench_function("exact_gelu_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += Gelu.eval(black_box(x));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_hw_datapath(c: &mut Criterion) {
+    let pwl = uniform_pwl(&Gelu, 31, (-8.0, 8.0));
+    let fmt = DataFormat::Float(FloatFormat::FP16);
+    let mut sfu = FlexSfu::new(FlexSfuConfig::new(32, 1));
+    sfu.program(&pwl, fmt).expect("programs");
+    let xs: Vec<f64> = (0..256).map(|i| -8.0 + 16.0 * i as f64 / 255.0).collect();
+    c.bench_function("flexsfu_hw_execute_256", |b| {
+        b.iter(|| sfu.execute(black_box(&xs)))
+    });
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let pwl = uniform_pwl(&Gelu, 16, (-8.0, 8.0));
+    let problem = SampledProblem::new(&Gelu, -8.0, 8.0, 2048);
+    let spec = BoundarySpec::from_activation(&Gelu);
+    c.bench_function("loss_and_grad_2048", |b| {
+        b.iter(|| problem.loss_and_grad(black_box(&pwl), &spec))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pwl_eval, bench_coeff_table, bench_exact_gelu,
+              bench_hw_datapath, bench_gradient
+}
+criterion_main!(kernels);

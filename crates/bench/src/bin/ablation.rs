@@ -1,0 +1,97 @@
+//! Ablation study of the optimizer's design choices (DESIGN.md §5):
+//!
+//! * uniform baseline (no optimization at all),
+//! * Adam only (no remove/insert, no value refit) — the paper's plain
+//!   SGD configuration,
+//! * Adam + remove/insert (the paper's full heuristic set),
+//! * Adam + remove/insert + least-squares value refit (this repo's full
+//!   pipeline),
+//! * asymptote-tied vs. free boundaries: error *outside* the fitted
+//!   interval.
+//!
+//! ```sh
+//! cargo run --release -p flexsfu-bench --bin ablation
+//! ```
+
+use flexsfu_bench::{experiment_config, render_table, sci};
+use flexsfu_core::boundary::BoundarySpec;
+use flexsfu_core::init::uniform_pwl;
+use flexsfu_core::loss::integral_mse;
+use flexsfu_funcs::by_name;
+use flexsfu_optim::optimize;
+
+fn main() {
+    let funcs = ["gelu", "silu", "tanh"];
+    let n = 16;
+
+    println!("Ablation — optimizer components ({n} breakpoints, default ranges)\n");
+    let headers = [
+        "function",
+        "uniform",
+        "adam only",
+        "+remove/insert",
+        "+value refit",
+        "total gain",
+    ];
+    let mut rows = Vec::new();
+    for name in funcs {
+        let f = by_name(name).expect("built in");
+        let range = f.default_range();
+        let uniform = integral_mse(&uniform_pwl(f.as_ref(), n, range), f.as_ref(), range.0, range.1);
+
+        let mut adam_only = experiment_config(n, range);
+        adam_only.enable_remove_insert = false;
+        adam_only.enable_refit = false;
+        let a = optimize(f.as_ref(), adam_only).report.mse;
+
+        let mut with_ri = experiment_config(n, range);
+        with_ri.enable_refit = false;
+        let b = optimize(f.as_ref(), with_ri).report.mse;
+
+        let full = optimize(f.as_ref(), experiment_config(n, range)).report.mse;
+
+        rows.push(vec![
+            name.to_string(),
+            sci(uniform),
+            sci(a),
+            sci(b),
+            sci(full),
+            format!("{:.0}x", uniform / full),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    println!("\nAblation — boundary condition (error OUTSIDE the fitted interval)\n");
+    let headers2 = ["function", "tied max |err| on [8,100]", "free max |err| on [8,100]"];
+    let mut rows2 = Vec::new();
+    for name in funcs {
+        let f = by_name(name).expect("built in");
+        let range = f.default_range();
+        let tied = optimize(f.as_ref(), experiment_config(n, range)).pwl;
+        let free = optimize(
+            f.as_ref(),
+            experiment_config(n, range).with_boundary(BoundarySpec::free()),
+        )
+        .pwl;
+        let max_err = |pwl: &flexsfu_core::PwlFunction| -> f64 {
+            let mut worst = 0.0f64;
+            for i in 0..=512 {
+                let x = 8.0 + 92.0 * i as f64 / 512.0;
+                for sign in [-1.0, 1.0] {
+                    let e = (pwl.eval(sign * x) - f.eval(sign * x)).abs();
+                    worst = worst.max(e);
+                }
+            }
+            worst
+        };
+        rows2.push(vec![
+            name.to_string(),
+            sci(max_err(&tied)),
+            sci(max_err(&free)),
+        ]);
+    }
+    println!("{}", render_table(&headers2, &rows2));
+    println!("\nthe tied boundary keeps the approximation bounded far outside the");
+    println!("fitted interval — the paper's argument for asymptotic boundary");
+    println!("conditions (Section IV).");
+}

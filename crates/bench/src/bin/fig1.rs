@@ -1,0 +1,58 @@
+//! Figure 1: activation-function distribution by model publication year.
+//!
+//! Regenerates the stacked-distribution data of the paper's Figure 1 from
+//! the synthetic zoo: for each year, the share of models dominated by each
+//! activation function.
+
+use flexsfu_bench::render_table;
+use flexsfu_zoo::{generate_zoo, yeardist};
+use std::collections::HashMap;
+
+fn main() {
+    let zoo = generate_zoo(42);
+    println!("Figure 1 — activation distribution by year ({} models)\n", zoo.len());
+
+    let mut per_year: HashMap<u16, HashMap<&str, usize>> = HashMap::new();
+    for m in &zoo {
+        *per_year
+            .entry(m.year)
+            .or_default()
+            .entry(m.dominant_activation)
+            .or_default() += 1;
+    }
+
+    let acts = yeardist::FIG1_ACTIVATIONS;
+    let headers: Vec<&str> = std::iter::once("year")
+        .chain(acts.iter().copied())
+        .chain(std::iter::once("models"))
+        .collect();
+    let mut rows = Vec::new();
+    for year in yeardist::YEARS {
+        let counts = per_year.get(&year).cloned().unwrap_or_default();
+        let total: usize = counts.values().sum();
+        let mut row = vec![year.to_string()];
+        for a in acts {
+            let share = 100.0 * *counts.get(a).unwrap_or(&0) as f64 / total.max(1) as f64;
+            row.push(format!("{share:4.1}%"));
+        }
+        row.push(total.to_string());
+        rows.push(row);
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    // Headline checks against the paper's reported trend.
+    let share = |year: u16, act: &str| -> f64 {
+        let c = per_year.get(&year).cloned().unwrap_or_default();
+        let total: usize = c.values().sum();
+        *c.get(act).unwrap_or(&0) as f64 / total.max(1) as f64
+    };
+    println!("paper: ReLU 20.7% in 2021          → measured {:.1}%", 100.0 * share(2021, "relu"));
+    println!(
+        "paper: SiLU+GELU 32.1% in 2020     → measured {:.1}%",
+        100.0 * (share(2020, "silu") + share(2020, "gelu"))
+    );
+    println!(
+        "paper: SiLU+GELU 44.2% in 2021     → measured {:.1}%",
+        100.0 * (share(2021, "silu") + share(2021, "gelu"))
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 3: the Flex-SFU architecture — realized as the `flexsfu-hw`
+//! crate. This binary prints the component inventory of a configured
+//! instance (stage counts, memory shapes, load costs), i.e. the textual
+//! rendering of the paper's block diagram, derived from the live model.
+
+use flexsfu_core::init::uniform_pwl;
+use flexsfu_formats::{DataFormat, FloatFormat};
+use flexsfu_hw::{pipeline_latency, Adu, FlexSfu, FlexSfuConfig, Ltc};
+use flexsfu_funcs::Gelu;
+
+fn main() {
+    let depth = 8; // matches the paper's Figure 3 drawing (8 segments)
+    let fmt = DataFormat::Float(FloatFormat::FP16);
+    let adu = Adu::new(depth);
+    let ltc = Ltc::new(depth);
+
+    println!("Figure 3 — Flex-SFU architecture (LTC depth {depth}, {fmt})\n");
+    println!("  instr in ──► Instruction Decoder ──► Data Control Unit (DCU)");
+    println!("                                             │");
+    println!("                 ┌───────────────────────────┴────────────┐");
+    println!("                 ▼ ld.bp()                                ▼ ld.cf()");
+    println!("  Address Decoding Unit (ADU)              Lookup-Table Cluster (LTC)");
+    for s in 0..adu.num_stages() {
+        println!(
+            "    stage {s}: {} breakpoint node(s) + SIMD comparator + next-addr gen",
+            1 << s
+        );
+    }
+    println!("    (binary-search tree over {} breakpoints)", depth - 1);
+    println!("                                             {} (m,q) rows", ltc.depth());
+    println!("                 │ address                                │ coefficients");
+    println!("                 └───────────────► MADD ◄─────────────────┘");
+    println!("                                    │");
+    println!("                                    ▼ data out\n");
+
+    println!("pipeline latency: {} cycles (5 fixed + {} ADU stages)",
+        pipeline_latency(depth), adu.num_stages());
+    println!(
+        "programming cost in {fmt}: ld.bp {} beats, ld.cf {} beats",
+        adu.load_beats(fmt),
+        ltc.load_beats(fmt)
+    );
+    println!("SIMD throughput: 4x8b / 2x16b / 1x32b elements per cycle per cluster");
+
+    // Prove the drawing is live: program and run the modelled unit.
+    let pwl = uniform_pwl(&Gelu, depth - 1, (-8.0, 8.0));
+    let mut sfu = FlexSfu::new(FlexSfuConfig::new(depth, 1));
+    sfu.program(&pwl, fmt).expect("7 breakpoints fit depth 8");
+    let run = sfu.execute(&[1.0, -2.0]);
+    println!(
+        "\nsmoke execution: gelu(1.0) ≈ {:.4}, gelu(-2.0) ≈ {:.4} ({} cycles)",
+        run.outputs[0],
+        run.outputs[1],
+        run.timing.total()
+    );
+}

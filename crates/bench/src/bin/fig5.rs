@@ -1,0 +1,78 @@
+//! Figure 5: MSE and MAE of the optimized interpolation for six activation
+//! functions, sweeping 4–64 breakpoints, with the Float16 1-ULP reference
+//! lines.
+//!
+//! Paper headlines: MSE/MAE improve by ~15.9× / ~3.8× per doubling of the
+//! breakpoint count, and every function reaches sub-1-ULP MSE beyond 16
+//! breakpoints.
+
+use flexsfu_bench::{render_table, run_optimizer, sci};
+use flexsfu_formats::ulp;
+use flexsfu_funcs::registry::figure5_set;
+
+fn main() {
+    let sizes = [4usize, 8, 16, 32, 64];
+    let funcs = figure5_set();
+
+    println!("Figure 5 — error vs number of breakpoints (optimized PWL)\n");
+    let headers = ["function", "range", "#BP", "MSE", "MAE"];
+    let mut rows = Vec::new();
+    // (function index, size index) → (mse, mae)
+    let mut grid = vec![vec![(0.0f64, 0.0f64); sizes.len()]; funcs.len()];
+
+    for (fi, f) in funcs.iter().enumerate() {
+        let range = f.default_range();
+        for (si, &n) in sizes.iter().enumerate() {
+            let r = run_optimizer(f.as_ref(), n, range);
+            grid[fi][si] = (r.report.mse, r.report.mae);
+            rows.push(vec![
+                f.name().to_string(),
+                format!("[{}, {}]", range.0, range.1),
+                n.to_string(),
+                sci(r.report.mse),
+                sci(r.report.mae),
+            ]);
+        }
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    println!(
+        "Float16 1-ULP reference lines: MSE {} | MAE {}",
+        sci(ulp::f16_one_ulp_mse()),
+        sci(ulp::f16_one_ulp_mae())
+    );
+
+    // Per-doubling improvement factors (geometric mean across functions
+    // and consecutive size pairs).
+    let mut mse_log = 0.0;
+    let mut mae_log = 0.0;
+    let mut count = 0;
+    for row in &grid {
+        for w in row.windows(2) {
+            mse_log += (w[0].0 / w[1].0).max(1e-30).ln();
+            mae_log += (w[0].1 / w[1].1).max(1e-30).ln();
+            count += 1;
+        }
+    }
+    println!(
+        "\nper-doubling improvement: MSE {:.1}x (paper 15.9x), MAE {:.1}x (paper 3.8x)",
+        (mse_log / count as f64).exp(),
+        (mae_log / count as f64).exp()
+    );
+
+    // Sub-ULP check beyond 16 breakpoints.
+    let threshold = ulp::f16_one_ulp_mse();
+    let mut all_below = true;
+    for (fi, f) in funcs.iter().enumerate() {
+        for (si, &n) in sizes.iter().enumerate() {
+            if n > 16 && grid[fi][si].0 > threshold {
+                all_below = false;
+                println!("  above 1 ULP: {} at {n} BP ({})", f.name(), sci(grid[fi][si].0));
+            }
+        }
+    }
+    println!(
+        "all functions below Float16 1-ULP MSE beyond 16 breakpoints: {}",
+        if all_below { "yes (matches paper)" } else { "no" }
+    );
+}

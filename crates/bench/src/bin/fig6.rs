@@ -1,0 +1,45 @@
+//! Figure 6: end-to-end model-zoo speedups on the Ascend-310P-like
+//! accelerator model, grouped by family.
+
+use flexsfu_bench::render_table;
+use flexsfu_perf::{family_summary, zoo_summary, AcceleratorConfig};
+use flexsfu_zoo::generate_zoo;
+
+fn main() {
+    let zoo = generate_zoo(42);
+    let cfg = AcceleratorConfig::ascend_like();
+    let fams = family_summary(&zoo, &cfg);
+    let stats = zoo_summary(&zoo, &cfg);
+
+    println!("Figure 6 — end-to-end speedup per family ({} models)\n", zoo.len());
+    let headers = ["family", "models", "mean", "min", "max"];
+    let rows: Vec<Vec<String>> = fams
+        .iter()
+        .map(|f| {
+            vec![
+                f.family.label().to_string(),
+                f.count.to_string(),
+                format!("{:.3}x", f.mean),
+                format!("{:.3}x", f.min),
+                format!("{:.3}x", f.max),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!("paper reference points:");
+    println!("  ResNets +17.3%  | ViT +17.9% | NLP +29.0% | EfficientNets +45.1% | DarkNets 2.1x");
+    println!("\nzoo-wide:");
+    println!(
+        "  mean speedup:           {:.3}x (paper 1.228x)",
+        stats.mean_all
+    );
+    println!(
+        "  complex-activation mean: {:.3}x (paper 1.357x)",
+        stats.mean_complex
+    );
+    println!(
+        "  peak: {:.2}x on {} (paper 3.3x on resnext26ts)",
+        stats.peak, stats.peak_model
+    );
+}

@@ -1,0 +1,61 @@
+//! Table I: Flex-SFU PPA characterization (Nc = 1, 600 MHz, 28 nm) plus
+//! the Section V-A VPU integration overheads.
+
+use flexsfu_bench::render_table;
+use flexsfu_hw::{pipeline_latency, AreaModel, PowerModel, VpuIntegration};
+
+fn main() {
+    let area = AreaModel::calibrated();
+    let power = PowerModel::calibrated();
+    let depths = [4usize, 8, 16, 32, 64];
+
+    println!("Table I — Flex-SFU characterization (Nc=1, 600 MHz, 28 nm)\n");
+    let headers = [
+        "LTC depth",
+        "latency [cyc]",
+        "power [mW]",
+        "ADU area [%]",
+        "LTC area [%]",
+        "total [um2]",
+    ];
+    let rows: Vec<Vec<String>> = depths
+        .iter()
+        .map(|&d| {
+            let total = area.total_um2(d);
+            vec![
+                d.to_string(),
+                pipeline_latency(d).to_string(),
+                format!("{:.1}", power.total_mw(d)),
+                format!("{:.1}%", 100.0 * area.adu_um2(d) / total),
+                format!("{:.1}%", 100.0 * area.ltc_um2(d) / total),
+                format!("{total:.1}"),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("paper row (depth 32): 10 cyc, 2.8 mW, 46.0% ADU, 46.6% LTC, 9791.3 um2\n");
+
+    // Energy efficiency range quoted in Section V-A.
+    let eff_lo = power.efficiency_gact_s_w(64, 1.0, 600e6);
+    let eff_hi = power.efficiency_gact_s_w(4, 4.0, 600e6);
+    println!(
+        "energy efficiency: {eff_lo:.0}-{eff_hi:.0} GAct/s/W (paper: 158-1722)\n"
+    );
+
+    println!("Section V-A — integration into a 4-lane Ara-like VPU (Nc=2/lane)\n");
+    let v = VpuIntegration::paper_reference();
+    let headers2 = ["LTC depth", "added area [um2]", "area ovh", "power ovh"];
+    let rows2: Vec<Vec<String>> = [8usize, 16, 32]
+        .iter()
+        .map(|&d| {
+            vec![
+                d.to_string(),
+                format!("{:.0}", v.added_area_um2(d)),
+                format!("{:.1}%", 100.0 * v.area_overhead(d)),
+                format!("{:.2}%", 100.0 * v.power_overhead(d)),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers2, &rows2));
+    println!("paper: 2.2% / 3.5% / 5.9% area and 0.5%-0.8% power at depths 8/16/32");
+}

@@ -1,0 +1,52 @@
+//! Table II: comparison of the MSE-optimized interpolation against the
+//! published errors of prior PWL works, at matched function, range and
+//! breakpoint count.
+
+use flexsfu_bench::{render_table, run_optimizer, sci};
+use flexsfu_optim::baselines::reference::{RefMetric, TABLE2_ROWS};
+use flexsfu_funcs::by_name;
+
+fn main() {
+    println!("Table II — comparison with prior PWL interpolation methods\n");
+    let headers = [
+        "work", "funct", "range", "#BP", "ref err", "this work", "impr", "paper impr",
+    ];
+    let mut rows = Vec::new();
+    let mut log_sum = 0.0;
+
+    for r in &TABLE2_ROWS {
+        let f = by_name(r.function).expect("table functions are built in");
+        let result = run_optimizer(f.as_ref(), r.breakpoints, r.range);
+        // Compare on the metric the reference row uses.
+        let ours = match r.metric {
+            RefMetric::Mse => result.report.mse,
+            RefMetric::SqAae => result.report.aae * result.report.aae,
+        };
+        let improvement = r.error / ours;
+        log_sum += improvement.max(1e-12).ln();
+        rows.push(vec![
+            format!(
+                "{}{}",
+                r.work,
+                if r.uses_symmetry { "+sym" } else { "" }
+            ),
+            r.function.to_string(),
+            format!("[{:.3}, {}]", r.range.0, r.range.1),
+            r.breakpoints.to_string(),
+            sci(r.error),
+            sci(ours),
+            format!("{improvement:.1}x"),
+            format!("{:.1}x", r.paper_improvement),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    let geo = (log_sum / TABLE2_ROWS.len() as f64).exp();
+    let arith: f64 = rows
+        .iter()
+        .map(|r| r[6].trim_end_matches('x').parse::<f64>().unwrap())
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!("average improvement: {arith:.1}x arithmetic / {geo:.1}x geometric");
+    println!("paper headline: 22.3x average, range 2.3x-88.4x");
+}

@@ -1,0 +1,141 @@
+//! # flexsfu-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper.
+//!
+//! | Binary  | Reproduces |
+//! |---------|------------|
+//! | `fig1`  | Activation-function distribution by year |
+//! | `fig2`  | GELU uniform vs. non-uniform PWL, 5 breakpoints |
+//! | `fig4`  | Throughput vs. tensor size across formats/depths |
+//! | `fig5`  | MSE/MAE vs. breakpoint count for six functions |
+//! | `fig6`  | End-to-end model-zoo speedups per family |
+//! | `table1`| PPA characterization + VPU integration overheads |
+//! | `table2`| Comparison against prior PWL works |
+//! | `table3`| Accuracy-drop distribution under substitution |
+//!
+//! Run them with `cargo run --release -p flexsfu-bench --bin figN`.
+//! Set `FLEXSFU_QUICK=1` to trade accuracy for speed (smoke runs).
+//!
+//! Criterion microbenchmarks of the core kernels live in
+//! `benches/kernels.rs` (`cargo bench -p flexsfu-bench`).
+
+use flexsfu_funcs::Activation;
+use flexsfu_optim::{optimize, InitStrategy, OptimizeConfig, OptimizeResult};
+
+/// Whether the harness should run in reduced-effort mode.
+pub fn quick_mode() -> bool {
+    std::env::var("FLEXSFU_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The optimizer configuration used by every experiment binary:
+/// paper-faithful by default, reduced under [`quick_mode`].
+pub fn experiment_config(num_breakpoints: usize, range: (f64, f64)) -> OptimizeConfig {
+    if quick_mode() {
+        OptimizeConfig::quick(num_breakpoints).with_range(range.0, range.1)
+    } else {
+        let mut cfg = OptimizeConfig::new(num_breakpoints).with_range(range.0, range.1);
+        cfg.max_steps = 2500;
+        cfg.max_rounds = 10;
+        cfg.samples = 4096;
+        cfg.min_lr = 1e-7;
+        cfg.plateau_patience = 30;
+        cfg
+    }
+}
+
+/// Optimizes `f` with the experiment configuration. Full-effort runs use
+/// a two-basin multi-start (uniform + Chebyshev initialization) and keep
+/// the better result.
+pub fn run_optimizer(f: &dyn Activation, n: usize, range: (f64, f64)) -> OptimizeResult {
+    let uniform = optimize(f, experiment_config(n, range));
+    if quick_mode() {
+        return uniform;
+    }
+    let cheb = optimize(
+        f,
+        experiment_config(n, range).with_init(InitStrategy::Chebyshev),
+    );
+    if cheb.report.mse < uniform.report.mse {
+        cheb
+    } else {
+        uniform
+    }
+}
+
+/// Renders an aligned text table (used by every binary's stdout report).
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let push_row = |cells: Vec<String>, out: &mut String| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+    };
+    push_row(headers.iter().map(|s| s.to_string()).collect(), &mut out);
+    push_row(
+        widths.iter().map(|w| "-".repeat(*w)).collect(),
+        &mut out,
+    );
+    for row in rows {
+        push_row(row.clone(), &mut out);
+    }
+    out
+}
+
+/// Formats a number in scientific notation with 2 decimals (`1.23e-7`).
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_funcs::Sigmoid;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["long".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("----"));
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(1.234e-7), "1.23e-7");
+        assert_eq!(sci(5.0), "5.00e0");
+    }
+
+    #[test]
+    fn quick_config_is_lighter() {
+        let quick = OptimizeConfig::quick(8);
+        let full = experiment_config(8, (-8.0, 8.0));
+        assert!(quick.max_steps <= full.max_steps);
+    }
+
+    #[test]
+    fn run_optimizer_smoke() {
+        std::env::set_var("FLEXSFU_QUICK", "1");
+        let r = run_optimizer(&Sigmoid, 8, (-8.0, 8.0));
+        assert!(r.report.mse < 1e-4);
+        std::env::remove_var("FLEXSFU_QUICK");
+    }
+}

@@ -1,0 +1,203 @@
+//! Boundary conditions for the outer PWL segments.
+//!
+//! Paper, Section IV ("Boundary condition"): all relevant activation
+//! functions converge outside the interpolation interval to a constant or
+//! an asymptote. To avoid unbounded error outside `[a, b]`, the outermost
+//! segments are constrained to *lie on the asymptote*:
+//!
+//! ```text
+//! ml = lim_{x→-∞} f(x)/x,   v₀ = ml·p₀ + lim_{x→-∞}(f(x) − ml·x)
+//! mr = lim_{x→+∞} f(x)/x,   v_{n-1} = mr·p_{n-1} + lim_{x→+∞}(f(x) − mr·x)
+//! ```
+//!
+//! The breakpoints `p₀` and `p_{n-1}` themselves remain free (learned);
+//! only the values and slopes are tied. For GELU this resolves to
+//! `ml = 0, v₀ = 0, mr = 1, v_{n-1} = p_{n-1}`.
+//!
+//! Sides without a linear asymptote (the right side of `exp`) fall back to
+//! [`BoundarySide::Free`], where slope and value are ordinary learned
+//! parameters.
+
+use flexsfu_funcs::{Activation, Asymptote};
+
+/// Constraint applied to one outer segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundarySide {
+    /// Slope and boundary value are free optimization parameters.
+    Free,
+    /// The outer segment lies on the line `slope·x + offset`; the boundary
+    /// value is a *function of the breakpoint*: `v = slope·p + offset`.
+    Asymptote {
+        /// Asymptote slope.
+        slope: f64,
+        /// Asymptote offset.
+        offset: f64,
+    },
+}
+
+impl BoundarySide {
+    /// The tied `(slope, value)` at breakpoint `p`, or `None` when free.
+    pub fn tie(&self, p: f64) -> Option<(f64, f64)> {
+        match self {
+            BoundarySide::Free => None,
+            BoundarySide::Asymptote { slope, offset } => Some((*slope, slope * p + offset)),
+        }
+    }
+
+    /// Whether the side is asymptote-constrained.
+    pub fn is_tied(&self) -> bool {
+        matches!(self, BoundarySide::Asymptote { .. })
+    }
+}
+
+impl From<Asymptote> for BoundarySide {
+    fn from(a: Asymptote) -> Self {
+        match a {
+            Asymptote::Linear { slope, offset } => BoundarySide::Asymptote { slope, offset },
+            Asymptote::None => BoundarySide::Free,
+        }
+    }
+}
+
+/// The boundary constraints for both ends of the interpolation interval.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::boundary::{BoundarySide, BoundarySpec};
+/// use flexsfu_funcs::Gelu;
+///
+/// let spec = BoundarySpec::from_activation(&Gelu);
+/// // GELU: ml = 0, v0 = 0 — the left segment is the zero line.
+/// assert_eq!(spec.left.tie(-6.0), Some((0.0, 0.0)));
+/// // mr = 1, v_{n-1} = p_{n-1} — the right segment is the identity.
+/// assert_eq!(spec.right.tie(6.0), Some((1.0, 6.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundarySpec {
+    /// Constraint at `p₀`.
+    pub left: BoundarySide,
+    /// Constraint at `p_{n-1}`.
+    pub right: BoundarySide,
+}
+
+impl BoundarySpec {
+    /// Derives the spec from an activation's asymptote metadata — the
+    /// paper's default behaviour.
+    pub fn from_activation(f: &dyn Activation) -> Self {
+        let a = f.asymptotes();
+        Self {
+            left: a.left.into(),
+            right: a.right.into(),
+        }
+    }
+
+    /// Both sides free (the ablation configuration: "unless noted
+    /// otherwise" in the paper).
+    pub fn free() -> Self {
+        Self {
+            left: BoundarySide::Free,
+            right: BoundarySide::Free,
+        }
+    }
+
+    /// Derives the spec from the activation *and the fitting interval*:
+    /// a side is tied to its asymptote only when the function has
+    /// essentially reached it at that end of the range
+    /// (`|f(end) − asymptote(end)| ≤ tol`), otherwise it stays free.
+    ///
+    /// This matters for narrow ranges like the paper's `[1/64, 4]`
+    /// comparison rows: sigmoid on `[-4, 4]` is still 0.018 away from its
+    /// zero asymptote at −4, and pinning `v₀ = 0` there would dominate the
+    /// fitting error.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexsfu_core::boundary::BoundarySpec;
+    /// use flexsfu_funcs::Sigmoid;
+    ///
+    /// // Wide range: both ends tied.
+    /// let wide = BoundarySpec::for_range(&Sigmoid, (-8.0, 8.0), 1e-3);
+    /// assert!(wide.left.is_tied() && wide.right.is_tied());
+    /// // Narrow range: sigmoid(-4) = 0.018 is too far from 0 → free.
+    /// let narrow = BoundarySpec::for_range(&Sigmoid, (-4.0, 4.0), 1e-3);
+    /// assert!(!narrow.left.is_tied());
+    /// ```
+    pub fn for_range(f: &dyn Activation, range: (f64, f64), tol: f64) -> Self {
+        let a = f.asymptotes();
+        let close = |side: Asymptote, x: f64| -> bool {
+            match side.eval(x) {
+                Some(line) => (f.eval(x) - line).abs() <= tol,
+                None => false,
+            }
+        };
+        Self {
+            left: if close(a.left, range.0) {
+                a.left.into()
+            } else {
+                BoundarySide::Free
+            },
+            right: if close(a.right, range.1) {
+                a.right.into()
+            } else {
+                BoundarySide::Free
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_funcs::{by_name, Exp, Sigmoid, Tanh};
+
+    #[test]
+    fn gelu_resolves_to_paper_example() {
+        let g = by_name("gelu").unwrap();
+        let spec = BoundarySpec::from_activation(g.as_ref());
+        assert_eq!(spec.left.tie(-8.0), Some((0.0, 0.0)));
+        let (mr, v) = spec.right.tie(7.5).unwrap();
+        assert_eq!(mr, 1.0);
+        assert_eq!(v, 7.5);
+    }
+
+    #[test]
+    fn sigmoid_ties_to_constants() {
+        let spec = BoundarySpec::from_activation(&Sigmoid);
+        assert_eq!(spec.left.tie(-8.0), Some((0.0, 0.0)));
+        assert_eq!(spec.right.tie(8.0), Some((0.0, 1.0)));
+    }
+
+    #[test]
+    fn tanh_ties_to_plus_minus_one() {
+        let spec = BoundarySpec::from_activation(&Tanh);
+        assert_eq!(spec.left.tie(-5.0), Some((0.0, -1.0)));
+        assert_eq!(spec.right.tie(5.0), Some((0.0, 1.0)));
+    }
+
+    #[test]
+    fn exp_right_side_is_free() {
+        let spec = BoundarySpec::from_activation(&Exp);
+        assert!(spec.left.is_tied());
+        assert!(!spec.right.is_tied());
+        assert_eq!(spec.right.tie(0.1), None);
+    }
+
+    #[test]
+    fn free_spec_ties_nothing() {
+        let spec = BoundarySpec::free();
+        assert_eq!(spec.left.tie(0.0), None);
+        assert_eq!(spec.right.tie(0.0), None);
+    }
+
+    #[test]
+    fn tie_moves_with_breakpoint() {
+        let side = BoundarySide::Asymptote {
+            slope: 2.0,
+            offset: 1.0,
+        };
+        assert_eq!(side.tie(0.0), Some((2.0, 1.0)));
+        assert_eq!(side.tie(3.0), Some((2.0, 7.0)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Slope/intercept coefficient tables — the LTC view of a PWL function.
+//!
+//! The hardware evaluates every segment as `f̂(x) = mᵢ·x + qᵢ` with the
+//! `(mᵢ, qᵢ)` pair fetched from the Lookup-Table Cluster at the address
+//! produced by the ADU (paper, Figure 3). This module lowers a
+//! [`PwlFunction`] into that representation and back.
+
+use crate::pwl::{PwlFunction, Region};
+
+/// The `(m, q)` coefficient pairs of a PWL function's `n + 1` segments,
+/// ordered left-outer, inner 0 … inner n-2, right-outer.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::{CoeffTable, PwlFunction};
+///
+/// let pwl = PwlFunction::new(vec![0.0, 1.0], vec![0.0, 2.0], 0.0, 0.0)?;
+/// let table = CoeffTable::from_pwl(&pwl);
+/// assert_eq!(table.len(), 3);
+/// // Inner segment: slope 2 through the origin.
+/// assert_eq!(table.slopes()[1], 2.0);
+/// assert_eq!(table.intercepts()[1], 0.0);
+/// # Ok::<(), flexsfu_core::PwlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoeffTable {
+    slopes: Vec<f64>,
+    intercepts: Vec<f64>,
+    breakpoints: Vec<f64>,
+}
+
+impl CoeffTable {
+    /// Lowers a [`PwlFunction`] to its coefficient table.
+    pub fn from_pwl(pwl: &PwlFunction) -> Self {
+        let p = pwl.breakpoints();
+        let v = pwl.values();
+        let n = p.len();
+        let mut slopes = Vec::with_capacity(n + 1);
+        let mut intercepts = Vec::with_capacity(n + 1);
+
+        // Left outer segment: y = ml·(x − p₀) + v₀ = ml·x + (v₀ − ml·p₀).
+        slopes.push(pwl.left_slope());
+        intercepts.push(v[0] - pwl.left_slope() * p[0]);
+
+        for i in 0..n - 1 {
+            let m = (v[i + 1] - v[i]) / (p[i + 1] - p[i]);
+            slopes.push(m);
+            intercepts.push(v[i] - m * p[i]);
+        }
+
+        // Right outer segment anchored at (p_{n-1}, v_{n-1}).
+        slopes.push(pwl.right_slope());
+        intercepts.push(v[n - 1] - pwl.right_slope() * p[n - 1]);
+
+        Self {
+            slopes,
+            intercepts,
+            breakpoints: p.to_vec(),
+        }
+    }
+
+    /// Assembles a table from raw parts (used by coefficient quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slopes`/`intercepts` don't have exactly one more entry
+    /// than `breakpoints`, or if breakpoints are not strictly increasing.
+    pub fn from_parts(breakpoints: Vec<f64>, slopes: Vec<f64>, intercepts: Vec<f64>) -> Self {
+        assert_eq!(
+            slopes.len(),
+            breakpoints.len() + 1,
+            "need one slope per segment"
+        );
+        assert_eq!(
+            intercepts.len(),
+            slopes.len(),
+            "need one intercept per slope"
+        );
+        assert!(
+            breakpoints.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        Self {
+            slopes,
+            intercepts,
+            breakpoints,
+        }
+    }
+
+    /// Number of segments (`n + 1` for `n` breakpoints).
+    pub fn len(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// Whether the table is empty (never true for a valid PWL function).
+    pub fn is_empty(&self) -> bool {
+        self.slopes.is_empty()
+    }
+
+    /// Per-segment slopes `m`.
+    pub fn slopes(&self) -> &[f64] {
+        &self.slopes
+    }
+
+    /// Per-segment intercepts `q`.
+    pub fn intercepts(&self) -> &[f64] {
+        &self.intercepts
+    }
+
+    /// The breakpoints delimiting the segments.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// The segment address for input `x` — the index the ADU's
+    /// binary-search tree produces: the number of breakpoints strictly
+    /// below `x` … with ties on a breakpoint resolving to the segment on
+    /// its left (continuity makes both choices evaluate equal).
+    pub fn address_of(&self, x: f64) -> usize {
+        self.breakpoints.partition_point(|&p| p < x)
+    }
+
+    /// Evaluates via table lookup and one multiply-add — exactly the
+    /// hardware datapath (`coefficient fetch` + `MADD`).
+    pub fn eval(&self, x: f64) -> f64 {
+        let a = self.address_of(x);
+        self.slopes[a] * x + self.intercepts[a]
+    }
+
+    /// Reconstructs the PWL function from the table.
+    ///
+    /// The reconstruction evaluates identically (up to floating-point
+    /// round-off) but re-derives values at breakpoints from the segment
+    /// equations.
+    pub fn to_pwl(&self) -> PwlFunction {
+        let n = self.breakpoints.len();
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                // Value at breakpoint i from the segment on its right
+                // (segment i+1 in table order covers (p_i, p_{i+1})).
+                let seg = i + 1;
+                let seg = seg.min(self.slopes.len() - 1);
+                self.slopes[seg] * self.breakpoints[i] + self.intercepts[seg]
+            })
+            .collect();
+        PwlFunction::new(
+            self.breakpoints.clone(),
+            values,
+            self.slopes[0],
+            *self.slopes.last().expect("table is never empty"),
+        )
+        .expect("a valid table reconstructs a valid function")
+    }
+
+    /// Maps a [`Region`] to the table address space.
+    pub fn region_to_address(&self, region: Region) -> usize {
+        match region {
+            Region::Left => 0,
+            Region::Inner(i) => i + 1,
+            Region::Right => self.len() - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pwl::PwlFunction;
+    use proptest::prelude::*;
+
+    fn sample_pwl() -> PwlFunction {
+        PwlFunction::new(
+            vec![-2.0, -1.0, 0.5, 2.0],
+            vec![0.3, -0.7, 1.1, 0.9],
+            0.25,
+            -0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = CoeffTable::from_pwl(&sample_pwl());
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.slopes().len(), t.intercepts().len());
+    }
+
+    #[test]
+    fn table_eval_matches_pwl_eval() {
+        let pwl = sample_pwl();
+        let t = CoeffTable::from_pwl(&pwl);
+        for i in -500..=500 {
+            let x = i as f64 * 0.01;
+            let direct = pwl.eval(x);
+            let table = t.eval(x);
+            assert!(
+                (direct - table).abs() < 1e-12,
+                "mismatch at {x}: {direct} vs {table}"
+            );
+        }
+    }
+
+    #[test]
+    fn address_monotone_in_x() {
+        let t = CoeffTable::from_pwl(&sample_pwl());
+        let mut prev = 0;
+        for i in -40..=40 {
+            let x = i as f64 * 0.1;
+            let a = t.address_of(x);
+            assert!(a >= prev, "address must be monotone");
+            assert!(a < t.len());
+            prev = a;
+        }
+        assert_eq!(t.address_of(-100.0), 0);
+        assert_eq!(t.address_of(100.0), t.len() - 1);
+    }
+
+    #[test]
+    fn region_to_address_is_consistent_with_address_of() {
+        let pwl = sample_pwl();
+        let t = CoeffTable::from_pwl(&pwl);
+        for i in -40..=40 {
+            let x = i as f64 * 0.11 + 0.003; // avoid exact breakpoints
+            assert_eq!(
+                t.region_to_address(pwl.region(x)),
+                t.address_of(x),
+                "at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_table() {
+        let pwl = sample_pwl();
+        let back = CoeffTable::from_pwl(&pwl).to_pwl();
+        for i in -50..=50 {
+            let x = i as f64 * 0.07;
+            assert!((pwl.eval(x) - back.eval(x)).abs() < 1e-10, "at {x}");
+        }
+        assert_eq!(back.left_slope(), pwl.left_slope());
+        assert_eq!(back.right_slope(), pwl.right_slope());
+    }
+
+    proptest! {
+        /// Table evaluation is bit-for-bit a linear function per segment and
+        /// agrees with interpolation-based evaluation everywhere.
+        #[test]
+        fn prop_table_matches_pwl(x in -10.0f64..10.0) {
+            let pwl = sample_pwl();
+            let t = CoeffTable::from_pwl(&pwl);
+            prop_assert!((pwl.eval(x) - t.eval(x)).abs() < 1e-12);
+        }
+    }
+}

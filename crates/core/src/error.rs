@@ -1,0 +1,85 @@
+//! Error type for PWL construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a piecewise-linear function cannot be built or modified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PwlError {
+    /// Fewer than two breakpoints were supplied.
+    TooFewBreakpoints {
+        /// Number of breakpoints received.
+        got: usize,
+    },
+    /// Breakpoint and value vectors have different lengths.
+    LengthMismatch {
+        /// Number of breakpoints.
+        breakpoints: usize,
+        /// Number of values.
+        values: usize,
+    },
+    /// Breakpoints are not strictly increasing.
+    NotStrictlyIncreasing {
+        /// Index `i` where `p[i] >= p[i+1]`.
+        index: usize,
+    },
+    /// A breakpoint, value or slope is NaN or infinite.
+    NonFinite {
+        /// Which array the offending entry was in.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for PwlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PwlError::TooFewBreakpoints { got } => {
+                write!(f, "need at least 2 breakpoints, got {got}")
+            }
+            PwlError::LengthMismatch {
+                breakpoints,
+                values,
+            } => write!(
+                f,
+                "breakpoint count ({breakpoints}) does not match value count ({values})"
+            ),
+            PwlError::NotStrictlyIncreasing { index } => {
+                write!(f, "breakpoints must be strictly increasing (violated at index {index})")
+            }
+            PwlError::NonFinite { what } => {
+                write!(f, "non-finite entry in {what}")
+            }
+        }
+    }
+}
+
+impl Error for PwlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            PwlError::TooFewBreakpoints { got: 1 }.to_string(),
+            PwlError::LengthMismatch {
+                breakpoints: 3,
+                values: 2,
+            }
+            .to_string(),
+            PwlError::NotStrictlyIncreasing { index: 4 }.to_string(),
+            PwlError::NonFinite { what: "values" }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn Error> = Box::new(PwlError::TooFewBreakpoints { got: 0 });
+        assert!(e.to_string().contains("at least 2"));
+    }
+}

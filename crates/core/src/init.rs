@@ -1,0 +1,230 @@
+//! Breakpoint initializers and uniform baselines.
+//!
+//! The optimizer starts from uniformly distributed breakpoints with exact
+//! function values (paper, "Optimization strategy"). The same construction
+//! doubles as the *uniform interpolation baseline* (the "Uniform PPA" curve
+//! in Figure 2). A Chebyshev initializer is provided as an ablation — its
+//! node density already concentrates where polynomial interpolation error
+//! peaks.
+
+use crate::boundary::BoundarySpec;
+use crate::pwl::PwlFunction;
+use flexsfu_funcs::Activation;
+
+/// Resolves boundary slopes/values for the given end breakpoints: tied
+/// sides use the asymptote; free sides take the exact function value and
+/// the local derivative.
+fn resolve_ends(
+    f: &dyn Activation,
+    spec: &BoundarySpec,
+    p_first: f64,
+    p_last: f64,
+) -> ((f64, f64), (f64, f64)) {
+    let left = spec
+        .left
+        .tie(p_first)
+        .unwrap_or_else(|| (f.derivative(p_first), f.eval(p_first)));
+    let right = spec
+        .right
+        .tie(p_last)
+        .unwrap_or_else(|| (f.derivative(p_last), f.eval(p_last)));
+    (left, right)
+}
+
+/// Builds a PWL function from explicit breakpoints: exact function values
+/// inside, boundary handling per `spec`.
+///
+/// # Panics
+///
+/// Panics if fewer than two breakpoints are given, they are not strictly
+/// increasing, or values are non-finite.
+pub fn pwl_from_breakpoints(
+    f: &dyn Activation,
+    breakpoints: Vec<f64>,
+    spec: &BoundarySpec,
+) -> PwlFunction {
+    assert!(breakpoints.len() >= 2, "need at least two breakpoints");
+    let n = breakpoints.len();
+    let mut values: Vec<f64> = breakpoints.iter().map(|&p| f.eval(p)).collect();
+    let ((ml, v0), (mr, vn)) = resolve_ends(f, spec, breakpoints[0], breakpoints[n - 1]);
+    if spec.left.is_tied() {
+        values[0] = v0;
+    }
+    if spec.right.is_tied() {
+        values[n - 1] = vn;
+    }
+    PwlFunction::new(breakpoints, values, ml, mr)
+        .expect("initializer produces valid breakpoints")
+}
+
+/// Uniformly spaced breakpoints on `[a, b]` with exact function values and
+/// asymptote-derived boundary slopes — the uniform baseline of Figure 2.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `a >= b`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::init::uniform_pwl;
+/// use flexsfu_funcs::Tanh;
+///
+/// let pwl = uniform_pwl(&Tanh, 5, (-2.0, 2.0));
+/// assert_eq!(pwl.num_breakpoints(), 5);
+/// assert_eq!(pwl.breakpoints()[2], 0.0);
+/// ```
+pub fn uniform_pwl(f: &dyn Activation, n: usize, range: (f64, f64)) -> PwlFunction {
+    let (a, b) = range;
+    assert!(n >= 2, "need at least two breakpoints, got {n}");
+    assert!(a < b, "invalid range [{a}, {b}]");
+    let breakpoints: Vec<f64> = (0..n)
+        .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+        .collect();
+    // Exact values everywhere; slopes still follow the asymptotes so the
+    // baseline is well-behaved outside the range.
+    let spec = BoundarySpec::from_activation(f);
+    let n_ = breakpoints.len();
+    let values: Vec<f64> = breakpoints.iter().map(|&p| f.eval(p)).collect();
+    let ((ml, _), (mr, _)) = resolve_ends(f, &spec, breakpoints[0], breakpoints[n_ - 1]);
+    PwlFunction::new(breakpoints, values, ml, mr)
+        .expect("uniform grid is strictly increasing")
+}
+
+/// Uniform breakpoints with the paper's asymptotic boundary condition
+/// applied: the outer values are *tied to the asymptote* instead of the
+/// exact function value. This is the optimizer's starting point.
+pub fn uniform_pwl_asymptotic(f: &dyn Activation, n: usize, range: (f64, f64)) -> PwlFunction {
+    let (a, b) = range;
+    assert!(n >= 2, "need at least two breakpoints, got {n}");
+    assert!(a < b, "invalid range [{a}, {b}]");
+    let breakpoints: Vec<f64> = (0..n)
+        .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+        .collect();
+    let spec = BoundarySpec::from_activation(f);
+    pwl_from_breakpoints(f, breakpoints, &spec)
+}
+
+/// Chebyshev-node breakpoints on `[a, b]` (denser near the ends), exact
+/// values — an alternative non-uniform baseline used in ablations.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `a >= b`.
+pub fn chebyshev_pwl(f: &dyn Activation, n: usize, range: (f64, f64)) -> PwlFunction {
+    let (a, b) = range;
+    assert!(n >= 2, "need at least two breakpoints, got {n}");
+    assert!(a < b, "invalid range [{a}, {b}]");
+    let mid = 0.5 * (a + b);
+    let half = 0.5 * (b - a);
+    // Chebyshev extrema (Gauss-Lobatto points) include the interval ends.
+    let breakpoints: Vec<f64> = (0..n)
+        .map(|i| {
+            let theta = std::f64::consts::PI * (n - 1 - i) as f64 / (n - 1) as f64;
+            mid + half * theta.cos()
+        })
+        .collect();
+    let spec = BoundarySpec::from_activation(f);
+    let values: Vec<f64> = breakpoints.iter().map(|&p| f.eval(p)).collect();
+    let m = breakpoints.len();
+    let ((ml, _), (mr, _)) = resolve_ends(f, &spec, breakpoints[0], breakpoints[m - 1]);
+    PwlFunction::new(breakpoints, values, ml, mr)
+        .expect("chebyshev grid is strictly increasing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::integral_mse;
+    use flexsfu_funcs::{Exp, Gelu, Sigmoid, Tanh};
+
+    #[test]
+    fn uniform_grid_is_uniform() {
+        let pwl = uniform_pwl(&Gelu, 9, (-8.0, 8.0));
+        let p = pwl.breakpoints();
+        let gaps: Vec<f64> = p.windows(2).map(|w| w[1] - w[0]).collect();
+        for g in &gaps {
+            assert!((g - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_values_are_exact() {
+        let pwl = uniform_pwl(&Sigmoid, 5, (-8.0, 8.0));
+        for (&p, &v) in pwl.breakpoints().iter().zip(pwl.values()) {
+            assert_eq!(v, Sigmoid.eval(p));
+        }
+    }
+
+    #[test]
+    fn asymptotic_init_ties_outer_values() {
+        let pwl = uniform_pwl_asymptotic(&Gelu, 5, (-8.0, 8.0));
+        // Left value on GELU's zero asymptote, right on the identity.
+        assert_eq!(pwl.values()[0], 0.0);
+        assert_eq!(pwl.values()[4], 8.0);
+        assert_eq!(pwl.left_slope(), 0.0);
+        assert_eq!(pwl.right_slope(), 1.0);
+    }
+
+    #[test]
+    fn exp_free_right_boundary_uses_local_derivative() {
+        let pwl = uniform_pwl_asymptotic(&Exp, 8, (-10.0, 0.1));
+        // Right side of exp is free: slope ≈ exp(0.1), value = exp(0.1).
+        assert!((pwl.right_slope() - 0.1f64.exp()).abs() < 1e-4);
+        assert!((pwl.values()[7] - 0.1f64.exp()).abs() < 1e-12);
+        // Left side tied to zero asymptote.
+        assert_eq!(pwl.left_slope(), 0.0);
+    }
+
+    #[test]
+    fn chebyshev_nodes_cover_interval_and_cluster_at_ends() {
+        let pwl = chebyshev_pwl(&Tanh, 9, (-8.0, 8.0));
+        let p = pwl.breakpoints();
+        assert!((p[0] + 8.0).abs() < 1e-12);
+        assert!((p[8] - 8.0).abs() < 1e-12);
+        // End gaps are smaller than the middle gap.
+        let first_gap = p[1] - p[0];
+        let mid_gap = p[5] - p[4];
+        assert!(first_gap < mid_gap);
+    }
+
+    #[test]
+    fn asymptotic_boundary_helps_outside_range() {
+        // Evaluate on a wider interval than fitted: the asymptote-tied
+        // version must not diverge.
+        let tied = uniform_pwl_asymptotic(&Tanh, 8, (-4.0, 4.0));
+        assert!((tied.eval(100.0) - 1.0).abs() < 1e-12);
+        assert!((tied.eval(-100.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_breakpoints_reduce_uniform_error() {
+        let coarse = integral_mse(&uniform_pwl(&Gelu, 4, (-8.0, 8.0)), &Gelu, -8.0, 8.0);
+        let fine = integral_mse(&uniform_pwl(&Gelu, 32, (-8.0, 8.0)), &Gelu, -8.0, 8.0);
+        assert!(fine < coarse / 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_breakpoint() {
+        uniform_pwl(&Gelu, 1, (-1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_inverted_range() {
+        uniform_pwl(&Gelu, 4, (1.0, -1.0));
+    }
+
+    #[test]
+    fn explicit_breakpoints_builder() {
+        let spec = BoundarySpec::from_activation(&Sigmoid);
+        let pwl = pwl_from_breakpoints(&Sigmoid, vec![-6.0, -1.0, 0.0, 1.0, 6.0], &spec);
+        assert_eq!(pwl.num_breakpoints(), 5);
+        // Middle values exact.
+        assert_eq!(pwl.values()[2], 0.5);
+        // Outer values tied to 0 / 1 asymptotes.
+        assert_eq!(pwl.values()[0], 0.0);
+        assert_eq!(pwl.values()[4], 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Quantization of PWL functions through hardware number formats.
+//!
+//! The hardware stores breakpoints (ADU) and segment coefficients (LTC) in
+//! one of the supported 8/16/32-bit formats. Quantizing the *parameters*
+//! perturbs the approximation; these helpers measure that effect without
+//! running the full hardware model.
+
+use crate::coeffs::CoeffTable;
+use crate::pwl::PwlFunction;
+use flexsfu_formats::DataFormat;
+
+/// Quantizes breakpoints, values and slopes of a PWL function through
+/// `format`, collapsing breakpoints that become equal after quantization.
+///
+/// Returns `None` when so many breakpoints collapse that fewer than two
+/// distinct ones remain (possible for very coarse formats).
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::{quant, PwlFunction};
+/// use flexsfu_formats::{DataFormat, FixedFormat};
+///
+/// let pwl = PwlFunction::new(vec![-1.0, 1.0], vec![-1.0, 1.0], 0.0, 0.0)?;
+/// let q8 = DataFormat::Fixed(FixedFormat::new(8, 4));
+/// let q = quant::quantize_pwl(&pwl, q8).expect("no collapse");
+/// assert_eq!(q.breakpoints(), &[-1.0, 1.0]); // representable exactly
+/// # Ok::<(), flexsfu_core::PwlError>(())
+/// ```
+pub fn quantize_pwl(pwl: &PwlFunction, format: DataFormat) -> Option<PwlFunction> {
+    let mut pairs: Vec<(f64, f64)> = pwl
+        .breakpoints()
+        .iter()
+        .zip(pwl.values())
+        .map(|(&p, &v)| (format.quantize(p), format.quantize(v)))
+        .collect();
+    // Collapse duplicates produced by quantization (keep the first).
+    pairs.dedup_by(|a, b| a.0 == b.0);
+    if pairs.len() < 2 {
+        return None;
+    }
+    let (ps, vs): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+    PwlFunction::new(
+        ps,
+        vs,
+        format.quantize(pwl.left_slope()),
+        format.quantize(pwl.right_slope()),
+    )
+    .ok()
+}
+
+/// Quantizes the `(m, q)` pairs of a coefficient table (what the LTC
+/// actually stores) and the breakpoints (what the ADU stores).
+pub fn quantize_coeff_table(table: &CoeffTable, format: DataFormat) -> CoeffTable {
+    let pwl = table.to_pwl();
+    let (p, _, _, _) = pwl.into_parts();
+    let qp: Vec<f64> = p.iter().map(|&x| format.quantize(x)).collect();
+    // Rebuild a table with quantized slopes/intercepts over quantized
+    // breakpoints. We go through a synthetic PWL to reuse validation.
+    let ms: Vec<f64> = table.slopes().iter().map(|&m| format.quantize(m)).collect();
+    let qs: Vec<f64> = table
+        .intercepts()
+        .iter()
+        .map(|&q| format.quantize(q))
+        .collect();
+    CoeffTable::from_parts(qp, ms, qs)
+}
+
+/// Worst-case additional error introduced by quantizing `pwl` through
+/// `format`, measured on a dense grid over `[a, b]`.
+pub fn quantization_error(pwl: &PwlFunction, format: DataFormat, a: f64, b: f64) -> f64 {
+    let Some(q) = quantize_pwl(pwl, format) else {
+        return f64::INFINITY;
+    };
+    let mut worst = 0.0f64;
+    for i in 0..=2048 {
+        let x = a + (b - a) * i as f64 / 2048.0;
+        worst = worst.max((q.eval(x) - pwl.eval(x)).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::uniform_pwl;
+    use flexsfu_formats::{FixedFormat, FloatFormat};
+    use flexsfu_funcs::{Gelu, Sigmoid};
+
+    #[test]
+    fn fp32_quantization_is_nearly_exact() {
+        let pwl = uniform_pwl(&Gelu, 16, (-8.0, 8.0));
+        let e = quantization_error(
+            &pwl,
+            DataFormat::Float(FloatFormat::FP32),
+            -8.0,
+            8.0,
+        );
+        assert!(e < 1e-5, "fp32 error {e}");
+    }
+
+    #[test]
+    fn fp16_better_than_fp8() {
+        let pwl = uniform_pwl(&Sigmoid, 16, (-8.0, 8.0));
+        let e16 = quantization_error(&pwl, DataFormat::Float(FloatFormat::FP16), -8.0, 8.0);
+        let e8 = quantization_error(&pwl, DataFormat::Float(FloatFormat::FP8), -8.0, 8.0);
+        assert!(e16 < e8, "fp16 {e16} should beat fp8 {e8}");
+    }
+
+    #[test]
+    fn coarse_fixed_format_may_collapse_breakpoints() {
+        // 256 codes at resolution 4 only cover ±. With frac=0 over a dense
+        // grid in [-0.5, 0.5] everything maps to 0 or ±1.
+        let pwl = uniform_pwl(&Sigmoid, 32, (-0.1, 0.1));
+        let very_coarse = DataFormat::Fixed(FixedFormat::new(8, 0));
+        let q = quantize_pwl(&pwl, very_coarse);
+        assert!(q.is_none() || q.unwrap().num_breakpoints() < 32);
+    }
+
+    #[test]
+    fn quantized_table_evaluates_close_to_original() {
+        let pwl = uniform_pwl(&Gelu, 16, (-8.0, 8.0));
+        let table = CoeffTable::from_pwl(&pwl);
+        let qt = quantize_coeff_table(&table, DataFormat::Float(FloatFormat::FP16));
+        for i in -80..=80 {
+            let x = i as f64 * 0.1;
+            let d = (qt.eval(x) - table.eval(x)).abs();
+            // fp16 coefficient error amplified by |x| ≤ 8 stays small.
+            assert!(d < 0.02, "at {x}: {d}");
+        }
+    }
+
+    #[test]
+    fn fixed_format_for_range_keeps_error_within_resolution_scale() {
+        let pwl = uniform_pwl(&Sigmoid, 16, (-8.0, 8.0));
+        let fmt = DataFormat::Fixed(FixedFormat::for_range(16, -8.0, 8.0));
+        let e = quantization_error(&pwl, fmt, -8.0, 8.0);
+        // Parameter quantization error ~ resolution · O(1).
+        assert!(e < 0.01, "q16 error {e}");
+    }
+}

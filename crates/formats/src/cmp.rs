@@ -1,0 +1,166 @@
+//! Monotone integer comparison keys.
+//!
+//! The ADU contains a *single* SIMD comparator circuit that must order both
+//! two's-complement fixed-point codes and sign-magnitude floating-point
+//! patterns (paper, Section III: "a SIMD comparator supporting both
+//! fixed-point and floating-point number formats"). Hardware does this by
+//! remapping each pattern to an unsigned key whose integer order equals the
+//! numeric order:
+//!
+//! * **fixed point** (two's complement): flip the sign bit
+//!   (`key = code XOR 0x80…0`), the classic bias trick;
+//! * **floating point** (sign-magnitude): if the sign bit is set, invert
+//!   all bits; otherwise set the sign bit. Positive floats then sort by
+//!   magnitude and negatives sort reversed, exactly as required.
+//!
+//! Both transforms are pure bit manipulation — one XOR-with-mask layer in
+//! front of an unsigned comparator.
+
+/// Width mask for `bits`-wide patterns stored in a `u32`.
+fn mask(bits: u8) -> u32 {
+    if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+/// Monotone key for a `bits`-wide two's-complement code.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::cmp::fixed_key;
+/// // -1 (0xFF) must sort below 0 (0x00) and 1 (0x01):
+/// assert!(fixed_key(0xFF, 8) < fixed_key(0x00, 8));
+/// assert!(fixed_key(0x00, 8) < fixed_key(0x01, 8));
+/// ```
+pub fn fixed_key(pattern: u32, bits: u8) -> u32 {
+    debug_assert!(pattern <= mask(bits));
+    pattern ^ (1u32 << (bits - 1))
+}
+
+/// Monotone key for a `bits`-wide IEEE-style (sign-magnitude) float pattern.
+///
+/// NaN patterns are not ordered by this key; the hardware never stores NaN
+/// breakpoints (the loader rejects them), so the comparator only ever sees
+/// ordered values.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::cmp::float_key;
+/// // f32 bit patterns: -1.0 < -0.5 < 0.0 < 0.5 < 1.0
+/// let patterns = [
+///     (-1.0f32).to_bits(), (-0.5f32).to_bits(), 0.0f32.to_bits(),
+///     0.5f32.to_bits(), 1.0f32.to_bits(),
+/// ];
+/// let keys: Vec<u32> = patterns.iter().map(|&p| float_key(p, 32)).collect();
+/// assert!(keys.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn float_key(pattern: u32, bits: u8) -> u32 {
+    debug_assert!(pattern <= mask(bits));
+    let sign = 1u32 << (bits - 1);
+    if pattern & sign != 0 {
+        // Negative: invert everything so larger magnitudes sort lower.
+        !pattern & mask(bits)
+    } else {
+        // Positive: bias above all negatives.
+        pattern | sign
+    }
+}
+
+/// Compares two same-format patterns via their keys, returning `true` when
+/// `a` decodes to a value strictly greater than `b` — the `cmpo` signal of
+/// the paper's Figure 3.
+pub fn cmp_greater(a_key: u32, b_key: u32) -> bool {
+    a_key > b_key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedFormat;
+    use crate::minifloat::FloatFormat;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_key_orders_all_i8_codes() {
+        let f = FixedFormat::new(8, 4);
+        let mut pairs: Vec<(f64, u32)> = (-128..=127i64)
+            .map(|c| (f.decode(c), fixed_key(f.code_to_bits(c), 8)))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 < w[1].1, "key order broken at {} vs {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn float_key_orders_all_finite_fp16_patterns() {
+        let f = FloatFormat::FP16;
+        let mut vals: Vec<(f64, u32)> = (0u32..=0xFFFF)
+            .filter_map(|p| {
+                let v = f.decode(p);
+                if v.is_finite() {
+                    Some((v, float_key(p, 16)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in vals.windows(2) {
+            if w[0].0 == w[1].0 {
+                continue; // ±0 decode equal; keys differ but order is fine
+            }
+            assert!(
+                w[0].1 < w[1].1,
+                "float key order broken between {} and {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn zero_handling() {
+        // +0.0 and -0.0 are numerically equal; the keys differ by exactly 1,
+        // with -0.0 just below +0.0, preserving weak ordering.
+        let pos = float_key(0x0000, 16);
+        let neg = float_key(0x8000, 16);
+        assert_eq!(pos, neg + 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f32_keys_match_f64_order(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+            let ka = float_key(a.to_bits(), 32);
+            let kb = float_key(b.to_bits(), 32);
+            if a < b {
+                prop_assert!(ka < kb);
+            } else if a > b {
+                prop_assert!(ka > kb);
+            }
+        }
+
+        #[test]
+        fn prop_fixed_keys_match_value_order(a in -32768i64..=32767, b in -32768i64..=32767) {
+            let f = FixedFormat::new(16, 7);
+            let ka = fixed_key(f.code_to_bits(a), 16);
+            let kb = fixed_key(f.code_to_bits(b), 16);
+            prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        }
+
+        #[test]
+        fn prop_cmp_greater_matches_decoded_comparison(x in -100.0f64..100.0, y in -100.0f64..100.0) {
+            let f = FloatFormat::FP16;
+            let (px, py) = (f.encode(x), f.encode(y));
+            let (vx, vy) = (f.decode(px), f.decode(py));
+            let g = cmp_greater(float_key(px, 16), float_key(py, 16));
+            if vx != vy {
+                prop_assert_eq!(g, vx > vy);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Two's-complement fixed-point Q formats.
+
+/// A signed fixed-point format with `bits` total bits (8, 16 or 32) and
+/// `frac` fractional bits (a "Q(bits-frac-1).(frac)" format).
+///
+/// Values are stored as two's-complement integer codes scaled by `2^-frac`.
+/// Encoding uses round-to-nearest-even with saturation at the format's
+/// representable range, matching typical DNN-accelerator quantizer
+/// behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::FixedFormat;
+///
+/// // Q4.3: 8 bits, 3 fractional → resolution 0.125, range [-16, 15.875]
+/// let q = FixedFormat::new(8, 3);
+/// assert_eq!(q.resolution(), 0.125);
+/// assert_eq!(q.quantize(0.3), 0.25);
+/// assert_eq!(q.quantize(1000.0), q.max_value()); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedFormat {
+    bits: u8,
+    frac: u8,
+}
+
+impl FixedFormat {
+    /// Creates a fixed-point format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 8, 16 or 32, or if `frac >= bits`.
+    pub fn new(bits: u8, frac: u8) -> Self {
+        assert!(
+            matches!(bits, 8 | 16 | 32),
+            "fixed-point width must be 8, 16 or 32 bits, got {bits}"
+        );
+        assert!(
+            frac < bits,
+            "fractional bits ({frac}) must be smaller than total bits ({bits})"
+        );
+        Self { bits, frac }
+    }
+
+    /// Picks the format with the most fractional bits whose range still
+    /// covers `[lo, hi]`.
+    ///
+    /// This is how the hardware-model tests choose a sensible Q format for
+    /// a given activation's input/output range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, if either bound is not finite, or if the range
+    /// does not fit the widest integer part available.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexsfu_formats::FixedFormat;
+    /// let q = FixedFormat::for_range(16, -8.0, 8.0);
+    /// // Needs 4 integer bits (+ sign) for ±8 → 11 fractional bits left.
+    /// assert_eq!(q.frac_bits(), 11);
+    /// ```
+    pub fn for_range(bits: u8, lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
+        let mag = lo.abs().max(hi.abs()).max(f64::MIN_POSITIVE);
+        // Smallest `int_bits` with 2^int_bits > mag (two's complement covers
+        // [-2^i, 2^i - res]; we keep one spare code for simplicity).
+        let mut int_bits = 0u8;
+        while int_bits < bits && ((1u64 << int_bits) as f64) <= mag {
+            int_bits += 1;
+        }
+        assert!(
+            int_bits < bits,
+            "range ±{mag} does not fit in {bits}-bit fixed point"
+        );
+        Self::new(bits, bits - 1 - int_bits)
+    }
+
+    /// Total bit width (8, 16 or 32).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac
+    }
+
+    /// The quantization step `2^-frac`.
+    pub fn resolution(&self) -> f64 {
+        (-(self.frac as f64)).exp2()
+    }
+
+    /// Largest representable value: `(2^(bits-1) - 1) · 2^-frac`.
+    pub fn max_value(&self) -> f64 {
+        (self.max_code() as f64) * self.resolution()
+    }
+
+    /// Smallest (most negative) representable value: `-2^(bits-1) · 2^-frac`.
+    pub fn min_value(&self) -> f64 {
+        (self.min_code() as f64) * self.resolution()
+    }
+
+    fn max_code(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    fn min_code(&self) -> i64 {
+        -(1i64 << (self.bits - 1))
+    }
+
+    /// Encodes `x` into its integer code (two's complement value), with
+    /// round-to-nearest-even and saturation. NaN encodes as 0.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexsfu_formats::FixedFormat;
+    /// let q = FixedFormat::new(8, 3);
+    /// assert_eq!(q.encode(0.25), 2);
+    /// assert_eq!(q.encode(-1.0), -8);
+    /// assert_eq!(q.encode(f64::INFINITY), 127);
+    /// ```
+    pub fn encode(&self, x: f64) -> i64 {
+        if x.is_nan() {
+            return 0;
+        }
+        if x.is_infinite() {
+            return if x > 0.0 { self.max_code() } else { self.min_code() };
+        }
+        let scaled = x / self.resolution();
+        // Round half to even, like hardware quantizers.
+        let code = round_half_even(scaled);
+        code.clamp(self.min_code(), self.max_code())
+    }
+
+    /// Decodes an integer code back to its real value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is outside the format's code range.
+    pub fn decode(&self, code: i64) -> f64 {
+        assert!(
+            (self.min_code()..=self.max_code()).contains(&code),
+            "code {code} out of range for {self:?}"
+        );
+        code as f64 * self.resolution()
+    }
+
+    /// Quantizes `x` through the format (encode then decode).
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.decode(self.encode(x))
+    }
+
+    /// Reinterprets the signed code as the raw `bits`-wide bit pattern
+    /// (zero-extended into a `u32`), as stored in the SIMD memories.
+    pub fn code_to_bits(&self, code: i64) -> u32 {
+        let mask = if self.bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        };
+        (code as i32 as u32) & mask
+    }
+
+    /// Inverse of [`FixedFormat::code_to_bits`] (sign-extends the pattern).
+    pub fn bits_to_code(&self, bits: u32) -> i64 {
+        let shift = 32 - self.bits as u32;
+        (((bits << shift) as i32) >> shift) as i64
+    }
+}
+
+/// Rounds to the nearest integer, ties to even, returning an `i64`.
+fn round_half_even(x: f64) -> i64 {
+    let floor = x.floor();
+    let diff = x - floor;
+    let f = floor as i64;
+    if diff > 0.5 {
+        f + 1
+    } else if diff < 0.5 {
+        f
+    } else if f % 2 == 0 {
+        f
+    } else {
+        f + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_and_range() {
+        let q = FixedFormat::new(8, 3);
+        assert_eq!(q.resolution(), 0.125);
+        assert_eq!(q.max_value(), 15.875);
+        assert_eq!(q.min_value(), -16.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_codes_q8() {
+        let q = FixedFormat::new(8, 5);
+        for code in -128..=127i64 {
+            let v = q.decode(code);
+            assert_eq!(q.encode(v), code, "code {code}");
+            assert_eq!(q.bits_to_code(q.code_to_bits(code)), code);
+        }
+    }
+
+    #[test]
+    fn round_half_even_ties() {
+        let q = FixedFormat::new(8, 1); // resolution 0.5
+        assert_eq!(q.quantize(0.25), 0.0); // tie → even code 0
+        assert_eq!(q.quantize(0.75), 1.0); // tie → even code 2
+        assert_eq!(q.quantize(-0.25), 0.0);
+        assert_eq!(q.quantize(-0.75), -1.0);
+    }
+
+    #[test]
+    fn saturation() {
+        let q = FixedFormat::new(8, 3);
+        assert_eq!(q.quantize(100.0), q.max_value());
+        assert_eq!(q.quantize(-100.0), q.min_value());
+        assert_eq!(q.quantize(f64::INFINITY), q.max_value());
+        assert_eq!(q.quantize(f64::NEG_INFINITY), q.min_value());
+        assert_eq!(q.encode(f64::NAN), 0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_resolution() {
+        let q = FixedFormat::new(16, 8);
+        for i in 0..1000 {
+            let x = -10.0 + i as f64 * 0.02;
+            let e = (q.quantize(x) - x).abs();
+            assert!(e <= q.resolution() / 2.0 + 1e-12, "x={x}, err={e}");
+        }
+    }
+
+    #[test]
+    fn for_range_fits_and_maximizes_precision() {
+        let q = FixedFormat::for_range(16, -8.0, 8.0);
+        assert!(q.min_value() <= -8.0 && q.max_value() >= 8.0 - q.resolution());
+        assert_eq!(q.frac_bits(), 11);
+        let tight = FixedFormat::for_range(8, -0.9, 0.9);
+        assert_eq!(tight.frac_bits(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn for_range_rejects_oversized_range() {
+        FixedFormat::for_range(8, -1e9, 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn rejects_odd_width() {
+        FixedFormat::new(12, 4);
+    }
+
+    #[test]
+    fn bit_patterns_are_twos_complement() {
+        let q = FixedFormat::new(8, 0);
+        assert_eq!(q.code_to_bits(-1), 0xFF);
+        assert_eq!(q.code_to_bits(-128), 0x80);
+        assert_eq!(q.code_to_bits(127), 0x7F);
+        let q32 = FixedFormat::new(32, 16);
+        assert_eq!(q32.code_to_bits(-1), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let q = FixedFormat::new(16, 10);
+        for i in -50..50 {
+            let x = i as f64 * 0.137;
+            let once = q.quantize(x);
+            assert_eq!(q.quantize(once), once);
+        }
+    }
+}

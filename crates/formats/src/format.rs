@@ -1,0 +1,270 @@
+//! The unified [`DataFormat`] the Flex-SFU datapath is generic over.
+
+use crate::cmp;
+use crate::fixed::FixedFormat;
+use crate::minifloat::FloatFormat;
+
+/// Element width of a SIMD computation: the paper's Flex-SFU processes
+/// four 8-bit, two 16-bit or one 32-bit element(s) per cycle per cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemSize {
+    /// 8-bit elements, 4 lanes per 32-bit word.
+    B8,
+    /// 16-bit elements, 2 lanes per 32-bit word.
+    B16,
+    /// 32-bit elements, 1 lane per 32-bit word.
+    B32,
+}
+
+impl ElemSize {
+    /// Element width in bits.
+    pub fn bits(&self) -> u8 {
+        match self {
+            ElemSize::B8 => 8,
+            ElemSize::B16 => 16,
+            ElemSize::B32 => 32,
+        }
+    }
+
+    /// Number of elements packed in one 32-bit word (4, 2 or 1).
+    pub fn lanes_per_word(&self) -> usize {
+        32 / self.bits() as usize
+    }
+
+    /// The size matching a bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 8, 16 or 32.
+    pub fn from_bits(bits: u8) -> Self {
+        match bits {
+            8 => ElemSize::B8,
+            16 => ElemSize::B16,
+            32 => ElemSize::B32,
+            other => panic!("unsupported element width: {other} bits"),
+        }
+    }
+}
+
+/// A concrete number format: fixed-point or floating-point, 8/16/32 bits.
+///
+/// This is the type the hardware model is parameterized by — breakpoints,
+/// coefficients and input data are all stored and compared in one
+/// `DataFormat`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::{DataFormat, FixedFormat, FloatFormat};
+///
+/// let q = DataFormat::Fixed(FixedFormat::new(16, 8));
+/// let f = DataFormat::Float(FloatFormat::FP16);
+/// assert_eq!(q.bits(), 16);
+/// assert_eq!(f.bits(), 16);
+/// assert_eq!(q.quantize(0.50001), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataFormat {
+    /// Two's-complement fixed point.
+    Fixed(FixedFormat),
+    /// IEEE-style floating point.
+    Float(FloatFormat),
+}
+
+impl DataFormat {
+    /// Total storage width in bits (8, 16 or 32).
+    pub fn bits(&self) -> u8 {
+        match self {
+            DataFormat::Fixed(f) => f.bits(),
+            DataFormat::Float(f) => f.bits(),
+        }
+    }
+
+    /// The SIMD element size of this format.
+    pub fn elem_size(&self) -> ElemSize {
+        ElemSize::from_bits(self.bits())
+    }
+
+    /// Encodes `x` into the raw bit pattern stored in the SIMD memories.
+    pub fn encode(&self, x: f64) -> u32 {
+        match self {
+            DataFormat::Fixed(f) => f.code_to_bits(f.encode(x)),
+            DataFormat::Float(f) => f.encode(x),
+        }
+    }
+
+    /// Decodes a raw bit pattern back to its real value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is wider than the format.
+    pub fn decode(&self, pattern: u32) -> f64 {
+        match self {
+            DataFormat::Fixed(f) => f.decode(f.bits_to_code(pattern)),
+            DataFormat::Float(f) => f.decode(pattern),
+        }
+    }
+
+    /// Quantizes `x` through the format (encode then decode).
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.decode(self.encode(x))
+    }
+
+    /// Maps a bit pattern to its *monotone comparison key*: an unsigned
+    /// integer whose order matches the numeric order of the decoded values.
+    ///
+    /// This is the operation the ADU's SIMD comparator performs — one
+    /// unsigned comparator circuit serves both fixed- and floating-point
+    /// data. See [`cmp`](crate::cmp) for the underlying transforms.
+    pub fn compare_key(&self, pattern: u32) -> u32 {
+        match self {
+            DataFormat::Fixed(f) => cmp::fixed_key(pattern, f.bits()),
+            DataFormat::Float(f) => cmp::float_key(pattern, f.bits()),
+        }
+    }
+
+    /// Largest representable finite value.
+    pub fn max_value(&self) -> f64 {
+        match self {
+            DataFormat::Fixed(f) => f.max_value(),
+            DataFormat::Float(f) => f.max_finite(),
+        }
+    }
+
+    /// Smallest representable finite value (most negative).
+    pub fn min_value(&self) -> f64 {
+        match self {
+            DataFormat::Fixed(f) => f.min_value(),
+            DataFormat::Float(f) => -f.max_finite(),
+        }
+    }
+
+    /// A human-readable label like `"q8.3"` or `"fp16"`, used by reports.
+    pub fn label(&self) -> String {
+        match self {
+            DataFormat::Fixed(f) => {
+                format!("q{}.{}", f.bits() - 1 - f.frac_bits(), f.frac_bits())
+            }
+            DataFormat::Float(f) => match (f.exp_bits(), f.man_bits()) {
+                (4, 3) => "fp8".to_string(),
+                (5, 10) => "fp16".to_string(),
+                (8, 7) => "bf16".to_string(),
+                (8, 23) => "fp32".to_string(),
+                (e, m) => format!("e{e}m{m}"),
+            },
+        }
+    }
+
+    /// The standard float format of each width (FP8 / FP16 / FP32).
+    pub fn standard_float(size: ElemSize) -> Self {
+        DataFormat::Float(match size {
+            ElemSize::B8 => FloatFormat::FP8,
+            ElemSize::B16 => FloatFormat::FP16,
+            ElemSize::B32 => FloatFormat::FP32,
+        })
+    }
+
+    /// A fixed-point format of the given width covering `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`FixedFormat::for_range`].
+    pub fn fixed_for_range(size: ElemSize, lo: f64, hi: f64) -> Self {
+        DataFormat::Fixed(FixedFormat::for_range(size.bits(), lo, hi))
+    }
+}
+
+impl std::fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_size_lanes() {
+        assert_eq!(ElemSize::B8.lanes_per_word(), 4);
+        assert_eq!(ElemSize::B16.lanes_per_word(), 2);
+        assert_eq!(ElemSize::B32.lanes_per_word(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported element width")]
+    fn elem_size_rejects_odd_width() {
+        ElemSize::from_bits(24);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DataFormat::Float(FloatFormat::FP16).label(), "fp16");
+        assert_eq!(DataFormat::Fixed(FixedFormat::new(8, 3)).label(), "q4.3");
+        assert_eq!(
+            DataFormat::Float(FloatFormat::new(3, 2)).label(),
+            "e3m2"
+        );
+        assert_eq!(
+            format!("{}", DataFormat::Float(FloatFormat::FP8)),
+            "fp8"
+        );
+    }
+
+    #[test]
+    fn quantize_roundtrip_both_families() {
+        let formats = [
+            DataFormat::Fixed(FixedFormat::new(16, 8)),
+            DataFormat::Float(FloatFormat::FP16),
+        ];
+        for fmt in formats {
+            for i in -100..=100 {
+                let x = i as f64 * 0.07;
+                let q = fmt.quantize(x);
+                // Idempotent and close.
+                assert_eq!(fmt.quantize(q), q);
+                assert!((q - x).abs() < 0.01, "{fmt}: {x} → {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_keys_are_monotone_across_formats() {
+        let formats = [
+            DataFormat::Fixed(FixedFormat::new(8, 4)),
+            DataFormat::Float(FloatFormat::FP8),
+            DataFormat::Float(FloatFormat::FP16),
+        ];
+        for fmt in formats {
+            let xs: Vec<f64> = (-60..=60).map(|i| i as f64 * 0.11).collect();
+            let mut prev_key = None;
+            let mut prev_val = f64::NEG_INFINITY;
+            for &x in &xs {
+                let q = fmt.quantize(x);
+                if q <= prev_val {
+                    continue; // quantization collapsed adjacent values
+                }
+                let key = fmt.compare_key(fmt.encode(q));
+                if let Some(pk) = prev_key {
+                    assert!(key > pk, "{fmt}: key order broken at {x}");
+                }
+                prev_key = Some(key);
+                prev_val = q;
+            }
+        }
+    }
+
+    #[test]
+    fn standard_float_widths() {
+        assert_eq!(DataFormat::standard_float(ElemSize::B8).bits(), 8);
+        assert_eq!(DataFormat::standard_float(ElemSize::B16).bits(), 16);
+        assert_eq!(DataFormat::standard_float(ElemSize::B32).bits(), 32);
+    }
+
+    #[test]
+    fn fixed_for_range_covers_interval() {
+        let f = DataFormat::fixed_for_range(ElemSize::B16, -8.0, 8.0);
+        assert!(f.min_value() <= -8.0);
+        assert!(f.max_value() >= 7.99);
+    }
+}

@@ -1,0 +1,45 @@
+//! # flexsfu-formats
+//!
+//! Number-format substrate for the Flex-SFU hardware model.
+//!
+//! The paper's accelerator supports **8-, 16- and 32-bit fixed-point and
+//! floating-point** inputs (Section III). This crate implements, from
+//! scratch (bit-level, no `half`/`fixed` dependencies):
+//!
+//! * [`FixedFormat`] — runtime-parameterized two's-complement Q formats with
+//!   round-to-nearest-even and saturation,
+//! * [`FloatFormat`] — a generic IEEE-754-style minifloat codec covering
+//!   FP8 (E4M3), FP16 (E5M10), BF16 (E8M7) and FP32 (E8M23), including
+//!   subnormals and round-to-nearest-even,
+//! * [`DataFormat`] — the tagged union the datapath is generic over,
+//! * [`cmp`] — the *monotone integer comparison key* trick used by the
+//!   ADU's SIMD comparator: floats and fixed-point codes are mapped to
+//!   unsigned keys whose integer order equals the numeric order, which is
+//!   how a single hardware comparator serves every supported format,
+//! * [`pack`] — SIMD lane packing of 8/16/32-bit elements into the 32-bit
+//!   memory words used by the ADU/LTC single-port memories,
+//! * [`ulp`] — unit-in-the-last-place helpers, including the paper's
+//!   "1 Float16 ULP at base 1" threshold lines of Figure 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexsfu_formats::{DataFormat, FloatFormat};
+//!
+//! let f16 = DataFormat::Float(FloatFormat::FP16);
+//! // Quantizing through the format: encode then decode.
+//! let q = f16.quantize(0.1);
+//! assert!((q - 0.1).abs() < 1e-4);
+//! ```
+
+pub mod cmp;
+pub mod pack;
+pub mod ulp;
+
+mod fixed;
+mod format;
+mod minifloat;
+
+pub use fixed::FixedFormat;
+pub use format::{DataFormat, ElemSize};
+pub use minifloat::FloatFormat;

@@ -1,0 +1,450 @@
+//! Generic IEEE-754-style minifloat codec.
+
+/// A binary floating-point format with a sign bit, `exp_bits` exponent bits
+/// and `man_bits` mantissa bits, following IEEE-754 conventions (biased
+/// exponent, hidden leading one, subnormals, exponent-all-ones = Inf/NaN).
+///
+/// The four formats used by the Flex-SFU datapath are provided as
+/// constants: [`FloatFormat::FP8`] (E4M3), [`FloatFormat::FP16`] (E5M10),
+/// [`FloatFormat::BF16`] (E8M7) and [`FloatFormat::FP32`] (E8M23).
+///
+/// Note: production FP8-E4M3 (the OCP variant) drops infinities to extend
+/// the max magnitude to 448; we keep IEEE semantics uniformly across
+/// formats for simplicity — the approximation experiments never exercise
+/// values near the FP8 saturation point.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::FloatFormat;
+///
+/// let f16 = FloatFormat::FP16;
+/// assert_eq!(f16.bits(), 16);
+/// // Round-trip through the 16-bit encoding:
+/// let q = f16.decode(f16.encode(1.0 / 3.0));
+/// assert!((q - 1.0 / 3.0).abs() < 1e-4);
+/// // f32 round-trips exactly:
+/// let f32f = FloatFormat::FP32;
+/// assert_eq!(f32f.decode(f32f.encode(0.1)), 0.1f32 as f64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    exp_bits: u8,
+    man_bits: u8,
+}
+
+impl FloatFormat {
+    /// 8-bit E4M3 minifloat.
+    pub const FP8: Self = Self {
+        exp_bits: 4,
+        man_bits: 3,
+    };
+    /// IEEE half precision (E5M10).
+    pub const FP16: Self = Self {
+        exp_bits: 5,
+        man_bits: 10,
+    };
+    /// bfloat16 (E8M7).
+    pub const BF16: Self = Self {
+        exp_bits: 8,
+        man_bits: 7,
+    };
+    /// IEEE single precision (E8M23).
+    pub const FP32: Self = Self {
+        exp_bits: 8,
+        man_bits: 23,
+    };
+
+    /// Creates a custom format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits` is not in `2..=8`, `man_bits` not in `1..=23`,
+    /// or the total width `1 + exp_bits + man_bits` exceeds 32.
+    pub fn new(exp_bits: u8, man_bits: u8) -> Self {
+        assert!(
+            (2..=8).contains(&exp_bits),
+            "exponent width must be in 2..=8, got {exp_bits}"
+        );
+        assert!(
+            (1..=23).contains(&man_bits),
+            "mantissa width must be in 1..=23, got {man_bits}"
+        );
+        assert!(1 + exp_bits + man_bits <= 32, "format exceeds 32 bits");
+        Self { exp_bits, man_bits }
+    }
+
+    /// Total storage width in bits (`1 + exp_bits + man_bits`).
+    pub fn bits(&self) -> u8 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Exponent field width.
+    pub fn exp_bits(&self) -> u8 {
+        self.exp_bits
+    }
+
+    /// Mantissa field width.
+    pub fn man_bits(&self) -> u8 {
+        self.man_bits
+    }
+
+    /// Exponent bias `2^(exp_bits-1) - 1`.
+    pub fn bias(&self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Minimum normal (unbiased) exponent, `1 - bias`.
+    fn emin(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Maximum finite (unbiased) exponent, equal to the bias.
+    fn emax(&self) -> i32 {
+        self.bias()
+    }
+
+    /// Largest finite value `(2 - 2^-man_bits) · 2^emax`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexsfu_formats::FloatFormat;
+    /// assert_eq!(FloatFormat::FP16.max_finite(), 65504.0);
+    /// ```
+    pub fn max_finite(&self) -> f64 {
+        (2.0 - (-(self.man_bits as f64)).exp2()) * (self.emax() as f64).exp2()
+    }
+
+    /// Smallest positive normal value `2^emin`.
+    pub fn min_positive_normal(&self) -> f64 {
+        (self.emin() as f64).exp2()
+    }
+
+    /// Smallest positive subnormal value `2^(emin - man_bits)`.
+    pub fn min_positive_subnormal(&self) -> f64 {
+        ((self.emin() - self.man_bits as i32) as f64).exp2()
+    }
+
+    fn exp_field_max(&self) -> u32 {
+        (1 << self.exp_bits) - 1
+    }
+
+    fn man_mask(&self) -> u32 {
+        (1 << self.man_bits) - 1
+    }
+
+    fn sign_bit(&self) -> u32 {
+        1 << (self.bits() - 1)
+    }
+
+    /// Encodes `x` to the format's bit pattern (round-to-nearest-even).
+    ///
+    /// Values overflowing the format become ±Inf; NaN encodes to a quiet
+    /// NaN pattern; underflow goes through subnormals to ±0.
+    pub fn encode(&self, x: f64) -> u32 {
+        let sign = if x.is_sign_negative() {
+            self.sign_bit()
+        } else {
+            0
+        };
+        if x.is_nan() {
+            // Quiet NaN: exponent all ones, MSB of mantissa set.
+            return self.exp_field_max() << self.man_bits | (1 << (self.man_bits - 1));
+        }
+        let a = x.abs();
+        if a == 0.0 {
+            return sign;
+        }
+        if a.is_infinite() {
+            return sign | self.exp_field_max() << self.man_bits;
+        }
+        // Unbiased exponent of `a` taken from the f64 representation
+        // (f64 subnormals are far below any minifloat subnormal → exp
+        // saturates low and the value rounds to zero naturally).
+        let f64_bits = a.to_bits();
+        let e_f64 = ((f64_bits >> 52) & 0x7FF) as i32 - 1023;
+        let e = e_f64.max(self.emin() - self.man_bits as i32 - 2);
+        // The rounding quantum is 2^(max(e, emin) - man_bits).
+        let q_exp = e.max(self.emin()) - self.man_bits as i32;
+        // Multiplying by a power of two is exact in f64 for our ranges.
+        let scaled = a * (-(q_exp as f64)).exp2();
+        let r = round_half_even_u64(scaled);
+        if r == 0 {
+            return sign; // underflow to zero
+        }
+        let man_one = 1u64 << self.man_bits;
+        let (exp_unbiased, mantissa) = if e.max(self.emin()) == self.emin() && r < man_one {
+            // Subnormal result: exponent field 0.
+            return sign | r as u32;
+        } else if r >= 2 * man_one {
+            // Rounding carried into the next binade.
+            (e.max(self.emin()) + 1, 0u64)
+        } else if r >= man_one {
+            (e.max(self.emin()), r - man_one)
+        } else {
+            // r in [1, man_one): can only happen when e == emin exactly and
+            // the value rounded down into the subnormal range.
+            return sign | r as u32;
+        };
+        if exp_unbiased > self.emax() {
+            return sign | self.exp_field_max() << self.man_bits; // overflow → Inf
+        }
+        let biased = (exp_unbiased + self.bias()) as u32;
+        sign | biased << self.man_bits | mantissa as u32
+    }
+
+    /// Decodes a bit pattern to its exact `f64` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` has bits set above the format width.
+    pub fn decode(&self, pattern: u32) -> f64 {
+        assert!(
+            self.bits() == 32 || pattern < (1u32 << self.bits()),
+            "pattern {pattern:#x} wider than {} bits",
+            self.bits()
+        );
+        let sign = if pattern & self.sign_bit() != 0 { -1.0 } else { 1.0 };
+        let exp_field = (pattern >> self.man_bits) & self.exp_field_max();
+        let man = pattern & self.man_mask();
+        if exp_field == self.exp_field_max() {
+            return if man == 0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            };
+        }
+        let scale = ((self.emin() - self.man_bits as i32) as f64).exp2();
+        if exp_field == 0 {
+            sign * man as f64 * scale
+        } else {
+            let significand = (1u64 << self.man_bits) + man as u64;
+            sign * significand as f64
+                * ((exp_field as i32 - self.bias() - self.man_bits as i32) as f64).exp2()
+        }
+    }
+
+    /// Quantizes `x` through the format (encode, then decode).
+    pub fn quantize(&self, x: f64) -> f64 {
+        self.decode(self.encode(x))
+    }
+
+    /// The unit in the last place at magnitude `|v|`: the spacing between
+    /// consecutive representable values in `v`'s binade.
+    pub fn ulp_at(&self, v: f64) -> f64 {
+        let a = v.abs();
+        if a == 0.0 || !a.is_finite() {
+            return self.min_positive_subnormal();
+        }
+        let e_f64 = ((a.to_bits() >> 52) & 0x7FF) as i32 - 1023;
+        let e = e_f64.max(self.emin());
+        ((e - self.man_bits as i32) as f64).exp2()
+    }
+}
+
+/// Rounds a non-negative `f64` to the nearest integer, ties to even.
+fn round_half_even_u64(x: f64) -> u64 {
+    debug_assert!(x >= 0.0);
+    let floor = x.floor();
+    let diff = x - floor;
+    let f = floor as u64;
+    if diff > 0.5 {
+        f + 1
+    } else if diff < 0.5 {
+        f
+    } else if f % 2 == 0 {
+        f
+    } else {
+        f + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_well_known_constants() {
+        let f = FloatFormat::FP16;
+        assert_eq!(f.bits(), 16);
+        assert_eq!(f.bias(), 15);
+        assert_eq!(f.max_finite(), 65504.0);
+        assert_eq!(f.min_positive_normal(), 6.103515625e-5);
+        assert_eq!(f.min_positive_subnormal(), 5.960464477539063e-8);
+    }
+
+    #[test]
+    fn fp16_known_encodings() {
+        let f = FloatFormat::FP16;
+        // Values from the IEEE-754 half-precision examples.
+        assert_eq!(f.encode(1.0), 0x3C00);
+        assert_eq!(f.encode(-2.0), 0xC000);
+        assert_eq!(f.encode(65504.0), 0x7BFF);
+        assert_eq!(f.encode(0.0), 0x0000);
+        assert_eq!(f.encode(-0.0), 0x8000);
+        assert_eq!(f.encode(f64::INFINITY), 0x7C00);
+        assert_eq!(f.encode(6.103515625e-5), 0x0400); // min normal
+        assert_eq!(f.encode(5.960464477539063e-8), 0x0001); // min subnormal
+        assert_eq!(f.encode(0.333251953125), 0x3555); // nearest f16 to 1/3
+    }
+
+    #[test]
+    fn decode_inverts_encode_on_all_fp16_patterns() {
+        let f = FloatFormat::FP16;
+        for pattern in 0u32..=0xFFFF {
+            let v = f.decode(pattern);
+            if v.is_nan() {
+                let back = f.encode(v);
+                assert!(f.decode(back).is_nan());
+                continue;
+            }
+            let back = f.encode(v);
+            // -0.0 and 0.0 are distinct patterns but both valid.
+            assert_eq!(
+                f.decode(back).to_bits(),
+                v.to_bits(),
+                "pattern {pattern:#06x} → {v} → {back:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_on_all_fp8_patterns() {
+        let f = FloatFormat::FP8;
+        for pattern in 0u32..=0xFF {
+            let v = f.decode(pattern);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(f.decode(f.encode(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn fp32_matches_native_f32() {
+        let f = FloatFormat::FP32;
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            std::f64::consts::PI,
+            1e-40, // f32 subnormal
+            3.4e38,
+            1e39, // overflows f32 → inf
+            -2.5e-45,
+        ] {
+            let want = x as f32;
+            let got = f.decode(f.encode(x));
+            assert_eq!(
+                got.to_bits(),
+                (want as f64).to_bits(),
+                "x = {x}: got {got}, want {want}"
+            );
+        }
+        assert_eq!(f.encode(1.0f64), 1.0f32.to_bits());
+        assert_eq!(f.encode(-0.375), (-0.375f32).to_bits());
+    }
+
+    #[test]
+    fn fp32_random_values_match_native() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let f = FloatFormat::FP32;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            let v = (x - 0.5) * 1e6;
+            assert_eq!(f.quantize(v), v as f32 as f64, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn rne_ties_to_even() {
+        let f = FloatFormat::FP8; // 3 mantissa bits: values 1.0, 1.125, ...
+        // 1.0625 is exactly halfway between 1.0 (even mantissa 000) and
+        // 1.125 (odd mantissa 001) → rounds to 1.0.
+        assert_eq!(f.quantize(1.0625), 1.0);
+        // 1.1875 is halfway between 1.125 (001) and 1.25 (010) → 1.25.
+        assert_eq!(f.quantize(1.1875), 1.25);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let f = FloatFormat::FP16;
+        assert_eq!(f.quantize(1e6), f64::INFINITY);
+        assert_eq!(f.quantize(-1e6), f64::NEG_INFINITY);
+        // Largest value that still rounds down to max_finite.
+        assert_eq!(f.quantize(65519.0), 65504.0);
+        assert_eq!(f.quantize(65520.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn underflow_to_zero_and_subnormals() {
+        let f = FloatFormat::FP16;
+        let min_sub = f.min_positive_subnormal();
+        assert_eq!(f.quantize(min_sub), min_sub);
+        assert_eq!(f.quantize(min_sub * 0.49), 0.0);
+        assert_eq!(f.quantize(min_sub * 0.51), min_sub);
+        assert_eq!(f.quantize(1e-300), 0.0);
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        for f in [FloatFormat::FP8, FloatFormat::FP16, FloatFormat::BF16] {
+            assert!(f.decode(f.encode(f64::NAN)).is_nan());
+        }
+    }
+
+    #[test]
+    fn bf16_truncates_f32_exponent_range() {
+        let f = FloatFormat::BF16;
+        assert_eq!(f.bias(), 127);
+        // bf16 covers the f32 exponent range.
+        assert!(f.quantize(1e38).is_finite());
+        assert!((f.quantize(1e38) - 1e38).abs() / 1e38 < 0.01);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_ulp() {
+        let f = FloatFormat::FP16;
+        for i in 1..2000 {
+            let x = i as f64 * 0.01 - 10.0;
+            if x == 0.0 {
+                continue;
+            }
+            let err = (f.quantize(x) - x).abs();
+            assert!(
+                err <= f.ulp_at(x) / 2.0 + 1e-18,
+                "x = {x}: err {err} > ulp/2 {}",
+                f.ulp_at(x) / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn ulp_at_one_is_two_pow_neg_man_bits() {
+        assert_eq!(FloatFormat::FP16.ulp_at(1.0), 2f64.powi(-10));
+        assert_eq!(FloatFormat::FP8.ulp_at(1.0), 0.125);
+        assert_eq!(FloatFormat::FP32.ulp_at(1.0), 2f64.powi(-23));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn decode_rejects_wide_patterns() {
+        FloatFormat::FP8.decode(0x100);
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        for f in [FloatFormat::FP8, FloatFormat::FP16, FloatFormat::BF16] {
+            for i in -100..100 {
+                let x = i as f64 * 0.173;
+                let once = f.quantize(x);
+                assert_eq!(f.quantize(once), once, "{f:?} at {x}");
+            }
+        }
+    }
+}

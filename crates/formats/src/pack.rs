@@ -1,0 +1,173 @@
+//! SIMD lane packing into 32-bit memory words.
+//!
+//! The ADU and LTC use four 8-bit-wide single-port memories per cluster
+//! (paper, Figure 3). A 32-bit datum occupies one slice of each memory; two
+//! 16-bit data occupy two slices each; four 8-bit data occupy one slice
+//! each. This module packs/unpacks element bit patterns into the 32-bit
+//! word layout those memories store, little-endian in lane order (lane 0 in
+//! the least significant bits, matching slice `b₀`).
+
+use crate::format::ElemSize;
+
+/// Packs up to `lanes_per_word` element patterns into one 32-bit word.
+///
+/// Lane 0 goes to the least-significant bits. Missing trailing lanes are
+/// zero-filled (hardware leaves unused slices idle).
+///
+/// # Panics
+///
+/// Panics if more lanes are supplied than fit, or if any element exceeds
+/// its width.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::pack::pack_word;
+/// use flexsfu_formats::ElemSize;
+///
+/// assert_eq!(pack_word(&[0xAB, 0xCD, 0x01, 0x23], ElemSize::B8), 0x2301CDAB);
+/// assert_eq!(pack_word(&[0xBEEF, 0xDEAD], ElemSize::B16), 0xDEADBEEF);
+/// assert_eq!(pack_word(&[0x12345678], ElemSize::B32), 0x12345678);
+/// ```
+pub fn pack_word(lanes: &[u32], size: ElemSize) -> u32 {
+    let n = size.lanes_per_word();
+    assert!(
+        lanes.len() <= n,
+        "{} lanes supplied but {size:?} fits only {n} per word",
+        lanes.len()
+    );
+    let width = size.bits() as u32;
+    let lane_mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let mut word = 0u32;
+    for (i, &lane) in lanes.iter().enumerate() {
+        assert!(lane <= lane_mask, "lane {i} value {lane:#x} exceeds {width} bits");
+        word |= lane << (i as u32 * width);
+    }
+    word
+}
+
+/// Unpacks a 32-bit word into its element patterns (inverse of
+/// [`pack_word`], always returning a full `lanes_per_word()` vector).
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::pack::{pack_word, unpack_word};
+/// use flexsfu_formats::ElemSize;
+///
+/// let word = pack_word(&[1, 2], ElemSize::B16);
+/// assert_eq!(unpack_word(word, ElemSize::B16), vec![1, 2]);
+/// ```
+pub fn unpack_word(word: u32, size: ElemSize) -> Vec<u32> {
+    let width = size.bits() as u32;
+    let lane_mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    (0..size.lanes_per_word())
+        .map(|i| (word >> (i as u32 * width)) & lane_mask)
+        .collect()
+}
+
+/// Packs a stream of element patterns into 32-bit words, zero-padding the
+/// final word. This is the layout `exe.af()` consumes: the DCU receives
+/// 32-bit beats and fans the lanes out to the comparators.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::pack::pack_stream;
+/// use flexsfu_formats::ElemSize;
+///
+/// let words = pack_stream(&[1, 2, 3, 4, 5], ElemSize::B8);
+/// assert_eq!(words.len(), 2); // 5 bytes → 2 words
+/// ```
+pub fn pack_stream(elems: &[u32], size: ElemSize) -> Vec<u32> {
+    elems
+        .chunks(size.lanes_per_word())
+        .map(|chunk| pack_word(chunk, size))
+        .collect()
+}
+
+/// Unpacks a word stream back into exactly `count` element patterns.
+///
+/// # Panics
+///
+/// Panics if the words cannot hold `count` elements.
+pub fn unpack_stream(words: &[u32], size: ElemSize, count: usize) -> Vec<u32> {
+    let capacity = words.len() * size.lanes_per_word();
+    assert!(
+        count <= capacity,
+        "cannot unpack {count} elements from {capacity} lanes"
+    );
+    let mut out = Vec::with_capacity(count);
+    'outer: for &w in words {
+        for lane in unpack_word(w, size) {
+            if out.len() == count {
+                break 'outer;
+            }
+            out.push(lane);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_roundtrip_exact_words() {
+        for size in [ElemSize::B8, ElemSize::B16, ElemSize::B32] {
+            let n = size.lanes_per_word();
+            let lanes: Vec<u32> = (0..n as u32).map(|i| i + 1).collect();
+            let w = pack_word(&lanes, size);
+            assert_eq!(unpack_word(w, size), lanes);
+        }
+    }
+
+    #[test]
+    fn partial_word_zero_fills() {
+        let w = pack_word(&[0xFF], ElemSize::B8);
+        assert_eq!(w, 0xFF);
+        assert_eq!(unpack_word(w, ElemSize::B8), vec![0xFF, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 8 bits")]
+    fn oversized_lane_panics() {
+        pack_word(&[0x100], ElemSize::B8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fits only")]
+    fn too_many_lanes_panics() {
+        pack_word(&[0, 0], ElemSize::B32);
+    }
+
+    #[test]
+    fn stream_roundtrip_with_padding() {
+        let elems: Vec<u32> = (0..7).collect();
+        let words = pack_stream(&elems, ElemSize::B8);
+        assert_eq!(words.len(), 2);
+        assert_eq!(unpack_stream(&words, ElemSize::B8, 7), elems);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot unpack")]
+    fn unpack_stream_over_capacity_panics() {
+        unpack_stream(&[0], ElemSize::B32, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stream_roundtrip_b16(elems in proptest::collection::vec(0u32..=0xFFFF, 0..64)) {
+            let words = pack_stream(&elems, ElemSize::B16);
+            prop_assert_eq!(unpack_stream(&words, ElemSize::B16, elems.len()), elems);
+        }
+
+        #[test]
+        fn prop_word_roundtrip_b8(lanes in proptest::collection::vec(0u32..=0xFF, 4)) {
+            let w = pack_word(&lanes, ElemSize::B8);
+            prop_assert_eq!(unpack_word(w, ElemSize::B8), lanes);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Unit-in-the-last-place thresholds.
+//!
+//! Figure 5 of the paper draws two horizontal reference lines: the MAE and
+//! MSE corresponding to "1 Float16 ULP, defined as the single-bit error at
+//! a base of 1". A half-precision number at magnitude 1 has a mantissa
+//! quantum of `2^-10`; an approximation whose maximum absolute error stays
+//! below that is indistinguishable from FP16 rounding at base 1, and an
+//! approximation whose *mean squared* error stays below `(2^-10)²` has an
+//! RMS error below one such ULP.
+
+use crate::minifloat::FloatFormat;
+
+/// One Float16 ULP at base 1: `2^-10 ≈ 9.77e-4`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flexsfu_formats::ulp::F16_ULP_AT_1, 2f64.powi(-10));
+/// ```
+pub const F16_ULP_AT_1: f64 = 0.0009765625;
+
+/// The Figure 5 MAE reference line: one Float16 ULP at base 1.
+pub fn f16_one_ulp_mae() -> f64 {
+    F16_ULP_AT_1
+}
+
+/// The Figure 5 MSE reference line: the square of one Float16 ULP at base 1
+/// (an MSE below this means the RMS error is below one ULP).
+pub fn f16_one_ulp_mse() -> f64 {
+    F16_ULP_AT_1 * F16_ULP_AT_1
+}
+
+/// Measures the error of `approx` relative to `exact` in ULPs of the given
+/// format at the exact value's magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::{ulp, FloatFormat};
+/// // Half an ULP of error at base 1:
+/// let e = ulp::error_in_ulps(1.0 + 2f64.powi(-11), 1.0, FloatFormat::FP16);
+/// assert!((e - 0.5).abs() < 1e-12);
+/// ```
+pub fn error_in_ulps(approx: f64, exact: f64, format: FloatFormat) -> f64 {
+    (approx - exact).abs() / format.ulp_at(exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_ulp_constant_matches_format() {
+        assert_eq!(F16_ULP_AT_1, FloatFormat::FP16.ulp_at(1.0));
+        assert_eq!(f16_one_ulp_mae(), F16_ULP_AT_1);
+        assert_eq!(f16_one_ulp_mse(), F16_ULP_AT_1.powi(2));
+    }
+
+    #[test]
+    fn mse_line_is_below_mae_line() {
+        // With ULP < 1 the squared threshold is the stricter one, matching
+        // the relative position of the two lines in Figure 5.
+        assert!(f16_one_ulp_mse() < f16_one_ulp_mae());
+    }
+
+    #[test]
+    fn error_in_ulps_scales_with_binade() {
+        let f = FloatFormat::FP16;
+        // Same absolute error is more ULPs at smaller magnitudes.
+        let e_small = error_in_ulps(0.25 + 1e-4, 0.25, f);
+        let e_large = error_in_ulps(4.0 + 1e-4, 4.0, f);
+        assert!(e_small > e_large);
+    }
+
+    #[test]
+    fn fp16_quantization_is_at_most_half_ulp() {
+        let f = FloatFormat::FP16;
+        for i in 1..500 {
+            let x = i as f64 * 0.013;
+            let q = f.quantize(x);
+            assert!(error_in_ulps(q, x, f) <= 0.5 + 1e-9, "x = {x}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The [`Activation`] trait: the contract every reference function satisfies.
+
+use crate::asymptote::Asymptotes;
+
+/// A scalar activation function with the metadata needed by the Flex-SFU
+/// approximation pipeline.
+///
+/// The trait is object-safe: the optimizer, the hardware model and the NN
+/// substrate all consume `&dyn Activation`, so user-defined functions can be
+/// approximated exactly like the built-in ones.
+///
+/// # Examples
+///
+/// Implementing a custom activation:
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Asymptote, Asymptotes};
+///
+/// #[derive(Debug)]
+/// struct Swish2;
+///
+/// impl Activation for Swish2 {
+///     fn name(&self) -> &'static str { "swish2" }
+///     fn eval(&self, x: f64) -> f64 { x * flexsfu_funcs::math::sigmoid(2.0 * x) }
+///     fn asymptotes(&self) -> Asymptotes {
+///         Asymptotes::new(Asymptote::constant(0.0), Asymptote::identity())
+///     }
+/// }
+///
+/// let s = Swish2;
+/// assert_eq!(s.eval(0.0), 0.0);
+/// ```
+pub trait Activation {
+    /// Short lower-case identifier (`"gelu"`, `"silu"`, ...), unique within
+    /// the registry.
+    fn name(&self) -> &'static str;
+
+    /// Exact double-precision value of the function at `x`.
+    fn eval(&self, x: f64) -> f64;
+
+    /// First derivative at `x`.
+    ///
+    /// The default implementation uses a central finite difference with step
+    /// `h = max(1e-6, 1e-6·|x|)`; implementors with a cheap closed form
+    /// should override it.
+    fn derivative(&self, x: f64) -> f64 {
+        let h = 1e-6_f64.max(1e-6 * x.abs());
+        (self.eval(x + h) - self.eval(x - h)) / (2.0 * h)
+    }
+
+    /// The function's left/right asymptotes, used for boundary conditions.
+    fn asymptotes(&self) -> Asymptotes;
+
+    /// The interpolation interval used in the paper's evaluation for this
+    /// function. Defaults to `[-8, 8]` (Figure 5); `Exp` overrides it to
+    /// `[-10, 0.1]`.
+    fn default_range(&self) -> (f64, f64) {
+        (-8.0, 8.0)
+    }
+
+    /// Evaluates the function over a slice, writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `out` have different lengths.
+    fn eval_slice(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = self.eval(x);
+        }
+    }
+
+    /// Convenience allocation variant of [`Activation::eval_slice`].
+    fn eval_vec(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymptote::Asymptote;
+
+    #[derive(Debug)]
+    struct Cube;
+
+    impl Activation for Cube {
+        fn name(&self) -> &'static str {
+            "cube"
+        }
+        fn eval(&self, x: f64) -> f64 {
+            x * x * x
+        }
+        fn asymptotes(&self) -> Asymptotes {
+            Asymptotes::new(Asymptote::None, Asymptote::None)
+        }
+    }
+
+    #[test]
+    fn default_derivative_is_accurate() {
+        let c = Cube;
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let want = 3.0 * x * x;
+            let got = c.derivative(x);
+            assert!(
+                (got - want).abs() < 1e-5 * (1.0 + want.abs()),
+                "d/dx x^3 at {x}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_slice_matches_eval() {
+        let c = Cube;
+        let xs = [-1.0, 0.0, 2.0];
+        let mut out = [0.0; 3];
+        c.eval_slice(&xs, &mut out);
+        assert_eq!(out, [-1.0, 0.0, 8.0]);
+        assert_eq!(c.eval_vec(&xs), out.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn eval_slice_length_mismatch_panics() {
+        let mut out = [0.0; 2];
+        Cube.eval_slice(&[1.0, 2.0, 3.0], &mut out);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn Activation> = Box::new(Cube);
+        assert_eq!(b.name(), "cube");
+        assert_eq!(b.default_range(), (-8.0, 8.0));
+    }
+}

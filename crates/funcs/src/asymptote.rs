@@ -1,0 +1,166 @@
+//! Asymptote descriptions of activation functions.
+//!
+//! The Flex-SFU boundary condition (paper, Section IV) anchors the outermost
+//! PWL segments on the target function's asymptotes so the interpolation
+//! stays bounded outside the fitted interval:
+//!
+//! ```text
+//! ml = lim_{x→-∞} f(x)/x,   v0     = ml·p0     + lim_{x→-∞} (f(x) - ml·x)
+//! mr = lim_{x→+∞} f(x)/x,   v_{n-1} = mr·p_{n-1} + lim_{x→+∞} (f(x) - mr·x)
+//! ```
+//!
+//! [`Asymptote::Linear`] carries the `(slope, offset)` pair of the limiting
+//! line `m·x + c`; [`Asymptote::None`] marks a side where the function
+//! diverges from every line (e.g. the right side of `exp`), in which case
+//! `flexsfu-core` falls back to a free (learned) boundary slope.
+
+/// One-sided asymptotic behaviour of a function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Asymptote {
+    /// The function approaches the line `slope * x + offset` on this side.
+    Linear {
+        /// Slope `m` of the asymptote line.
+        slope: f64,
+        /// Offset `c` of the asymptote line.
+        offset: f64,
+    },
+    /// The function has no linear asymptote on this side (it diverges
+    /// super-linearly, like `exp` for `x → +∞`).
+    None,
+}
+
+impl Asymptote {
+    /// A constant asymptote `y = c` (slope zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexsfu_funcs::Asymptote;
+    /// let a = Asymptote::constant(1.0);
+    /// assert_eq!(a.slope(), Some(0.0));
+    /// assert_eq!(a.offset(), Some(1.0));
+    /// ```
+    pub fn constant(c: f64) -> Self {
+        Asymptote::Linear {
+            slope: 0.0,
+            offset: c,
+        }
+    }
+
+    /// The identity asymptote `y = x`.
+    pub fn identity() -> Self {
+        Asymptote::Linear {
+            slope: 1.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Slope of the asymptote line, or `None` if the side diverges.
+    pub fn slope(&self) -> Option<f64> {
+        match self {
+            Asymptote::Linear { slope, .. } => Some(*slope),
+            Asymptote::None => None,
+        }
+    }
+
+    /// Offset of the asymptote line, or `None` if the side diverges.
+    pub fn offset(&self) -> Option<f64> {
+        match self {
+            Asymptote::Linear { offset, .. } => Some(*offset),
+            Asymptote::None => None,
+        }
+    }
+
+    /// Evaluates the asymptote line at `x`, or `None` if the side diverges.
+    pub fn eval(&self, x: f64) -> Option<f64> {
+        match self {
+            Asymptote::Linear { slope, offset } => Some(slope * x + offset),
+            Asymptote::None => None,
+        }
+    }
+}
+
+/// Left and right asymptotes of a function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Asymptotes {
+    /// Behaviour as `x → -∞`.
+    pub left: Asymptote,
+    /// Behaviour as `x → +∞`.
+    pub right: Asymptote,
+}
+
+impl Asymptotes {
+    /// Builds an [`Asymptotes`] from both sides.
+    pub fn new(left: Asymptote, right: Asymptote) -> Self {
+        Self { left, right }
+    }
+}
+
+/// Numerically estimates the `(slope, offset)` of `f`'s asymptote on one
+/// side by sampling at two distant points.
+///
+/// Used by tests to validate the hand-written asymptote metadata: for a
+/// function converging to `m·x + c`, `f(x2) - f(x1)) / (x2 - x1) → m` and
+/// `f(x) - m·x → c`.
+///
+/// `side < 0` estimates the left (x → -∞) asymptote, `side > 0` the right.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::asymptote::estimate_asymptote;
+/// let (m, c) = estimate_asymptote(|x| 2.0 * x + 3.0 + (-x).exp(), 1, 30.0);
+/// assert!((m - 2.0).abs() < 1e-9);
+/// assert!((c - 3.0).abs() < 1e-6);
+/// ```
+pub fn estimate_asymptote<F: Fn(f64) -> f64>(f: F, side: i8, distance: f64) -> (f64, f64) {
+    assert!(side != 0, "side must be negative (left) or positive (right)");
+    assert!(distance > 0.0, "distance must be positive");
+    let sign = if side > 0 { 1.0 } else { -1.0 };
+    let x1 = sign * distance;
+    let x2 = sign * (distance + 1.0);
+    let m = (f(x2) - f(x1)) / (x2 - x1);
+    let c = f(x2) - m * x2;
+    (m, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_asymptote() {
+        let a = Asymptote::constant(-1.0);
+        assert_eq!(a.eval(100.0), Some(-1.0));
+        assert_eq!(a.eval(-100.0), Some(-1.0));
+    }
+
+    #[test]
+    fn identity_asymptote() {
+        let a = Asymptote::identity();
+        assert_eq!(a.eval(3.5), Some(3.5));
+        assert_eq!(a.slope(), Some(1.0));
+        assert_eq!(a.offset(), Some(0.0));
+    }
+
+    #[test]
+    fn none_asymptote_yields_none() {
+        let a = Asymptote::None;
+        assert_eq!(a.slope(), None);
+        assert_eq!(a.offset(), None);
+        assert_eq!(a.eval(0.0), None);
+    }
+
+    #[test]
+    fn estimate_linear_function_exactly() {
+        let (m, c) = estimate_asymptote(|x| -0.5 * x + 2.0, -1, 50.0);
+        assert!((m + 0.5).abs() < 1e-12);
+        assert!((c - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be negative")]
+    fn estimate_rejects_zero_side() {
+        estimate_asymptote(|x| x, 0, 10.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The exponential, interpolated for Softmax (see paper Section V-B).
+
+use crate::activation::Activation;
+use crate::asymptote::{Asymptote, Asymptotes};
+
+/// The exponential function, fitted on `[-10, 0.1]`.
+///
+/// Softmax on real hardware subtracts the row maximum first
+/// (`exp(xᵢ - maxⱼ xⱼ)`), so the argument of `exp` is never positive; the
+/// paper therefore interpolates `exp` only over `[-10, 0.1]` (the small
+/// positive margin covers rounding). The right side of `exp` has no linear
+/// asymptote, so its right boundary segment is learned freely.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Exp};
+/// assert_eq!(Exp.eval(0.0), 1.0);
+/// assert_eq!(Exp.default_range(), (-10.0, 0.1));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Exp;
+
+impl Activation for Exp {
+    fn name(&self) -> &'static str {
+        "exp"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        x.exp()
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        x.exp()
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        // exp → 0 on the left; diverges super-linearly on the right.
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::None)
+    }
+
+    fn default_range(&self) -> (f64, f64) {
+        (-10.0, 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_basics() {
+        assert_eq!(Exp.eval(0.0), 1.0);
+        assert!((Exp.eval(1.0) - std::f64::consts::E).abs() < 1e-15);
+        assert!((Exp.eval(-10.0) - 4.5399929762484854e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn exp_derivative_is_itself() {
+        for i in -20..=2 {
+            let x = i as f64 * 0.5;
+            assert_eq!(Exp.eval(x), Exp.derivative(x));
+        }
+    }
+
+    #[test]
+    fn right_asymptote_is_divergent() {
+        assert_eq!(Exp.asymptotes().right, Asymptote::None);
+        assert_eq!(Exp.asymptotes().left, Asymptote::constant(0.0));
+    }
+
+    #[test]
+    fn paper_range_is_softmax_oriented() {
+        let (a, b) = Exp.default_range();
+        assert!(a == -10.0 && b == 0.1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Gated / smooth-rectifier activations: [`Gelu`], [`Silu`], [`Mish`].
+//!
+//! These are the functions whose rise motivates the paper (Figure 1): GELU
+//! and SiLU jointly account for 44.2 % of activations in 2021 models and
+//! cost 12x / 4x more arithmetic than ReLU.
+
+use crate::activation::Activation;
+use crate::asymptote::{Asymptote, Asymptotes};
+use crate::math;
+
+/// The Gaussian error linear unit, exact (erf-based) form:
+/// `GELU(x) = x/2 · (1 + erf(x / sqrt(2)))`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Gelu};
+/// assert_eq!(Gelu.eval(0.0), 0.0);
+/// // GELU(1) = 0.841344746...
+/// assert!((Gelu.eval(1.0) - 0.8413447460685429).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gelu;
+
+impl Activation for Gelu {
+    fn name(&self) -> &'static str {
+        "gelu"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        0.5 * x * (1.0 + math::erf(x * math::FRAC_1_SQRT_2))
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        // d/dx [x Φ(x)] = Φ(x) + x φ(x), with Φ the standard normal CDF.
+        let phi_cdf = 0.5 * (1.0 + math::erf(x * math::FRAC_1_SQRT_2));
+        let phi_pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        phi_cdf + x * phi_pdf
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::identity())
+    }
+}
+
+/// The sigmoid linear unit (a.k.a. swish): `SiLU(x) = x · σ(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Silu};
+/// assert_eq!(Silu.eval(0.0), 0.0);
+/// assert!((Silu.eval(1.0) - 0.7310585786300049).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Silu;
+
+impl Activation for Silu {
+    fn name(&self) -> &'static str {
+        "silu"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        x * math::sigmoid(x)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let s = math::sigmoid(x);
+        s + x * s * (1.0 - s)
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::identity())
+    }
+}
+
+/// Mish: `x · tanh(softplus(x))`, a self-regularizing smooth activation.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Mish};
+/// assert_eq!(Mish.eval(0.0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mish;
+
+impl Activation for Mish {
+    fn name(&self) -> &'static str {
+        "mish"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        x * math::softplus(x).tanh()
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let sp = math::softplus(x);
+        let t = sp.tanh();
+        let s = math::sigmoid(x);
+        t + x * (1.0 - t * t) * s
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::identity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymptote::estimate_asymptote;
+
+    /// GELU reference values from PyTorch (double precision, exact erf form).
+    const GELU_TABLE: &[(f64, f64)] = &[
+        (-4.0, -0.00012668496733247991),
+        (-2.0, -0.04550026389635842),
+        (-1.0, -0.15865525393145707),
+        (-0.5, -0.15426876936299344),
+        (0.5, 0.34573123063700656),
+        (1.0, 0.8413447460685429),
+        (2.0, 1.9544997361036416),
+        (4.0, 3.9998733150326675),
+    ];
+
+    #[test]
+    fn gelu_matches_reference() {
+        for &(x, want) in GELU_TABLE {
+            let got = Gelu.eval(x);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "gelu({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.2;
+            let want = x / (1.0 + (-x).exp());
+            assert!((Silu.eval(x) - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn gated_derivatives_match_finite_differences() {
+        let funcs: [&dyn Activation; 3] = [&Gelu, &Silu, &Mish];
+        for f in funcs {
+            for i in -24..=24 {
+                let x = i as f64 * 0.33;
+                let h = 1e-6;
+                let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
+                let an = f.derivative(x);
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "{} at {x}: fd {fd} vs analytic {an}",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asymptotes_match_numeric_estimates() {
+        let funcs: [&dyn Activation; 3] = [&Gelu, &Silu, &Mish];
+        for f in funcs {
+            let a = f.asymptotes();
+            for (side, aa) in [(-1i8, a.left), (1, a.right)] {
+                let (m, c) = estimate_asymptote(|x| f.eval(x), side, 30.0);
+                assert!(
+                    (m - aa.slope().unwrap()).abs() < 1e-9,
+                    "{} side {side}",
+                    f.name()
+                );
+                assert!(
+                    (c - aa.offset().unwrap()).abs() < 1e-6,
+                    "{} side {side}",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_silu_have_single_negative_minimum() {
+        // Both functions dip below zero once on the negative axis and
+        // recover; sanity-check the minimum location coarsely.
+        for f in [&Gelu as &dyn Activation, &Silu] {
+            let mut min_x = 0.0;
+            let mut min_v = f64::INFINITY;
+            for i in -400..0 {
+                let x = i as f64 * 0.01;
+                let v = f.eval(x);
+                if v < min_v {
+                    min_v = v;
+                    min_x = x;
+                }
+            }
+            assert!(min_v < 0.0, "{} should dip below zero", f.name());
+            assert!(
+                (-2.0..=-0.5).contains(&min_x),
+                "{} minimum at {min_x}",
+                f.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Hardware-friendly "hard" activations: [`Hardswish`], [`Hardsigmoid`],
+//! [`Relu6`].
+//!
+//! These piecewise functions replace their smooth counterparts in mobile
+//! networks (MobileNetV3, LCNet). Hardswish is quadratic on `[-3, 3]`, so a
+//! PWL approximation of it is *not* free — Table III of the paper lists it
+//! as the second most approximation-sensitive activation after SiLU.
+
+use crate::activation::Activation;
+use crate::asymptote::{Asymptote, Asymptotes};
+
+/// Hardswish: `x · relu6(x + 3) / 6`.
+///
+/// Equal to `0` for `x <= -3`, `x` for `x >= 3` and `x(x+3)/6` in between.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Hardswish};
+/// assert_eq!(Hardswish.eval(-4.0), 0.0);
+/// assert_eq!(Hardswish.eval(4.0), 4.0);
+/// assert_eq!(Hardswish.eval(0.0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hardswish;
+
+impl Activation for Hardswish {
+    fn name(&self) -> &'static str {
+        "hardswish"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        if x <= -3.0 {
+            0.0
+        } else if x >= 3.0 {
+            x
+        } else {
+            x * (x + 3.0) / 6.0
+        }
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if x <= -3.0 {
+            0.0
+        } else if x >= 3.0 {
+            1.0
+        } else {
+            (2.0 * x + 3.0) / 6.0
+        }
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::identity())
+    }
+}
+
+/// Hardsigmoid: `clamp(x/6 + 1/2, 0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Hardsigmoid};
+/// assert_eq!(Hardsigmoid.eval(0.0), 0.5);
+/// assert_eq!(Hardsigmoid.eval(-3.0), 0.0);
+/// assert_eq!(Hardsigmoid.eval(3.0), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hardsigmoid;
+
+impl Activation for Hardsigmoid {
+    fn name(&self) -> &'static str {
+        "hardsigmoid"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        (x / 6.0 + 0.5).clamp(0.0, 1.0)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if (-3.0..3.0).contains(&x) {
+            1.0 / 6.0
+        } else {
+            0.0
+        }
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::constant(1.0))
+    }
+}
+
+/// ReLU6: `min(max(0, x), 6)`, the clipped rectifier used by MobileNetV1/V2.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Relu6};
+/// assert_eq!(Relu6.eval(10.0), 6.0);
+/// assert_eq!(Relu6.eval(-1.0), 0.0);
+/// assert_eq!(Relu6.eval(2.5), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Relu6;
+
+impl Activation for Relu6 {
+    fn name(&self) -> &'static str {
+        "relu6"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        x.clamp(0.0, 6.0)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if (0.0..6.0).contains(&x) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::constant(6.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardswish_is_continuous_at_joints() {
+        for joint in [-3.0, 3.0] {
+            let eps = 1e-9;
+            let lo = Hardswish.eval(joint - eps);
+            let hi = Hardswish.eval(joint + eps);
+            assert!((lo - hi).abs() < 1e-8, "discontinuity at {joint}");
+        }
+    }
+
+    #[test]
+    fn hardswish_matches_definition_inside() {
+        for i in -29..=29 {
+            let x = i as f64 * 0.1;
+            let relu6 = (x + 3.0).clamp(0.0, 6.0);
+            assert!((Hardswish.eval(x) - x * relu6 / 6.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn hardsigmoid_is_clamped_line() {
+        assert_eq!(Hardsigmoid.eval(-100.0), 0.0);
+        assert_eq!(Hardsigmoid.eval(100.0), 1.0);
+        assert!((Hardsigmoid.eval(1.5) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relu6_clamps_both_sides() {
+        assert_eq!(Relu6.eval(-0.5), 0.0);
+        assert_eq!(Relu6.eval(6.5), 6.0);
+        assert_eq!(Relu6.eval(6.0), 6.0);
+        assert_eq!(Relu6.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences_away_from_kinks() {
+        let funcs: [&dyn Activation; 3] = [&Hardswish, &Hardsigmoid, &Relu6];
+        for f in funcs {
+            for i in -40..=40 {
+                let x = i as f64 * 0.17 + 0.005; // avoid landing on kinks
+                if (x.abs() - 3.0).abs() < 0.05 || x.abs() < 0.05 || (x - 6.0).abs() < 0.05 {
+                    continue;
+                }
+                let h = 1e-7;
+                let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
+                assert!(
+                    (fd - f.derivative(x)).abs() < 1e-6,
+                    "{} at {x}",
+                    f.name()
+                );
+            }
+        }
+    }
+}

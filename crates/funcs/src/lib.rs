@@ -1,0 +1,49 @@
+//! # flexsfu-funcs
+//!
+//! Reference implementations of the DNN activation functions evaluated in the
+//! Flex-SFU paper (DAC 2023), together with the metadata the approximation
+//! pipeline needs:
+//!
+//! * exact double-precision evaluation ([`Activation::eval`]),
+//! * first derivatives ([`Activation::derivative`]) used by tests and by the
+//!   optimizer's sanity checks,
+//! * asymptote descriptions ([`Activation::asymptotes`]) consumed by the
+//!   boundary-condition logic of `flexsfu-core` (the paper clamps the
+//!   outermost PWL segments onto the function asymptotes),
+//! * the default interpolation interval used in the paper's evaluation
+//!   (`[-8, 8]` for most functions, `[-10, 0.1]` for `Exp`).
+//!
+//! # Examples
+//!
+//! ```
+//! use flexsfu_funcs::{Activation, Gelu};
+//!
+//! let gelu = Gelu;
+//! assert!((gelu.eval(0.0)).abs() < 1e-15);
+//! // GELU approaches the identity for large x ...
+//! assert!((gelu.eval(8.0) - 8.0).abs() < 1e-9);
+//! // ... which is what its right asymptote says.
+//! let asym = gelu.asymptotes();
+//! assert_eq!(asym.right.slope(), Some(1.0));
+//! ```
+
+pub mod asymptote;
+pub mod math;
+pub mod registry;
+pub mod softmax;
+
+mod activation;
+mod exp;
+mod gated;
+mod hard;
+mod rectified;
+mod sigmoid;
+
+pub use activation::Activation;
+pub use asymptote::{Asymptote, Asymptotes};
+pub use exp::Exp;
+pub use gated::{Gelu, Mish, Silu};
+pub use hard::{Hardsigmoid, Hardswish, Relu6};
+pub use rectified::{Elu, LeakyRelu, Relu};
+pub use registry::{all_standard, by_name, names};
+pub use sigmoid::{Sigmoid, Softplus, Tanh};

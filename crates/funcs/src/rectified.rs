@@ -1,0 +1,253 @@
+//! Rectifier-family activations: [`Relu`], [`LeakyRelu`], [`Elu`].
+
+use crate::activation::Activation;
+use crate::asymptote::{Asymptote, Asymptotes};
+
+/// The rectified linear unit `max(0, x)`.
+///
+/// ReLU is exactly piecewise-linear, so a two-segment PWL approximation is
+/// lossless; it serves as the "free" baseline in the paper's end-to-end
+/// evaluation (Figure 6: ReLU models see no speedup but no overhead).
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Relu};
+/// assert_eq!(Relu.eval(-3.0), 0.0);
+/// assert_eq!(Relu.eval(3.0), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Relu;
+
+impl Activation for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        x.max(0.0)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if x > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::identity())
+    }
+}
+
+/// The leaky rectified linear unit `max(αx, x)` with negative slope `α`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, LeakyRelu};
+/// let l = LeakyRelu::new(0.1);
+/// assert_eq!(l.eval(-2.0), -0.2);
+/// assert_eq!(l.eval(2.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakyRelu {
+    alpha: f64,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative-side slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite or not in `[0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..1.0).contains(&alpha),
+            "leaky relu slope must be finite and in [0, 1), got {alpha}"
+        );
+        Self { alpha }
+    }
+
+    /// The negative-side slope `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Default for LeakyRelu {
+    /// PyTorch's default negative slope of `0.01`.
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl Activation for LeakyRelu {
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        if x >= 0.0 {
+            x
+        } else {
+            self.alpha * x
+        }
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if x > 0.0 {
+            1.0
+        } else {
+            self.alpha
+        }
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(
+            Asymptote::Linear {
+                slope: self.alpha,
+                offset: 0.0,
+            },
+            Asymptote::identity(),
+        )
+    }
+}
+
+/// The exponential linear unit: `x` for `x >= 0`, `α(exp(x) - 1)` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Elu};
+/// let e = Elu::default();
+/// assert_eq!(e.eval(2.0), 2.0);
+/// assert!((e.eval(-1.0) - ((-1.0f64).exp() - 1.0)).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Elu {
+    alpha: f64,
+}
+
+impl Elu {
+    /// Creates an ELU with saturation magnitude `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite and positive.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "elu alpha must be finite and positive, got {alpha}"
+        );
+        Self { alpha }
+    }
+
+    /// The saturation magnitude `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Default for Elu {
+    /// The standard `α = 1`.
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl Activation for Elu {
+    fn name(&self) -> &'static str {
+        "elu"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        if x >= 0.0 {
+            x
+        } else {
+            self.alpha * x.exp_m1()
+        }
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if x >= 0.0 {
+            1.0
+        } else {
+            self.alpha * x.exp()
+        }
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        // ELU(x) → -α as x → -∞.
+        Asymptotes::new(Asymptote::constant(-self.alpha), Asymptote::identity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymptote::estimate_asymptote;
+
+    #[test]
+    fn relu_kink_at_zero() {
+        assert_eq!(Relu.eval(0.0), 0.0);
+        assert_eq!(Relu.eval(-0.0), 0.0);
+        assert_eq!(Relu.derivative(1e-9), 1.0);
+        assert_eq!(Relu.derivative(-1e-9), 0.0);
+    }
+
+    #[test]
+    fn leaky_relu_continuous_at_zero() {
+        let l = LeakyRelu::default();
+        assert_eq!(l.eval(0.0), 0.0);
+        assert!((l.eval(-1e-12) - (-1e-14)).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaky relu slope")]
+    fn leaky_relu_rejects_bad_alpha() {
+        LeakyRelu::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "elu alpha")]
+    fn elu_rejects_negative_alpha() {
+        Elu::new(-1.0);
+    }
+
+    #[test]
+    fn elu_is_c1_at_zero() {
+        let e = Elu::default();
+        // value and derivative match from both sides at 0 (for alpha=1).
+        assert_eq!(e.eval(0.0), 0.0);
+        assert!((e.derivative(-1e-9) - 1.0).abs() < 1e-8);
+        assert_eq!(e.derivative(1e-9), 1.0);
+    }
+
+    #[test]
+    fn asymptotes_match_numeric_estimates() {
+        for (f, asym) in [
+            (
+                Box::new(Relu) as Box<dyn Activation>,
+                Relu.asymptotes(),
+            ),
+            (Box::new(LeakyRelu::default()), LeakyRelu::default().asymptotes()),
+            (Box::new(Elu::new(2.0)), Elu::new(2.0).asymptotes()),
+        ] {
+            for (side, a) in [(-1i8, asym.left), (1, asym.right)] {
+                let (m, c) = estimate_asymptote(|x| f.eval(x), side, 40.0);
+                assert!(
+                    (m - a.slope().unwrap()).abs() < 1e-9,
+                    "{} side {side}: slope {m}",
+                    f.name()
+                );
+                assert!(
+                    (c - a.offset().unwrap()).abs() < 1e-6,
+                    "{} side {side}: offset {c}",
+                    f.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Name-based registry over the built-in activations.
+//!
+//! The benchmark harness and the model zoo refer to activations by their
+//! string names (matching the labels in the paper's figures); this module
+//! resolves those names to boxed [`Activation`] objects.
+
+use crate::activation::Activation;
+use crate::exp::Exp;
+use crate::gated::{Gelu, Mish, Silu};
+use crate::hard::{Hardsigmoid, Hardswish, Relu6};
+use crate::rectified::{Elu, LeakyRelu, Relu};
+use crate::sigmoid::{Sigmoid, Softplus, Tanh};
+
+/// Names of every built-in activation, in registry order.
+pub const NAMES: [&str; 12] = [
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "tanh",
+    "softplus",
+    "gelu",
+    "silu",
+    "mish",
+    "hardswish",
+    "hardsigmoid",
+    "relu6",
+];
+
+/// Returns the names of all built-in activations.
+///
+/// # Examples
+///
+/// ```
+/// assert!(flexsfu_funcs::names().contains(&"gelu"));
+/// ```
+pub fn names() -> &'static [&'static str] {
+    &NAMES
+}
+
+/// Looks up a built-in activation by name.
+///
+/// Parametric activations are created with their standard defaults
+/// (`leaky_relu` with `α = 0.01`, `elu` with `α = 1`).
+///
+/// # Examples
+///
+/// ```
+/// let f = flexsfu_funcs::by_name("silu").expect("silu is built in");
+/// assert_eq!(f.name(), "silu");
+/// assert!(flexsfu_funcs::by_name("nope").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn Activation>> {
+    let f: Box<dyn Activation> = match name {
+        "relu" => Box::new(Relu),
+        "leaky_relu" => Box::new(LeakyRelu::default()),
+        "elu" => Box::new(Elu::default()),
+        "sigmoid" => Box::new(Sigmoid),
+        "tanh" => Box::new(Tanh),
+        "softplus" => Box::new(Softplus),
+        "gelu" => Box::new(Gelu),
+        "silu" => Box::new(Silu),
+        "mish" => Box::new(Mish),
+        "hardswish" => Box::new(Hardswish),
+        "hardsigmoid" => Box::new(Hardsigmoid),
+        "relu6" => Box::new(Relu6),
+        "exp" => Box::new(Exp),
+        _ => return None,
+    };
+    Some(f)
+}
+
+/// Returns every built-in activation (the 12 registry entries; `exp` is
+/// addressable by name but excluded here because it is a softmax substep,
+/// not a standalone layer).
+pub fn all_standard() -> Vec<Box<dyn Activation>> {
+    NAMES
+        .iter()
+        .map(|n| by_name(n).expect("registry names are resolvable"))
+        .collect()
+}
+
+/// The six functions in the paper's Figure 5 error study.
+pub fn figure5_set() -> Vec<Box<dyn Activation>> {
+    ["tanh", "sigmoid", "gelu", "silu", "exp", "hardswish"]
+        .iter()
+        .map(|n| by_name(n).expect("figure 5 names are resolvable"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves() {
+        for n in names() {
+            let f = by_name(n).unwrap_or_else(|| panic!("{n} should resolve"));
+            assert_eq!(&f.name(), n);
+        }
+    }
+
+    #[test]
+    fn exp_is_resolvable_but_not_standard() {
+        assert!(by_name("exp").is_some());
+        assert!(!names().contains(&"exp"));
+    }
+
+    #[test]
+    fn all_standard_has_unique_names() {
+        let fs = all_standard();
+        assert_eq!(fs.len(), NAMES.len());
+        let mut seen = std::collections::HashSet::new();
+        for f in &fs {
+            assert!(seen.insert(f.name()), "duplicate name {}", f.name());
+        }
+    }
+
+    #[test]
+    fn figure5_set_matches_paper() {
+        let fs = figure5_set();
+        let names: Vec<_> = fs.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            ["tanh", "sigmoid", "gelu", "silu", "exp", "hardswish"]
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("").is_none());
+        assert!(by_name("RELU").is_none(), "lookup is case-sensitive");
+    }
+
+    #[test]
+    fn default_ranges_match_paper() {
+        for f in figure5_set() {
+            let want = if f.name() == "exp" {
+                (-10.0, 0.1)
+            } else {
+                (-8.0, 8.0)
+            };
+            assert_eq!(f.default_range(), want, "{}", f.name());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Sigmoid-family activations: [`Sigmoid`], [`Tanh`], [`Softplus`].
+
+use crate::activation::Activation;
+use crate::asymptote::{Asymptote, Asymptotes};
+use crate::math;
+
+/// The logistic sigmoid `σ(x) = 1 / (1 + exp(-x))`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Sigmoid};
+/// assert_eq!(Sigmoid.eval(0.0), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sigmoid;
+
+impl Activation for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        math::sigmoid(x)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let s = math::sigmoid(x);
+        s * (1.0 - s)
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::constant(1.0))
+    }
+}
+
+/// The hyperbolic tangent.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Tanh};
+/// assert_eq!(Tanh.eval(0.0), 0.0);
+/// assert!((Tanh.eval(1.0) - 1.0f64.tanh()).abs() < 1e-16);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tanh;
+
+impl Activation for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        x.tanh()
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let t = x.tanh();
+        1.0 - t * t
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(-1.0), Asymptote::constant(1.0))
+    }
+}
+
+/// The softplus `ln(1 + exp(x))`, a smooth ReLU.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::{Activation, Softplus};
+/// assert!((Softplus.eval(0.0) - std::f64::consts::LN_2).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Softplus;
+
+impl Activation for Softplus {
+    fn name(&self) -> &'static str {
+        "softplus"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        math::softplus(x)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        math::sigmoid(x)
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        Asymptotes::new(Asymptote::constant(0.0), Asymptote::identity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymptote::estimate_asymptote;
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        for i in -80..=80 {
+            let x = i as f64 * 0.1;
+            let s = Sigmoid.eval(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((Sigmoid.eval(-x) - (1.0 - s)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn tanh_is_scaled_sigmoid() {
+        // tanh(x) = 2σ(2x) - 1
+        for i in -40..=40 {
+            let x = i as f64 * 0.2;
+            let want = 2.0 * Sigmoid.eval(2.0 * x) - 1.0;
+            assert!((Tanh.eval(x) - want).abs() < 1e-14, "at {x}");
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let funcs: [&dyn Activation; 3] = [&Sigmoid, &Tanh, &Softplus];
+        for f in funcs {
+            for i in -30..=30 {
+                let x = i as f64 * 0.25;
+                let h = 1e-6;
+                let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
+                let an = f.derivative(x);
+                assert!(
+                    (fd - an).abs() < 1e-6,
+                    "{} derivative at {x}: fd {fd}, analytic {an}",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asymptotes_match_numeric_estimates() {
+        let funcs: [&dyn Activation; 3] = [&Sigmoid, &Tanh, &Softplus];
+        for f in funcs {
+            let a = f.asymptotes();
+            for (side, aa) in [(-1i8, a.left), (1, a.right)] {
+                let (m, c) = estimate_asymptote(|x| f.eval(x), side, 40.0);
+                assert!((m - aa.slope().unwrap()).abs() < 1e-9, "{}", f.name());
+                assert!((c - aa.offset().unwrap()).abs() < 1e-6, "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn softplus_dominates_relu() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.25;
+            assert!(Softplus.eval(x) >= x.max(0.0));
+        }
+    }
+}

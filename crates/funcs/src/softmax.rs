@@ -1,0 +1,137 @@
+//! Vector softmax built on the max-subtraction trick.
+//!
+//! On the accelerator, softmax decomposes into a vector max-reduction, an
+//! element-wise `exp` (the part Flex-SFU accelerates, fitted on
+//! `[-10, 0.1]`), a sum-reduction, and an element-wise division. This module
+//! provides both the exact reference and a version whose `exp` is supplied
+//! by an arbitrary approximation, so the accuracy experiments can measure
+//! the end-to-end impact of approximating only the transcendental part.
+
+/// Computes the numerically stable softmax of `xs` into a fresh vector.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains a NaN.
+///
+/// # Examples
+///
+/// ```
+/// let p = flexsfu_funcs::softmax::softmax(&[1.0, 2.0, 3.0]);
+/// let sum: f64 = p.iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-12);
+/// assert!(p[2] > p[1] && p[1] > p[0]);
+/// ```
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    softmax_with(xs, f64::exp)
+}
+
+/// Computes softmax using a caller-supplied exponential.
+///
+/// This is the hook the evaluation uses to inject the PWL-approximated
+/// `exp`: `softmax_with(xs, |t| pwl.eval(t))`. The max-subtraction ensures
+/// every argument passed to `exp_fn` lies in `(-inf, 0]`, matching the
+/// paper's `[-10, 0.1]` fitting interval (values below −10 contribute
+/// less than `e^-10 ≈ 4.5e-5` of probability mass each).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, contains NaN, or if `exp_fn` makes the
+/// normalization sum non-positive.
+pub fn softmax_with<F: Fn(f64) -> f64>(xs: &[f64], exp_fn: F) -> Vec<f64> {
+    assert!(!xs.is_empty(), "softmax of an empty slice");
+    let max = xs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, |a, b| {
+            assert!(!b.is_nan(), "softmax input contains NaN");
+            a.max(b)
+        });
+    let mut out: Vec<f64> = xs.iter().map(|&x| exp_fn(x - max)).collect();
+    let sum: f64 = out.iter().sum();
+    assert!(
+        sum > 0.0 && sum.is_finite(),
+        "softmax normalization sum must be positive and finite, got {sum}"
+    );
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
+/// In-place variant of [`softmax`].
+///
+/// # Panics
+///
+/// Same conditions as [`softmax`].
+pub fn softmax_in_place(xs: &mut [f64]) {
+    let out = softmax(xs);
+    xs.copy_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_one_and_preserves_order() {
+        let p = softmax(&[-3.0, 0.0, 5.0, 1.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[3] && p[3] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn invariant_to_constant_shift() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stable_for_large_magnitudes() {
+        let p = softmax(&[-1e30, 0.0, 1e30]);
+        assert!((p[2] - 1.0).abs() < 1e-12);
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn single_element_is_one() {
+        assert_eq!(softmax(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn custom_exp_arguments_are_nonpositive() {
+        use std::cell::Cell;
+        let seen_positive = Cell::new(false);
+        let _ = softmax_with(&[0.5, -2.0, 3.0], |t| {
+            if t > 0.0 {
+                seen_positive.set(true);
+            }
+            t.exp()
+        });
+        assert!(!seen_positive.get(), "max-subtraction must keep args <= 0");
+    }
+
+    #[test]
+    fn in_place_matches_allocating() {
+        let xs = [0.1, 0.2, 0.3, -0.5];
+        let want = softmax(&xs);
+        let mut got = xs;
+        softmax_in_place(&mut got);
+        assert_eq!(got.to_vec(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        softmax(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_panics() {
+        softmax(&[0.0, f64::NAN]);
+    }
+}

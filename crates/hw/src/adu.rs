@@ -1,0 +1,261 @@
+//! The Address Decoding Unit: a pipelined binary-search tree.
+//!
+//! Paper, Section III: "the ADU functionality resembles a binary search
+//! tree (BST). Each ADU stage defines a BST level, and exploits SIMD
+//! single-port memories to implement BST nodes holding breakpoints". Each
+//! cycle one stage compares the input against one stored breakpoint with a
+//! format-agnostic SIMD comparator (`cmpo = input > breakpoint`) and the
+//! Next Address Generator computes the child index `ao = 2·ai + cmpo`.
+//! After `log₂(d)` stages the accumulated path *is* the LTC address.
+//!
+//! Breakpoints are stored in **Eytzinger (BFS) order**: stage `s` holds
+//! nodes `2ˢ − 1 … 2ˢ⁺¹ − 2` of the implicit tree over the sorted
+//! breakpoint array, so traversing one level per stage walks the BST.
+
+use crate::memory::SimdMemory;
+use flexsfu_formats::DataFormat;
+
+/// The ADU: `log₂(depth)` pipeline stages over `depth − 1` breakpoints.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_hw::Adu;
+/// use flexsfu_formats::{DataFormat, FloatFormat};
+///
+/// let fmt = DataFormat::Float(FloatFormat::FP16);
+/// let mut adu = Adu::new(4); // 4 segments → 3 breakpoints, 2 stages
+/// adu.load(&[-1.0, 0.0, 1.0], fmt);
+/// assert_eq!(adu.decode(fmt.encode(-2.0), fmt), 0);
+/// assert_eq!(adu.decode(fmt.encode(-0.5), fmt), 1);
+/// assert_eq!(adu.decode(fmt.encode(0.5), fmt), 2);
+/// assert_eq!(adu.decode(fmt.encode(9.0), fmt), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adu {
+    depth: usize,
+    stages: Vec<SimdMemory>,
+    loaded: usize,
+}
+
+/// Arranges a sorted slice into Eytzinger (BFS) order.
+///
+/// `eytzinger[k]` holds the element an in-order traversal of the implicit
+/// heap (children of `k` at `2k+1`, `2k+2`) would assign — i.e. the BST
+/// over the sorted array, level by level.
+pub fn eytzinger_order(sorted: &[f64]) -> Vec<f64> {
+    fn fill(sorted: &[f64], next: &mut usize, out: &mut [f64], k: usize) {
+        if k < out.len() {
+            fill(sorted, next, out, 2 * k + 1);
+            out[k] = sorted[*next];
+            *next += 1;
+            fill(sorted, next, out, 2 * k + 2);
+        }
+    }
+    let mut out = vec![0.0; sorted.len()];
+    let mut next = 0;
+    fill(sorted, &mut next, &mut out, 0);
+    out
+}
+
+impl Adu {
+    /// Creates an ADU for `depth` segments (`depth` must be a power of two
+    /// ≥ 2). Stage `s` gets a memory of `2ˢ` breakpoint rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not a power of two or is < 2.
+    pub fn new(depth: usize) -> Self {
+        assert!(
+            depth.is_power_of_two() && depth >= 2,
+            "ADU depth must be a power of two >= 2, got {depth}"
+        );
+        let num_stages = depth.trailing_zeros() as usize;
+        let stages = (0..num_stages).map(|s| SimdMemory::new(1 << s)).collect();
+        Self {
+            depth,
+            stages,
+            loaded: 0,
+        }
+    }
+
+    /// Number of segments this ADU distinguishes.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of pipeline stages (`log₂(depth)`).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Loads sorted breakpoints (the `ld.bp()` instruction). Fewer than
+    /// `depth − 1` breakpoints are padded at the top with the format's
+    /// maximum value, which routes all real inputs leftwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `depth − 1` breakpoints are supplied, if they
+    /// are not strictly increasing, or if any is NaN.
+    pub fn load(&mut self, breakpoints: &[f64], format: DataFormat) {
+        assert!(
+            breakpoints.len() <= self.depth - 1,
+            "{} breakpoints exceed ADU capacity {}",
+            breakpoints.len(),
+            self.depth - 1
+        );
+        assert!(
+            breakpoints.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        assert!(
+            breakpoints.iter().all(|b| !b.is_nan()),
+            "NaN breakpoint rejected by the loader"
+        );
+        let mut padded: Vec<f64> = breakpoints.to_vec();
+        while padded.len() < self.depth - 1 {
+            padded.push(format.max_value());
+        }
+        let tree = eytzinger_order(&padded);
+        let mut idx = 0;
+        for (s, mem) in self.stages.iter_mut().enumerate() {
+            for row in 0..(1 << s) {
+                mem.write_word(row, format.encode(tree[idx]));
+                idx += 1;
+            }
+        }
+        self.loaded = breakpoints.len();
+    }
+
+    /// Decodes one input bit pattern into its LTC address by walking the
+    /// tree one stage per (modelled) cycle.
+    ///
+    /// Comparison semantics match the paper's `cmpo` (`input > breakpoint`
+    /// goes right), evaluated on monotone comparison keys so the same
+    /// comparator serves fixed- and floating-point formats.
+    pub fn decode(&mut self, input_pattern: u32, format: DataFormat) -> usize {
+        let key = format.compare_key(input_pattern);
+        let mut a = 0usize; // node index within the stage
+        for s in 0..self.stages.len() {
+            let bp_pattern = self.stages[s].read_word(a);
+            let bp_key = format.compare_key(bp_pattern);
+            let cmpo = usize::from(key > bp_key);
+            a = 2 * a + cmpo;
+        }
+        a
+    }
+
+    /// Number of memory beats `ld.bp()` needs: one write per stored row
+    /// (the breakpoints stream in as 32-bit words; each row is one beat).
+    pub fn load_beats(&self, format: DataFormat) -> usize {
+        // (depth-1) breakpoints of `bits` width, streamed as 32-bit beats.
+        ((self.depth - 1) * format.bits() as usize).div_ceil(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_formats::{FixedFormat, FloatFormat};
+    use proptest::prelude::*;
+
+    #[test]
+    fn eytzinger_of_seven() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        // Root 4, level 2: 2, 6, level 3: 1 3 5 7.
+        assert_eq!(
+            eytzinger_order(&sorted),
+            vec![4.0, 2.0, 6.0, 1.0, 3.0, 5.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn decode_matches_partition_point_all_depths() {
+        for depth in [2usize, 4, 8, 16, 32, 64] {
+            let fmt = DataFormat::Float(FloatFormat::FP32);
+            let mut adu = Adu::new(depth);
+            let bps: Vec<f64> = (0..depth - 1).map(|i| i as f64 - depth as f64 / 2.0).collect();
+            adu.load(&bps, fmt);
+            for i in -200..=200 {
+                let x = i as f64 * 0.37;
+                let qx = fmt.quantize(x);
+                let want = bps.partition_point(|&b| qx > b);
+                let got = adu.decode(fmt.encode(x), fmt);
+                assert_eq!(got, want, "depth {depth}, x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_count_is_log2_depth() {
+        assert_eq!(Adu::new(4).num_stages(), 2);
+        assert_eq!(Adu::new(64).num_stages(), 6);
+    }
+
+    #[test]
+    fn padding_routes_inputs_to_real_segments() {
+        // 5 breakpoints in a depth-8 ADU (2 padded entries).
+        let fmt = DataFormat::Fixed(FixedFormat::new(16, 8));
+        let mut adu = Adu::new(8);
+        let bps = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        adu.load(&bps, fmt);
+        // Inputs beyond the last real breakpoint land at address 5 (the
+        // last real segment), never in padded space.
+        let addr = adu.decode(fmt.encode(50.0), fmt);
+        assert_eq!(addr, 5);
+        assert_eq!(adu.decode(fmt.encode(-50.0), fmt), 0);
+    }
+
+    #[test]
+    fn fixed_point_decoding_works() {
+        let fmt = DataFormat::Fixed(FixedFormat::new(8, 3));
+        let mut adu = Adu::new(4);
+        adu.load(&[-4.0, 0.0, 4.0], fmt);
+        assert_eq!(adu.decode(fmt.encode(-5.0), fmt), 0);
+        assert_eq!(adu.decode(fmt.encode(-1.0), fmt), 1);
+        assert_eq!(adu.decode(fmt.encode(2.0), fmt), 2);
+        assert_eq!(adu.decode(fmt.encode(10.0), fmt), 3);
+    }
+
+    #[test]
+    fn load_beats_scale_with_width() {
+        let adu = Adu::new(32); // 31 breakpoints
+        assert_eq!(adu.load_beats(DataFormat::Float(FloatFormat::FP32)), 31);
+        assert_eq!(adu.load_beats(DataFormat::Float(FloatFormat::FP16)), 16);
+        assert_eq!(adu.load_beats(DataFormat::Float(FloatFormat::FP8)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_depth_panics() {
+        Adu::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN breakpoint")]
+    fn nan_breakpoint_rejected() {
+        let fmt = DataFormat::Float(FloatFormat::FP16);
+        Adu::new(4).load(&[f64::NAN], fmt);
+    }
+
+    proptest! {
+        /// ADU address always equals the number of (quantized) breakpoints
+        /// strictly below the quantized input.
+        #[test]
+        fn prop_adu_equals_linear_search(x in -100.0f64..100.0, seed in 0u64..500) {
+            let fmt = DataFormat::Float(FloatFormat::FP16);
+            // 7 deterministic pseudo-random sorted breakpoints.
+            let mut bps: Vec<f64> = (0..7)
+                .map(|i| (((seed + i) as f64 * 0.754877).fract() - 0.5) * 120.0)
+                .map(|b| fmt.quantize(b))
+                .collect();
+            bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            bps.dedup();
+            let mut adu = Adu::new(8);
+            adu.load(&bps, fmt);
+            let qx = fmt.quantize(x);
+            let want = bps.partition_point(|&b| qx > b);
+            prop_assert_eq!(adu.decode(fmt.encode(x), fmt), want);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! 28 nm area model, calibrated on the paper's PnR results (Table I).
+//!
+//! The paper reports post-place-and-route area for `Nc = 1` at 600 MHz in
+//! 28 nm CMOS for LTC depths 4–64, split between ADU, LTC and the rest
+//! (DCU + pipeline). We embed those five calibration points and
+//! interpolate log-linearly in depth between them; beyond the calibrated
+//! range the model extrapolates with the last segment's slope. Tests pin
+//! the model exactly to the published numbers at the calibration points.
+
+/// One calibration point from Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaPoint {
+    /// LTC depth (# segments).
+    pub depth: usize,
+    /// Total area in µm².
+    pub total_um2: f64,
+    /// ADU share of total area (fraction, not percent).
+    pub adu_share: f64,
+    /// LTC share of total area (fraction).
+    pub ltc_share: f64,
+}
+
+/// The five published calibration points (Table I).
+pub const TABLE1_AREA: [AreaPoint; 5] = [
+    AreaPoint {
+        depth: 4,
+        total_um2: 2572.4,
+        adu_share: 0.342,
+        ltc_share: 0.313,
+    },
+    AreaPoint {
+        depth: 8,
+        total_um2: 3593.0,
+        adu_share: 0.412,
+        ltc_share: 0.349,
+    },
+    AreaPoint {
+        depth: 16,
+        total_um2: 5846.0,
+        adu_share: 0.437,
+        ltc_share: 0.441,
+    },
+    AreaPoint {
+        depth: 32,
+        total_um2: 9791.3,
+        adu_share: 0.460,
+        ltc_share: 0.466,
+    },
+    AreaPoint {
+        depth: 64,
+        total_um2: 14857.2,
+        adu_share: 0.416,
+        ltc_share: 0.534,
+    },
+];
+
+/// Area model for one Flex-SFU cluster (`Nc = 1`).
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_hw::AreaModel;
+///
+/// let m = AreaModel::calibrated();
+/// // Exact (to round-off) at the published points:
+/// assert!((m.total_um2(32) - 9791.3).abs() < 1e-6);
+/// // Sensible between them:
+/// let a24 = m.total_um2(24);
+/// assert!(a24 > m.total_um2(16) && a24 < m.total_um2(32));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AreaModel {
+    points: Vec<AreaPoint>,
+}
+
+impl AreaModel {
+    /// The model calibrated on Table I.
+    pub fn calibrated() -> Self {
+        Self {
+            points: TABLE1_AREA.to_vec(),
+        }
+    }
+
+    /// Piecewise log-log interpolation of the total area at `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2`.
+    pub fn total_um2(&self, depth: usize) -> f64 {
+        assert!(depth >= 2, "depth must be >= 2");
+        let x = (depth as f64).log2();
+        let pts = &self.points;
+        // Clamped segment search.
+        let (lo, hi) = if depth <= pts[0].depth {
+            (&pts[0], &pts[1])
+        } else if depth >= pts[pts.len() - 1].depth {
+            (&pts[pts.len() - 2], &pts[pts.len() - 1])
+        } else {
+            let i = pts
+                .iter()
+                .position(|p| p.depth >= depth)
+                .expect("depth inside calibrated range");
+            (&pts[i - 1], &pts[i])
+        };
+        let (x0, x1) = ((lo.depth as f64).log2(), (hi.depth as f64).log2());
+        let (y0, y1) = (lo.total_um2.ln(), hi.total_um2.ln());
+        let t = (x - x0) / (x1 - x0);
+        (y0 + t * (y1 - y0)).exp()
+    }
+
+    /// Interpolated ADU area at `depth` (µm²).
+    pub fn adu_um2(&self, depth: usize) -> f64 {
+        self.total_um2(depth) * self.share(depth, |p| p.adu_share)
+    }
+
+    /// Interpolated LTC area at `depth` (µm²).
+    pub fn ltc_um2(&self, depth: usize) -> f64 {
+        self.total_um2(depth) * self.share(depth, |p| p.ltc_share)
+    }
+
+    /// Area of everything else (DCU, pipeline registers) at `depth`.
+    pub fn other_um2(&self, depth: usize) -> f64 {
+        let adu = self.share(depth, |p| p.adu_share);
+        let ltc = self.share(depth, |p| p.ltc_share);
+        self.total_um2(depth) * (1.0 - adu - ltc)
+    }
+
+    /// Linear interpolation of a share column in log-depth.
+    fn share(&self, depth: usize, f: impl Fn(&AreaPoint) -> f64) -> f64 {
+        let x = (depth as f64).log2();
+        let pts = &self.points;
+        let (lo, hi) = if depth <= pts[0].depth {
+            (&pts[0], &pts[1])
+        } else if depth >= pts[pts.len() - 1].depth {
+            (&pts[pts.len() - 2], &pts[pts.len() - 1])
+        } else {
+            let i = pts
+                .iter()
+                .position(|p| p.depth >= depth)
+                .expect("inside range");
+            (&pts[i - 1], &pts[i])
+        };
+        let (x0, x1) = ((lo.depth as f64).log2(), (hi.depth as f64).log2());
+        let t = ((x - x0) / (x1 - x0)).clamp(0.0, 1.0);
+        f(lo) + t * (f(hi) - f(lo))
+    }
+
+    /// Total area of a multi-cluster instance: the memories and
+    /// comparators replicate per cluster, the control overhead is shared.
+    pub fn instance_um2(&self, depth: usize, num_clusters: usize) -> f64 {
+        assert!(num_clusters > 0, "need at least one cluster");
+        let per_cluster = self.adu_um2(depth) + self.ltc_um2(depth);
+        self.other_um2(depth) + per_cluster * num_clusters as f64
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_calibration_points() {
+        let m = AreaModel::calibrated();
+        for p in TABLE1_AREA {
+            assert!(
+                (m.total_um2(p.depth) - p.total_um2).abs() < 1e-6,
+                "depth {}",
+                p.depth
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_depth() {
+        let m = AreaModel::calibrated();
+        let mut prev = 0.0;
+        for d in [2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128] {
+            let a = m.total_um2(d);
+            assert!(a > prev, "area not monotone at depth {d}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = AreaModel::calibrated();
+        for d in [4, 8, 16, 32, 64] {
+            let sum = m.adu_um2(d) + m.ltc_um2(d) + m.other_um2(d);
+            assert!(
+                (sum - m.total_um2(d)).abs() / m.total_um2(d) < 1e-12,
+                "depth {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn ltc_share_grows_with_depth() {
+        // Coefficient storage dominates at high depth (53.4 % at 64).
+        let m = AreaModel::calibrated();
+        assert!(m.ltc_um2(64) / m.total_um2(64) > m.ltc_um2(4) / m.total_um2(4));
+    }
+
+    #[test]
+    fn two_clusters_less_than_double() {
+        // Shared control logic: Nc=2 < 2x Nc=1.
+        let m = AreaModel::calibrated();
+        let one = m.instance_um2(32, 1);
+        let two = m.instance_um2(32, 2);
+        assert!(two < 2.0 * one);
+        assert!(two > 1.5 * one);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be >= 2")]
+    fn tiny_depth_panics() {
+        AreaModel::calibrated().total_um2(1);
+    }
+}

@@ -1,0 +1,83 @@
+//! The three custom instructions extending the VPU ISA.
+//!
+//! Paper, Section III: Flex-SFU execution is driven by `ld.bp()` (load
+//! breakpoints into the ADU), `ld.cf()` (load segment coefficients into
+//! the LTC) and `exe.af()` (stream inputs through the ADU→LTC→MADD
+//! pipeline). The loads run once per activation-function switch and can be
+//! pre-executed while the tensor unit is still producing inputs.
+
+use flexsfu_formats::DataFormat;
+
+/// A decoded Flex-SFU instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// `ld.bp()` — load sorted breakpoints into the ADU stages.
+    LdBp {
+        /// Number format of the breakpoints.
+        format: DataFormat,
+        /// Strictly increasing breakpoint values.
+        breakpoints: Vec<f64>,
+    },
+    /// `ld.cf()` — load `(m, q)` coefficient pairs into the LTC.
+    LdCf {
+        /// Number format of the coefficients.
+        format: DataFormat,
+        /// Per-segment slopes.
+        slopes: Vec<f64>,
+        /// Per-segment intercepts.
+        intercepts: Vec<f64>,
+    },
+    /// `exe.af()` — stream a tensor through the pipeline.
+    ExeAf {
+        /// Number format of the input elements.
+        format: DataFormat,
+        /// Input values (already dequantized view of the tensor).
+        data: Vec<f64>,
+    },
+}
+
+impl Instruction {
+    /// The mnemonic as written in the paper.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::LdBp { .. } => "ld.bp",
+            Instruction::LdCf { .. } => "ld.cf",
+            Instruction::ExeAf { .. } => "exe.af",
+        }
+    }
+
+    /// Whether this is a (re)programming instruction that only runs when
+    /// the target activation function changes.
+    pub fn is_load(&self) -> bool {
+        !matches!(self, Instruction::ExeAf { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_formats::FloatFormat;
+
+    #[test]
+    fn mnemonics_match_paper() {
+        let fmt = DataFormat::Float(FloatFormat::FP16);
+        let ld_bp = Instruction::LdBp {
+            format: fmt,
+            breakpoints: vec![0.0, 1.0],
+        };
+        let ld_cf = Instruction::LdCf {
+            format: fmt,
+            slopes: vec![0.0],
+            intercepts: vec![0.0],
+        };
+        let exe = Instruction::ExeAf {
+            format: fmt,
+            data: vec![1.0],
+        };
+        assert_eq!(ld_bp.mnemonic(), "ld.bp");
+        assert_eq!(ld_cf.mnemonic(), "ld.cf");
+        assert_eq!(exe.mnemonic(), "exe.af");
+        assert!(ld_bp.is_load() && ld_cf.is_load());
+        assert!(!exe.is_load());
+    }
+}

@@ -1,0 +1,59 @@
+//! # flexsfu-hw
+//!
+//! Cycle-level model of the Flex-SFU hardware accelerator (paper,
+//! Section III and Figure 3).
+//!
+//! The unit extends a vector processing unit (VPU) with a special function
+//! unit that evaluates activation functions by non-uniform piecewise-linear
+//! approximation:
+//!
+//! * [`SimdMemory`] — the four 8-bit-slice single-port memories whose lane
+//!   packing supports 4×8-bit, 2×16-bit or 1×32-bit elements per cycle;
+//! * [`Adu`] — the Address Decoding Unit: a pipelined **binary-search
+//!   tree** over on-chip breakpoints, one tree level per stage, using a
+//!   format-agnostic monotone-key SIMD comparator;
+//! * [`Ltc`] — the Lookup-Table Cluster holding the `(m, q)` segment
+//!   coefficients;
+//! * [`FlexSfu`] — the programmable unit: `ld.bp()` / `ld.cf()` /
+//!   `exe.af()` instruction handling, bit-exact evaluation in any
+//!   [`DataFormat`](flexsfu_formats::DataFormat), and cycle accounting that
+//!   reproduces the paper's Figure 4 throughput curves;
+//! * [`AreaModel`] / [`PowerModel`] — 28 nm area/power models calibrated on
+//!   the paper's published PnR characterization (Table I);
+//! * [`VpuIntegration`] — the back-of-the-envelope integration into an
+//!   Ara-like 4-lane RISC-V VPU (Section V-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use flexsfu_core::init::uniform_pwl;
+//! use flexsfu_formats::{DataFormat, FloatFormat};
+//! use flexsfu_funcs::{Activation, Silu};
+//! use flexsfu_hw::{FlexSfu, FlexSfuConfig};
+//!
+//! let pwl = uniform_pwl(&Silu, 15, (-8.0, 8.0)); // 15 bps → 16 segments
+//! let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
+//! sfu.program(&pwl, DataFormat::Float(FloatFormat::FP16)).unwrap();
+//! let run = sfu.execute(&[-1.0, 0.0, 2.0]);
+//! assert!((run.outputs[2] - Silu.eval(2.0)).abs() < 0.05);
+//! ```
+
+pub mod adu;
+pub mod area;
+pub mod isa;
+pub mod ltc;
+pub mod memory;
+pub mod pipeline;
+pub mod power;
+pub mod sfu;
+pub mod vpu;
+
+pub use adu::Adu;
+pub use area::AreaModel;
+pub use isa::Instruction;
+pub use ltc::Ltc;
+pub use memory::SimdMemory;
+pub use pipeline::{execution_cycles, pipeline_latency, Timing};
+pub use power::PowerModel;
+pub use sfu::{ExecutionResult, FlexSfu, FlexSfuConfig, ProgramError};
+pub use vpu::VpuIntegration;

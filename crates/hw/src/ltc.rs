@@ -1,0 +1,167 @@
+//! The Lookup-Table Cluster: segment-coefficient storage.
+//!
+//! The LTC holds one `(m, q)` pair per segment in SIMD single-port
+//! memories (two coefficients per row, paper Figure 3). The address
+//! produced by the ADU selects the row; the coefficients and the delayed
+//! input are forwarded to the VPU MADD units.
+
+use crate::memory::SimdMemory;
+use flexsfu_formats::DataFormat;
+
+/// Coefficient storage for `depth` segments.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_hw::Ltc;
+/// use flexsfu_formats::{DataFormat, FloatFormat};
+///
+/// let fmt = DataFormat::Float(FloatFormat::FP16);
+/// let mut ltc = Ltc::new(4);
+/// ltc.load(&[0.0, 1.0, 0.5, 0.0], &[0.0, 0.0, 0.25, 1.0], fmt);
+/// let (m, q) = ltc.fetch(2, fmt);
+/// assert_eq!(m, 0.5);
+/// assert_eq!(q, 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ltc {
+    depth: usize,
+    slope_mem: SimdMemory,
+    intercept_mem: SimdMemory,
+}
+
+impl Ltc {
+    /// Creates an LTC with `depth` coefficient rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not a power of two ≥ 2 (matching the ADU).
+    pub fn new(depth: usize) -> Self {
+        assert!(
+            depth.is_power_of_two() && depth >= 2,
+            "LTC depth must be a power of two >= 2, got {depth}"
+        );
+        Self {
+            depth,
+            slope_mem: SimdMemory::new(depth),
+            intercept_mem: SimdMemory::new(depth),
+        }
+    }
+
+    /// Number of segments stored.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Loads slope/intercept pairs (the `ld.cf()` instruction), quantizing
+    /// each coefficient through `format`. Missing trailing segments
+    /// replicate the last supplied pair, so padded ADU addresses stay
+    /// harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more pairs than `depth` are supplied, lengths mismatch,
+    /// or the table is empty.
+    pub fn load(&mut self, slopes: &[f64], intercepts: &[f64], format: DataFormat) {
+        assert_eq!(slopes.len(), intercepts.len(), "coefficient length mismatch");
+        assert!(!slopes.is_empty(), "empty coefficient table");
+        assert!(
+            slopes.len() <= self.depth,
+            "{} segments exceed LTC depth {}",
+            slopes.len(),
+            self.depth
+        );
+        for row in 0..self.depth {
+            let src = row.min(slopes.len() - 1);
+            self.slope_mem.write_word(row, format.encode(slopes[src]));
+            self.intercept_mem
+                .write_word(row, format.encode(intercepts[src]));
+        }
+    }
+
+    /// Fetches the decoded `(m, q)` pair at `address`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address >= depth`.
+    pub fn fetch(&mut self, address: usize, format: DataFormat) -> (f64, f64) {
+        let m = format.decode(self.slope_mem.read_word(address));
+        let q = format.decode(self.intercept_mem.read_word(address));
+        (m, q)
+    }
+
+    /// Raw bit patterns at `address` (for bit-exact datapath checks).
+    pub fn fetch_patterns(&mut self, address: usize) -> (u32, u32) {
+        (
+            self.slope_mem.read_word(address),
+            self.intercept_mem.read_word(address),
+        )
+    }
+
+    /// Number of 32-bit beats `ld.cf()` needs to fill the cluster: two
+    /// coefficients per segment at the format's width.
+    pub fn load_beats(&self, format: DataFormat) -> usize {
+        (self.depth * 2 * format.bits() as usize).div_ceil(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_formats::{FixedFormat, FloatFormat};
+
+    #[test]
+    fn load_fetch_roundtrip_fp32() {
+        let fmt = DataFormat::Float(FloatFormat::FP32);
+        let mut ltc = Ltc::new(8);
+        let ms: Vec<f64> = (0..8).map(|i| i as f64 * 0.125).collect();
+        let qs: Vec<f64> = (0..8).map(|i| -(i as f64)).collect();
+        ltc.load(&ms, &qs, fmt);
+        for a in 0..8 {
+            let (m, q) = ltc.fetch(a, fmt);
+            assert_eq!(m, ms[a] as f32 as f64);
+            assert_eq!(q, qs[a] as f32 as f64);
+        }
+    }
+
+    #[test]
+    fn partial_load_replicates_last_segment() {
+        let fmt = DataFormat::Float(FloatFormat::FP16);
+        let mut ltc = Ltc::new(8);
+        ltc.load(&[1.0, 2.0, 3.0], &[0.1, 0.2, 0.3], fmt);
+        let (m7, q7) = ltc.fetch(7, fmt);
+        assert_eq!(m7, 3.0);
+        assert!((q7 - 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantization_applies_on_load() {
+        let fmt = DataFormat::Fixed(FixedFormat::new(8, 4)); // res 1/16
+        let mut ltc = Ltc::new(2);
+        ltc.load(&[0.3, 0.0], &[0.0, 0.0], fmt);
+        let (m, _) = ltc.fetch(0, fmt);
+        assert_eq!(m, 0.3125); // 0.3 → 5/16
+    }
+
+    #[test]
+    fn load_beats_scale_with_width_and_depth() {
+        let ltc = Ltc::new(32);
+        assert_eq!(ltc.load_beats(DataFormat::Float(FloatFormat::FP32)), 64);
+        assert_eq!(ltc.load_beats(DataFormat::Float(FloatFormat::FP16)), 32);
+        assert_eq!(ltc.load_beats(DataFormat::Float(FloatFormat::FP8)), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed LTC depth")]
+    fn overfull_load_panics() {
+        let fmt = DataFormat::Float(FloatFormat::FP16);
+        Ltc::new(2).load(&[0.0; 3], &[0.0; 3], fmt);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let fmt = DataFormat::Float(FloatFormat::FP16);
+        Ltc::new(4).load(&[0.0; 2], &[0.0; 3], fmt);
+    }
+}

@@ -1,0 +1,158 @@
+//! The SIMD single-port memories of Figure 3.
+//!
+//! Each cluster uses four 8-bit-wide single-port memories per coefficient.
+//! A 32-bit datum occupies one row across all four slices; two 16-bit data
+//! split the row in halves; four 8-bit data take one slice each. Because
+//! the memories are single-ported, at most one row can be read or written
+//! per cycle — the model counts accesses so the pipeline can verify it
+//! never needs two ports.
+
+use flexsfu_formats::pack;
+use flexsfu_formats::ElemSize;
+
+/// A bank of four 8-bit-slice single-port memories with `depth` rows.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_hw::SimdMemory;
+/// use flexsfu_formats::ElemSize;
+///
+/// let mut m = SimdMemory::new(8);
+/// m.write_word(3, 0xAABBCCDD);
+/// assert_eq!(m.read_word(3), 0xAABBCCDD);
+/// // Lane view of the same row:
+/// assert_eq!(m.read_lanes(3, ElemSize::B8), vec![0xDD, 0xCC, 0xBB, 0xAA]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimdMemory {
+    rows: Vec<u32>,
+    reads: u64,
+    writes: u64,
+}
+
+impl SimdMemory {
+    /// Allocates a zero-initialized memory with `depth` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "memory depth must be positive");
+        Self {
+            rows: vec![0; depth],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes a full 32-bit row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write_word(&mut self, addr: usize, word: u32) {
+        assert!(addr < self.rows.len(), "address {addr} out of range");
+        self.rows[addr] = word;
+        self.writes += 1;
+    }
+
+    /// Reads a full 32-bit row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read_word(&mut self, addr: usize) -> u32 {
+        assert!(addr < self.rows.len(), "address {addr} out of range");
+        self.reads += 1;
+        self.rows[addr]
+    }
+
+    /// Reads a row as SIMD lanes of the given element size.
+    pub fn read_lanes(&mut self, addr: usize, size: ElemSize) -> Vec<u32> {
+        let w = self.read_word(addr);
+        pack::unpack_word(w, size)
+    }
+
+    /// Writes SIMD lanes into a row (missing lanes zero-filled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more lanes are supplied than the element size packs.
+    pub fn write_lanes(&mut self, addr: usize, lanes: &[u32], size: ElemSize) {
+        let w = pack::pack_word(lanes, size);
+        self.write_word(addr, w);
+    }
+
+    /// Total read accesses so far (single-port budget accounting).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total write accesses so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Clears contents and access counters.
+    pub fn reset(&mut self) {
+        self.rows.iter_mut().for_each(|r| *r = 0);
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = SimdMemory::new(4);
+        for a in 0..4 {
+            m.write_word(a, (a as u32 + 1) * 0x1111_1111);
+        }
+        for a in 0..4 {
+            assert_eq!(m.read_word(a), (a as u32 + 1) * 0x1111_1111);
+        }
+    }
+
+    #[test]
+    fn lane_views_are_consistent() {
+        let mut m = SimdMemory::new(2);
+        m.write_lanes(0, &[0x12, 0x34, 0x56, 0x78], ElemSize::B8);
+        assert_eq!(m.read_word(0), 0x7856_3412);
+        m.write_lanes(1, &[0xBEEF, 0xCAFE], ElemSize::B16);
+        assert_eq!(m.read_lanes(1, ElemSize::B16), vec![0xBEEF, 0xCAFE]);
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut m = SimdMemory::new(2);
+        m.write_word(0, 1);
+        m.write_word(1, 2);
+        let _ = m.read_word(0);
+        assert_eq!(m.write_count(), 2);
+        assert_eq!(m.read_count(), 1);
+        m.reset();
+        assert_eq!(m.write_count(), 0);
+        assert_eq!(m.read_word(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        SimdMemory::new(2).write_word(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        SimdMemory::new(0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Cycle accounting for the Flex-SFU pipeline.
+//!
+//! The unit is fully pipelined: after `ld.bp()`/`ld.cf()` fill the
+//! memories, `exe.af()` streams one 32-bit word per cycle per cluster
+//! (4×8-bit / 2×16-bit / 1×32-bit elements), with the first result
+//! emerging after the pipeline latency. Latencies reproduce Table I:
+//! 7 cycles at depth 4 up to 11 cycles at depth 64 — a fixed 5-cycle
+//! front/back end (decode, DCU, LTC read, MADD, writeback) plus one cycle
+//! per ADU stage (`log₂ depth`).
+
+use flexsfu_formats::DataFormat;
+
+/// Fixed pipeline overhead outside the ADU stages (decode, DCU, LTC fetch,
+/// MADD, writeback).
+const FIXED_STAGES: u64 = 5;
+
+/// End-to-end pipeline latency in cycles for an LTC of `depth` segments.
+///
+/// # Panics
+///
+/// Panics if `depth` is not a power of two ≥ 2.
+///
+/// # Examples
+///
+/// ```
+/// // Table I: latencies 7, 8, 9, 10, 11 cycles for depths 4..64.
+/// assert_eq!(flexsfu_hw::pipeline_latency(4), 7);
+/// assert_eq!(flexsfu_hw::pipeline_latency(64), 11);
+/// ```
+pub fn pipeline_latency(depth: usize) -> u64 {
+    assert!(
+        depth.is_power_of_two() && depth >= 2,
+        "depth must be a power of two >= 2, got {depth}"
+    );
+    FIXED_STAGES + depth.trailing_zeros() as u64
+}
+
+/// The cycle breakdown of one programming + execution sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Cycles spent in `ld.bp()` (breakpoint streaming beats).
+    pub ld_bp_cycles: u64,
+    /// Cycles spent in `ld.cf()` (coefficient streaming beats).
+    pub ld_cf_cycles: u64,
+    /// Pipeline fill latency before the first result.
+    pub fill_latency: u64,
+    /// Steady-state streaming cycles for the tensor.
+    pub stream_cycles: u64,
+}
+
+impl Timing {
+    /// Total cycles including programming.
+    pub fn total(&self) -> u64 {
+        self.ld_bp_cycles + self.ld_cf_cycles + self.fill_latency + self.stream_cycles
+    }
+
+    /// Total cycles excluding programming (loads amortize across tensors
+    /// and can be pre-executed while the tensor unit runs).
+    pub fn total_steady(&self) -> u64 {
+        self.fill_latency + self.stream_cycles
+    }
+}
+
+/// Computes the cycle breakdown for evaluating `num_elements` activations.
+///
+/// * `depth` — LTC depth (# segments), a power of two;
+/// * `num_clusters` — `Nc` parallel clusters (each one 32-bit word/cycle);
+/// * `format` — element format (determines lanes per word).
+///
+/// # Panics
+///
+/// Panics if `depth` is invalid or `num_clusters == 0`.
+pub fn execution_cycles(
+    num_elements: usize,
+    depth: usize,
+    num_clusters: usize,
+    format: DataFormat,
+) -> Timing {
+    assert!(num_clusters > 0, "need at least one cluster");
+    let lanes = format.elem_size().lanes_per_word();
+    let ld_bp = ((depth - 1) * format.bits() as usize).div_ceil(32) as u64;
+    let ld_cf = (depth * 2 * format.bits() as usize).div_ceil(32) as u64;
+    let words = num_elements.div_ceil(lanes);
+    let stream = words.div_ceil(num_clusters) as u64;
+    Timing {
+        ld_bp_cycles: ld_bp,
+        ld_cf_cycles: ld_cf,
+        fill_latency: pipeline_latency(depth),
+        stream_cycles: stream,
+    }
+}
+
+/// Throughput in giga-activations per second for a tensor of
+/// `num_elements`, including programming overhead — the quantity plotted
+/// in the paper's Figure 4.
+pub fn throughput_gact_s(
+    num_elements: usize,
+    depth: usize,
+    num_clusters: usize,
+    format: DataFormat,
+    freq_hz: f64,
+) -> f64 {
+    let t = execution_cycles(num_elements, depth, num_clusters, format);
+    num_elements as f64 / (t.total() as f64 / freq_hz) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_formats::{FloatFormat};
+
+    const F600: f64 = 600e6;
+
+    fn fmt(bits: u8) -> DataFormat {
+        match bits {
+            8 => DataFormat::Float(FloatFormat::FP8),
+            16 => DataFormat::Float(FloatFormat::FP16),
+            _ => DataFormat::Float(FloatFormat::FP32),
+        }
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        let want = [(4, 7), (8, 8), (16, 9), (32, 10), (64, 11)];
+        for (d, l) in want {
+            assert_eq!(pipeline_latency(d), l, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn steady_state_throughput_saturates_at_paper_rates() {
+        // Paper: 1/2/4 OP/cycle for 32/16/8-bit → 0.6/1.2/2.4 GAct/s at
+        // 600 MHz for large tensors.
+        let n32 = 1 << 20; // large tensor, in 32-bit elements
+        for (bits, want) in [(32u8, 0.6), (16, 1.2), (8, 2.4)] {
+            let elems = n32 * 32 / bits as usize;
+            let g = throughput_gact_s(elems, 32, 1, fmt(bits), F600);
+            assert!(
+                (g - want).abs() / want < 0.01,
+                "{bits}-bit: {g} GAct/s, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_tensors_pay_programming_overhead() {
+        // A 2-element tensor is dominated by loads + latency.
+        let g_small = throughput_gact_s(2, 64, 1, fmt(32), F600);
+        let g_big = throughput_gact_s(8192, 64, 1, fmt(32), F600);
+        assert!(g_small < g_big / 10.0);
+    }
+
+    #[test]
+    fn deeper_tables_cost_more_programming() {
+        let t4 = execution_cycles(256, 4, 1, fmt(32));
+        let t64 = execution_cycles(256, 64, 1, fmt(32));
+        assert!(t64.ld_bp_cycles > t4.ld_bp_cycles);
+        assert!(t64.ld_cf_cycles > t4.ld_cf_cycles);
+        assert_eq!(t4.stream_cycles, t64.stream_cycles);
+    }
+
+    #[test]
+    fn saturation_point_near_256_words() {
+        // Paper: all configurations reach steady state for tensors larger
+        // than 256 32-bit elements. At N=256 words, 32-bit, worst depth 64:
+        // overhead = 63+128+11 ≈ 202 vs 256 streaming → ≥ 55% of peak;
+        // by N=2048 it's > 90%.
+        let peak = 0.6;
+        let g2048 = throughput_gact_s(2048, 64, 1, fmt(32), F600);
+        assert!(g2048 > 0.9 * peak, "N=2048 gives {g2048}");
+    }
+
+    #[test]
+    fn clusters_scale_throughput() {
+        let n = 1 << 16;
+        let g1 = throughput_gact_s(n, 16, 1, fmt(32), F600);
+        let g2 = throughput_gact_s(n, 16, 2, fmt(32), F600);
+        assert!((g2 / g1 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn timing_totals_add_up() {
+        let t = execution_cycles(100, 8, 1, fmt(16));
+        assert_eq!(
+            t.total(),
+            t.ld_bp_cycles + t.ld_cf_cycles + t.fill_latency + t.stream_cycles
+        );
+        assert_eq!(t.total_steady(), t.fill_latency + t.stream_cycles);
+        assert_eq!(t.stream_cycles, 50); // 100 elems, 2 lanes/word
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_depth_panics() {
+        pipeline_latency(12);
+    }
+}

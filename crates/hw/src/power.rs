@@ -1,0 +1,125 @@
+//! 28 nm power model, calibrated on Table I.
+//!
+//! Published total power at 600 MHz for `Nc = 1`: 1.4 / 1.7 / 2.2 / 2.8 /
+//! 3.7 mW for depths 4–64. As with the area model, the calibration points
+//! are exact and intermediate depths interpolate log-linearly.
+
+/// Power model for one Flex-SFU cluster at 600 MHz.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_hw::PowerModel;
+///
+/// let p = PowerModel::calibrated();
+/// assert_eq!(p.total_mw(16), 2.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    depths: Vec<usize>,
+    mw: Vec<f64>,
+}
+
+/// The published (depth, mW) pairs of Table I.
+pub const TABLE1_POWER: [(usize, f64); 5] =
+    [(4, 1.4), (8, 1.7), (16, 2.2), (32, 2.8), (64, 3.7)];
+
+impl PowerModel {
+    /// The model calibrated on Table I.
+    pub fn calibrated() -> Self {
+        Self {
+            depths: TABLE1_POWER.iter().map(|&(d, _)| d).collect(),
+            mw: TABLE1_POWER.iter().map(|&(_, p)| p).collect(),
+        }
+    }
+
+    /// Total power at `depth` in mW (interpolated, 600 MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2`.
+    pub fn total_mw(&self, depth: usize) -> f64 {
+        assert!(depth >= 2, "depth must be >= 2");
+        let x = (depth as f64).log2();
+        let n = self.depths.len();
+        let i = if depth <= self.depths[0] {
+            1
+        } else if depth >= self.depths[n - 1] {
+            n - 1
+        } else {
+            self.depths
+                .iter()
+                .position(|&d| d >= depth)
+                .expect("inside range")
+        };
+        let (x0, x1) = (
+            (self.depths[i - 1] as f64).log2(),
+            (self.depths[i] as f64).log2(),
+        );
+        let (y0, y1) = (self.mw[i - 1].ln(), self.mw[i].ln());
+        let t = (x - x0) / (x1 - x0);
+        (y0 + t * (y1 - y0)).exp()
+    }
+
+    /// Power of a multi-cluster instance (clusters replicate the datapath;
+    /// we scale linearly, slightly conservative for shared control).
+    pub fn instance_mw(&self, depth: usize, num_clusters: usize) -> f64 {
+        assert!(num_clusters > 0, "need at least one cluster");
+        self.total_mw(depth) * num_clusters as f64
+    }
+
+    /// Energy efficiency in GAct/s/W for a given element width at peak
+    /// throughput (the paper quotes 158–1722 GAct/s/W across formats).
+    pub fn efficiency_gact_s_w(&self, depth: usize, elems_per_cycle: f64, freq_hz: f64) -> f64 {
+        let gact_s = elems_per_cycle * freq_hz / 1e9;
+        gact_s / (self.total_mw(depth) / 1000.0)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_calibration_points() {
+        let p = PowerModel::calibrated();
+        for (d, mw) in TABLE1_POWER {
+            assert!((p.total_mw(d) - mw).abs() < 1e-12, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_depth() {
+        let p = PowerModel::calibrated();
+        let mut prev = 0.0;
+        for d in [2, 4, 8, 12, 16, 32, 48, 64, 96] {
+            let mw = p.total_mw(d);
+            assert!(mw > prev, "power not monotone at {d}");
+            prev = mw;
+        }
+    }
+
+    #[test]
+    fn efficiency_range_matches_paper() {
+        // Paper: 158 GAct/s/W (worst: depth 64, 1 elem/cycle @ 0.6 GAct/s
+        // → 0.6/0.0037 = 162) to 1722 GAct/s/W (best: depth 4, 4
+        // elems/cycle → 2.4/0.0014 = 1714).
+        let p = PowerModel::calibrated();
+        let worst = p.efficiency_gact_s_w(64, 1.0, 600e6);
+        let best = p.efficiency_gact_s_w(4, 4.0, 600e6);
+        assert!((worst - 162.0).abs() < 10.0, "worst {worst}");
+        assert!((best - 1714.0).abs() < 30.0, "best {best}");
+    }
+
+    #[test]
+    fn clusters_scale_linearly() {
+        let p = PowerModel::calibrated();
+        assert_eq!(p.instance_mw(16, 2), 2.0 * p.total_mw(16));
+    }
+}

@@ -1,0 +1,366 @@
+//! The top-level Flex-SFU unit: programming and bit-exact execution.
+
+use crate::adu::Adu;
+use crate::ltc::Ltc;
+use crate::pipeline::{execution_cycles, Timing};
+use flexsfu_core::{CoeffTable, PwlFunction};
+use flexsfu_formats::DataFormat;
+use std::error::Error;
+use std::fmt;
+
+/// Static configuration of one Flex-SFU instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlexSfuConfig {
+    /// LTC depth: number of segments (a power of two, 4–64 in the paper).
+    pub ltc_depth: usize,
+    /// Number of clusters `Nc` (throughput scaling).
+    pub num_clusters: usize,
+    /// Operating frequency in Hz (600 MHz in the paper's evaluation).
+    pub freq_hz: f64,
+}
+
+impl FlexSfuConfig {
+    /// Creates a configuration at the paper's 600 MHz target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ltc_depth` is not a power of two ≥ 2 or
+    /// `num_clusters == 0`.
+    pub fn new(ltc_depth: usize, num_clusters: usize) -> Self {
+        assert!(
+            ltc_depth.is_power_of_two() && ltc_depth >= 2,
+            "LTC depth must be a power of two >= 2, got {ltc_depth}"
+        );
+        assert!(num_clusters > 0, "need at least one cluster");
+        Self {
+            ltc_depth,
+            num_clusters,
+            freq_hz: 600e6,
+        }
+    }
+}
+
+/// Why programming the unit failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The function needs more segments than the LTC holds.
+    TooManySegments {
+        /// Segments required by the function (`breakpoints + 1`).
+        needed: usize,
+        /// Configured LTC depth.
+        depth: usize,
+    },
+    /// Breakpoints collapsed after quantization (format too coarse for the
+    /// breakpoint spacing).
+    BreakpointCollision,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::TooManySegments { needed, depth } => write!(
+                f,
+                "function needs {needed} segments but the LTC depth is {depth}"
+            ),
+            ProgramError::BreakpointCollision => {
+                write!(f, "breakpoints collide after quantization")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Result of one `exe.af()` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// Function outputs (quantized through the configured format).
+    pub outputs: Vec<f64>,
+    /// Cycle breakdown including the programming cost of the last
+    /// `program` call.
+    pub timing: Timing,
+}
+
+/// A programmable Flex-SFU instance.
+///
+/// `program` lowers a [`PwlFunction`] into quantized breakpoints (ADU) and
+/// coefficients (LTC); `execute` streams data through the modelled
+/// datapath: quantize input → ADU binary-search → LTC fetch → MADD →
+/// output quantization. Everything numeric happens on values that went
+/// through the configured [`DataFormat`], so results are bit-faithful to
+/// what the RTL would produce with round-to-nearest-even arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::init::uniform_pwl;
+/// use flexsfu_formats::{DataFormat, FloatFormat};
+/// use flexsfu_hw::{FlexSfu, FlexSfuConfig};
+/// use flexsfu_funcs::{Activation, Gelu};
+///
+/// let pwl = uniform_pwl(&Gelu, 31, (-8.0, 8.0)); // 32 segments
+/// let mut sfu = FlexSfu::new(FlexSfuConfig::new(32, 1));
+/// sfu.program(&pwl, DataFormat::Float(FloatFormat::FP32)).unwrap();
+/// let run = sfu.execute(&[1.0]);
+/// assert!((run.outputs[0] - Gelu.eval(1.0)).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlexSfu {
+    config: FlexSfuConfig,
+    adu: Adu,
+    ltc: Ltc,
+    format: Option<DataFormat>,
+    last_program_beats: (u64, u64),
+}
+
+impl FlexSfu {
+    /// Builds an unprogrammed unit.
+    pub fn new(config: FlexSfuConfig) -> Self {
+        Self {
+            config,
+            adu: Adu::new(config.ltc_depth),
+            ltc: Ltc::new(config.ltc_depth),
+            format: None,
+            last_program_beats: (0, 0),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> FlexSfuConfig {
+        self.config
+    }
+
+    /// The currently programmed format, if any.
+    pub fn format(&self) -> Option<DataFormat> {
+        self.format
+    }
+
+    /// Programs the unit for `pwl` in `format` (`ld.bp()` + `ld.cf()`).
+    ///
+    /// The function's `n + 1` segments must fit the LTC depth; unused
+    /// segments replicate the last coefficients and unused ADU nodes pad
+    /// with the format maximum.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProgramError::TooManySegments`] if `n + 1 > ltc_depth`;
+    /// * [`ProgramError::BreakpointCollision`] if quantization makes two
+    ///   breakpoints equal.
+    pub fn program(&mut self, pwl: &PwlFunction, format: DataFormat) -> Result<(), ProgramError> {
+        let needed = pwl.num_segments();
+        if needed > self.config.ltc_depth {
+            return Err(ProgramError::TooManySegments {
+                needed,
+                depth: self.config.ltc_depth,
+            });
+        }
+        let qbps: Vec<f64> = pwl
+            .breakpoints()
+            .iter()
+            .map(|&p| format.quantize(p))
+            .collect();
+        if qbps.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ProgramError::BreakpointCollision);
+        }
+        let table = CoeffTable::from_pwl(pwl);
+        self.adu.load(&qbps, format);
+        self.ltc.load(table.slopes(), table.intercepts(), format);
+        self.format = Some(format);
+        self.last_program_beats = (
+            self.adu.load_beats(format) as u64,
+            self.ltc.load_beats(format) as u64,
+        );
+        Ok(())
+    }
+
+    /// Like [`FlexSfu::program`], but first collapses breakpoints that
+    /// collide after quantization (keeping the first of each group) —
+    /// what a driver does when lowering a finely-optimized function into
+    /// a coarse format.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::TooManySegments`] as for `program`;
+    /// [`ProgramError::BreakpointCollision`] only if fewer than two
+    /// distinct breakpoints survive quantization.
+    pub fn program_merged(
+        &mut self,
+        pwl: &PwlFunction,
+        format: DataFormat,
+    ) -> Result<(), ProgramError> {
+        match flexsfu_core::quant::quantize_pwl(pwl, format) {
+            Some(merged) => self.program(&merged, format),
+            None => Err(ProgramError::BreakpointCollision),
+        }
+    }
+
+    /// Evaluates one input through the datapath (no timing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit has not been programmed.
+    pub fn eval(&mut self, x: f64) -> f64 {
+        let format = self.format.expect("unit must be programmed before eval");
+        let pattern = format.encode(x);
+        let address = self.adu.decode(pattern, format);
+        let (m, q) = self.ltc.fetch(address, format);
+        // The VPU MADD computes m·x + q on the dequantized operands and
+        // rounds the result back to the element format.
+        let x_q = format.decode(pattern);
+        format.quantize(m * x_q + q)
+    }
+
+    /// Runs `exe.af()` over a tensor, returning outputs and the cycle
+    /// breakdown (including the last programming cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit has not been programmed.
+    pub fn execute(&mut self, data: &[f64]) -> ExecutionResult {
+        let format = self.format.expect("unit must be programmed before execute");
+        let outputs = data.iter().map(|&x| self.eval(x)).collect();
+        let mut timing = execution_cycles(
+            data.len(),
+            self.config.ltc_depth,
+            self.config.num_clusters,
+            format,
+        );
+        timing.ld_bp_cycles = self.last_program_beats.0;
+        timing.ld_cf_cycles = self.last_program_beats.1;
+        ExecutionResult { outputs, timing }
+    }
+
+    /// Throughput of the last-programmed configuration for a tensor of
+    /// `num_elements`, in GAct/s (Figure 4's metric).
+    pub fn throughput_gact_s(&self, num_elements: usize) -> f64 {
+        let format = self.format.expect("unit must be programmed");
+        crate::pipeline::throughput_gact_s(
+            num_elements,
+            self.config.ltc_depth,
+            self.config.num_clusters,
+            format,
+            self.config.freq_hz,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_core::init::uniform_pwl;
+    use flexsfu_core::quant::quantize_pwl;
+    use flexsfu_formats::{FixedFormat, FloatFormat};
+    use flexsfu_funcs::{Activation, Gelu, Sigmoid, Tanh};
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_software_pwl_in_fp32() {
+        let pwl = uniform_pwl(&Gelu, 31, (-8.0, 8.0));
+        let mut sfu = FlexSfu::new(FlexSfuConfig::new(32, 1));
+        let fmt = DataFormat::Float(FloatFormat::FP32);
+        sfu.program(&pwl, fmt).unwrap();
+        for i in -100..=100 {
+            let x = i as f64 * 0.09;
+            let hw = sfu.eval(x);
+            let sw = pwl.eval(fmt.quantize(x));
+            assert!(
+                (hw - sw).abs() < 1e-5 * (1.0 + sw.abs()),
+                "x = {x}: hw {hw} vs sw {sw}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_formats_stay_close_to_reference() {
+        let pwl = uniform_pwl(&Sigmoid, 15, (-8.0, 8.0));
+        for fmt in [
+            DataFormat::Float(FloatFormat::FP16),
+            DataFormat::Fixed(FixedFormat::for_range(16, -8.0, 8.0)),
+        ] {
+            let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
+            sfu.program(&pwl, fmt).unwrap();
+            for i in -40..=40 {
+                let x = i as f64 * 0.2;
+                let hw = sfu.eval(x);
+                assert!(
+                    (hw - Sigmoid.eval(x)).abs() < 0.05,
+                    "{fmt}: x = {x}, hw {hw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_segments_rejected() {
+        let pwl = uniform_pwl(&Tanh, 16, (-8.0, 8.0)); // 17 segments
+        let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
+        let err = sfu
+            .program(&pwl, DataFormat::Float(FloatFormat::FP16))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::TooManySegments {
+                needed: 17,
+                depth: 16
+            }
+        );
+    }
+
+    #[test]
+    fn colliding_breakpoints_rejected() {
+        // Breakpoints 1e-4 apart vanish in a coarse fixed-point format.
+        let pwl = PwlFunction::new(
+            vec![0.0, 1e-4, 1.0],
+            vec![0.0, 0.0, 1.0],
+            0.0,
+            0.0,
+        )
+        .unwrap();
+        let coarse = DataFormat::Fixed(FixedFormat::new(8, 3));
+        let mut sfu = FlexSfu::new(FlexSfuConfig::new(4, 1));
+        assert_eq!(
+            sfu.program(&pwl, coarse).unwrap_err(),
+            ProgramError::BreakpointCollision
+        );
+    }
+
+    #[test]
+    fn execute_reports_timing() {
+        let pwl = uniform_pwl(&Gelu, 7, (-8.0, 8.0));
+        let mut sfu = FlexSfu::new(FlexSfuConfig::new(8, 1));
+        sfu.program(&pwl, DataFormat::Float(FloatFormat::FP16))
+            .unwrap();
+        let run = sfu.execute(&vec![0.5; 100]);
+        assert_eq!(run.outputs.len(), 100);
+        // 100 fp16 elements = 50 words at 1 word/cycle.
+        assert_eq!(run.timing.stream_cycles, 50);
+        assert_eq!(run.timing.fill_latency, 8);
+        assert!(run.timing.ld_bp_cycles > 0 && run.timing.ld_cf_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be programmed")]
+    fn eval_before_program_panics() {
+        FlexSfu::new(FlexSfuConfig::new(8, 1)).eval(0.0);
+    }
+
+    proptest! {
+        /// The hardware datapath agrees with evaluating the
+        /// parameter-quantized PWL function in software, for fp16.
+        #[test]
+        fn prop_hw_matches_quantized_software(x in -10.0f64..10.0) {
+            let fmt = DataFormat::Float(FloatFormat::FP16);
+            let pwl = uniform_pwl(&Tanh, 15, (-8.0, 8.0));
+            let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
+            sfu.program(&pwl, fmt).unwrap();
+            let hw = sfu.eval(x);
+            // Software reference: quantize parameters, eval, requantize.
+            let qpwl = quantize_pwl(&pwl, fmt).expect("fp16 keeps 15 bps distinct");
+            let sw = fmt.quantize(qpwl.eval(fmt.quantize(x)));
+            // The LTC stores (m, q) — not (p, v) — so tiny representation
+            // differences are allowed, bounded by a few fp16 ULPs of the
+            // operands.
+            prop_assert!((hw - sw).abs() < 0.02, "x={x}: hw {hw} sw {sw}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Seeded synthetic classification datasets.
+//!
+//! Stand-ins for ImageNet in the Table III substitution experiment: small
+//! enough to train from scratch in seconds, hard enough that accuracy is
+//! meaningfully below 100 % and therefore sensitive to activation error.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset split into train and test halves.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training inputs, shape `(n_train, …)`.
+    pub train_x: Tensor,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Test inputs, shape `(n_test, …)`.
+    pub test_x: Tensor,
+    /// Test labels.
+    pub test_y: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+/// Standard normal sampler via Box–Muller (keeps us off `rand_distr`).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gaussian blobs: `classes` clusters in `dim` dimensions with unit noise
+/// and centers drawn on a sphere of radius 2.5 — linearly separable-ish
+/// but with class overlap.
+///
+/// `per_class` samples per class per split.
+///
+/// # Panics
+///
+/// Panics if `classes < 2`, `dim == 0` or `per_class == 0`.
+pub fn gaussian_blobs(classes: usize, dim: usize, per_class: usize, seed: u64) -> Dataset {
+    assert!(classes >= 2 && dim > 0 && per_class > 0, "bad dataset spec");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let raw: Vec<f64> = (0..dim).map(|_| normal(&mut rng)).collect();
+            let norm = raw.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
+            raw.iter().map(|v| 2.5 * v / norm).collect()
+        })
+        .collect();
+    let make_split = |rng: &mut StdRng| {
+        let n = classes * per_class;
+        let mut x = Vec::with_capacity(n * dim);
+        let mut y = Vec::with_capacity(n);
+        for c in 0..classes {
+            for _ in 0..per_class {
+                for d in 0..dim {
+                    x.push(centers[c][d] + normal(rng));
+                }
+                y.push(c);
+            }
+        }
+        (Tensor::from_vec(x, vec![n, dim]), y)
+    };
+    let (train_x, train_y) = make_split(&mut rng);
+    let (test_x, test_y) = make_split(&mut rng);
+    Dataset {
+        train_x,
+        train_y,
+        test_x,
+        test_y,
+        num_classes: classes,
+    }
+}
+
+/// Interleaved 2-D spirals — a classic non-linearly-separable task that
+/// genuinely needs the activation non-linearity.
+pub fn spirals(classes: usize, per_class: usize, seed: u64) -> Dataset {
+    assert!(classes >= 2 && per_class > 0, "bad dataset spec");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make_split = |rng: &mut StdRng| {
+        let n = classes * per_class;
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for c in 0..classes {
+            for i in 0..per_class {
+                let t = i as f64 / per_class as f64;
+                let r = 0.2 + 2.3 * t;
+                let theta =
+                    t * 3.5 + c as f64 * std::f64::consts::TAU / classes as f64
+                        + normal(rng) * 0.08;
+                x.push(r * theta.cos());
+                x.push(r * theta.sin());
+                y.push(c);
+            }
+        }
+        (Tensor::from_vec(x, vec![n, 2]), y)
+    };
+    let (train_x, train_y) = make_split(&mut rng);
+    let (test_x, test_y) = make_split(&mut rng);
+    Dataset {
+        train_x,
+        train_y,
+        test_x,
+        test_y,
+        num_classes: classes,
+    }
+}
+
+/// Tiny single-channel images (`size × size`) whose class determines an
+/// oriented-stripe pattern corrupted by noise — exercises the Conv2d path.
+pub fn pattern_images(classes: usize, per_class: usize, size: usize, seed: u64) -> Dataset {
+    assert!(classes >= 2 && per_class > 0 && size >= 4, "bad dataset spec");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make_split = |rng: &mut StdRng| {
+        let n = classes * per_class;
+        let mut x = Vec::with_capacity(n * size * size);
+        let mut y = Vec::with_capacity(n);
+        for c in 0..classes {
+            let angle = c as f64 * std::f64::consts::PI / classes as f64;
+            let (ca, sa) = (angle.cos(), angle.sin());
+            for _ in 0..per_class {
+                let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                for r in 0..size {
+                    for cc in 0..size {
+                        let u = ca * r as f64 + sa * cc as f64;
+                        let v = (u * 1.4 + phase).sin() + normal(rng) * 0.45;
+                        x.push(v);
+                    }
+                }
+                y.push(c);
+            }
+        }
+        (Tensor::from_vec(x, vec![n, 1, size, size]), y)
+    };
+    let (train_x, train_y) = make_split(&mut rng);
+    let (test_x, test_y) = make_split(&mut rng);
+    Dataset {
+        train_x,
+        train_y,
+        test_x,
+        test_y,
+        num_classes: classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shapes_and_labels() {
+        let ds = gaussian_blobs(3, 5, 10, 1);
+        assert_eq!(ds.train_x.shape(), &[30, 5]);
+        assert_eq!(ds.test_x.shape(), &[30, 5]);
+        assert_eq!(ds.train_y.len(), 30);
+        assert_eq!(ds.num_classes, 3);
+        assert!(ds.train_y.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn datasets_are_seed_deterministic() {
+        let a = gaussian_blobs(2, 4, 8, 99);
+        let b = gaussian_blobs(2, 4, 8, 99);
+        assert_eq!(a.train_x, b.train_x);
+        let c = gaussian_blobs(2, 4, 8, 100);
+        assert_ne!(a.train_x, c.train_x);
+    }
+
+    #[test]
+    fn spirals_are_2d_and_bounded() {
+        let ds = spirals(3, 20, 5);
+        assert_eq!(ds.train_x.shape(), &[60, 2]);
+        assert!(ds.train_x.data().iter().all(|v| v.abs() < 4.0));
+    }
+
+    #[test]
+    fn images_are_nchw() {
+        let ds = pattern_images(2, 6, 8, 3);
+        assert_eq!(ds.train_x.shape(), &[12, 1, 8, 8]);
+        assert_eq!(ds.test_y.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad dataset spec")]
+    fn rejects_single_class() {
+        gaussian_blobs(1, 4, 8, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The [`Sequential`] model container and activation substitution.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+use flexsfu_core::PwlFunction;
+use std::collections::HashMap;
+
+/// A stack of layers executed in order.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_nn::{Sequential, Tensor};
+/// use flexsfu_nn::layers::{ActivationLayer, Dense};
+/// use flexsfu_funcs::by_name;
+///
+/// let mut rng = {
+///     let mut s = 9u64;
+///     move || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+///               (s >> 11) as f64 / (1u64 << 52) as f64 - 1.0 }
+/// };
+/// let mut m = Sequential::new(vec![
+///     Box::new(Dense::new(4, 8, &mut rng)),
+///     Box::new(ActivationLayer::new(by_name("gelu").unwrap())),
+///     Box::new(Dense::new(8, 2, &mut rng)),
+/// ]);
+/// let y = m.forward(&Tensor::zeros(vec![1, 4]), false);
+/// assert_eq!(y.shape(), &[1, 2]);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Sequential {
+    /// Builds a model from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the model. `train = true` caches activations for `backward`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Backpropagates from the loss gradient at the output.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All `(param, grad)` pairs, in layer order.
+    pub fn params_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_grads())
+            .collect()
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&mut self) -> usize {
+        self.params_grads().iter().map(|(p, _)| p.len()).sum()
+    }
+
+    /// Installs PWL substitutions on every activation layer whose function
+    /// name appears in `table`; returns how many layers were substituted.
+    ///
+    /// Passing an empty table clears all substitutions.
+    pub fn substitute_activations(&mut self, table: &HashMap<String, PwlFunction>) -> usize {
+        let mut count = 0;
+        for layer in &mut self.layers {
+            if let Some(act) = layer.as_activation_mut() {
+                if table.is_empty() {
+                    act.set_substitution(None);
+                } else if let Some(pwl) = table.get(act.activation_name()) {
+                    act.set_substitution(Some(pwl.clone()));
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Installs (or clears, with `None`) a PWL substitution for the
+    /// softmax `exp` stage of every attention layer; returns how many
+    /// layers were touched.
+    pub fn substitute_softmax_exp(&mut self, pwl: Option<PwlFunction>) -> usize {
+        let mut count = 0;
+        for layer in &mut self.layers {
+            if let Some(attn) = layer.as_attention_mut() {
+                attn.set_exp_substitution(pwl.clone());
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Names of the activation functions used by the model (with
+    /// repetition, in order).
+    pub fn activation_names(&mut self) -> Vec<&'static str> {
+        self.layers
+            .iter_mut()
+            .filter_map(|l| l.as_activation_mut().map(|a| a.activation_name()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{ActivationLayer, Dense};
+    use flexsfu_core::init::uniform_pwl;
+    use flexsfu_funcs::{by_name, Gelu};
+
+    fn rng_from(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        }
+    }
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = rng_from(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(3, 8, &mut rng)),
+            Box::new(ActivationLayer::new(by_name("gelu").unwrap())),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut m1 = tiny_model(42);
+        let mut m2 = tiny_model(42);
+        let x = Tensor::from_vec(vec![0.1, -0.2, 0.3], vec![1, 3]);
+        assert_eq!(m1.forward(&x, false), m2.forward(&x, false));
+    }
+
+    #[test]
+    fn whole_model_gradient_check() {
+        let mut m = tiny_model(7);
+        let x = Tensor::from_vec(vec![0.4, -0.6, 1.2, 0.0, 0.5, -0.1], vec![2, 3]);
+        let y = m.forward(&x, true);
+        let gx = m.backward(&y); // objective = ||y||²/2
+        let h = 1e-6;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fp: f64 = m.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
+            let fm: f64 = m.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (fd - gx.data()[i]).abs() < 1e-4,
+                "model input grad {i}: fd {fd} vs {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn substitution_by_name() {
+        let mut m = tiny_model(3);
+        let mut table = HashMap::new();
+        table.insert(
+            "gelu".to_string(),
+            uniform_pwl(&Gelu, 32, (-8.0, 8.0)),
+        );
+        assert_eq!(m.substitute_activations(&table), 1);
+        // Non-matching name substitutes nothing.
+        let mut other = HashMap::new();
+        other.insert("tanh".to_string(), uniform_pwl(&Gelu, 4, (-1.0, 1.0)));
+        let mut m2 = tiny_model(3);
+        assert_eq!(m2.substitute_activations(&other), 0);
+        // Clearing works.
+        assert_eq!(m.substitute_activations(&HashMap::new()), 0);
+    }
+
+    #[test]
+    fn substituted_model_output_stays_close() {
+        let mut m = tiny_model(11);
+        let x = Tensor::from_vec(vec![0.3, -0.5, 0.8], vec![1, 3]);
+        let exact = m.forward(&x, false);
+        let mut table = HashMap::new();
+        table.insert("gelu".to_string(), uniform_pwl(&Gelu, 32, (-8.0, 8.0)));
+        m.substitute_activations(&table);
+        let approx = m.forward(&x, false);
+        for (a, e) in approx.data().iter().zip(exact.data()) {
+            assert!((a - e).abs() < 0.05, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn activation_names_listed() {
+        let mut m = tiny_model(1);
+        assert_eq!(m.activation_names(), vec!["gelu"]);
+        assert!(m.num_params() > 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! A small flat-storage tensor with the operations the substrate needs.
+
+/// An n-dimensional array stored row-major in a flat `Vec<f64>`.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_nn::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.data(), a.data());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension");
+        let n = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(data: Vec<f64>, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length does not match shape");
+        Self { shape, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(vec![n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reshapes in place (volume must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different volume.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape changes volume");
+        self.shape = shape;
+        self
+    }
+
+    /// 2-D element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or indices are out of range.
+    pub fn at2(&self, r: usize, c: usize) -> f64 {
+        assert_eq!(self.shape.len(), 2, "at2 needs a 2-D tensor");
+        assert!(r < self.shape[0] && c < self.shape[1], "index out of range");
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Matrix multiplication of two 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `(m, k)` and `rhs` is `(k, n)`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "inner dimensions must agree ({k} vs {k2})");
+        let mut out = Tensor::zeros(vec![m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[p * n..(p + 1) * n];
+                let dst = &mut out.data[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(vec![n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in add");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// In-place scaled accumulation `self += alpha * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], vec![3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f64).collect(), vec![3, 4]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at2(2, 1), a.at2(1, 2));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], vec![2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn map_add_axpy() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let b = a.map(|x| x * x);
+        assert_eq!(b.data(), &[1.0, 4.0]);
+        let mut c = a.add(&b);
+        assert_eq!(c.data(), &[2.0, 6.0]);
+        c.axpy(-1.0, &b);
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f64).collect(), vec![2, 3]);
+        let b = a.clone().reshape(vec![3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn bad_from_vec_panics() {
+        Tensor::from_vec(vec![0.0; 5], vec![2, 3]);
+    }
+}

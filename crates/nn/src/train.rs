@@ -1,0 +1,211 @@
+//! Training: softmax cross-entropy + SGD with momentum.
+
+use crate::data::Dataset;
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over a logits batch.
+///
+/// Returns the mean loss and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if shapes/labels disagree.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be (batch, classes)");
+    let (b, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), b, "one label per row");
+    let mut grad = Tensor::zeros(vec![b, k]);
+    let mut loss = 0.0;
+    for r in 0..b {
+        assert!(labels[r] < k, "label {} out of range", labels[r]);
+        let row = &logits.data()[r * k..(r + 1) * k];
+        let probs = flexsfu_funcs::softmax::softmax(row);
+        loss -= probs[labels[r]].max(1e-300).ln();
+        for c in 0..k {
+            let delta = if c == labels[r] { 1.0 } else { 0.0 };
+            grad.data_mut()[r * k + c] = (probs[c] - delta) / b as f64;
+        }
+    }
+    (loss / b as f64, grad)
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Global gradient-norm clip (`None` disables). Keeps attention
+    /// training stable at practical learning rates.
+    pub grad_clip: Option<f64>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            lr: 0.05,
+            momentum: 0.9,
+            batch_size: 32,
+            grad_clip: Some(5.0),
+        }
+    }
+}
+
+/// Slices rows `lo..hi` of the leading dimension.
+fn slice_rows(x: &Tensor, lo: usize, hi: usize) -> Tensor {
+    let row: usize = x.shape()[1..].iter().product();
+    let mut shape = x.shape().to_vec();
+    shape[0] = hi - lo;
+    Tensor::from_vec(x.data()[lo * row..hi * row].to_vec(), shape)
+}
+
+/// Trains `model` on the dataset's training split; returns the final
+/// epoch's mean loss.
+pub fn train(model: &mut Sequential, ds: &Dataset, cfg: &TrainConfig) -> f64 {
+    let n = ds.train_y.len();
+    let mut velocity: Vec<Tensor> = model
+        .params_grads()
+        .iter()
+        .map(|(p, _)| Tensor::zeros(p.shape().to_vec()))
+        .collect();
+    let mut last_loss = f64::INFINITY;
+    for _epoch in 0..cfg.epochs {
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + cfg.batch_size).min(n);
+            let xb = slice_rows(&ds.train_x, lo, hi);
+            let yb = &ds.train_y[lo..hi];
+            let logits = model.forward(&xb, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, yb);
+            model.backward(&grad);
+            // Global-norm gradient clipping.
+            let scale = match cfg.grad_clip {
+                Some(clip) => {
+                    let norm: f64 = model
+                        .params_grads()
+                        .iter()
+                        .flat_map(|(_, g)| g.data())
+                        .map(|v| v * v)
+                        .sum::<f64>()
+                        .sqrt();
+                    if norm > clip {
+                        clip / norm
+                    } else {
+                        1.0
+                    }
+                }
+                None => 1.0,
+            };
+            for (i, (p, g)) in model.params_grads().into_iter().enumerate() {
+                let v = &mut velocity[i];
+                for j in 0..p.len() {
+                    let gv = g.data()[j] * scale;
+                    v.data_mut()[j] = cfg.momentum * v.data()[j] - cfg.lr * gv;
+                    p.data_mut()[j] += v.data()[j];
+                    g.data_mut()[j] = 0.0;
+                }
+            }
+            epoch_loss += loss;
+            batches += 1;
+            lo = hi;
+        }
+        last_loss = epoch_loss / batches as f64;
+    }
+    last_loss
+}
+
+/// Top-1 accuracy on the test split (inference mode, so substitutions
+/// apply).
+pub fn accuracy(model: &mut Sequential, ds: &Dataset) -> f64 {
+    accuracy_on(model, &ds.test_x, &ds.test_y)
+}
+
+/// Top-1 accuracy on an explicit split.
+pub fn accuracy_on(model: &mut Sequential, x: &Tensor, y: &[usize]) -> f64 {
+    let n = y.len();
+    let mut correct = 0usize;
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + 64).min(n);
+        let logits = model.forward(&slice_rows(x, lo, hi), false);
+        let k = logits.shape()[1];
+        for (r, &label) in y[lo..hi].iter().enumerate() {
+            let row = &logits.data()[r * k..(r + 1) * k];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            correct += usize::from(pred == label);
+        }
+        lo = hi;
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gaussian_blobs;
+    use crate::zoo::mlp;
+
+    #[test]
+    fn cross_entropy_on_perfect_logits_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], vec![2, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6, "loss {loss}");
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.1, 0.1], vec![2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f64 = grad.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_k() {
+        let logits = Tensor::zeros(vec![1, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!((loss - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_learns_blobs() {
+        let ds = gaussian_blobs(3, 8, 60, 11);
+        let mut model = mlp(8, &[24], 3, "relu", 5);
+        let before = accuracy(&mut model, &ds);
+        let cfg = TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        };
+        let loss = train(&mut model, &ds, &cfg);
+        let after = accuracy(&mut model, &ds);
+        assert!(loss < 1.0, "final loss {loss}");
+        assert!(
+            after > before && after > 0.7,
+            "accuracy {before} → {after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros(vec![1, 3]);
+        softmax_cross_entropy(&logits, &[5]);
+    }
+}

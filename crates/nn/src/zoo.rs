@@ -1,0 +1,199 @@
+//! Small model builders covering the Table III activation families.
+
+use crate::attention::{LayerNorm, SelfAttention};
+use crate::layers::{ActivationLayer, Conv2d, Dense, Flatten, Layer, MaxPool2};
+use crate::model::Sequential;
+use flexsfu_funcs::by_name;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gaussian parameter initializer from a seed.
+fn make_rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    move || {
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// A multi-layer perceptron `in → hidden… → out` with the named activation
+/// after every hidden layer.
+///
+/// # Panics
+///
+/// Panics if the activation name is unknown or `hidden` is empty.
+pub fn mlp(in_dim: usize, hidden: &[usize], out_dim: usize, act: &str, seed: u64) -> Sequential {
+    assert!(!hidden.is_empty(), "mlp needs at least one hidden layer");
+    let mut rng = make_rng(seed);
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut prev = in_dim;
+    for &h in hidden {
+        layers.push(Box::new(Dense::new(prev, h, &mut rng)));
+        layers.push(Box::new(ActivationLayer::new(
+            by_name(act).unwrap_or_else(|| panic!("unknown activation {act}")),
+        )));
+        prev = h;
+    }
+    layers.push(Box::new(Dense::new(prev, out_dim, &mut rng)));
+    Sequential::new(layers)
+}
+
+/// A small CNN for `size × size` single-channel pattern images:
+/// conv3×3 → act → maxpool → flatten → dense → act → dense.
+///
+/// # Panics
+///
+/// Panics if the activation name is unknown or `size < 6`.
+pub fn cnn(size: usize, channels: usize, classes: usize, act: &str, seed: u64) -> Sequential {
+    assert!(size >= 6, "image too small for conv3 + pool");
+    let mut rng = make_rng(seed);
+    let conv_out = size - 2; // valid 3x3
+    assert!(conv_out % 2 == 0, "conv output must be even for 2x2 pooling");
+    let pooled = conv_out / 2;
+    let feat = channels * pooled * pooled;
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(1, channels, 3, &mut rng)),
+        Box::new(ActivationLayer::new(
+            by_name(act).unwrap_or_else(|| panic!("unknown activation {act}")),
+        )),
+        Box::new(MaxPool2::new()),
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(feat, 24, &mut rng)),
+        Box::new(ActivationLayer::new(
+            by_name(act).unwrap_or_else(|| panic!("unknown activation {act}")),
+        )),
+        Box::new(Dense::new(24, classes, &mut rng)),
+    ];
+    Sequential::new(layers)
+}
+
+/// A deeper MLP with mixed activations (a crude "mixer" stand-in: gated
+/// activation in the middle, sigmoid-family head).
+pub fn mixer(in_dim: usize, width: usize, out_dim: usize, act: &str, seed: u64) -> Sequential {
+    let mut rng = make_rng(seed);
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Dense::new(in_dim, width, &mut rng)),
+        Box::new(ActivationLayer::new(by_name(act).expect("known activation"))),
+        Box::new(Dense::new(width, width, &mut rng)),
+        Box::new(ActivationLayer::new(by_name(act).expect("known activation"))),
+        Box::new(Dense::new(width, width / 2, &mut rng)),
+        Box::new(ActivationLayer::new(by_name("tanh").expect("tanh exists"))),
+        Box::new(Dense::new(width / 2, out_dim, &mut rng)),
+    ];
+    Sequential::new(layers)
+}
+
+/// A tiny transformer encoder for inputs of shape `(batch, seq·dim)`:
+/// attention → layernorm → GELU MLP → classifier head. Exercises both the
+/// activation substitution path (GELU) and the softmax-`exp` path.
+///
+/// # Panics
+///
+/// Panics if the activation name is unknown.
+pub fn transformer(
+    seq: usize,
+    dim: usize,
+    classes: usize,
+    act: &str,
+    seed: u64,
+) -> Sequential {
+    let mut rng = make_rng(seed);
+    let width = seq * dim;
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(SelfAttention::new(seq, dim, &mut rng)),
+        Box::new(LayerNorm::new(width)),
+        Box::new(Dense::new(width, width, &mut rng)),
+        Box::new(ActivationLayer::new(
+            by_name(act).unwrap_or_else(|| panic!("unknown activation {act}")),
+        )),
+        Box::new(Dense::new(width, classes, &mut rng)),
+    ];
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{gaussian_blobs, pattern_images};
+    use crate::train::{accuracy, train, TrainConfig};
+    use crate::Tensor;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut m = mlp(6, &[12, 12], 3, "silu", 1);
+        let y = m.forward(&Tensor::zeros(vec![2, 6]), false);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(m.activation_names(), vec!["silu", "silu"]);
+    }
+
+    #[test]
+    fn cnn_shapes() {
+        let mut m = cnn(8, 4, 2, "hardswish", 2);
+        let y = m.forward(&Tensor::zeros(vec![3, 1, 8, 8]), false);
+        assert_eq!(y.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn mixer_uses_two_activation_kinds() {
+        let mut m = mixer(4, 16, 2, "gelu", 3);
+        let names = m.activation_names();
+        assert_eq!(names, vec!["gelu", "gelu", "tanh"]);
+    }
+
+    #[test]
+    fn cnn_trains_on_patterns() {
+        let ds = pattern_images(2, 24, 8, 77);
+        let mut m = cnn(8, 4, 2, "relu", 9);
+        let cfg = TrainConfig {
+            epochs: 12,
+            lr: 0.03,
+            ..TrainConfig::default()
+        };
+        train(&mut m, &ds, &cfg);
+        let acc = accuracy(&mut m, &ds);
+        assert!(acc > 0.6, "cnn accuracy {acc}");
+    }
+
+    #[test]
+    fn silu_mlp_trains_on_blobs() {
+        let ds = gaussian_blobs(3, 8, 50, 21);
+        let mut m = mlp(8, &[24], 3, "silu", 4);
+        train(&mut m, &ds, &TrainConfig::default());
+        assert!(accuracy(&mut m, &ds) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown activation")]
+    fn unknown_activation_panics() {
+        mlp(2, &[4], 2, "definitely_not_real", 0);
+    }
+
+    #[test]
+    fn transformer_trains_and_substitutes_exp() {
+        use flexsfu_core::init::uniform_pwl;
+        use flexsfu_funcs::Exp;
+
+        let ds = gaussian_blobs(3, 12, 60, 31); // 12 dims = 3 tokens x 4
+        let mut m = transformer(3, 4, 3, "gelu", 8);
+        let cfg = TrainConfig {
+            epochs: 40,
+            lr: 0.03,
+            ..TrainConfig::default()
+        };
+        train(&mut m, &ds, &cfg);
+        let base = accuracy(&mut m, &ds);
+        assert!(base > 0.6, "transformer baseline {base}");
+
+        // Substitute the softmax exp with a 32-breakpoint PWL.
+        let pwl = uniform_pwl(&Exp, 32, (-10.0, 0.1));
+        assert_eq!(m.substitute_softmax_exp(Some(pwl)), 1);
+        let sub = accuracy(&mut m, &ds);
+        assert!(
+            (base - sub).abs() < 0.05,
+            "exp substitution changed accuracy {base} → {sub}"
+        );
+        assert_eq!(m.substitute_softmax_exp(None), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Adam optimizer (Kingma & Ba, 2014) over a flat parameter vector.
+
+/// Adam state for a fixed-size parameter vector.
+///
+/// The paper uses Adam with `lr = 0.1` and momenta `(0.9, 0.999)` to move
+/// both breakpoints and values (Section IV).
+///
+/// # Examples
+///
+/// Minimizing `(x - 3)²`:
+///
+/// ```
+/// use flexsfu_optim::Adam;
+///
+/// let mut adam = Adam::new(1, 0.1, (0.9, 0.999));
+/// let mut x = vec![0.0f64];
+/// for _ in 0..500 {
+///     let g = vec![2.0 * (x[0] - 3.0)];
+///     adam.step(&mut x, &g);
+/// }
+/// assert!((x[0] - 3.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `dim` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, or the betas are outside `[0, 1)`.
+    pub fn new(dim: usize, lr: f64, betas: (f64, f64)) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&betas.0) && (0.0..1.0).contains(&betas.1),
+            "betas must be in [0, 1)"
+        );
+        Self {
+            lr,
+            beta1: betas.0,
+            beta2: betas.1,
+            eps: 1e-8,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Updates the learning rate (used by the plateau scheduler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Number of parameters this optimizer tracks.
+    pub fn dim(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Applies one Adam update to `params` given `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths don't match the optimizer dimension.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.dim(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.dim(), "gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Resets the moment estimates (used after structural changes to the
+    /// parameter vector, e.g. breakpoint removal/insertion).
+    pub fn reset(&mut self) {
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic_bowl() {
+        let mut adam = Adam::new(2, 0.05, (0.9, 0.999));
+        let mut x = vec![5.0, -3.0];
+        for _ in 0..2000 {
+            let g = vec![2.0 * x[0], 4.0 * x[1]];
+            adam.step(&mut x, &g);
+        }
+        assert!(x[0].abs() < 1e-3 && x[1].abs() < 1e-3, "{x:?}");
+    }
+
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        // With bias correction, the very first Adam step has magnitude
+        // exactly lr (for non-zero gradient).
+        let mut adam = Adam::new(1, 0.1, (0.9, 0.999));
+        let mut x = vec![0.0];
+        adam.step(&mut x, &[123.456]);
+        assert!((x[0] + 0.1).abs() < 1e-6, "step was {}", x[0]);
+    }
+
+    #[test]
+    fn zero_gradient_keeps_params() {
+        let mut adam = Adam::new(3, 0.1, (0.9, 0.999));
+        let mut x = vec![1.0, 2.0, 3.0];
+        adam.step(&mut x, &[0.0, 0.0, 0.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn set_lr_and_reset() {
+        let mut adam = Adam::new(1, 0.1, (0.9, 0.999));
+        adam.set_lr(0.01);
+        assert_eq!(adam.lr(), 0.01);
+        let mut x = vec![1.0];
+        adam.step(&mut x, &[1.0]);
+        adam.reset();
+        // After reset the next step behaves like a first step again.
+        let mut y = vec![0.0];
+        adam.step(&mut y, &[55.0]);
+        assert!((y[0] + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut adam = Adam::new(2, 0.1, (0.9, 0.999));
+        adam.step(&mut [0.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_nonpositive_lr() {
+        Adam::new(1, 0.0, (0.9, 0.999));
+    }
+}

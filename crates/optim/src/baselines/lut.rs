@@ -1,0 +1,130 @@
+//! Pure LUT approximation (one constant output per interval).
+//!
+//! The LUT-based family the paper describes in Section II ([12]–[15]):
+//! the input range is divided into uniform intervals and each interval maps
+//! to one pre-computed output. Accuracy scales only linearly with the LUT
+//! depth — the motivation for the hybrid (coefficient-storing) approach.
+
+use flexsfu_funcs::Activation;
+
+/// A uniform-interval lookup table: `depth` intervals over `[a, b]`, each
+/// returning the function value at its midpoint; inputs outside clamp to
+/// the first/last entry.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_optim::baselines::lut::LutApprox;
+/// use flexsfu_funcs::Sigmoid;
+///
+/// let lut = LutApprox::build(&Sigmoid, 64, (-8.0, 8.0));
+/// let err = (lut.eval(0.3) - 0.574).abs();
+/// assert!(err < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutApprox {
+    lo: f64,
+    hi: f64,
+    outputs: Vec<f64>,
+}
+
+impl LutApprox {
+    /// Builds a LUT with `depth` intervals over `range`, storing the exact
+    /// function value at each interval midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` or the range is invalid.
+    pub fn build(f: &dyn Activation, depth: usize, range: (f64, f64)) -> Self {
+        let (lo, hi) = range;
+        assert!(depth > 0, "LUT depth must be positive");
+        assert!(lo < hi, "invalid range [{lo}, {hi}]");
+        let w = (hi - lo) / depth as f64;
+        let outputs = (0..depth)
+            .map(|i| f.eval(lo + (i as f64 + 0.5) * w))
+            .collect();
+        Self { lo, hi, outputs }
+    }
+
+    /// Number of intervals.
+    pub fn depth(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Looks up the output for `x` (clamping outside the range) — the
+    /// "addressing scheme maps a full interval to a LUT address" behaviour.
+    pub fn eval(&self, x: f64) -> f64 {
+        let w = (self.hi - self.lo) / self.depth() as f64;
+        let idx = ((x - self.lo) / w).floor();
+        let idx = (idx.max(0.0) as usize).min(self.depth() - 1);
+        self.outputs[idx]
+    }
+
+    /// Sampled MSE against `f` over the LUT's own range.
+    pub fn sampled_mse(&self, f: &dyn Activation, samples: usize) -> f64 {
+        assert!(samples >= 2);
+        let mut acc = 0.0;
+        for k in 0..samples {
+            let x = self.lo + (self.hi - self.lo) * k as f64 / (samples - 1) as f64;
+            let e = self.eval(x) - f.eval(x);
+            acc += e * e;
+        }
+        acc / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_core::init::uniform_pwl;
+    use flexsfu_core::loss::integral_mse;
+    use flexsfu_funcs::{Gelu, Sigmoid, Tanh};
+
+    #[test]
+    fn lut_error_scales_quadratically_in_mse() {
+        // Constant-per-interval error is O(h) pointwise → MSE is O(h²):
+        // doubling the depth shrinks MSE by ~4x (vs ~16x for PWL).
+        let m32 = LutApprox::build(&Tanh, 32, (-8.0, 8.0)).sampled_mse(&Tanh, 8192);
+        let m64 = LutApprox::build(&Tanh, 64, (-8.0, 8.0)).sampled_mse(&Tanh, 8192);
+        let ratio = m32 / m64;
+        assert!((2.0..8.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn hybrid_pwl_beats_lut_at_same_depth() {
+        // The motivating comparison: same number of stored entries, the
+        // hybrid (PWL) approach is far more accurate.
+        for f in [&Gelu as &dyn Activation, &Sigmoid] {
+            let lut = LutApprox::build(f, 16, (-8.0, 8.0));
+            let pwl = uniform_pwl(f, 16, (-8.0, 8.0));
+            let lut_mse = lut.sampled_mse(f, 8192);
+            let pwl_mse = integral_mse(&pwl, f, -8.0, 8.0);
+            assert!(
+                pwl_mse < lut_mse / 10.0,
+                "{}: pwl {pwl_mse} vs lut {lut_mse}",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let lut = LutApprox::build(&Sigmoid, 8, (-8.0, 8.0));
+        assert_eq!(lut.eval(-100.0), lut.eval(-7.99));
+        assert_eq!(lut.eval(100.0), lut.eval(7.99));
+    }
+
+    #[test]
+    fn depth_one_is_constant() {
+        let lut = LutApprox::build(&Sigmoid, 1, (-1.0, 1.0));
+        assert_eq!(lut.depth(), 1);
+        assert_eq!(lut.eval(-1.0), lut.eval(1.0));
+        assert_eq!(lut.eval(0.0), Sigmoid.eval(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        LutApprox::build(&Sigmoid, 0, (-1.0, 1.0));
+    }
+}

@@ -1,0 +1,13 @@
+//! Approximation baselines the paper compares against.
+//!
+//! * [`uniform`] — uniform-grid PWL with exact values (re-exported from
+//!   `flexsfu_core::init`) plus a stronger *least-squares-valued* variant
+//!   that keeps the uniform grid but fits the values optimally;
+//! * [`lut`] — the pure LUT family (one constant output per interval), the
+//!   architecture of [12]–[15] in the paper;
+//! * [`reference`] — the published error figures of the prior PWL works in
+//!   Table II, embedded as constants for the comparison harness.
+
+pub mod lut;
+pub mod reference;
+pub mod uniform;

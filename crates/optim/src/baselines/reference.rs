@@ -1,0 +1,265 @@
+//! Published error figures of prior PWL works (paper, Table II).
+//!
+//! The paper compares its MSE-optimized interpolation against the errors
+//! *reported by* prior works, at matched function / range / breakpoint
+//! count. Those published numbers are embedded here so the Table II
+//! harness can regenerate the comparison. Most prior works report average
+//! absolute error (AAE), which the paper squares (`sq-AAE`) to be
+//! comparable with MSE; two rows ([12]) are already MSE.
+
+/// Which error metric a reference row reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefMetric {
+    /// Squared average absolute error (AAE², most prior works).
+    SqAae,
+    /// Mean squared error (rows marked ‡ in the paper).
+    Mse,
+}
+
+/// One comparison row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceRow {
+    /// Citation tag as printed in the paper (e.g. `"[17]"`).
+    pub work: &'static str,
+    /// Target activation (`"tanh"`, `"sigmoid"`, `"gelu"`).
+    pub function: &'static str,
+    /// Interpolation interval used by the reference.
+    pub range: (f64, f64),
+    /// Number of breakpoints (symmetry-expanded where the original work
+    /// stores half the table, marked † in the paper).
+    pub breakpoints: usize,
+    /// Whether the original work exploits odd/even symmetry.
+    pub uses_symmetry: bool,
+    /// The error value published by the reference work.
+    pub error: f64,
+    /// Metric of [`ReferenceRow::error`].
+    pub metric: RefMetric,
+    /// Improvement factor the paper reports for this row ("Impr." column).
+    pub paper_improvement: f64,
+    /// Flex-SFU error the paper reports for this row ("This work").
+    pub paper_this_work: f64,
+}
+
+/// All 13 comparison rows of Table II, in paper order.
+pub const TABLE2_ROWS: [ReferenceRow; 13] = [
+    ReferenceRow {
+        work: "[16]",
+        function: "tanh",
+        range: (-8.0, 8.0),
+        breakpoints: 16,
+        uses_symmetry: true,
+        error: 5.76e-6,
+        metric: RefMetric::SqAae,
+        paper_improvement: 13.5,
+        paper_this_work: 4.27e-7,
+    },
+    ReferenceRow {
+        work: "[17]",
+        function: "tanh",
+        range: (-3.5, 3.5),
+        breakpoints: 16,
+        uses_symmetry: false,
+        error: 3.58e-5,
+        metric: RefMetric::SqAae,
+        paper_improvement: 23.5,
+        paper_this_work: 1.52e-6,
+    },
+    ReferenceRow {
+        work: "[17]",
+        function: "tanh",
+        range: (-3.5, 3.5),
+        breakpoints: 64,
+        uses_symmetry: false,
+        error: 1.12e-7,
+        metric: RefMetric::SqAae,
+        paper_improvement: 14.2,
+        paper_this_work: 7.88e-9,
+    },
+    ReferenceRow {
+        work: "[18]",
+        function: "tanh",
+        range: (-8.0, 8.0),
+        breakpoints: 16,
+        uses_symmetry: false,
+        error: 1.00e-6,
+        metric: RefMetric::SqAae,
+        paper_improvement: 2.3,
+        paper_this_work: 4.26e-7,
+    },
+    ReferenceRow {
+        work: "[20]",
+        function: "tanh",
+        range: (0.015625, 4.0),
+        breakpoints: 32,
+        uses_symmetry: false,
+        error: 5.94e-7,
+        metric: RefMetric::SqAae,
+        paper_improvement: 88.4,
+        paper_this_work: 6.72e-9,
+    },
+    ReferenceRow {
+        work: "[12]",
+        function: "tanh",
+        range: (-4.0, 4.0),
+        breakpoints: 32,
+        uses_symmetry: true,
+        error: 9.81e-7,
+        metric: RefMetric::Mse,
+        paper_improvement: 86.8,
+        paper_this_work: 1.13e-8,
+    },
+    ReferenceRow {
+        work: "[16]",
+        function: "sigmoid",
+        range: (-8.0, 8.0),
+        breakpoints: 16,
+        uses_symmetry: true,
+        error: 8.10e-7,
+        metric: RefMetric::SqAae,
+        paper_improvement: 6.7,
+        paper_this_work: 1.21e-7,
+    },
+    ReferenceRow {
+        work: "[17]",
+        function: "sigmoid",
+        range: (-7.0, 7.0),
+        breakpoints: 16,
+        uses_symmetry: false,
+        error: 8.95e-6,
+        metric: RefMetric::SqAae,
+        paper_improvement: 18.0,
+        paper_this_work: 4.97e-7,
+    },
+    ReferenceRow {
+        work: "[17]",
+        function: "sigmoid",
+        range: (-7.0, 7.0),
+        breakpoints: 64,
+        uses_symmetry: false,
+        error: 2.82e-8,
+        metric: RefMetric::SqAae,
+        paper_improvement: 11.9,
+        paper_this_work: 2.38e-9,
+    },
+    ReferenceRow {
+        work: "[18]",
+        function: "sigmoid",
+        range: (-8.0, 8.0),
+        breakpoints: 16,
+        uses_symmetry: false,
+        error: 6.25e-6,
+        metric: RefMetric::SqAae,
+        paper_improvement: 21.7,
+        paper_this_work: 2.88e-7,
+    },
+    ReferenceRow {
+        work: "[20]",
+        function: "sigmoid",
+        range: (0.015625, 4.0),
+        breakpoints: 32,
+        uses_symmetry: false,
+        error: 1.41e-7,
+        metric: RefMetric::SqAae,
+        paper_improvement: 3.7,
+        paper_this_work: 3.80e-8,
+    },
+    ReferenceRow {
+        work: "[12]",
+        function: "sigmoid",
+        range: (-4.0, 4.0),
+        breakpoints: 64,
+        uses_symmetry: true,
+        error: 3.92e-8,
+        metric: RefMetric::Mse,
+        paper_improvement: 9.3,
+        paper_this_work: 2.38e-9,
+    },
+    ReferenceRow {
+        work: "[18]",
+        function: "gelu",
+        range: (-8.0, 8.0),
+        breakpoints: 16,
+        uses_symmetry: false,
+        error: 6.76e-6,
+        metric: RefMetric::SqAae,
+        paper_improvement: 9.0,
+        paper_this_work: 1.89e-7,
+    },
+];
+
+/// Geometric-mean improvement of the paper's 13 rows (the "22.3× on
+/// average" headline; the paper averages the improvement factors).
+pub fn paper_average_improvement() -> f64 {
+    let sum: f64 = TABLE2_ROWS.iter().map(|r| r.paper_improvement).sum();
+    sum / TABLE2_ROWS.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_rows_matching_paper_layout() {
+        assert_eq!(TABLE2_ROWS.len(), 13);
+        assert_eq!(
+            TABLE2_ROWS.iter().filter(|r| r.function == "tanh").count(),
+            6
+        );
+        assert_eq!(
+            TABLE2_ROWS
+                .iter()
+                .filter(|r| r.function == "sigmoid")
+                .count(),
+            6
+        );
+        assert_eq!(
+            TABLE2_ROWS.iter().filter(|r| r.function == "gelu").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn improvements_match_error_ratios() {
+        for r in &TABLE2_ROWS {
+            // Known inconsistencies in the published table: the [12]
+            // sigmoid row prints 9.3x (columns give 16.5x) and the [18]
+            // gelu row prints 9.0x (columns give 35.8x).
+            if (r.work == "[12]" && r.function == "sigmoid")
+                || (r.work == "[18]" && r.function == "gelu")
+            {
+                continue;
+            }
+            let ratio = r.error / r.paper_this_work;
+            let rel = (ratio - r.paper_improvement).abs() / r.paper_improvement;
+            assert!(
+                rel < 0.05,
+                "{} {}: ratio {ratio} vs printed {}",
+                r.work,
+                r.function,
+                r.paper_improvement
+            );
+        }
+    }
+
+    #[test]
+    fn average_improvement_matches_headline() {
+        // The paper reports "22.3x on average"; the arithmetic mean of the
+        // printed per-row factors is 23.8 (the 22.3 presumably uses the
+        // corrected [12]-sigmoid ratio or different rounding). Accept the
+        // neighbourhood.
+        let avg = paper_average_improvement();
+        assert!(
+            (20.0..27.0).contains(&avg),
+            "paper claims ~22.3x average, rows give {avg}"
+        );
+    }
+
+    #[test]
+    fn mse_rows_are_the_andri_ones() {
+        for r in &TABLE2_ROWS {
+            if r.metric == RefMetric::Mse {
+                assert_eq!(r.work, "[12]");
+            }
+        }
+    }
+}

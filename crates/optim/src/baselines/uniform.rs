@@ -1,0 +1,151 @@
+//! Uniform-grid PWL baselines.
+//!
+//! Two variants:
+//!
+//! * [`uniform_exact`] — uniform breakpoints, values sampled exactly from
+//!   the function (what most prior hybrid PWL works do; the "Uniform PPA"
+//!   curve of the paper's Figure 2);
+//! * [`uniform_least_squares`] — uniform breakpoints, values chosen to
+//!   minimize the sampled MSE. This is the strongest approximation with a
+//!   *uniform* grid, so any further improvement by Flex-SFU is
+//!   attributable to the non-uniform breakpoint placement alone.
+
+use flexsfu_core::init::uniform_pwl;
+use flexsfu_core::PwlFunction;
+use flexsfu_funcs::Activation;
+
+/// Uniform breakpoints with exact function values (Figure 2's baseline).
+pub fn uniform_exact(f: &dyn Activation, n: usize, range: (f64, f64)) -> PwlFunction {
+    uniform_pwl(f, n, range)
+}
+
+/// Uniform breakpoints with least-squares-optimal values.
+///
+/// With the breakpoints fixed, `f̂` is linear in the values `v` (hat-basis
+/// expansion), so the MSE-optimal `v` solves a symmetric positive-definite
+/// *tridiagonal* normal system `Gv = r` with the hat-function Gram matrix
+/// `G`. We assemble both from a dense sample grid and solve with the
+/// Thomas algorithm.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the range is invalid.
+pub fn uniform_least_squares(
+    f: &dyn Activation,
+    n: usize,
+    range: (f64, f64),
+    samples: usize,
+) -> PwlFunction {
+    let (a, b) = range;
+    assert!(n >= 2, "need at least two breakpoints");
+    assert!(a < b, "invalid range");
+    assert!(samples >= 8 * n, "need a dense sample grid");
+    let base = uniform_pwl(f, n, range);
+    let p = base.breakpoints().to_vec();
+
+    // Hat basis over the clamped domain: φ_i(x) piecewise linear with
+    // φ_i(p_j) = δ_ij; outside [p_0, p_{n-1}] the boundary hats stay at 1
+    // (matching the flat outer segments when slopes are ~0; boundary slope
+    // effects on [a,b] ⊂ [p0,pn-1] don't arise for the uniform grid which
+    // spans exactly [a, b]).
+    let hat = |i: usize, x: f64| -> f64 {
+        let n = p.len();
+        if i > 0 && x >= p[i - 1] && x <= p[i] {
+            (x - p[i - 1]) / (p[i] - p[i - 1])
+        } else if i + 1 < n && x >= p[i] && x <= p[i + 1] {
+            (p[i + 1] - x) / (p[i + 1] - p[i])
+        } else if (i == 0 && x <= p[0]) || (i == n - 1 && x >= p[n - 1]) {
+            1.0
+        } else {
+            0.0
+        }
+    };
+
+    // Assemble tridiagonal normal equations from the sample grid.
+    let mut diag = vec![0.0; n];
+    let mut off = vec![0.0; n - 1]; // G[i][i+1] = G[i+1][i]
+    let mut rhs = vec![0.0; n];
+    for k in 0..samples {
+        let x = a + (b - a) * k as f64 / (samples - 1) as f64;
+        let fx = f.eval(x);
+        // At most two hats are non-zero at x.
+        let seg = p.partition_point(|&q| q < x).clamp(1, n - 1);
+        let (i, j) = (seg - 1, seg);
+        let (hi, hj) = (hat(i, x), hat(j, x));
+        diag[i] += hi * hi;
+        diag[j] += hj * hj;
+        off[i] += hi * hj;
+        rhs[i] += hi * fx;
+        rhs[j] += hj * fx;
+    }
+
+    // Thomas algorithm (the system is SPD tridiagonal).
+    let mut c = vec![0.0; n - 1];
+    let mut d = vec![0.0; n];
+    c[0] = off[0] / diag[0];
+    d[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let m = diag[i] - off[i - 1] * c[i - 1];
+        if i < n - 1 {
+            c[i] = off[i] / m;
+        }
+        d[i] = (rhs[i] - off[i - 1] * d[i - 1]) / m;
+    }
+    let mut v = vec![0.0; n];
+    v[n - 1] = d[n - 1];
+    for i in (0..n - 1).rev() {
+        v[i] = d[i] - c[i] * v[i + 1];
+    }
+
+    PwlFunction::new(p, v, base.left_slope(), base.right_slope())
+        .expect("grid unchanged, still valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_core::loss::integral_mse;
+    use flexsfu_funcs::{Gelu, Sigmoid, Tanh};
+
+    #[test]
+    fn least_squares_beats_exact_values() {
+        for f in [&Gelu as &dyn Activation, &Sigmoid, &Tanh] {
+            let n = 8;
+            let exact = uniform_exact(f, n, (-8.0, 8.0));
+            let ls = uniform_least_squares(f, n, (-8.0, 8.0), 4096);
+            let mse_exact = integral_mse(&exact, f, -8.0, 8.0);
+            let mse_ls = integral_mse(&ls, f, -8.0, 8.0);
+            assert!(
+                mse_ls <= mse_exact * 1.001,
+                "{}: ls {mse_ls} vs exact {mse_exact}",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn least_squares_keeps_grid() {
+        let ls = uniform_least_squares(&Gelu, 9, (-8.0, 8.0), 4096);
+        let gaps: Vec<f64> = ls.breakpoints().windows(2).map(|w| w[1] - w[0]).collect();
+        for g in gaps {
+            assert!((g - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn least_squares_values_stay_near_function() {
+        let ls = uniform_least_squares(&Sigmoid, 16, (-8.0, 8.0), 4096);
+        for (&p, &v) in ls.breakpoints().iter().zip(ls.values()) {
+            assert!(
+                (v - Sigmoid.eval(p)).abs() < 0.05,
+                "value at {p} drifted to {v}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense sample grid")]
+    fn rejects_sparse_grid() {
+        uniform_least_squares(&Gelu, 16, (-8.0, 8.0), 32);
+    }
+}

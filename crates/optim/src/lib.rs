@@ -1,0 +1,47 @@
+//! # flexsfu-optim
+//!
+//! The Flex-SFU breakpoint optimization algorithm (paper, Section IV).
+//!
+//! Starting from uniformly distributed breakpoints with exact function
+//! values, the optimizer:
+//!
+//! 1. minimizes the sampled integral-MSE loss with [`Adam`]
+//!    (`lr = 0.1`, `β = (0.9, 0.999)`) under a [`ReduceLrOnPlateau`]
+//!    schedule, with analytic gradients w.r.t. every breakpoint *and*
+//!    value ([`grad::SampledProblem`]);
+//! 2. escapes local minima by **removing** the breakpoint with minimal
+//!    removal loss and **re-inserting** one at the midpoint of the segment
+//!    with maximal insertion loss ([`heuristics`]);
+//! 3. retrains with a decayed learning rate, iterating until the
+//!    remove/insert pair converges.
+//!
+//! Boundary segments stay tied to the target function's asymptotes
+//! throughout (`flexsfu_core::boundary`), so the fitted function remains
+//! bounded outside the interval.
+//!
+//! The [`baselines`] module re-implements the approximation families the
+//! paper compares against (uniform PWL, least-squares-valued uniform PWL,
+//! pure LUT) and embeds the published error figures of Table II's
+//! reference rows.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use flexsfu_optim::{optimize, OptimizeConfig};
+//! use flexsfu_funcs::Gelu;
+//!
+//! let result = optimize(&Gelu, OptimizeConfig::new(16));
+//! println!("GELU 16-breakpoint MSE: {:.3e}", result.report.mse);
+//! ```
+
+pub mod adam;
+pub mod baselines;
+pub mod grad;
+pub mod heuristics;
+pub mod optimizer;
+pub mod refit;
+pub mod scheduler;
+
+pub use adam::Adam;
+pub use optimizer::{optimize, InitStrategy, OptimizeConfig, OptimizeResult};
+pub use scheduler::ReduceLrOnPlateau;

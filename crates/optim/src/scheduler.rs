@@ -1,0 +1,140 @@
+//! The Plateau learning-rate scheduler used by the paper.
+
+/// Multiplies the learning rate by `factor` whenever the loss has not
+/// improved (relatively, by more than `threshold`) for `patience`
+/// consecutive steps — PyTorch's `ReduceLROnPlateau` semantics, which is
+/// what the paper pairs with Adam.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_optim::ReduceLrOnPlateau;
+///
+/// let mut sched = ReduceLrOnPlateau::new(0.1, 0.5, 2, 1e-6);
+/// assert_eq!(sched.step(1.0), 0.1);   // first observation
+/// assert_eq!(sched.step(1.0), 0.1);   // stall 1
+/// assert_eq!(sched.step(1.0), 0.1);   // stall 2 → patience exhausted...
+/// assert_eq!(sched.step(1.0), 0.05);  // ...reduce on the next stall
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReduceLrOnPlateau {
+    lr: f64,
+    factor: f64,
+    patience: usize,
+    min_lr: f64,
+    threshold: f64,
+    best: f64,
+    stall: usize,
+}
+
+impl ReduceLrOnPlateau {
+    /// Relative improvement below which a step counts as a stall.
+    const DEFAULT_THRESHOLD: f64 = 1e-4;
+
+    /// Creates a scheduler starting at `lr`, shrinking by `factor` after
+    /// `patience` stalled steps, never below `min_lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, `factor` not in `(0, 1)`, or `min_lr < 0`.
+    pub fn new(lr: f64, factor: f64, patience: usize, min_lr: f64) -> Self {
+        assert!(lr > 0.0, "initial lr must be positive");
+        assert!((0.0..1.0).contains(&factor) && factor > 0.0, "factor must be in (0, 1)");
+        assert!(min_lr >= 0.0, "min_lr must be non-negative");
+        Self {
+            lr,
+            factor,
+            patience,
+            min_lr,
+            threshold: Self::DEFAULT_THRESHOLD,
+            best: f64::INFINITY,
+            stall: 0,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Whether the learning rate has bottomed out at `min_lr`.
+    pub fn exhausted(&self) -> bool {
+        self.lr <= self.min_lr
+    }
+
+    /// Records a loss observation, possibly reducing the learning rate.
+    /// Returns the (possibly updated) learning rate.
+    pub fn step(&mut self, loss: f64) -> f64 {
+        if loss < self.best * (1.0 - self.threshold) {
+            self.best = loss;
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+            if self.stall > self.patience {
+                self.lr = (self.lr * self.factor).max(self.min_lr);
+                self.stall = 0;
+            }
+        }
+        self.lr
+    }
+
+    /// Resets the improvement tracker (used between optimization rounds,
+    /// keeping the current learning rate).
+    pub fn reset_tracking(&mut self) {
+        self.best = f64::INFINITY;
+        self.stall = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improving_loss_keeps_lr() {
+        let mut s = ReduceLrOnPlateau::new(0.1, 0.5, 3, 1e-6);
+        let mut loss = 1.0;
+        for _ in 0..50 {
+            loss *= 0.9;
+            assert_eq!(s.step(loss), 0.1);
+        }
+    }
+
+    #[test]
+    fn stalls_reduce_lr_down_to_min() {
+        let mut s = ReduceLrOnPlateau::new(0.1, 0.1, 0, 1e-3);
+        s.step(1.0);
+        assert!((s.step(1.0) - 0.01).abs() < 1e-12); // every stalled step reduces
+        assert!((s.step(1.0) - 1e-3).abs() < 1e-12);
+        assert!((s.step(1.0) - 1e-3).abs() < 1e-12); // clamped at min
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn tiny_improvements_count_as_stalls() {
+        let mut s = ReduceLrOnPlateau::new(0.1, 0.5, 1, 1e-9);
+        s.step(1.0);
+        // Improvement below the relative threshold: a stall.
+        s.step(1.0 - 1e-9);
+        let lr = s.step(1.0 - 2e-9);
+        assert_eq!(lr, 0.05);
+    }
+
+    #[test]
+    fn reset_tracking_clears_stall_counter() {
+        let mut s = ReduceLrOnPlateau::new(0.1, 0.5, 2, 1e-9);
+        s.step(1.0);
+        s.step(1.0);
+        s.reset_tracking();
+        // Two more stalls tolerated again before reduction.
+        s.step(2.0);
+        s.step(2.0);
+        assert_eq!(s.lr(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_factor_of_one() {
+        ReduceLrOnPlateau::new(0.1, 1.0, 1, 0.0);
+    }
+}

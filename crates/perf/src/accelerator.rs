@@ -1,0 +1,142 @@
+//! The accelerator timing model.
+
+use flexsfu_zoo::generator::baseline_activation_cost;
+use flexsfu_zoo::ModelDescriptor;
+
+/// Static rates of the modelled accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Matrix-unit multiply-accumulates per cycle (Ascend 310P: 4096).
+    pub matrix_macs_per_cycle: f64,
+    /// VPU vector elements per cycle for simple (ReLU-class) ops.
+    pub vpu_elems_per_cycle: f64,
+    /// Flex-SFU activation elements per cycle (matches the VPU width:
+    /// Nc chosen so complex activations run at ReLU speed).
+    pub flexsfu_elems_per_cycle: f64,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+}
+
+impl AcceleratorConfig {
+    /// An Ascend-310P-like configuration: 4096 MAC/cycle matrix unit, an
+    /// 8-lane 32-bit VPU, Flex-SFU sized to the VPU width.
+    pub fn ascend_like() -> Self {
+        Self {
+            matrix_macs_per_cycle: 4096.0,
+            vpu_elems_per_cycle: 8.0,
+            flexsfu_elems_per_cycle: 8.0,
+            freq_hz: 1.08e9,
+        }
+    }
+}
+
+/// Cycle breakdown of one inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelTiming {
+    /// Matrix-unit cycles.
+    pub matrix: f64,
+    /// Non-activation vector cycles.
+    pub vector: f64,
+    /// Activation cycles.
+    pub activation: f64,
+}
+
+impl ModelTiming {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.matrix + self.vector + self.activation
+    }
+
+    /// Fraction of time spent in activations.
+    pub fn activation_share(&self) -> f64 {
+        self.activation / self.total()
+    }
+}
+
+/// Baseline timing: activations computed by the VPU instruction sequence.
+pub fn baseline_cycles(m: &ModelDescriptor, cfg: &AcceleratorConfig) -> ModelTiming {
+    let cost = baseline_activation_cost(m.dominant_activation);
+    ModelTiming {
+        matrix: m.macs / cfg.matrix_macs_per_cycle,
+        vector: m.vector_elems / cfg.vpu_elems_per_cycle,
+        activation: m.activation_elems * cost / cfg.vpu_elems_per_cycle,
+    }
+}
+
+/// Flex-SFU timing: every activation element costs one Flex-SFU slot.
+/// The (tiny) reprogramming overhead of `ld.bp`/`ld.cf` is hidden behind
+/// the matrix unit (paper, Section III) and therefore not charged.
+pub fn flexsfu_cycles(m: &ModelDescriptor, cfg: &AcceleratorConfig) -> ModelTiming {
+    ModelTiming {
+        matrix: m.macs / cfg.matrix_macs_per_cycle,
+        vector: m.vector_elems / cfg.vpu_elems_per_cycle,
+        activation: m.activation_elems / cfg.flexsfu_elems_per_cycle,
+    }
+}
+
+/// End-to-end speedup of Flex-SFU over the baseline for one model.
+pub fn speedup(m: &ModelDescriptor, cfg: &AcceleratorConfig) -> f64 {
+    baseline_cycles(m, cfg).total() / flexsfu_cycles(m, cfg).total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_zoo::{Family, ModelDescriptor};
+
+    fn model(act: &'static str, act_elems: f64) -> ModelDescriptor {
+        ModelDescriptor {
+            name: "m".into(),
+            family: Family::Other,
+            year: 2020,
+            dominant_activation: act,
+            macs: 4.096e9, // 1e6 matrix cycles
+            vector_elems: 8e6, // 1e6 vector cycles
+            activation_elems: act_elems,
+        }
+    }
+
+    #[test]
+    fn relu_models_see_no_speedup() {
+        let cfg = AcceleratorConfig::ascend_like();
+        let m = model("relu", 1e7);
+        let s = speedup(&m, &cfg);
+        assert!((s - 1.0).abs() < 1e-12, "relu speedup {s}");
+    }
+
+    #[test]
+    fn speedup_matches_closed_form() {
+        // speedup = 1 / (1 - s + s/c) with s the baseline activation share.
+        let cfg = AcceleratorConfig::ascend_like();
+        let m = model("gelu", 4e6); // 4e6·12/8 = 6e6 act cycles of 8e6 total
+        let base = baseline_cycles(&m, &cfg);
+        let share = base.activation_share();
+        let c = 12.0;
+        let want = 1.0 / (1.0 - share + share / c);
+        let got = speedup(&m, &cfg);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        assert!((share - 0.75).abs() < 1e-12);
+        // 1 / (0.25 + 0.75/12) = 3.2
+        assert!((got - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costlier_activation_larger_speedup() {
+        let cfg = AcceleratorConfig::ascend_like();
+        let hs = speedup(&model("hardswish", 2e6), &cfg);
+        let silu = speedup(&model("silu", 2e6), &cfg);
+        let gelu = speedup(&model("gelu", 2e6), &cfg);
+        assert!(1.0 < hs && hs < silu && silu < gelu);
+    }
+
+    #[test]
+    fn matrix_time_unchanged_by_flexsfu() {
+        let cfg = AcceleratorConfig::ascend_like();
+        let m = model("silu", 3e6);
+        assert_eq!(
+            baseline_cycles(&m, &cfg).matrix,
+            flexsfu_cycles(&m, &cfg).matrix
+        );
+        assert!(flexsfu_cycles(&m, &cfg).activation < baseline_cycles(&m, &cfg).activation);
+    }
+}

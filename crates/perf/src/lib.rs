@@ -1,0 +1,33 @@
+//! # flexsfu-perf
+//!
+//! End-to-end performance model of an Ascend-310P-like DNN accelerator
+//! (paper, Section V-C): a matrix unit executing 4096 MAC/cycle feeds a
+//! general-purpose VPU that runs vector work and activation functions.
+//!
+//! Baseline execution computes each activation with a multi-instruction
+//! VPU sequence whose per-element cost grows with the function's
+//! complexity (ReLU = 1 equivalent op, GELU ≈ 12, see
+//! [`flexsfu_zoo::generator::baseline_activation_cost`]). With Flex-SFU
+//! installed, *every* activation costs one element per lane per cycle,
+//! like ReLU — that time delta is the entire speedup, exactly the
+//! mechanism the paper measures on silicon.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexsfu_perf::{speedup, AcceleratorConfig};
+//! use flexsfu_zoo::generate_zoo;
+//!
+//! let cfg = AcceleratorConfig::ascend_like();
+//! let zoo = generate_zoo(42);
+//! let s = speedup(&zoo[0], &cfg);
+//! assert!(s >= 1.0);
+//! ```
+
+pub mod accelerator;
+pub mod report;
+
+pub use accelerator::{
+    baseline_cycles, flexsfu_cycles, speedup, AcceleratorConfig, ModelTiming,
+};
+pub use report::{family_summary, zoo_summary, FamilyStats, ZooStats};

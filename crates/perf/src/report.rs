@@ -1,0 +1,185 @@
+//! Aggregation of per-model speedups into the paper's Figure 6 statistics.
+
+use crate::accelerator::{speedup, AcceleratorConfig};
+use flexsfu_zoo::{Family, ModelDescriptor};
+
+/// Speedup statistics of one family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyStats {
+    /// The family.
+    pub family: Family,
+    /// Number of models.
+    pub count: usize,
+    /// Arithmetic-mean speedup (the paper reports family means).
+    pub mean: f64,
+    /// Minimum speedup.
+    pub min: f64,
+    /// Maximum speedup.
+    pub max: f64,
+}
+
+/// Zoo-wide statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooStats {
+    /// Mean speedup over every model (paper: 22.8 % → 1.228).
+    pub mean_all: f64,
+    /// Mean speedup over models whose dominant activation is *not*
+    /// ReLU-class (paper: "improving … complex activation functions by
+    /// 35.7 % on average" → 1.357).
+    pub mean_complex: f64,
+    /// Peak speedup and the model achieving it (paper: 3.3× on
+    /// `resnext26ts`).
+    pub peak: f64,
+    /// Name of the peak model.
+    pub peak_model: String,
+}
+
+/// Whether an activation runs at baseline speed anyway.
+fn is_relu_class(act: &str) -> bool {
+    matches!(act, "relu" | "leaky_relu" | "relu6")
+}
+
+/// Per-family statistics, in the paper's display order.
+pub fn family_summary(zoo: &[ModelDescriptor], cfg: &AcceleratorConfig) -> Vec<FamilyStats> {
+    Family::ALL
+        .iter()
+        .map(|&family| {
+            let speedups: Vec<f64> = zoo
+                .iter()
+                .filter(|m| m.family == family)
+                .map(|m| speedup(m, cfg))
+                .collect();
+            let count = speedups.len();
+            let mean = speedups.iter().sum::<f64>() / count.max(1) as f64;
+            let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = speedups.iter().cloned().fold(0.0, f64::max);
+            FamilyStats {
+                family,
+                count,
+                mean,
+                min,
+                max,
+            }
+        })
+        .collect()
+}
+
+/// Zoo-wide statistics.
+///
+/// # Panics
+///
+/// Panics if the zoo is empty.
+pub fn zoo_summary(zoo: &[ModelDescriptor], cfg: &AcceleratorConfig) -> ZooStats {
+    assert!(!zoo.is_empty(), "empty zoo");
+    let mut sum_all = 0.0;
+    let mut sum_complex = 0.0;
+    let mut n_complex = 0usize;
+    let mut peak = 0.0;
+    let mut peak_model = String::new();
+    for m in zoo {
+        let s = speedup(m, cfg);
+        sum_all += s;
+        if !is_relu_class(m.dominant_activation) {
+            sum_complex += s;
+            n_complex += 1;
+        }
+        if s > peak {
+            peak = s;
+            peak_model = m.name.clone();
+        }
+    }
+    ZooStats {
+        mean_all: sum_all / zoo.len() as f64,
+        mean_complex: sum_complex / n_complex.max(1) as f64,
+        peak,
+        peak_model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_zoo::generate_zoo;
+
+    fn stats() -> (Vec<FamilyStats>, ZooStats) {
+        let zoo = generate_zoo(42);
+        let cfg = AcceleratorConfig::ascend_like();
+        (family_summary(&zoo, &cfg), zoo_summary(&zoo, &cfg))
+    }
+
+    fn family_mean(fs: &[FamilyStats], f: Family) -> f64 {
+        fs.iter().find(|s| s.family == f).unwrap().mean
+    }
+
+    #[test]
+    fn vgg_is_neutral_and_darknet_doubles() {
+        let (fs, _) = stats();
+        assert!((family_mean(&fs, Family::Vgg) - 1.0).abs() < 1e-9);
+        let dark = family_mean(&fs, Family::DarkNet);
+        assert!(
+            (1.9..2.3).contains(&dark),
+            "paper: DarkNets ≈ 2.1x, got {dark}"
+        );
+    }
+
+    #[test]
+    fn family_means_track_paper_figure6() {
+        let (fs, _) = stats();
+        // Paper: ResNets +17.3 %, ViT +17.9 %, NLP +29.0 %, EfficientNets
+        // +45.1 % (family means including their ReLU members).
+        let checks = [
+            (Family::ResNet, 1.173, 0.08),
+            (Family::VisionTransformer, 1.179, 0.05),
+            (Family::NlpTransformer, 1.290, 0.06),
+            (Family::EfficientNet, 1.451, 0.06),
+        ];
+        for (fam, want, tol) in checks {
+            let got = family_mean(&fs, fam);
+            assert!(
+                (got - want).abs() < tol,
+                "{fam:?}: got {got}, paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_wide_stats_track_paper() {
+        let (_, zs) = stats();
+        // Paper: +22.8 % over the whole zoo, +35.7 % on complex-activation
+        // models, 3.3x peak.
+        assert!(
+            (zs.mean_all - 1.228).abs() < 0.07,
+            "zoo mean {}",
+            zs.mean_all
+        );
+        assert!(
+            (zs.mean_complex - 1.357).abs() < 0.09,
+            "complex mean {}",
+            zs.mean_complex
+        );
+        assert!(
+            (2.9..3.6).contains(&zs.peak),
+            "peak {} at {}",
+            zs.peak,
+            zs.peak_model
+        );
+        // The peak model is the pinned SiLU ResNeXt variant, mirroring the
+        // paper's resnext26ts.
+        assert_eq!(zs.peak_model, "resnext26ts_synthetic");
+    }
+
+    #[test]
+    fn no_model_slows_down() {
+        let zoo = generate_zoo(9);
+        let cfg = AcceleratorConfig::ascend_like();
+        for m in &zoo {
+            assert!(speedup(&m.clone(), &cfg) >= 1.0 - 1e-12, "{}", m.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty zoo")]
+    fn empty_zoo_panics() {
+        zoo_summary(&[], &AcceleratorConfig::ascend_like());
+    }
+}

@@ -1,0 +1,157 @@
+//! Model descriptors: the op-count summaries the performance model runs on.
+
+/// Model family, matching the x-axis groups of the paper's Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Classic VGG-style plain CNNs (ReLU).
+    Vgg,
+    /// MobileNet V1–V3 (ReLU6 / Hardswish).
+    MobileNet,
+    /// ResNets and the -ts / ResNeXt variants (ReLU, some SiLU).
+    ResNet,
+    /// Vision transformers (GELU + Softmax).
+    VisionTransformer,
+    /// NLP transformers from the Hugging Face suite (GELU + Softmax).
+    NlpTransformer,
+    /// EfficientNets (SiLU).
+    EfficientNet,
+    /// DarkNets / CSP backbones (SiLU / Mish-heavy).
+    DarkNet,
+    /// Everything else in TIMM.
+    Other,
+}
+
+impl Family {
+    /// All families, in the paper's Figure 6 display order.
+    pub const ALL: [Family; 8] = [
+        Family::Vgg,
+        Family::MobileNet,
+        Family::Other,
+        Family::ResNet,
+        Family::VisionTransformer,
+        Family::NlpTransformer,
+        Family::EfficientNet,
+        Family::DarkNet,
+    ];
+
+    /// Display label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::Vgg => "VGGs",
+            Family::MobileNet => "MobileNets",
+            Family::ResNet => "ResNets",
+            Family::VisionTransformer => "Vision Transf.",
+            Family::NlpTransformer => "NLP Transf.",
+            Family::EfficientNet => "EfficientNets",
+            Family::DarkNet => "DarkNets",
+            Family::Other => "Others",
+        }
+    }
+}
+
+/// Workload summary of one model, batch size 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDescriptor {
+    /// Synthetic model name (`"resnet_2019_017"`, …).
+    pub name: String,
+    /// Family group.
+    pub family: Family,
+    /// Publication year (2015–2021, Figure 1's x-axis).
+    pub year: u16,
+    /// Most frequent activation function (Figure 6's colour).
+    pub dominant_activation: &'static str,
+    /// Matrix-unit multiply-accumulates per inference.
+    pub macs: f64,
+    /// Non-activation vector-unit elements per inference (elementwise adds,
+    /// normalization, pooling, …).
+    pub vector_elems: f64,
+    /// Elements flowing through activation functions per inference.
+    pub activation_elems: f64,
+}
+
+impl ModelDescriptor {
+    /// Validates the descriptor's counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is non-positive or non-finite.
+    pub fn validate(&self) {
+        assert!(
+            self.macs > 0.0 && self.macs.is_finite(),
+            "{}: bad mac count",
+            self.name
+        );
+        assert!(
+            self.vector_elems >= 0.0 && self.vector_elems.is_finite(),
+            "{}: bad vector count",
+            self.name
+        );
+        assert!(
+            self.activation_elems > 0.0 && self.activation_elems.is_finite(),
+            "{}: bad activation count",
+            self.name
+        );
+        assert!(
+            (2015..=2021).contains(&self.year),
+            "{}: year {} outside the study window",
+            self.name,
+            self.year
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Family::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn validate_accepts_sane_descriptor() {
+        ModelDescriptor {
+            name: "test".into(),
+            family: Family::ResNet,
+            year: 2019,
+            dominant_activation: "relu",
+            macs: 4e9,
+            vector_elems: 1e7,
+            activation_elems: 1e7,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad mac count")]
+    fn validate_rejects_zero_macs() {
+        ModelDescriptor {
+            name: "bad".into(),
+            family: Family::Vgg,
+            year: 2016,
+            dominant_activation: "relu",
+            macs: 0.0,
+            vector_elems: 0.0,
+            activation_elems: 1.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the study window")]
+    fn validate_rejects_out_of_window_year() {
+        ModelDescriptor {
+            name: "bad".into(),
+            family: Family::Vgg,
+            year: 2034,
+            dominant_activation: "relu",
+            macs: 1.0,
+            vector_elems: 0.0,
+            activation_elems: 1.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,324 @@
+//! The seeded zoo generator.
+//!
+//! Families are generated with fixed counts matching the paper's benchmark
+//! suite (628 CV + 150 NLP models), era-consistent publication years, and
+//! per-family activation mixes. Each model's activation-element count is
+//! derived from a family-specific *activation time share* — the fraction
+//! of baseline inference time spent in activation functions — which is the
+//! quantity Figure 6's speedups pin down (see `DESIGN.md` for the
+//! calibration).
+
+use crate::descriptor::{Family, ModelDescriptor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CV models in the suite (TIMM side).
+pub const CV_MODELS: usize = 628;
+/// NLP models in the suite (Hugging Face side).
+pub const NLP_MODELS: usize = 150;
+
+/// Baseline-VPU time cost of one activation element, in equivalent simple
+/// ops (ReLU = 1). Arithmetic-op ratios follow the paper (SiLU 4×, GELU
+/// 12× more *operations* than ReLU), scaled up where the operations are
+/// multi-cycle on a vector unit (exponential, division): the effective
+/// *time* ratios below are what the end-to-end model uses.
+pub fn baseline_activation_cost(name: &str) -> f64 {
+    match name {
+        "relu" | "leaky_relu" | "relu6" => 1.0,
+        "hardsigmoid" => 2.0,
+        "hardswish" => 4.0,
+        "sigmoid" => 6.0,
+        "elu" => 6.0,
+        "tanh" => 7.0,
+        "silu" => 8.0,
+        "softmax" => 10.0,
+        "mish" => 10.0,
+        "gelu" => 12.0,
+        _ => 4.0,
+    }
+}
+
+/// Per-family generation parameters.
+struct FamilySpec {
+    family: Family,
+    count: usize,
+    years: (u16, u16),
+    /// (activation, probability) mix of the dominant activation.
+    acts: &'static [(&'static str, f64)],
+    /// Uniform range of the activation time share `s`.
+    share: (f64, f64),
+    /// Log10 range of MAC counts.
+    log_macs: (f64, f64),
+}
+
+/// The CV + NLP suite composition. Counts sum to 778.
+fn specs() -> Vec<FamilySpec> {
+    vec![
+        FamilySpec {
+            family: Family::Vgg,
+            count: 15,
+            years: (2015, 2016),
+            acts: &[("relu", 1.0)],
+            share: (0.02, 0.05),
+            log_macs: (9.8, 10.4), // 6G..25G MACs
+        },
+        FamilySpec {
+            family: Family::MobileNet,
+            count: 60,
+            years: (2017, 2021),
+            acts: &[("hardswish", 0.5), ("relu", 0.35), ("hardsigmoid", 0.15)],
+            share: (0.10, 0.25),
+            log_macs: (8.0, 9.0),
+        },
+        FamilySpec {
+            family: Family::ResNet,
+            count: 180,
+            years: (2015, 2021),
+            acts: &[("relu", 0.72), ("silu", 0.22), ("leaky_relu", 0.06)],
+            share: (0.05, 0.15), // overridden for SiLU variants below
+            log_macs: (9.3, 10.3),
+        },
+        FamilySpec {
+            family: Family::VisionTransformer,
+            count: 90,
+            years: (2020, 2021),
+            acts: &[("gelu", 0.85), ("softmax", 0.15)],
+            share: (0.13, 0.20),
+            log_macs: (9.5, 10.5),
+        },
+        FamilySpec {
+            family: Family::NlpTransformer,
+            count: NLP_MODELS,
+            years: (2018, 2021),
+            acts: &[("gelu", 0.75), ("softmax", 0.15), ("tanh", 0.10)],
+            share: (0.20, 0.29),
+            log_macs: (9.8, 11.0),
+        },
+        FamilySpec {
+            family: Family::EfficientNet,
+            count: 85,
+            years: (2019, 2021),
+            acts: &[("silu", 1.0)],
+            share: (0.31, 0.40),
+            log_macs: (8.6, 9.9),
+        },
+        FamilySpec {
+            family: Family::DarkNet,
+            count: 28,
+            years: (2018, 2021),
+            acts: &[("silu", 0.8), ("mish", 0.2)],
+            share: (0.55, 0.65),
+            log_macs: (9.4, 10.2),
+        },
+        FamilySpec {
+            family: Family::Other,
+            count: 170,
+            years: (2015, 2021),
+            acts: &[
+                ("relu", 0.45),
+                ("gelu", 0.15),
+                ("silu", 0.12),
+                ("hardswish", 0.08),
+                ("sigmoid", 0.08),
+                ("leaky_relu", 0.07),
+                ("elu", 0.03),
+                ("tanh", 0.02),
+            ],
+            share: (0.05, 0.40),
+            log_macs: (8.5, 10.5),
+        },
+    ]
+}
+
+/// Samples a name from a probability mix.
+fn sample_act(rng: &mut StdRng, acts: &[(&'static str, f64)]) -> &'static str {
+    let mut u: f64 = rng.gen_range(0.0..1.0);
+    for &(name, p) in acts {
+        if u < p {
+            return name;
+        }
+        u -= p;
+    }
+    acts.last().expect("non-empty mix").0
+}
+
+/// Generates the full 778-model zoo, deterministically from `seed`.
+///
+/// The SiLU-flavoured ResNet variants (the `-ts` / ResNeXt models that
+/// give the paper its 3.3× peak on `resnext26ts`) get a wider, heavier
+/// activation share than their ReLU siblings.
+pub fn generate_zoo(seed: u64) -> Vec<ModelDescriptor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(CV_MODELS + NLP_MODELS);
+    let mut pinned_peak = false;
+    for spec in specs() {
+        for i in 0..spec.count {
+            // Long-lived CNN families keep publishing variants; bias their
+            // years late like the TIMM collection does.
+            let late_biased = matches!(
+                spec.family,
+                Family::ResNet | Family::Other | Family::MobileNet
+            );
+            let year = if late_biased {
+                let span = (spec.years.1 - spec.years.0) as usize + 1;
+                // Triangular-ish weights toward recent years.
+                let w: Vec<f64> = (0..span).map(|k| 1.0 + k as f64).collect();
+                let total: f64 = w.iter().sum();
+                let mut u = rng.gen_range(0.0..total);
+                let mut picked = spec.years.1;
+                for (k, &wk) in w.iter().enumerate() {
+                    if u < wk {
+                        picked = spec.years.0 + k as u16;
+                        break;
+                    }
+                    u -= wk;
+                }
+                picked
+            } else {
+                rng.gen_range(spec.years.0..=spec.years.1)
+            };
+            let act = sample_act(&mut rng, spec.acts);
+            // No anachronisms: gated activations post-date their papers
+            // (GELU adoption ≈ 2018, SiLU/Hardswish/Mish ≈ 2019).
+            let year = match act {
+                "gelu" | "softmax" => year.max(2018),
+                "silu" | "hardswish" | "mish" | "hardsigmoid" => year.max(2019),
+                _ => year,
+            };
+            let (lo, hi) = match (spec.family, act) {
+                // SiLU ResNet variants: heavy, wide activation share
+                // (calibrated so the family mean lands on the paper's
+                // +17.3 % including the ReLU members).
+                (Family::ResNet, "silu") => (0.07, 0.80),
+                _ => spec.share,
+            };
+            let mut share: f64 = rng.gen_range(lo..hi);
+            // Pin one ResNeXt-ts-style outlier at the top of the range so
+            // the zoo deterministically contains the paper's 3.3x peak
+            // model (resnext26ts).
+            let mut forced_name = None;
+            if spec.family == Family::ResNet && act == "silu" && !pinned_peak {
+                share = 0.80;
+                pinned_peak = true;
+                forced_name = Some("resnext26ts_synthetic".to_string());
+            }
+            let macs = 10f64.powf(rng.gen_range(spec.log_macs.0..spec.log_macs.1));
+            // Elementwise/vector work scales loosely with MACs.
+            let vector_elems = macs / rng.gen_range(300.0..800.0);
+            // Derive activation elements from the target share using the
+            // same rates the performance model applies:
+            //   t_mat = macs/4096, t_vec = vec/8, t_act = act·cost/8,
+            //   share = t_act / (t_mat + t_vec + t_act).
+            let t_other = macs / 4096.0 + vector_elems / 8.0;
+            let t_act = share / (1.0 - share) * t_other;
+            let cost = baseline_activation_cost(act);
+            let activation_elems = t_act * 8.0 / cost;
+            let m = ModelDescriptor {
+                name: forced_name.unwrap_or_else(|| {
+                    format!(
+                        "{}_{year}_{i:03}",
+                        spec.family.label().to_lowercase().replace([' ', '.'], "")
+                    )
+                }),
+                family: spec.family,
+                year,
+                dominant_activation: act,
+                macs,
+                vector_elems,
+                activation_elems,
+            };
+            m.validate();
+            out.push(m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_size_and_composition() {
+        let zoo = generate_zoo(1);
+        assert_eq!(zoo.len(), CV_MODELS + NLP_MODELS);
+        let count = |f: Family| zoo.iter().filter(|m| m.family == f).count();
+        assert_eq!(count(Family::NlpTransformer), 150);
+        assert_eq!(count(Family::ResNet), 180);
+        assert_eq!(count(Family::Vgg), 15);
+        let cv: usize = Family::ALL
+            .iter()
+            .filter(|&&f| f != Family::NlpTransformer)
+            .map(|&f| count(f))
+            .sum();
+        assert_eq!(cv, CV_MODELS);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate_zoo(7), generate_zoo(7));
+        assert_ne!(generate_zoo(7), generate_zoo(8));
+    }
+
+    #[test]
+    fn all_descriptors_validate() {
+        for m in generate_zoo(3) {
+            m.validate();
+        }
+    }
+
+    #[test]
+    fn family_activations_match_specs() {
+        let zoo = generate_zoo(5);
+        for m in &zoo {
+            match m.family {
+                Family::Vgg => assert_eq!(m.dominant_activation, "relu"),
+                Family::EfficientNet => assert_eq!(m.dominant_activation, "silu"),
+                Family::VisionTransformer => {
+                    assert!(["gelu", "softmax"].contains(&m.dominant_activation))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn eras_are_respected() {
+        let zoo = generate_zoo(11);
+        for m in &zoo {
+            match m.family {
+                Family::Vgg => assert!(m.year <= 2016),
+                Family::VisionTransformer => assert!(m.year >= 2020),
+                Family::EfficientNet => assert!(m.year >= 2019),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cost_table_ranks_functions_like_the_paper() {
+        // ReLU cheapest; GELU the most expensive per the paper's 12x claim.
+        assert_eq!(baseline_activation_cost("relu"), 1.0);
+        assert!(baseline_activation_cost("silu") > baseline_activation_cost("hardswish"));
+        assert!(baseline_activation_cost("gelu") > baseline_activation_cost("silu"));
+        assert_eq!(baseline_activation_cost("unknown_future_act"), 4.0);
+    }
+
+    #[test]
+    fn derived_shares_reproduce_targets() {
+        // Invert the share derivation for a few models and check we get
+        // back the family range.
+        let zoo = generate_zoo(13);
+        for m in zoo.iter().filter(|m| m.family == Family::EfficientNet) {
+            let cost = baseline_activation_cost(m.dominant_activation);
+            let t_act = m.activation_elems * cost / 8.0;
+            let t_other = m.macs / 4096.0 + m.vector_elems / 8.0;
+            let share = t_act / (t_act + t_other);
+            assert!(
+                (0.30..0.41).contains(&share),
+                "{}: share {share}",
+                m.name
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # flexsfu-zoo
+//!
+//! A seeded synthetic model zoo standing in for the paper's 628 TIMM
+//! computer-vision models and 150 Hugging Face NLP transformers.
+//!
+//! Each [`ModelDescriptor`] carries what the end-to-end performance model
+//! needs: family, publication year, dominant activation function, MAC
+//! count (matrix-unit work), vector-op element count, and
+//! activation-element count. The generator is **calibrated** on the
+//! statistics the paper reports — the activation-function distribution per
+//! year (Figure 1), the family composition of the benchmark suite, and the
+//! per-family activation time shares implied by Figure 6's speedups — so
+//! aggregate results reproduce the paper's shape while every downstream
+//! code path (descriptor → accelerator model → aggregation) runs for real.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexsfu_zoo::{generate_zoo, Family};
+//!
+//! let zoo = generate_zoo(42);
+//! assert_eq!(zoo.len(), 778);
+//! let nlp = zoo.iter().filter(|m| m.family == Family::NlpTransformer).count();
+//! assert_eq!(nlp, 150);
+//! ```
+
+pub mod descriptor;
+pub mod generator;
+pub mod yeardist;
+
+pub use descriptor::{Family, ModelDescriptor};
+pub use generator::{generate_zoo, CV_MODELS, NLP_MODELS};
+pub use yeardist::{activation_mix_for_year, year_distribution, YEARS};

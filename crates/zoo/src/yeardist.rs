@@ -1,0 +1,115 @@
+//! The activation-function mix per publication year (paper, Figure 1).
+//!
+//! Figure 1 tracks, across 700+ models, which activation dominates each
+//! model by publication year: ReLU falls from ~90 % in 2015 to 20.7 % in
+//! 2021 while SiLU and GELU jointly climb to 32.1 % (2020) and 44.2 %
+//! (2021). The mixing tables below encode that trend; the generator
+//! samples each model's dominant activation from its year's row.
+
+/// The study window.
+pub const YEARS: [u16; 7] = [2015, 2016, 2017, 2018, 2019, 2020, 2021];
+
+/// The activation names tracked by Figure 1, in legend order.
+pub const FIG1_ACTIVATIONS: [&str; 10] = [
+    "relu",
+    "silu",
+    "gelu",
+    "softmax",
+    "hardswish",
+    "sigmoid",
+    "leaky_relu",
+    "elu",
+    "hardsigmoid",
+    "tanh",
+];
+
+/// Probability that a model published in `year` is dominated by each of
+/// [`FIG1_ACTIVATIONS`] (same order, sums to 1).
+///
+/// # Panics
+///
+/// Panics if `year` is outside the study window.
+pub fn activation_mix_for_year(year: u16) -> [f64; 10] {
+    match year {
+        //        relu   silu   gelu  softm  hswish sigm   leaky  elu    hsig   tanh
+        2015 => [0.880, 0.000, 0.000, 0.020, 0.000, 0.040, 0.010, 0.000, 0.000, 0.050],
+        2016 => [0.850, 0.000, 0.000, 0.030, 0.000, 0.030, 0.050, 0.020, 0.000, 0.020],
+        2017 => [0.780, 0.000, 0.010, 0.050, 0.000, 0.040, 0.080, 0.020, 0.000, 0.020],
+        2018 => [0.600, 0.030, 0.130, 0.080, 0.010, 0.050, 0.060, 0.020, 0.010, 0.010],
+        2019 => [0.430, 0.110, 0.180, 0.090, 0.080, 0.040, 0.040, 0.010, 0.015, 0.005],
+        2020 => [0.300, 0.130, 0.191, 0.110, 0.130, 0.040, 0.050, 0.010, 0.030, 0.009],
+        2021 => [0.207, 0.170, 0.272, 0.120, 0.120, 0.040, 0.030, 0.005, 0.030, 0.006],
+        other => panic!("year {other} outside the 2015-2021 study window"),
+    }
+}
+
+/// How many zoo models are published in each year (roughly matching the
+/// growth of model releases in the TIMM/HF collections).
+pub fn year_distribution(total: usize) -> Vec<(u16, usize)> {
+    // Weights sum to 1; later years contribute more models.
+    const WEIGHTS: [f64; 7] = [0.04, 0.06, 0.09, 0.13, 0.19, 0.24, 0.25];
+    let mut out = Vec::with_capacity(7);
+    let mut assigned = 0;
+    for (i, &y) in YEARS.iter().enumerate() {
+        let n = if i == YEARS.len() - 1 {
+            total - assigned
+        } else {
+            (total as f64 * WEIGHTS[i]).round() as usize
+        };
+        out.push((y, n));
+        assigned += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for y in YEARS {
+            let mix = activation_mix_for_year(y);
+            let s: f64 = mix.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "year {y} sums to {s}");
+            assert!(mix.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn relu_declines_monotonically() {
+        let mut prev = 1.0;
+        for y in YEARS {
+            let relu = activation_mix_for_year(y)[0];
+            assert!(relu <= prev, "ReLU share must fall ({y})");
+            prev = relu;
+        }
+        // Paper: 20.7 % in 2021.
+        assert!((activation_mix_for_year(2021)[0] - 0.207).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silu_gelu_joint_shares_match_paper() {
+        // Paper: SiLU + GELU jointly 32.1 % in 2020 and 44.2 % in 2021.
+        let m20 = activation_mix_for_year(2020);
+        let m21 = activation_mix_for_year(2021);
+        assert!((m20[1] + m20[2] - 0.321).abs() < 1e-9);
+        assert!((m21[1] + m21[2] - 0.442).abs() < 1e-9);
+    }
+
+    #[test]
+    fn year_distribution_accounts_for_everything() {
+        let d = year_distribution(778);
+        let total: usize = d.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 778);
+        assert_eq!(d.len(), 7);
+        // Later years have more releases.
+        assert!(d[6].1 > d[0].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 2015-2021")]
+    fn out_of_window_year_panics() {
+        activation_mix_for_year(2012);
+    }
+}

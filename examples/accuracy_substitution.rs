@@ -1,0 +1,51 @@
+//! End-to-end accuracy under substitution: train a SiLU classifier, swap
+//! its activations for PWL approximations of increasing resolution, and
+//! watch the top-1 accuracy recover — the per-model version of the
+//! paper's Table III.
+//!
+//! ```sh
+//! cargo run --release --example accuracy_substitution
+//! ```
+
+use flexsfu::funcs::by_name;
+use flexsfu::nn::train::{accuracy, train, TrainConfig};
+use flexsfu::nn::{data, zoo};
+use flexsfu::optim::{optimize, OptimizeConfig};
+use std::collections::HashMap;
+
+fn main() {
+    // A 3-class spiral: genuinely non-linear, so the activation quality
+    // matters.
+    let ds = data::spirals(3, 160, 2024);
+    let mut model = zoo::mlp(2, &[40, 40], 3, "silu", 99);
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.05,
+        ..TrainConfig::default()
+    };
+    train(&mut model, &ds, &cfg);
+    let baseline = accuracy(&mut model, &ds);
+    println!("baseline top-1 with exact SiLU: {:.2}%\n", 100.0 * baseline);
+
+    println!("#BP   substituted top-1   drop [pp]");
+    let silu = by_name("silu").expect("built in");
+    for n in [4usize, 8, 16, 32, 64] {
+        let pwl = optimize(
+            silu.as_ref(),
+            OptimizeConfig::new(n).with_range(-8.0, 8.0),
+        )
+        .pwl;
+        let mut table = HashMap::new();
+        table.insert("silu".to_string(), pwl);
+        model.substitute_activations(&table);
+        let acc = accuracy(&mut model, &ds);
+        println!(
+            "{n:>3}   {:>8.2}%          {:+.2}",
+            100.0 * acc,
+            100.0 * (baseline - acc)
+        );
+        model.substitute_activations(&HashMap::new());
+    }
+    println!("\npaper shape: drops collapse toward zero as breakpoints double;");
+    println!("SiLU is the most substitution-sensitive activation (Table III).");
+}

@@ -1,0 +1,88 @@
+//! Reprogrammability: approximate a *user-defined* activation function.
+//!
+//! Flex-SFU's selling point over fixed-function approximators is that the
+//! same silicon evaluates any function once `ld.bp`/`ld.cf` reprogram it.
+//! Here we define "softsign-swish" — a function the paper never mentions —
+//! implement the [`Activation`] trait for it, optimize breakpoints, and
+//! run it on the identical hardware model used for GELU.
+//!
+//! ```sh
+//! cargo run --release --example custom_activation
+//! ```
+
+use flexsfu::core::boundary::BoundarySpec;
+use flexsfu::core::loss::LossReport;
+use flexsfu::formats::{DataFormat, FixedFormat};
+use flexsfu::funcs::{Activation, Asymptote, Asymptotes};
+use flexsfu::hw::{FlexSfu, FlexSfuConfig};
+use flexsfu::optim::{optimize, OptimizeConfig};
+
+/// `f(x) = x · (0.5 + 0.5·x / (1 + |x|))` — a softsign-gated identity.
+#[derive(Debug, Clone, Copy)]
+struct SoftsignSwish;
+
+impl Activation for SoftsignSwish {
+    fn name(&self) -> &'static str {
+        "softsign_swish"
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        x * (0.5 + 0.5 * x / (1.0 + x.abs()))
+    }
+
+    fn asymptotes(&self) -> Asymptotes {
+        // x → -∞: gate = 0.5/(1 − x) → 0 and f = 0.5x/(1 − x) → −0.5.
+        // x → +∞: f = x(0.5 + x)/(1 + x) = x − 0.5x/(1 + x) → x − 0.5.
+        Asymptotes::new(
+            Asymptote::Linear { slope: 0.0, offset: -0.5 },
+            Asymptote::Linear { slope: 1.0, offset: -0.5 },
+        )
+    }
+}
+
+fn main() {
+    let f = SoftsignSwish;
+    // Sanity-check the hand-derived asymptotes numerically.
+    let (ml, cl) = flexsfu::funcs::asymptote::estimate_asymptote(|x| f.eval(x), -1, 500.0);
+    let (mr, cr) = flexsfu::funcs::asymptote::estimate_asymptote(|x| f.eval(x), 1, 500.0);
+    println!("numeric asymptotes: left {ml:.4}x + {cl:.4}, right {mr:.4}x + {cr:.4}");
+
+    // Softsign tails converge only as 1/x, so at ±8 the function is still
+    // 0.056 away from its asymptote — the range-aware default would leave
+    // the boundaries free. Force the asymptotic tie to keep the
+    // approximation bounded arbitrarily far outside the fitted interval
+    // (at a small in-range cost near the edges).
+    let result = optimize(
+        &f,
+        OptimizeConfig::new(31)
+            .with_range(-8.0, 8.0)
+            .with_boundary(BoundarySpec::from_activation(&f)),
+    );
+    let report: LossReport = result.report;
+    println!(
+        "optimized 31-breakpoint approximation: MSE {:.3e}, max-err {:.3e}",
+        report.mse, report.mae
+    );
+
+    // Run it in 16-bit fixed point this time (Q4.11 covers [-16, 16)).
+    let fmt = DataFormat::Fixed(FixedFormat::new(16, 11));
+    let mut sfu = FlexSfu::new(FlexSfuConfig::new(32, 1));
+    sfu.program_merged(&result.pwl, fmt)
+        .expect("fits depth 32 after merging colliding breakpoints");
+    println!("\nhardware outputs in {fmt} fixed point:");
+    for i in -4..=4 {
+        let x = i as f64 * 1.5;
+        let hw = sfu.eval(x);
+        println!(
+            "  f({x:+.1}) = {hw:+.5}   exact {:+.5}   |err| {:.2e}",
+            f.eval(x),
+            (hw - f.eval(x)).abs()
+        );
+    }
+    // Outside the fitted range the asymptotic boundary keeps it sane.
+    println!(
+        "\noutside the fitted interval: f̂(50) = {:.3} (exact {:.3})",
+        result.pwl.eval(50.0),
+        f.eval(50.0)
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: fit a non-uniform PWL approximation of GELU, compare it
+//! with the uniform baseline, and run it through the hardware model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flexsfu::core::init::uniform_pwl;
+use flexsfu::core::loss::integral_mse;
+use flexsfu::formats::{DataFormat, FloatFormat};
+use flexsfu::funcs::{Activation, Gelu};
+use flexsfu::hw::{FlexSfu, FlexSfuConfig};
+use flexsfu::optim::{optimize, OptimizeConfig};
+
+fn main() {
+    let n = 15; // 15 breakpoints → 16 segments → LTC depth 16
+    let range = (-8.0, 8.0);
+
+    // 1. The uniform baseline: evenly spaced breakpoints.
+    let uniform = uniform_pwl(&Gelu, n, range);
+    let mse_uniform = integral_mse(&uniform, &Gelu, range.0, range.1);
+
+    // 2. The Flex-SFU optimizer: Adam over breakpoints and values with
+    //    removal/insertion heuristics and asymptotic boundary conditions.
+    let result = optimize(
+        &Gelu,
+        OptimizeConfig::new(n).with_range(range.0, range.1),
+    );
+    println!("GELU on [{}, {}] with {n} breakpoints", range.0, range.1);
+    println!("  uniform   MSE: {mse_uniform:.3e}");
+    println!("  optimized MSE: {:.3e}", result.report.mse);
+    println!(
+        "  improvement:   {:.1}x  ({} Adam steps, {} remove/insert rounds)",
+        mse_uniform / result.report.mse,
+        result.steps,
+        result.rounds
+    );
+    println!(
+        "  optimized breakpoints: {:?}",
+        result
+            .pwl
+            .breakpoints()
+            .iter()
+            .map(|p| (p * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Program the hardware model in FP16 and execute a tensor.
+    let fmt = DataFormat::Float(FloatFormat::FP16);
+    let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
+    sfu.program(&result.pwl, fmt).expect("16 segments fit");
+    let inputs: Vec<f64> = (-6..=6).map(|i| i as f64 * 0.75).collect();
+    let run = sfu.execute(&inputs);
+    println!("\nhardware execution (fp16, LTC depth 16):");
+    for (x, y) in inputs.iter().zip(&run.outputs) {
+        println!(
+            "  f({x:+.2}) = {y:+.5}   (exact {:+.5})",
+            Gelu.eval(*x)
+        );
+    }
+    println!(
+        "  cycles: {} total ({} load + {} fill + {} stream)",
+        run.timing.total(),
+        run.timing.ld_bp_cycles + run.timing.ld_cf_cycles,
+        run.timing.fill_latency,
+        run.timing.stream_cycles
+    );
+}

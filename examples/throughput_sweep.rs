@@ -1,0 +1,55 @@
+//! Hardware timing: how throughput scales with element width, LTC depth,
+//! cluster count and tensor size — the machinery behind Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example throughput_sweep
+//! ```
+
+use flexsfu::formats::{DataFormat, FloatFormat};
+use flexsfu::hw::pipeline::{execution_cycles, throughput_gact_s};
+use flexsfu::hw::{pipeline_latency, AreaModel, PowerModel};
+
+fn main() {
+    const FREQ: f64 = 600e6;
+
+    println!("pipeline latency by LTC depth (Table I row 1):");
+    for d in [4usize, 8, 16, 32, 64] {
+        println!("  depth {d:>2}: {} cycles", pipeline_latency(d));
+    }
+
+    println!("\ncycle breakdown, 1024 fp16 elements, depth 32, Nc=1:");
+    let t = execution_cycles(1024, 32, 1, DataFormat::Float(FloatFormat::FP16));
+    println!("  ld.bp {} + ld.cf {} + fill {} + stream {} = {} cycles",
+        t.ld_bp_cycles, t.ld_cf_cycles, t.fill_latency, t.stream_cycles, t.total());
+
+    println!("\nthroughput vs width (large tensor, depth 32, Nc=1):");
+    for (bits, fmt) in [
+        (8u8, DataFormat::Float(FloatFormat::FP8)),
+        (16, DataFormat::Float(FloatFormat::FP16)),
+        (32, DataFormat::Float(FloatFormat::FP32)),
+    ] {
+        let elems = (1usize << 20) * 32 / bits as usize;
+        println!(
+            "  {bits:>2}-bit: {:.2} GAct/s",
+            throughput_gact_s(elems, 32, 1, fmt, FREQ)
+        );
+    }
+
+    println!("\nthroughput vs cluster count (fp32, depth 16):");
+    for nc in [1usize, 2, 4, 8] {
+        let g = throughput_gact_s(1 << 20, 16, nc, DataFormat::Float(FloatFormat::FP32), FREQ);
+        println!("  Nc={nc}: {g:.2} GAct/s");
+    }
+
+    let area = AreaModel::calibrated();
+    let power = PowerModel::calibrated();
+    println!("\nPPA vs depth (28 nm, calibrated on the paper's PnR):");
+    for d in [4usize, 8, 16, 32, 64] {
+        println!(
+            "  depth {d:>2}: {:>8.1} um2, {:.1} mW, {:.0} GAct/s/W at 8-bit peak",
+            area.total_um2(d),
+            power.total_mw(d),
+            power.efficiency_gact_s_w(d, 4.0, FREQ)
+        );
+    }
+}

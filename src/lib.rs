@@ -1,0 +1,56 @@
+//! # flexsfu
+//!
+//! A from-scratch Rust reproduction of **Flex-SFU** ("Accelerating DNN
+//! Activation Functions by Non-Uniform Piecewise Approximation", DAC
+//! 2023): a non-uniform piecewise-linear (PWL) approximation pipeline for
+//! DNN activation functions, plus a cycle-level model of the hardware
+//! special-function unit that executes those approximations inside a
+//! vector processor.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`funcs`] — reference activation functions with asymptote metadata,
+//! * [`formats`] — fixed-point / minifloat codecs, comparison keys, SIMD
+//!   packing,
+//! * [`core`] — the [`core::PwlFunction`] representation, losses,
+//!   boundary conditions and coefficient tables,
+//! * [`optim`] — the Adam + removal/insertion breakpoint optimizer and
+//!   the baselines it is compared against,
+//! * [`hw`] — the ADU/LTC/pipeline hardware model with calibrated 28 nm
+//!   area/power,
+//! * [`nn`] — the small DNN substrate for end-to-end accuracy
+//!   experiments,
+//! * [`zoo`] — the synthetic 778-model benchmark suite,
+//! * [`perf`] — the Ascend-like end-to-end performance model.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use flexsfu::optim::{optimize, OptimizeConfig};
+//! use flexsfu::funcs::Gelu;
+//!
+//! // Fit a 16-breakpoint non-uniform PWL approximation of GELU.
+//! let result = optimize(&Gelu, OptimizeConfig::new(16));
+//! println!("MSE = {:.3e}", result.report.mse);
+//!
+//! // Lower it onto the hardware model in FP16.
+//! use flexsfu::formats::{DataFormat, FloatFormat};
+//! use flexsfu::hw::{FlexSfu, FlexSfuConfig};
+//! let mut sfu = FlexSfu::new(FlexSfuConfig::new(32, 1));
+//! sfu.program(&result.pwl, DataFormat::Float(FloatFormat::FP16)).unwrap();
+//! let run = sfu.execute(&[0.5, -1.25, 3.0]);
+//! println!("outputs {:?} in {} cycles", run.outputs, run.timing.total());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the binaries regenerating every table and
+//! figure of the paper.
+
+pub use flexsfu_core as core;
+pub use flexsfu_formats as formats;
+pub use flexsfu_funcs as funcs;
+pub use flexsfu_hw as hw;
+pub use flexsfu_nn as nn;
+pub use flexsfu_optim as optim;
+pub use flexsfu_perf as perf;
+pub use flexsfu_zoo as zoo;

@@ -1,0 +1,136 @@
+//! Integration tests spanning the whole stack: optimizer → core →
+//! hardware model → NN substitution → performance model.
+
+use flexsfu::core::init::uniform_pwl;
+use flexsfu::core::loss::integral_mse;
+use flexsfu::formats::{DataFormat, FixedFormat, FloatFormat};
+use flexsfu::funcs::{by_name, Activation, Gelu, Silu, Tanh};
+use flexsfu::hw::{FlexSfu, FlexSfuConfig};
+use flexsfu::nn::train::{accuracy, train, TrainConfig};
+use flexsfu::nn::{data, zoo as nnzoo};
+use flexsfu::optim::{optimize, OptimizeConfig};
+use std::collections::HashMap;
+
+#[test]
+fn optimizer_to_hardware_pipeline() {
+    // Optimize SiLU with 15 breakpoints, program the hw model, and check
+    // the hardware outputs track the exact function within a small bound.
+    let r = optimize(&Silu, OptimizeConfig::quick(15));
+    assert!(r.report.mse < 1e-4, "optimizer mse {}", r.report.mse);
+
+    let fmt = DataFormat::Float(FloatFormat::FP16);
+    let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
+    sfu.program_merged(&r.pwl, fmt)
+        .expect("16 segments fit depth 16 after merging");
+    for i in -40..=40 {
+        let x = i as f64 * 0.2;
+        let hw = sfu.eval(x);
+        assert!(
+            (hw - Silu.eval(x)).abs() < 0.03,
+            "x = {x}: hw {hw}, exact {}",
+            Silu.eval(x)
+        );
+    }
+}
+
+#[test]
+fn optimized_beats_uniform_across_functions() {
+    for name in ["gelu", "silu", "tanh", "sigmoid"] {
+        let f = by_name(name).expect("built in");
+        let range = f.default_range();
+        let r = optimize(f.as_ref(), OptimizeConfig::quick(8));
+        let u = uniform_pwl(f.as_ref(), 8, range);
+        let mse_u = integral_mse(&u, f.as_ref(), range.0, range.1);
+        assert!(
+            r.report.mse < mse_u,
+            "{name}: optimized {} not better than uniform {mse_u}",
+            r.report.mse
+        );
+    }
+}
+
+#[test]
+fn same_pwl_runs_in_all_three_widths() {
+    let r = optimize(&Tanh, OptimizeConfig::quick(7));
+    for fmt in [
+        DataFormat::Float(FloatFormat::FP8),
+        DataFormat::Float(FloatFormat::FP16),
+        DataFormat::Float(FloatFormat::FP32),
+        DataFormat::Fixed(FixedFormat::for_range(16, -8.0, 8.0)),
+        DataFormat::Fixed(FixedFormat::for_range(32, -8.0, 8.0)),
+    ] {
+        let mut sfu = FlexSfu::new(FlexSfuConfig::new(8, 1));
+        sfu.program(&r.pwl, fmt).expect("8 segments fit");
+        let tol = match fmt.bits() {
+            8 => 0.2,
+            16 => 0.05,
+            _ => 0.05,
+        };
+        for i in -16..=16 {
+            let x = i as f64 * 0.5;
+            let hw = sfu.eval(x);
+            assert!(
+                (hw - Tanh.eval(x)).abs() < tol,
+                "{fmt} at {x}: {hw} vs {}",
+                Tanh.eval(x)
+            );
+        }
+    }
+}
+
+#[test]
+fn substitution_accuracy_improves_with_breakpoints() {
+    let ds = data::gaussian_blobs(3, 8, 60, 5);
+    let mut model = nnzoo::mlp(8, &[24], 3, "gelu", 17);
+    train(
+        &mut model,
+        &ds,
+        &TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
+    );
+    let baseline = accuracy(&mut model, &ds);
+    assert!(baseline > 0.6, "baseline too weak: {baseline}");
+
+    let mut drops = Vec::new();
+    for n in [4usize, 16, 64] {
+        let pwl = optimize(&Gelu, OptimizeConfig::quick(n)).pwl;
+        let mut table = HashMap::new();
+        table.insert("gelu".to_string(), pwl);
+        model.substitute_activations(&table);
+        let acc = accuracy(&mut model, &ds);
+        drops.push(baseline - acc);
+        model.substitute_activations(&HashMap::new());
+    }
+    // 64 breakpoints must be at least as good as 4.
+    assert!(
+        drops[2] <= drops[0] + 1e-9,
+        "drops did not shrink: {drops:?}"
+    );
+    // And essentially lossless.
+    assert!(drops[2].abs() < 0.02, "64-bp drop {}", drops[2]);
+}
+
+#[test]
+fn perf_model_agrees_with_zoo_calibration() {
+    let zoo = flexsfu::zoo::generate_zoo(123);
+    let cfg = flexsfu::perf::AcceleratorConfig::ascend_like();
+    let stats = flexsfu::perf::zoo_summary(&zoo, &cfg);
+    assert!(stats.mean_all > 1.1 && stats.mean_all < 1.35);
+    assert!(stats.peak > 2.5);
+}
+
+#[test]
+fn exp_softmax_path_is_accurate() {
+    // Approximate exp on [-10, 0.1] and use it inside softmax, as the
+    // paper describes for the Softmax decomposition.
+    let exp = by_name("exp").expect("exp resolvable");
+    let r = optimize(exp.as_ref(), OptimizeConfig::quick(16));
+    let logits = [2.0, -1.0, 0.5, 3.5, -4.0];
+    let exact = flexsfu::funcs::softmax::softmax(&logits);
+    let approx = flexsfu::funcs::softmax::softmax_with(&logits, |t| r.pwl.eval(t).max(0.0));
+    for (a, e) in approx.iter().zip(&exact) {
+        assert!((a - e).abs() < 0.01, "softmax {a} vs {e}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Fast checks pinning the reproduction to the paper's headline numbers.
+//! The heavyweight versions (full optimizer effort) live in the
+//! `flexsfu-bench` binaries; these use reduced effort and looser bounds so
+//! they run inside `cargo test`.
+
+use flexsfu::core::init::uniform_pwl;
+use flexsfu::core::loss::integral_mse;
+use flexsfu::funcs::Gelu;
+use flexsfu::hw::pipeline::throughput_gact_s;
+use flexsfu::hw::{pipeline_latency, AreaModel, PowerModel, VpuIntegration};
+use flexsfu::formats::{DataFormat, FloatFormat};
+use flexsfu::optim::{optimize, OptimizeConfig};
+
+#[test]
+fn figure2_nonuniform_beats_uniform_on_gelu() {
+    // Paper: ~7x MSE gap at 5 breakpoints on [-2, 2]. Reduced effort
+    // still shows a clear multiple.
+    let range = (-2.0, 2.0);
+    let uniform = uniform_pwl(&Gelu, 5, range);
+    let mse_u = integral_mse(&uniform, &Gelu, range.0, range.1);
+    let mut cfg = OptimizeConfig::quick(5);
+    cfg.range = Some(range);
+    let r = optimize(&Gelu, cfg);
+    let ratio = mse_u / r.report.mse;
+    assert!(ratio > 3.0, "uniform/optimized = {ratio}, paper ~7x");
+}
+
+#[test]
+fn table1_latency_row() {
+    assert_eq!(
+        [4, 8, 16, 32, 64].map(pipeline_latency),
+        [7, 8, 9, 10, 11]
+    );
+}
+
+#[test]
+fn table1_power_and_area_rows() {
+    let a = AreaModel::calibrated();
+    let p = PowerModel::calibrated();
+    for (d, area, mw) in [
+        (4usize, 2572.4, 1.4),
+        (8, 3593.0, 1.7),
+        (16, 5846.0, 2.2),
+        (32, 9791.3, 2.8),
+        (64, 14857.2, 3.7),
+    ] {
+        assert!((a.total_um2(d) - area).abs() < 1e-6);
+        assert!((p.total_mw(d) - mw).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn section5a_vpu_overheads() {
+    let v = VpuIntegration::paper_reference();
+    assert!((v.area_overhead(32) - 0.059).abs() < 0.004);
+    assert!((v.power_overhead(32) - 0.008).abs() < 0.002);
+}
+
+#[test]
+fn figure4_steady_state_rates() {
+    // 0.6 / 1.2 / 2.4 GAct/s for 32/16/8-bit at 600 MHz.
+    let big = 1 << 22;
+    let g32 = throughput_gact_s(big, 32, 1, DataFormat::Float(FloatFormat::FP32), 600e6);
+    let g16 = throughput_gact_s(2 * big, 32, 1, DataFormat::Float(FloatFormat::FP16), 600e6);
+    let g8 = throughput_gact_s(4 * big, 32, 1, DataFormat::Float(FloatFormat::FP8), 600e6);
+    assert!((g32 - 0.6).abs() < 0.01);
+    assert!((g16 - 1.2).abs() < 0.01);
+    assert!((g8 - 2.4).abs() < 0.01);
+}
+
+#[test]
+fn figure5_error_shrinks_with_breakpoints() {
+    // Reduced-effort check of the Figure 5 trend on GELU.
+    let mse: Vec<f64> = [4usize, 8, 16]
+        .iter()
+        .map(|&n| optimize(&Gelu, OptimizeConfig::quick(n)).report.mse)
+        .collect();
+    assert!(mse[1] < mse[0] / 3.0, "{mse:?}");
+    assert!(mse[2] < mse[1] / 3.0, "{mse:?}");
+}
+
+#[test]
+fn figure6_family_ordering() {
+    // The family ordering of Figure 6 (VGG ≈ 1 < ViT < NLP < EfficientNet
+    // < DarkNet) must hold for any zoo seed.
+    use flexsfu::perf::{family_summary, AcceleratorConfig};
+    use flexsfu::zoo::{generate_zoo, Family};
+    for seed in [1u64, 42, 1234] {
+        let zoo = generate_zoo(seed);
+        let fams = family_summary(&zoo, &AcceleratorConfig::ascend_like());
+        let mean = |f: Family| fams.iter().find(|s| s.family == f).unwrap().mean;
+        assert!(mean(Family::Vgg) < mean(Family::VisionTransformer));
+        assert!(mean(Family::VisionTransformer) < mean(Family::NlpTransformer));
+        assert!(mean(Family::NlpTransformer) < mean(Family::EfficientNet));
+        assert!(mean(Family::EfficientNet) < mean(Family::DarkNet));
+    }
+}
+
+#[test]
+fn figure1_trend_from_zoo() {
+    // ReLU share falls over time; SiLU+GELU share rises.
+    use flexsfu::zoo::generate_zoo;
+    let zoo = generate_zoo(42);
+    let share = |year: u16, pred: &dyn Fn(&str) -> bool| -> f64 {
+        let models: Vec<_> = zoo.iter().filter(|m| m.year == year).collect();
+        let hit = models
+            .iter()
+            .filter(|m| pred(m.dominant_activation))
+            .count();
+        hit as f64 / models.len().max(1) as f64
+    };
+    let relu = |a: &str| a == "relu";
+    let gated = |a: &str| a == "silu" || a == "gelu";
+    assert!(share(2016, &relu) > share(2021, &relu));
+    assert!(share(2021, &gated) > share(2017, &gated) + 0.2);
+}
