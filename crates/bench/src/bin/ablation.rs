@@ -37,7 +37,12 @@ fn main() {
     for name in funcs {
         let f = by_name(name).expect("built in");
         let range = f.default_range();
-        let uniform = integral_mse(&uniform_pwl(f.as_ref(), n, range), f.as_ref(), range.0, range.1);
+        let uniform = integral_mse(
+            &uniform_pwl(f.as_ref(), n, range),
+            f.as_ref(),
+            range.0,
+            range.1,
+        );
 
         let mut adam_only = experiment_config(n, range);
         adam_only.enable_remove_insert = false;
@@ -62,7 +67,11 @@ fn main() {
     println!("{}", render_table(&headers, &rows));
 
     println!("\nAblation — boundary condition (error OUTSIDE the fitted interval)\n");
-    let headers2 = ["function", "tied max |err| on [8,100]", "free max |err| on [8,100]"];
+    let headers2 = [
+        "function",
+        "tied max |err| on [8,100]",
+        "free max |err| on [8,100]",
+    ];
     let mut rows2 = Vec::new();
     for name in funcs {
         let f = by_name(name).expect("built in");

@@ -10,7 +10,10 @@ use std::collections::HashMap;
 
 fn main() {
     let zoo = generate_zoo(42);
-    println!("Figure 1 — activation distribution by year ({} models)\n", zoo.len());
+    println!(
+        "Figure 1 — activation distribution by year ({} models)\n",
+        zoo.len()
+    );
 
     let mut per_year: HashMap<u16, HashMap<&str, usize>> = HashMap::new();
     for m in &zoo {
@@ -46,7 +49,10 @@ fn main() {
         let total: usize = c.values().sum();
         *c.get(act).unwrap_or(&0) as f64 / total.max(1) as f64
     };
-    println!("paper: ReLU 20.7% in 2021          → measured {:.1}%", 100.0 * share(2021, "relu"));
+    println!(
+        "paper: ReLU 20.7% in 2021          → measured {:.1}%",
+        100.0 * share(2021, "relu")
+    );
     println!(
         "paper: SiLU+GELU 32.1% in 2020     → measured {:.1}%",
         100.0 * (share(2020, "silu") + share(2020, "gelu"))

@@ -20,11 +20,11 @@ fn main() {
     let mse_uniform = integral_mse(&uniform, &Gelu, range.0, range.1);
     let mse_flex = optimized.report.mse;
 
-    println!("Figure 2 — GELU, {n} breakpoints on [{}, {}]\n", range.0, range.1);
     println!(
-        "uniform breakpoints:  {:?}",
-        uniform.breakpoints()
+        "Figure 2 — GELU, {n} breakpoints on [{}, {}]\n",
+        range.0, range.1
     );
+    println!("uniform breakpoints:  {:?}", uniform.breakpoints());
     println!(
         "flex-sfu breakpoints: {:?}\n",
         optimized

@@ -5,8 +5,8 @@
 
 use flexsfu_core::init::uniform_pwl;
 use flexsfu_formats::{DataFormat, FloatFormat};
-use flexsfu_hw::{pipeline_latency, Adu, FlexSfu, FlexSfuConfig, Ltc};
 use flexsfu_funcs::Gelu;
+use flexsfu_hw::{pipeline_latency, Adu, FlexSfu, FlexSfuConfig, Ltc};
 
 fn main() {
     let depth = 8; // matches the paper's Figure 3 drawing (8 segments)
@@ -27,14 +27,20 @@ fn main() {
         );
     }
     println!("    (binary-search tree over {} breakpoints)", depth - 1);
-    println!("                                             {} (m,q) rows", ltc.depth());
+    println!(
+        "                                             {} (m,q) rows",
+        ltc.depth()
+    );
     println!("                 │ address                                │ coefficients");
     println!("                 └───────────────► MADD ◄─────────────────┘");
     println!("                                    │");
     println!("                                    ▼ data out\n");
 
-    println!("pipeline latency: {} cycles (5 fixed + {} ADU stages)",
-        pipeline_latency(depth), adu.num_stages());
+    println!(
+        "pipeline latency: {} cycles (5 fixed + {} ADU stages)",
+        pipeline_latency(depth),
+        adu.num_stages()
+    );
     println!(
         "programming cost in {fmt}: ld.bp {} beats, ld.cf {} beats",
         adu.load_beats(fmt),

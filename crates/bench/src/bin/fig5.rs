@@ -67,12 +67,20 @@ fn main() {
         for (si, &n) in sizes.iter().enumerate() {
             if n > 16 && grid[fi][si].0 > threshold {
                 all_below = false;
-                println!("  above 1 ULP: {} at {n} BP ({})", f.name(), sci(grid[fi][si].0));
+                println!(
+                    "  above 1 ULP: {} at {n} BP ({})",
+                    f.name(),
+                    sci(grid[fi][si].0)
+                );
             }
         }
     }
     println!(
         "all functions below Float16 1-ULP MSE beyond 16 breakpoints: {}",
-        if all_below { "yes (matches paper)" } else { "no" }
+        if all_below {
+            "yes (matches paper)"
+        } else {
+            "no"
+        }
     );
 }

@@ -11,7 +11,10 @@ fn main() {
     let fams = family_summary(&zoo, &cfg);
     let stats = zoo_summary(&zoo, &cfg);
 
-    println!("Figure 6 — end-to-end speedup per family ({} models)\n", zoo.len());
+    println!(
+        "Figure 6 — end-to-end speedup per family ({} models)\n",
+        zoo.len()
+    );
     let headers = ["family", "models", "mean", "min", "max"];
     let rows: Vec<Vec<String>> = fams
         .iter()

@@ -38,9 +38,7 @@ fn main() {
     // Energy efficiency range quoted in Section V-A.
     let eff_lo = power.efficiency_gact_s_w(64, 1.0, 600e6);
     let eff_hi = power.efficiency_gact_s_w(4, 4.0, 600e6);
-    println!(
-        "energy efficiency: {eff_lo:.0}-{eff_hi:.0} GAct/s/W (paper: 158-1722)\n"
-    );
+    println!("energy efficiency: {eff_lo:.0}-{eff_hi:.0} GAct/s/W (paper: 158-1722)\n");
 
     println!("Section V-A — integration into a 4-lane Ara-like VPU (Nc=2/lane)\n");
     let v = VpuIntegration::paper_reference();

@@ -3,13 +3,20 @@
 //! breakpoint count.
 
 use flexsfu_bench::{render_table, run_optimizer, sci};
-use flexsfu_optim::baselines::reference::{RefMetric, TABLE2_ROWS};
 use flexsfu_funcs::by_name;
+use flexsfu_optim::baselines::reference::{RefMetric, TABLE2_ROWS};
 
 fn main() {
     println!("Table II — comparison with prior PWL interpolation methods\n");
     let headers = [
-        "work", "funct", "range", "#BP", "ref err", "this work", "impr", "paper impr",
+        "work",
+        "funct",
+        "range",
+        "#BP",
+        "ref err",
+        "this work",
+        "impr",
+        "paper impr",
     ];
     let mut rows = Vec::new();
     let mut log_sum = 0.0;
@@ -25,11 +32,7 @@ fn main() {
         let improvement = r.error / ours;
         log_sum += improvement.max(1e-12).ln();
         rows.push(vec![
-            format!(
-                "{}{}",
-                r.work,
-                if r.uses_symmetry { "+sym" } else { "" }
-            ),
+            format!("{}{}", r.work, if r.uses_symmetry { "+sym" } else { "" }),
             r.function.to_string(),
             format!("[{:.3}, {}]", r.range.0, r.range.1),
             r.breakpoints.to_string(),

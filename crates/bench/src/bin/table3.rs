@@ -9,10 +9,10 @@
 
 use flexsfu_bench::{experiment_config, quick_mode, render_table};
 use flexsfu_core::PwlFunction;
+use flexsfu_funcs::by_name;
 use flexsfu_nn::train::{accuracy, train, TrainConfig};
 use flexsfu_nn::{data, zoo, Sequential};
 use flexsfu_optim::optimize;
-use flexsfu_funcs::by_name;
 use std::collections::HashMap;
 
 /// One trained model with its baseline accuracy.
@@ -36,19 +36,39 @@ fn build_fleet() -> Vec<Entry> {
             let (name, mut model, ds, epochs) = match k % 5 {
                 0 => {
                     let ds = data::gaussian_blobs(4, 12, 80, seed);
-                    (format!("mlp_blobs_{act}_{k}"), zoo::mlp(12, &[24, 16], 4, act, seed), ds, 40)
+                    (
+                        format!("mlp_blobs_{act}_{k}"),
+                        zoo::mlp(12, &[24, 16], 4, act, seed),
+                        ds,
+                        40,
+                    )
                 }
                 1 => {
                     let ds = data::spirals(3, 200, seed);
-                    (format!("mlp_spirals_{act}_{k}"), zoo::mlp(2, &[40, 40], 3, act, seed), ds, 400)
+                    (
+                        format!("mlp_spirals_{act}_{k}"),
+                        zoo::mlp(2, &[40, 40], 3, act, seed),
+                        ds,
+                        400,
+                    )
                 }
                 2 => {
                     let ds = data::pattern_images(2, 40, 8, seed);
-                    (format!("cnn_patterns_{act}_{k}"), zoo::cnn(8, 4, 2, act, seed), ds, 30)
+                    (
+                        format!("cnn_patterns_{act}_{k}"),
+                        zoo::cnn(8, 4, 2, act, seed),
+                        ds,
+                        30,
+                    )
                 }
                 3 => {
                     let ds = data::gaussian_blobs(3, 10, 90, seed);
-                    (format!("mixer_blobs_{act}_{k}"), zoo::mixer(10, 24, 3, act, seed), ds, 60)
+                    (
+                        format!("mixer_blobs_{act}_{k}"),
+                        zoo::mixer(10, 24, 3, act, seed),
+                        ds,
+                        60,
+                    )
                 }
                 _ => {
                     // Transformer: 3 tokens x 4 dims; also exercises the

@@ -83,10 +83,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     push_row(headers.iter().map(|s| s.to_string()).collect(), &mut out);
-    push_row(
-        widths.iter().map(|w| "-".repeat(*w)).collect(),
-        &mut out,
-    );
+    push_row(widths.iter().map(|w| "-".repeat(*w)).collect(), &mut out);
     for row in rows {
         push_row(row.clone(), &mut out);
     }

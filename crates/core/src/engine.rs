@@ -1,0 +1,757 @@
+//! The compiled batch-evaluation engine: [`CompiledPwl`] and the
+//! [`PwlEvaluator`] trait.
+//!
+//! [`PwlFunction::eval`] is the readable reference path: per call it binary
+//! searches a `Vec` of breakpoints, re-derives the segment slope with a
+//! division, and interpolates. That is fine for one point and ruinous for a
+//! tensor — the optimizer's loss grid, the NN forward pass and the hardware
+//! model all evaluate the *same* function over thousands to millions of
+//! elements.
+//!
+//! [`CompiledPwl`] lowers a function once into a structure-of-arrays form:
+//!
+//! * sorted breakpoints, plus a **uniform bucket index** over them: a
+//!   power-of-two grid of precomputed lower bounds, so segment lookup is
+//!   one multiply, one table read, and an expected `O(1)` fix-up scan
+//!   instead of a branch-mispredicting binary search per element,
+//! * per-segment anchor point `(aₓ, a_y)` and precomputed slope `m` in
+//!   table order (left outer, inner 0 … n−2, right outer), so evaluation is
+//!   a single `m·(x − aₓ) + a_y` with **no division** on the hot path.
+//!
+//! Functions with ≤ 8 segments skip the index entirely in favour of a
+//! vectorizable linear scan (`count of breakpoints < x`), mirroring how a
+//! shallow ADU beats a deep one in hardware. The bucket index is the
+//! software analogue of putting a one-cycle uniform pre-decoder in front
+//! of the ADU's binary-search tree: the grid gets you next to the right
+//! segment, a couple of comparisons finish the job exactly.
+//!
+//! # Bit-exactness
+//!
+//! The engine is **bit-identical** to [`PwlFunction::eval`] for every
+//! input, including the half-open boundary regions, inputs exactly on
+//! breakpoints, and NaN (which propagates). This is guaranteed by
+//! construction: segment selection reproduces [`PwlFunction::region`]'s
+//! comparison sequence, and the anchored evaluation performs the same
+//! f64 operations in the same order (the precomputed slope is the same
+//! rounded quotient the scalar path computes per call). Parity is locked
+//! down by the property tests in `tests/engine_parity.rs`.
+//!
+//! # Which entry point?
+//!
+//! * [`CompiledPwl::eval_one`] — scalar, for call sites that genuinely
+//!   have one value.
+//! * [`PwlEvaluator::eval_into`] / [`PwlEvaluator::eval_batch`] — chunked
+//!   batch evaluation; the workhorse for loss grids and tensors.
+//! * [`ParallelPwl`] — the same batch API fanned out over threads with
+//!   `std::thread::scope`; worthwhile from roughly 10⁵ elements.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
+//!
+//! let pwl = PwlFunction::new(vec![-1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0], 0.0, 0.0)?;
+//! let engine = CompiledPwl::from_pwl(&pwl);
+//! let xs = [-2.0, -0.5, 0.25, 3.0];
+//! let ys = engine.eval_batch(&xs);
+//! for (&x, &y) in xs.iter().zip(&ys) {
+//!     assert_eq!(y, pwl.eval(x)); // bit-identical, not merely close
+//! }
+//! # Ok::<(), flexsfu_core::PwlError>(())
+//! ```
+
+use crate::coeffs::CoeffTable;
+use crate::pwl::PwlFunction;
+
+/// Functions with at most this many segments use the linear-scan lookup.
+const LINEAR_SCAN_MAX_SEGMENTS: usize = 8;
+
+/// Batch evaluation proceeds in chunks of this many elements to keep the
+/// working set cache-resident.
+const CHUNK: usize = 4096;
+
+/// Below this many elements [`ParallelPwl`] stays serial — thread spawn
+/// overhead would dominate.
+const PARALLEL_MIN_ELEMENTS: usize = 1 << 15;
+
+/// A uniform interface over scalar and batch PWL evaluation.
+///
+/// Implemented by [`PwlFunction`] (the readable scalar reference),
+/// [`CompiledPwl`] (chunked batch over the SoA form) and [`ParallelPwl`]
+/// (threaded batch). Consumers — the optimizer's loss sampling, the NN
+/// activation layers, the hardware model's programming path — accept any
+/// implementor, so swapping evaluation strategies is a one-line change.
+pub trait PwlEvaluator {
+    /// Evaluates the function at one point. NaN propagates.
+    fn eval_one(&self, x: f64) -> f64;
+
+    /// Evaluates the function over `xs`, writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != out.len()`.
+    fn eval_into(&self, xs: &[f64], out: &mut [f64]);
+
+    /// Evaluates the function over `xs` into a fresh `Vec`.
+    fn eval_batch(&self, xs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; xs.len()];
+        self.eval_into(xs, &mut out);
+        out
+    }
+}
+
+/// The scalar reference path: one binary search and one division per call.
+impl PwlEvaluator for PwlFunction {
+    fn eval_one(&self, x: f64) -> f64 {
+        self.eval(x)
+    }
+
+    fn eval_into(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.eval(x);
+        }
+    }
+}
+
+/// A [`PwlFunction`] compiled to structure-of-arrays form for fast batch
+/// evaluation.
+///
+/// Segment indices follow the [`CoeffTable`] convention: `0` is the left
+/// outer segment, `1..n-1` the inner segments, `n` the right outer segment
+/// (`n` breakpoints → `n + 1` segments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPwl {
+    /// Sorted breakpoints (`n`).
+    breakpoints: Vec<f64>,
+    /// Breakpoints with `window` copies of `+∞` appended, so the windowed
+    /// count below can read past the end unconditionally.
+    bps_padded: Vec<f64>,
+    /// Per-segment anchor abscissa (`n + 1`, table order).
+    anchor_x: Vec<f64>,
+    /// Per-segment anchor ordinate (`n + 1`).
+    anchor_y: Vec<f64>,
+    /// Per-segment slope (`n + 1`), precomputed with the same division
+    /// the scalar path performs per call.
+    slope: Vec<f64>,
+    /// The same three per-segment values packed `[aₓ, a_y, m]` — one
+    /// bounds check and one cache line per lookup on the batch hot path.
+    seg_packed: Vec<[f64; 3]>,
+    /// `window_pairs[s] = [bp(s), bp(s+1)]` with `+∞` past the end
+    /// (`n + 1` entries): the two-comparison window as a single indexed
+    /// load for the specialized `window ≤ 2` kernel.
+    window_pairs: Vec<[f64; 2]>,
+    /// Left edge of the bucket grid (`p₀`).
+    bucket_lo: f64,
+    /// Buckets per unit of input: `K / (p_{n-1} − p₀)`, or `0.0` when the
+    /// span is degenerate/overflowing (every input then lands in bucket 0
+    /// and the window covers the whole array — slower, never wrong).
+    bucket_inv_w: f64,
+    /// Per-bucket *conservative* seed: the breakpoint count below the
+    /// previous bucket's left edge. One bucket of margin absorbs any
+    /// float rounding in the bucket mapping, so the windowed count is
+    /// exact for every input, not just almost all of them.
+    bucket_seed: Vec<u32>,
+    /// Window length: from any bucket's seed, scanning this many padded
+    /// breakpoints provably reaches every count an input mapped to that
+    /// bucket can have.
+    window: usize,
+}
+
+/// Windows longer than this (pathologically clustered breakpoints) fall
+/// back to `partition_point` — correctness never depends on the index.
+const WINDOW_MAX: usize = 16;
+
+impl CompiledPwl {
+    /// Flattens `pwl` into the SoA form. `O(n)`; amortize it over batches.
+    pub fn from_pwl(pwl: &PwlFunction) -> Self {
+        let p = pwl.breakpoints();
+        let v = pwl.values();
+        let n = p.len();
+
+        let mut anchor_x = Vec::with_capacity(n + 1);
+        let mut anchor_y = Vec::with_capacity(n + 1);
+        let mut slope = Vec::with_capacity(n + 1);
+
+        // Left outer segment, anchored at (p₀, v₀).
+        anchor_x.push(p[0]);
+        anchor_y.push(v[0]);
+        slope.push(pwl.left_slope());
+
+        // Inner segments, anchored at their left endpoints. The quotient
+        // here is the exact f64 the scalar path computes per call.
+        for i in 0..n - 1 {
+            anchor_x.push(p[i]);
+            anchor_y.push(v[i]);
+            slope.push((v[i + 1] - v[i]) / (p[i + 1] - p[i]));
+        }
+
+        // Right outer segment, anchored at (p_{n-1}, v_{n-1}).
+        anchor_x.push(p[n - 1]);
+        anchor_y.push(v[n - 1]);
+        slope.push(pwl.right_slope());
+
+        // Uniform bucket index. Start at ~4 buckets per breakpoint and
+        // refine (power of two, capped) until the window drops to the
+        // 2 comparisons the specialized kernel wants — real optimized
+        // functions cluster breakpoints in the curved regions, so a
+        // fixed multiplier is not enough.
+        let (lo, hi) = (p[0], p[n - 1]);
+        let span = hi - lo;
+        // Size the grid so ~4 bucket widths fit the smallest gap — then
+        // no 3-bucket stretch holds two breakpoints and the window lands
+        // at the 2 comparisons the specialized kernel wants. The sizing
+        // is only a guess: the window is *measured* from the actual edge
+        // counts below, so a capped or degenerate grid merely loses the
+        // fast path, never correctness.
+        let min_gap = p
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        let wanted = if min_gap > 0.0 && (4.0 * span / min_gap).is_finite() {
+            // Saturating cast: absurd ratios just hit the cap below.
+            (4.0 * span / min_gap).ceil() as usize
+        } else {
+            usize::MAX
+        };
+        let buckets = wanted
+            .clamp(4 * n, 1 << 14)
+            .next_power_of_two()
+            .min(1 << 14);
+        let inv_w = if span.is_finite() && span > 0.0 && (buckets as f64 / span).is_finite() {
+            buckets as f64 / span
+        } else {
+            0.0
+        };
+        // Exact breakpoint count below each bucket edge (edge `buckets`
+        // ≡ n), in one monotone walk — edges and breakpoints both ascend.
+        let mut edge_counts = Vec::with_capacity(buckets + 1);
+        let mut idx = 0usize;
+        for b in 0..buckets {
+            let left_edge = if inv_w > 0.0 {
+                lo + b as f64 / inv_w
+            } else {
+                lo
+            };
+            while idx < n && p[idx] < left_edge {
+                idx += 1;
+            }
+            edge_counts.push(idx as u32);
+        }
+        edge_counts.push(n as u32);
+        // Degenerate span: everything maps to bucket 0; force the
+        // window to cover the whole array.
+        if inv_w == 0.0 {
+            edge_counts.fill(n as u32);
+            edge_counts[0] = 0;
+        }
+        // Seed one bucket early; the float bucket mapping can misplace
+        // an input by at most one bucket, so the seed is always a true
+        // lower bound on the input's count.
+        let bucket_seed: Vec<u32> = (0..buckets)
+            .map(|b| edge_counts[b.saturating_sub(1)])
+            .collect();
+        // The window must reach from any bucket's seed to one bucket
+        // past its right edge (again one bucket of rounding margin).
+        let window = (0..buckets)
+            .map(|b| edge_counts[(b + 2).min(buckets)] - bucket_seed[b])
+            .max()
+            .unwrap_or(n as u32) as usize
+            + 1;
+
+        let mut bps_padded = p.to_vec();
+        bps_padded.resize(n + window.max(2), f64::INFINITY);
+
+        let window_pairs: Vec<[f64; 2]> = (0..=n)
+            .map(|s| [bps_padded[s], bps_padded[s + 1]])
+            .collect();
+
+        let seg_packed: Vec<[f64; 3]> = anchor_x
+            .iter()
+            .zip(anchor_y.iter().zip(&slope))
+            .map(|(&ax, (&ay, &m))| [ax, ay, m])
+            .collect();
+
+        Self {
+            breakpoints: p.to_vec(),
+            bps_padded,
+            anchor_x,
+            anchor_y,
+            slope,
+            seg_packed,
+            window_pairs,
+            bucket_lo: lo,
+            bucket_inv_w: inv_w,
+            bucket_seed,
+            window,
+        }
+    }
+
+    /// Number of breakpoints `n`.
+    pub fn num_breakpoints(&self) -> usize {
+        self.breakpoints.len()
+    }
+
+    /// Number of segments, `n + 1`.
+    pub fn num_segments(&self) -> usize {
+        self.slope.len()
+    }
+
+    /// The sorted breakpoints.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// Per-segment slopes in table order (left outer, inner…, right outer).
+    pub fn slopes(&self) -> &[f64] {
+        &self.slope
+    }
+
+    /// Lowers to the `(m, q)` coefficient-table view the hardware programs,
+    /// identical to `CoeffTable::from_pwl` on the source function.
+    pub fn to_coeff_table(&self) -> CoeffTable {
+        let intercepts: Vec<f64> = self
+            .slope
+            .iter()
+            .zip(self.anchor_x.iter().zip(&self.anchor_y))
+            .map(|(&m, (&ax, &ay))| ay - m * ax)
+            .collect();
+        CoeffTable::from_parts(self.breakpoints.clone(), self.slope.clone(), intercepts)
+    }
+
+    /// Number of breakpoints strictly below `x` (what
+    /// `breakpoints.partition_point(|p| p < x)` computes), via the bucket
+    /// index: one multiply locates the bucket, its conservative seed
+    /// starts the count, and exactly `window` branch-free comparisons
+    /// finish it. The seed under-counts by at most `window − 1` and every
+    /// breakpoint past the window is provably ≥ `x`, so the result is
+    /// exact for every input — including NaN, which maps to bucket 0 and
+    /// counts nothing.
+    #[inline]
+    fn count_below(&self, x: f64) -> usize {
+        if self.window > WINDOW_MAX {
+            // Pathologically clustered breakpoints: the index would scan
+            // long windows; std's binary search is the better tool.
+            return self.breakpoints.partition_point(|&p| p < x);
+        }
+        // Saturating f64→usize cast: negatives and NaN land in bucket 0,
+        // +∞/overflow in the last bucket.
+        let b =
+            (((x - self.bucket_lo) * self.bucket_inv_w) as usize).min(self.bucket_seed.len() - 1);
+        let seed = self.bucket_seed[b] as usize;
+        let mut c = seed;
+        for j in 0..self.window {
+            c += usize::from(self.bps_padded[seed + j] < x);
+        }
+        c
+    }
+
+    /// The table-order segment index of `x`, reproducing
+    /// [`PwlFunction::region`]'s boundary conventions exactly
+    /// (`x ≤ p₀` → 0, `x ≥ p_{n-1}` → n). NaN maps to segment 0; the
+    /// evaluation path screens NaN out before lookup.
+    #[inline]
+    pub fn segment_index(&self, x: f64) -> usize {
+        let n = self.breakpoints.len();
+        let c = if self.num_segments() <= LINEAR_SCAN_MAX_SEGMENTS {
+            // Branchless count, vectorizable for the shallow tables the
+            // hardware actually ships (4–64 segments, most ≤ 8).
+            let mut c = 0usize;
+            for &b in &self.breakpoints {
+                c += usize::from(b < x);
+            }
+            c
+        } else {
+            self.count_below(x)
+        };
+        // `x == p_{n-1}` counts n−1 breakpoints below but belongs to the
+        // right outer segment, matching `Region::Right`'s `x ≥ p_{n-1}`.
+        if x >= self.breakpoints[n - 1] {
+            n
+        } else {
+            c
+        }
+    }
+
+    /// Evaluates one point: segment lookup plus one multiply-add on the
+    /// anchored form. Bit-identical to [`PwlFunction::eval`].
+    #[inline]
+    pub fn eval_one(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        let s = self.segment_index(x);
+        self.slope[s] * (x - self.anchor_x[s]) + self.anchor_y[s]
+    }
+
+    /// Writes the table-order segment index of every sample into `out`.
+    ///
+    /// This is the batch analogue of [`PwlFunction::region`] for consumers
+    /// that need *where* each sample landed as well as the value — the
+    /// gradient kernel classifies every sample exactly once through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != out.len()`.
+    pub fn segments_into(&self, xs: &[f64], out: &mut [u32]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.segment_index(x) as u32;
+        }
+    }
+
+    /// Evaluates the segment `s` assigned to `x` — the second half of
+    /// [`Self::eval_one`] for callers that already hold the segment index
+    /// from [`Self::segments_into`].
+    #[inline]
+    pub fn eval_at_segment(&self, x: f64, s: usize) -> f64 {
+        self.slope[s] * (x - self.anchor_x[s]) + self.anchor_y[s]
+    }
+}
+
+impl CompiledPwl {
+    /// Batch kernel for shallow tables: branchless linear count.
+    fn eval_chunk_linear(&self, xs: &[f64], out: &mut [f64]) {
+        let n = self.breakpoints.len();
+        let last = self.breakpoints[n - 1];
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            if x.is_nan() {
+                *o = f64::NAN;
+                continue;
+            }
+            let mut c = 0usize;
+            for &b in &self.breakpoints {
+                c += usize::from(b < x);
+            }
+            let s = c + usize::from(x >= last) * (n - c);
+            let [ax, ay, m] = self.seg_packed[s];
+            *o = m * (x - ax) + ay;
+        }
+    }
+
+    /// The table-order segment index of `x` for the specialized
+    /// `window ≤ 2` kernel.
+    ///
+    /// # Safety contract (established at construction, checked by caller)
+    ///
+    /// * `hi_bucket_f == (bucket_seed.len() − 1) as f64`, so the clamped
+    ///   cast lands inside `bucket_seed` (NaN maps to 0.0 via `max`);
+    /// * every seed is ≤ `n`, and `window_pairs` has `n + 1` entries, so
+    ///   the pair load is in bounds;
+    /// * `window ≤ 2` guarantees `seed ≤ count(x) ≤ seed + 2`, the pair
+    ///   comparisons therefore produce exactly `count(x)`, and any
+    ///   breakpoint at an index ≥ `count(x)` compares ≥ `x` by
+    ///   sortedness, so over-reading the second pair slot is harmless.
+    ///
+    /// The returned index is ≤ `n`, in bounds for `seg_packed`.
+    #[inline(always)]
+    fn fast_segment_index(&self, hi_bucket_f: f64, n: usize, last: f64, x: f64) -> usize {
+        let t = ((x - self.bucket_lo) * self.bucket_inv_w)
+            .max(0.0)
+            .min(hi_bucket_f);
+        // SAFETY: t is clamped to [0, bucket_seed.len() − 1] and NaN-free.
+        let b = unsafe { t.to_int_unchecked::<usize>() };
+        // SAFETY: b < bucket_seed.len(); seed ≤ n < window_pairs.len().
+        let (seed, w) = unsafe {
+            let seed = *self.bucket_seed.get_unchecked(b) as usize;
+            (seed, self.window_pairs.get_unchecked(seed))
+        };
+        let c = seed + usize::from(w[0] < x) + usize::from(w[1] < x);
+        c + usize::from(x >= last) * (n - c)
+    }
+
+    /// Batch kernel for deep tables with `window ≤ 2` (every remotely
+    /// even breakpoint distribution): one bucket load, one pair load, two
+    /// comparisons, one segment load — unrolled 16-wide so the dependent
+    /// loads of neighbouring elements overlap.
+    fn eval_chunk_bucket2(&self, xs: &[f64], out: &mut [f64]) {
+        debug_assert!(self.window <= 2);
+        let n = self.breakpoints.len();
+        let last = self.breakpoints[n - 1];
+        let hi_bucket_f = (self.bucket_seed.len() - 1) as f64;
+        let mut xi = xs.chunks_exact(16);
+        let mut oi = out.chunks_exact_mut(16);
+        for (xc, oc) in (&mut xi).zip(&mut oi) {
+            let mut segs = [0usize; 16];
+            for k in 0..16 {
+                segs[k] = self.fast_segment_index(hi_bucket_f, n, last, xc[k]);
+            }
+            for k in 0..16 {
+                let x = xc[k];
+                // SAFETY: fast_segment_index returns ≤ n; seg_packed has
+                // n + 1 entries.
+                let [ax, ay, m] = unsafe { *self.seg_packed.get_unchecked(segs[k]) };
+                let y = m * (x - ax) + ay;
+                // NaN screens through the select so the output is the
+                // canonical NaN the scalar path returns.
+                oc[k] = if x.is_nan() { f64::NAN } else { y };
+            }
+        }
+        for (&x, o) in xi.remainder().iter().zip(oi.into_remainder()) {
+            let s = self.fast_segment_index(hi_bucket_f, n, last, x);
+            let [ax, ay, m] = self.seg_packed[s];
+            *o = if x.is_nan() {
+                f64::NAN
+            } else {
+                m * (x - ax) + ay
+            };
+        }
+    }
+
+    /// Fallback batch kernel (window > 2): per-element `count_below`,
+    /// which walks its window or routes to `partition_point`.
+    fn eval_chunk_search(&self, xs: &[f64], out: &mut [f64]) {
+        let n = self.breakpoints.len();
+        let last = self.breakpoints[n - 1];
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            if x.is_nan() {
+                *o = f64::NAN;
+                continue;
+            }
+            let c = self.count_below(x);
+            let s = c + usize::from(x >= last) * (n - c);
+            let [ax, ay, m] = self.seg_packed[s];
+            *o = m * (x - ax) + ay;
+        }
+    }
+
+    fn eval_chunk(&self, xs: &[f64], out: &mut [f64]) {
+        if self.num_segments() <= LINEAR_SCAN_MAX_SEGMENTS {
+            self.eval_chunk_linear(xs, out);
+        } else if self.window <= 2 {
+            self.eval_chunk_bucket2(xs, out);
+        } else {
+            self.eval_chunk_search(xs, out);
+        }
+    }
+}
+
+impl PwlEvaluator for CompiledPwl {
+    fn eval_one(&self, x: f64) -> f64 {
+        CompiledPwl::eval_one(self, x)
+    }
+
+    fn eval_into(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            self.eval_chunk(xc, oc);
+        }
+    }
+}
+
+/// A [`CompiledPwl`] that fans batch evaluation out over OS threads.
+///
+/// Small batches (below ~32 k elements) run serially — the crossover where
+/// thread spawning pays for itself. Results are identical to the serial
+/// engine regardless of thread count: the input is split into contiguous
+/// slices and every element is evaluated by the same bit-exact kernel.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::{CompiledPwl, ParallelPwl, PwlEvaluator, PwlFunction};
+///
+/// let pwl = PwlFunction::new(vec![-1.0, 1.0], vec![-1.0, 1.0], 0.0, 0.0)?;
+/// let par = ParallelPwl::new(CompiledPwl::from_pwl(&pwl));
+/// let xs: Vec<f64> = (0..100_000).map(|i| i as f64 * 1e-4 - 5.0).collect();
+/// let ys = par.eval_batch(&xs);
+/// assert_eq!(ys[0], pwl.eval(xs[0]));
+/// # Ok::<(), flexsfu_core::PwlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelPwl {
+    inner: CompiledPwl,
+    threads: usize,
+}
+
+impl ParallelPwl {
+    /// Wraps `inner`, sizing the pool to the machine's available
+    /// parallelism.
+    pub fn new(inner: CompiledPwl) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(inner, threads)
+    }
+
+    /// Wraps `inner` with an explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(inner: CompiledPwl, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        Self { inner, threads }
+    }
+
+    /// The wrapped serial engine.
+    pub fn engine(&self) -> &CompiledPwl {
+        &self.inner
+    }
+
+    /// Configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl PwlEvaluator for ParallelPwl {
+    fn eval_one(&self, x: f64) -> f64 {
+        self.inner.eval_one(x)
+    }
+
+    fn eval_into(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        let n = xs.len();
+        if self.threads == 1 || n < PARALLEL_MIN_ELEMENTS {
+            return self.inner.eval_into(xs, out);
+        }
+        let workers = self.threads.min(n);
+        let per = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (xc, oc) in xs.chunks(per).zip(out.chunks_mut(per)) {
+                let engine = &self.inner;
+                scope.spawn(move || engine.eval_into(xc, oc));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pwl() -> PwlFunction {
+        PwlFunction::new(
+            vec![-2.0, -1.0, 0.5, 2.0],
+            vec![0.3, -0.7, 1.1, 0.9],
+            0.25,
+            -0.5,
+        )
+        .unwrap()
+    }
+
+    fn dense_grid(a: f64, b: f64, m: usize) -> Vec<f64> {
+        (0..m)
+            .map(|k| a + (b - a) * k as f64 / (m - 1) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn shapes_and_accessors() {
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        assert_eq!(c.num_breakpoints(), 4);
+        assert_eq!(c.num_segments(), 5);
+        assert_eq!(c.breakpoints(), pwl.breakpoints());
+        assert_eq!(c.slopes().len(), 5);
+        assert_eq!(c.slopes()[0], pwl.left_slope());
+        assert_eq!(c.slopes()[4], pwl.right_slope());
+    }
+
+    #[test]
+    fn segment_index_matches_region_mapping() {
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        let table = CoeffTable::from_pwl(&pwl);
+        for x in dense_grid(-5.0, 5.0, 2001) {
+            let want = table.region_to_address(pwl.region(x));
+            assert_eq!(c.segment_index(x), want, "at {x}");
+        }
+        // Exactly on every breakpoint too.
+        for &p in pwl.breakpoints() {
+            let want = table.region_to_address(pwl.region(p));
+            assert_eq!(c.segment_index(p), want, "on breakpoint {p}");
+        }
+    }
+
+    #[test]
+    fn eval_is_bit_identical_to_scalar() {
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        for x in dense_grid(-10.0, 10.0, 4001) {
+            assert_eq!(
+                c.eval_one(x).to_bits(),
+                pwl.eval(x).to_bits(),
+                "mismatch at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_table_uses_search_path_and_stays_exact() {
+        // 33 breakpoints → 34 segments → bucket-indexed lookup path.
+        let p: Vec<f64> = (0..33).map(|i| i as f64 * 0.37 - 6.0).collect();
+        let v: Vec<f64> = p.iter().map(|x| x.sin()).collect();
+        let pwl = PwlFunction::new(p, v, 0.1, -0.2).unwrap();
+        let c = CompiledPwl::from_pwl(&pwl);
+        for x in dense_grid(-8.0, 8.0, 4001) {
+            assert_eq!(c.eval_one(x).to_bits(), pwl.eval(x).to_bits(), "at {x}");
+        }
+    }
+
+    #[test]
+    fn batch_and_parallel_match_scalar() {
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        let par = ParallelPwl::with_threads(c.clone(), 4);
+        let xs = dense_grid(-6.0, 6.0, 50_000);
+        let batch = c.eval_batch(&xs);
+        let parallel = par.eval_batch(&xs);
+        for ((&x, &yb), &yp) in xs.iter().zip(&batch).zip(&parallel) {
+            assert_eq!(yb.to_bits(), pwl.eval(x).to_bits());
+            assert_eq!(yp.to_bits(), yb.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_propagates_through_all_paths() {
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        assert!(c.eval_one(f64::NAN).is_nan());
+        let mut out = [0.0; 3];
+        c.eval_into(&[0.0, f64::NAN, 1.0], &mut out);
+        assert!(!out[0].is_nan() && out[1].is_nan() && !out[2].is_nan());
+    }
+
+    #[test]
+    fn coeff_table_roundtrip_is_exact() {
+        let pwl = sample_pwl();
+        let direct = CoeffTable::from_pwl(&pwl);
+        let via_engine = CompiledPwl::from_pwl(&pwl).to_coeff_table();
+        assert_eq!(direct, via_engine);
+    }
+
+    #[test]
+    fn segments_into_agrees_with_eval_at_segment() {
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        let xs = dense_grid(-4.0, 4.0, 513);
+        let mut segs = vec![0u32; xs.len()];
+        c.segments_into(&xs, &mut segs);
+        for (&x, &s) in xs.iter().zip(&segs) {
+            assert_eq!(
+                c.eval_at_segment(x, s as usize).to_bits(),
+                pwl.eval(x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_two_breakpoint_function() {
+        let pwl = PwlFunction::new(vec![0.0, 1.0], vec![0.0, 2.0], -1.0, 3.0).unwrap();
+        let c = CompiledPwl::from_pwl(&pwl);
+        assert_eq!(c.num_segments(), 3);
+        for x in dense_grid(-3.0, 4.0, 1001) {
+            assert_eq!(c.eval_one(x).to_bits(), pwl.eval(x).to_bits(), "at {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn eval_into_rejects_mismatched_lengths() {
+        let c = CompiledPwl::from_pwl(&sample_pwl());
+        let mut out = [0.0; 2];
+        c.eval_into(&[0.0; 3], &mut out);
+    }
+}

@@ -44,7 +44,10 @@ impl fmt::Display for PwlError {
                 "breakpoint count ({breakpoints}) does not match value count ({values})"
             ),
             PwlError::NotStrictlyIncreasing { index } => {
-                write!(f, "breakpoints must be strictly increasing (violated at index {index})")
+                write!(
+                    f,
+                    "breakpoints must be strictly increasing (violated at index {index})"
+                )
             }
             PwlError::NonFinite { what } => {
                 write!(f, "non-finite entry in {what}")

@@ -53,8 +53,7 @@ pub fn pwl_from_breakpoints(
     if spec.right.is_tied() {
         values[n - 1] = vn;
     }
-    PwlFunction::new(breakpoints, values, ml, mr)
-        .expect("initializer produces valid breakpoints")
+    PwlFunction::new(breakpoints, values, ml, mr).expect("initializer produces valid breakpoints")
 }
 
 /// Uniformly spaced breakpoints on `[a, b]` with exact function values and
@@ -87,8 +86,7 @@ pub fn uniform_pwl(f: &dyn Activation, n: usize, range: (f64, f64)) -> PwlFuncti
     let n_ = breakpoints.len();
     let values: Vec<f64> = breakpoints.iter().map(|&p| f.eval(p)).collect();
     let ((ml, _), (mr, _)) = resolve_ends(f, &spec, breakpoints[0], breakpoints[n_ - 1]);
-    PwlFunction::new(breakpoints, values, ml, mr)
-        .expect("uniform grid is strictly increasing")
+    PwlFunction::new(breakpoints, values, ml, mr).expect("uniform grid is strictly increasing")
 }
 
 /// Uniform breakpoints with the paper's asymptotic boundary condition
@@ -128,8 +126,7 @@ pub fn chebyshev_pwl(f: &dyn Activation, n: usize, range: (f64, f64)) -> PwlFunc
     let values: Vec<f64> = breakpoints.iter().map(|&p| f.eval(p)).collect();
     let m = breakpoints.len();
     let ((ml, _), (mr, _)) = resolve_ends(f, &spec, breakpoints[0], breakpoints[m - 1]);
-    PwlFunction::new(breakpoints, values, ml, mr)
-        .expect("chebyshev grid is strictly increasing")
+    PwlFunction::new(breakpoints, values, ml, mr).expect("chebyshev grid is strictly increasing")
 }
 
 #[cfg(test)]

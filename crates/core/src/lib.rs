@@ -17,6 +17,10 @@
 //!
 //! * [`PwlFunction`] — validated construction, scalar/batch evaluation,
 //!   binary-search segment lookup ([`pwl::Region`]),
+//! * [`engine`] — the compiled batch-evaluation engine: [`CompiledPwl`]
+//!   (structure-of-arrays form with precomputed slopes and branch-light
+//!   lookup), the [`PwlEvaluator`] trait every consumer routes through,
+//!   and the threaded [`ParallelPwl`],
 //! * [`CoeffTable`] — the `(mᵢ, qᵢ)` slope/intercept pairs stored in the
 //!   hardware LTC, with an equivalence guarantee against direct evaluation,
 //! * [`boundary`] — the paper's asymptotic boundary conditions,
@@ -41,6 +45,7 @@
 
 pub mod boundary;
 pub mod coeffs;
+pub mod engine;
 pub mod init;
 pub mod loss;
 pub mod pwl;
@@ -49,5 +54,6 @@ pub mod quant;
 mod error;
 
 pub use coeffs::CoeffTable;
+pub use engine::{CompiledPwl, ParallelPwl, PwlEvaluator};
 pub use error::PwlError;
 pub use pwl::{PwlFunction, Region};

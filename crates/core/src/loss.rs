@@ -13,6 +13,7 @@
 //! piece — and apply composite Simpson per piece; the maximum error uses
 //! dense per-piece sampling with a local refinement step.
 
+use crate::engine::CompiledPwl;
 use crate::pwl::PwlFunction;
 use flexsfu_funcs::Activation;
 
@@ -63,11 +64,25 @@ fn simpson<G: Fn(f64) -> f64>(g: G, lo: f64, hi: f64) -> f64 {
 /// # Ok::<(), flexsfu_core::PwlError>(())
 /// ```
 pub fn integral_mse(pwl: &PwlFunction, f: &dyn Activation, a: f64, b: f64) -> f64 {
+    // Compile once: the integrand below hits the function thousands of
+    // times, and the engine evaluates bit-identically to `pwl.eval`.
+    integral_mse_compiled(pwl, &pwl.compile(), f, a, b)
+}
+
+/// [`integral_mse`] through an already-compiled engine — for callers that
+/// evaluate several metrics (or several pieces) of one function.
+pub fn integral_mse_compiled(
+    pwl: &PwlFunction,
+    engine: &CompiledPwl,
+    f: &dyn Activation,
+    a: f64,
+    b: f64,
+) -> f64 {
     let mut total = 0.0;
     for (lo, hi) in pieces(pwl, a, b) {
         total += simpson(
             |x| {
-                let e = pwl.eval(x) - f.eval(x);
+                let e = engine.eval_one(x) - f.eval(x);
                 e * e
             },
             lo,
@@ -81,10 +96,16 @@ pub fn integral_mse(pwl: &PwlFunction, f: &dyn Activation, a: f64, b: f64) -> f6
 /// the quantity inside the paper's insertion loss
 /// `ℓᵢⁱⁿˢ = (p_{i+1} − pᵢ) · L_[pᵢ, p_{i+1}]`.
 pub fn piece_sse(pwl: &PwlFunction, f: &dyn Activation, lo: f64, hi: f64) -> f64 {
+    piece_sse_compiled(&pwl.compile(), f, lo, hi)
+}
+
+/// [`piece_sse`] through an already-compiled engine — the insertion-loss
+/// sweep evaluates every segment of one function, so it compiles once.
+pub fn piece_sse_compiled(engine: &CompiledPwl, f: &dyn Activation, lo: f64, hi: f64) -> f64 {
     assert!(lo < hi, "empty piece");
     simpson(
         |x| {
-            let e = pwl.eval(x) - f.eval(x);
+            let e = engine.eval_one(x) - f.eval(x);
             e * e
         },
         lo,
@@ -96,7 +117,18 @@ pub fn piece_sse(pwl: &PwlFunction, f: &dyn Activation, lo: f64, hi: f64) -> f64
 /// Figure 5), found by dense scanning plus golden-section refinement in the
 /// best bracket.
 pub fn max_abs_error(pwl: &PwlFunction, f: &dyn Activation, a: f64, b: f64) -> f64 {
-    let err = |x: f64| (pwl.eval(x) - f.eval(x)).abs();
+    max_abs_error_compiled(pwl, &pwl.compile(), f, a, b)
+}
+
+/// [`max_abs_error`] through an already-compiled engine.
+pub fn max_abs_error_compiled(
+    pwl: &PwlFunction,
+    engine: &CompiledPwl,
+    f: &dyn Activation,
+    a: f64,
+    b: f64,
+) -> f64 {
+    let err = |x: f64| (engine.eval_one(x) - f.eval(x)).abs();
     let mut best_x = a;
     let mut best = err(a);
     for (lo, hi) in pieces(pwl, a, b) {
@@ -129,11 +161,22 @@ pub fn max_abs_error(pwl: &PwlFunction, f: &dyn Activation, a: f64, b: f64) -> f
 /// works report (Table II). Uses dense trapezoid sampling because the
 /// integrand has kinks where the error changes sign.
 pub fn integral_aae(pwl: &PwlFunction, f: &dyn Activation, a: f64, b: f64) -> f64 {
+    integral_aae_compiled(pwl, &pwl.compile(), f, a, b)
+}
+
+/// [`integral_aae`] through an already-compiled engine.
+pub fn integral_aae_compiled(
+    pwl: &PwlFunction,
+    engine: &CompiledPwl,
+    f: &dyn Activation,
+    a: f64,
+    b: f64,
+) -> f64 {
     let mut total = 0.0;
     for (lo, hi) in pieces(pwl, a, b) {
         let steps = 4 * SCAN_STEPS;
         let h = (hi - lo) / steps as f64;
-        let err = |x: f64| (pwl.eval(x) - f.eval(x)).abs();
+        let err = |x: f64| (engine.eval_one(x) - f.eval(x)).abs();
         let mut acc = 0.5 * (err(lo) + err(hi));
         for k in 1..steps {
             acc += err(lo + k as f64 * h);
@@ -158,9 +201,16 @@ pub fn sq_aae(pwl: &PwlFunction, f: &dyn Activation, a: f64, b: f64) -> f64 {
 /// Panics if `xs` is empty.
 pub fn sampled_mse(pwl: &PwlFunction, f: &dyn Activation, xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "empty sample grid");
+    sampled_mse_compiled(&pwl.compile(), f, xs)
+}
+
+/// [`sampled_mse`] through an already-compiled engine — the form the
+/// optimizer's inner loops use to amortize compilation across calls.
+pub fn sampled_mse_compiled(engine: &CompiledPwl, f: &dyn Activation, xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "empty sample grid");
     let mut acc = 0.0;
     for &x in xs {
-        let e = pwl.eval(x) - f.eval(x);
+        let e = engine.eval_one(x) - f.eval(x);
         acc += e * e;
     }
     acc / xs.len() as f64
@@ -178,12 +228,14 @@ pub struct LossReport {
 }
 
 impl LossReport {
-    /// Computes MSE, MAE and AAE of `pwl` against `f` on `[a, b]`.
+    /// Computes MSE, MAE and AAE of `pwl` against `f` on `[a, b]`,
+    /// compiling the function once for all three metrics.
     pub fn compute(pwl: &PwlFunction, f: &dyn Activation, a: f64, b: f64) -> Self {
+        let engine = pwl.compile();
         Self {
-            mse: integral_mse(pwl, f, a, b),
-            mae: max_abs_error(pwl, f, a, b),
-            aae: integral_aae(pwl, f, a, b),
+            mse: integral_mse_compiled(pwl, &engine, f, a, b),
+            mae: max_abs_error_compiled(pwl, &engine, f, a, b),
+            aae: integral_aae_compiled(pwl, &engine, f, a, b),
         }
     }
 }
@@ -197,8 +249,7 @@ mod tests {
     #[test]
     fn exact_relu_pwl_has_zero_loss() {
         // breakpoints at -1 and 0; left slope 0, right slope 1 → exact ReLU.
-        let pwl =
-            PwlFunction::new(vec![-1.0, 0.0], vec![0.0, 0.0], 0.0, 1.0).unwrap();
+        let pwl = PwlFunction::new(vec![-1.0, 0.0], vec![0.0, 0.0], 0.0, 1.0).unwrap();
         let r = LossReport::compute(&pwl, &Relu, -4.0, 4.0);
         assert!(r.mse < 1e-28, "mse = {}", r.mse);
         assert!(r.mae < 1e-14, "mae = {}", r.mae);
@@ -262,15 +313,10 @@ mod tests {
     #[test]
     fn sampled_mse_approaches_integral_mse() {
         let pwl = uniform_pwl(&Sigmoid, 8, (-8.0, 8.0));
-        let xs: Vec<f64> = (0..8192)
-            .map(|i| -8.0 + 16.0 * i as f64 / 8191.0)
-            .collect();
+        let xs: Vec<f64> = (0..8192).map(|i| -8.0 + 16.0 * i as f64 / 8191.0).collect();
         let s = sampled_mse(&pwl, &Sigmoid, &xs);
         let i = integral_mse(&pwl, &Sigmoid, -8.0, 8.0);
-        assert!(
-            (s - i).abs() / i < 0.05,
-            "sampled {s} vs integral {i}"
-        );
+        assert!((s - i).abs() / i < 0.05, "sampled {s} vs integral {i}");
     }
 
     #[test]

@@ -90,12 +90,7 @@ mod tests {
     #[test]
     fn fp32_quantization_is_nearly_exact() {
         let pwl = uniform_pwl(&Gelu, 16, (-8.0, 8.0));
-        let e = quantization_error(
-            &pwl,
-            DataFormat::Float(FloatFormat::FP32),
-            -8.0,
-            8.0,
-        );
+        let e = quantization_error(&pwl, DataFormat::Float(FloatFormat::FP32), -8.0, 8.0);
         assert!(e < 1e-5, "fp32 error {e}");
     }
 

@@ -1,0 +1,184 @@
+//! Property tests pinning the compiled engine to the scalar reference:
+//! [`CompiledPwl`] (and the threaded wrapper) must be **bit-identical** to
+//! `PwlFunction::eval` — not merely close — across random breakpoint sets,
+//! both boundary regions, inputs exactly on breakpoints, and the
+//! degenerate two-breakpoint function.
+
+use flexsfu_core::{CompiledPwl, ParallelPwl, PwlEvaluator, PwlFunction, Region};
+use proptest::prelude::*;
+
+/// Builds a valid PWL function from raw proptest-sampled material:
+/// sorts/dedups the breakpoints and derives deterministic values/slopes
+/// from `seed`.
+fn pwl_from_raw(mut ps: Vec<f64>, seed: u64) -> Option<PwlFunction> {
+    ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ps.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    if ps.len() < 2 {
+        return None;
+    }
+    let vs: Vec<f64> = ps
+        .iter()
+        .enumerate()
+        .map(|(i, _)| ((seed as f64 + i as f64) * 0.73205).sin() * 3.0)
+        .collect();
+    let ml = ((seed as f64) * 0.31).sin();
+    let mr = ((seed as f64) * 0.47).cos();
+    Some(PwlFunction::new(ps, vs, ml, mr).unwrap())
+}
+
+/// Asserts bit-identity between the scalar reference and every engine
+/// entry point at one input.
+fn assert_parity(pwl: &PwlFunction, engine: &CompiledPwl, x: f64) {
+    let want = pwl.eval(x).to_bits();
+    assert_eq!(engine.eval_one(x).to_bits(), want, "eval_one at {x}");
+    let mut out = [0.0];
+    engine.eval_into(&[x], &mut out);
+    assert_eq!(out[0].to_bits(), want, "eval_into at {x}");
+}
+
+proptest! {
+    /// Random breakpoint sets: batch output is bit-identical to scalar
+    /// eval on a dense grid spanning well past both boundaries.
+    #[test]
+    fn prop_batch_matches_scalar_on_random_functions(
+        ps in proptest::collection::vec(-100.0f64..100.0, 2..24),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(pwl_from_raw(ps.clone(), seed).is_some());
+        let pwl = pwl_from_raw(ps, seed).unwrap();
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let (lo, hi) = (pwl.breakpoints()[0], *pwl.breakpoints().last().unwrap());
+        let span = (hi - lo).max(1.0);
+        // Grid from lo − span to hi + span: inner segments plus a healthy
+        // margin of both outer regions.
+        let (a, b) = (lo - span, hi + span);
+        for k in 0..=200 {
+            let x = a + (b - a) * k as f64 / 200.0;
+            assert_parity(&pwl, &engine, x);
+        }
+    }
+
+    /// Inputs drawn straight from the outer regions (`Region::Left` /
+    /// `Region::Right`) evaluate identically through the engine.
+    #[test]
+    fn prop_boundary_regions_match(
+        ps in proptest::collection::vec(-50.0f64..50.0, 2..16),
+        seed in 0u64..500,
+        t in 0.0f64..1.0,
+    ) {
+        prop_assume!(pwl_from_raw(ps.clone(), seed).is_some());
+        let pwl = pwl_from_raw(ps, seed).unwrap();
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let (lo, hi) = (pwl.breakpoints()[0], *pwl.breakpoints().last().unwrap());
+        let left_x = lo - 1e-9 - t * 1e6;
+        let right_x = hi + 1e-9 + t * 1e6;
+        prop_assert!(matches!(pwl.region(left_x), Region::Left));
+        prop_assert!(matches!(pwl.region(right_x), Region::Right));
+        assert_parity(&pwl, &engine, left_x);
+        assert_parity(&pwl, &engine, right_x);
+        // And exactly on the outermost breakpoints, which belong to the
+        // outer segments by the region convention.
+        assert_parity(&pwl, &engine, lo);
+        assert_parity(&pwl, &engine, hi);
+    }
+
+    /// Degenerate two-breakpoint functions (one inner + two outer
+    /// segments) stay bit-identical, including on both breakpoints.
+    #[test]
+    fn prop_two_breakpoint_degenerate_matches(
+        p0 in -100.0f64..99.0,
+        gap in 1e-6f64..50.0,
+        seed in 0u64..500,
+        t in -3.0f64..4.0,
+    ) {
+        let p1 = p0 + gap;
+        prop_assume!(p1 > p0 && p1.is_finite());
+        let v0 = ((seed as f64) * 0.611).sin();
+        let v1 = ((seed as f64) * 0.377).cos();
+        let pwl = PwlFunction::new(vec![p0, p1], vec![v0, v1], 0.5, -0.25).unwrap();
+        let engine = CompiledPwl::from_pwl(&pwl);
+        assert_parity(&pwl, &engine, p0);
+        assert_parity(&pwl, &engine, p1);
+        assert_parity(&pwl, &engine, p0 + gap * t); // sweeps all 3 regions
+    }
+
+    /// Inputs exactly on (or a ULP around) every breakpoint are assigned
+    /// the same value through both paths.
+    #[test]
+    fn prop_on_breakpoint_inputs_match(
+        ps in proptest::collection::vec(-20.0f64..20.0, 2..20),
+        seed in 0u64..500,
+    ) {
+        prop_assume!(pwl_from_raw(ps.clone(), seed).is_some());
+        let pwl = pwl_from_raw(ps, seed).unwrap();
+        let engine = CompiledPwl::from_pwl(&pwl);
+        for &p in pwl.breakpoints() {
+            assert_parity(&pwl, &engine, p);
+            assert_parity(&pwl, &engine, f64::from_bits(p.to_bits() + 1));
+            assert_parity(&pwl, &engine, f64::from_bits(p.to_bits().wrapping_sub(1)));
+        }
+    }
+
+    /// The threaded evaluator returns exactly what the serial engine does
+    /// for batches large enough to actually fan out.
+    #[test]
+    fn prop_parallel_matches_serial(seed in 0u64..50) {
+        let pwl = pwl_from_raw(
+            (0..40).map(|i| i as f64 * 0.71 - 14.0).collect(),
+            seed,
+        )
+        .unwrap();
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let par = ParallelPwl::with_threads(engine.clone(), 4);
+        let xs: Vec<f64> = (0..80_000)
+            .map(|i| ((seed as f64 + i as f64) * 0.379).sin() * 30.0)
+            .collect();
+        let serial = engine.eval_batch(&xs);
+        let threaded = par.eval_batch(&xs);
+        for (i, (&x, (&a, &b))) in xs.iter().zip(serial.iter().zip(&threaded)).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "element {} (x = {})", i, x);
+            prop_assert_eq!(a.to_bits(), pwl.eval(x).to_bits(), "vs scalar at {}", x);
+        }
+    }
+}
+
+#[test]
+fn nan_inputs_yield_canonical_nan_through_every_path() {
+    let pwl = pwl_from_raw((0..12).map(|i| i as f64 - 6.0).collect(), 7).unwrap();
+    let engine = CompiledPwl::from_pwl(&pwl);
+    let scalar = pwl.eval(f64::NAN);
+    assert!(scalar.is_nan());
+    assert_eq!(engine.eval_one(f64::NAN).to_bits(), scalar.to_bits());
+    let mut out = [0.0; 3];
+    engine.eval_into(&[1.0, f64::NAN, -1.0], &mut out);
+    assert_eq!(out[1].to_bits(), scalar.to_bits());
+    assert_eq!(out[0].to_bits(), pwl.eval(1.0).to_bits());
+}
+
+#[test]
+fn clustered_breakpoints_use_fallback_and_stay_exact() {
+    // A pathological cluster: 30 breakpoints packed into 1e-6, plus far
+    // outliers — drives the bucket window past its cap so the engine
+    // falls back to binary search, which must be just as exact.
+    let mut ps: Vec<f64> = (0..30).map(|i| i as f64 * 1e-8).collect();
+    ps.push(1000.0);
+    ps.insert(0, -1000.0);
+    let pwl = pwl_from_raw(ps, 3).unwrap();
+    let engine = CompiledPwl::from_pwl(&pwl);
+    for k in -2000..=2000 {
+        let x = k as f64;
+        assert_eq!(
+            engine.eval_one(x).to_bits(),
+            pwl.eval(x).to_bits(),
+            "at {x}"
+        );
+    }
+    for k in 0..60 {
+        let x = k as f64 * 0.5e-8 - 0.5e-8;
+        assert_eq!(
+            engine.eval_one(x).to_bits(),
+            pwl.eval(x).to_bits(),
+            "at {x}"
+        );
+    }
+}

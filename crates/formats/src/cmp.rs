@@ -92,7 +92,12 @@ mod tests {
             .collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in pairs.windows(2) {
-            assert!(w[0].1 < w[1].1, "key order broken at {} vs {}", w[0].0, w[1].0);
+            assert!(
+                w[0].1 < w[1].1,
+                "key order broken at {} vs {}",
+                w[0].0,
+                w[1].0
+            );
         }
     }
 

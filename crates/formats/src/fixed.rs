@@ -128,7 +128,11 @@ impl FixedFormat {
             return 0;
         }
         if x.is_infinite() {
-            return if x > 0.0 { self.max_code() } else { self.min_code() };
+            return if x > 0.0 {
+                self.max_code()
+            } else {
+                self.min_code()
+            };
         }
         let scaled = x / self.resolution();
         // Round half to even, like hardware quantizers.
@@ -177,14 +181,10 @@ fn round_half_even(x: f64) -> i64 {
     let floor = x.floor();
     let diff = x - floor;
     let f = floor as i64;
-    if diff > 0.5 {
+    if diff > 0.5 || (diff == 0.5 && f % 2 != 0) {
         f + 1
-    } else if diff < 0.5 {
-        f
-    } else if f % 2 == 0 {
-        f
     } else {
-        f + 1
+        f
     }
 }
 

@@ -201,14 +201,8 @@ mod tests {
     fn labels() {
         assert_eq!(DataFormat::Float(FloatFormat::FP16).label(), "fp16");
         assert_eq!(DataFormat::Fixed(FixedFormat::new(8, 3)).label(), "q4.3");
-        assert_eq!(
-            DataFormat::Float(FloatFormat::new(3, 2)).label(),
-            "e3m2"
-        );
-        assert_eq!(
-            format!("{}", DataFormat::Float(FloatFormat::FP8)),
-            "fp8"
-        );
+        assert_eq!(DataFormat::Float(FloatFormat::new(3, 2)).label(), "e3m2");
+        assert_eq!(format!("{}", DataFormat::Float(FloatFormat::FP8)), "fp8");
     }
 
     #[test]

@@ -205,7 +205,11 @@ impl FloatFormat {
             "pattern {pattern:#x} wider than {} bits",
             self.bits()
         );
-        let sign = if pattern & self.sign_bit() != 0 { -1.0 } else { 1.0 };
+        let sign = if pattern & self.sign_bit() != 0 {
+            -1.0
+        } else {
+            1.0
+        };
         let exp_field = (pattern >> self.man_bits) & self.exp_field_max();
         let man = pattern & self.man_mask();
         if exp_field == self.exp_field_max() {
@@ -249,14 +253,10 @@ fn round_half_even_u64(x: f64) -> u64 {
     let floor = x.floor();
     let diff = x - floor;
     let f = floor as u64;
-    if diff > 0.5 {
+    if diff > 0.5 || (diff == 0.5 && !f.is_multiple_of(2)) {
         f + 1
-    } else if diff < 0.5 {
-        f
-    } else if f % 2 == 0 {
-        f
     } else {
-        f + 1
+        f
     }
 }
 
@@ -354,7 +354,9 @@ mod tests {
         let mut state = 0x1234_5678_9abc_def0u64;
         let f = FloatFormat::FP32;
         for _ in 0..10_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
             let v = (x - 0.5) * 1e6;
             assert_eq!(f.quantize(v), v as f32 as f64, "v = {v}");
@@ -364,8 +366,8 @@ mod tests {
     #[test]
     fn rne_ties_to_even() {
         let f = FloatFormat::FP8; // 3 mantissa bits: values 1.0, 1.125, ...
-        // 1.0625 is exactly halfway between 1.0 (even mantissa 000) and
-        // 1.125 (odd mantissa 001) → rounds to 1.0.
+                                  // 1.0625 is exactly halfway between 1.0 (even mantissa 000) and
+                                  // 1.125 (odd mantissa 001) → rounds to 1.0.
         assert_eq!(f.quantize(1.0625), 1.0);
         // 1.1875 is halfway between 1.125 (001) and 1.25 (010) → 1.25.
         assert_eq!(f.quantize(1.1875), 1.25);

@@ -37,10 +37,17 @@ pub fn pack_word(lanes: &[u32], size: ElemSize) -> u32 {
         lanes.len()
     );
     let width = size.bits() as u32;
-    let lane_mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let lane_mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    };
     let mut word = 0u32;
     for (i, &lane) in lanes.iter().enumerate() {
-        assert!(lane <= lane_mask, "lane {i} value {lane:#x} exceeds {width} bits");
+        assert!(
+            lane <= lane_mask,
+            "lane {i} value {lane:#x} exceeds {width} bits"
+        );
         word |= lane << (i as u32 * width);
     }
     word
@@ -60,7 +67,11 @@ pub fn pack_word(lanes: &[u32], size: ElemSize) -> u32 {
 /// ```
 pub fn unpack_word(word: u32, size: ElemSize) -> Vec<u32> {
     let width = size.bits() as u32;
-    let lane_mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let lane_mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    };
     (0..size.lanes_per_word())
         .map(|i| (word >> (i as u32 * width)) & lane_mask)
         .collect()

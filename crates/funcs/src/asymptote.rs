@@ -114,7 +114,10 @@ impl Asymptotes {
 /// assert!((c - 3.0).abs() < 1e-6);
 /// ```
 pub fn estimate_asymptote<F: Fn(f64) -> f64>(f: F, side: i8, distance: f64) -> (f64, f64) {
-    assert!(side != 0, "side must be negative (left) or positive (right)");
+    assert!(
+        side != 0,
+        "side must be negative (left) or positive (right)"
+    );
     assert!(distance > 0.0, "distance must be positive");
     let sign = if side > 0 { 1.0 } else { -1.0 };
     let x1 = sign * distance;

@@ -127,10 +127,7 @@ mod tests {
     fn gelu_matches_reference() {
         for &(x, want) in GELU_TABLE {
             let got = Gelu.eval(x);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "gelu({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "gelu({x}) = {got}, want {want}");
         }
     }
 

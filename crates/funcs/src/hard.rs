@@ -173,11 +173,7 @@ mod tests {
                 }
                 let h = 1e-7;
                 let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
-                assert!(
-                    (fd - f.derivative(x)).abs() < 1e-6,
-                    "{} at {x}",
-                    f.name()
-                );
+                assert!((fd - f.derivative(x)).abs() < 1e-6, "{} at {x}", f.name());
             }
         }
     }

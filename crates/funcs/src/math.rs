@@ -237,10 +237,7 @@ mod tests {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
             let tol = 1e-15_f64.max(want.abs() * 1e-14);
-            assert!(
-                (got - want).abs() <= tol,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() <= tol, "erf({x}) = {got}, want {want}");
         }
     }
 

@@ -228,11 +228,11 @@ mod tests {
     #[test]
     fn asymptotes_match_numeric_estimates() {
         for (f, asym) in [
+            (Box::new(Relu) as Box<dyn Activation>, Relu.asymptotes()),
             (
-                Box::new(Relu) as Box<dyn Activation>,
-                Relu.asymptotes(),
+                Box::new(LeakyRelu::default()),
+                LeakyRelu::default().asymptotes(),
             ),
-            (Box::new(LeakyRelu::default()), LeakyRelu::default().asymptotes()),
             (Box::new(Elu::new(2.0)), Elu::new(2.0).asymptotes()),
         ] {
             for (side, a) in [(-1i8, asym.left), (1, asym.right)] {

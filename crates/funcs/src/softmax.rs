@@ -39,13 +39,10 @@ pub fn softmax(xs: &[f64]) -> Vec<f64> {
 /// normalization sum non-positive.
 pub fn softmax_with<F: Fn(f64) -> f64>(xs: &[f64], exp_fn: F) -> Vec<f64> {
     assert!(!xs.is_empty(), "softmax of an empty slice");
-    let max = xs
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, |a, b| {
-            assert!(!b.is_nan(), "softmax input contains NaN");
-            a.max(b)
-        });
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, |a, b| {
+        assert!(!b.is_nan(), "softmax input contains NaN");
+        a.max(b)
+    });
     let mut out: Vec<f64> = xs.iter().map(|&x| exp_fn(x - max)).collect();
     let sum: f64 = out.iter().sum();
     assert!(

@@ -99,7 +99,7 @@ impl Adu {
     /// are not strictly increasing, or if any is NaN.
     pub fn load(&mut self, breakpoints: &[f64], format: DataFormat) {
         assert!(
-            breakpoints.len() <= self.depth - 1,
+            breakpoints.len() < self.depth,
             "{} breakpoints exceed ADU capacity {}",
             breakpoints.len(),
             self.depth - 1
@@ -174,7 +174,9 @@ mod tests {
         for depth in [2usize, 4, 8, 16, 32, 64] {
             let fmt = DataFormat::Float(FloatFormat::FP32);
             let mut adu = Adu::new(depth);
-            let bps: Vec<f64> = (0..depth - 1).map(|i| i as f64 - depth as f64 / 2.0).collect();
+            let bps: Vec<f64> = (0..depth - 1)
+                .map(|i| i as f64 - depth as f64 / 2.0)
+                .collect();
             adu.load(&bps, fmt);
             for i in -200..=200 {
                 let x = i as f64 * 0.37;

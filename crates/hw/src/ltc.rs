@@ -63,7 +63,11 @@ impl Ltc {
     /// Panics if more pairs than `depth` are supplied, lengths mismatch,
     /// or the table is empty.
     pub fn load(&mut self, slopes: &[f64], intercepts: &[f64], format: DataFormat) {
-        assert_eq!(slopes.len(), intercepts.len(), "coefficient length mismatch");
+        assert_eq!(
+            slopes.len(),
+            intercepts.len(),
+            "coefficient length mismatch"
+        );
         assert!(!slopes.is_empty(), "empty coefficient table");
         assert!(
             slopes.len() <= self.depth,

@@ -107,7 +107,7 @@ pub fn throughput_gact_s(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexsfu_formats::{FloatFormat};
+    use flexsfu_formats::FloatFormat;
 
     const F600: f64 = 600e6;
 

@@ -21,8 +21,7 @@ pub struct PowerModel {
 }
 
 /// The published (depth, mW) pairs of Table I.
-pub const TABLE1_POWER: [(usize, f64); 5] =
-    [(4, 1.4), (8, 1.7), (16, 2.2), (32, 2.8), (64, 3.7)];
+pub const TABLE1_POWER: [(usize, f64); 5] = [(4, 1.4), (8, 1.7), (16, 2.2), (32, 2.8), (64, 3.7)];
 
 impl PowerModel {
     /// The model calibrated on Table I.

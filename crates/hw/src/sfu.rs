@@ -3,7 +3,7 @@
 use crate::adu::Adu;
 use crate::ltc::Ltc;
 use crate::pipeline::{execution_cycles, Timing};
-use flexsfu_core::{CoeffTable, PwlFunction};
+use flexsfu_core::{CoeffTable, CompiledPwl, PwlFunction};
 use flexsfu_formats::DataFormat;
 use std::error::Error;
 use std::fmt;
@@ -147,22 +147,49 @@ impl FlexSfu {
     /// * [`ProgramError::BreakpointCollision`] if quantization makes two
     ///   breakpoints equal.
     pub fn program(&mut self, pwl: &PwlFunction, format: DataFormat) -> Result<(), ProgramError> {
-        let needed = pwl.num_segments();
+        // The coefficient table alone suffices here; building a full
+        // batch-evaluation index would be wasted work for one-shot
+        // programming. Callers that already hold an engine use
+        // `program_compiled` and skip the re-derivation instead.
+        self.program_table(pwl.breakpoints(), &CoeffTable::from_pwl(pwl), format)
+    }
+
+    /// Programs the unit from an already-compiled function — the preferred
+    /// driver path when the same [`CompiledPwl`] also serves software-side
+    /// batch evaluation: the SFU takes its breakpoints and precomputed
+    /// `(m, q)` coefficients straight from the engine's SoA form instead
+    /// of re-deriving them from `(p, v)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FlexSfu::program`].
+    pub fn program_compiled(
+        &mut self,
+        compiled: &CompiledPwl,
+        format: DataFormat,
+    ) -> Result<(), ProgramError> {
+        self.program_table(compiled.breakpoints(), &compiled.to_coeff_table(), format)
+    }
+
+    /// Shared programming path: quantize breakpoints into the ADU, load
+    /// `(m, q)` pairs into the LTC.
+    fn program_table(
+        &mut self,
+        breakpoints: &[f64],
+        table: &CoeffTable,
+        format: DataFormat,
+    ) -> Result<(), ProgramError> {
+        let needed = table.len();
         if needed > self.config.ltc_depth {
             return Err(ProgramError::TooManySegments {
                 needed,
                 depth: self.config.ltc_depth,
             });
         }
-        let qbps: Vec<f64> = pwl
-            .breakpoints()
-            .iter()
-            .map(|&p| format.quantize(p))
-            .collect();
+        let qbps: Vec<f64> = breakpoints.iter().map(|&p| format.quantize(p)).collect();
         if qbps.windows(2).any(|w| w[0] >= w[1]) {
             return Err(ProgramError::BreakpointCollision);
         }
-        let table = CoeffTable::from_pwl(pwl);
         self.adu.load(&qbps, format);
         self.ltc.load(table.slopes(), table.intercepts(), format);
         self.format = Some(format);
@@ -291,6 +318,24 @@ mod tests {
     }
 
     #[test]
+    fn program_compiled_is_equivalent_to_program() {
+        let pwl = uniform_pwl(&Sigmoid, 15, (-8.0, 8.0));
+        let fmt = DataFormat::Float(FloatFormat::FP16);
+        let mut via_pwl = FlexSfu::new(FlexSfuConfig::new(16, 1));
+        via_pwl.program(&pwl, fmt).unwrap();
+        let mut via_engine = FlexSfu::new(FlexSfuConfig::new(16, 1));
+        via_engine.program_compiled(&pwl.compile(), fmt).unwrap();
+        for i in -80..=80 {
+            let x = i as f64 * 0.11;
+            assert_eq!(
+                via_pwl.eval(x).to_bits(),
+                via_engine.eval(x).to_bits(),
+                "at {x}"
+            );
+        }
+    }
+
+    #[test]
     fn too_many_segments_rejected() {
         let pwl = uniform_pwl(&Tanh, 16, (-8.0, 8.0)); // 17 segments
         let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
@@ -309,13 +354,7 @@ mod tests {
     #[test]
     fn colliding_breakpoints_rejected() {
         // Breakpoints 1e-4 apart vanish in a coarse fixed-point format.
-        let pwl = PwlFunction::new(
-            vec![0.0, 1e-4, 1.0],
-            vec![0.0, 0.0, 1.0],
-            0.0,
-            0.0,
-        )
-        .unwrap();
+        let pwl = PwlFunction::new(vec![0.0, 1e-4, 1.0], vec![0.0, 0.0, 1.0], 0.0, 0.0).unwrap();
         let coarse = DataFormat::Fixed(FixedFormat::new(8, 3));
         let mut sfu = FlexSfu::new(FlexSfuConfig::new(4, 1));
         assert_eq!(

@@ -59,8 +59,7 @@ impl VpuIntegration {
     /// The paper's back-of-the-envelope scales the `Nc = 1` area linearly
     /// with the cluster count.
     pub fn added_area_um2(&self, depth: usize) -> f64 {
-        self.area.total_um2(depth)
-            * (self.lanes * self.clusters_per_instance) as f64
+        self.area.total_um2(depth) * (self.lanes * self.clusters_per_instance) as f64
     }
 
     /// Area overhead relative to the augmented VPU:

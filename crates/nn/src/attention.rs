@@ -69,8 +69,7 @@ impl Layer for LayerNorm {
             for r in 0..rows {
                 for c in 0..d {
                     let g = self.gamma.data()[c].max(1e-12);
-                    norm.data_mut()[r * d + c] =
-                        (out.data()[r * d + c] - self.beta.data()[c]) / g;
+                    norm.data_mut()[r * d + c] = (out.data()[r * d + c] - self.beta.data()[c]) / g;
                 }
             }
             self.cached_norm = Some(norm);
@@ -131,6 +130,7 @@ pub struct SelfAttention {
     grad_wk: Tensor,
     grad_wv: Tensor,
     exp_pwl: Option<flexsfu_core::PwlFunction>,
+    exp_compiled: Option<flexsfu_core::CompiledPwl>,
     cache: Option<AttnCache>,
 }
 
@@ -173,21 +173,24 @@ impl SelfAttention {
             grad_wk: Tensor::zeros(vec![dim, dim]),
             grad_wv: Tensor::zeros(vec![dim, dim]),
             exp_pwl: None,
+            exp_compiled: None,
             cache: None,
         }
     }
 
     /// Installs a PWL substitution for the softmax `exp` stage (inference
-    /// only, like activation substitution).
+    /// only, like activation substitution), compiled once for the
+    /// evaluation engine.
     pub fn set_exp_substitution(&mut self, pwl: Option<flexsfu_core::PwlFunction>) {
+        self.exp_compiled = pwl.as_ref().map(flexsfu_core::PwlFunction::compile);
         self.exp_pwl = pwl;
     }
 
     /// Softmax over a row, honouring the exp substitution at inference.
     fn softmax_row(&self, row: &[f64], train: bool) -> Vec<f64> {
-        match (&self.exp_pwl, train) {
-            (Some(pwl), false) => {
-                flexsfu_funcs::softmax::softmax_with(row, |t| pwl.eval(t).max(0.0))
+        match (&self.exp_compiled, train) {
+            (Some(engine), false) => {
+                flexsfu_funcs::softmax::softmax_with(row, |t| engine.eval_one(t).max(0.0))
             }
             _ => flexsfu_funcs::softmax::softmax(row),
         }
@@ -216,19 +219,15 @@ impl Layer for SelfAttention {
         let mut v_all = Tensor::zeros(vec![b, s * d]);
 
         for n in 0..b {
-            let tokens = Tensor::from_vec(
-                x.data()[n * s * d..(n + 1) * s * d].to_vec(),
-                vec![s, d],
-            );
+            let tokens =
+                Tensor::from_vec(x.data()[n * s * d..(n + 1) * s * d].to_vec(), vec![s, d]);
             let q = tokens.matmul(&self.wq);
             let k = tokens.matmul(&self.wk);
             let v = tokens.matmul(&self.wv);
             // Scores (s × s) then row softmax.
             let scores = q.matmul(&k.transpose());
             for i in 0..s {
-                let row: Vec<f64> = (0..s)
-                    .map(|j| scores.data()[i * s + j] * scale)
-                    .collect();
+                let row: Vec<f64> = (0..s).map(|j| scores.data()[i * s + j] * scale).collect();
                 let w = self.softmax_row(&row, train);
                 for j in 0..s {
                     attn_all.data_mut()[n * s * s + i * s + j] = w[j];
@@ -368,8 +367,18 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fp: f64 = ln.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let fm: f64 = ln.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let fp: f64 = ln
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let fm: f64 = ln
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (fd - gx.data()[i]).abs() < 1e-4,
@@ -383,7 +392,10 @@ mod tests {
     fn attention_rows_are_convex_combinations() {
         let mut rng = rng_from(5);
         let mut attn = SelfAttention::new(3, 4, &mut rng);
-        let x = Tensor::from_vec((0..12).map(|i| (i as f64 * 0.37).sin()).collect(), vec![1, 12]);
+        let x = Tensor::from_vec(
+            (0..12).map(|i| (i as f64 * 0.37).sin()).collect(),
+            vec![1, 12],
+        );
         let _y = attn.forward(&x, true);
         let cache = attn.cache.as_ref().unwrap();
         for i in 0..3 {
@@ -410,8 +422,18 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fp: f64 = attn.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let fm: f64 = attn.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let fp: f64 = attn
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let fm: f64 = attn
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (fd - gx.data()[i]).abs() < 2e-4,
@@ -425,7 +447,10 @@ mod tests {
     fn exp_substitution_changes_inference_only() {
         let mut rng = rng_from(3);
         let mut attn = SelfAttention::new(3, 4, &mut rng);
-        let x = Tensor::from_vec((0..12).map(|i| (i as f64 * 0.61).cos()).collect(), vec![1, 12]);
+        let x = Tensor::from_vec(
+            (0..12).map(|i| (i as f64 * 0.61).cos()).collect(),
+            vec![1, 12],
+        );
         let exact = attn.forward(&x, false);
         let pwl = uniform_pwl(&Exp, 32, (-10.0, 0.1));
         attn.set_exp_substitution(Some(pwl));

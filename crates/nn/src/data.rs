@@ -87,9 +87,9 @@ pub fn spirals(classes: usize, per_class: usize, seed: u64) -> Dataset {
             for i in 0..per_class {
                 let t = i as f64 / per_class as f64;
                 let r = 0.2 + 2.3 * t;
-                let theta =
-                    t * 3.5 + c as f64 * std::f64::consts::TAU / classes as f64
-                        + normal(rng) * 0.08;
+                let theta = t * 3.5
+                    + c as f64 * std::f64::consts::TAU / classes as f64
+                    + normal(rng) * 0.08;
                 x.push(r * theta.cos());
                 x.push(r * theta.sin());
                 y.push(c);
@@ -111,7 +111,10 @@ pub fn spirals(classes: usize, per_class: usize, seed: u64) -> Dataset {
 /// Tiny single-channel images (`size × size`) whose class determines an
 /// oriented-stripe pattern corrupted by noise — exercises the Conv2d path.
 pub fn pattern_images(classes: usize, per_class: usize, size: usize, seed: u64) -> Dataset {
-    assert!(classes >= 2 && per_class > 0 && size >= 4, "bad dataset spec");
+    assert!(
+        classes >= 2 && per_class > 0 && size >= 4,
+        "bad dataset spec"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let make_split = |rng: &mut StdRng| {
         let n = classes * per_class;

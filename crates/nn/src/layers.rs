@@ -1,7 +1,7 @@
 //! Layers with forward and backward passes.
 
 use crate::tensor::Tensor;
-use flexsfu_core::PwlFunction;
+use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::Activation;
 
 /// A differentiable layer.
@@ -122,9 +122,15 @@ impl Layer for Dense {
 /// inference the layer evaluates the override [`PwlFunction`] when one is
 /// installed — exactly the paper's substitution protocol ("we substitute
 /// the layers within the DNN models without any retraining").
+///
+/// Substitution compiles the function once ([`CompiledPwl`]) and the
+/// forward pass batch-evaluates the whole tensor through the engine —
+/// bit-identical to scalar `pwl.eval` per element, minus a binary search
+/// and a division each.
 pub struct ActivationLayer {
     act: Box<dyn Activation>,
     pwl: Option<PwlFunction>,
+    compiled: Option<CompiledPwl>,
     cached_x: Option<Tensor>,
 }
 
@@ -143,6 +149,7 @@ impl ActivationLayer {
         Self {
             act,
             pwl: None,
+            compiled: None,
             cached_x: None,
         }
     }
@@ -152,8 +159,10 @@ impl ActivationLayer {
         self.act.name()
     }
 
-    /// Installs (or clears) the PWL substitution.
+    /// Installs (or clears) the PWL substitution, compiling it for the
+    /// batch engine.
     pub fn set_substitution(&mut self, pwl: Option<PwlFunction>) {
+        self.compiled = pwl.as_ref().map(PwlFunction::compile);
         self.pwl = pwl;
     }
 
@@ -174,8 +183,12 @@ impl Layer for ActivationLayer {
             // Training never sees the approximation.
             return x.map(|v| self.act.eval(v));
         }
-        match &self.pwl {
-            Some(p) => x.map(|v| p.eval(v)),
+        match &self.compiled {
+            Some(engine) => {
+                let mut y = Tensor::zeros(x.shape().to_vec());
+                engine.eval_into(x.data(), y.data_mut());
+                y
+            }
             None => x.map(|v| self.act.eval(v)),
         }
     }
@@ -268,7 +281,9 @@ impl Layer for Conv2d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_x.as_ref().expect("forward(train) first");
-        let [b, cin, h, w] = x.shape() else { unreachable!() };
+        let [b, cin, h, w] = x.shape() else {
+            unreachable!()
+        };
         let (b, cin, h, w) = (*b, *cin, *h, *w);
         let cout = self.weight.shape()[0];
         let k = self.k;
@@ -462,8 +477,18 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fp: f64 = d.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let fm: f64 = d.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let fp: f64 = d
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let fm: f64 = d
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (fd - gx.data()[i]).abs() < 1e-4,
@@ -521,7 +546,10 @@ mod tests {
     fn conv_backward_matches_finite_differences() {
         let mut rng = seeded_rng(5);
         let mut conv = Conv2d::new(1, 2, 2, &mut rng);
-        let x = Tensor::from_vec((0..9).map(|i| (i as f64 - 4.0) * 0.3).collect(), vec![1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            (0..9).map(|i| (i as f64 - 4.0) * 0.3).collect(),
+            vec![1, 1, 3, 3],
+        );
         let y = conv.forward(&x, true);
         let gx = conv.backward(&y);
         let h = 1e-6;
@@ -530,8 +558,18 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fp: f64 = conv.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let fm: f64 = conv.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let fp: f64 = conv
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let fm: f64 = conv
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let fd = (fp - fm) / (2.0 * h);
             assert!((fd - gx.data()[i]).abs() < 1e-4, "at {i}");
         }
@@ -541,12 +579,18 @@ mod tests {
     fn maxpool_forward_backward() {
         let mut pool = MaxPool2::new();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             vec![1, 1, 4, 4],
         );
         let y = pool.forward(&x, true);
         assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
-        let g = pool.backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![1, 1, 2, 2]));
+        let g = pool.backward(&Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1, 1, 2, 2],
+        ));
         // Gradient lands only on the max positions.
         assert_eq!(g.data()[5], 1.0);
         assert_eq!(g.data()[7], 2.0);

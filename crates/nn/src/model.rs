@@ -34,7 +34,9 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -179,8 +181,18 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fp: f64 = m.forward(&xp, false).data().iter().map(|v| v * v / 2.0).sum();
-            let fm: f64 = m.forward(&xm, false).data().iter().map(|v| v * v / 2.0).sum();
+            let fp: f64 = m
+                .forward(&xp, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let fm: f64 = m
+                .forward(&xm, false)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (fd - gx.data()[i]).abs() < 1e-4,
@@ -194,10 +206,7 @@ mod tests {
     fn substitution_by_name() {
         let mut m = tiny_model(3);
         let mut table = HashMap::new();
-        table.insert(
-            "gelu".to_string(),
-            uniform_pwl(&Gelu, 32, (-8.0, 8.0)),
-        );
+        table.insert("gelu".to_string(), uniform_pwl(&Gelu, 32, (-8.0, 8.0)));
         assert_eq!(m.substitute_activations(&table), 1);
         // Non-matching name substitutes nothing.
         let mut other = HashMap::new();

@@ -196,10 +196,7 @@ mod tests {
         let loss = train(&mut model, &ds, &cfg);
         let after = accuracy(&mut model, &ds);
         assert!(loss < 1.0, "final loss {loss}");
-        assert!(
-            after > before && after > 0.7,
-            "accuracy {before} → {after}"
-        );
+        assert!(after > before && after > 0.7, "accuracy {before} → {after}");
     }
 
     #[test]

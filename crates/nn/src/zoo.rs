@@ -50,7 +50,10 @@ pub fn cnn(size: usize, channels: usize, classes: usize, act: &str, seed: u64) -
     assert!(size >= 6, "image too small for conv3 + pool");
     let mut rng = make_rng(seed);
     let conv_out = size - 2; // valid 3x3
-    assert!(conv_out % 2 == 0, "conv output must be even for 2x2 pooling");
+    assert!(
+        conv_out.is_multiple_of(2),
+        "conv output must be even for 2x2 pooling"
+    );
     let pooled = conv_out / 2;
     let feat = channels * pooled * pooled;
     let layers: Vec<Box<dyn Layer>> = vec![
@@ -75,9 +78,13 @@ pub fn mixer(in_dim: usize, width: usize, out_dim: usize, act: &str, seed: u64) 
     let mut rng = make_rng(seed);
     let layers: Vec<Box<dyn Layer>> = vec![
         Box::new(Dense::new(in_dim, width, &mut rng)),
-        Box::new(ActivationLayer::new(by_name(act).expect("known activation"))),
+        Box::new(ActivationLayer::new(
+            by_name(act).expect("known activation"),
+        )),
         Box::new(Dense::new(width, width, &mut rng)),
-        Box::new(ActivationLayer::new(by_name(act).expect("known activation"))),
+        Box::new(ActivationLayer::new(
+            by_name(act).expect("known activation"),
+        )),
         Box::new(Dense::new(width, width / 2, &mut rng)),
         Box::new(ActivationLayer::new(by_name("tanh").expect("tanh exists"))),
         Box::new(Dense::new(width / 2, out_dim, &mut rng)),
@@ -92,13 +99,7 @@ pub fn mixer(in_dim: usize, width: usize, out_dim: usize, act: &str, seed: u64) 
 /// # Panics
 ///
 /// Panics if the activation name is unknown.
-pub fn transformer(
-    seq: usize,
-    dim: usize,
-    classes: usize,
-    act: &str,
-    seed: u64,
-) -> Sequential {
+pub fn transformer(seq: usize, dim: usize, classes: usize, act: &str, seed: u64) -> Sequential {
     let mut rng = make_rng(seed);
     let width = seq * dim;
     let layers: Vec<Box<dyn Layer>> = vec![

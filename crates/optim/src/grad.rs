@@ -18,7 +18,7 @@
 //! boundaries contribute a chain-rule term `∂v/∂p = slope` instead.
 
 use flexsfu_core::boundary::BoundarySpec;
-use flexsfu_core::{PwlFunction, Region};
+use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::Activation;
 
 /// Gradient of the sampled loss with respect to each parameter family.
@@ -96,11 +96,32 @@ impl SampledProblem {
         self.xs.is_empty()
     }
 
+    /// The sample positions, for batch evaluation by consumers.
+    pub fn samples(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The precomputed targets, index-aligned with [`Self::samples`].
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
     /// The sampled MSE of `pwl` against the precomputed targets.
+    ///
+    /// Compiles the function once and routes through the batch engine;
+    /// see [`Self::loss_compiled`] when a [`CompiledPwl`] is already at
+    /// hand.
     pub fn loss(&self, pwl: &PwlFunction) -> f64 {
+        self.loss_compiled(&pwl.compile())
+    }
+
+    /// The sampled MSE evaluated through an already-compiled engine.
+    pub fn loss_compiled(&self, engine: &CompiledPwl) -> f64 {
+        let mut ys = vec![0.0; self.xs.len()];
+        engine.eval_into(&self.xs, &mut ys);
         let mut acc = 0.0;
-        for (&x, &t) in self.xs.iter().zip(&self.targets) {
-            let e = pwl.eval(x) - t;
+        for (&y, &t) in ys.iter().zip(&self.targets) {
+            let e = y - t;
             acc += e * e;
         }
         acc / self.xs.len() as f64
@@ -109,6 +130,12 @@ impl SampledProblem {
     /// Computes the loss and its analytic gradient, applying the boundary
     /// ties of `spec` (tied sides: value gradient folded into the
     /// breakpoint via the chain rule, slope gradient zeroed).
+    ///
+    /// The hot loop is batch-first: the function is compiled once, every
+    /// sample is classified in one [`CompiledPwl::segments_into`] sweep
+    /// (the scalar path used to pay a binary search twice per sample —
+    /// once for the value, once for the region), and the gradient
+    /// accumulation reuses the segment index for both.
     pub fn loss_and_grad(&self, pwl: &PwlFunction, spec: &BoundarySpec) -> (f64, Gradient) {
         let n = pwl.num_breakpoints();
         let p = pwl.breakpoints();
@@ -120,32 +147,35 @@ impl SampledProblem {
         let mut dmr = 0.0;
         let mut loss = 0.0;
 
+        let engine = pwl.compile();
+        let mut segs = vec![0u32; self.xs.len()];
+        engine.segments_into(&self.xs, &mut segs);
+
         let inv_m = 1.0 / self.xs.len() as f64;
-        for (&x, &t) in self.xs.iter().zip(&self.targets) {
-            let (y, region) = (pwl.eval(x), pwl.region(x));
-            let e = y - t;
+        for ((&x, &t), &seg) in self.xs.iter().zip(&self.targets).zip(&segs) {
+            let s = seg as usize;
+            let e = engine.eval_at_segment(x, s) - t;
             loss += e * e;
             // d(e²)/dθ = 2e · df̂/dθ ; fold the 1/M and 2 at the end.
-            match region {
-                Region::Left => {
-                    dv[0] += e;
-                    dp[0] += e * -ml;
-                    dml += e * (x - p[0]);
-                }
-                Region::Right => {
-                    dv[n - 1] += e;
-                    dp[n - 1] += e * -mr;
-                    dmr += e * (x - p[n - 1]);
-                }
-                Region::Inner(i) => {
-                    let delta = p[i + 1] - p[i];
-                    let tt = (x - p[i]) / delta;
-                    let dvdiff = v[i + 1] - v[i];
-                    dv[i] += e * (1.0 - tt);
-                    dv[i + 1] += e * tt;
-                    dp[i] += e * dvdiff * (x - p[i + 1]) / (delta * delta);
-                    dp[i + 1] += e * -dvdiff * (x - p[i]) / (delta * delta);
-                }
+            // Table order: segment 0 = left outer, n = right outer,
+            // s ∈ 1..n = inner segment s − 1.
+            if s == 0 {
+                dv[0] += e;
+                dp[0] += e * -ml;
+                dml += e * (x - p[0]);
+            } else if s == n {
+                dv[n - 1] += e;
+                dp[n - 1] += e * -mr;
+                dmr += e * (x - p[n - 1]);
+            } else {
+                let i = s - 1;
+                let delta = p[i + 1] - p[i];
+                let tt = (x - p[i]) / delta;
+                let dvdiff = v[i + 1] - v[i];
+                dv[i] += e * (1.0 - tt);
+                dv[i + 1] += e * tt;
+                dp[i] += e * dvdiff * (x - p[i + 1]) / (delta * delta);
+                dp[i + 1] += e * -dvdiff * (x - p[i]) / (delta * delta);
             }
         }
         let scale = 2.0 * inv_m;
@@ -233,7 +263,13 @@ mod tests {
                 |w, h| {
                     let mut v = w.values().to_vec();
                     v[i] += h;
-                    rebuild(w, w.breakpoints().to_vec(), v, w.left_slope(), w.right_slope())
+                    rebuild(
+                        w,
+                        w.breakpoints().to_vec(),
+                        v,
+                        w.left_slope(),
+                        w.right_slope(),
+                    )
                 },
                 g.d_values[i],
                 &format!("dv[{i}]"),

@@ -203,7 +203,8 @@ fn train_round(
     let n = pwl.num_breakpoints();
     let dim = 2 * n + 2; // p, v, ml, mr (tied entries get zero gradients)
     let mut adam = Adam::new(dim, lr, cfg.betas);
-    let mut sched = ReduceLrOnPlateau::new(lr, cfg.plateau_factor, cfg.plateau_patience, cfg.min_lr);
+    let mut sched =
+        ReduceLrOnPlateau::new(lr, cfg.plateau_factor, cfg.plateau_patience, cfg.min_lr);
     let (a, b) = problem.range();
     let mut best = (problem.loss(&pwl), pwl.clone());
     let mut steps = 0;
@@ -234,8 +235,7 @@ fn train_round(
         let v = params[n..2 * n].to_vec();
         let (ml, mr) = (params[2 * n], params[2 * n + 1]);
         project_sorted(&mut p, a, b);
-        let candidate =
-            PwlFunction::new(p, v, ml, mr).expect("projection keeps breakpoints valid");
+        let candidate = PwlFunction::new(p, v, ml, mr).expect("projection keeps breakpoints valid");
         pwl = retie_boundaries(&candidate, spec);
 
         if cfg.enable_refit && steps % REFIT_EVERY == 0 {
@@ -284,9 +284,10 @@ pub fn optimize(f: &dyn Activation, cfg: OptimizeConfig) -> OptimizeResult {
     // Start from the chosen grid with least-squares-optimal values.
     let init_pwl = match cfg.init {
         InitStrategy::Uniform => uniform_pwl_asymptotic(f, cfg.num_breakpoints, (a, b)),
-        InitStrategy::Chebyshev => {
-            crate::heuristics::retie_boundaries(&chebyshev_pwl(f, cfg.num_breakpoints, (a, b)), &spec)
-        }
+        InitStrategy::Chebyshev => crate::heuristics::retie_boundaries(
+            &chebyshev_pwl(f, cfg.num_breakpoints, (a, b)),
+            &spec,
+        ),
     };
     let mut pwl = if cfg.enable_refit {
         refit_values(&init_pwl, &problem, &spec)
@@ -323,9 +324,8 @@ pub fn optimize(f: &dyn Activation, cfg: OptimizeConfig) -> OptimizeResult {
 
         // Remove/insert move, then retrain with decayed LR.
         let (moved, removed_idx, inserted_at) = remove_insert_move(&pwl, f, (a, b), &spec);
-        let converged = last_move.is_some_and(|(ri, pi)| {
-            ri == removed_idx && (pi - inserted_at).abs() < (b - a) * 1e-3
-        });
+        let converged = last_move
+            .is_some_and(|(ri, pi)| ri == removed_idx && (pi - inserted_at).abs() < (b - a) * 1e-3);
         last_move = Some((removed_idx, inserted_at));
         pwl = if cfg.enable_refit {
             refit_values(&moved, &problem, &spec)
@@ -398,11 +398,7 @@ mod tests {
     fn history_is_monotone_at_best() {
         let result = optimize(&Sigmoid, OptimizeConfig::quick(8));
         assert!(!result.history.is_empty());
-        let best_hist = result
-            .history
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best_hist = result.history.iter().cloned().fold(f64::INFINITY, f64::min);
         // The reported MSE is the best seen across rounds.
         assert!(result.report.mse <= best_hist * 1.0001);
         assert!(result.steps > 0);

@@ -14,6 +14,16 @@ use crate::grad::SampledProblem;
 use flexsfu_core::boundary::BoundarySpec;
 use flexsfu_core::PwlFunction;
 
+/// One Thomas-solve worth of scratch: the samples are classified in a
+/// single batch sweep through the compiled engine instead of a binary
+/// search per sample.
+fn classify_samples(pwl: &PwlFunction, problem: &SampledProblem) -> Vec<u32> {
+    let engine = pwl.compile();
+    let mut segs = vec![0u32; problem.len()];
+    engine.segments_into(problem.samples(), &mut segs);
+    segs
+}
+
 /// Returns a copy of `pwl` whose values are the least-squares optimum for
 /// the current breakpoints over the problem's sample grid, holding tied
 /// boundary values (and the outer slopes) fixed.
@@ -42,19 +52,21 @@ pub fn refit_values(
     let mut off = vec![0.0f64; n - 1];
     let mut rhs = vec![0.0f64; n];
 
-    for k in 0..m {
+    let segs = classify_samples(pwl, problem);
+    for (k, &seg) in segs.iter().enumerate() {
         let x = problem.sample(k);
         let fx = problem.target(k);
-        if x <= p[0] {
+        // Table order: 0 = left outer, n = right outer, else inner s − 1.
+        let s = seg as usize;
+        if s == 0 {
             // Left region: f̂ = v0 + ml (x - p0); only v0 participates.
             diag[0] += 1.0;
             rhs[0] += fx - ml * (x - p[0]);
-        } else if x >= p[n - 1] {
+        } else if s == n {
             diag[n - 1] += 1.0;
             rhs[n - 1] += fx - mr * (x - p[n - 1]);
         } else {
-            let j = p.partition_point(|&q| q < x).clamp(1, n - 1);
-            let (i0, i1) = (j - 1, j);
+            let (i0, i1) = (s - 1, s);
             let t = (x - p[i0]) / (p[i1] - p[i0]);
             let (h0, h1) = (1.0 - t, t);
             diag[i0] += h0 * h0;
@@ -135,11 +147,7 @@ mod tests {
             let before = problem.loss(&pwl);
             let refit = refit_values(&pwl, &problem, &spec);
             let after = problem.loss(&refit);
-            assert!(
-                after <= before * 1.0001,
-                "{}: {before} → {after}",
-                f.name()
-            );
+            assert!(after <= before * 1.0001, "{}: {before} → {after}", f.name());
         }
     }
 

@@ -39,7 +39,10 @@ impl ReduceLrOnPlateau {
     /// Panics if `lr <= 0`, `factor` not in `(0, 1)`, or `min_lr < 0`.
     pub fn new(lr: f64, factor: f64, patience: usize, min_lr: f64) -> Self {
         assert!(lr > 0.0, "initial lr must be positive");
-        assert!((0.0..1.0).contains(&factor) && factor > 0.0, "factor must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&factor) && factor > 0.0,
+            "factor must be in (0, 1)"
+        );
         assert!(min_lr >= 0.0, "min_lr must be non-negative");
         Self {
             lr,

@@ -90,7 +90,7 @@ mod tests {
             family: Family::Other,
             year: 2020,
             dominant_activation: act,
-            macs: 4.096e9, // 1e6 matrix cycles
+            macs: 4.096e9,     // 1e6 matrix cycles
             vector_elems: 8e6, // 1e6 vector cycles
             activation_elems: act_elems,
         }

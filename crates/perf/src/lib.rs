@@ -27,7 +27,5 @@
 pub mod accelerator;
 pub mod report;
 
-pub use accelerator::{
-    baseline_cycles, flexsfu_cycles, speedup, AcceleratorConfig, ModelTiming,
-};
+pub use accelerator::{baseline_cycles, flexsfu_cycles, speedup, AcceleratorConfig, ModelTiming};
 pub use report::{family_summary, zoo_summary, FamilyStats, ZooStats};

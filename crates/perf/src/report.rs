@@ -135,10 +135,7 @@ mod tests {
         ];
         for (fam, want, tol) in checks {
             let got = family_mean(&fs, fam);
-            assert!(
-                (got - want).abs() < tol,
-                "{fam:?}: got {got}, paper {want}"
-            );
+            assert!((got - want).abs() < tol, "{fam:?}: got {got}, paper {want}");
         }
     }
 

@@ -106,8 +106,7 @@ mod tests {
 
     #[test]
     fn family_labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            Family::ALL.iter().map(|f| f.label()).collect();
+        let labels: std::collections::HashSet<_> = Family::ALL.iter().map(|f| f.label()).collect();
         assert_eq!(labels.len(), Family::ALL.len());
     }
 

@@ -314,11 +314,7 @@ mod tests {
             let t_act = m.activation_elems * cost / 8.0;
             let t_other = m.macs / 4096.0 + m.vector_elems / 8.0;
             let share = t_act / (t_act + t_other);
-            assert!(
-                (0.30..0.41).contains(&share),
-                "{}: share {share}",
-                m.name
-            );
+            assert!((0.30..0.41).contains(&share), "{}: share {share}", m.name);
         }
     }
 }

@@ -32,13 +32,27 @@ pub const FIG1_ACTIVATIONS: [&str; 10] = [
 pub fn activation_mix_for_year(year: u16) -> [f64; 10] {
     match year {
         //        relu   silu   gelu  softm  hswish sigm   leaky  elu    hsig   tanh
-        2015 => [0.880, 0.000, 0.000, 0.020, 0.000, 0.040, 0.010, 0.000, 0.000, 0.050],
-        2016 => [0.850, 0.000, 0.000, 0.030, 0.000, 0.030, 0.050, 0.020, 0.000, 0.020],
-        2017 => [0.780, 0.000, 0.010, 0.050, 0.000, 0.040, 0.080, 0.020, 0.000, 0.020],
-        2018 => [0.600, 0.030, 0.130, 0.080, 0.010, 0.050, 0.060, 0.020, 0.010, 0.010],
-        2019 => [0.430, 0.110, 0.180, 0.090, 0.080, 0.040, 0.040, 0.010, 0.015, 0.005],
-        2020 => [0.300, 0.130, 0.191, 0.110, 0.130, 0.040, 0.050, 0.010, 0.030, 0.009],
-        2021 => [0.207, 0.170, 0.272, 0.120, 0.120, 0.040, 0.030, 0.005, 0.030, 0.006],
+        2015 => [
+            0.880, 0.000, 0.000, 0.020, 0.000, 0.040, 0.010, 0.000, 0.000, 0.050,
+        ],
+        2016 => [
+            0.850, 0.000, 0.000, 0.030, 0.000, 0.030, 0.050, 0.020, 0.000, 0.020,
+        ],
+        2017 => [
+            0.780, 0.000, 0.010, 0.050, 0.000, 0.040, 0.080, 0.020, 0.000, 0.020,
+        ],
+        2018 => [
+            0.600, 0.030, 0.130, 0.080, 0.010, 0.050, 0.060, 0.020, 0.010, 0.010,
+        ],
+        2019 => [
+            0.430, 0.110, 0.180, 0.090, 0.080, 0.040, 0.040, 0.010, 0.015, 0.005,
+        ],
+        2020 => [
+            0.300, 0.130, 0.191, 0.110, 0.130, 0.040, 0.050, 0.010, 0.030, 0.009,
+        ],
+        2021 => [
+            0.207, 0.170, 0.272, 0.120, 0.120, 0.040, 0.030, 0.005, 0.030, 0.006,
+        ],
         other => panic!("year {other} outside the 2015-2021 study window"),
     }
 }

@@ -30,11 +30,7 @@ fn main() {
     println!("#BP   substituted top-1   drop [pp]");
     let silu = by_name("silu").expect("built in");
     for n in [4usize, 8, 16, 32, 64] {
-        let pwl = optimize(
-            silu.as_ref(),
-            OptimizeConfig::new(n).with_range(-8.0, 8.0),
-        )
-        .pwl;
+        let pwl = optimize(silu.as_ref(), OptimizeConfig::new(n).with_range(-8.0, 8.0)).pwl;
         let mut table = HashMap::new();
         table.insert("silu".to_string(), pwl);
         model.substitute_activations(&table);

@@ -34,8 +34,14 @@ impl Activation for SoftsignSwish {
         // x → -∞: gate = 0.5/(1 − x) → 0 and f = 0.5x/(1 − x) → −0.5.
         // x → +∞: f = x(0.5 + x)/(1 + x) = x − 0.5x/(1 + x) → x − 0.5.
         Asymptotes::new(
-            Asymptote::Linear { slope: 0.0, offset: -0.5 },
-            Asymptote::Linear { slope: 1.0, offset: -0.5 },
+            Asymptote::Linear {
+                slope: 0.0,
+                offset: -0.5,
+            },
+            Asymptote::Linear {
+                slope: 1.0,
+                offset: -0.5,
+            },
         )
     }
 }

@@ -19,8 +19,14 @@ fn main() {
 
     println!("\ncycle breakdown, 1024 fp16 elements, depth 32, Nc=1:");
     let t = execution_cycles(1024, 32, 1, DataFormat::Float(FloatFormat::FP16));
-    println!("  ld.bp {} + ld.cf {} + fill {} + stream {} = {} cycles",
-        t.ld_bp_cycles, t.ld_cf_cycles, t.fill_latency, t.stream_cycles, t.total());
+    println!(
+        "  ld.bp {} + ld.cf {} + fill {} + stream {} = {} cycles",
+        t.ld_bp_cycles,
+        t.ld_cf_cycles,
+        t.fill_latency,
+        t.stream_cycles,
+        t.total()
+    );
 
     println!("\nthroughput vs width (large tensor, depth 32, Nc=1):");
     for (bits, fmt) in [

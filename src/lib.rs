@@ -13,13 +13,18 @@
 //! * [`formats`] — fixed-point / minifloat codecs, comparison keys, SIMD
 //!   packing,
 //! * [`core`] — the [`core::PwlFunction`] representation, losses,
-//!   boundary conditions and coefficient tables,
+//!   boundary conditions, coefficient tables, and the **compiled
+//!   batch-evaluation engine** ([`core::CompiledPwl`] /
+//!   [`core::PwlEvaluator`] / [`core::ParallelPwl`]) that every hot path
+//!   — optimizer loss grids, NN tensor substitution, SFU programming —
+//!   routes through,
 //! * [`optim`] — the Adam + removal/insertion breakpoint optimizer and
-//!   the baselines it is compared against,
+//!   the baselines it is compared against (loss and gradient sampling go
+//!   through the batch engine),
 //! * [`hw`] — the ADU/LTC/pipeline hardware model with calibrated 28 nm
-//!   area/power,
+//!   area/power; programmable straight from a [`core::CompiledPwl`],
 //! * [`nn`] — the small DNN substrate for end-to-end accuracy
-//!   experiments,
+//!   experiments; activation substitution batch-evaluates whole tensors,
 //! * [`zoo`] — the synthetic 778-model benchmark suite,
 //! * [`perf`] — the Ascend-like end-to-end performance model.
 //!
@@ -33,11 +38,18 @@
 //! let result = optimize(&Gelu, OptimizeConfig::new(16));
 //! println!("MSE = {:.3e}", result.report.mse);
 //!
-//! // Lower it onto the hardware model in FP16.
+//! // Compile it once and batch-evaluate tensors through the engine
+//! // (bit-identical to scalar eval, minus a search and a division per
+//! // element).
+//! use flexsfu::core::PwlEvaluator;
+//! let engine = result.pwl.compile();
+//! let ys = engine.eval_batch(&[0.5, -1.25, 3.0]);
+//!
+//! // Lower the same compiled function onto the hardware model in FP16.
 //! use flexsfu::formats::{DataFormat, FloatFormat};
 //! use flexsfu::hw::{FlexSfu, FlexSfuConfig};
 //! let mut sfu = FlexSfu::new(FlexSfuConfig::new(32, 1));
-//! sfu.program(&result.pwl, DataFormat::Float(FloatFormat::FP16)).unwrap();
+//! sfu.program_compiled(&engine, DataFormat::Float(FloatFormat::FP16)).unwrap();
 //! let run = sfu.execute(&[0.5, -1.25, 3.0]);
 //! println!("outputs {:?} in {} cycles", run.outputs, run.timing.total());
 //! ```

@@ -5,10 +5,10 @@
 
 use flexsfu::core::init::uniform_pwl;
 use flexsfu::core::loss::integral_mse;
+use flexsfu::formats::{DataFormat, FloatFormat};
 use flexsfu::funcs::Gelu;
 use flexsfu::hw::pipeline::throughput_gact_s;
 use flexsfu::hw::{pipeline_latency, AreaModel, PowerModel, VpuIntegration};
-use flexsfu::formats::{DataFormat, FloatFormat};
 use flexsfu::optim::{optimize, OptimizeConfig};
 
 #[test]
@@ -27,10 +27,7 @@ fn figure2_nonuniform_beats_uniform_on_gelu() {
 
 #[test]
 fn table1_latency_row() {
-    assert_eq!(
-        [4, 8, 16, 32, 64].map(pipeline_latency),
-        [7, 8, 9, 10, 11]
-    );
+    assert_eq!([4, 8, 16, 32, 64].map(pipeline_latency), [7, 8, 9, 10, 11]);
 }
 
 #[test]

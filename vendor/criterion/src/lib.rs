@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the benchmarking API subset its `benches/` use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short calibration run sizes the
+//! iteration batch to ~20 ms, then `sample_size` batches are timed and the
+//! median / min / max per-iteration times are reported on stdout in a
+//! criterion-like format. No statistical regression analysis, HTML reports
+//! or saved baselines — swap back to the real crate for those.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock per measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `{function_name}/{parameter}`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure; `iter` times the hot loop.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    calibrated: bool,
+}
+
+impl Bencher {
+    /// Times `sample_size` batches of the routine and records them.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.calibrated {
+            // Size the batch so one sample lasts ~TARGET_SAMPLE.
+            let mut n = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                let took = start.elapsed();
+                if took >= TARGET_SAMPLE || n >= 1 << 30 {
+                    let scale = TARGET_SAMPLE.as_secs_f64() / took.as_secs_f64().max(1e-9);
+                    self.iters_per_sample = ((n as f64 * scale).ceil() as u64).max(1);
+                    break;
+                }
+                n *= 2;
+            }
+            self.calibrated = true;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_size,
+        calibrated: false,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / bencher.iters_per_sample as f64)
+        .collect();
+    let mut sorted = per_iter.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        format_ns(lo),
+        format_ns(median),
+        format_ns(hi)
+    );
+}
+
+/// Mirrors `criterion_group!`: bundles target functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("x", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

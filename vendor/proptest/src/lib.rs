@@ -1,0 +1,299 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the API subset its property tests use: the [`proptest!`] macro with
+//! `arg in strategy` bindings, range and [`collection::vec`] strategies,
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics: each `proptest!` test runs [`NUM_CASES`] deterministic
+//! pseudo-random cases (seeded from the test name, so failures reproduce
+//! across runs). There is **no shrinking** — a failing case panics with the
+//! sampled values visible in the assertion message. Swapping back to the
+//! real `proptest` only requires repointing the workspace dependency.
+
+/// Cases per property test (the real proptest defaults to 256; 128 keeps
+/// `cargo test` fast while still sweeping the space).
+pub const NUM_CASES: u32 = 128;
+
+/// Maximum sampling attempts per test before giving up on `prop_assume`.
+pub const MAX_ATTEMPTS: u32 = NUM_CASES * 16;
+
+pub mod test_runner {
+    /// The deterministic per-test generator (xoshiro256++ seeded from a
+    /// hash of the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds the generator for the named test.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let mut sm = h;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform usize in [lo, hi).
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty size range");
+            lo + (self.next_u64() as usize) % (hi - lo)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator — the subset of proptest's `Strategy` the
+    /// workspace needs (sampling only, no shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_float_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty float strategy range");
+                    let u = rng.unit_f64() as $t;
+                    let v = self.start + (self.end - self.start) * u;
+                    if v >= self.end {
+                        <$t>::from_bits(self.end.to_bits() - 1)
+                    } else {
+                        v
+                    }
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (hi - lo) * rng.unit_f64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_float_strategy!(f32, f64);
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty int strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = rng.next_u64() as u128 % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = rng.next_u64() as u128 % span;
+                    (lo as i128 + r as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact count or a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem` samples.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(strategy, len)` — `len` is an exact
+    /// `usize` or a `Range<usize>`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Re-export block mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+// Free re-exports so `proptest::collection::vec(...)` paths resolve.
+pub use strategy::Strategy;
+
+/// The property-test macro: wraps `fn name(arg in strategy, ...) { body }`
+/// items into `#[test]` functions running [`NUM_CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut __cases = 0u32;
+                let mut __attempts = 0u32;
+                while __cases < $crate::NUM_CASES {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= $crate::MAX_ATTEMPTS,
+                        "prop_assume rejected too many cases in {}",
+                        stringify!($name)
+                    );
+                    $(let $p = $crate::strategy::Strategy::sample(&($s), &mut __rng);)+
+                    // The closure returns false when `prop_assume!` rejects
+                    // the case; assertion failures panic as usual.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __accepted = (|| -> bool {
+                        { $body }
+                        true
+                    })();
+                    if __accepted {
+                        __cases += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assume!` — rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -10.0f64..10.0, n in 0u64..100) {
+            prop_assert!((-10.0..10.0).contains(&x));
+            prop_assert!(n < 100);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0u32..=100) {
+            prop_assume!(v.is_multiple_of(2));
+            prop_assert_eq!(v % 2, 0u32);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            xs in crate::collection::vec(0u32..=0xFF, 0..16),
+            exact in crate::collection::vec(0u32..10, 4),
+        ) {
+            prop_assert!(xs.len() < 16);
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!(xs.iter().all(|&v| v <= 0xFF));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instantiations() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
