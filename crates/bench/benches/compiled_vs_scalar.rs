@@ -1,11 +1,12 @@
 //! The headline engine benchmark: scalar `PwlFunction::eval` loop vs the
-//! compiled batch engine vs the threaded engine, at 1 M elements across
+//! PR-1 batch kernels (`eval_into_ref`) vs the SIMD lane kernels
+//! (`eval_into`) vs the threaded engine, at 1 M elements across
 //! 8 / 16 / 64-segment functions (the LTC depths the paper characterizes).
 //!
 //! Run with `cargo bench -p flexsfu-bench --bench compiled_vs_scalar`.
-//! The run finishes with a throughput summary asserting the engine's
-//! speedup over the scalar loop, so CI and PR trajectories get a number,
-//! not just timings.
+//! The run finishes with a throughput summary asserting both speedup bars
+//! (SIMD over scalar, SIMD over the PR-1 batch path), so CI and PR
+//! trajectories get a number, not just timings.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexsfu_core::init::uniform_pwl;
@@ -64,9 +65,27 @@ fn bench_scalar(c: &mut Criterion) {
 }
 
 fn bench_compiled(c: &mut Criterion) {
+    // The PR-1 batch path: ILP-friendly scalar kernels.
     let xs = inputs();
     let mut out = vec![0.0; xs.len()];
     let mut group = c.benchmark_group("compiled_1m");
+    for segments in SEGMENTS {
+        let engine = CompiledPwl::from_pwl(&function_with_segments(segments));
+        group.bench_with_input(BenchmarkId::new("segments", segments), &segments, |b, _| {
+            b.iter(|| {
+                engine.eval_into_ref(black_box(&xs), &mut out);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simd(c: &mut Criterion) {
+    // The lane-packed kernels behind `eval_into` since PR 2.
+    let xs = inputs();
+    let mut out = vec![0.0; xs.len()];
+    let mut group = c.benchmark_group("simd_1m");
     for segments in SEGMENTS {
         let engine = CompiledPwl::from_pwl(&function_with_segments(segments));
         group.bench_with_input(BenchmarkId::new("segments", segments), &segments, |b, _| {
@@ -95,23 +114,30 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-/// Hard regression floor for batch-over-scalar at 64 segments. The design
+/// Hard regression floor for SIMD-over-scalar at 64 segments. The design
 /// target is 3×, which typical multi-issue hardware clears comfortably;
-/// constrained single-vCPU containers measure ~2.8–3.1× with ±10 % noise,
-/// so the unconditional assert sits below that band. Set
-/// `FLEXSFU_BENCH_STRICT=1` to enforce the full 3× target (CI on real
-/// hardware should).
+/// constrained single-vCPU containers measure the PR-1 kernels at
+/// ~2.8–3.1× and the SIMD kernels well above, so the unconditional assert
+/// sits below that band. Set `FLEXSFU_BENCH_STRICT=1` to enforce the full
+/// 3× target (CI on real hardware should).
 const SPEEDUP_FLOOR: f64 = 2.5;
 const SPEEDUP_TARGET: f64 = 3.0;
 
-/// Prints a Melem/s summary table and checks the speedup bar at
-/// 1 M elements. Scalar/batch/parallel passes are interleaved across
-/// measurement rounds so slow-host drift hits all three alike.
+/// Floors for the SIMD lane kernels over the PR-1 batch path at 64
+/// segments. The PR-2 design bar is 1.5×; the 1-vCPU dev container
+/// measures 1.6–1.7× with ±10 % noise, so the unconditional assert sits
+/// just below the bar and `FLEXSFU_BENCH_STRICT=1` enforces it exactly.
+const SIMD_OVER_BATCH_FLOOR: f64 = 1.4;
+const SIMD_OVER_BATCH_TARGET: f64 = 1.5;
+
+/// Prints a Melem/s summary table and checks both speedup bars at
+/// 1 M elements. Scalar/batch/simd/parallel passes are interleaved across
+/// measurement rounds so slow-host drift hits all four alike.
 fn summary(_c: &mut Criterion) {
     let xs = inputs();
     let mut out = vec![0.0; xs.len()];
     println!("\nthroughput at {N_ELEMENTS} elements (Melem/s, best of 5 interleaved rounds):");
-    println!("segments  scalar  compiled  parallel  batch-speedup");
+    println!("segments  scalar  batch  simd  parallel  simd/scalar  simd/batch");
     for segments in SEGMENTS {
         let pwl = function_with_segments(segments);
         let engine = CompiledPwl::from_pwl(&pwl);
@@ -119,6 +145,7 @@ fn summary(_c: &mut Criterion) {
 
         let mut t_scalar = f64::INFINITY;
         let mut t_batch = f64::INFINITY;
+        let mut t_simd = f64::INFINITY;
         let mut t_par = f64::INFINITY;
         // Warm-up round 0, then five timed interleaved rounds, best-of each.
         for round in 0..6 {
@@ -129,8 +156,12 @@ fn summary(_c: &mut Criterion) {
             let t = start.elapsed().as_secs_f64();
 
             let start = Instant::now();
-            engine.eval_into(black_box(&xs), &mut out);
+            engine.eval_into_ref(black_box(&xs), &mut out);
             let tb = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            engine.eval_into(black_box(&xs), &mut out);
+            let ts = start.elapsed().as_secs_f64();
 
             let start = Instant::now();
             par.eval_into(black_box(&xs), &mut out);
@@ -139,17 +170,20 @@ fn summary(_c: &mut Criterion) {
             if round > 0 {
                 t_scalar = t_scalar.min(t);
                 t_batch = t_batch.min(tb);
+                t_simd = t_simd.min(ts);
                 t_par = t_par.min(tp);
             }
         }
         black_box(out[0]);
 
         let melems = |t: f64| N_ELEMENTS as f64 / t / 1e6;
-        let speedup = t_scalar / t_batch;
+        let simd_vs_scalar = t_scalar / t_simd;
+        let simd_vs_batch = t_batch / t_simd;
         println!(
-            "{segments:>8}  {:>6.0}  {:>8.0}  {:>8.0}  {speedup:>12.2}x",
+            "{segments:>8}  {:>6.0}  {:>5.0}  {:>4.0}  {:>8.0}  {simd_vs_scalar:>10.2}x  {simd_vs_batch:>9.2}x",
             melems(t_scalar),
             melems(t_batch),
+            melems(t_simd),
             melems(t_par),
         );
         if segments == 64 {
@@ -159,16 +193,34 @@ fn summary(_c: &mut Criterion) {
             } else {
                 SPEEDUP_FLOOR
             };
-            let status = if speedup >= SPEEDUP_TARGET {
+            let status = if simd_vs_scalar >= SPEEDUP_TARGET {
                 "MET"
             } else {
                 "BELOW (expected only on constrained single-vCPU hosts)"
             };
             println!("{SPEEDUP_TARGET:.1}x design target at 64 segments: {status}");
             assert!(
-                speedup >= bar,
-                "batch evaluation must be ≥ {bar:.1}x the scalar loop at 64 \
-                 segments / 1M elements, measured {speedup:.2}x"
+                simd_vs_scalar >= bar,
+                "SIMD batch evaluation must be ≥ {bar:.1}x the scalar loop at 64 \
+                 segments / 1M elements, measured {simd_vs_scalar:.2}x"
+            );
+            let batch_bar = if strict {
+                SIMD_OVER_BATCH_TARGET
+            } else {
+                SIMD_OVER_BATCH_FLOOR
+            };
+            let batch_status = if simd_vs_batch >= SIMD_OVER_BATCH_TARGET {
+                "MET"
+            } else {
+                "BELOW (expected only under heavy host noise)"
+            };
+            println!(
+                "{SIMD_OVER_BATCH_TARGET:.1}x SIMD-over-batch target at 64 segments: {batch_status}"
+            );
+            assert!(
+                simd_vs_batch >= batch_bar,
+                "SIMD lane kernels must be ≥ {batch_bar:.1}x the PR-1 \
+                 batch path at 64 segments / 1M elements, measured {simd_vs_batch:.2}x"
             );
         }
     }
@@ -177,6 +229,6 @@ fn summary(_c: &mut Criterion) {
 criterion_group! {
     name = compiled_vs_scalar;
     config = Criterion::default().sample_size(10);
-    targets = bench_scalar, bench_compiled, bench_parallel, summary
+    targets = bench_scalar, bench_compiled, bench_simd, bench_parallel, summary
 }
 criterion_main!(compiled_vs_scalar);

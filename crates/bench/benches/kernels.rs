@@ -30,8 +30,9 @@ fn bench_pwl_eval(c: &mut Criterion) {
 }
 
 fn bench_compiled_eval(c: &mut Criterion) {
-    // The batch engine on the same grid as `pwl_eval`, for a direct
-    // scalar-vs-compiled comparison at matching breakpoint counts.
+    // The batch engine (SIMD lane kernels) on the same grid as
+    // `pwl_eval`, for a direct scalar-vs-compiled comparison at matching
+    // breakpoint counts.
     let mut group = c.benchmark_group("compiled_eval");
     for n in [8usize, 16, 32, 64] {
         let engine = uniform_pwl(&Gelu, n, (-8.0, 8.0)).compile();
@@ -40,6 +41,24 @@ fn bench_compiled_eval(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("breakpoints", n), &n, |b, _| {
             b.iter(|| {
                 engine.eval_into(black_box(&xs), &mut out);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiled_eval_ref(c: &mut Criterion) {
+    // The pre-SIMD batch kernels (`eval_into_ref`), kept measurable so
+    // the lane kernels' gain shows up in the same sweep.
+    let mut group = c.benchmark_group("compiled_eval_ref");
+    for n in [8usize, 16, 32, 64] {
+        let engine = uniform_pwl(&Gelu, n, (-8.0, 8.0)).compile();
+        let xs: Vec<f64> = (0..1024).map(|i| -8.0 + 16.0 * i as f64 / 1023.0).collect();
+        let mut out = vec![0.0; xs.len()];
+        group.bench_with_input(BenchmarkId::new("breakpoints", n), &n, |b, _| {
+            b.iter(|| {
+                engine.eval_into_ref(black_box(&xs), &mut out);
                 out[0]
             })
         });
@@ -99,7 +118,8 @@ fn bench_gradient(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_pwl_eval, bench_compiled_eval, bench_coeff_table,
-              bench_exact_gelu, bench_hw_datapath, bench_gradient
+    targets = bench_pwl_eval, bench_compiled_eval, bench_compiled_eval_ref,
+              bench_coeff_table, bench_exact_gelu, bench_hw_datapath,
+              bench_gradient
 }
 criterion_main!(kernels);

@@ -25,6 +25,26 @@
 //! of the ADU's binary-search tree: the grid gets you next to the right
 //! segment, a couple of comparisons finish the job exactly.
 //!
+//! # SIMD lane kernels
+//!
+//! Batch evaluation is lane-packed. The portable kernels run **four
+//! elements wide** through the [`crate::simd`] lane types
+//! ([`crate::simd::F64x4`]): the linear scan broadcasts each breakpoint
+//! against a whole lane group, and the bucket path keeps the mapping,
+//! clamp and anchored multiply-add in f64 lanes — the uniform-bucket
+//! layout makes the index computation gather-free, which is precisely
+//! why the paper chose it. The one scalar step per element is a single
+//! aligned cache-line read (a `BucketLine`: comparison breakpoint, seed,
+//! and both candidate segments' coefficients fused together). On x86-64
+//! the lane kernels are compiled a second time under
+//! `#[target_feature(enable = "avx2")]`, and machines with AVX-512F get
+//! a dedicated eight-wide kernel whose five table reads per lane group
+//! are hardware gathers — everything stays in registers. All paths are
+//! selected at runtime and produce bit-identical results. The pre-SIMD
+//! scalar kernels remain available as [`CompiledPwl::eval_into_ref`] —
+//! the measured baseline for the `compiled_vs_scalar` bench's `simd`
+//! column and the tail kernel for lane remainders.
+//!
 //! # Bit-exactness
 //!
 //! The engine is **bit-identical** to [`PwlFunction::eval`] for every
@@ -62,6 +82,7 @@
 
 use crate::coeffs::CoeffTable;
 use crate::pwl::PwlFunction;
+use crate::simd::{F64x4, F64_LANES};
 
 /// Functions with at most this many segments use the linear-scan lookup.
 const LINEAR_SCAN_MAX_SEGMENTS: usize = 8;
@@ -73,6 +94,12 @@ const CHUNK: usize = 4096;
 /// Below this many elements [`ParallelPwl`] stays serial — thread spawn
 /// overhead would dominate.
 const PARALLEL_MIN_ELEMENTS: usize = 1 << 15;
+
+/// Elements per block in the SIMD lane kernels. Each block runs as
+/// distributed passes (vector index math, scalar table gathers, vector
+/// multiply-add) over stack arrays small enough to stay register/L1
+/// resident; 32 elements is 8 [`F64x4`] groups per pass.
+const LANE_BLOCK: usize = 32;
 
 /// A uniform interface over scalar and batch PWL evaluation.
 ///
@@ -141,6 +168,13 @@ pub struct CompiledPwl {
     /// (`n + 1` entries): the two-comparison window as a single indexed
     /// load for the specialized `window ≤ 2` kernel.
     window_pairs: Vec<[f64; 2]>,
+    /// Per-bucket fused lookup for the SIMD bucket kernels, built only
+    /// for `window ≤ 2` tables (see [`BucketLine`]). One aligned cache
+    /// line holds the single comparison breakpoint, the seed, and both
+    /// candidate segments' coefficients, so the portable kernel resolves
+    /// a bucket with one load and the AVX-512 kernel gathers the
+    /// breakpoint/seed fields directly.
+    bucket_line: Vec<BucketLine>,
     /// Left edge of the bucket grid (`p₀`).
     bucket_lo: f64,
     /// Buckets per unit of input: `K / (p_{n-1} − p₀)`, or `0.0` when the
@@ -161,6 +195,22 @@ pub struct CompiledPwl {
 /// Windows longer than this (pathologically clustered breakpoints) fall
 /// back to `partition_point` — correctness never depends on the index.
 const WINDOW_MAX: usize = 16;
+
+/// One cache line of per-bucket lookup state for the SIMD bucket kernels:
+/// `[bp(seed), seed as f64, aₓ(seed), a_y(seed), m(seed), aₓ(seed+1),
+/// a_y(seed+1), m(seed+1)]`.
+///
+/// `window ≤ 2` guarantees every input mapping to the bucket counts
+/// either `seed` or `seed + 1` breakpoints below it (the window reaches
+/// exactly one past the seed), so **one** comparison against `bp(seed)`
+/// resolves the segment and both candidate coefficient triples ride along
+/// in the same 64-byte line — bucket resolution is a single aligned load
+/// plus arithmetic, with no dependent `seed → breakpoint → coefficient`
+/// walk. The seed is stored as an exact f64 so the AVX-512 kernel can
+/// keep the whole count in float lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C, align(64))]
+struct BucketLine([f64; 8]);
 
 impl CompiledPwl {
     /// Flattens `pwl` into the SoA form. `O(n)`; amortize it over batches.
@@ -266,6 +316,34 @@ impl CompiledPwl {
             .map(|s| [bps_padded[s], bps_padded[s + 1]])
             .collect();
 
+        // Fused per-bucket lines for the SIMD kernels. Only meaningful
+        // when the one-comparison window suffices (window ≤ 2 means the
+        // count is seed or seed + 1); longer windows route to the search
+        // fallback and never read this. For a seed of n (past the last
+        // breakpoint) the second candidate clamps to n — bp(seed) is +∞
+        // there, so the comparison never selects it.
+        let bucket_line: Vec<BucketLine> = if window <= 2 {
+            bucket_seed
+                .iter()
+                .map(|&s| {
+                    let s = s as usize;
+                    let s1 = (s + 1).min(n);
+                    BucketLine([
+                        bps_padded[s],
+                        s as f64,
+                        anchor_x[s],
+                        anchor_y[s],
+                        slope[s],
+                        anchor_x[s1],
+                        anchor_y[s1],
+                        slope[s1],
+                    ])
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let seg_packed: Vec<[f64; 3]> = anchor_x
             .iter()
             .zip(anchor_y.iter().zip(&slope))
@@ -280,6 +358,7 @@ impl CompiledPwl {
             slope,
             seg_packed,
             window_pairs,
+            bucket_line,
             bucket_lo: lo,
             bucket_inv_w: inv_w,
             bucket_seed,
@@ -410,8 +489,11 @@ impl CompiledPwl {
 }
 
 impl CompiledPwl {
-    /// Batch kernel for shallow tables: branchless linear count.
-    fn eval_chunk_linear(&self, xs: &[f64], out: &mut [f64]) {
+    /// Reference batch kernel for shallow tables: branchless linear count,
+    /// one element at a time (the PR-1 instruction-level-parallel path,
+    /// kept as the SIMD kernels' remainder/fallback and as the measurable
+    /// baseline in `compiled_vs_scalar`).
+    fn eval_chunk_linear_ref(&self, xs: &[f64], out: &mut [f64]) {
         let n = self.breakpoints.len();
         let last = self.breakpoints[n - 1];
         for (&x, o) in xs.iter().zip(out.iter_mut()) {
@@ -460,11 +542,13 @@ impl CompiledPwl {
         c + usize::from(x >= last) * (n - c)
     }
 
-    /// Batch kernel for deep tables with `window ≤ 2` (every remotely
-    /// even breakpoint distribution): one bucket load, one pair load, two
-    /// comparisons, one segment load — unrolled 16-wide so the dependent
-    /// loads of neighbouring elements overlap.
-    fn eval_chunk_bucket2(&self, xs: &[f64], out: &mut [f64]) {
+    /// Reference batch kernel for deep tables with `window ≤ 2` (every
+    /// remotely even breakpoint distribution): one bucket load, one pair
+    /// load, two comparisons, one segment load — unrolled 16-wide so the
+    /// dependent loads of neighbouring elements overlap. The PR-1 path,
+    /// kept as the SIMD kernel's remainder/fallback and as the measurable
+    /// baseline in `compiled_vs_scalar`.
+    fn eval_chunk_bucket2_ref(&self, xs: &[f64], out: &mut [f64]) {
         debug_assert!(self.window <= 2);
         let n = self.breakpoints.len();
         let last = self.breakpoints[n - 1];
@@ -515,13 +599,402 @@ impl CompiledPwl {
         }
     }
 
+    /// Shared vector tail of both lane kernels: given the per-element
+    /// segment index as an exact f64 in `s_arr`, gather the segment
+    /// coefficients (the one genuinely scalar step — pass 2), then run
+    /// the anchored multiply-add and NaN screen four lanes wide (pass 3).
+    /// With `SEGS` the indices are also written to `segs`.
+    #[inline(always)]
+    fn eval_block_from_segments<const SEGS: bool>(
+        &self,
+        xc: &[f64; LANE_BLOCK],
+        s_arr: &[f64; LANE_BLOCK],
+        oc: &mut [f64; LANE_BLOCK],
+        segs: &mut [u32],
+    ) {
+        let nan = F64x4::splat(f64::NAN);
+        let mut ax = [0.0; LANE_BLOCK];
+        let mut ay = [0.0; LANE_BLOCK];
+        let mut m = [0.0; LANE_BLOCK];
+        for i in 0..LANE_BLOCK {
+            // SAFETY: every entry of s_arr is a segment index ≤ n by the
+            // callers' construction, and seg_packed has n + 1 entries.
+            let s = unsafe { s_arr[i].to_int_unchecked::<usize>() };
+            let [a, y0, mm] = unsafe { *self.seg_packed.get_unchecked(s) };
+            ax[i] = a;
+            ay[i] = y0;
+            m[i] = mm;
+            if SEGS {
+                segs[i] = s as u32;
+            }
+        }
+        for g in 0..LANE_BLOCK / F64_LANES {
+            let at = g * F64_LANES;
+            let xv = F64x4::from_slice(&xc[at..]);
+            let y = F64x4::from_slice(&m[at..]) * (xv - F64x4::from_slice(&ax[at..]))
+                + F64x4::from_slice(&ay[at..]);
+            xv.is_nan().select(nan, y).write_to(&mut oc[at..]);
+        }
+    }
+
+    /// SIMD lane kernel for shallow tables: the branchless count runs
+    /// four elements wide — every breakpoint is broadcast and compared
+    /// against a whole [`F64x4`] at once — and only the per-segment
+    /// `(aₓ, a_y, m)` reads stay scalar. The kernel is structured as
+    /// distributed passes over [`LANE_BLOCK`]-element blocks (vector
+    /// count, scalar gather, vector evaluate) so each vector pass is a
+    /// clean lane loop the backend provably packs. With `SEGS` the
+    /// table-order segment index of each element is also written to
+    /// `segs` (index-aligned with `xs`, same length).
+    #[inline(always)]
+    fn eval_chunk_linear_lanes<const SEGS: bool>(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        segs: &mut [u32],
+    ) {
+        let n = self.breakpoints.len();
+        let last = F64x4::splat(self.breakpoints[n - 1]);
+        let nf = F64x4::splat(n as f64);
+        let mut xi = xs.chunks_exact(LANE_BLOCK);
+        let mut oi = out.chunks_exact_mut(LANE_BLOCK);
+        let mut base = 0usize;
+        for (xc, oc) in (&mut xi).zip(&mut oi) {
+            let xc: &[f64; LANE_BLOCK] = xc.try_into().unwrap();
+            let oc: &mut [f64; LANE_BLOCK] = oc.try_into().unwrap();
+            // Pass 1 (vector): lane-parallel branchless count of
+            // breakpoints < x, right-edge select. NaN lanes count 0 and
+            // fail the ≥ test, landing on segment 0 exactly like the
+            // scalar path; the final NaN screen replaces their output.
+            let mut s_arr = [0.0; LANE_BLOCK];
+            for g in 0..LANE_BLOCK / F64_LANES {
+                let at = g * F64_LANES;
+                let xv = F64x4::from_slice(&xc[at..]);
+                let mut cnt = F64x4::splat(0.0);
+                for &b in &self.breakpoints {
+                    cnt = cnt + F64x4::splat(b).lt(xv).ones();
+                }
+                xv.ge(last).select(nf, cnt).write_to(&mut s_arr[at..]);
+            }
+            // Passes 2–3: coefficient gather + anchored multiply-add.
+            let seg_slice: &mut [u32] = if SEGS { &mut segs[base..] } else { &mut [] };
+            self.eval_block_from_segments::<SEGS>(xc, &s_arr, oc, seg_slice);
+            base += LANE_BLOCK;
+        }
+        if SEGS {
+            self.eval_segments_remainder(&xs[base..], &mut out[base..], &mut segs[base..]);
+        } else {
+            self.eval_chunk_linear_ref(xi.remainder(), oi.into_remainder());
+        }
+    }
+
+    /// SIMD lane kernel for deep tables with `window ≤ 2`: bucket
+    /// mapping, clamp, and the anchored multiply-add run four lanes wide
+    /// in f64 arithmetic — the uniform-bucket layout keeps the entire
+    /// index computation gather-free, which is exactly why the paper
+    /// chose it. The one genuinely scalar step, isolated in its own pass,
+    /// is the per-element [`BucketLine`] load: one comparison against the
+    /// line's breakpoint picks between the two candidate coefficient
+    /// triples riding in the same cache line (`window ≤ 2` proves the
+    /// count is `seed` or `seed + 1`), and a conditional move retargets
+    /// the right outer segment — no dependent seed → breakpoint →
+    /// coefficient walk. With `SEGS` the segment indices are also written
+    /// (see [`Self::eval_chunk_linear_lanes`]).
+    #[inline(always)]
+    fn eval_chunk_bucket2_lanes<const SEGS: bool>(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        segs: &mut [u32],
+    ) {
+        debug_assert!(self.window <= 2 && !self.bucket_line.is_empty());
+        let n = self.breakpoints.len();
+        let last = self.breakpoints[n - 1];
+        let lo = F64x4::splat(self.bucket_lo);
+        let inv_w = F64x4::splat(self.bucket_inv_w);
+        let hi_bucket = F64x4::splat((self.bucket_seed.len() - 1) as f64);
+        let zero = F64x4::splat(0.0);
+        let nan = F64x4::splat(f64::NAN);
+        // Right outer segment coefficients, selected by pointer below.
+        let right = [self.anchor_x[n], self.anchor_y[n], self.slope[n]];
+        let mut xi = xs.chunks_exact(LANE_BLOCK);
+        let mut oi = out.chunks_exact_mut(LANE_BLOCK);
+        let mut base = 0usize;
+        for (xc, oc) in (&mut xi).zip(&mut oi) {
+            let xc: &[f64; LANE_BLOCK] = xc.try_into().unwrap();
+            let oc: &mut [f64; LANE_BLOCK] = oc.try_into().unwrap();
+            // Pass 1 (vector): bucket coordinate, clamped to the grid.
+            // NaN fails `t ≥ 0` and lands in bucket 0, mirroring the
+            // scalar path's saturating cast.
+            let mut t_arr = [0.0; LANE_BLOCK];
+            for g in 0..LANE_BLOCK / F64_LANES {
+                let at = g * F64_LANES;
+                let xv = F64x4::from_slice(&xc[at..]);
+                let t = (xv - lo) * inv_w;
+                let t = t.ge(zero).select(t, zero);
+                let t = t.le(hi_bucket).select(t, hi_bucket);
+                t.write_to(&mut t_arr[at..]);
+            }
+            // Pass 2 (scalar): resolve each element's segment from its
+            // bucket line — one aligned 64-byte load, one comparison, one
+            // conditional move — staging the coefficient triple.
+            let mut ax = [0.0; LANE_BLOCK];
+            let mut ay = [0.0; LANE_BLOCK];
+            let mut m = [0.0; LANE_BLOCK];
+            for i in 0..LANE_BLOCK {
+                let x = xc[i];
+                // SAFETY: t_arr is clamped to [0, bucket_line.len() − 1]
+                // and NaN-free by pass 1.
+                let b = unsafe { t_arr[i].to_int_unchecked::<usize>() };
+                let line = unsafe { &self.bucket_line.get_unchecked(b).0 };
+                // count = seed + (bp(seed) < x); see BucketLine.
+                let k = usize::from(line[0] < x);
+                // SAFETY: 2 + 3k is 2 or 5; both triples are in the line.
+                let cand = unsafe { line.get_unchecked(2 + 3 * k..) };
+                let cand: &[f64] = if x >= last { &right } else { cand };
+                ax[i] = cand[0];
+                ay[i] = cand[1];
+                m[i] = cand[2];
+                if SEGS {
+                    // SAFETY: line[1] is the seed, an exact small f64.
+                    let seed = unsafe { line[1].to_int_unchecked::<usize>() };
+                    let seg = if x >= last { n } else { seed + k };
+                    segs[base + i] = seg as u32;
+                }
+            }
+            // Pass 3 (vector): anchored multiply-add + NaN screen.
+            for g in 0..LANE_BLOCK / F64_LANES {
+                let at = g * F64_LANES;
+                let xv = F64x4::from_slice(&xc[at..]);
+                let y = F64x4::from_slice(&m[at..]) * (xv - F64x4::from_slice(&ax[at..]))
+                    + F64x4::from_slice(&ay[at..]);
+                xv.is_nan().select(nan, y).write_to(&mut oc[at..]);
+            }
+            base += LANE_BLOCK;
+        }
+        if SEGS {
+            self.eval_segments_remainder(&xs[base..], &mut out[base..], &mut segs[base..]);
+        } else {
+            self.eval_chunk_bucket2_ref(xi.remainder(), oi.into_remainder());
+        }
+    }
+
+    /// Scalar tail for the combined value + segment-index kernels.
+    fn eval_segments_remainder(&self, xs: &[f64], out: &mut [f64], segs: &mut [u32]) {
+        for ((&x, o), sg) in xs.iter().zip(out.iter_mut()).zip(segs.iter_mut()) {
+            let s = self.segment_index(x);
+            *sg = s as u32;
+            *o = if x.is_nan() {
+                f64::NAN
+            } else {
+                self.eval_at_segment(x, s)
+            };
+        }
+    }
+
+    /// Runtime-dispatched linear kernel: on x86-64 the lane body is
+    /// compiled a second time under `#[target_feature(enable = "avx2")]`
+    /// and selected when the CPU supports it, so the lane loops lower to
+    /// 256-bit packed instructions; elsewhere the baseline-target build
+    /// of the same source runs.
+    fn eval_chunk_linear_simd<const SEGS: bool>(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        segs: &mut [u32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was verified at runtime just above.
+            return unsafe { self.eval_chunk_linear_avx2::<SEGS>(xs, out, segs) };
+        }
+        self.eval_chunk_linear_lanes::<SEGS>(xs, out, segs);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eval_chunk_linear_avx2<const SEGS: bool>(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        segs: &mut [u32],
+    ) {
+        self.eval_chunk_linear_lanes::<SEGS>(xs, out, segs);
+    }
+
+    /// Runtime-dispatched bucket kernel: the AVX-512 gather kernel where
+    /// the CPU has it, otherwise the portable lane kernel (compiled under
+    /// AVX2 when available, baseline elsewhere).
+    fn eval_chunk_bucket2_simd<const SEGS: bool>(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        segs: &mut [u32],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: AVX-512F support was verified at runtime.
+                return unsafe { self.eval_chunk_bucket2_avx512::<SEGS>(xs, out, segs) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was verified at runtime.
+                return unsafe { self.eval_chunk_bucket2_avx2::<SEGS>(xs, out, segs) };
+            }
+        }
+        self.eval_chunk_bucket2_lanes::<SEGS>(xs, out, segs);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eval_chunk_bucket2_avx2<const SEGS: bool>(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        segs: &mut [u32],
+    ) {
+        self.eval_chunk_bucket2_lanes::<SEGS>(xs, out, segs);
+    }
+
+    /// AVX-512 bucket kernel: eight lanes per iteration, fully in
+    /// registers — the bucket map, clamp, one-comparison count and
+    /// anchored multiply-add are packed f64 arithmetic, and the five table
+    /// reads per lane group (breakpoint + seed from the [`BucketLine`]s,
+    /// then the three SoA coefficient columns) are hardware gathers, so
+    /// nothing is staged through memory. Performs exactly the same IEEE
+    /// f64 operations as the scalar path in the same order (no FMA
+    /// contraction), so results stay bit-identical.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn eval_chunk_bucket2_avx512<const SEGS: bool>(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        segs: &mut [u32],
+    ) {
+        use core::arch::x86_64::*;
+        debug_assert!(self.window <= 2 && !self.bucket_line.is_empty());
+        const W: usize = 8;
+        let n = self.breakpoints.len();
+        let lo = _mm512_set1_pd(self.bucket_lo);
+        let inv_w = _mm512_set1_pd(self.bucket_inv_w);
+        let hi_bucket = _mm512_set1_pd((self.bucket_seed.len() - 1) as f64);
+        let zero = _mm512_setzero_pd();
+        let one = _mm512_set1_pd(1.0);
+        let nf = _mm512_set1_pd(n as f64);
+        let last = _mm512_set1_pd(self.breakpoints[n - 1]);
+        let nan = _mm512_set1_pd(f64::NAN);
+        let lines = self.bucket_line.as_ptr() as *const f64;
+        let mut xi = xs.chunks_exact(W);
+        let mut oi = out.chunks_exact_mut(W);
+        let mut base = 0usize;
+        for (xc, oc) in (&mut xi).zip(&mut oi) {
+            // SAFETY: xc has exactly W elements.
+            let xv = _mm512_loadu_pd(xc.as_ptr());
+            // Bucket coordinate, clamped; NaN fails `t ≥ 0` → bucket 0,
+            // mirroring the scalar path's saturating cast.
+            let t = _mm512_mul_pd(_mm512_sub_pd(xv, lo), inv_w);
+            let t = _mm512_mask_blend_pd(_mm512_cmp_pd_mask(t, zero, _CMP_GE_OQ), zero, t);
+            // min is NaN-safe here: t is NaN-free after the blend.
+            let t = _mm512_min_pd(t, hi_bucket);
+            // SAFETY: t is clamped to [0, buckets − 1]; the truncating
+            // convert and the scaled gathers below stay in the line table.
+            let bi = _mm512_cvttpd_epi32(t);
+            let bi8 = _mm256_slli_epi32(bi, 3); // line stride: 8 f64
+            let blo = _mm512_i32gather_pd::<8>(bi8, lines);
+            let seed = _mm512_i32gather_pd::<8>(bi8, lines.add(1));
+            // count = seed + (bp(seed) < x); see BucketLine. Exact in f64.
+            let c = _mm512_add_pd(
+                seed,
+                _mm512_maskz_mov_pd(_mm512_cmp_pd_mask(blo, xv, _CMP_LT_OQ), one),
+            );
+            let s = _mm512_mask_blend_pd(_mm512_cmp_pd_mask(xv, last, _CMP_GE_OQ), c, nf);
+            // SAFETY: every lane of s is a segment index ≤ n; the three
+            // SoA columns have n + 1 entries.
+            let si = _mm512_cvttpd_epi32(s);
+            let ax = _mm512_i32gather_pd::<8>(si, self.anchor_x.as_ptr());
+            let ay = _mm512_i32gather_pd::<8>(si, self.anchor_y.as_ptr());
+            let m = _mm512_i32gather_pd::<8>(si, self.slope.as_ptr());
+            // m · (x − aₓ) + a_y with separate mul and add — bit-identical
+            // to the scalar path; then the NaN screen.
+            let y = _mm512_add_pd(_mm512_mul_pd(m, _mm512_sub_pd(xv, ax)), ay);
+            let y = _mm512_mask_blend_pd(_mm512_cmp_pd_mask(xv, xv, _CMP_UNORD_Q), y, nan);
+            _mm512_storeu_pd(oc.as_mut_ptr(), y);
+            if SEGS {
+                // SAFETY: segs is as long as xs; si holds 8 i32 segment
+                // indices whose bits are the u32 values we store.
+                _mm256_storeu_si256(segs.as_mut_ptr().add(base) as *mut __m256i, si);
+            }
+            base += W;
+        }
+        if SEGS {
+            self.eval_segments_remainder(&xs[base..], &mut out[base..], &mut segs[base..]);
+        } else {
+            self.eval_chunk_bucket2_ref(xi.remainder(), oi.into_remainder());
+        }
+    }
+
     fn eval_chunk(&self, xs: &[f64], out: &mut [f64]) {
         if self.num_segments() <= LINEAR_SCAN_MAX_SEGMENTS {
-            self.eval_chunk_linear(xs, out);
+            self.eval_chunk_linear_simd::<false>(xs, out, &mut []);
         } else if self.window <= 2 {
-            self.eval_chunk_bucket2(xs, out);
+            self.eval_chunk_bucket2_simd::<false>(xs, out, &mut []);
         } else {
             self.eval_chunk_search(xs, out);
+        }
+    }
+
+    /// The PR-1 batch path: the instruction-level-parallel scalar kernels
+    /// that predate the SIMD lane kernels, kept callable as the measured
+    /// baseline (`compiled_vs_scalar`'s `batch` column) and as the tail
+    /// kernel of the lane loops. Bit-identical to [`PwlEvaluator::eval_into`]
+    /// and to scalar [`PwlFunction::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != out.len()`.
+    pub fn eval_into_ref(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        for (xc, oc) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            if self.num_segments() <= LINEAR_SCAN_MAX_SEGMENTS {
+                self.eval_chunk_linear_ref(xc, oc);
+            } else if self.window <= 2 {
+                self.eval_chunk_bucket2_ref(xc, oc);
+            } else {
+                self.eval_chunk_search(xc, oc);
+            }
+        }
+    }
+
+    /// Evaluates every sample *and* records its table-order segment index
+    /// in one widened sweep — the entry point for consumers that need
+    /// both, like the optimizer's gradient kernel (value for the residual,
+    /// segment for the per-parameter accumulation). One pass through the
+    /// SIMD kernels replaces the former `segments_into` +
+    /// `eval_at_segment`-per-sample pair.
+    ///
+    /// Values are bit-identical to [`PwlEvaluator::eval_into`]; indices
+    /// are identical to [`Self::segments_into`] (NaN samples report
+    /// segment 0 and evaluate to NaN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs`, `out` and `segs` differ in length.
+    pub fn eval_and_segments_into(&self, xs: &[f64], out: &mut [f64], segs: &mut [u32]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        assert_eq!(xs.len(), segs.len(), "input/segment length mismatch");
+        for ((xc, oc), sc) in xs
+            .chunks(CHUNK)
+            .zip(out.chunks_mut(CHUNK))
+            .zip(segs.chunks_mut(CHUNK))
+        {
+            if self.num_segments() <= LINEAR_SCAN_MAX_SEGMENTS {
+                self.eval_chunk_linear_simd::<true>(xc, oc, sc);
+            } else if self.window <= 2 {
+                self.eval_chunk_bucket2_simd::<true>(xc, oc, sc);
+            } else {
+                self.eval_segments_remainder(xc, oc, sc);
+            }
         }
     }
 }

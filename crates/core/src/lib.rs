@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "std-simd", feature(portable_simd))]
 //! # flexsfu-core
 //!
 //! The non-uniform piecewise-linear (PWL) function machinery at the heart of
@@ -21,6 +22,10 @@
 //!   (structure-of-arrays form with precomputed slopes and branch-light
 //!   lookup), the [`PwlEvaluator`] trait every consumer routes through,
 //!   and the threaded [`ParallelPwl`],
+//! * [`simd`] — the fixed-width lane types ([`simd::F64x4`],
+//!   [`simd::F32x8`]) the engine's vectorized kernels are written
+//!   against, with an AVX2 runtime-dispatch path and a nightly
+//!   `std-simd` feature gate,
 //! * [`CoeffTable`] — the `(mᵢ, qᵢ)` slope/intercept pairs stored in the
 //!   hardware LTC, with an equivalence guarantee against direct evaluation,
 //! * [`boundary`] — the paper's asymptotic boundary conditions,
@@ -50,6 +55,7 @@ pub mod init;
 pub mod loss;
 pub mod pwl;
 pub mod quant;
+pub mod simd;
 
 mod error;
 

@@ -13,7 +13,7 @@
 //! piece — and apply composite Simpson per piece; the maximum error uses
 //! dense per-piece sampling with a local refinement step.
 
-use crate::engine::CompiledPwl;
+use crate::engine::{CompiledPwl, PwlEvaluator};
 use crate::pwl::PwlFunction;
 use flexsfu_funcs::Activation;
 
@@ -35,13 +35,28 @@ fn pieces(pwl: &PwlFunction, a: f64, b: f64) -> Vec<(f64, f64)> {
     cuts.windows(2).map(|w| (w[0], w[1])).collect()
 }
 
-/// Composite Simpson integral of `g` over `[lo, hi]`.
-fn simpson<G: Fn(f64) -> f64>(g: G, lo: f64, hi: f64) -> f64 {
+/// Composite Simpson integral of the squared error `(f̂ − f)²` over
+/// `[lo, hi]`, with the PWL side batch-evaluated through the engine's
+/// SIMD lane kernels (one `eval_into` sweep per piece instead of a
+/// segment lookup per sample). Evaluation points and accumulation order
+/// match the scalar formulation exactly.
+fn simpson_sq_err(engine: &CompiledPwl, f: &dyn Activation, lo: f64, hi: f64) -> f64 {
     let h = (hi - lo) / SIMPSON_STEPS as f64;
-    let mut acc = g(lo) + g(hi);
+    let mut xs = [0.0; SIMPSON_STEPS + 1];
+    for (k, x) in xs.iter_mut().enumerate() {
+        *x = lo + k as f64 * h;
+    }
+    xs[SIMPSON_STEPS] = hi;
+    let mut ys = [0.0; SIMPSON_STEPS + 1];
+    engine.eval_into(&xs, &mut ys);
+    let sq = |k: usize| {
+        let e = ys[k] - f.eval(xs[k]);
+        e * e
+    };
+    let mut acc = sq(0) + sq(SIMPSON_STEPS);
     for k in 1..SIMPSON_STEPS {
         let w = if k % 2 == 1 { 4.0 } else { 2.0 };
-        acc += w * g(lo + k as f64 * h);
+        acc += w * sq(k);
     }
     acc * h / 3.0
 }
@@ -80,14 +95,7 @@ pub fn integral_mse_compiled(
 ) -> f64 {
     let mut total = 0.0;
     for (lo, hi) in pieces(pwl, a, b) {
-        total += simpson(
-            |x| {
-                let e = engine.eval_one(x) - f.eval(x);
-                e * e
-            },
-            lo,
-            hi,
-        );
+        total += simpson_sq_err(engine, f, lo, hi);
     }
     total / (b - a)
 }
@@ -103,14 +111,7 @@ pub fn piece_sse(pwl: &PwlFunction, f: &dyn Activation, lo: f64, hi: f64) -> f64
 /// sweep evaluates every segment of one function, so it compiles once.
 pub fn piece_sse_compiled(engine: &CompiledPwl, f: &dyn Activation, lo: f64, hi: f64) -> f64 {
     assert!(lo < hi, "empty piece");
-    simpson(
-        |x| {
-            let e = engine.eval_one(x) - f.eval(x);
-            e * e
-        },
-        lo,
-        hi,
-    )
+    simpson_sq_err(engine, f, lo, hi)
 }
 
 /// Maximum absolute error over `[a, b]` (the paper's MAE axis in
@@ -131,14 +132,21 @@ pub fn max_abs_error_compiled(
     let err = |x: f64| (engine.eval_one(x) - f.eval(x)).abs();
     let mut best_x = a;
     let mut best = err(a);
+    let mut xs = [0.0; SCAN_STEPS + 1];
+    let mut ys = [0.0; SCAN_STEPS + 1];
     for (lo, hi) in pieces(pwl, a, b) {
+        // The PWL side of the dense scan runs through the batch engine;
+        // the candidate points are identical to the scalar formulation.
         let h = (hi - lo) / SCAN_STEPS as f64;
+        for (k, x) in xs.iter_mut().enumerate() {
+            *x = lo + k as f64 * h;
+        }
+        engine.eval_into(&xs, &mut ys);
         for k in 0..=SCAN_STEPS {
-            let x = lo + k as f64 * h;
-            let e = err(x);
+            let e = (ys[k] - f.eval(xs[k])).abs();
             if e > best {
                 best = e;
-                best_x = x;
+                best_x = xs[k];
             }
         }
     }
@@ -172,14 +180,23 @@ pub fn integral_aae_compiled(
     a: f64,
     b: f64,
 ) -> f64 {
+    const STEPS: usize = 4 * SCAN_STEPS;
+    let mut xs = vec![0.0; STEPS + 1];
+    let mut ys = vec![0.0; STEPS + 1];
     let mut total = 0.0;
     for (lo, hi) in pieces(pwl, a, b) {
-        let steps = 4 * SCAN_STEPS;
-        let h = (hi - lo) / steps as f64;
-        let err = |x: f64| (engine.eval_one(x) - f.eval(x)).abs();
-        let mut acc = 0.5 * (err(lo) + err(hi));
-        for k in 1..steps {
-            acc += err(lo + k as f64 * h);
+        // Trapezoid sampling with the PWL side batch-evaluated; the
+        // sample points and accumulation order match the scalar form.
+        let h = (hi - lo) / STEPS as f64;
+        for (k, x) in xs.iter_mut().enumerate() {
+            *x = lo + k as f64 * h;
+        }
+        xs[STEPS] = hi;
+        engine.eval_into(&xs, &mut ys);
+        let err = |k: usize| (ys[k] - f.eval(xs[k])).abs();
+        let mut acc = 0.5 * (err(0) + err(STEPS));
+        for k in 1..STEPS {
+            acc += err(k);
         }
         total += acc * h;
     }
@@ -208,9 +225,12 @@ pub fn sampled_mse(pwl: &PwlFunction, f: &dyn Activation, xs: &[f64]) -> f64 {
 /// optimizer's inner loops use to amortize compilation across calls.
 pub fn sampled_mse_compiled(engine: &CompiledPwl, f: &dyn Activation, xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "empty sample grid");
+    // One widened sweep for the PWL side; the exact activation is the
+    // remaining per-sample cost.
+    let ys = engine.eval_batch(xs);
     let mut acc = 0.0;
-    for &x in xs {
-        let e = engine.eval_one(x) - f.eval(x);
+    for (&x, &y) in xs.iter().zip(&ys) {
+        let e = y - f.eval(x);
         acc += e * e;
     }
     acc / xs.len() as f64

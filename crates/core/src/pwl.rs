@@ -179,8 +179,23 @@ impl PwlFunction {
     }
 
     /// Lowers the function into the batch-evaluation engine's SoA form
-    /// (see [`crate::engine`]). Evaluation through the compiled form is
-    /// bit-identical to [`eval`](Self::eval).
+    /// (see [`crate::engine`]). Evaluation through the compiled form runs
+    /// the SIMD lane kernels and is bit-identical to [`eval`](Self::eval).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexsfu_core::{PwlEvaluator, PwlFunction};
+    ///
+    /// let pwl = PwlFunction::new(vec![-1.0, 0.0, 1.0], vec![0.0, 1.0, 0.0], 0.0, 0.0)?;
+    /// let engine = pwl.compile(); // pay the O(n) lowering once…
+    /// let xs = [-1.5, -0.25, 0.5, 2.0, f64::NAN];
+    /// let ys = engine.eval_batch(&xs); // …amortize it over every batch
+    /// for (&x, &y) in xs.iter().zip(&ys) {
+    ///     assert_eq!(y.to_bits(), pwl.eval(x).to_bits()); // bit-identical
+    /// }
+    /// # Ok::<(), flexsfu_core::PwlError>(())
+    /// ```
     pub fn compile(&self) -> crate::engine::CompiledPwl {
         crate::engine::CompiledPwl::from_pwl(self)
     }

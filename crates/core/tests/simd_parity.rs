@@ -1,0 +1,211 @@
+//! Regression tests pinning the SIMD lane kernels to the scalar
+//! reference: `eval_into` (lane-packed since PR 2) must be **bit-identical**
+//! to `PwlFunction::eval` — and to the PR-1 batch path `eval_into_ref` —
+//! across NaN, ±∞, inputs exactly on breakpoints, and slices whose length
+//! is not a multiple of any lane width, on every kernel (linear-scan,
+//! bucket, search fallback).
+
+use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
+
+/// Segment counts that exercise every kernel: ≤ 8 segments take the
+/// linear-scan path, larger tables the bucket path, and the clustered
+/// function (built separately) the search fallback.
+const SEGMENT_COUNTS: [usize; 6] = [3, 8, 9, 16, 64, 65];
+
+/// A non-uniform PWL with `segments` segments: breakpoints concentrate
+/// near the middle like real optimized activations, values oscillate.
+fn pwl_with_segments(segments: usize) -> PwlFunction {
+    let n = segments - 1;
+    let ps: Vec<f64> = (0..n)
+        .map(|i| {
+            let u = i as f64 / (n - 1) as f64 * 2.0 - 1.0; // -1..1
+            8.0 * u * u * u.signum().abs() * u.abs().sqrt().max(0.05) * u.signum()
+        })
+        .collect();
+    // Ensure strictly increasing (the square+sqrt shaping is monotone,
+    // but guard against rounding collisions).
+    let mut ps = ps;
+    ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ps.dedup();
+    for i in 1..ps.len() {
+        if ps[i] <= ps[i - 1] {
+            ps[i] = ps[i - 1] + 1e-9;
+        }
+    }
+    let vs: Vec<f64> = ps.iter().map(|p| (p * 1.3).sin() * 2.0).collect();
+    PwlFunction::new(ps, vs, 0.37, -0.61).unwrap()
+}
+
+/// A function whose breakpoints are pathologically clustered, driving the
+/// bucket window past its cap so `eval_into` routes to the search
+/// fallback kernel.
+fn clustered_pwl() -> PwlFunction {
+    let mut ps: Vec<f64> = (0..30).map(|i| i as f64 * 1e-8).collect();
+    ps.insert(0, -500.0);
+    ps.push(500.0);
+    let vs: Vec<f64> = ps.iter().map(|p| (p * 0.01).cos()).collect();
+    PwlFunction::new(ps, vs, 0.5, -0.25).unwrap()
+}
+
+/// The adversarial input set: far outside both boundaries, dense interior
+/// coverage, every breakpoint exactly, each breakpoint ± 1 ulp, ±∞, ±0,
+/// and NaN — in shuffled order so lane groups mix categories.
+fn adversarial_inputs(pwl: &PwlFunction) -> Vec<f64> {
+    let (lo, hi) = (pwl.breakpoints()[0], *pwl.breakpoints().last().unwrap());
+    let span = (hi - lo).max(1.0);
+    let mut xs = Vec::new();
+    for k in 0..257 {
+        xs.push(lo - span + 3.0 * span * k as f64 / 256.0);
+    }
+    for &p in pwl.breakpoints() {
+        xs.push(p);
+        xs.push(f64::from_bits(p.to_bits() + 1));
+        xs.push(f64::from_bits(p.to_bits().wrapping_sub(1)));
+    }
+    xs.extend([
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        1e300,
+        -1e300,
+    ]);
+    // Deterministic shuffle so special values land in different lane
+    // positions across the batch.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for i in (1..xs.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        xs.swap(i, (state as usize) % (i + 1));
+    }
+    xs
+}
+
+fn assert_bitwise_parity(pwl: &PwlFunction, xs: &[f64], label: &str) {
+    let engine = CompiledPwl::from_pwl(pwl);
+    let mut simd = vec![0.0; xs.len()];
+    let mut reference = vec![0.0; xs.len()];
+    engine.eval_into(xs, &mut simd);
+    engine.eval_into_ref(xs, &mut reference);
+    for (i, &x) in xs.iter().enumerate() {
+        let want = pwl.eval(x).to_bits();
+        assert_eq!(
+            simd[i].to_bits(),
+            want,
+            "{label}: eval_into vs scalar at x = {x:?} (index {i})"
+        );
+        assert_eq!(
+            reference[i].to_bits(),
+            want,
+            "{label}: eval_into_ref vs scalar at x = {x:?} (index {i})"
+        );
+    }
+}
+
+#[test]
+fn simd_matches_scalar_on_adversarial_inputs_every_kernel() {
+    for segments in SEGMENT_COUNTS {
+        let pwl = pwl_with_segments(segments);
+        let xs = adversarial_inputs(&pwl);
+        assert_bitwise_parity(&pwl, &xs, &format!("{segments} segments"));
+    }
+    let pwl = clustered_pwl();
+    let xs = adversarial_inputs(&pwl);
+    assert_bitwise_parity(&pwl, &xs, "clustered fallback");
+}
+
+#[test]
+fn remainder_lengths_are_bit_identical() {
+    // Every slice length from 0 to just past two lane blocks, at an
+    // unaligned offset, for both the linear and bucket kernels: the lane
+    // main loop, its tail, and the lengths shorter than one lane group
+    // must all agree with scalar eval.
+    for segments in [8usize, 64] {
+        let pwl = pwl_with_segments(segments);
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let xs = adversarial_inputs(&pwl);
+        for len in 0..=67 {
+            for offset in [0usize, 1, 3] {
+                let slice = &xs[offset..offset + len];
+                let mut out = vec![0.0; len];
+                engine.eval_into(slice, &mut out);
+                for (&x, &y) in slice.iter().zip(&out) {
+                    assert_eq!(
+                        y.to_bits(),
+                        pwl.eval(x).to_bits(),
+                        "{segments} segments, len {len}, offset {offset}, x = {x:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eval_and_segments_matches_eval_into_and_segments_into() {
+    for segments in SEGMENT_COUNTS {
+        let pwl = pwl_with_segments(segments);
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let xs = adversarial_inputs(&pwl);
+        let mut ys = vec![0.0; xs.len()];
+        let mut segs = vec![0u32; xs.len()];
+        engine.eval_and_segments_into(&xs, &mut ys, &mut segs);
+        let want_ys = engine.eval_batch(&xs);
+        let mut want_segs = vec![0u32; xs.len()];
+        engine.segments_into(&xs, &mut want_segs);
+        for i in 0..xs.len() {
+            assert_eq!(
+                ys[i].to_bits(),
+                want_ys[i].to_bits(),
+                "{segments} segments: value at x = {:?}",
+                xs[i]
+            );
+            assert_eq!(
+                segs[i], want_segs[i],
+                "{segments} segments: segment at x = {:?}",
+                xs[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn infinities_follow_the_outer_segments() {
+    let pwl = pwl_with_segments(16);
+    let engine = CompiledPwl::from_pwl(&pwl);
+    let mut out = [0.0; 2];
+    engine.eval_into(&[f64::NEG_INFINITY, f64::INFINITY], &mut out);
+    assert_eq!(out[0].to_bits(), pwl.eval(f64::NEG_INFINITY).to_bits());
+    assert_eq!(out[1].to_bits(), pwl.eval(f64::INFINITY).to_bits());
+    // With nonzero outer slopes the values are themselves infinite.
+    assert!(out[0].is_infinite() && out[1].is_infinite());
+}
+
+#[test]
+fn nan_lanes_propagate_without_contaminating_neighbours() {
+    for segments in [8usize, 64] {
+        let pwl = pwl_with_segments(segments);
+        let engine = CompiledPwl::from_pwl(&pwl);
+        // A full lane block with NaN in every lane position once.
+        for nan_at in 0..33 {
+            let mut xs: Vec<f64> = (0..33).map(|i| i as f64 * 0.3 - 5.0).collect();
+            xs[nan_at] = f64::NAN;
+            let ys = engine.eval_batch(&xs);
+            for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                if i == nan_at {
+                    assert!(y.is_nan(), "{segments} segments: NaN lost at {i}");
+                } else {
+                    assert_eq!(
+                        y.to_bits(),
+                        pwl.eval(x).to_bits(),
+                        "{segments} segments: neighbour {i} contaminated (nan at {nan_at})"
+                    );
+                }
+            }
+        }
+    }
+}

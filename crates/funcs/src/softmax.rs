@@ -55,6 +55,40 @@ pub fn softmax_with<F: Fn(f64) -> f64>(xs: &[f64], exp_fn: F) -> Vec<f64> {
     out
 }
 
+/// Batch variant of [`softmax_with`]: `exp_into` receives the whole
+/// max-shifted row at once and fills `out` with its exponentials.
+///
+/// This is the hook batch evaluators use to exponentiate a row in one
+/// sweep instead of a call per element — the evaluation engine passes
+/// `|shifted, out| engine.eval_into(shifted, out)` so the PWL `exp`
+/// runs through its SIMD lane kernels. The closure may post-process
+/// `out` (e.g. clamp small negative PWL artifacts to zero); the
+/// normalization invariants stay in one place here.
+///
+/// # Panics
+///
+/// Same conditions as [`softmax_with`]: empty or NaN input, or a
+/// non-positive/non-finite normalization sum.
+pub fn softmax_with_batch<F: FnOnce(&[f64], &mut [f64])>(xs: &[f64], exp_into: F) -> Vec<f64> {
+    assert!(!xs.is_empty(), "softmax of an empty slice");
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, |a, b| {
+        assert!(!b.is_nan(), "softmax input contains NaN");
+        a.max(b)
+    });
+    let shifted: Vec<f64> = xs.iter().map(|&x| x - max).collect();
+    let mut out = vec![0.0; xs.len()];
+    exp_into(&shifted, &mut out);
+    let sum: f64 = out.iter().sum();
+    assert!(
+        sum > 0.0 && sum.is_finite(),
+        "softmax normalization sum must be positive and finite, got {sum}"
+    );
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
 /// In-place variant of [`softmax`].
 ///
 /// # Panics
@@ -118,6 +152,26 @@ mod tests {
         let mut got = xs;
         softmax_in_place(&mut got);
         assert_eq!(got.to_vec(), want);
+    }
+
+    #[test]
+    fn batch_variant_is_bit_identical_to_scalar_variant() {
+        let xs = [0.5, -2.0, 3.0, 0.0, -7.5];
+        let scalar = softmax_with(&xs, f64::exp);
+        let batch = softmax_with_batch(&xs, |shifted, out| {
+            for (&t, o) in shifted.iter().zip(out.iter_mut()) {
+                *o = t.exp();
+            }
+        });
+        for (a, b) in scalar.iter().zip(&batch) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn batch_variant_rejects_empty_input() {
+        softmax_with_batch(&[], |_, _| {});
     }
 
     #[test]

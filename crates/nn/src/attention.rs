@@ -190,7 +190,18 @@ impl SelfAttention {
     fn softmax_row(&self, row: &[f64], train: bool) -> Vec<f64> {
         match (&self.exp_compiled, train) {
             (Some(engine), false) => {
-                flexsfu_funcs::softmax::softmax_with(row, |t| engine.eval_one(t).max(0.0))
+                // The batch analogue of `softmax_with(row, |t|
+                // engine.eval_one(t).max(0.0))`: one widened `eval_into`
+                // sweep through the SIMD lane kernels for the PWL exp,
+                // then the same clamp — identical operations in the same
+                // order, so the probabilities match the scalar path.
+                use flexsfu_core::PwlEvaluator;
+                flexsfu_funcs::softmax::softmax_with_batch(row, |shifted, out| {
+                    engine.eval_into(shifted, out);
+                    for o in out.iter_mut() {
+                        *o = o.max(0.0);
+                    }
+                })
             }
             _ => flexsfu_funcs::softmax::softmax(row),
         }

@@ -1,6 +1,6 @@
 //! Pure LUT approximation (one constant output per interval).
 //!
-//! The LUT-based family the paper describes in Section II ([12]–[15]):
+//! The LUT-based family the paper describes in Section II (\[12\]–\[15\]):
 //! the input range is divided into uniform intervals and each interval maps
 //! to one pre-computed output. Accuracy scales only linearly with the LUT
 //! depth — the motivation for the hybrid (coefficient-storing) approach.

@@ -4,8 +4,8 @@
 //!   `flexsfu_core::init`) plus a stronger *least-squares-valued* variant
 //!   that keeps the uniform grid but fits the values optimally;
 //! * [`lut`] — the pure LUT family (one constant output per interval), the
-//!   architecture of [12]–[15] in the paper;
-//! * [`reference`] — the published error figures of the prior PWL works in
+//!   architecture of \[12\]–\[15\] in the paper;
+//! * [`mod@reference`] — the published error figures of the prior PWL works in
 //!   Table II, embedded as constants for the comparison harness.
 
 pub mod lut;

@@ -5,7 +5,7 @@
 //! count. Those published numbers are embedded here so the Table II
 //! harness can regenerate the comparison. Most prior works report average
 //! absolute error (AAE), which the paper squares (`sq-AAE`) to be
-//! comparable with MSE; two rows ([12]) are already MSE.
+//! comparable with MSE; two rows (\[12\]) are already MSE.
 
 /// Which error metric a reference row reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -131,11 +131,12 @@ impl SampledProblem {
     /// ties of `spec` (tied sides: value gradient folded into the
     /// breakpoint via the chain rule, slope gradient zeroed).
     ///
-    /// The hot loop is batch-first: the function is compiled once, every
-    /// sample is classified in one [`CompiledPwl::segments_into`] sweep
-    /// (the scalar path used to pay a binary search twice per sample —
-    /// once for the value, once for the region), and the gradient
-    /// accumulation reuses the segment index for both.
+    /// The hot loop is batch-first: the function is compiled once, and a
+    /// single widened [`CompiledPwl::eval_and_segments_into`] sweep
+    /// produces every sample's value *and* segment index through the SIMD
+    /// lane kernels (the scalar path used to pay a binary search twice
+    /// per sample — once for the value, once for the region); the
+    /// gradient accumulation then reuses both.
     pub fn loss_and_grad(&self, pwl: &PwlFunction, spec: &BoundarySpec) -> (f64, Gradient) {
         let n = pwl.num_breakpoints();
         let p = pwl.breakpoints();
@@ -148,13 +149,14 @@ impl SampledProblem {
         let mut loss = 0.0;
 
         let engine = pwl.compile();
+        let mut ys = vec![0.0; self.xs.len()];
         let mut segs = vec![0u32; self.xs.len()];
-        engine.segments_into(&self.xs, &mut segs);
+        engine.eval_and_segments_into(&self.xs, &mut ys, &mut segs);
 
         let inv_m = 1.0 / self.xs.len() as f64;
-        for ((&x, &t), &seg) in self.xs.iter().zip(&self.targets).zip(&segs) {
+        for (((&x, &t), &y), &seg) in self.xs.iter().zip(&self.targets).zip(&ys).zip(&segs) {
             let s = seg as usize;
-            let e = engine.eval_at_segment(x, s) - t;
+            let e = y - t;
             loss += e * e;
             // d(e²)/dθ = 2e · df̂/dθ ; fold the 1/M and 2 at the end.
             // Table order: segment 0 = left outer, n = right outer,

@@ -3,9 +3,20 @@
 //! watch the top-1 accuracy recover — the per-model version of the
 //! paper's Table III.
 //!
+//! Demonstrates the substitution protocol exactly as the paper applies
+//! it: the 3-class spiral MLP is trained with the *exact* SiLU, then at
+//! inference each `ActivationLayer` batch-evaluates an optimized
+//! [`flexsfu::core::PwlFunction`] through the compiled engine instead —
+//! no retraining — at 4, 8, 16, 32 and 64 breakpoints.
+//!
 //! ```sh
 //! cargo run --release --example accuracy_substitution
 //! ```
+//!
+//! Expected output: a baseline top-1 in the 90 %+ range, then one table
+//! row per breakpoint count showing the substituted top-1 and its drop
+//! in percentage points — large at 4 breakpoints, collapsing toward
+//! zero by 32–64, matching the paper's Table III shape.
 
 use flexsfu::funcs::by_name;
 use flexsfu::nn::train::{accuracy, train, TrainConfig};

@@ -1,9 +1,24 @@
-//! Quickstart: fit a non-uniform PWL approximation of GELU, compare it
-//! with the uniform baseline, and run it through the hardware model.
+//! Quickstart: the full Flex-SFU pipeline in one file.
+//!
+//! Demonstrates, in order: (1) fitting a non-uniform 15-breakpoint PWL
+//! approximation of GELU with the Adam optimizer and comparing its
+//! integral MSE against the uniform baseline, (2) compiling the result
+//! into the batch-evaluation engine and evaluating a 1M-element unsorted
+//! tensor through the SIMD lane kernels — asserting bit-identity with the
+//! scalar path and printing the measured speedup — plus the threaded
+//! `ParallelPwl` front-end, and (3) programming the cycle-level FP16
+//! hardware model straight from the compiled coefficients and executing
+//! a tensor on it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Expected output: the optimized MSE beats uniform by roughly 30–60×
+//! (~200 Adam steps); the batch engine reports a several-× speedup over
+//! the scalar loop with "outputs bit-identical"; the hardware section
+//! prints per-input `f(x)` values within FP16 error of exact GELU and a
+//! cycle count of `load + fill + stream` form.
 
 use flexsfu::core::init::uniform_pwl;
 use flexsfu::core::loss::integral_mse;

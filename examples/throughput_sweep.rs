@@ -1,9 +1,20 @@
 //! Hardware timing: how throughput scales with element width, LTC depth,
 //! cluster count and tensor size — the machinery behind Figure 4.
 //!
+//! Demonstrates the cycle-level model's analytic side with no tensor
+//! data: pipeline latency per LTC depth (Table I), a cycle breakdown of
+//! a 1024-element FP16 run (`ld.bp + ld.cf + fill + stream`), GAct/s
+//! throughput versus element width (8/16/32-bit) and cluster count, and
+//! the area/power model calibrated on the paper's 28 nm place-and-route.
+//!
 //! ```sh
 //! cargo run --release --example throughput_sweep
 //! ```
+//!
+//! Expected output: latency grows logarithmically with depth (e.g. depth
+//! 64 ≈ 9 cycles); throughput roughly doubles per halving of element
+//! width and scales near-linearly with `Nc`; area/power grow with depth
+//! while 8-bit peak efficiency stays in the hundreds of GAct/s/W.
 
 use flexsfu::formats::{DataFormat, FloatFormat};
 use flexsfu::hw::pipeline::{execution_cycles, throughput_gact_s};

@@ -147,7 +147,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact count or a
+    /// Element-count specification for [`vec()`]: an exact count or a
     /// half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
