@@ -966,6 +966,49 @@ impl CompiledPwl {
         }
     }
 
+    /// Evaluates the packed input `xs` and scatters the results into the
+    /// non-contiguous output slices `outs`, in order: the first
+    /// `outs[0].len()` results land in `outs[0]`, the next `outs[1].len()`
+    /// in `outs[1]`, and so on. Zero-length output slices are permitted
+    /// and consume nothing.
+    ///
+    /// This is the serving front-end's entry point: a batcher coalesces
+    /// many small request tensors into one contiguous buffer so the lane
+    /// kernels run at full width, then the results must land back in the
+    /// per-request buffers. Evaluation proceeds through the same chunked
+    /// SIMD kernels as [`PwlEvaluator::eval_into`] on the *packed* buffer
+    /// — lane groups span job boundaries, so a flush of many tiny jobs
+    /// does not degenerate to remainder handling — and only the copy-out
+    /// is per-job. Results are bit-identical to evaluating the packed
+    /// buffer contiguously (and therefore to scalar
+    /// [`PwlFunction::eval`] per element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output lengths do not sum to `xs.len()`.
+    pub fn eval_scatter_into(&self, xs: &[f64], outs: &mut [&mut [f64]]) {
+        let total: usize = outs.iter().map(|o| o.len()).sum();
+        assert_eq!(xs.len(), total, "output slices must partition the input");
+        let mut scratch = vec![0.0; xs.len().min(CHUNK)];
+        let mut job = 0usize; // output slice currently being filled
+        let mut filled = 0usize; // elements of outs[job] already written
+        for xc in xs.chunks(CHUNK) {
+            let sc = &mut scratch[..xc.len()];
+            self.eval_chunk(xc, sc);
+            let mut off = 0;
+            while off < sc.len() {
+                while outs[job].len() == filled {
+                    job += 1;
+                    filled = 0;
+                }
+                let take = (outs[job].len() - filled).min(sc.len() - off);
+                outs[job][filled..filled + take].copy_from_slice(&sc[off..off + take]);
+                filled += take;
+                off += take;
+            }
+        }
+    }
+
     /// Evaluates every sample *and* records its table-order segment index
     /// in one widened sweep — the entry point for consumers that need
     /// both, like the optimizer's gradient kernel (value for the residual,
@@ -1065,6 +1108,57 @@ impl ParallelPwl {
     /// Configured thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The threaded counterpart of [`CompiledPwl::eval_scatter_into`]:
+    /// evaluates the packed input and scatters results into the
+    /// non-contiguous output slices, fanning work out over threads for
+    /// large flushes. The output list is split into contiguous *runs* of
+    /// roughly equal element counts at job boundaries (a single job is
+    /// never split across threads), so each thread runs the serial
+    /// scatter kernel on an independent `(input subrange, output run)`
+    /// pair — results are identical to the serial path regardless of
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output lengths do not sum to `xs.len()`.
+    pub fn eval_scatter_into(&self, xs: &[f64], outs: &mut [&mut [f64]]) {
+        let total: usize = outs.iter().map(|o| o.len()).sum();
+        assert_eq!(xs.len(), total, "output slices must partition the input");
+        if self.threads == 1 || total < PARALLEL_MIN_ELEMENTS {
+            return self.inner.eval_scatter_into(xs, outs);
+        }
+        let per = total.div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            let mut rest = outs;
+            let mut off = 0usize;
+            let mut runs_left = self.threads;
+            while !rest.is_empty() {
+                // Greedily take whole jobs up to ~`per` elements; an
+                // oversized job becomes a run of its own. The final
+                // allowed run absorbs everything left, so no more than
+                // `threads` runs (and threads) are ever created.
+                let mut take_elems = 0usize;
+                let mut k = 0usize;
+                if runs_left == 1 {
+                    k = rest.len();
+                    take_elems = total - off;
+                } else {
+                    while k < rest.len() && (k == 0 || take_elems + rest[k].len() <= per) {
+                        take_elems += rest[k].len();
+                        k += 1;
+                    }
+                }
+                runs_left -= 1;
+                let run;
+                (run, rest) = rest.split_at_mut(k);
+                let xc = &xs[off..off + take_elems];
+                off += take_elems;
+                let engine = &self.inner;
+                scope.spawn(move || engine.eval_scatter_into(xc, run));
+            }
+        });
     }
 }
 
@@ -1218,6 +1312,93 @@ mod tests {
         for x in dense_grid(-3.0, 4.0, 1001) {
             assert_eq!(c.eval_one(x).to_bits(), pwl.eval(x).to_bits(), "at {x}");
         }
+    }
+
+    #[test]
+    fn scatter_matches_contiguous_eval() {
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        let xs = dense_grid(-6.0, 6.0, 10_000);
+        let want = c.eval_batch(&xs);
+        // Irregular job sizes, including empty jobs at the edges and in
+        // the middle.
+        let sizes = [0usize, 7, 1, 0, 4096, 513, 0, 31, 5352, 0];
+        assert_eq!(sizes.iter().sum::<usize>(), xs.len());
+        let mut bufs: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![0.0; n]).collect();
+        let mut views: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        c.eval_scatter_into(&xs, &mut views);
+        let flat: Vec<f64> = bufs.concat();
+        for (i, (&w, &got)) in want.iter().zip(&flat).enumerate() {
+            assert_eq!(got.to_bits(), w.to_bits(), "scatter mismatch at {i}");
+        }
+        // The threaded front-end produces the same bits above and below
+        // its parallel threshold.
+        let par = ParallelPwl::with_threads(c, 4);
+        let mut bufs2: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![0.0; n]).collect();
+        let mut views2: Vec<&mut [f64]> = bufs2.iter_mut().map(|b| b.as_mut_slice()).collect();
+        par.eval_scatter_into(&xs, &mut views2);
+        assert_eq!(bufs, bufs2);
+    }
+
+    #[test]
+    fn scatter_parallel_splits_at_job_boundaries() {
+        // Above PARALLEL_MIN_ELEMENTS so the threaded path engages, with
+        // one oversized job that must become a run of its own.
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        let n = PARALLEL_MIN_ELEMENTS * 2;
+        let xs = dense_grid(-6.0, 6.0, n);
+        let want = c.eval_batch(&xs);
+        let big = n - 1000;
+        let sizes = [300usize, big, 0, 700];
+        let mut bufs: Vec<Vec<f64>> = sizes.iter().map(|&s| vec![0.0; s]).collect();
+        let mut views: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        ParallelPwl::with_threads(c, 4).eval_scatter_into(&xs, &mut views);
+        let flat: Vec<f64> = bufs.concat();
+        for (i, (&w, &got)) in want.iter().zip(&flat).enumerate() {
+            assert_eq!(got.to_bits(), w.to_bits(), "parallel scatter at {i}");
+        }
+    }
+
+    #[test]
+    fn scatter_parallel_caps_runs_at_thread_count() {
+        // 7 jobs, each just over half the per-thread share: the greedy
+        // splitter would otherwise make 7 single-job runs on a 4-thread
+        // engine; the cap folds the tail into the final run. Results
+        // must be unchanged.
+        let pwl = sample_pwl();
+        let c = CompiledPwl::from_pwl(&pwl);
+        let job = (PARALLEL_MIN_ELEMENTS * 2).div_ceil(7) + 1;
+        let n = job * 7;
+        let xs = dense_grid(-6.0, 6.0, n);
+        let want = c.eval_batch(&xs);
+        let mut bufs: Vec<Vec<f64>> = (0..7).map(|_| vec![0.0; job]).collect();
+        let mut views: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        ParallelPwl::with_threads(c, 4).eval_scatter_into(&xs, &mut views);
+        let flat: Vec<f64> = bufs.concat();
+        for (i, (&w, &got)) in want.iter().zip(&flat).enumerate() {
+            assert_eq!(got.to_bits(), w.to_bits(), "capped-run scatter at {i}");
+        }
+    }
+
+    #[test]
+    fn scatter_accepts_empty_input_and_outputs() {
+        let c = CompiledPwl::from_pwl(&sample_pwl());
+        let mut views: Vec<&mut [f64]> = Vec::new();
+        c.eval_scatter_into(&[], &mut views);
+        let mut a: Vec<f64> = Vec::new();
+        let mut b: Vec<f64> = Vec::new();
+        let mut views = [a.as_mut_slice(), b.as_mut_slice()];
+        c.eval_scatter_into(&[], &mut views);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the input")]
+    fn scatter_rejects_mismatched_totals() {
+        let c = CompiledPwl::from_pwl(&sample_pwl());
+        let mut buf = [0.0; 2];
+        let mut views = [buf.as_mut_slice()];
+        c.eval_scatter_into(&[0.0; 3], &mut views);
     }
 
     #[test]

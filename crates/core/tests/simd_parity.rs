@@ -174,6 +174,80 @@ fn eval_and_segments_matches_eval_into_and_segments_into() {
 }
 
 #[test]
+fn eval_scatter_into_matches_scalar_at_every_remainder_length() {
+    // The serving front-end's entry point: packed evaluation scattered
+    // into non-contiguous job slices. Job boundaries are deliberately
+    // unaligned with every lane width (jobs start wherever the previous
+    // job ended), and every job length 0..=67 appears — the same
+    // remainder sweep `eval_into` is held to — so the scatter path
+    // inherits the 0.0-margin oracle.
+    for segments in [8usize, 64] {
+        let pwl = pwl_with_segments(segments);
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let base = adversarial_inputs(&pwl);
+        // One job per length 0..=67, interleaved with odd offsets so no
+        // boundary is lane-aligned; inputs cycle the adversarial set.
+        let lens: Vec<usize> = (0..=67).flat_map(|l| [l, 1, 0, 3]).collect();
+        let total: usize = lens.iter().sum();
+        let xs: Vec<f64> = (0..total).map(|i| base[i % base.len()]).collect();
+        let mut bufs: Vec<Vec<f64>> = lens.iter().map(|&l| vec![0.0; l]).collect();
+        let mut views: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        engine.eval_scatter_into(&xs, &mut views);
+        let mut cursor = 0usize;
+        for (j, buf) in bufs.iter().enumerate() {
+            for (k, &y) in buf.iter().enumerate() {
+                let x = xs[cursor + k];
+                assert_eq!(
+                    y.to_bits(),
+                    pwl.eval(x).to_bits(),
+                    "{segments} segments, job {j} (len {}), element {k}, x = {x:?}",
+                    buf.len()
+                );
+            }
+            cursor += buf.len();
+        }
+    }
+}
+
+#[test]
+fn eval_scatter_into_is_bit_identical_to_contiguous_eval_into() {
+    // Scatter must equal evaluating the packed buffer in one piece —
+    // the stronger form of the oracle, covering the search-fallback
+    // kernel too.
+    for pwl in [pwl_with_segments(9), pwl_with_segments(65), clustered_pwl()] {
+        let engine = CompiledPwl::from_pwl(&pwl);
+        let xs = adversarial_inputs(&pwl);
+        let mut contiguous = vec![0.0; xs.len()];
+        engine.eval_into(&xs, &mut contiguous);
+        // Pseudo-random split of the same inputs into jobs.
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut lens = Vec::new();
+        let mut remaining = xs.len();
+        while remaining > 0 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let l = ((state >> 11) as usize % 97).min(remaining);
+            lens.push(l);
+            remaining -= l;
+        }
+        lens.push(0); // trailing empty job
+        let mut bufs: Vec<Vec<f64>> = lens.iter().map(|&l| vec![0.0; l]).collect();
+        let mut views: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        engine.eval_scatter_into(&xs, &mut views);
+        let flat: Vec<f64> = bufs.concat();
+        for (i, (&got, &want)) in flat.iter().zip(&contiguous).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "scatter vs contiguous at {i} (x = {:?})",
+                xs[i]
+            );
+        }
+    }
+}
+
+#[test]
 fn infinities_follow_the_outer_segments() {
     let pwl = pwl_with_segments(16);
     let engine = CompiledPwl::from_pwl(&pwl);

@@ -17,6 +17,10 @@
 //! * [`Tensor`] — a flat-storage n-d array with the few ops DNNs need,
 //! * [`layers`] — `Dense`, `Conv2d`, `MaxPool2`, `Flatten` and
 //!   [`layers::ActivationLayer`] with full backprop,
+//! * [`serving`] — [`serving::AsyncActivationLayer`], the same
+//!   substitution protocol but with inference routed through a shared
+//!   `flexsfu-serve` batching server instead of a layer-owned engine
+//!   (cargo feature `serving`, on by default),
 //! * [`Sequential`] — model container with forward/backward and
 //!   activation substitution,
 //! * [`train`] — SGD-with-momentum training on softmax cross-entropy,
@@ -42,6 +46,8 @@ pub mod attention;
 pub mod data;
 pub mod layers;
 pub mod model;
+#[cfg(feature = "serving")]
+pub mod serving;
 pub mod tensor;
 pub mod train;
 pub mod zoo;

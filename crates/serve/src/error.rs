@@ -1,0 +1,37 @@
+//! The serving front-end's error type.
+
+use crate::registry::FunctionId;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong between submitting a job and receiving
+/// its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The function id was never registered with the server's registry.
+    UnknownFunction(FunctionId),
+    /// The server is shutting down (or has shut down); new jobs are
+    /// rejected. Jobs accepted *before* shutdown are still drained and
+    /// completed.
+    ShuttingDown,
+    /// [`crate::ServeHandle::try_submit`] found the bounded queue full.
+    /// The blocking [`crate::ServeHandle::submit`] waits for space
+    /// instead of returning this.
+    QueueFull,
+    /// The result channel was dropped without a value — only possible if
+    /// an evaluation worker panicked.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownFunction(id) => write!(f, "function {id:?} is not registered"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::QueueFull => write!(f, "submission queue is full"),
+            Self::Disconnected => write!(f, "result channel disconnected (worker panicked)"),
+        }
+    }
+}
+
+impl Error for ServeError {}

@@ -1,0 +1,183 @@
+//! The shared function registry: compiled engines by id, hot-swappable.
+//!
+//! Every serving job names its function by [`FunctionId`]. The registry
+//! maps ids to [`ParallelPwl`] engines behind an `RwLock`, and the
+//! batcher snapshots an engine `Arc` once per flush unit — so
+//! [`FunctionRegistry::publish`]ing a recompiled table takes effect
+//! atomically at the next flush, without stopping traffic, and a flush
+//! already in progress keeps evaluating against the table it started
+//! with. One flush unit therefore never mixes coefficient tables.
+
+use flexsfu_core::{CompiledPwl, ParallelPwl, PwlFunction};
+use std::sync::{Arc, RwLock};
+
+/// An opaque handle naming a registered function. Ids are dense (the
+/// `n`-th registration gets id `n`) and never invalidated — publishing a
+/// new table reuses the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunctionId(pub u32);
+
+struct Entry {
+    name: String,
+    engine: Arc<ParallelPwl>,
+}
+
+/// A concurrently readable, hot-swappable table of compiled engines.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::init::uniform_pwl;
+/// use flexsfu_funcs::Gelu;
+/// use flexsfu_serve::FunctionRegistry;
+///
+/// let registry = FunctionRegistry::new();
+/// let gelu = registry.register("gelu", &uniform_pwl(&Gelu, 16, (-8.0, 8.0)));
+/// assert_eq!(registry.id_of("gelu"), Some(gelu));
+/// let y = registry.engine(gelu).unwrap().engine().eval_one(0.5);
+/// assert!(y.is_finite());
+/// ```
+#[derive(Default)]
+pub struct FunctionRegistry {
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `pwl` and registers it under `name`, returning its id.
+    /// Registering while a server is running is allowed; jobs may name
+    /// the new id as soon as this returns.
+    pub fn register(&self, name: impl Into<String>, pwl: &PwlFunction) -> FunctionId {
+        self.register_compiled(name, CompiledPwl::from_pwl(pwl))
+    }
+
+    /// Registers an already compiled engine under `name`.
+    pub fn register_compiled(&self, name: impl Into<String>, engine: CompiledPwl) -> FunctionId {
+        let mut entries = self.entries.write().unwrap();
+        let id = FunctionId(entries.len() as u32);
+        entries.push(Entry {
+            name: name.into(),
+            engine: Arc::new(ParallelPwl::new(engine)),
+        });
+        id
+    }
+
+    /// Hot-swaps the engine behind `id` — the serving-side half of an
+    /// `optimize()` run: recompile off-line, publish here, and traffic
+    /// picks the new coefficients up at its next flush. Returns the
+    /// engine that was replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::UnknownFunction`] if `id` was never
+    /// registered.
+    pub fn publish(
+        &self,
+        id: FunctionId,
+        engine: CompiledPwl,
+    ) -> Result<Arc<ParallelPwl>, crate::ServeError> {
+        let mut entries = self.entries.write().unwrap();
+        let entry = entries
+            .get_mut(id.0 as usize)
+            .ok_or(crate::ServeError::UnknownFunction(id))?;
+        Ok(std::mem::replace(
+            &mut entry.engine,
+            Arc::new(ParallelPwl::new(engine)),
+        ))
+    }
+
+    /// The current engine for `id`, or `None` if unregistered. The
+    /// returned `Arc` stays valid (and unchanged) across later
+    /// [`Self::publish`] calls — snapshot semantics.
+    pub fn engine(&self, id: FunctionId) -> Option<Arc<ParallelPwl>> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| Arc::clone(&e.engine))
+    }
+
+    /// Whether `id` is registered — the submission hot path's validation
+    /// (one read lock, no `Arc` refcount traffic; the engine snapshot
+    /// itself is taken later, at flush time).
+    pub fn contains(&self, id: FunctionId) -> bool {
+        (id.0 as usize) < self.entries.read().unwrap().len()
+    }
+
+    /// Looks an id up by registration name (first match).
+    pub fn id_of(&self, name: &str) -> Option<FunctionId> {
+        self.entries
+            .read()
+            .unwrap()
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| FunctionId(i as u32))
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_core::init::uniform_pwl;
+    use flexsfu_core::PwlEvaluator;
+    use flexsfu_funcs::{Gelu, Tanh};
+
+    #[test]
+    fn register_and_lookup() {
+        let r = FunctionRegistry::new();
+        assert!(r.is_empty());
+        let a = r.register("gelu", &uniform_pwl(&Gelu, 8, (-8.0, 8.0)));
+        let b = r.register("tanh", &uniform_pwl(&Tanh, 8, (-8.0, 8.0)));
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.id_of("tanh"), Some(b));
+        assert_eq!(r.id_of("nope"), None);
+        assert!(r.engine(b).is_some());
+        assert!(r.engine(FunctionId(99)).is_none());
+        assert!(r.contains(a) && r.contains(b));
+        assert!(!r.contains(FunctionId(99)));
+    }
+
+    #[test]
+    fn publish_swaps_atomically_and_snapshots_persist() {
+        let r = FunctionRegistry::new();
+        let gelu = uniform_pwl(&Gelu, 8, (-8.0, 8.0));
+        let tanh = uniform_pwl(&Tanh, 8, (-8.0, 8.0));
+        let id = r.register("f", &gelu);
+        let old_snapshot = r.engine(id).unwrap();
+        let replaced = r.publish(id, CompiledPwl::from_pwl(&tanh)).unwrap();
+        // The replaced engine is the snapshot we took.
+        assert!(Arc::ptr_eq(&old_snapshot, &replaced));
+        // The snapshot still evaluates the old table; the registry serves
+        // the new one.
+        let x = 0.37;
+        assert_eq!(old_snapshot.eval_one(x).to_bits(), gelu.eval(x).to_bits());
+        let fresh = r.engine(id).unwrap();
+        assert_eq!(fresh.eval_one(x).to_bits(), tanh.eval(x).to_bits());
+    }
+
+    #[test]
+    fn publish_unknown_id_errors() {
+        let r = FunctionRegistry::new();
+        let gelu = uniform_pwl(&Gelu, 8, (-8.0, 8.0));
+        let err = r.publish(FunctionId(0), CompiledPwl::from_pwl(&gelu));
+        assert!(matches!(
+            err,
+            Err(crate::ServeError::UnknownFunction(FunctionId(0)))
+        ));
+    }
+}

@@ -1,0 +1,409 @@
+//! The server: a batcher thread coalescing jobs into per-function packed
+//! buffers, a small pool of evaluation workers, and the cloneable
+//! [`ServeHandle`] callers submit through.
+//!
+//! # Lifecycle
+//!
+//! [`PwlServer::start`] spawns one **batcher** thread and
+//! `eval_workers` **worker** threads. Submitted jobs land in a bounded
+//! queue (backpressure: [`ServeHandle::submit`] blocks while the queue
+//! holds `queue_elements` pending elements; [`ServeHandle::try_submit`]
+//! returns [`ServeError::QueueFull`] instead). The batcher drains the
+//! queue whenever the pending element count reaches `flush_elements` *or*
+//! the oldest pending job has waited `flush_interval`, plans the flush
+//! with [`FlushPlan`], packs one contiguous buffer per function, snapshots
+//! each function's engine from the registry, and hands the units to the
+//! workers. Workers evaluate through
+//! [`flexsfu_core::ParallelPwl::eval_scatter_into`] and complete each
+//! job's oneshot channel with its result slice.
+//!
+//! [`PwlServer::shutdown`] (also run on drop) stops admissions, drains
+//! every already-accepted job through a final flush, and joins all
+//! threads — in-flight work is never discarded.
+
+use crate::error::ServeError;
+use crate::oneshot;
+use crate::plan::FlushPlan;
+use crate::registry::{FunctionId, FunctionRegistry};
+use flexsfu_core::ParallelPwl;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`PwlServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush as soon as this many elements are pending (the size
+    /// threshold). Sized so a flush saturates the SIMD kernels without
+    /// blowing the L2 working set.
+    pub flush_elements: usize,
+    /// Flush the queue when its oldest job has waited this long (the
+    /// deadline tick) — bounds tail latency under light traffic.
+    pub flush_interval: Duration,
+    /// Backpressure bound: the queue admits at most this many pending
+    /// *elements* (a job larger than the whole bound is admitted alone
+    /// into an empty queue, so oversized tensors cannot deadlock).
+    pub queue_elements: usize,
+    /// Evaluation worker threads. More than one lets a flush of function
+    /// A evaluate while function B's next flush is being packed.
+    pub eval_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            flush_elements: 32_768,
+            flush_interval: Duration::from_micros(500),
+            queue_elements: 131_072,
+            eval_workers: 2,
+        }
+    }
+}
+
+/// One pending job: the tensor, its target function, and the channel the
+/// result goes back over.
+struct Job {
+    func: FunctionId,
+    data: Vec<f64>,
+    tx: oneshot::Sender<Vec<f64>>,
+}
+
+/// One function's packed share of a flush, ready for a worker.
+struct FlushUnit {
+    engine: Arc<ParallelPwl>,
+    xs: Vec<f64>,
+    /// `(element count, result channel)` in packed order.
+    jobs: Vec<(usize, oneshot::Sender<Vec<f64>>)>,
+}
+
+/// Queue state behind the mutex.
+struct QueueState {
+    jobs: Vec<Job>,
+    queued_elems: usize,
+    /// Arrival time of the oldest pending job — the deadline anchor.
+    oldest: Option<Instant>,
+    shutdown: bool,
+}
+
+/// The mutex/condvar trio the handle and batcher share.
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signalled on submit and shutdown; the batcher waits here.
+    job_ready: Condvar,
+    /// Signalled on flush and shutdown; blocked submitters wait here.
+    space: Condvar,
+}
+
+/// A running serving front-end. Dropping it shuts down gracefully.
+pub struct PwlServer {
+    shared: Arc<Shared>,
+    registry: Arc<FunctionRegistry>,
+    queue_elements: usize,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable submission handle. Handles stay valid after shutdown —
+/// submissions then fail with [`ServeError::ShuttingDown`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    registry: Arc<FunctionRegistry>,
+    queue_elements: usize,
+}
+
+/// A pending result: block on [`JobTicket::wait`] or `.await` it from
+/// any executor (the oneshot receiver stores the task's waker).
+pub struct JobTicket {
+    rx: oneshot::Receiver<Vec<f64>>,
+}
+
+impl JobTicket {
+    /// Blocks until the job's results arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Disconnected`] if the server dropped the
+    /// job's result channel without completing it (only possible if an
+    /// evaluation worker panicked).
+    pub fn wait(self) -> Result<Vec<f64>, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+impl std::future::Future for JobTicket {
+    type Output = Result<Vec<f64>, ServeError>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.get_mut().rx)
+            .poll(cx)
+            .map(|r| r.map_err(|_| ServeError::Disconnected))
+    }
+}
+
+impl PwlServer {
+    /// Spawns the batcher and worker threads over `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.flush_elements`, `config.queue_elements` or
+    /// `config.eval_workers` is zero.
+    pub fn start(registry: Arc<FunctionRegistry>, config: ServeConfig) -> Self {
+        assert!(config.flush_elements > 0, "flush_elements must be nonzero");
+        assert!(config.queue_elements > 0, "queue_elements must be nonzero");
+        assert!(config.eval_workers > 0, "need at least one eval worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: Vec::new(),
+                queued_elems: 0,
+                oldest: None,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space: Condvar::new(),
+        });
+
+        let (unit_tx, unit_rx) = mpsc::channel::<FlushUnit>();
+        let unit_rx = Arc::new(Mutex::new(unit_rx));
+        let workers = (0..config.eval_workers)
+            .map(|i| {
+                let rx = Arc::clone(&unit_rx);
+                std::thread::Builder::new()
+                    .name(format!("flexsfu-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            let registry = Arc::clone(&registry);
+            let cfg = config.clone();
+            std::thread::Builder::new()
+                .name("flexsfu-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared, &registry, &cfg, &unit_tx))
+                .expect("spawn batcher thread")
+        };
+
+        Self {
+            shared,
+            registry,
+            queue_elements: config.queue_elements,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// A new submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+            registry: Arc::clone(&self.registry),
+            queue_elements: self.queue_elements,
+        }
+    }
+
+    /// The registry this server evaluates through — [`publish`] to it to
+    /// hot-swap coefficient tables without stopping traffic.
+    ///
+    /// [`publish`]: FunctionRegistry::publish
+    pub fn registry(&self) -> &Arc<FunctionRegistry> {
+        &self.registry
+    }
+
+    /// Graceful shutdown: stops admitting jobs, drains and completes
+    /// everything already accepted, then joins all threads. Equivalent to
+    /// dropping the server, but explicit at call sites that care.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space.notify_all();
+        if let Some(b) = self.batcher.take() {
+            // The batcher drains the queue into the workers' channel and
+            // drops its sender, which ends the worker loops.
+            b.join().expect("batcher thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for PwlServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl ServeHandle {
+    /// Submits `(func, data)` for evaluation, blocking while the queue is
+    /// over its element bound, and returns the ticket the results arrive
+    /// on. Zero-length tensors are legal and complete with an empty
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownFunction`] if `func` was never registered,
+    /// [`ServeError::ShuttingDown`] if the server stopped admitting jobs
+    /// (including while blocked waiting for space).
+    pub fn submit(&self, func: FunctionId, data: Vec<f64>) -> Result<JobTicket, ServeError> {
+        self.submit_inner(func, data, true)
+    }
+
+    /// Non-blocking [`Self::submit`]: a full queue returns
+    /// [`ServeError::QueueFull`] instead of waiting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`], plus [`ServeError::QueueFull`].
+    pub fn try_submit(&self, func: FunctionId, data: Vec<f64>) -> Result<JobTicket, ServeError> {
+        self.submit_inner(func, data, false)
+    }
+
+    /// The registry this handle's server evaluates through.
+    pub fn registry(&self) -> &Arc<FunctionRegistry> {
+        &self.registry
+    }
+
+    fn submit_inner(
+        &self,
+        func: FunctionId,
+        data: Vec<f64>,
+        block: bool,
+    ) -> Result<JobTicket, ServeError> {
+        if !self.registry.contains(func) {
+            return Err(ServeError::UnknownFunction(func));
+        }
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            // Admit when within the bound — or into an empty queue, so a
+            // single job larger than the whole bound cannot wedge.
+            if q.queued_elems == 0 || q.queued_elems + data.len() <= self.queue_elements {
+                break;
+            }
+            if !block {
+                return Err(ServeError::QueueFull);
+            }
+            q = self.shared.space.wait(q).unwrap();
+        }
+        let (tx, rx) = oneshot::channel();
+        if q.jobs.is_empty() {
+            q.oldest = Some(Instant::now());
+        }
+        q.queued_elems += data.len();
+        q.jobs.push(Job { func, data, tx });
+        drop(q);
+        self.shared.job_ready.notify_one();
+        Ok(JobTicket { rx })
+    }
+}
+
+/// The batcher: waits for the size threshold or the deadline tick,
+/// drains the queue, plans/packs per-function units, and feeds the
+/// workers. Returns (dropping the unit sender, which ends the workers)
+/// once shutdown is set and the queue is fully drained.
+fn batcher_loop(
+    shared: &Shared,
+    registry: &FunctionRegistry,
+    cfg: &ServeConfig,
+    unit_tx: &mpsc::Sender<FlushUnit>,
+) {
+    let mut q = shared.queue.lock().unwrap();
+    loop {
+        if q.shutdown && q.jobs.is_empty() {
+            return;
+        }
+        let due = q
+            .oldest
+            .is_some_and(|t| t.elapsed() >= cfg.flush_interval && !q.jobs.is_empty());
+        if q.shutdown || q.queued_elems >= cfg.flush_elements || due {
+            let drained = std::mem::take(&mut q.jobs);
+            q.queued_elems = 0;
+            q.oldest = None;
+            drop(q);
+            shared.space.notify_all();
+            if !drained.is_empty() {
+                dispatch_flush(drained, registry, unit_tx);
+            }
+            q = shared.queue.lock().unwrap();
+            continue;
+        }
+        q = match q.oldest {
+            // Sleep exactly until the oldest job's deadline (spurious
+            // wakeups and early submits just re-evaluate the conditions).
+            Some(t) => {
+                let remaining = cfg.flush_interval.saturating_sub(t.elapsed());
+                shared.job_ready.wait_timeout(q, remaining).unwrap().0
+            }
+            None => shared.job_ready.wait(q).unwrap(),
+        };
+    }
+}
+
+/// Plans a drained batch, packs one contiguous buffer per function, and
+/// snapshots each function's current engine for the unit — a
+/// concurrently published table applies from the next flush on, and no
+/// unit ever mixes tables.
+fn dispatch_flush(
+    drained: Vec<Job>,
+    registry: &FunctionRegistry,
+    unit_tx: &mpsc::Sender<FlushUnit>,
+) {
+    let shapes: Vec<(FunctionId, usize)> = drained.iter().map(|j| (j.func, j.data.len())).collect();
+    let plan = FlushPlan::build(&shapes);
+    let mut slots: Vec<Option<Job>> = drained.into_iter().map(Some).collect();
+    for group in plan.groups {
+        let Some(engine) = registry.engine(group.func) else {
+            // Unreachable in practice — submit validates ids and the
+            // registry never unregisters. Dropping the senders fails the
+            // jobs with `Disconnected` rather than poisoning the server.
+            debug_assert!(false, "function {:?} vanished from registry", group.func);
+            continue;
+        };
+        let mut xs = vec![0.0; group.total];
+        let mut jobs = Vec::with_capacity(group.spans.len());
+        for span in &group.spans {
+            let job = slots[span.job].take().expect("span bijection");
+            xs[span.offset..span.offset + span.len].copy_from_slice(&job.data);
+            jobs.push((span.len, job.tx));
+        }
+        // Workers gone (panicked) — nothing to do; senders drop and the
+        // submitters observe `Disconnected`.
+        if unit_tx.send(FlushUnit { engine, xs, jobs }).is_err() {
+            return;
+        }
+    }
+}
+
+/// An evaluation worker: scatter-evaluates each unit's packed buffer
+/// straight into per-job result buffers and completes the oneshots.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
+    loop {
+        // Hold the channel lock only for the dequeue, not the evaluation.
+        let unit = match rx.lock().unwrap().recv() {
+            Ok(u) => u,
+            Err(_) => return, // batcher gone: shutdown complete
+        };
+        let mut outs: Vec<Vec<f64>> = unit.jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
+        {
+            let mut views: Vec<&mut [f64]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            unit.engine.eval_scatter_into(&unit.xs, &mut views);
+        }
+        for ((_, tx), out) in unit.jobs.into_iter().zip(outs) {
+            // A dropped ticket is fine — the caller stopped caring.
+            tx.send(out);
+        }
+    }
+}

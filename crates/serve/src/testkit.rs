@@ -1,0 +1,92 @@
+//! Test-support utilities for serving suites — **not** part of the
+//! serving API.
+//!
+//! Every test that drives a live [`crate::PwlServer`] should run under
+//! [`with_watchdog`] so a scheduling bug fails with a diagnostic instead
+//! of hanging the suite; this module keeps that helper (and the no-op
+//! waker used to hand-poll tickets) in one place for this crate's own
+//! suites and for downstream crates' serving tests, instead of drifting
+//! copies.
+
+use std::sync::mpsc;
+use std::task::{RawWaker, RawWakerVTable, Waker};
+use std::time::Duration;
+
+/// Runs `f` on a helper thread and panics if it exceeds `secs` — a
+/// deadlock detector for tests. Panics from `f` propagate. (On timeout
+/// the wedged thread leaks, but the process is about to die with a
+/// diagnostic anyway.)
+///
+/// # Panics
+///
+/// Panics with `name` in the message when the watchdog fires, and
+/// re-panics whatever `f` panicked with otherwise.
+pub fn with_watchdog<F: FnOnce() + Send + 'static>(secs: u64, name: &str, f: F) {
+    let (tx, rx) = mpsc::channel();
+    let t = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => t.join().expect("test body panicked"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => t.join().expect("test body panicked"),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{name}: suspected deadlock — exceeded {secs}s watchdog")
+        }
+    }
+}
+
+/// A deterministic uniform request tensor on the engines' default
+/// fitting range `[-8, 8)` — the shared workload generator for serving
+/// benches and examples, so their input distributions cannot drift
+/// apart.
+pub fn request_tensor(seed: u64, len: usize) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 16.0 - 8.0
+        })
+        .collect()
+}
+
+/// A waker that does nothing — good enough to drive `Future::poll` by
+/// hand in tests (paired with a sleep-or-spin loop).
+pub fn noop_waker() -> Waker {
+    fn clone(_: *const ()) -> RawWaker {
+        RawWaker::new(std::ptr::null(), &VTABLE)
+    }
+    fn noop(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+    // SAFETY: every vtable entry is a no-op over a null pointer.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_passes_fast_bodies_through() {
+        with_watchdog(30, "trivial", || assert_eq!(1 + 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn watchdog_fires_on_a_wedged_body() {
+        with_watchdog(1, "wedged", || {
+            std::thread::sleep(Duration::from_secs(3600));
+        });
+    }
+
+    #[test]
+    fn noop_waker_is_callable() {
+        let w = noop_waker();
+        let w2 = w.clone();
+        w2.wake();
+        w.wake_by_ref();
+        w.wake();
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the batcher's coalescing math ([`FlushPlan`]).
+//!
+//! The plan is a pure function of the job shapes, so these tests get to
+//! state the batching invariants directly: for arbitrary job sequences
+//! the spans of each group partition that group's packed buffer exactly,
+//! scatter-back is a bijection on jobs, groups never mix functions (and
+//! therefore never mix coefficient tables), and pack → scatter is the
+//! identity on every job's payload.
+
+use flexsfu_serve::{FlushPlan, FunctionId};
+use proptest::prelude::*;
+
+/// Decodes one sampled word into a job shape: a function id out of a
+/// small pool (forcing collisions, so grouping actually groups) and a
+/// length in 0..120 with a bias toward 0 and tiny tensors.
+fn decode(word: u64) -> (FunctionId, usize) {
+    let func = FunctionId((word % 5) as u32);
+    let len = match (word >> 3) % 4 {
+        0 => 0,
+        1 => ((word >> 8) % 4) as usize,
+        _ => ((word >> 8) % 120) as usize,
+    };
+    (func, len)
+}
+
+proptest! {
+    /// Within every group: offsets start at 0, ascend contiguously
+    /// (offset + len = next offset), and end at the group total — the
+    /// spans tile the packed buffer exactly, with no gap or overlap.
+    #[test]
+    fn spans_partition_each_packed_buffer(words in proptest::collection::vec(0u64..u64::MAX, 0..48)) {
+        let jobs: Vec<_> = words.iter().map(|&w| decode(w)).collect();
+        let plan = FlushPlan::build(&jobs);
+        for group in &plan.groups {
+            let mut cursor = 0usize;
+            for span in &group.spans {
+                prop_assert_eq!(span.offset, cursor, "gap or overlap in packed buffer");
+                cursor += span.len;
+            }
+            prop_assert_eq!(cursor, group.total, "group total must equal the span sum");
+        }
+        prop_assert_eq!(
+            plan.total_elements(),
+            jobs.iter().map(|j| j.1).sum::<usize>()
+        );
+    }
+
+    /// Scatter-back is a bijection: every submitted job appears in
+    /// exactly one group exactly once, with its length preserved and its
+    /// group keyed by its own function.
+    #[test]
+    fn scatter_back_is_a_bijection_on_jobs(words in proptest::collection::vec(0u64..u64::MAX, 0..48)) {
+        let jobs: Vec<_> = words.iter().map(|&w| decode(w)).collect();
+        let plan = FlushPlan::build(&jobs);
+        prop_assert_eq!(plan.total_jobs(), jobs.len());
+        let mut seen = vec![false; jobs.len()];
+        for group in &plan.groups {
+            for span in &group.spans {
+                prop_assert!(span.job < jobs.len(), "span names a job that does not exist");
+                prop_assert!(!seen[span.job], "job appears in two spans");
+                seen[span.job] = true;
+                let (func, len) = jobs[span.job];
+                prop_assert_eq!(span.len, len, "span length differs from the job's");
+                prop_assert_eq!(group.func, func, "group mixes functions");
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a job was dropped from the plan");
+    }
+
+    /// Groups are keyed uniquely (one group per function, ordered by
+    /// first appearance) and jobs within a group keep submission order —
+    /// per-function FIFO.
+    #[test]
+    fn grouping_is_unique_and_fifo(words in proptest::collection::vec(0u64..u64::MAX, 0..48)) {
+        let jobs: Vec<_> = words.iter().map(|&w| decode(w)).collect();
+        let plan = FlushPlan::build(&jobs);
+        let mut seen_funcs = Vec::new();
+        for group in &plan.groups {
+            prop_assert!(
+                !seen_funcs.contains(&group.func),
+                "two groups share a function"
+            );
+            seen_funcs.push(group.func);
+            for pair in group.spans.windows(2) {
+                prop_assert!(pair[0].job < pair[1].job, "FIFO order broken within group");
+            }
+        }
+        // Groups appear in order of their function's first job.
+        let first_appearance: Vec<FunctionId> = {
+            let mut order = Vec::new();
+            for &(f, _) in &jobs {
+                if !order.contains(&f) {
+                    order.push(f);
+                }
+            }
+            order
+        };
+        prop_assert_eq!(seen_funcs, first_appearance);
+    }
+
+    /// Pack → scatter is the identity on payloads: simulating the
+    /// batcher's copy-in and the worker's copy-out through the plan
+    /// returns every job's own bytes.
+    #[test]
+    fn pack_then_scatter_roundtrips_payloads(words in proptest::collection::vec(0u64..u64::MAX, 0..48)) {
+        let jobs: Vec<_> = words.iter().map(|&w| decode(w)).collect();
+        // Give every job a recognizable payload: element k of job j is
+        // j + k/1000.
+        let payloads: Vec<Vec<f64>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(j, &(_, len))| (0..len).map(|k| j as f64 + k as f64 * 1e-3).collect())
+            .collect();
+        let plan = FlushPlan::build(&jobs);
+        for group in &plan.groups {
+            // Pack.
+            let mut packed = vec![f64::NAN; group.total];
+            for span in &group.spans {
+                packed[span.offset..span.offset + span.len].copy_from_slice(&payloads[span.job]);
+            }
+            prop_assert!(
+                packed.iter().all(|v| !v.is_nan()),
+                "packed buffer has holes"
+            );
+            // Scatter back.
+            for span in &group.spans {
+                let slice = &packed[span.offset..span.offset + span.len];
+                prop_assert_eq!(slice, payloads[span.job].as_slice(), "payload corrupted");
+            }
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Concurrency stress battery for the serving front-end.
+//!
+//! This is the first layer of the workspace where correctness depends on
+//! scheduling, so every test runs under a watchdog: a deadlock fails
+//! with a named panic instead of hanging the suite. Schedules are driven
+//! with barriers (all clients release at once) and configs chosen to
+//! force the races of interest — flush-deadline vs size-threshold,
+//! shutdown vs queued work, publish vs in-flight flush.
+
+use flexsfu_core::init::uniform_pwl;
+use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
+use flexsfu_funcs::{Gelu, Sigmoid, Tanh};
+use flexsfu_serve::testkit::with_watchdog;
+use flexsfu_serve::{FunctionRegistry, PwlServer, ServeConfig, ServeError};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+/// A deterministic xorshift stream for sizes/values.
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Three functions covering all three engine kernels: linear-scan
+/// (≤ 8 segments), bucket (deep table), search fallback (clustered).
+fn test_functions() -> Vec<PwlFunction> {
+    let shallow = uniform_pwl(&Gelu, 7, (-8.0, 8.0));
+    let deep = uniform_pwl(&Tanh, 63, (-8.0, 8.0));
+    let clustered = {
+        let mut ps: Vec<f64> = (0..30).map(|i| i as f64 * 1e-8).collect();
+        ps.insert(0, -500.0);
+        ps.push(500.0);
+        let vs: Vec<f64> = ps.iter().map(|p| (p * 0.01).cos()).collect();
+        PwlFunction::new(ps, vs, 0.5, -0.25).unwrap()
+    };
+    vec![shallow, deep, clustered]
+}
+
+/// A request tensor mixing interior points, boundary-exact values and
+/// the occasional NaN, sized `len`.
+fn request_tensor(next: &mut impl FnMut() -> u64, pwl: &PwlFunction, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|_| {
+            let r = next();
+            match r % 37 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => pwl.breakpoints()[(r >> 8) as usize % pwl.breakpoints().len()],
+                _ => ((r >> 11) as f64 / (1u64 << 53) as f64) * 24.0 - 12.0,
+            }
+        })
+        .collect()
+}
+
+/// Bitwise comparison helper (NaN-tolerant: NaN bits must equal).
+fn assert_bits_eq(got: &[f64], want: &[f64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: element {i}");
+    }
+}
+
+/// The headline stress: 8 client threads × 3 functions × random tensor
+/// sizes (including 0-length), tiny flush threshold *and* tiny deadline
+/// so both flush causes race, results bit-identical to direct
+/// `CompiledPwl::eval_batch`.
+#[test]
+fn concurrent_results_bit_identical_to_direct_eval() {
+    with_watchdog(
+        60,
+        "concurrent_results_bit_identical_to_direct_eval",
+        || {
+            const CLIENTS: usize = 8;
+            const REQUESTS: usize = 40;
+            let functions = test_functions();
+            let engines: Vec<CompiledPwl> = functions.iter().map(CompiledPwl::from_pwl).collect();
+            let registry = Arc::new(FunctionRegistry::new());
+            let ids: Vec<_> = functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| registry.register(format!("f{i}"), f))
+                .collect();
+            let server = PwlServer::start(
+                Arc::clone(&registry),
+                ServeConfig {
+                    flush_elements: 700,
+                    flush_interval: Duration::from_micros(200),
+                    queue_elements: 4_000,
+                    eval_workers: 2,
+                },
+            );
+            let barrier = Arc::new(Barrier::new(CLIENTS));
+            thread::scope(|scope| {
+                for client in 0..CLIENTS {
+                    let handle = server.handle();
+                    let barrier = Arc::clone(&barrier);
+                    let functions = &functions;
+                    let engines = &engines;
+                    let ids = &ids;
+                    scope.spawn(move || {
+                        let mut next = rng(client as u64 + 1);
+                        barrier.wait();
+                        for req in 0..REQUESTS {
+                            let which = (next() as usize) % functions.len();
+                            // Sizes sweep 0..~600 and force 0-length often.
+                            let len = match next() % 5 {
+                                0 => 0,
+                                1 => (next() as usize) % 9,
+                                _ => (next() as usize) % 600,
+                            };
+                            let data = request_tensor(&mut next, &functions[which], len);
+                            let want = engines[which].eval_batch(&data);
+                            let ticket = handle
+                                .submit(ids[which], data)
+                                .expect("submit during steady state");
+                            let got = ticket.wait().expect("result during steady state");
+                            assert_bits_eq(&got, &want, &format!("client {client} req {req}"));
+                        }
+                    });
+                }
+            });
+            server.shutdown();
+        },
+    );
+}
+
+/// Deadline-only flushing: tensors too small to ever hit the size
+/// threshold must still complete (and bit-match), including empty ones.
+#[test]
+fn deadline_flush_serves_sparse_traffic_and_empty_tensors() {
+    with_watchdog(
+        30,
+        "deadline_flush_serves_sparse_traffic_and_empty_tensors",
+        || {
+            let functions = test_functions();
+            let engine = CompiledPwl::from_pwl(&functions[0]);
+            let registry = Arc::new(FunctionRegistry::new());
+            let id = registry.register("f", &functions[0]);
+            let server = PwlServer::start(
+                Arc::clone(&registry),
+                ServeConfig {
+                    flush_elements: usize::MAX / 2, // size threshold unreachable
+                    flush_interval: Duration::from_micros(100),
+                    queue_elements: usize::MAX / 2,
+                    eval_workers: 1,
+                },
+            );
+            let handle = server.handle();
+            let mut next = rng(99);
+            for round in 0..50 {
+                let len = if round % 3 == 0 {
+                    0
+                } else {
+                    (next() as usize) % 5
+                };
+                let data = request_tensor(&mut next, &functions[0], len);
+                let want = engine.eval_batch(&data);
+                let got = handle.submit(id, data).unwrap().wait().unwrap();
+                assert_bits_eq(&got, &want, &format!("round {round}"));
+            }
+            server.shutdown();
+        },
+    );
+}
+
+/// The flush-deadline vs size-threshold race: barrier-released bursts
+/// land exactly as the deadline of the previous trickle expires. No
+/// deadlock, nothing lost, everything bit-identical.
+#[test]
+fn threshold_and_deadline_race_loses_nothing() {
+    with_watchdog(60, "threshold_and_deadline_race_loses_nothing", || {
+        const ROUNDS: usize = 30;
+        const BURST: usize = 6;
+        let functions = test_functions();
+        let engines: Vec<CompiledPwl> = functions.iter().map(CompiledPwl::from_pwl).collect();
+        let registry = Arc::new(FunctionRegistry::new());
+        let ids: Vec<_> = functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| registry.register(format!("f{i}"), f))
+            .collect();
+        // Threshold equal to one burst's worth of elements, deadline in
+        // the same band as the inter-round gap: both causes fire.
+        let server = PwlServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                flush_elements: 64,
+                flush_interval: Duration::from_micros(50),
+                queue_elements: 1_000_000,
+                eval_workers: 2,
+            },
+        );
+        let barrier = Arc::new(Barrier::new(BURST));
+        thread::scope(|scope| {
+            for client in 0..BURST {
+                let handle = server.handle();
+                let barrier = Arc::clone(&barrier);
+                let functions = &functions;
+                let engines = &engines;
+                let ids = &ids;
+                scope.spawn(move || {
+                    let mut next = rng(0xB0057 + client as u64);
+                    for round in 0..ROUNDS {
+                        // All clients release together: a 6×(0..=21)-element
+                        // burst straddling the 64-element threshold.
+                        barrier.wait();
+                        let which = (client + round) % functions.len();
+                        let len = (next() as usize) % 22;
+                        let data = request_tensor(&mut next, &functions[which], len);
+                        let want = engines[which].eval_batch(&data);
+                        let got = handle.submit(ids[which], data).unwrap().wait().unwrap();
+                        assert_bits_eq(&got, &want, &format!("client {client} round {round}"));
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    });
+}
+
+/// Graceful shutdown with jobs still queued: every accepted job must
+/// complete (bit-identically) even though shutdown raced the flush, and
+/// submissions after shutdown must be rejected cleanly.
+#[test]
+fn shutdown_drains_queued_jobs_and_rejects_new_ones() {
+    with_watchdog(
+        30,
+        "shutdown_drains_queued_jobs_and_rejects_new_ones",
+        || {
+            let functions = test_functions();
+            let engines: Vec<CompiledPwl> = functions.iter().map(CompiledPwl::from_pwl).collect();
+            let registry = Arc::new(FunctionRegistry::new());
+            let ids: Vec<_> = functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| registry.register(format!("f{i}"), f))
+                .collect();
+            for attempt in 0..20 {
+                // Long deadline and big threshold: jobs are still queued when
+                // shutdown lands, so the drain path does the work.
+                let server = PwlServer::start(
+                    Arc::clone(&registry),
+                    ServeConfig {
+                        flush_elements: usize::MAX / 2,
+                        flush_interval: Duration::from_secs(3600),
+                        queue_elements: usize::MAX / 2,
+                        eval_workers: 2,
+                    },
+                );
+                let handle = server.handle();
+                let mut next = rng(7_000 + attempt);
+                let mut pending = Vec::new();
+                for k in 0..25 {
+                    let which = (next() as usize) % functions.len();
+                    let len = (next() as usize) % 200;
+                    let data = request_tensor(&mut next, &functions[which], len);
+                    let want = engines[which].eval_batch(&data);
+                    let ticket = handle.submit(ids[which], data).unwrap();
+                    pending.push((k, ticket, want));
+                }
+                server.shutdown();
+                for (k, ticket, want) in pending {
+                    let got = ticket
+                        .wait()
+                        .expect("job accepted before shutdown must complete");
+                    assert_bits_eq(&got, &want, &format!("attempt {attempt} job {k}"));
+                }
+                assert_eq!(
+                    handle.submit(ids[0], vec![1.0]).err(),
+                    Some(ServeError::ShuttingDown),
+                    "post-shutdown submissions must be rejected"
+                );
+            }
+        },
+    );
+}
+
+/// Backpressure: with a tiny element bound, `try_submit` reports a full
+/// queue instead of blocking, the blocking `submit` waits for space, and
+/// everything admitted still completes.
+#[test]
+fn backpressure_bounds_the_queue_without_losing_jobs() {
+    with_watchdog(
+        30,
+        "backpressure_bounds_the_queue_without_losing_jobs",
+        || {
+            let functions = test_functions();
+            let engine = CompiledPwl::from_pwl(&functions[1]);
+            let registry = Arc::new(FunctionRegistry::new());
+            let id = registry.register("deep", &functions[1]);
+            // Flushing is effectively disabled, so the queue genuinely fills.
+            let server = PwlServer::start(
+                Arc::clone(&registry),
+                ServeConfig {
+                    flush_elements: usize::MAX / 2,
+                    flush_interval: Duration::from_secs(3600),
+                    queue_elements: 100,
+                    eval_workers: 1,
+                },
+            );
+            let handle = server.handle();
+            let mut next = rng(31337);
+            let mut admitted = Vec::new();
+            let mut saw_full = false;
+            for _ in 0..100 {
+                let data = request_tensor(&mut next, &functions[1], 10);
+                let want = engine.eval_batch(&data);
+                match handle.try_submit(id, data) {
+                    Ok(t) => admitted.push((t, want)),
+                    Err(ServeError::QueueFull) => {
+                        saw_full = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            assert!(
+                saw_full,
+                "a 100-element bound must reject 10×10-element jobs"
+            );
+            assert_eq!(admitted.len(), 10, "exactly queue_elements/len jobs fit");
+            // A blocking submit parked on the full queue is released by the
+            // shutdown drain and still completes.
+            let blocked = {
+                let handle = handle.clone();
+                let data = request_tensor(&mut rng(555), &functions[1], 10);
+                let want = engine.eval_batch(&data);
+                thread::spawn(move || (handle.submit(id, data), want))
+            };
+            // Give the blocked submitter time to actually park.
+            thread::sleep(Duration::from_millis(20));
+            server.shutdown();
+            for (i, (t, want)) in admitted.into_iter().enumerate() {
+                let got = t.wait().expect("admitted job must complete");
+                assert_bits_eq(&got, &want, &format!("admitted job {i}"));
+            }
+            // The parked submit either got in before the drain (and must
+            // complete) or observed shutdown — both are clean outcomes.
+            let (result, want) = blocked.join().unwrap();
+            match result {
+                Ok(t) => assert_bits_eq(&t.wait().unwrap(), &want, "blocked submit"),
+                Err(e) => assert_eq!(e, ServeError::ShuttingDown),
+            }
+        },
+    );
+}
+
+/// Hot swap under traffic: publishing a recompiled table mid-stream
+/// never mixes tables within a response (each result bit-matches exactly
+/// one published version), and a submit *after* publish returns is
+/// guaranteed the new table.
+#[test]
+fn hot_swap_publishes_new_tables_without_stopping_traffic() {
+    with_watchdog(
+        60,
+        "hot_swap_publishes_new_tables_without_stopping_traffic",
+        || {
+            let v1 = uniform_pwl(&Gelu, 31, (-8.0, 8.0));
+            let v2 = uniform_pwl(&Sigmoid, 31, (-8.0, 8.0));
+            let e1 = CompiledPwl::from_pwl(&v1);
+            let e2 = CompiledPwl::from_pwl(&v2);
+            let registry = Arc::new(FunctionRegistry::new());
+            let id = registry.register("hot", &v1);
+            let server = PwlServer::start(
+                Arc::clone(&registry),
+                ServeConfig {
+                    flush_elements: 256,
+                    flush_interval: Duration::from_micros(100),
+                    queue_elements: 100_000,
+                    eval_workers: 2,
+                },
+            );
+            let handle = server.handle();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let (v1_ref, v2_ref) = (&v1, &v2);
+            let (e1_ref, e2_ref) = (&e1, &e2);
+            thread::scope(|scope| {
+                // Traffic threads: every response must match v1 or v2 exactly
+                // — never a blend.
+                for client in 0..4 {
+                    let handle = handle.clone();
+                    let stop = Arc::clone(&stop);
+                    let (e1, e2) = (e1_ref, e2_ref);
+                    let v1 = v1_ref;
+                    scope.spawn(move || {
+                        let mut next = rng(0x40 + client);
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            let len = 1 + (next() as usize) % 64;
+                            let data = request_tensor(&mut next, v1, len);
+                            let want1 = e1.eval_batch(&data);
+                            let want2 = e2.eval_batch(&data);
+                            let got = handle.submit(id, data).unwrap().wait().unwrap();
+                            let matches_v1 = got
+                                .iter()
+                                .zip(&want1)
+                                .all(|(g, w)| g.to_bits() == w.to_bits());
+                            let matches_v2 = got
+                                .iter()
+                                .zip(&want2)
+                                .all(|(g, w)| g.to_bits() == w.to_bits());
+                            assert!(
+                                matches_v1 || matches_v2,
+                                "client {client}: response matches neither published table \
+                             (tables mixed within one flush?)"
+                            );
+                        }
+                    });
+                }
+                // The publisher: flip between tables while traffic flows.
+                let registry = Arc::clone(&registry);
+                let stop_pub = Arc::clone(&stop);
+                scope.spawn(move || {
+                    for k in 0..40 {
+                        let next = if k % 2 == 0 { v2_ref } else { v1_ref };
+                        registry
+                            .publish(id, CompiledPwl::from_pwl(next))
+                            .expect("publish to live id");
+                        thread::sleep(Duration::from_micros(300));
+                    }
+                    stop_pub.store(true, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+            // Happens-before: publish returned, so any flush of a job
+            // submitted now snapshots the just-published (v1) table.
+            registry.publish(id, CompiledPwl::from_pwl(&v1)).unwrap();
+            let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.05 - 5.0).collect();
+            let want = e1.eval_batch(&xs);
+            let got = handle.submit(id, xs).unwrap().wait().unwrap();
+            assert_bits_eq(&got, &want, "post-publish submit sees the new table");
+            server.shutdown();
+        },
+    );
+}
+
+/// Submitting an unregistered id fails fast without touching the queue,
+/// and tickets are usable as plain `Future`s.
+#[test]
+fn unknown_function_and_future_interface() {
+    with_watchdog(30, "unknown_function_and_future_interface", || {
+        use flexsfu_serve::testkit::noop_waker;
+        use flexsfu_serve::FunctionId;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::task::{Context, Poll};
+
+        let functions = test_functions();
+        let registry = Arc::new(FunctionRegistry::new());
+        let id = registry.register("f", &functions[0]);
+        let engine = CompiledPwl::from_pwl(&functions[0]);
+        let server = PwlServer::start(Arc::clone(&registry), ServeConfig::default());
+        let handle = server.handle();
+        assert_eq!(
+            handle.submit(FunctionId(42), vec![0.0]).err(),
+            Some(ServeError::UnknownFunction(FunctionId(42)))
+        );
+
+        // Drive the ticket as a Future by hand (busy poll — the deadline
+        // flush completes it in ≤ flush_interval).
+        let xs = vec![-2.0, 0.5, f64::NAN, 3.0];
+        let want = engine.eval_batch(&xs);
+        let mut ticket = handle.submit(id, xs).unwrap();
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let got = loop {
+            match Pin::new(&mut ticket).poll(&mut cx) {
+                Poll::Ready(r) => break r.unwrap(),
+                Poll::Pending => thread::sleep(Duration::from_micros(50)),
+            }
+        };
+        assert_bits_eq(&got, &want, "future-polled ticket");
+        server.shutdown();
+    });
+}

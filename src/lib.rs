@@ -25,6 +25,10 @@
 //!   area/power; programmable straight from a [`core::CompiledPwl`],
 //! * [`nn`] — the small DNN substrate for end-to-end accuracy
 //!   experiments; activation substitution batch-evaluates whole tensors,
+//! * [`serve`] — the request-batched serving front-end: concurrent
+//!   clients submit `(function, tensor)` jobs, a batcher coalesces them
+//!   into engine-scale flushes, and recompiled tables hot-swap without
+//!   stopping traffic,
 //! * [`zoo`] — the synthetic 778-model benchmark suite,
 //! * [`perf`] — the Ascend-like end-to-end performance model.
 //!
@@ -65,4 +69,5 @@ pub use flexsfu_hw as hw;
 pub use flexsfu_nn as nn;
 pub use flexsfu_optim as optim;
 pub use flexsfu_perf as perf;
+pub use flexsfu_serve as serve;
 pub use flexsfu_zoo as zoo;
