@@ -130,18 +130,34 @@ const SPEEDUP_TARGET: f64 = 3.0;
 const SIMD_OVER_BATCH_FLOOR: f64 = 1.4;
 const SIMD_OVER_BATCH_TARGET: f64 = 1.5;
 
+/// Elements for the informational SFU-emulator pass — the emulated
+/// ADU/LTC datapath walks every element through format encode/decode,
+/// so a 1 M sweep would dominate the bench's wall clock for a number
+/// that carries no floor.
+const SFU_EMU_ELEMENTS: usize = 1 << 16;
+
 /// Prints a Melem/s summary table and checks both speedup bars at
 /// 1 M elements. Scalar/batch/simd/parallel passes are interleaved across
-/// measurement rounds so slow-host drift hits all four alike.
+/// measurement rounds so slow-host drift hits all four alike; the
+/// `sfu-emu` column is the FP16 hardware-emulation backend measured once
+/// on a {SFU_EMU_ELEMENTS}-element slice — informational only (it is an
+/// emulator, not a fast path; no floor applies).
 fn summary(_c: &mut Criterion) {
+    use flexsfu_backend::{BackendProgram, SfuBackend};
     let xs = inputs();
     let mut out = vec![0.0; xs.len()];
-    println!("\nthroughput at {N_ELEMENTS} elements (Melem/s, best of 5 interleaved rounds):");
-    println!("segments  scalar  batch  simd  parallel  simd/scalar  simd/batch");
+    println!(
+        "\nthroughput at {N_ELEMENTS} elements (Melem/s, best of 5 interleaved rounds; \
+         sfu-emu: one {SFU_EMU_ELEMENTS}-element pass, informational)"
+    );
+    println!("segments  scalar  batch  simd  parallel  sfu-emu  simd/scalar  simd/batch");
     for segments in SEGMENTS {
         let pwl = function_with_segments(segments);
         let engine = CompiledPwl::from_pwl(&pwl);
         let par = ParallelPwl::new(engine.clone());
+        let sfu = SfuBackend::fp16(segments)
+            .lower_program(&engine)
+            .expect("bench tables fit their emulator depth");
 
         let mut t_scalar = f64::INFINITY;
         let mut t_batch = f64::INFINITY;
@@ -176,15 +192,23 @@ fn summary(_c: &mut Criterion) {
         }
         black_box(out[0]);
 
+        // One informational pass through the emulated hardware datapath.
+        let start = Instant::now();
+        let emu_slice = &xs[..SFU_EMU_ELEMENTS];
+        let (emu_out, _) = sfu.eval_batch(emu_slice);
+        let t_emu = start.elapsed().as_secs_f64();
+        black_box(emu_out[0]);
+
         let melems = |t: f64| N_ELEMENTS as f64 / t / 1e6;
         let simd_vs_scalar = t_scalar / t_simd;
         let simd_vs_batch = t_batch / t_simd;
         println!(
-            "{segments:>8}  {:>6.0}  {:>5.0}  {:>4.0}  {:>8.0}  {simd_vs_scalar:>10.2}x  {simd_vs_batch:>9.2}x",
+            "{segments:>8}  {:>6.0}  {:>5.0}  {:>4.0}  {:>8.0}  {:>7.1}  {simd_vs_scalar:>10.2}x  {simd_vs_batch:>9.2}x",
             melems(t_scalar),
             melems(t_batch),
             melems(t_simd),
             melems(t_par),
+            SFU_EMU_ELEMENTS as f64 / t_emu / 1e6,
         );
         if segments == 64 {
             // Flaky-floor hygiene: on a host with a single online CPU the

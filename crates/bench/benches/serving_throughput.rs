@@ -18,8 +18,9 @@
 //!   with pipelining, like a real frontend), and drain it inside the
 //!   timed region.
 //!
-//! The table reports aggregate throughput (Melem/s) and mean per-request
-//! latency (for the batched design: submit → result observed). The ≥ 2×
+//! The table reports aggregate throughput (Melem/s) plus the
+//! per-request latency histogram — mean, p50, p95 and p99 — per client
+//! count (for the batched design: submit → result observed). The ≥ 2×
 //! batched-over-scalar/req bar at 16 clients is asserted on multi-core
 //! hosts only; with a single online CPU the whole run is informational
 //! (clients, batcher and workers all share the one core).
@@ -29,7 +30,6 @@ use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::{Gelu, Tanh};
 use flexsfu_serve::{FunctionRegistry, JobTicket, PwlServer, ServeConfig};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
@@ -56,34 +56,49 @@ fn request(seed: u64) -> Vec<f64> {
 /// Aggregate stats of one timed run.
 struct RunStats {
     elems_per_sec: f64,
-    mean_latency: Duration,
+    /// Every completed request's observed latency, sorted ascending
+    /// (sorted once at collection, so percentile reads just index).
+    latencies: Vec<Duration>,
+}
+
+impl RunStats {
+    fn mean(&self) -> Duration {
+        let nanos: u128 = self.latencies.iter().map(|d| d.as_nanos()).sum();
+        Duration::from_nanos((nanos / self.latencies.len().max(1) as u128) as u64)
+    }
+
+    /// The `q`-th latency percentile (nearest-rank on the sorted set).
+    fn percentile(&self, q: f64) -> Duration {
+        let idx = ((q / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[idx]
+    }
 }
 
 /// Runs `clients` closed-loop threads; `serve_request(client, req_index,
-/// data)` returns the request's observed latency (whatever the design
-/// defines that as — it may be measured asynchronously, so the *sum* per
-/// call is what accumulates). Returns aggregate throughput and mean
-/// latency over every request.
+/// data, completed)` pushes the observed latency of every request it
+/// *completed* during the call (zero or more — the batched design
+/// completes windowed requests late, on drain). Returns aggregate
+/// throughput and the full latency set.
 fn run_clients<F>(clients: usize, serve_request: F) -> RunStats
 where
-    F: Fn(usize, usize, Vec<f64>) -> Duration + Sync,
+    F: Fn(usize, usize, Vec<f64>, &mut Vec<Duration>) + Sync,
 {
     let barrier = Barrier::new(clients + 1);
-    let latency_nanos = AtomicU64::new(0);
+    let all_latencies = Mutex::new(Vec::new());
     let started = Mutex::new(None::<Instant>);
     std::thread::scope(|scope| {
         for c in 0..clients {
             let barrier = &barrier;
-            let latency_nanos = &latency_nanos;
+            let all_latencies = &all_latencies;
             let serve_request = &serve_request;
             scope.spawn(move || {
-                let mut local = Duration::ZERO;
+                let mut local = Vec::with_capacity(REQS_PER_CLIENT);
                 barrier.wait();
                 for r in 0..REQS_PER_CLIENT {
                     let data = request((c * REQS_PER_CLIENT + r) as u64);
-                    local += serve_request(c, r, data);
+                    serve_request(c, r, data, &mut local);
                 }
-                latency_nanos.fetch_add(local.as_nanos() as u64, Ordering::Relaxed);
+                all_latencies.lock().unwrap().extend(local);
             });
         }
         barrier.wait();
@@ -96,9 +111,12 @@ where
         .expect("set after barrier")
         .elapsed();
     let requests = clients * REQS_PER_CLIENT;
+    let mut latencies = all_latencies.into_inner().unwrap();
+    assert_eq!(latencies.len(), requests, "every request must be observed");
+    latencies.sort_unstable();
     RunStats {
         elems_per_sec: (requests * REQ_ELEMS) as f64 / elapsed.as_secs_f64(),
-        mean_latency: Duration::from_nanos(latency_nanos.load(Ordering::Relaxed) / requests as u64),
+        latencies,
     }
 }
 
@@ -114,28 +132,28 @@ fn main() {
         "serving_throughput: {REQ_ELEMS}-element requests x {REQS_PER_CLIENT}/client, \
          64-segment tables, {online} online CPU(s)"
     );
-    println!("clients  design      Melem/s  mean latency");
+    println!("clients  design      Melem/s        mean         p50         p95         p99");
 
     let mut batched_vs_scalar_at_16 = None;
     for clients in CLIENTS {
         // Request-at-a-time, scalar eval — the naive server.
-        let scalar = run_clients(clients, |_, _, data| {
+        let scalar = run_clients(clients, |_, _, data, completed| {
             let t0 = Instant::now();
             let mut out = vec![0.0; data.len()];
             for (&x, o) in data.iter().zip(out.iter_mut()) {
                 *o = gelu.eval(x);
             }
             std::hint::black_box(out);
-            t0.elapsed()
+            completed.push(t0.elapsed());
         });
 
         // Request-at-a-time through the SIMD engine.
         let per_req = {
             let engine = Arc::clone(&engine);
-            run_clients(clients, move |_, _, data| {
+            run_clients(clients, move |_, _, data, completed| {
                 let t0 = Instant::now();
                 std::hint::black_box(engine.eval_batch(&data));
-                t0.elapsed()
+                completed.push(t0.elapsed());
             })
         };
 
@@ -160,16 +178,16 @@ fn main() {
             let handle = server.handle();
             let windows: Vec<Mutex<VecDeque<(Instant, JobTicket)>>> =
                 (0..clients).map(|_| Mutex::new(VecDeque::new())).collect();
-            let wait_one = |window: &mut VecDeque<(Instant, JobTicket)>| {
+            let wait_one = |window: &mut VecDeque<(Instant, JobTicket)>,
+                            completed: &mut Vec<Duration>| {
                 let (t0, ticket) = window.pop_front().expect("window non-empty");
                 std::hint::black_box(ticket.wait().expect("serving result"));
-                t0.elapsed()
+                completed.push(t0.elapsed());
             };
-            let stats = run_clients(clients, |c, r, data| {
+            let stats = run_clients(clients, |c, r, data, completed| {
                 let mut window = windows[c].lock().unwrap();
-                let mut waited = Duration::ZERO;
                 if window.len() == WINDOW {
-                    waited += wait_one(&mut window);
+                    wait_one(&mut window, completed);
                 }
                 window.push_back((
                     Instant::now(),
@@ -179,31 +197,29 @@ fn main() {
                     // Last request: drain inside the timed region so the
                     // throughput number covers every result.
                     while !window.is_empty() {
-                        waited += wait_one(&mut window);
+                        wait_one(&mut window, completed);
                     }
                 }
-                waited
             });
             server.shutdown();
             stats
         };
 
         let m = 1e-6;
-        println!(
-            "{clients:>7}  scalar/req  {:>7.0}  {:>10.1?}",
-            scalar.elems_per_sec * m,
-            scalar.mean_latency
-        );
-        println!(
-            "{clients:>7}  engine/req  {:>7.0}  {:>10.1?}",
-            per_req.elems_per_sec * m,
-            per_req.mean_latency
-        );
-        println!(
-            "{clients:>7}  batched     {:>7.0}  {:>10.1?}",
-            batched.elems_per_sec * m,
-            batched.mean_latency
-        );
+        for (design, stats) in [
+            ("scalar/req", &scalar),
+            ("engine/req", &per_req),
+            ("batched   ", &batched),
+        ] {
+            println!(
+                "{clients:>7}  {design}  {:>7.0}  {:>10.1?}  {:>10.1?}  {:>10.1?}  {:>10.1?}",
+                stats.elems_per_sec * m,
+                stats.mean(),
+                stats.percentile(50.0),
+                stats.percentile(95.0),
+                stats.percentile(99.0),
+            );
+        }
         if clients == 16 {
             batched_vs_scalar_at_16 = Some(batched.elems_per_sec / scalar.elems_per_sec);
         }

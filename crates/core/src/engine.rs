@@ -190,6 +190,11 @@ pub struct CompiledPwl {
     /// breakpoints provably reaches every count an input mapped to that
     /// bucket can have.
     window: usize,
+    /// Construction scratch (per-bucket-edge breakpoint counts), kept so
+    /// [`CompiledPwl::refill_from_pwl`] can recompile without touching
+    /// the allocator. Fully rewritten on every (re)fill, so two engines
+    /// compiled from the same function always compare equal.
+    edge_scratch: Vec<u32>,
 }
 
 /// Windows longer than this (pathologically clustered breakpoints) fall
@@ -215,13 +220,49 @@ struct BucketLine([f64; 8]);
 impl CompiledPwl {
     /// Flattens `pwl` into the SoA form. `O(n)`; amortize it over batches.
     pub fn from_pwl(pwl: &PwlFunction) -> Self {
+        let mut engine = Self {
+            breakpoints: Vec::new(),
+            bps_padded: Vec::new(),
+            anchor_x: Vec::new(),
+            anchor_y: Vec::new(),
+            slope: Vec::new(),
+            seg_packed: Vec::new(),
+            window_pairs: Vec::new(),
+            bucket_line: Vec::new(),
+            bucket_lo: 0.0,
+            bucket_inv_w: 0.0,
+            bucket_seed: Vec::new(),
+            window: 0,
+            edge_scratch: Vec::new(),
+        };
+        engine.refill_from_pwl(pwl);
+        engine
+    }
+
+    /// Recompiles `pwl` into this engine **in place**, reusing every
+    /// internal allocation whose capacity still suffices — the amortized
+    /// form of [`CompiledPwl::from_pwl`] for callers that recompile the
+    /// same-shaped function every iteration (the optimizer recompiles
+    /// once per Adam step; at production sweep scale the per-step
+    /// `Vec` churn of a fresh compile is pure allocator traffic).
+    ///
+    /// The resulting engine is indistinguishable from
+    /// `CompiledPwl::from_pwl(pwl)`: the same construction code runs, so
+    /// evaluation stays bit-identical and the engines compare equal.
+    pub fn refill_from_pwl(&mut self, pwl: &PwlFunction) {
         let p = pwl.breakpoints();
         let v = pwl.values();
         let n = p.len();
 
-        let mut anchor_x = Vec::with_capacity(n + 1);
-        let mut anchor_y = Vec::with_capacity(n + 1);
-        let mut slope = Vec::with_capacity(n + 1);
+        self.anchor_x.clear();
+        self.anchor_y.clear();
+        self.slope.clear();
+        self.anchor_x.reserve(n + 1);
+        self.anchor_y.reserve(n + 1);
+        self.slope.reserve(n + 1);
+        let anchor_x = &mut self.anchor_x;
+        let anchor_y = &mut self.anchor_y;
+        let slope = &mut self.slope;
 
         // Left outer segment, anchored at (p₀, v₀).
         anchor_x.push(p[0]);
@@ -275,7 +316,9 @@ impl CompiledPwl {
         };
         // Exact breakpoint count below each bucket edge (edge `buckets`
         // ≡ n), in one monotone walk — edges and breakpoints both ascend.
-        let mut edge_counts = Vec::with_capacity(buckets + 1);
+        let mut edge_counts = std::mem::take(&mut self.edge_scratch);
+        edge_counts.clear();
+        edge_counts.reserve(buckets + 1);
         let mut idx = 0usize;
         for b in 0..buckets {
             let left_edge = if inv_w > 0.0 {
@@ -298,9 +341,10 @@ impl CompiledPwl {
         // Seed one bucket early; the float bucket mapping can misplace
         // an input by at most one bucket, so the seed is always a true
         // lower bound on the input's count.
-        let bucket_seed: Vec<u32> = (0..buckets)
-            .map(|b| edge_counts[b.saturating_sub(1)])
-            .collect();
+        self.bucket_seed.clear();
+        self.bucket_seed
+            .extend((0..buckets).map(|b| edge_counts[b.saturating_sub(1)]));
+        let bucket_seed = &self.bucket_seed;
         // The window must reach from any bucket's seed to one bucket
         // past its right edge (again one bucket of rounding margin).
         let window = (0..buckets)
@@ -308,13 +352,18 @@ impl CompiledPwl {
             .max()
             .unwrap_or(n as u32) as usize
             + 1;
+        self.edge_scratch = edge_counts;
 
-        let mut bps_padded = p.to_vec();
-        bps_padded.resize(n + window.max(2), f64::INFINITY);
+        self.breakpoints.clear();
+        self.breakpoints.extend_from_slice(p);
+        self.bps_padded.clear();
+        self.bps_padded.extend_from_slice(p);
+        self.bps_padded.resize(n + window.max(2), f64::INFINITY);
+        let bps_padded = &self.bps_padded;
 
-        let window_pairs: Vec<[f64; 2]> = (0..=n)
-            .map(|s| [bps_padded[s], bps_padded[s + 1]])
-            .collect();
+        self.window_pairs.clear();
+        self.window_pairs
+            .extend((0..=n).map(|s| [bps_padded[s], bps_padded[s + 1]]));
 
         // Fused per-bucket lines for the SIMD kernels. Only meaningful
         // when the one-comparison window suffices (window ≤ 2 means the
@@ -322,48 +371,39 @@ impl CompiledPwl {
         // fallback and never read this. For a seed of n (past the last
         // breakpoint) the second candidate clamps to n — bp(seed) is +∞
         // there, so the comparison never selects it.
-        let bucket_line: Vec<BucketLine> = if window <= 2 {
-            bucket_seed
-                .iter()
-                .map(|&s| {
-                    let s = s as usize;
-                    let s1 = (s + 1).min(n);
-                    BucketLine([
-                        bps_padded[s],
-                        s as f64,
-                        anchor_x[s],
-                        anchor_y[s],
-                        slope[s],
-                        anchor_x[s1],
-                        anchor_y[s1],
-                        slope[s1],
-                    ])
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        let seg_packed: Vec<[f64; 3]> = anchor_x
-            .iter()
-            .zip(anchor_y.iter().zip(&slope))
-            .map(|(&ax, (&ay, &m))| [ax, ay, m])
-            .collect();
-
-        Self {
-            breakpoints: p.to_vec(),
-            bps_padded,
-            anchor_x,
-            anchor_y,
-            slope,
-            seg_packed,
-            window_pairs,
-            bucket_line,
-            bucket_lo: lo,
-            bucket_inv_w: inv_w,
-            bucket_seed,
-            window,
+        self.bucket_line.clear();
+        if window <= 2 {
+            let (anchor_x, anchor_y, slope) = (&self.anchor_x, &self.anchor_y, &self.slope);
+            self.bucket_line.extend(self.bucket_seed.iter().map(|&s| {
+                let s = s as usize;
+                let s1 = (s + 1).min(n);
+                BucketLine([
+                    bps_padded[s],
+                    s as f64,
+                    anchor_x[s],
+                    anchor_y[s],
+                    slope[s],
+                    anchor_x[s1],
+                    anchor_y[s1],
+                    slope[s1],
+                ])
+            }));
         }
+
+        self.seg_packed.clear();
+        {
+            let (anchor_x, anchor_y, slope) = (&self.anchor_x, &self.anchor_y, &self.slope);
+            self.seg_packed.extend(
+                anchor_x
+                    .iter()
+                    .zip(anchor_y.iter().zip(slope))
+                    .map(|(&ax, (&ay, &m))| [ax, ay, m]),
+            );
+        }
+
+        self.bucket_lo = lo;
+        self.bucket_inv_w = inv_w;
+        self.window = window;
     }
 
     /// Number of breakpoints `n`.
@@ -1279,6 +1319,27 @@ mod tests {
         let mut out = [0.0; 3];
         c.eval_into(&[0.0, f64::NAN, 1.0], &mut out);
         assert!(!out[0].is_nan() && out[1].is_nan() && !out[2].is_nan());
+    }
+
+    #[test]
+    fn refill_is_indistinguishable_from_fresh_compile() {
+        // Recompile across shapes (shallow → deep → shallow): the refilled
+        // engine must compare equal to a fresh compile and evaluate
+        // bit-identically, regardless of what it previously held.
+        let shallow = sample_pwl();
+        let deep = {
+            let p: Vec<f64> = (0..33).map(|i| i as f64 * 0.37 - 6.0).collect();
+            let v: Vec<f64> = p.iter().map(|x| x.sin()).collect();
+            PwlFunction::new(p, v, 0.1, -0.2).unwrap()
+        };
+        let mut engine = CompiledPwl::from_pwl(&shallow);
+        for target in [&deep, &shallow, &deep] {
+            engine.refill_from_pwl(target);
+            assert_eq!(engine, CompiledPwl::from_pwl(target));
+            for x in dense_grid(-8.0, 8.0, 1001) {
+                assert_eq!(engine.eval_one(x).to_bits(), target.eval(x).to_bits());
+            }
+        }
     }
 
     #[test]

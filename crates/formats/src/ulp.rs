@@ -45,6 +45,28 @@ pub fn error_in_ulps(approx: f64, exact: f64, format: FloatFormat) -> f64 {
     (approx - exact).abs() / format.ulp_at(exact)
 }
 
+/// Measures the error of `approx` relative to `exact` in ULPs of the
+/// format **at a fixed reference magnitude** — the unit the paper's
+/// Figure 5 threshold lines use ("1 Float16 ULP at base 1").
+///
+/// Relative-to-exact ULP counts ([`error_in_ulps`]) explode when the
+/// exact value sits near zero (an asymptote's tail), even though the
+/// absolute error is tiny and irrelevant; error budgets for quantized
+/// datapaths are therefore declared at a base magnitude instead.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_formats::{ulp, FloatFormat};
+/// // One FP16 ULP-at-1 of absolute error counts as 1.0 regardless of
+/// // where the exact value lies.
+/// let e = ulp::error_in_ulps_at(1e-6 + ulp::F16_ULP_AT_1, 1e-6, FloatFormat::FP16, 1.0);
+/// assert!((e - 1.0).abs() < 1e-9);
+/// ```
+pub fn error_in_ulps_at(approx: f64, exact: f64, format: FloatFormat, base: f64) -> f64 {
+    (approx - exact).abs() / format.ulp_at(base)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +92,16 @@ mod tests {
         let e_small = error_in_ulps(0.25 + 1e-4, 0.25, f);
         let e_large = error_in_ulps(4.0 + 1e-4, 4.0, f);
         assert!(e_small > e_large);
+    }
+
+    #[test]
+    fn ulps_at_base_ignore_the_exact_magnitude() {
+        let f = FloatFormat::FP16;
+        let err = 3.0 * F16_ULP_AT_1;
+        for exact in [0.0, 1e-9, 0.5, 4.0] {
+            let e = error_in_ulps_at(exact + err, exact, f, 1.0);
+            assert!((e - 3.0).abs() < 1e-9, "exact {exact}: {e}");
+        }
     }
 
     #[test]

@@ -237,6 +237,22 @@ impl FlexSfu {
         format.quantize(m * x_q + q)
     }
 
+    /// Evaluates a slice through the datapath into `out` — the batch
+    /// form of [`FlexSfu::eval`], without timing (callers streaming many
+    /// flushes through one programmed unit, like the serving layer's
+    /// SFU emulation backend, account cycles per flush themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit has not been programmed or the slice lengths
+    /// differ.
+    pub fn eval_into(&mut self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), out.len(), "input/output length mismatch");
+        for (&x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.eval(x);
+        }
+    }
+
     /// Runs `exe.af()` over a tensor, returning outputs and the cycle
     /// breakdown (including the last programming cost).
     ///
@@ -381,6 +397,20 @@ mod tests {
     #[should_panic(expected = "must be programmed")]
     fn eval_before_program_panics() {
         FlexSfu::new(FlexSfuConfig::new(8, 1)).eval(0.0);
+    }
+
+    #[test]
+    fn eval_into_matches_eval_per_element() {
+        let pwl = uniform_pwl(&Gelu, 15, (-8.0, 8.0));
+        let mut sfu = FlexSfu::new(FlexSfuConfig::new(16, 1));
+        sfu.program(&pwl, DataFormat::Float(FloatFormat::FP16))
+            .unwrap();
+        let xs: Vec<f64> = (-40..=40).map(|i| i as f64 * 0.2).collect();
+        let mut out = vec![0.0; xs.len()];
+        sfu.eval_into(&xs, &mut out);
+        for (&x, &o) in xs.iter().zip(&out) {
+            assert_eq!(o.to_bits(), sfu.eval(x).to_bits(), "at {x}");
+        }
     }
 
     proptest! {

@@ -15,6 +15,12 @@
 //! Training is untouched: like the local layer, the exact activation is
 //! used for `train = true` forwards and for backprop — the paper's
 //! substitution protocol (approximate at inference only).
+//!
+//! Because the layer only holds a [`FunctionId`], it inherits whatever
+//! **backend** the registry bound to that function: register the PWL
+//! with [`flexsfu_serve::FunctionRegistry::register_with_backend`] and
+//! inference transparently routes through e.g. the bit-faithful SFU
+//! emulator — the model code does not change.
 
 use crate::layers::Layer;
 use crate::tensor::Tensor;
@@ -136,6 +142,46 @@ mod tests {
         for (a, b) in y.data().iter().zip(&want) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn inference_routes_through_the_functions_bound_backend() {
+        with_watchdog(
+            30,
+            "inference_routes_through_the_functions_bound_backend",
+            inference_routes_through_the_functions_bound_backend_body,
+        );
+    }
+
+    fn inference_routes_through_the_functions_bound_backend_body() {
+        use flexsfu_backend::{BackendProgram, SfuBackend};
+
+        // Bind silu's table to the SFU emulator: the layer's inference
+        // outputs must be the emulated datapath's bits, not the native
+        // kernels'.
+        let pwl = uniform_pwl(&Silu, 15, (-8.0, 8.0));
+        let backend = SfuBackend::fp16(16);
+        let reference = backend.lower_program(&pwl.compile()).unwrap();
+        let registry = Arc::new(FunctionRegistry::new());
+        let id = registry
+            .register_with_backend("silu", &pwl, Arc::new(backend))
+            .unwrap();
+        let server = PwlServer::start(Arc::clone(&registry), ServeConfig::default());
+        let mut layer = AsyncActivationLayer::new(by_name("silu").unwrap(), server.handle(), id);
+
+        let x = Tensor::from_vec(
+            (0..200).map(|i| i as f64 * 0.06 - 6.0).collect(),
+            vec![1, 200],
+        );
+        let y = layer.forward(&x, false);
+        let (want, _) = reference.eval_batch(x.data());
+        for (a, b) in y.data().iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the emulated flushes were accounted.
+        let stats = registry.backend_stats(id).unwrap();
+        assert!(stats.flushes > 0 && stats.cycles > 0);
         server.shutdown();
     }
 

@@ -22,7 +22,7 @@ use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::Activation;
 
 /// Gradient of the sampled loss with respect to each parameter family.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Gradient {
     /// ∂L/∂pᵢ for every breakpoint.
     pub d_breakpoints: Vec<f64>,
@@ -32,6 +32,38 @@ pub struct Gradient {
     pub d_left_slope: f64,
     /// ∂L/∂mr (zero when the right boundary is tied).
     pub d_right_slope: f64,
+}
+
+/// Reusable state for [`SampledProblem::loss_and_grad_compiled`]: the
+/// compiled engine plus every buffer one loss+gradient evaluation needs.
+///
+/// [`SampledProblem::loss_and_grad`] compiles the function and allocates
+/// its value/segment/gradient buffers afresh on every call — fine for a
+/// handful of calls, pure allocator traffic inside an Adam loop that
+/// evaluates thousands of steps over a fixed-shape function. Holding a
+/// workspace across steps recompiles **in place**
+/// ([`CompiledPwl::refill_from_pwl`]) and reuses every buffer: after the
+/// first call, steps over a same-shaped function perform no heap
+/// allocation at all (pinned by `tests/compiled_grad.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct GradWorkspace {
+    engine: Option<CompiledPwl>,
+    ys: Vec<f64>,
+    segs: Vec<u32>,
+    grad: Gradient,
+}
+
+impl GradWorkspace {
+    /// An empty workspace; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The gradient written by the last
+    /// [`SampledProblem::loss_and_grad_compiled`] call.
+    pub fn gradient(&self) -> &Gradient {
+        &self.grad
+    }
 }
 
 /// A fixed sample grid with precomputed targets — the discretized
@@ -138,23 +170,50 @@ impl SampledProblem {
     /// per sample — once for the value, once for the region); the
     /// gradient accumulation then reuses both.
     pub fn loss_and_grad(&self, pwl: &PwlFunction, spec: &BoundarySpec) -> (f64, Gradient) {
+        let mut ws = GradWorkspace::new();
+        let loss = self.loss_and_grad_compiled(pwl, spec, &mut ws);
+        (loss, ws.grad)
+    }
+
+    /// [`Self::loss_and_grad`] through a caller-held [`GradWorkspace`]:
+    /// identical math and bit-identical results, but the engine is
+    /// recompiled in place and every buffer (values, segments, gradient)
+    /// is reused across calls — the per-step allocation cost of an Adam
+    /// loop drops to zero once the workspace is warm. The gradient lands
+    /// in [`GradWorkspace::gradient`]; the sampled loss is returned.
+    pub fn loss_and_grad_compiled(
+        &self,
+        pwl: &PwlFunction,
+        spec: &BoundarySpec,
+        ws: &mut GradWorkspace,
+    ) -> f64 {
         let n = pwl.num_breakpoints();
         let p = pwl.breakpoints();
         let v = pwl.values();
         let (ml, mr) = (pwl.left_slope(), pwl.right_slope());
-        let mut dp = vec![0.0; n];
-        let mut dv = vec![0.0; n];
+        ws.grad.d_breakpoints.clear();
+        ws.grad.d_breakpoints.resize(n, 0.0);
+        ws.grad.d_values.clear();
+        ws.grad.d_values.resize(n, 0.0);
+        let dp = &mut ws.grad.d_breakpoints;
+        let dv = &mut ws.grad.d_values;
         let mut dml = 0.0;
         let mut dmr = 0.0;
         let mut loss = 0.0;
 
-        let engine = pwl.compile();
-        let mut ys = vec![0.0; self.xs.len()];
-        let mut segs = vec![0u32; self.xs.len()];
-        engine.eval_and_segments_into(&self.xs, &mut ys, &mut segs);
+        let engine = match &mut ws.engine {
+            Some(engine) => {
+                engine.refill_from_pwl(pwl);
+                engine
+            }
+            None => ws.engine.insert(CompiledPwl::from_pwl(pwl)),
+        };
+        ws.ys.resize(self.xs.len(), 0.0);
+        ws.segs.resize(self.xs.len(), 0);
+        engine.eval_and_segments_into(&self.xs, &mut ws.ys, &mut ws.segs);
 
         let inv_m = 1.0 / self.xs.len() as f64;
-        for (((&x, &t), &y), &seg) in self.xs.iter().zip(&self.targets).zip(&ys).zip(&segs) {
+        for (((&x, &t), &y), &seg) in self.xs.iter().zip(&self.targets).zip(&ws.ys).zip(&ws.segs) {
             let s = seg as usize;
             let e = y - t;
             loss += e * e;
@@ -199,15 +258,9 @@ impl SampledProblem {
             dmr = 0.0;
         }
 
-        (
-            loss * inv_m,
-            Gradient {
-                d_breakpoints: dp,
-                d_values: dv,
-                d_left_slope: dml,
-                d_right_slope: dmr,
-            },
-        )
+        ws.grad.d_left_slope = dml;
+        ws.grad.d_right_slope = dmr;
+        loss * inv_m
     }
 }
 
@@ -335,6 +388,27 @@ mod tests {
             "tied dp0: fd {fd} vs analytic {}",
             g.d_breakpoints[0]
         );
+    }
+
+    #[test]
+    fn compiled_workspace_path_is_bit_identical_across_shapes() {
+        // The workspace recompiles in place; reusing one workspace across
+        // functions of different shapes must give exactly the fresh
+        // path's loss and gradient every time.
+        let problem = SampledProblem::new(&Gelu, -8.0, 8.0, 801);
+        let spec = BoundarySpec::from_activation(&Gelu);
+        let shapes = [
+            uniform_pwl(&Gelu, 6, (-6.0, 6.0)),
+            uniform_pwl(&Gelu, 12, (-7.0, 7.0)),
+            uniform_pwl(&Gelu, 6, (-5.0, 5.0)),
+        ];
+        let mut ws = GradWorkspace::new();
+        for pwl in &shapes {
+            let (want_loss, want_grad) = problem.loss_and_grad(pwl, &spec);
+            let loss = problem.loss_and_grad_compiled(pwl, &spec, &mut ws);
+            assert_eq!(loss.to_bits(), want_loss.to_bits());
+            assert_eq!(ws.gradient(), &want_grad);
+        }
     }
 
     #[test]

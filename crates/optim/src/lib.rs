@@ -43,5 +43,6 @@ pub mod refit;
 pub mod scheduler;
 
 pub use adam::Adam;
+pub use grad::{GradWorkspace, Gradient, SampledProblem};
 pub use optimizer::{optimize, InitStrategy, OptimizeConfig, OptimizeResult};
 pub use scheduler::ReduceLrOnPlateau;

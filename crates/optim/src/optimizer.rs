@@ -208,21 +208,28 @@ fn train_round(
     let (a, b) = problem.range();
     let mut best = (problem.loss(&pwl), pwl.clone());
     let mut steps = 0;
+    // One workspace (engine + value/segment/gradient buffers) and one
+    // pair of flattened vectors for the whole round: after the first
+    // step the hot loop no longer touches the allocator.
+    let mut ws = crate::grad::GradWorkspace::new();
+    let mut params = Vec::with_capacity(dim);
+    let mut grads = Vec::with_capacity(dim);
 
     for _ in 0..cfg.max_steps {
-        let (loss, g) = problem.loss_and_grad(&pwl, spec);
+        let loss = problem.loss_and_grad_compiled(&pwl, spec, &mut ws);
+        let g = ws.gradient();
         steps += 1;
         if loss < best.0 {
             best = (loss, pwl.clone());
         }
 
         // Flatten parameters.
-        let mut params = Vec::with_capacity(dim);
+        params.clear();
         params.extend_from_slice(pwl.breakpoints());
         params.extend_from_slice(pwl.values());
         params.push(pwl.left_slope());
         params.push(pwl.right_slope());
-        let mut grads = Vec::with_capacity(dim);
+        grads.clear();
         grads.extend_from_slice(&g.d_breakpoints);
         grads.extend_from_slice(&g.d_values);
         grads.push(g.d_left_slope);

@@ -12,6 +12,10 @@
 //! like ReLU — that time delta is the entire speedup, exactly the
 //! mechanism the paper measures on silicon.
 //!
+//! The [`serving`] module adds the serving-side report: per-function
+//! backend activity (flushes, elements, modelled cycles/energy) with an
+//! explicit backend column, fed by the serve layer's registry counters.
+//!
 //! # Examples
 //!
 //! ```
@@ -26,6 +30,8 @@
 
 pub mod accelerator;
 pub mod report;
+pub mod serving;
 
 pub use accelerator::{baseline_cycles, flexsfu_cycles, speedup, AcceleratorConfig, ModelTiming};
 pub use report::{family_summary, zoo_summary, FamilyStats, ZooStats};
+pub use serving::{render_backend_table, BackendReportRow};

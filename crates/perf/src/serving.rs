@@ -1,0 +1,127 @@
+//! Serving-side backend activity reports.
+//!
+//! The serving layer accumulates per-function flush counters — element
+//! counts plus, for hardware-modelling backends, cycle and energy
+//! estimates. This module turns those counters into the fixed-width
+//! table the serving example and benches print: one row per registered
+//! function with an explicit **backend** column, so a mixed deployment
+//! (native SIMD next to the SFU emulator) reads at a glance.
+//!
+//! The crate deliberately depends on plain data rather than the serve
+//! crate's types: callers map their registry snapshots into
+//! [`BackendReportRow`]s, and anything that batches per-function work —
+//! a future GPU backend, an RPC shim — reuses the same report.
+
+/// One function's accumulated backend activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendReportRow {
+    /// Registration name of the function.
+    pub function: String,
+    /// Backend label (`"native"`, `"sfu-emu"`, …).
+    pub backend: &'static str,
+    /// Flush units evaluated.
+    pub flushes: u64,
+    /// Elements evaluated across those flushes.
+    pub elems: u64,
+    /// Modelled hardware cycles (0 for backends without a cost model).
+    pub cycles: u64,
+    /// Modelled energy in nanojoules (0 without a cost model).
+    pub energy_nj: f64,
+}
+
+impl BackendReportRow {
+    /// Modelled elements per cycle — the hardware-side throughput this
+    /// traffic would sustain — or `None` for backends without a cost
+    /// model.
+    pub fn elems_per_cycle(&self) -> Option<f64> {
+        (self.cycles > 0).then(|| self.elems as f64 / self.cycles as f64)
+    }
+}
+
+/// Renders rows as a fixed-width table (header + one line per row).
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_perf::serving::{render_backend_table, BackendReportRow};
+///
+/// let table = render_backend_table(&[BackendReportRow {
+///     function: "tanh".into(),
+///     backend: "sfu-emu",
+///     flushes: 12,
+///     elems: 4800,
+///     cycles: 2600,
+///     energy_nj: 16.1,
+/// }]);
+/// assert!(table.contains("backend"));
+/// assert!(table.contains("sfu-emu"));
+/// ```
+pub fn render_backend_table(rows: &[BackendReportRow]) -> String {
+    let mut out = String::from(
+        "function      backend   flushes      elems      cycles  energy(nJ)  elems/cycle\n",
+    );
+    for row in rows {
+        let epc = row
+            .elems_per_cycle()
+            .map_or_else(|| "-".into(), |v| format!("{v:.2}"));
+        let energy = if row.cycles > 0 {
+            format!("{:.1}", row.energy_nj)
+        } else {
+            "-".into()
+        };
+        out.push_str(&format!(
+            "{:<12}  {:<8}  {:>7}  {:>9}  {:>10}  {:>10}  {:>11}\n",
+            row.function, row.backend, row.flushes, row.elems, row.cycles, energy, epc
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sfu_row() -> BackendReportRow {
+        BackendReportRow {
+            function: "tanh".into(),
+            backend: "sfu-emu",
+            flushes: 10,
+            elems: 1000,
+            cycles: 500,
+            energy_nj: 3.2,
+        }
+    }
+
+    #[test]
+    fn elems_per_cycle_only_with_a_cost_model() {
+        let hw = sfu_row();
+        assert_eq!(hw.elems_per_cycle(), Some(2.0));
+        let native = BackendReportRow {
+            backend: "native",
+            cycles: 0,
+            energy_nj: 0.0,
+            ..hw
+        };
+        assert_eq!(native.elems_per_cycle(), None);
+    }
+
+    #[test]
+    fn table_has_header_and_one_line_per_row() {
+        let rows = vec![
+            sfu_row(),
+            BackendReportRow {
+                function: "gelu".into(),
+                backend: "native",
+                flushes: 3,
+                elems: 42,
+                cycles: 0,
+                energy_nj: 0.0,
+            },
+        ];
+        let table = render_backend_table(&rows);
+        assert_eq!(table.lines().count(), 3);
+        let native_line = table.lines().last().unwrap();
+        assert!(native_line.contains("native"));
+        assert!(native_line.trim_end().ends_with('-'), "{native_line:?}");
+    }
+}

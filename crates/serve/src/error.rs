@@ -10,6 +10,10 @@ use std::fmt;
 pub enum ServeError {
     /// The function id was never registered with the server's registry.
     UnknownFunction(FunctionId),
+    /// Lowering the function onto its bound evaluation backend failed
+    /// (registration with an explicit backend, or a publish onto an
+    /// entry bound to one).
+    LowerFailed(flexsfu_backend::LowerError),
     /// The server is shutting down (or has shut down); new jobs are
     /// rejected. Jobs accepted *before* shutdown are still drained and
     /// completed.
@@ -27,6 +31,7 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownFunction(id) => write!(f, "function {id:?} is not registered"),
+            Self::LowerFailed(e) => write!(f, "backend lowering failed: {e}"),
             Self::ShuttingDown => write!(f, "server is shutting down"),
             Self::QueueFull => write!(f, "submission queue is full"),
             Self::Disconnected => write!(f, "result channel disconnected (worker panicked)"),

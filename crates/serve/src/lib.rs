@@ -33,6 +33,17 @@
 //! * **Hot swap** — [`FunctionRegistry::publish`] atomically replaces a
 //!   function's compiled table while traffic flows; each flush snapshots
 //!   its engine, so a flush never mixes coefficient tables.
+//! * **Per-backend dispatch** — every registered function carries a
+//!   backend binding ([`flexsfu_backend::EvalBackend`]): the native
+//!   SIMD kernels by default, or e.g. the bit-faithful Flex-SFU
+//!   emulator via [`FunctionRegistry::register_with_backend`]. Flush
+//!   units are per-function, so a flush never mixes backends either,
+//!   and each flush's modelled cycle/energy cost accumulates into
+//!   [`FunctionRegistry::backend_stats`].
+//! * **Per-function flush policies** — [`FunctionRegistry::set_policy`]
+//!   gives a function its own [`FlushPolicy`] (size threshold +
+//!   deadline); due functions flush alone, so tight-deadline functions
+//!   are not held back by throughput-oriented ones.
 //!
 //! # Example
 //!
@@ -82,5 +93,5 @@ pub mod testkit;
 
 pub use error::ServeError;
 pub use plan::{FlushPlan, GroupPlan, JobSpan};
-pub use registry::{FunctionId, FunctionRegistry};
-pub use server::{JobTicket, PwlServer, ServeConfig, ServeHandle};
+pub use registry::{BackendStatsSnapshot, FunctionId, FunctionRegistry};
+pub use server::{FlushPolicy, JobTicket, PwlServer, ServeConfig, ServeHandle};

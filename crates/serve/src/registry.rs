@@ -1,15 +1,30 @@
-//! The shared function registry: compiled engines by id, hot-swappable.
+//! The shared function registry: compiled engines by id, hot-swappable,
+//! each bound to an evaluation backend.
 //!
 //! Every serving job names its function by [`FunctionId`]. The registry
-//! maps ids to [`ParallelPwl`] engines behind an `RwLock`, and the
-//! batcher snapshots an engine `Arc` once per flush unit — so
+//! maps ids to engines behind an `RwLock`, and the batcher snapshots a
+//! function's backend program once per flush unit — so
 //! [`FunctionRegistry::publish`]ing a recompiled table takes effect
 //! atomically at the next flush, without stopping traffic, and a flush
 //! already in progress keeps evaluating against the table it started
-//! with. One flush unit therefore never mixes coefficient tables.
+//! with. One flush unit therefore never mixes coefficient tables — nor
+//! backends: a unit is per-function, and a function has exactly one
+//! backend binding.
+//!
+//! # Backend bindings
+//!
+//! [`FunctionRegistry::register`] binds the native SIMD backend;
+//! [`FunctionRegistry::register_with_backend`] lowers the same compiled
+//! table onto any [`EvalBackend`] (e.g. the bit-faithful Flex-SFU
+//! emulator, [`flexsfu_backend::SfuBackend`]), and the serve worker
+//! pool routes each flush unit to its function's program. Per-flush
+//! [`flexsfu_backend::FlushStats`] accumulate into per-function
+//! counters, readable via [`FunctionRegistry::backend_stats`].
 
+use crate::server::FlushPolicy;
+use flexsfu_backend::{BackendProgram, EvalBackend, FlushStats, NativeBackend};
 use flexsfu_core::{CompiledPwl, ParallelPwl, PwlFunction};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// An opaque handle naming a registered function. Ids are dense (the
 /// `n`-th registration gets id `n`) and never invalidated — publishing a
@@ -17,12 +32,53 @@ use std::sync::{Arc, RwLock};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FunctionId(pub u32);
 
-struct Entry {
-    name: String,
-    engine: Arc<ParallelPwl>,
+/// Accumulated backend activity of one registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BackendStatsSnapshot {
+    /// Flush units evaluated.
+    pub flushes: u64,
+    /// Elements evaluated across those flushes.
+    pub elems: u64,
+    /// Modelled hardware cycles (zero for backends without a cost
+    /// model, like the native SIMD kernels).
+    pub cycles: u64,
+    /// Modelled energy in nanojoules (zero without a cost model).
+    pub energy_nj: f64,
 }
 
-/// A concurrently readable, hot-swappable table of compiled engines.
+/// Thread-safe accumulator the evaluation workers feed after each flush.
+#[derive(Default)]
+pub(crate) struct StatsAccumulator(Mutex<BackendStatsSnapshot>);
+
+impl StatsAccumulator {
+    pub(crate) fn record(&self, stats: &FlushStats) {
+        let mut s = self.0.lock().unwrap();
+        s.flushes += 1;
+        s.elems += stats.elems as u64;
+        if let Some(hw) = stats.hw {
+            s.cycles += hw.cycles;
+            s.energy_nj += hw.energy_nj;
+        }
+    }
+
+    fn snapshot(&self) -> BackendStatsSnapshot {
+        *self.0.lock().unwrap()
+    }
+}
+
+struct Entry {
+    name: String,
+    /// The native threaded engine — always available as the software
+    /// reference, whatever backend serves traffic.
+    engine: Arc<ParallelPwl>,
+    backend: Arc<dyn EvalBackend>,
+    program: Arc<dyn BackendProgram>,
+    policy: Option<FlushPolicy>,
+    stats: Arc<StatsAccumulator>,
+}
+
+/// A concurrently readable, hot-swappable table of compiled engines with
+/// per-function backend bindings and flush policies.
 ///
 /// # Examples
 ///
@@ -34,6 +90,7 @@ struct Entry {
 /// let registry = FunctionRegistry::new();
 /// let gelu = registry.register("gelu", &uniform_pwl(&Gelu, 16, (-8.0, 8.0)));
 /// assert_eq!(registry.id_of("gelu"), Some(gelu));
+/// assert_eq!(registry.backend_name(gelu), Some("native"));
 /// let y = registry.engine(gelu).unwrap().engine().eval_one(0.5);
 /// assert!(y.is_finite());
 /// ```
@@ -42,56 +99,134 @@ pub struct FunctionRegistry {
     entries: RwLock<Vec<Entry>>,
 }
 
+/// Builds an entry's engine + program pair for `backend`: the program
+/// comes from the backend's own `lower`, whatever the backend is — no
+/// special-casing by label, so a third-party backend that happens to
+/// call itself `"native"` still gets its lowering (and cost model) run.
+/// The registry's reference engine is a second compile of the same
+/// table; for the built-in native backend that duplicates a few
+/// hundred `f64`s per function, which is cheaper than a fragile
+/// identity check.
+#[allow(clippy::type_complexity)]
+fn bind(
+    backend: &Arc<dyn EvalBackend>,
+    engine: CompiledPwl,
+) -> Result<(Arc<ParallelPwl>, Arc<dyn BackendProgram>), crate::ServeError> {
+    let program = backend
+        .lower(&engine)
+        .map_err(crate::ServeError::LowerFailed)?;
+    Ok((Arc::new(ParallelPwl::new(engine)), program))
+}
+
 impl FunctionRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Compiles `pwl` and registers it under `name`, returning its id.
-    /// Registering while a server is running is allowed; jobs may name
-    /// the new id as soon as this returns.
+    /// Compiles `pwl` and registers it under `name` on the **native**
+    /// backend, returning its id. Registering while a server is running
+    /// is allowed; jobs may name the new id as soon as this returns.
     pub fn register(&self, name: impl Into<String>, pwl: &PwlFunction) -> FunctionId {
         self.register_compiled(name, CompiledPwl::from_pwl(pwl))
     }
 
-    /// Registers an already compiled engine under `name`.
+    /// Registers an already compiled engine under `name` on the native
+    /// backend.
     pub fn register_compiled(&self, name: impl Into<String>, engine: CompiledPwl) -> FunctionId {
+        let backend: Arc<dyn EvalBackend> = Arc::new(NativeBackend::new());
+        self.register_compiled_with_backend(name, engine, backend)
+            .expect("native lowering is infallible")
+    }
+
+    /// Compiles `pwl` and registers it under `name` with an explicit
+    /// backend binding: every flush of this function's jobs evaluates
+    /// through (a program lowered by) `backend`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ServeError::LowerFailed`] if the backend cannot lower
+    /// the function (table too deep, quantization collapses
+    /// breakpoints).
+    pub fn register_with_backend(
+        &self,
+        name: impl Into<String>,
+        pwl: &PwlFunction,
+        backend: Arc<dyn EvalBackend>,
+    ) -> Result<FunctionId, crate::ServeError> {
+        self.register_compiled_with_backend(name, CompiledPwl::from_pwl(pwl), backend)
+    }
+
+    /// [`Self::register_with_backend`] for an already compiled engine.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::register_with_backend`].
+    pub fn register_compiled_with_backend(
+        &self,
+        name: impl Into<String>,
+        engine: CompiledPwl,
+        backend: Arc<dyn EvalBackend>,
+    ) -> Result<FunctionId, crate::ServeError> {
+        let (par, program) = bind(&backend, engine)?;
         let mut entries = self.entries.write().unwrap();
         let id = FunctionId(entries.len() as u32);
         entries.push(Entry {
             name: name.into(),
-            engine: Arc::new(ParallelPwl::new(engine)),
+            engine: par,
+            backend,
+            program,
+            policy: None,
+            stats: Arc::new(StatsAccumulator::default()),
         });
-        id
+        Ok(id)
     }
 
     /// Hot-swaps the engine behind `id` — the serving-side half of an
     /// `optimize()` run: recompile off-line, publish here, and traffic
-    /// picks the new coefficients up at its next flush. Returns the
-    /// engine that was replaced.
+    /// picks the new coefficients up at its next flush. The new table is
+    /// re-lowered through the entry's **existing backend binding**; the
+    /// binding, flush policy and accumulated stats survive the swap.
+    /// Returns the native engine that was replaced.
     ///
     /// # Errors
     ///
-    /// Returns [`crate::ServeError::UnknownFunction`] if `id` was never
-    /// registered.
+    /// [`crate::ServeError::UnknownFunction`] if `id` was never
+    /// registered; [`crate::ServeError::LowerFailed`] if the entry's
+    /// backend rejects the new table (the old program keeps serving).
     pub fn publish(
         &self,
         id: FunctionId,
         engine: CompiledPwl,
     ) -> Result<Arc<ParallelPwl>, crate::ServeError> {
+        // Snapshot the binding under a read lock and run the lowering
+        // with **no lock held**: the batcher reads this registry on its
+        // hot path (while holding the queue mutex), so a write lock
+        // held across a potentially slow backend `lower` would stall
+        // every submission — the opposite of "publish without stopping
+        // traffic". The backend of an entry never changes after
+        // registration, so the snapshot cannot go stale.
+        let backend = self
+            .entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| Arc::clone(&e.backend))
+            .ok_or(crate::ServeError::UnknownFunction(id))?;
+        let (par, program) = bind(&backend, engine)?;
+        // The write lock is now held only for the pointer swaps; both
+        // fields swap under one lock, so a flush snapshot never sees a
+        // torn engine/program pair.
         let mut entries = self.entries.write().unwrap();
         let entry = entries
             .get_mut(id.0 as usize)
             .ok_or(crate::ServeError::UnknownFunction(id))?;
-        Ok(std::mem::replace(
-            &mut entry.engine,
-            Arc::new(ParallelPwl::new(engine)),
-        ))
+        entry.program = program;
+        Ok(std::mem::replace(&mut entry.engine, par))
     }
 
-    /// The current engine for `id`, or `None` if unregistered. The
-    /// returned `Arc` stays valid (and unchanged) across later
+    /// The current native engine for `id`, or `None` if unregistered.
+    /// The returned `Arc` stays valid (and unchanged) across later
     /// [`Self::publish`] calls — snapshot semantics.
     pub fn engine(&self, id: FunctionId) -> Option<Arc<ParallelPwl>> {
         self.entries
@@ -101,8 +236,76 @@ impl FunctionRegistry {
             .map(|e| Arc::clone(&e.engine))
     }
 
+    /// Snapshot of the backend program and stats sink for `id` — what a
+    /// flush unit carries. Like [`Self::engine`], the snapshot is
+    /// unaffected by later publishes.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn binding(
+        &self,
+        id: FunctionId,
+    ) -> Option<(Arc<dyn BackendProgram>, Arc<StatsAccumulator>)> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| (Arc::clone(&e.program), Arc::clone(&e.stats)))
+    }
+
+    /// The bound backend's name for `id` (`"native"`, `"sfu-emu"`, …).
+    pub fn backend_name(&self, id: FunctionId) -> Option<&'static str> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| e.backend.name())
+    }
+
+    /// Accumulated backend activity of `id` since registration.
+    pub fn backend_stats(&self, id: FunctionId) -> Option<BackendStatsSnapshot> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| e.stats.snapshot())
+    }
+
+    /// Sets (or clears, with `None`) the per-function flush policy of
+    /// `id`. Functions without an explicit policy use the server's
+    /// [`crate::ServeConfig`] defaults. Takes effect at the batcher's
+    /// next wake-up: the next submission, the next expiring deadline,
+    /// or — when jobs are queued with no reachable deadline — the
+    /// batcher's coarse re-check tick (~10 ms), so even tightening the
+    /// deadline of an already-parked never-expiring function applies
+    /// promptly.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ServeError::UnknownFunction`] if `id` was never
+    /// registered.
+    pub fn set_policy(
+        &self,
+        id: FunctionId,
+        policy: Option<FlushPolicy>,
+    ) -> Result<(), crate::ServeError> {
+        let mut entries = self.entries.write().unwrap();
+        let entry = entries
+            .get_mut(id.0 as usize)
+            .ok_or(crate::ServeError::UnknownFunction(id))?;
+        entry.policy = policy;
+        Ok(())
+    }
+
+    /// The explicit flush policy of `id`, if one was set.
+    pub fn policy(&self, id: FunctionId) -> Option<FlushPolicy> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .and_then(|e| e.policy)
+    }
+
     /// Whether `id` is registered — the submission hot path's validation
-    /// (one read lock, no `Arc` refcount traffic; the engine snapshot
+    /// (one read lock, no `Arc` refcount traffic; the program snapshot
     /// itself is taken later, at flush time).
     pub fn contains(&self, id: FunctionId) -> bool {
         (id.0 as usize) < self.entries.read().unwrap().len()
@@ -127,14 +330,27 @@ impl FunctionRegistry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Registered `(id, name, backend name)` rows, for reports.
+    pub fn functions(&self) -> Vec<(FunctionId, String, &'static str)> {
+        self.entries
+            .read()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (FunctionId(i as u32), e.name.clone(), e.backend.name()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flexsfu_backend::SfuBackend;
     use flexsfu_core::init::uniform_pwl;
     use flexsfu_core::PwlEvaluator;
     use flexsfu_funcs::{Gelu, Tanh};
+    use std::time::Duration;
 
     #[test]
     fn register_and_lookup() {
@@ -150,6 +366,8 @@ mod tests {
         assert!(r.engine(FunctionId(99)).is_none());
         assert!(r.contains(a) && r.contains(b));
         assert!(!r.contains(FunctionId(99)));
+        assert_eq!(r.backend_name(a), Some("native"));
+        assert_eq!(r.backend_stats(a), Some(BackendStatsSnapshot::default()));
     }
 
     #[test]
@@ -178,6 +396,52 @@ mod tests {
         assert!(matches!(
             err,
             Err(crate::ServeError::UnknownFunction(FunctionId(0)))
+        ));
+    }
+
+    #[test]
+    fn backend_binding_survives_publish_and_rejects_bad_tables() {
+        let r = FunctionRegistry::new();
+        let id = r
+            .register_with_backend(
+                "tanh",
+                &uniform_pwl(&Tanh, 31, (-8.0, 8.0)),
+                Arc::new(SfuBackend::fp16(32)),
+            )
+            .unwrap();
+        assert_eq!(r.backend_name(id), Some("sfu-emu"));
+        // A publish too deep for the bound emulator fails and keeps the
+        // old program serving.
+        let too_deep = uniform_pwl(&Tanh, 63, (-8.0, 8.0));
+        let err = r.publish(id, CompiledPwl::from_pwl(&too_deep));
+        assert!(matches!(err, Err(crate::ServeError::LowerFailed(_))));
+        let (program, _) = r.binding(id).unwrap();
+        assert_eq!(program.backend_name(), "sfu-emu");
+        // A fitting publish re-lowers onto the same backend.
+        r.publish(
+            id,
+            CompiledPwl::from_pwl(&uniform_pwl(&Tanh, 15, (-6.0, 6.0))),
+        )
+        .unwrap();
+        assert_eq!(r.backend_name(id), Some("sfu-emu"));
+    }
+
+    #[test]
+    fn policies_set_clear_and_error_on_unknown_ids() {
+        let r = FunctionRegistry::new();
+        let id = r.register("f", &uniform_pwl(&Gelu, 8, (-8.0, 8.0)));
+        assert_eq!(r.policy(id), None);
+        let policy = FlushPolicy {
+            max_elems: 128,
+            deadline: Duration::from_millis(2),
+        };
+        r.set_policy(id, Some(policy)).unwrap();
+        assert_eq!(r.policy(id), Some(policy));
+        r.set_policy(id, None).unwrap();
+        assert_eq!(r.policy(id), None);
+        assert!(matches!(
+            r.set_policy(FunctionId(9), Some(policy)),
+            Err(crate::ServeError::UnknownFunction(FunctionId(9)))
         ));
     }
 }

@@ -8,14 +8,24 @@
 //! `eval_workers` **worker** threads. Submitted jobs land in a bounded
 //! queue (backpressure: [`ServeHandle::submit`] blocks while the queue
 //! holds `queue_elements` pending elements; [`ServeHandle::try_submit`]
-//! returns [`ServeError::QueueFull`] instead). The batcher drains the
-//! queue whenever the pending element count reaches `flush_elements` *or*
-//! the oldest pending job has waited `flush_interval`, plans the flush
-//! with [`FlushPlan`], packs one contiguous buffer per function, snapshots
-//! each function's engine from the registry, and hands the units to the
-//! workers. Workers evaluate through
-//! [`flexsfu_core::ParallelPwl::eval_scatter_into`] and complete each
-//! job's oneshot channel with its result slice.
+//! returns [`ServeError::QueueFull`] instead). Flushing is
+//! **per function**: a function's pending jobs drain when they reach
+//! its [`FlushPolicy`] element threshold *or* its oldest pending job
+//! has waited out the policy deadline — functions without an explicit
+//! policy (see [`crate::FunctionRegistry::set_policy`]) use the
+//! [`ServeConfig`] defaults. A due function flushes alone; other
+//! functions' jobs stay queued until *their* policy fires, so a
+//! latency-critical function under a tight deadline is never held
+//! hostage by a throughput-oriented one. Each flush is planned with
+//! [`FlushPlan`], packed into one contiguous buffer per function, and
+//! handed to the workers with a snapshot of the function's **backend
+//! program** from the registry. Workers evaluate through
+//! [`flexsfu_backend::BackendProgram::eval_scatter_into`] (the native
+//! SIMD kernels, the SFU emulator, or any other bound backend — a unit
+//! never mixes backends because it never mixes functions), record the
+//! flush's [`flexsfu_backend::FlushStats`] into the registry's
+//! per-function counters, and complete each job's oneshot channel with
+//! its result slice.
 //!
 //! [`PwlServer::shutdown`] (also run on drop) stops admissions, drains
 //! every already-accepted job through a final flush, and joins all
@@ -24,31 +34,72 @@
 use crate::error::ServeError;
 use crate::oneshot;
 use crate::plan::FlushPlan;
-use crate::registry::{FunctionId, FunctionRegistry};
-use flexsfu_core::ParallelPwl;
+use crate::registry::{FunctionId, FunctionRegistry, StatsAccumulator};
+use flexsfu_backend::BackendProgram;
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// When one function's pending jobs flush: at `max_elems` pending
+/// elements, or when the oldest of them has waited `deadline`.
+///
+/// Attached per function via
+/// [`crate::FunctionRegistry::set_policy`]; the server's [`ServeConfig`]
+/// supplies the defaults for functions without one. Both triggers are
+/// per function — two functions with different deadlines flush
+/// independently (pinned by the `serving_stress` suite).
+///
+/// Policies shape latency, not admission: when the shared queue's
+/// element bound saturates (a submitter is parked waiting for space),
+/// **every** pending function flushes regardless of its policy, so a
+/// long-deadline function can never block other functions' admissions
+/// through the shared bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush as soon as this many of the function's elements are
+    /// pending (the size threshold). Sized so a flush saturates the
+    /// SIMD lanes without blowing the L2 working set.
+    pub max_elems: usize,
+    /// Flush when the function's oldest pending job has waited this
+    /// long — bounds the function's tail latency under light traffic.
+    /// A deadline too large for the clock (e.g. [`Duration::MAX`])
+    /// saturates to "never": the function then flushes only on size,
+    /// queue pressure, or shutdown.
+    pub deadline: Duration,
+}
+
 /// Tuning knobs for [`PwlServer::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Flush as soon as this many elements are pending (the size
-    /// threshold). Sized so a flush saturates the SIMD kernels without
-    /// blowing the L2 working set.
+    /// Default per-function size threshold: a function flushes as soon
+    /// as this many of *its* elements are pending. Overridable per
+    /// function with [`crate::FunctionRegistry::set_policy`].
     pub flush_elements: usize,
-    /// Flush the queue when its oldest job has waited this long (the
-    /// deadline tick) — bounds tail latency under light traffic.
+    /// Default per-function deadline: a function flushes when its
+    /// oldest pending job has waited this long.
     pub flush_interval: Duration,
     /// Backpressure bound: the queue admits at most this many pending
     /// *elements* (a job larger than the whole bound is admitted alone
-    /// into an empty queue, so oversized tensors cannot deadlock).
+    /// into an empty queue, so oversized tensors cannot deadlock). This
+    /// bound stays global — admission control protects the process,
+    /// flush policy shapes latency.
     pub queue_elements: usize,
     /// Evaluation worker threads. More than one lets a flush of function
     /// A evaluate while function B's next flush is being packed.
     pub eval_workers: usize,
+}
+
+impl ServeConfig {
+    /// The flush policy functions without an explicit one use.
+    pub fn default_policy(&self) -> FlushPolicy {
+        FlushPolicy {
+            max_elems: self.flush_elements,
+            deadline: self.flush_interval,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -70,20 +121,42 @@ struct Job {
     tx: oneshot::Sender<Vec<f64>>,
 }
 
-/// One function's packed share of a flush, ready for a worker.
+/// One function's packed share of a flush, ready for a worker: the
+/// backend program snapshot it evaluates through, and the stats sink
+/// the flush's cost lands in.
 struct FlushUnit {
-    engine: Arc<ParallelPwl>,
+    program: Arc<dyn BackendProgram>,
+    stats: Arc<StatsAccumulator>,
     xs: Vec<f64>,
     /// `(element count, result channel)` in packed order.
     jobs: Vec<(usize, oneshot::Sender<Vec<f64>>)>,
+}
+
+/// Per-function pending aggregate — the flush-policy triggers.
+struct FuncPending {
+    /// Pending elements of this function.
+    elems: usize,
+    /// Arrival time of its oldest pending job — the deadline anchor.
+    oldest: Instant,
 }
 
 /// Queue state behind the mutex.
 struct QueueState {
     jobs: Vec<Job>,
     queued_elems: usize,
-    /// Arrival time of the oldest pending job — the deadline anchor.
-    oldest: Option<Instant>,
+    /// Aggregates per function with pending jobs.
+    pending: HashMap<FunctionId, FuncPending>,
+    /// Submitters currently parked on the element bound. Non-zero means
+    /// the queue is saturated: the batcher flushes *everything* rather
+    /// than letting one long-deadline function hold the shared bound —
+    /// and with it every other function's admissions — hostage.
+    space_waiters: usize,
+    /// Set when a non-blocking `try_submit` bounced off the full queue.
+    /// The batcher consumes it as a one-shot pressure signal, so pure
+    /// `try_submit` producers (which never park and so never raise
+    /// `space_waiters`) also force a drain instead of seeing
+    /// `QueueFull` forever against a never-flushing function.
+    rejected_full: bool,
     shutdown: bool,
 }
 
@@ -158,7 +231,9 @@ impl PwlServer {
             queue: Mutex::new(QueueState {
                 jobs: Vec::new(),
                 queued_elems: 0,
-                oldest: None,
+                pending: HashMap::new(),
+                space_waiters: 0,
+                rejected_full: false,
                 shutdown: false,
             }),
             job_ready: Condvar::new(),
@@ -294,14 +369,29 @@ impl ServeHandle {
                 break;
             }
             if !block {
+                // Same pressure rule as parking (below), minus the
+                // wait: flag the saturation and wake the batcher so a
+                // retrying caller finds space after the forced drain.
+                q.rejected_full = true;
+                drop(q);
+                self.shared.job_ready.notify_one();
                 return Err(ServeError::QueueFull);
             }
+            // Park — and tell the batcher: a saturated queue overrides
+            // every flush policy (see `batcher_loop`), otherwise a
+            // long-deadline function could block all admissions for its
+            // whole deadline.
+            q.space_waiters += 1;
+            self.shared.job_ready.notify_one();
             q = self.shared.space.wait(q).unwrap();
+            q.space_waiters -= 1;
         }
         let (tx, rx) = oneshot::channel();
-        if q.jobs.is_empty() {
-            q.oldest = Some(Instant::now());
-        }
+        let pending = q.pending.entry(func).or_insert_with(|| FuncPending {
+            elems: 0,
+            oldest: Instant::now(),
+        });
+        pending.elems += data.len();
         q.queued_elems += data.len();
         q.jobs.push(Job { func, data, tx });
         drop(q);
@@ -310,28 +400,73 @@ impl ServeHandle {
     }
 }
 
-/// The batcher: waits for the size threshold or the deadline tick,
-/// drains the queue, plans/packs per-function units, and feeds the
-/// workers. Returns (dropping the unit sender, which ends the workers)
-/// once shutdown is set and the queue is fully drained.
+/// The batcher: waits for any function's size threshold or deadline,
+/// drains exactly the due functions' jobs, plans/packs per-function
+/// units, and feeds the workers. Returns (dropping the unit sender,
+/// which ends the workers) once shutdown is set and the queue is fully
+/// drained.
+///
+/// Lock order: the queue mutex may be held while taking the registry's
+/// read lock (policy lookup); no code path acquires them in the other
+/// order while holding either.
 fn batcher_loop(
     shared: &Shared,
     registry: &FunctionRegistry,
     cfg: &ServeConfig,
     unit_tx: &mpsc::Sender<FlushUnit>,
 ) {
+    let default_policy = cfg.default_policy();
     let mut q = shared.queue.lock().unwrap();
     loop {
         if q.shutdown && q.jobs.is_empty() {
             return;
         }
-        let due = q
-            .oldest
-            .is_some_and(|t| t.elapsed() >= cfg.flush_interval && !q.jobs.is_empty());
-        if q.shutdown || q.queued_elems >= cfg.flush_elements || due {
-            let drained = std::mem::take(&mut q.jobs);
-            q.queued_elems = 0;
-            q.oldest = None;
+        // Evaluate every pending function's own policy. Two conditions
+        // override the per-function triggers and make *everything* due:
+        // shutdown (the final drain is one flush) and admission
+        // pressure (a submitter parked on the element bound — policies
+        // shape latency, they must never starve admissions).
+        let now = Instant::now();
+        // `rejected_full` is a consumed one-shot: a bounced try_submit
+        // forces exactly one full drain (more rejections re-arm it).
+        // Taken unconditionally — behind a short-circuiting `||` a drain
+        // triggered by a parked waiter would leave the stale flag armed
+        // and force a spurious policy-overriding flush later.
+        let rejected_full = std::mem::take(&mut q.rejected_full);
+        let force_all = q.shutdown || q.space_waiters > 0 || rejected_full;
+        let mut due: Vec<FunctionId> = Vec::new();
+        let mut next_deadline: Option<Instant> = None;
+        for (&func, pending) in &q.pending {
+            let policy = registry.policy(func).unwrap_or(default_policy);
+            // `checked_add`: a huge deadline (`Duration::MAX` = "flush
+            // on size or shutdown only") must saturate to "never", not
+            // overflow `Instant` and panic the batcher.
+            let deadline = pending.oldest.checked_add(policy.deadline);
+            if force_all || pending.elems >= policy.max_elems || deadline.is_some_and(|d| now >= d)
+            {
+                due.push(func);
+            } else if let Some(d) = deadline {
+                next_deadline = Some(next_deadline.map_or(d, |nd: Instant| nd.min(d)));
+            }
+        }
+        if !due.is_empty() {
+            // Drain only the due functions, preserving submission order
+            // for the FIFO-per-function packing guarantee.
+            let mut drained = Vec::new();
+            let mut kept = Vec::with_capacity(q.jobs.len());
+            for job in q.jobs.drain(..) {
+                if due.contains(&job.func) {
+                    drained.push(job);
+                } else {
+                    kept.push(job);
+                }
+            }
+            q.jobs = kept;
+            for func in &due {
+                if let Some(p) = q.pending.remove(func) {
+                    q.queued_elems -= p.elems;
+                }
+            }
             drop(q);
             shared.space.notify_all();
             if !drained.is_empty() {
@@ -340,12 +475,24 @@ fn batcher_loop(
             q = shared.queue.lock().unwrap();
             continue;
         }
-        q = match q.oldest {
-            // Sleep exactly until the oldest job's deadline (spurious
+        q = match next_deadline {
+            // Sleep exactly until the earliest pending deadline (spurious
             // wakeups and early submits just re-evaluate the conditions).
-            Some(t) => {
-                let remaining = cfg.flush_interval.saturating_sub(t.elapsed());
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(now);
                 shared.job_ready.wait_timeout(q, remaining).unwrap().0
+            }
+            // Jobs pending but no reachable deadline (every pending
+            // function has a never-expiring policy): re-check on a
+            // coarse tick rather than parking forever, so a concurrent
+            // `set_policy` tightening a deadline takes effect within a
+            // tick instead of waiting for the next submission.
+            None if !q.jobs.is_empty() => {
+                shared
+                    .job_ready
+                    .wait_timeout(q, Duration::from_millis(10))
+                    .unwrap()
+                    .0
             }
             None => shared.job_ready.wait(q).unwrap(),
         };
@@ -353,9 +500,9 @@ fn batcher_loop(
 }
 
 /// Plans a drained batch, packs one contiguous buffer per function, and
-/// snapshots each function's current engine for the unit — a
+/// snapshots each function's current backend program for the unit — a
 /// concurrently published table applies from the next flush on, and no
-/// unit ever mixes tables.
+/// unit ever mixes tables (nor backends: units are per-function).
 fn dispatch_flush(
     drained: Vec<Job>,
     registry: &FunctionRegistry,
@@ -365,7 +512,7 @@ fn dispatch_flush(
     let plan = FlushPlan::build(&shapes);
     let mut slots: Vec<Option<Job>> = drained.into_iter().map(Some).collect();
     for group in plan.groups {
-        let Some(engine) = registry.engine(group.func) else {
+        let Some((program, stats)) = registry.binding(group.func) else {
             // Unreachable in practice — submit validates ids and the
             // registry never unregisters. Dropping the senders fails the
             // jobs with `Disconnected` rather than poisoning the server.
@@ -381,14 +528,23 @@ fn dispatch_flush(
         }
         // Workers gone (panicked) — nothing to do; senders drop and the
         // submitters observe `Disconnected`.
-        if unit_tx.send(FlushUnit { engine, xs, jobs }).is_err() {
+        if unit_tx
+            .send(FlushUnit {
+                program,
+                stats,
+                xs,
+                jobs,
+            })
+            .is_err()
+        {
             return;
         }
     }
 }
 
 /// An evaluation worker: scatter-evaluates each unit's packed buffer
-/// straight into per-job result buffers and completes the oneshots.
+/// through its backend program straight into per-job result buffers,
+/// records the flush cost, and completes the oneshots.
 fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
     loop {
         // Hold the channel lock only for the dequeue, not the evaluation.
@@ -397,10 +553,11 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
             Err(_) => return, // batcher gone: shutdown complete
         };
         let mut outs: Vec<Vec<f64>> = unit.jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
-        {
+        let flush_stats = {
             let mut views: Vec<&mut [f64]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
-            unit.engine.eval_scatter_into(&unit.xs, &mut views);
-        }
+            unit.program.eval_scatter_into(&unit.xs, &mut views)
+        };
+        unit.stats.record(&flush_stats);
         for ((_, tx), out) in unit.jobs.into_iter().zip(outs) {
             // A dropped ticket is fine — the caller stopped caring.
             tx.send(out);

@@ -7,14 +7,15 @@
 //! force the races of interest — flush-deadline vs size-threshold,
 //! shutdown vs queued work, publish vs in-flight flush.
 
+use flexsfu_backend::{BackendProgram, SfuBackend};
 use flexsfu_core::init::uniform_pwl;
 use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::{Gelu, Sigmoid, Tanh};
 use flexsfu_serve::testkit::with_watchdog;
-use flexsfu_serve::{FunctionRegistry, PwlServer, ServeConfig, ServeError};
+use flexsfu_serve::{FlushPolicy, FunctionRegistry, PwlServer, ServeConfig, ServeError};
 use std::sync::{Arc, Barrier};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A deterministic xorshift stream for sizes/values.
 fn rng(seed: u64) -> impl FnMut() -> u64 {
@@ -437,6 +438,370 @@ fn hot_swap_publishes_new_tables_without_stopping_traffic() {
             server.shutdown();
         },
     );
+}
+
+/// Multi-backend dispatch: one function on the native SIMD kernels, one
+/// on the bit-faithful SFU emulator, hammered concurrently. Every
+/// response must be bit-identical to its *own* backend's reference
+/// (never the other's — the two genuinely disagree in their low bits),
+/// and the registry's per-function counters must show positive modelled
+/// cycles for the emulated function and none for the native one.
+#[test]
+fn mixed_backends_route_flushes_per_function_with_per_flush_costs() {
+    with_watchdog(
+        60,
+        "mixed_backends_route_flushes_per_function_with_per_flush_costs",
+        || {
+            const CLIENTS: usize = 4;
+            const REQUESTS: usize = 30;
+            let gelu = uniform_pwl(&Gelu, 31, (-8.0, 8.0));
+            let tanh = uniform_pwl(&Tanh, 63, (-8.0, 8.0));
+            let native_ref = CompiledPwl::from_pwl(&gelu);
+            let tanh_native_ref = CompiledPwl::from_pwl(&tanh);
+            let sfu_backend = SfuBackend::fp16(64);
+            let sfu_ref = sfu_backend.lower_program(&tanh.compile()).unwrap();
+
+            let registry = Arc::new(FunctionRegistry::new());
+            let native_id = registry.register("gelu", &gelu);
+            let sfu_id = registry
+                .register_with_backend("tanh", &tanh, Arc::new(sfu_backend))
+                .expect("64-segment tanh fits the depth-64 emulator");
+            assert_eq!(registry.backend_name(native_id), Some("native"));
+            assert_eq!(registry.backend_name(sfu_id), Some("sfu-emu"));
+
+            let server = PwlServer::start(
+                Arc::clone(&registry),
+                ServeConfig {
+                    flush_elements: 512,
+                    flush_interval: Duration::from_micros(100),
+                    queue_elements: 100_000,
+                    eval_workers: 2,
+                },
+            );
+            let sfu_elems = std::sync::atomic::AtomicU64::new(0);
+            let sfu_disagreed_with_native = std::sync::atomic::AtomicBool::new(false);
+            let barrier = Arc::new(Barrier::new(CLIENTS));
+            thread::scope(|scope| {
+                for client in 0..CLIENTS {
+                    let handle = server.handle();
+                    let barrier = Arc::clone(&barrier);
+                    let (gelu, tanh) = (&gelu, &tanh);
+                    let (native_ref, sfu_ref) = (&native_ref, &sfu_ref);
+                    let tanh_native_ref = &tanh_native_ref;
+                    let sfu_elems = &sfu_elems;
+                    let sfu_disagreed = &sfu_disagreed_with_native;
+                    scope.spawn(move || {
+                        let mut next = rng(0xBACC + client as u64);
+                        barrier.wait();
+                        for req in 0..REQUESTS {
+                            let len = (next() as usize) % 200;
+                            if (client + req) % 2 == 0 {
+                                let data = request_tensor(&mut next, gelu, len);
+                                let want = native_ref.eval_batch(&data);
+                                let got = handle.submit(native_id, data).unwrap().wait().unwrap();
+                                assert_bits_eq(
+                                    &got,
+                                    &want,
+                                    &format!("native client {client} req {req}"),
+                                );
+                            } else {
+                                let data = request_tensor(&mut next, tanh, len);
+                                let (want, _) = sfu_ref.eval_batch(&data);
+                                let native_would = tanh_native_ref.eval_batch(&data);
+                                sfu_elems.fetch_add(
+                                    data.len() as u64,
+                                    std::sync::atomic::Ordering::Relaxed,
+                                );
+                                let got = handle.submit(sfu_id, data).unwrap().wait().unwrap();
+                                assert_bits_eq(
+                                    &got,
+                                    &want,
+                                    &format!("sfu client {client} req {req}"),
+                                );
+                                if got
+                                    .iter()
+                                    .zip(&native_would)
+                                    .any(|(g, n)| g.to_bits() != n.to_bits())
+                                {
+                                    sfu_disagreed.store(true, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            server.shutdown();
+
+            // The emulated path really ran: it disagrees with the native
+            // kernels somewhere (fp16 quantization), so bit-matching its
+            // reference proves routing.
+            assert!(
+                sfu_disagreed_with_native.load(std::sync::atomic::Ordering::Relaxed),
+                "sfu-emu responses never differed from native — routing untested"
+            );
+            let sfu_stats = registry.backend_stats(sfu_id).unwrap();
+            assert!(sfu_stats.flushes > 0, "sfu function never flushed");
+            assert_eq!(
+                sfu_stats.elems,
+                sfu_elems.load(std::sync::atomic::Ordering::Relaxed),
+                "every sfu element must be accounted to its backend"
+            );
+            assert!(sfu_stats.cycles > 0, "per-flush cycle estimates must land");
+            assert!(sfu_stats.energy_nj > 0.0);
+            let native_stats = registry.backend_stats(native_id).unwrap();
+            assert!(native_stats.flushes > 0);
+            assert_eq!(
+                native_stats.cycles, 0,
+                "the native backend has no cost model"
+            );
+        },
+    );
+}
+
+/// Per-function flush policies: a tight-deadline function must flush on
+/// its own clock while a long-deadline function's jobs stay queued —
+/// the slow function cannot hold the fast one hostage, and vice versa
+/// the fast function's flushes must not sweep the slow one's jobs out
+/// early.
+#[test]
+fn per_function_flush_policies_fire_independently() {
+    with_watchdog(30, "per_function_flush_policies_fire_independently", || {
+        use flexsfu_serve::testkit::noop_waker;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::task::{Context, Poll};
+
+        let functions = test_functions();
+        let engine_fast = CompiledPwl::from_pwl(&functions[0]);
+        let engine_slow = CompiledPwl::from_pwl(&functions[1]);
+        let registry = Arc::new(FunctionRegistry::new());
+        let fast = registry.register("fast", &functions[0]);
+        let slow = registry.register("slow", &functions[1]);
+        registry
+            .set_policy(
+                fast,
+                Some(FlushPolicy {
+                    max_elems: usize::MAX / 2,
+                    deadline: Duration::from_millis(5),
+                }),
+            )
+            .unwrap();
+        registry
+            .set_policy(
+                slow,
+                Some(FlushPolicy {
+                    max_elems: usize::MAX / 2,
+                    // "Never deadline-flush" — also proves an
+                    // Instant-overflowing deadline saturates instead of
+                    // panicking the batcher.
+                    deadline: Duration::MAX,
+                }),
+            )
+            .unwrap();
+        // Server defaults are unreachable, so only the explicit
+        // policies can trigger flushes.
+        let server = PwlServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                flush_elements: usize::MAX / 2,
+                flush_interval: Duration::from_secs(3600),
+                queue_elements: usize::MAX / 2,
+                eval_workers: 1,
+            },
+        );
+        let handle = server.handle();
+        let mut next = rng(0xDEAD11);
+
+        // Slow first, fast second: a global deadline anchored at the
+        // oldest job would flush both together; per-function deadlines
+        // must release only the fast one.
+        let slow_data = request_tensor(&mut next, &functions[1], 40);
+        let slow_want = engine_slow.eval_batch(&slow_data);
+        let mut slow_ticket = handle.submit(slow, slow_data).unwrap();
+        let fast_data = request_tensor(&mut next, &functions[0], 40);
+        let fast_want = engine_fast.eval_batch(&fast_data);
+        let t0 = Instant::now();
+        let fast_ticket = handle.submit(fast, fast_data).unwrap();
+
+        let got_fast = fast_ticket.wait().unwrap();
+        let fast_latency = t0.elapsed();
+        assert_bits_eq(&got_fast, &fast_want, "fast function");
+        assert!(
+            fast_latency < Duration::from_secs(5),
+            "5 ms deadline took {fast_latency:?} — the slow function's \
+             never-expiring deadline held it hostage"
+        );
+
+        // The slow function's job must still be queued (its only
+        // triggers are an unreachable size threshold, queue pressure,
+        // or shutdown).
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert!(
+            matches!(Pin::new(&mut slow_ticket).poll(&mut cx), Poll::Pending),
+            "slow function flushed early — policies are not independent"
+        );
+
+        // Shutdown drains it, completing the job bit-identically.
+        server.shutdown();
+        let got_slow = slow_ticket.wait().unwrap();
+        assert_bits_eq(&got_slow, &slow_want, "slow function after drain");
+    });
+}
+
+/// Flush policies must never starve admissions: a long-deadline
+/// function filling the shared element bound would otherwise block
+/// every other function's `submit` for its whole deadline. A parked
+/// submitter forces a pressure flush of everything pending.
+#[test]
+fn queue_pressure_overrides_flush_policies() {
+    with_watchdog(30, "queue_pressure_overrides_flush_policies", || {
+        let functions = test_functions();
+        let engine_slow = CompiledPwl::from_pwl(&functions[1]);
+        let engine_fast = CompiledPwl::from_pwl(&functions[0]);
+        let registry = Arc::new(FunctionRegistry::new());
+        let slow = registry.register("slow", &functions[1]);
+        let fast = registry.register("fast", &functions[0]);
+        registry
+            .set_policy(
+                slow,
+                Some(FlushPolicy {
+                    max_elems: usize::MAX / 2,
+                    deadline: Duration::MAX, // only pressure/shutdown flush it
+                }),
+            )
+            .unwrap();
+        registry
+            .set_policy(
+                fast,
+                Some(FlushPolicy {
+                    max_elems: usize::MAX / 2,
+                    deadline: Duration::from_millis(5),
+                }),
+            )
+            .unwrap();
+        let server = PwlServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                flush_elements: usize::MAX / 2,
+                flush_interval: Duration::from_secs(3600),
+                queue_elements: 1_000,
+                eval_workers: 1,
+            },
+        );
+        let handle = server.handle();
+        let mut next = rng(0x9E55);
+
+        // Saturate the bound with the never-flushing function.
+        let mut slow_pending = Vec::new();
+        for _ in 0..10 {
+            let data = request_tensor(&mut next, &functions[1], 100);
+            let want = engine_slow.eval_batch(&data);
+            slow_pending.push((handle.submit(slow, data).unwrap(), want));
+        }
+
+        // This submit parks on the full queue; the resulting pressure
+        // flush must drain the slow function (despite its policy),
+        // admit this job, and the fast function's own 5 ms deadline
+        // completes it — all well within the watchdog.
+        let data = request_tensor(&mut next, &functions[0], 100);
+        let want = engine_fast.eval_batch(&data);
+        let t0 = Instant::now();
+        let got = handle.submit(fast, data).unwrap().wait().unwrap();
+        assert_bits_eq(&got, &want, "fast job under queue pressure");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "pressure flush failed to unblock admissions"
+        );
+        for (i, (ticket, want)) in slow_pending.into_iter().enumerate() {
+            let got = ticket.wait().unwrap();
+            assert_bits_eq(&got, &want, &format!("pressure-flushed slow job {i}"));
+        }
+        server.shutdown();
+    });
+}
+
+/// Non-blocking producers must not starve either: `try_submit` never
+/// parks (so it never raises the waiter count), but bouncing off the
+/// full queue still has to force a drain — retries eventually succeed
+/// even against a never-deadline function holding the bound.
+#[test]
+fn try_submit_rejection_forces_a_pressure_flush() {
+    with_watchdog(30, "try_submit_rejection_forces_a_pressure_flush", || {
+        let functions = test_functions();
+        let engine = CompiledPwl::from_pwl(&functions[1]);
+        let registry = Arc::new(FunctionRegistry::new());
+        let id = registry.register("slow", &functions[1]);
+        registry
+            .set_policy(
+                id,
+                Some(FlushPolicy {
+                    max_elems: usize::MAX / 2,
+                    deadline: Duration::MAX,
+                }),
+            )
+            .unwrap();
+        let server = PwlServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                flush_elements: usize::MAX / 2,
+                flush_interval: Duration::from_secs(3600),
+                queue_elements: 500,
+                eval_workers: 1,
+            },
+        );
+        let handle = server.handle();
+        let mut next = rng(0x7F11);
+        let mut tickets = Vec::new();
+        let mut saw_full = false;
+        // Pure try_submit producer: fill the bound, observe QueueFull,
+        // keep retrying — the rejection-triggered pressure flush must
+        // open space again (without it, every retry fails until
+        // shutdown).
+        let mut accepted = 0usize;
+        while accepted < 20 {
+            let data = request_tensor(&mut next, &functions[1], 100);
+            let want = engine.eval_batch(&data);
+            match handle.try_submit(id, data) {
+                Ok(t) => {
+                    tickets.push((t, want));
+                    accepted += 1;
+                }
+                Err(ServeError::QueueFull) => {
+                    saw_full = true;
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert!(saw_full, "a 500-element bound must reject 20×100 upfront");
+        // The first tranche was pressure-flushed, so its ticket
+        // completes *without* shutdown — poll it to readiness (bounded
+        // by the watchdog; the worker may still be evaluating).
+        {
+            use flexsfu_serve::testkit::noop_waker;
+            use std::future::Future;
+            use std::pin::Pin;
+            use std::task::{Context, Poll};
+            let waker = noop_waker();
+            let mut cx = Context::from_waker(&waker);
+            let (first, want) = &mut tickets[0];
+            let got = loop {
+                match Pin::new(&mut *first).poll(&mut cx) {
+                    Poll::Ready(r) => break r.unwrap(),
+                    Poll::Pending => thread::sleep(Duration::from_micros(200)),
+                }
+            };
+            assert_bits_eq(&got, want, "first pressure-flushed job");
+        }
+        // The tail tranche never saw pressure again; the shutdown drain
+        // completes it (and everything else) bit-identically.
+        server.shutdown();
+        for (i, (t, want)) in tickets.into_iter().skip(1).enumerate() {
+            let got = t.wait().expect("accepted job completes");
+            assert_bits_eq(&got, &want, &format!("try_submit job {i}"));
+        }
+    });
 }
 
 /// Submitting an unregistered id fails fast without touching the queue,

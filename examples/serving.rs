@@ -1,14 +1,16 @@
 //! Serving: many concurrent clients, one batching evaluation service.
 //!
 //! Demonstrates the `flexsfu-serve` front-end end to end: (1) register
-//! uniform-baseline GELU and tanh tables and start a [`PwlServer`];
-//! (2) drive it from 8 concurrent clients issuing small request tensors,
-//! asserting every response is bit-identical to evaluating the same
-//! tensor directly through the engine; (3) run the paper's optimizer in
-//! the background and **hot-swap** the optimized GELU table in while
-//! traffic keeps flowing — no request is dropped, and responses cut over
-//! to the new coefficients at a flush boundary; (4) shut down
-//! gracefully, draining everything in flight.
+//! uniform-baseline GELU and tanh tables — tanh twice, once on the
+//! native SIMD backend and once lowered onto the **bit-faithful SFU
+//! emulator** — and start a [`PwlServer`]; (2) drive it from 8
+//! concurrent clients issuing small request tensors, asserting every
+//! response is bit-identical to its own backend's reference evaluation;
+//! (3) run the paper's optimizer in the background and **hot-swap** the
+//! optimized GELU table in while traffic keeps flowing — no request is
+//! dropped, and responses cut over to the new coefficients at a flush
+//! boundary; (4) shut down gracefully and print the per-function
+//! backend report (flushes, elements, modelled cycles/energy).
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -18,20 +20,27 @@
 //! drain do not):
 //!
 //! ```text
-//! serving 2 functions to 8 concurrent clients (request = 96 elems)
-//!   batched  : 1600 requests in 28.3 ms  (5.4 Melem/s), all bit-identical
+//! serving 3 functions to 8 concurrent clients (request = 96 elems)
+//!   batched  : 1600 requests in 28.3 ms  (5.4 Melem/s), all bit-identical per backend
 //!   hot swap : optimized gelu table published mid-traffic; MSE 2.1e-4 -> 5.4e-6
 //!   cutover  : post-publish responses match the optimized table exactly
 //!   shutdown : drained cleanly
+//!
+//! function      backend   flushes      elems      cycles  energy(nJ)  elems/cycle
+//! gelu          native         61      53664           0           -            -
+//! tanh          native         44      25632           0           -            -
+//! tanh-sfu      sfu-emu        41      25632       13373        82.5         1.92
 //! ```
 //!
 //! [`PwlServer`]: flexsfu::serve::PwlServer
 
+use flexsfu::backend::{BackendProgram, SfuBackend};
 use flexsfu::core::init::uniform_pwl;
 use flexsfu::core::loss::integral_mse;
 use flexsfu::core::{CompiledPwl, PwlEvaluator};
 use flexsfu::funcs::{Gelu, Tanh};
 use flexsfu::optim::{optimize, OptimizeConfig};
+use flexsfu::perf::{render_backend_table, BackendReportRow};
 use flexsfu::serve::{FunctionRegistry, PwlServer, ServeConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +61,16 @@ fn main() {
     let registry = Arc::new(FunctionRegistry::new());
     let gelu_id = registry.register("gelu", &gelu_uniform);
     let tanh_id = registry.register("tanh", &tanh_uniform);
+    // The same tanh table, lowered onto the FP16 SFU emulator: flushes
+    // of this function walk the modelled ADU/LTC datapath and report
+    // cycle/energy estimates.
+    let sfu_backend = SfuBackend::fp16(16);
+    let sfu_reference = sfu_backend
+        .lower_program(&tanh_uniform.compile())
+        .expect("16 segments fit the depth-16 emulator");
+    let tanh_sfu_id = registry
+        .register_with_backend("tanh-sfu", &tanh_uniform, Arc::new(sfu_backend))
+        .expect("lowering succeeds");
     let server = PwlServer::start(
         Arc::clone(&registry),
         ServeConfig {
@@ -61,10 +80,10 @@ fn main() {
         },
     );
     let handle = server.handle();
-    println!("serving 2 functions to {CLIENTS} concurrent clients (request = {REQ_ELEMS} elems)");
+    println!("serving 3 functions to {CLIENTS} concurrent clients (request = {REQ_ELEMS} elems)");
 
-    // 2. Concurrent traffic, every response checked bitwise against a
-    //    direct engine evaluation of the same tensor.
+    // 2. Concurrent traffic, every response checked bitwise against its
+    //    own backend's reference evaluation of the same tensor.
     let e_gelu = CompiledPwl::from_pwl(&gelu_uniform);
     let e_tanh = CompiledPwl::from_pwl(&tanh_uniform);
     let t0 = Instant::now();
@@ -72,21 +91,21 @@ fn main() {
         for client in 0..CLIENTS {
             let handle = handle.clone();
             let (e_gelu, e_tanh) = (&e_gelu, &e_tanh);
+            let sfu_reference = &sfu_reference;
             scope.spawn(move || {
                 for r in 0..REQUESTS_PER_CLIENT {
                     let data = request_tensor((client * REQUESTS_PER_CLIENT + r) as u64);
-                    let (id, engine) = if (client + r) % 2 == 0 {
-                        (gelu_id, e_gelu)
-                    } else {
-                        (tanh_id, e_tanh)
+                    let (id, want) = match (client + r) % 4 {
+                        0 | 2 => (gelu_id, e_gelu.eval_batch(&data)),
+                        1 => (tanh_id, e_tanh.eval_batch(&data)),
+                        _ => (tanh_sfu_id, sfu_reference.eval_batch(&data).0),
                     };
-                    let want = engine.eval_batch(&data);
                     let got = handle.submit(id, data).unwrap().wait().unwrap();
                     assert!(
                         got.iter()
                             .zip(&want)
                             .all(|(a, b)| a.to_bits() == b.to_bits()),
-                        "client {client} request {r}: response diverged from direct eval"
+                        "client {client} request {r}: response diverged from its backend"
                     );
                 }
             });
@@ -95,7 +114,7 @@ fn main() {
     let elapsed = t0.elapsed();
     let total = CLIENTS * REQUESTS_PER_CLIENT;
     println!(
-        "  batched  : {total} requests in {:.1} ms  ({:.1} Melem/s), all bit-identical",
+        "  batched  : {total} requests in {:.1} ms  ({:.1} Melem/s), all bit-identical per backend",
         elapsed.as_secs_f64() * 1e3,
         (total * REQ_ELEMS) as f64 / elapsed.as_secs_f64() / 1e6
     );
@@ -152,4 +171,25 @@ fn main() {
 
     server.shutdown();
     println!("  shutdown : drained cleanly");
+
+    // 5. The per-function backend report: the emulated function carries
+    //    modelled hardware costs, the native ones do not.
+    let rows: Vec<BackendReportRow> = registry
+        .functions()
+        .into_iter()
+        .map(|(id, function, backend)| {
+            let s = registry.backend_stats(id).unwrap();
+            BackendReportRow {
+                function,
+                backend,
+                flushes: s.flushes,
+                elems: s.elems,
+                cycles: s.cycles,
+                energy_nj: s.energy_nj,
+            }
+        })
+        .collect();
+    println!("\n{}", render_backend_table(&rows).trim_end());
+    let sfu_stats = registry.backend_stats(tanh_sfu_id).unwrap();
+    assert!(sfu_stats.flushes > 0 && sfu_stats.cycles > 0);
 }

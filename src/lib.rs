@@ -23,6 +23,10 @@
 //!   through the batch engine),
 //! * [`hw`] — the ADU/LTC/pipeline hardware model with calibrated 28 nm
 //!   area/power; programmable straight from a [`core::CompiledPwl`],
+//! * [`backend`] — pluggable evaluation backends over the engine: the
+//!   native SIMD kernels and a bit-faithful fixed-point SFU emulator
+//!   returning per-flush cycle/energy estimates; the serving layer
+//!   routes each function's flushes to its bound backend,
 //! * [`nn`] — the small DNN substrate for end-to-end accuracy
 //!   experiments; activation substitution batch-evaluates whole tensors,
 //! * [`serve`] — the request-batched serving front-end: concurrent
@@ -62,6 +66,7 @@
 //! `crates/bench/src/bin/` for the binaries regenerating every table and
 //! figure of the paper.
 
+pub use flexsfu_backend as backend;
 pub use flexsfu_core as core;
 pub use flexsfu_formats as formats;
 pub use flexsfu_funcs as funcs;
