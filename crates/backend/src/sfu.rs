@@ -51,6 +51,32 @@ impl SfuBackend {
         )
     }
 
+    /// The smallest paper-range configuration (depth a power of two,
+    /// at least 4) whose LTC holds `segments` table segments, in the
+    /// given element format — the constructor a design-space sweep
+    /// uses: hand it [`CompiledPwl::num_segments`] and the lowering
+    /// fits by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexsfu_backend::SfuBackend;
+    /// use flexsfu_formats::{DataFormat, FloatFormat};
+    ///
+    /// let fmt = DataFormat::Float(FloatFormat::FP16);
+    /// assert_eq!(SfuBackend::for_segments(3, fmt).config().ltc_depth, 4);
+    /// assert_eq!(SfuBackend::for_segments(33, fmt).config().ltc_depth, 64);
+    /// ```
+    pub fn for_segments(segments: usize, format: DataFormat) -> Self {
+        assert!(segments > 0, "a table has at least one segment");
+        let depth = segments.next_power_of_two().max(4);
+        Self::new(FlexSfuConfig::new(depth, 1), format)
+    }
+
     /// The emulated unit's static configuration.
     pub fn config(&self) -> FlexSfuConfig {
         self.config
@@ -316,6 +342,22 @@ mod tests {
             let (y, _) = lowered.eval_batch(&[x]);
             let err = (y[0] - pwl.eval(x)).abs();
             assert!(err <= bound, "x = {x}: err {err} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn for_segments_always_fits_its_table() {
+        let fmt = DataFormat::Float(flexsfu_formats::FloatFormat::FP16);
+        for n in [2usize, 3, 7, 15, 31, 32, 63] {
+            let engine = uniform_pwl(&Tanh, n, (-8.0, 8.0)).compile();
+            let backend = SfuBackend::for_segments(engine.num_segments(), fmt);
+            assert!(
+                backend.lower(&engine).is_ok(),
+                "{n} breakpoints must fit depth {}",
+                backend.config().ltc_depth
+            );
+            assert!(backend.config().ltc_depth >= 4);
+            assert!(backend.config().ltc_depth.is_power_of_two());
         }
     }
 

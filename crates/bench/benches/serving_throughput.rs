@@ -17,6 +17,13 @@
 //!   Clients keep a bounded window of in-flight tickets (a closed loop
 //!   with pipelining, like a real frontend), and drain it inside the
 //!   timed region.
+//! * **tuned** — the same batched design, but the registry is brought
+//!   up by the auto-tuner (`flexsfu_tune::tune_and_bind` under an
+//!   8-ulp@1 budget): tuned table, winning backend binding and derived
+//!   flush policy per function. Informational — the tuner optimizes
+//!   *modelled hardware* cycles, so a winner on the SFU emulator trades
+//!   host throughput for modelled-silicon cost by design (that is the
+//!   column's point).
 //!
 //! The table reports aggregate throughput (Melem/s) plus the
 //! per-request latency histogram — mean, p50, p95 and p99 — per client
@@ -28,7 +35,8 @@
 use flexsfu_core::init::uniform_pwl;
 use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::{Gelu, Tanh};
-use flexsfu_serve::{FunctionRegistry, JobTicket, PwlServer, ServeConfig};
+use flexsfu_serve::{FunctionId, FunctionRegistry, JobTicket, PwlServer, ServeConfig};
+use flexsfu_tune::{tune_and_bind, TuneBudget, TuneOptions};
 use std::collections::VecDeque;
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
@@ -120,6 +128,53 @@ where
     }
 }
 
+/// One closed-loop batched run against an existing registry: `clients`
+/// submitters with a bounded in-flight window each, draining inside the
+/// timed region. Latency per request = submit to result observed.
+fn run_batched(
+    clients: usize,
+    online: usize,
+    registry: &Arc<FunctionRegistry>,
+    function: FunctionId,
+) -> RunStats {
+    let server = PwlServer::start(
+        Arc::clone(registry),
+        ServeConfig {
+            flush_elements: 8 * 1024,
+            flush_interval: Duration::from_micros(200),
+            queue_elements: 64 * 1024,
+            eval_workers: online.clamp(1, 4),
+        },
+    );
+    let handle = server.handle();
+    let windows: Vec<Mutex<VecDeque<(Instant, JobTicket)>>> =
+        (0..clients).map(|_| Mutex::new(VecDeque::new())).collect();
+    let wait_one = |window: &mut VecDeque<(Instant, JobTicket)>, completed: &mut Vec<Duration>| {
+        let (t0, ticket) = window.pop_front().expect("window non-empty");
+        std::hint::black_box(ticket.wait().expect("serving result"));
+        completed.push(t0.elapsed());
+    };
+    let stats = run_clients(clients, |c, r, data, completed| {
+        let mut window = windows[c].lock().unwrap();
+        if window.len() == WINDOW {
+            wait_one(&mut window, completed);
+        }
+        window.push_back((
+            Instant::now(),
+            handle.submit(function, data).expect("submit"),
+        ));
+        if r == REQS_PER_CLIENT - 1 {
+            // Last request: drain inside the timed region so the
+            // throughput number covers every result.
+            while !window.is_empty() {
+                wait_one(&mut window, completed);
+            }
+        }
+    });
+    server.shutdown();
+    stats
+}
+
 fn main() {
     let online = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -128,9 +183,39 @@ fn main() {
     let tanh: PwlFunction = uniform_pwl(&Tanh, 63, (-8.0, 8.0));
     let engine = Arc::new(CompiledPwl::from_pwl(&gelu));
 
+    // The hand-configured registry every prior column serves from.
+    let registry = Arc::new(FunctionRegistry::new());
+    let gelu_id = registry.register("gelu", &gelu);
+    // A second registered function keeps the per-function grouping
+    // honest (idle here; the stress suite exercises it).
+    let _tanh_id = registry.register("tanh", &tanh);
+
+    // The tuned registry: table, backend binding and flush policy all
+    // chosen by the design-space sweep under an 8-ulp@1 accuracy
+    // budget. Tuning runs once, outside every timed region.
+    let tuned_registry = Arc::new(FunctionRegistry::new());
+    let tuned = tune_and_bind(
+        &["gelu", "tanh"],
+        &tuned_registry,
+        &TuneBudget::max_error(8.0),
+        &TuneOptions::default(),
+    )
+    .expect("an 8-ulp budget is feasible for gelu/tanh");
+    let tuned_gelu_id = tuned[0].0;
+    let tuned_winner = tuned[0].1.winner();
+
     println!(
         "serving_throughput: {REQ_ELEMS}-element requests x {REQS_PER_CLIENT}/client, \
          64-segment tables, {online} online CPU(s)"
+    );
+    println!(
+        "tuned column: gelu auto-bound to {} {} x {} breakpoints \
+         (ulp@1 {:.2}, modelled cycles/elem {:.2}; informational)",
+        tuned_winner.config.backend.backend_label(),
+        tuned_winner.config.backend.format_label(),
+        tuned_winner.config.breakpoints,
+        tuned_winner.ulp_at_1,
+        tuned_winner.cycles_per_elem,
     );
     println!("clients  design      Melem/s        mean         p50         p95         p99");
 
@@ -160,56 +245,18 @@ fn main() {
         // Request-batched serving: one server, `clients` submitters with
         // a bounded in-flight window each. Latency per request = submit
         // to result observed (accumulated when the ticket is waited).
-        let batched = {
-            let registry = Arc::new(FunctionRegistry::new());
-            let gelu_id = registry.register("gelu", &gelu);
-            // A second registered function keeps the per-function
-            // grouping honest (idle here; the stress suite exercises it).
-            let _tanh_id = registry.register("tanh", &tanh);
-            let server = PwlServer::start(
-                Arc::clone(&registry),
-                ServeConfig {
-                    flush_elements: 8 * 1024,
-                    flush_interval: Duration::from_micros(200),
-                    queue_elements: 64 * 1024,
-                    eval_workers: online.clamp(1, 4),
-                },
-            );
-            let handle = server.handle();
-            let windows: Vec<Mutex<VecDeque<(Instant, JobTicket)>>> =
-                (0..clients).map(|_| Mutex::new(VecDeque::new())).collect();
-            let wait_one = |window: &mut VecDeque<(Instant, JobTicket)>,
-                            completed: &mut Vec<Duration>| {
-                let (t0, ticket) = window.pop_front().expect("window non-empty");
-                std::hint::black_box(ticket.wait().expect("serving result"));
-                completed.push(t0.elapsed());
-            };
-            let stats = run_clients(clients, |c, r, data, completed| {
-                let mut window = windows[c].lock().unwrap();
-                if window.len() == WINDOW {
-                    wait_one(&mut window, completed);
-                }
-                window.push_back((
-                    Instant::now(),
-                    handle.submit(gelu_id, data).expect("submit"),
-                ));
-                if r == REQS_PER_CLIENT - 1 {
-                    // Last request: drain inside the timed region so the
-                    // throughput number covers every result.
-                    while !window.is_empty() {
-                        wait_one(&mut window, completed);
-                    }
-                }
-            });
-            server.shutdown();
-            stats
-        };
+        let batched = run_batched(clients, online, &registry, gelu_id);
+
+        // The same design over the auto-tuned registry (tuned table,
+        // winning backend, derived flush policy).
+        let tuned = run_batched(clients, online, &tuned_registry, tuned_gelu_id);
 
         let m = 1e-6;
         for (design, stats) in [
             ("scalar/req", &scalar),
             ("engine/req", &per_req),
             ("batched   ", &batched),
+            ("tuned     ", &tuned),
         ] {
             println!(
                 "{clients:>7}  {design}  {:>7.0}  {:>10.1?}  {:>10.1?}  {:>10.1?}  {:>10.1?}",

@@ -39,10 +39,12 @@ pub mod baselines;
 pub mod grad;
 pub mod heuristics;
 pub mod optimizer;
+pub mod quick;
 pub mod refit;
 pub mod scheduler;
 
 pub use adam::Adam;
 pub use grad::{GradWorkspace, Gradient, SampledProblem};
 pub use optimizer::{optimize, InitStrategy, OptimizeConfig, OptimizeResult};
+pub use quick::quick_nonuniform;
 pub use scheduler::ReduceLrOnPlateau;

@@ -1,0 +1,161 @@
+//! Fast non-uniform table generation for design-space sweeps.
+//!
+//! The full [`optimize`](crate::optimize) pipeline spends thousands of
+//! Adam steps per table — the right tool for producing one production
+//! table, and the wrong one for a tuner that must price dozens of
+//! candidate configurations per function. [`quick_nonuniform`] gets most
+//! of the non-uniformity win at a tiny fraction of the cost by composing
+//! the pipeline's two *exact* sub-solvers and skipping gradient descent
+//! entirely:
+//!
+//! 1. initialize uniformly with asymptote-tied boundaries
+//!    ([`flexsfu_core::init::uniform_pwl_asymptotic`]);
+//! 2. snap values to their least-squares optimum for the current
+//!    breakpoints ([`refit_values`] — an exact tridiagonal solve);
+//! 3. run a few remove/insert escapes ([`remove_insert_move`]): delete
+//!    the breakpoint whose absence hurts least, re-insert it where the
+//!    error mass is concentrated, refit, and keep the move only if the
+//!    sampled loss improved.
+//!
+//! Every step is deterministic (no RNG, no wall clock), so two calls
+//! with the same arguments return bit-identical tables — the property
+//! the tuner's reproducibility suite pins.
+
+use crate::grad::SampledProblem;
+use crate::heuristics::remove_insert_move;
+use crate::refit::refit_values;
+use flexsfu_core::boundary::BoundarySpec;
+use flexsfu_core::init::uniform_pwl_asymptotic;
+use flexsfu_core::PwlFunction;
+use flexsfu_funcs::Activation;
+
+/// Builds a non-uniform `n`-breakpoint table for `f` over `range`:
+/// uniform asymptotic init, an exact least-squares value refit, then
+/// `moves` greedy remove/insert escapes (each kept only if it lowers the
+/// sampled loss on an `samples`-point grid).
+///
+/// Deterministic, and orders of magnitude cheaper than
+/// [`optimize`](crate::optimize) — intended as the per-candidate table
+/// generator of a design-space sweep, not as a replacement for the full
+/// pipeline.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `samples == 0` or the range is not an interval.
+/// `moves` is ignored (no escapes run) when `n < 3`, since a
+/// remove/insert needs a spare breakpoint to move.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_core::init::uniform_pwl;
+/// use flexsfu_core::loss::integral_mse;
+/// use flexsfu_funcs::Gelu;
+/// use flexsfu_optim::quick_nonuniform;
+///
+/// let quick = quick_nonuniform(&Gelu, 12, (-8.0, 8.0), 1024, 2);
+/// let uniform = uniform_pwl(&Gelu, 12, (-8.0, 8.0));
+/// let (q, u) = (
+///     integral_mse(&quick, &Gelu, -8.0, 8.0),
+///     integral_mse(&uniform, &Gelu, -8.0, 8.0),
+/// );
+/// assert!(q < u, "non-uniform {q:.2e} must beat uniform {u:.2e}");
+/// ```
+pub fn quick_nonuniform(
+    f: &dyn Activation,
+    n: usize,
+    range: (f64, f64),
+    samples: usize,
+    moves: usize,
+) -> PwlFunction {
+    let (a, b) = range;
+    assert!(a < b, "range must be a non-empty interval, got [{a}, {b}]");
+    assert!(samples > 0, "need at least one loss sample");
+    // Same boundary policy as the full optimizer: tie an end to its
+    // asymptote only when the range actually reaches it.
+    let spec = BoundarySpec::for_range(f, range, 5e-3);
+    let problem = SampledProblem::new(f, a, b, samples);
+
+    let mut pwl = refit_values(&uniform_pwl_asymptotic(f, n, range), &problem, &spec);
+    if n < 3 {
+        return pwl;
+    }
+    let mut loss = problem.loss(&pwl);
+    for _ in 0..moves {
+        let (moved, removed_idx, inserted_at) = remove_insert_move(&pwl, f, range, &spec);
+        let candidate = refit_values(&moved, &problem, &spec);
+        let candidate_loss = problem.loss(&candidate);
+        if candidate_loss < loss {
+            loss = candidate_loss;
+            pwl = candidate;
+        } else {
+            // The greedy pair re-proposes the same move once rejected
+            // (everything here is deterministic), so stop early instead
+            // of burning the remaining iterations on a fixed point.
+            let _ = (removed_idx, inserted_at);
+            break;
+        }
+    }
+    pwl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_core::init::uniform_pwl;
+    use flexsfu_core::loss::integral_mse;
+    use flexsfu_funcs::{Exp, Gelu, Sigmoid, Tanh};
+
+    #[test]
+    fn beats_uniform_on_curved_functions() {
+        for f in [&Gelu as &dyn Activation, &Sigmoid, &Tanh] {
+            let range = f.default_range();
+            let quick = quick_nonuniform(f, 16, range, 1024, 2);
+            let uniform = uniform_pwl(f, 16, range);
+            let q = integral_mse(&quick, f, range.0, range.1);
+            let u = integral_mse(&uniform, f, range.0, range.1);
+            assert!(q < u, "{}: quick {q:.3e} vs uniform {u:.3e}", f.name());
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = quick_nonuniform(&Gelu, 15, (-8.0, 8.0), 1024, 2);
+        let b = quick_nonuniform(&Gelu, 15, (-8.0, 8.0), 1024, 2);
+        assert_eq!(a.breakpoints(), b.breakpoints());
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn preserves_breakpoint_count_and_range() {
+        for moves in [0, 1, 3] {
+            let pwl = quick_nonuniform(&Tanh, 31, (-8.0, 8.0), 1024, moves);
+            assert_eq!(pwl.num_breakpoints(), 31);
+            let p = pwl.breakpoints();
+            assert!(p[0] >= -8.0 && p[30] <= 8.0);
+            assert!(p.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn respects_asymptotic_range_of_exp() {
+        let range = Exp.default_range(); // (-10, 0.1)
+        let pwl = quick_nonuniform(&Exp, 7, range, 512, 1);
+        assert_eq!(pwl.left_slope(), 0.0, "left end tied to the asymptote");
+        assert!(pwl.eval(-30.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_breakpoints_skip_moves() {
+        let pwl = quick_nonuniform(&Tanh, 2, (-2.0, 2.0), 256, 5);
+        assert_eq!(pwl.num_breakpoints(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty interval")]
+    fn rejects_empty_range() {
+        quick_nonuniform(&Tanh, 8, (1.0, 1.0), 128, 0);
+    }
+}

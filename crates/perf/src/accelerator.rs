@@ -1,5 +1,6 @@
 //! The accelerator timing model.
 
+use flexsfu_backend::HwEstimate;
 use flexsfu_zoo::generator::baseline_activation_cost;
 use flexsfu_zoo::ModelDescriptor;
 
@@ -79,6 +80,53 @@ pub fn speedup(m: &ModelDescriptor, cfg: &AcceleratorConfig) -> f64 {
     baseline_cycles(m, cfg).total() / flexsfu_cycles(m, cfg).total()
 }
 
+/// Flex-SFU timing priced from a **measured per-flush estimate** instead
+/// of the fixed `flexsfu_elems_per_cycle` constant: activation cycles
+/// are `activation_elems × est.cycles / flush_elems`, i.e. the real
+/// fill-plus-streaming rate the emulated unit reported for a
+/// representative flush of `flush_elems` elements (the unit is
+/// integrated into the vector pipeline, so its cycles are counted at
+/// the accelerator clock). Matrix and vector terms are unchanged.
+///
+/// This is how a tuned deployment prices itself: lower a table through
+/// [`flexsfu_backend::SfuBackend`], take one flush's
+/// [`HwEstimate`], and feed it here — the end-to-end model then reflects
+/// the *configured* depth, format and cluster count rather than an
+/// idealized width.
+///
+/// # Panics
+///
+/// Panics if `flush_elems == 0`.
+pub fn flexsfu_cycles_from_estimate(
+    m: &ModelDescriptor,
+    cfg: &AcceleratorConfig,
+    est: &HwEstimate,
+    flush_elems: usize,
+) -> ModelTiming {
+    assert!(flush_elems > 0, "estimate must cover at least one element");
+    let cycles_per_elem = est.cycles as f64 / flush_elems as f64;
+    ModelTiming {
+        matrix: m.macs / cfg.matrix_macs_per_cycle,
+        vector: m.vector_elems / cfg.vpu_elems_per_cycle,
+        activation: m.activation_elems * cycles_per_elem,
+    }
+}
+
+/// End-to-end speedup with activation evaluation priced from a measured
+/// per-flush [`HwEstimate`] — see [`flexsfu_cycles_from_estimate`].
+///
+/// # Panics
+///
+/// Panics if `flush_elems == 0`.
+pub fn speedup_from_estimate(
+    m: &ModelDescriptor,
+    cfg: &AcceleratorConfig,
+    est: &HwEstimate,
+    flush_elems: usize,
+) -> f64 {
+    baseline_cycles(m, cfg).total() / flexsfu_cycles_from_estimate(m, cfg, est, flush_elems).total()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +175,79 @@ mod tests {
         let silu = speedup(&model("silu", 2e6), &cfg);
         let gelu = speedup(&model("gelu", 2e6), &cfg);
         assert!(1.0 < hs && hs < silu && silu < gelu);
+    }
+
+    #[test]
+    fn estimate_pricing_matches_fixed_constant_at_the_same_rate() {
+        // An estimate that streams 8 elems/cycle is exactly the fixed
+        // `flexsfu_elems_per_cycle = 8` constant.
+        let cfg = AcceleratorConfig::ascend_like();
+        let m = model("gelu", 4e6);
+        let est = HwEstimate {
+            cycles: 1 << 17,
+            energy_nj: 1.0,
+            area_um2: 1.0,
+        };
+        let fixed = flexsfu_cycles(&m, &cfg);
+        let measured = flexsfu_cycles_from_estimate(&m, &cfg, &est, 8 << 17);
+        assert!((fixed.activation - measured.activation).abs() < 1e-9);
+        assert_eq!(fixed.matrix, measured.matrix);
+        assert_eq!(fixed.vector, measured.vector);
+        assert!((speedup(&m, &cfg) - speedup_from_estimate(&m, &cfg, &est, 8 << 17)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_measured_unit_means_lower_speedup() {
+        let cfg = AcceleratorConfig::ascend_like();
+        let m = model("gelu", 4e6);
+        // 2 elems/cycle vs 4 elems/cycle: the slower unit speeds the
+        // model up less, but still > 1 (GELU costs 12 VPU ops baseline).
+        let slow = HwEstimate {
+            cycles: 2048,
+            energy_nj: 1.0,
+            area_um2: 1.0,
+        };
+        let fast = HwEstimate {
+            cycles: 1024,
+            energy_nj: 1.0,
+            area_um2: 1.0,
+        };
+        let s_slow = speedup_from_estimate(&m, &cfg, &slow, 4096);
+        let s_fast = speedup_from_estimate(&m, &cfg, &fast, 4096);
+        assert!(1.0 < s_slow && s_slow < s_fast, "{s_slow} vs {s_fast}");
+    }
+
+    #[test]
+    fn fill_latency_in_the_estimate_is_charged() {
+        // Per-flush fill cycles make small reference flushes price worse
+        // — the model must not silently amortize them away.
+        let cfg = AcceleratorConfig::ascend_like();
+        let m = model("silu", 3e6);
+        let with_fill = HwEstimate {
+            cycles: 11 + 512, // fill + streaming
+            energy_nj: 1.0,
+            area_um2: 1.0,
+        };
+        let steady = HwEstimate {
+            cycles: 512,
+            energy_nj: 1.0,
+            area_um2: 1.0,
+        };
+        let a = flexsfu_cycles_from_estimate(&m, &cfg, &with_fill, 1024).activation;
+        let b = flexsfu_cycles_from_estimate(&m, &cfg, &steady, 1024).activation;
+        assert!(a > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_element_estimate_panics() {
+        let cfg = AcceleratorConfig::ascend_like();
+        let est = HwEstimate {
+            cycles: 10,
+            energy_nj: 0.0,
+            area_um2: 0.0,
+        };
+        flexsfu_cycles_from_estimate(&model("gelu", 1e6), &cfg, &est, 0);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Design-space frontier reports.
+//!
+//! A tuner sweeping candidate configurations (segment counts × data
+//! formats × backends) produces, for every candidate, a measured error
+//! and a modelled cost — exactly the accuracy/cycles trade-off the
+//! paper's evaluation plots. This module renders that sweep as a
+//! fixed-width table: one row per candidate with its position on the
+//! Pareto frontier and the selected winner flagged.
+//!
+//! Like [`crate::serving`], the module deliberately consumes plain data:
+//! the tuner maps its candidate reports into [`FrontierRow`]s, so any
+//! future search layer (a GPU backend sweep, an RPC-driven tuner) reuses
+//! the same report.
+
+/// One candidate configuration's measured position in the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRow {
+    /// Backend label (`"native"`, `"sfu-emu"`, …).
+    pub backend: &'static str,
+    /// Element format label (`"fp16"`, `"q4.11"`, …); `"-"` for
+    /// backends that do not quantize (native f64).
+    pub format: String,
+    /// Breakpoints in the candidate's table.
+    pub breakpoints: usize,
+    /// Measured max error vs scalar f64, in FP16 ULPs at base 1.
+    pub ulp_at_1: f64,
+    /// Modelled cost: cycles per element.
+    pub cycles_per_elem: f64,
+    /// Modelled energy per element in nanojoules (0 without a model).
+    pub energy_nj_per_elem: f64,
+    /// Whether the candidate is on the Pareto frontier (non-dominated).
+    pub on_frontier: bool,
+    /// Whether the objective selected this candidate.
+    pub winner: bool,
+}
+
+/// Renders rows as a fixed-width frontier table. Frontier membership is
+/// shown as `*` and the winner as `<=` in the trailing column.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_perf::frontier::{render_frontier_table, FrontierRow};
+///
+/// let table = render_frontier_table(&[FrontierRow {
+///     backend: "sfu-emu",
+///     format: "fp16".into(),
+///     breakpoints: 15,
+///     ulp_at_1: 3.75,
+///     cycles_per_elem: 0.52,
+///     energy_nj_per_elem: 0.004,
+///     on_frontier: true,
+///     winner: true,
+/// }]);
+/// assert!(table.contains("pareto"));
+/// assert!(table.contains("* <="));
+/// ```
+pub fn render_frontier_table(rows: &[FrontierRow]) -> String {
+    let mut out =
+        String::from("backend   format   breakpts    ulp@1  cycles/elem  nJ/elem    pareto\n");
+    for row in rows {
+        let mark = match (row.on_frontier, row.winner) {
+            (_, true) => "* <=",
+            (true, false) => "*",
+            (false, false) => "",
+        };
+        let energy = if row.energy_nj_per_elem > 0.0 {
+            format!("{:.4}", row.energy_nj_per_elem)
+        } else {
+            "-".into()
+        };
+        out.push_str(&format!(
+            "{:<8}  {:<7}  {:>8}  {:>7.2}  {:>11.3}  {:>7}    {}\n",
+            row.backend,
+            row.format,
+            row.breakpoints,
+            row.ulp_at_1,
+            row.cycles_per_elem,
+            energy,
+            mark,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(winner: bool, frontier: bool) -> FrontierRow {
+        FrontierRow {
+            backend: "native",
+            format: "-".into(),
+            breakpoints: 31,
+            ulp_at_1: 0.8,
+            cycles_per_elem: 1.5,
+            energy_nj_per_elem: 0.0,
+            on_frontier: frontier,
+            winner,
+        }
+    }
+
+    #[test]
+    fn one_line_per_row_plus_header() {
+        let table = render_frontier_table(&[row(false, true), row(true, false)]);
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.lines().next().unwrap().contains("cycles/elem"));
+    }
+
+    #[test]
+    fn winner_and_frontier_marks() {
+        let table = render_frontier_table(&[row(true, true), row(false, true), row(false, false)]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].trim_end().ends_with("* <="));
+        assert!(lines[2].trim_end().ends_with('*'));
+        assert!(!lines[3].contains('*'));
+    }
+
+    #[test]
+    fn native_energy_renders_as_dash() {
+        let table = render_frontier_table(&[row(false, false)]);
+        assert!(table.lines().nth(1).unwrap().contains('-'));
+    }
+}

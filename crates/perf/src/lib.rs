@@ -15,6 +15,12 @@
 //! The [`serving`] module adds the serving-side report: per-function
 //! backend activity (flushes, elements, modelled cycles/energy) with an
 //! explicit backend column, fed by the serve layer's registry counters.
+//! The [`frontier`] module renders a design-space sweep (candidate
+//! configurations with measured error and modelled cost) as a Pareto
+//! table, and [`accelerator::flexsfu_cycles_from_estimate`] prices the
+//! end-to-end model from a measured per-flush
+//! [`flexsfu_backend::HwEstimate`] instead of the fixed
+//! elems-per-cycle constant.
 //!
 //! # Examples
 //!
@@ -29,9 +35,14 @@
 //! ```
 
 pub mod accelerator;
+pub mod frontier;
 pub mod report;
 pub mod serving;
 
-pub use accelerator::{baseline_cycles, flexsfu_cycles, speedup, AcceleratorConfig, ModelTiming};
+pub use accelerator::{
+    baseline_cycles, flexsfu_cycles, flexsfu_cycles_from_estimate, speedup, speedup_from_estimate,
+    AcceleratorConfig, ModelTiming,
+};
+pub use frontier::{render_frontier_table, FrontierRow};
 pub use report::{family_summary, zoo_summary, FamilyStats, ZooStats};
 pub use serving::{render_backend_table, BackendReportRow};

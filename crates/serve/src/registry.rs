@@ -168,6 +168,48 @@ impl FunctionRegistry {
         engine: CompiledPwl,
         backend: Arc<dyn EvalBackend>,
     ) -> Result<FunctionId, crate::ServeError> {
+        self.register_compiled_with_backend_and_policy(name, engine, backend, None)
+    }
+
+    /// [`Self::register_with_backend`] plus an initial [`FlushPolicy`],
+    /// installed under the same registry write lock as the entry itself
+    /// — so a batcher that sees the function at all sees it with its
+    /// policy, never in a default-policy window. This is the bulk-bring-up
+    /// entry point an auto-tuner uses: one call per function registers
+    /// the tuned table, its backend binding *and* its derived flush
+    /// policy atomically.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::register_with_backend`].
+    pub fn register_with_backend_and_policy(
+        &self,
+        name: impl Into<String>,
+        pwl: &PwlFunction,
+        backend: Arc<dyn EvalBackend>,
+        policy: Option<FlushPolicy>,
+    ) -> Result<FunctionId, crate::ServeError> {
+        self.register_compiled_with_backend_and_policy(
+            name,
+            CompiledPwl::from_pwl(pwl),
+            backend,
+            policy,
+        )
+    }
+
+    /// [`Self::register_with_backend_and_policy`] for an already
+    /// compiled engine.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::register_with_backend`].
+    pub fn register_compiled_with_backend_and_policy(
+        &self,
+        name: impl Into<String>,
+        engine: CompiledPwl,
+        backend: Arc<dyn EvalBackend>,
+        policy: Option<FlushPolicy>,
+    ) -> Result<FunctionId, crate::ServeError> {
         let (par, program) = bind(&backend, engine)?;
         let mut entries = self.entries.write().unwrap();
         let id = FunctionId(entries.len() as u32);
@@ -176,7 +218,7 @@ impl FunctionRegistry {
             engine: par,
             backend,
             program,
-            policy: None,
+            policy,
             stats: Arc::new(StatsAccumulator::default()),
         });
         Ok(id)
@@ -424,6 +466,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.backend_name(id), Some("sfu-emu"));
+    }
+
+    #[test]
+    fn register_with_policy_installs_both_atomically() {
+        let r = FunctionRegistry::new();
+        let policy = FlushPolicy {
+            max_elems: 2048,
+            deadline: Duration::from_micros(500),
+        };
+        let id = r
+            .register_with_backend_and_policy(
+                "tanh",
+                &uniform_pwl(&Tanh, 15, (-8.0, 8.0)),
+                Arc::new(SfuBackend::fp16(16)),
+                Some(policy),
+            )
+            .unwrap();
+        assert_eq!(r.backend_name(id), Some("sfu-emu"));
+        assert_eq!(r.policy(id), Some(policy));
+        // `None` keeps the server defaults, exactly like plain register.
+        let plain = r
+            .register_with_backend_and_policy(
+                "gelu",
+                &uniform_pwl(&Gelu, 8, (-8.0, 8.0)),
+                Arc::new(SfuBackend::fp16(16)),
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.policy(plain), None);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Tuning budgets and objectives: what "best" means for one deployment.
+//!
+//! The paper's central trade-off — accuracy bought with segments, paid
+//! for in SFU cycles/energy/area per data format — only becomes a
+//! decision procedure once a deployment states its constraints. A
+//! [`TuneBudget`] does exactly that: a hard error cap, a hard cost cap,
+//! and an [`Objective`] ranking the candidates that satisfy both.
+//!
+//! Error is measured in **FP16 ULPs at base 1** (`2⁻¹⁰` of absolute
+//! error per ULP — the unit of Figure 5's threshold lines, see
+//! [`flexsfu_formats::ulp`]); cost in **modelled cycles per element**
+//! (the emulator's per-flush [`flexsfu_backend::HwEstimate`] for the
+//! SFU, a deterministic kernel-shape model for the native path). Both
+//! caps accept `f64::INFINITY` for "unbounded".
+
+/// How to rank candidates that satisfy the hard budget caps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Cheapest candidate within the error cap (ties: lower error, then
+    /// earlier in sweep order). The deployment-default: meet the
+    /// accuracy contract, spend as little as possible.
+    MinCyclesWithinError,
+    /// Most accurate candidate within the cost cap (ties: fewer cycles,
+    /// then earlier in sweep order).
+    MinErrorWithinCycles,
+    /// Minimal `ulp_weight · ulp@1 + cycle_weight · cycles/elem` among
+    /// candidates within both caps — a scalarized compromise when
+    /// neither axis is a hard wall. Both weights must be finite and
+    /// non-negative (a negative weight would *reward* error or cost,
+    /// selecting dominated candidates); selection panics otherwise.
+    Weighted {
+        /// Cost of one ULP-at-1 of error, in score units (finite, ≥ 0).
+        ulp_weight: f64,
+        /// Cost of one cycle per element, in score units (finite, ≥ 0).
+        cycle_weight: f64,
+    },
+}
+
+/// The constraints one tuning run optimizes under.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_tune::TuneBudget;
+///
+/// let b = TuneBudget::max_error(32.0);
+/// assert!(b.within(31.9, 1e9));
+/// assert!(!b.within(32.1, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneBudget {
+    /// Hard cap on the measured max error vs scalar f64, in FP16 ULPs
+    /// at base 1. `f64::INFINITY` = unbounded.
+    pub max_ulp_at_1: f64,
+    /// Hard cap on modelled cycles per element. `f64::INFINITY` =
+    /// unbounded.
+    pub max_cycles_per_elem: f64,
+    /// Ranking among candidates satisfying both caps.
+    pub objective: Objective,
+}
+
+impl TuneBudget {
+    /// An accuracy-contract budget: error capped at `max_ulp_at_1`,
+    /// cycles unbounded, cheapest feasible candidate wins.
+    pub fn max_error(max_ulp_at_1: f64) -> Self {
+        Self {
+            max_ulp_at_1,
+            max_cycles_per_elem: f64::INFINITY,
+            objective: Objective::MinCyclesWithinError,
+        }
+    }
+
+    /// A cost-contract budget: cycles capped at `max_cycles_per_elem`,
+    /// error unbounded, most accurate feasible candidate wins.
+    pub fn max_cycles(max_cycles_per_elem: f64) -> Self {
+        Self {
+            max_ulp_at_1: f64::INFINITY,
+            max_cycles_per_elem,
+            objective: Objective::MinErrorWithinCycles,
+        }
+    }
+
+    /// Whether a measured `(ulp, cycles)` point satisfies both caps.
+    pub fn within(&self, ulp_at_1: f64, cycles_per_elem: f64) -> bool {
+        ulp_at_1 <= self.max_ulp_at_1 && cycles_per_elem <= self.max_cycles_per_elem
+    }
+
+    /// How far a point misses the caps: the sum of its *relative*
+    /// overshoots (0 when within budget). Used to rank the "nearest
+    /// miss" reported by a typed
+    /// [`Infeasible`](crate::TuneError::Infeasible) error.
+    pub fn violation(&self, ulp_at_1: f64, cycles_per_elem: f64) -> f64 {
+        let over = |value: f64, cap: f64| {
+            if cap.is_finite() && value > cap {
+                (value - cap) / cap.max(f64::MIN_POSITIVE)
+            } else {
+                0.0
+            }
+        };
+        over(ulp_at_1, self.max_ulp_at_1) + over(cycles_per_elem, self.max_cycles_per_elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cap_one_axis_each() {
+        let e = TuneBudget::max_error(8.0);
+        assert_eq!(e.max_ulp_at_1, 8.0);
+        assert!(e.max_cycles_per_elem.is_infinite());
+        assert_eq!(e.objective, Objective::MinCyclesWithinError);
+
+        let c = TuneBudget::max_cycles(0.75);
+        assert!(c.max_ulp_at_1.is_infinite());
+        assert_eq!(c.objective, Objective::MinErrorWithinCycles);
+    }
+
+    #[test]
+    fn within_is_inclusive_at_the_cap() {
+        let b = TuneBudget::max_error(4.0);
+        assert!(b.within(4.0, f64::MAX));
+        assert!(!b.within(4.0 + 1e-9, 0.0));
+    }
+
+    #[test]
+    fn violation_is_zero_inside_and_additive_outside() {
+        let b = TuneBudget {
+            max_ulp_at_1: 10.0,
+            max_cycles_per_elem: 2.0,
+            objective: Objective::MinCyclesWithinError,
+        };
+        assert_eq!(b.violation(10.0, 2.0), 0.0);
+        // 100% over on error, 50% over on cycles.
+        let v = b.violation(20.0, 3.0);
+        assert!((v - 1.5).abs() < 1e-12, "{v}");
+        // Unbounded axes never contribute.
+        let u = TuneBudget::max_error(10.0);
+        assert_eq!(u.violation(5.0, 1e12), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Measuring one candidate: real error on a dense grid, modelled cost.
+//!
+//! Error is *measured, not assumed*: the candidate's datapath (native
+//! engine or lowered SFU program) evaluates a deterministic dense grid
+//! over the tuning range and the worst deviation from the scalar f64
+//! truth is expressed in FP16 ULPs at base 1
+//! ([`flexsfu_formats::ulp::error_in_ulps_at`] — the same machinery the
+//! `backend_parity` suite pins). Cost is *modelled, never timed*: the
+//! SFU emulator's per-flush [`flexsfu_backend::HwEstimate`] for
+//! hardware candidates, a
+//! deterministic kernel-shape model for the native path — so two runs
+//! of the same sweep score candidates bit-identically, whatever the
+//! host is doing.
+
+use crate::space::{BackendChoice, CandidateConfig};
+use flexsfu_backend::{EvalBackend, LowerError, SfuBackend};
+use flexsfu_core::{CompiledPwl, PwlEvaluator};
+use flexsfu_formats::{ulp, FloatFormat};
+use std::sync::Arc;
+
+/// Modelled cost of the native SIMD path in cycles per element, from
+/// the shape of the engine's two lane kernels: the ≤ 8-segment 4-wide
+/// linear scan does one select chain per segment per lane group, so its
+/// cost grows with depth; the deep-table bucket path does constant work
+/// per lane group regardless of depth. The constants are coarse (a
+/// software path has no cycle-exact truth) but deterministic and
+/// monotone — a deeper table is never modelled cheaper — which is what
+/// a reproducible sweep needs from them.
+pub fn native_cycles_per_elem(segments: usize) -> f64 {
+    if segments <= 8 {
+        (2.0 + segments as f64) / 4.0
+    } else {
+        2.75
+    }
+}
+
+/// What measuring one candidate produced: the measured error, the
+/// modelled cost, and the static hardware footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateReport {
+    /// The configuration measured.
+    pub config: CandidateConfig,
+    /// Measured max |candidate − scalar f64| over the grid, in FP16
+    /// ULPs at base 1.
+    pub ulp_at_1: f64,
+    /// Modelled cycles per element (per-flush estimate at the probe
+    /// size for SFU candidates, kernel-shape model for native).
+    pub cycles_per_elem: f64,
+    /// Modelled energy per element in nanojoules (0 for native).
+    pub energy_nj_per_elem: f64,
+    /// Modelled instance area in µm² (0 for native).
+    pub area_um2: f64,
+}
+
+/// The [`EvalBackend`] a candidate deploys on: native, or an SFU
+/// emulator at the smallest paper-range depth holding the table.
+pub fn build_backend(config: &CandidateConfig, segments: usize) -> Arc<dyn EvalBackend> {
+    match config.backend {
+        BackendChoice::Native => Arc::new(flexsfu_backend::NativeBackend::new()),
+        BackendChoice::Sfu { format } => Arc::new(SfuBackend::for_segments(segments, format)),
+    }
+}
+
+/// Max deviation of `got` from `truth`, in FP16 ULPs at base 1.
+/// Non-finite deviations (a NaN or infinity on either side where the
+/// other is finite) count as infinite error rather than being silently
+/// dropped by `f64::max`'s NaN behaviour.
+pub(crate) fn max_ulp_at_1(got: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(got.len(), truth.len());
+    got.iter()
+        .zip(truth)
+        .map(|(&g, &t)| {
+            let e = ulp::error_in_ulps_at(g, t, FloatFormat::FP16, 1.0);
+            if e.is_nan() {
+                f64::INFINITY
+            } else {
+                e
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Measures `config` on a compiled table: evaluates `grid` through the
+/// candidate's datapath, compares against `truth` (scalar f64 values of
+/// the source function at the same grid), and prices a flush of
+/// `probe_elems` elements.
+///
+/// # Errors
+///
+/// [`LowerError`] when the SFU emulator cannot hold the table in the
+/// candidate's format (breakpoints collide after quantization) — the
+/// sweep records such candidates as skipped rather than failing.
+///
+/// # Panics
+///
+/// Panics if `grid` and `truth` differ in length or `probe_elems == 0`.
+pub fn evaluate_candidate(
+    engine: &CompiledPwl,
+    grid: &[f64],
+    truth: &[f64],
+    config: CandidateConfig,
+    probe_elems: usize,
+) -> Result<CandidateReport, LowerError> {
+    assert_eq!(grid.len(), truth.len(), "grid and truth must align");
+    assert!(
+        probe_elems > 0,
+        "probe flush must hold at least one element"
+    );
+    match config.backend {
+        BackendChoice::Native => {
+            let got = engine.eval_batch(grid);
+            Ok(CandidateReport {
+                config,
+                ulp_at_1: max_ulp_at_1(&got, truth),
+                cycles_per_elem: native_cycles_per_elem(engine.num_segments()),
+                energy_nj_per_elem: 0.0,
+                area_um2: 0.0,
+            })
+        }
+        BackendChoice::Sfu { format } => {
+            let backend = SfuBackend::for_segments(engine.num_segments(), format);
+            let program = backend.lower_program(engine)?;
+            let (got, _) = flexsfu_backend::BackendProgram::eval_batch(&program, grid);
+            let est = program.estimate(probe_elems);
+            Ok(CandidateReport {
+                config,
+                ulp_at_1: max_ulp_at_1(&got, truth),
+                cycles_per_elem: est.cycles as f64 / probe_elems as f64,
+                energy_nj_per_elem: est.energy_nj / probe_elems as f64,
+                area_um2: est.area_um2,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsfu_core::init::uniform_pwl;
+    use flexsfu_formats::DataFormat;
+    use flexsfu_funcs::{Activation, Tanh};
+
+    fn grid_and_truth(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let grid: Vec<f64> = (0..n)
+            .map(|i| -8.0 + 16.0 * i as f64 / (n - 1) as f64)
+            .collect();
+        let truth: Vec<f64> = grid.iter().map(|&x| Tanh.eval(x)).collect();
+        (grid, truth)
+    }
+
+    #[test]
+    fn native_cost_model_is_monotone_in_depth() {
+        let mut prev = 0.0;
+        for segments in 1..=128 {
+            let c = native_cycles_per_elem(segments);
+            assert!(c >= prev, "cost must not drop with depth at {segments}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn sfu_candidate_measures_more_error_and_less_cost_than_native() {
+        let engine = uniform_pwl(&Tanh, 31, (-8.0, 8.0)).compile();
+        let (grid, truth) = grid_and_truth(801);
+        let probe = 4096;
+        let native = evaluate_candidate(
+            &engine,
+            &grid,
+            &truth,
+            CandidateConfig {
+                breakpoints: 31,
+                backend: BackendChoice::Native,
+            },
+            probe,
+        )
+        .unwrap();
+        let sfu = evaluate_candidate(
+            &engine,
+            &grid,
+            &truth,
+            CandidateConfig {
+                breakpoints: 31,
+                backend: BackendChoice::Sfu {
+                    format: DataFormat::Float(FloatFormat::FP16),
+                },
+            },
+            probe,
+        )
+        .unwrap();
+        // Quantization can only add error on top of the PWL approximation.
+        assert!(sfu.ulp_at_1 >= native.ulp_at_1);
+        // FP16 streams 2 elems/cycle: modelled cheaper than the software path.
+        assert!(sfu.cycles_per_elem < native.cycles_per_elem);
+        assert!(sfu.energy_nj_per_elem > 0.0 && sfu.area_um2 > 0.0);
+        assert_eq!(native.energy_nj_per_elem, 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let engine = uniform_pwl(&Tanh, 15, (-8.0, 8.0)).compile();
+        let (grid, truth) = grid_and_truth(501);
+        let cfg = CandidateConfig {
+            breakpoints: 15,
+            backend: BackendChoice::Sfu {
+                format: DataFormat::Float(FloatFormat::FP16),
+            },
+        };
+        let a = evaluate_candidate(&engine, &grid, &truth, cfg, 2048).unwrap();
+        let b = evaluate_candidate(&engine, &grid, &truth, cfg, 2048).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collision_surfaces_as_a_lower_error() {
+        // Two breakpoints 1e-4 apart collapse in a coarse 8-bit fixed
+        // format: the candidate must report the lowering failure.
+        let tight =
+            flexsfu_core::PwlFunction::new(vec![0.0, 1e-4, 1.0], vec![0.0, 0.0, 1.0], 0.0, 0.0)
+                .unwrap();
+        let engine = tight.compile();
+        let (grid, truth) = grid_and_truth(11);
+        let err = evaluate_candidate(
+            &engine,
+            &grid,
+            &truth,
+            CandidateConfig {
+                breakpoints: 3,
+                backend: BackendChoice::Sfu {
+                    format: DataFormat::Fixed(flexsfu_formats::FixedFormat::new(8, 3)),
+                },
+            },
+            64,
+        );
+        assert_eq!(err.unwrap_err(), LowerError::BreakpointCollision);
+    }
+
+    #[test]
+    fn non_finite_outputs_count_as_infinite_error() {
+        assert!(max_ulp_at_1(&[f64::NAN], &[0.0]).is_infinite());
+        assert!(max_ulp_at_1(&[f64::INFINITY], &[0.0]).is_infinite());
+        assert_eq!(max_ulp_at_1(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! # flexsfu-tune
+//!
+//! Design-space exploration and auto-binding over the paper's central
+//! trade-off: non-uniform PWL tables buy accuracy with segments and pay
+//! in SFU cycles/energy/area, per data format. This crate turns that
+//! trade-off into a decision procedure — the subsystem that closes the
+//! loop between four crates that previously only met in tests:
+//!
+//! 1. **Enumerate** — a [`TuneSpace`] crosses a breakpoint ladder with
+//!    a format ladder and the available backends (the native SIMD
+//!    kernels, the bit-faithful SFU emulator per
+//!    [`flexsfu_formats::DataFormat`]).
+//! 2. **Generate** — each table size gets a *non-uniform* table from
+//!    the optimizer's exact sub-solvers
+//!    ([`flexsfu_optim::quick_nonuniform`]: least-squares refit plus
+//!    remove/insert escapes), not a naive uniform grid.
+//! 3. **Measure** — every candidate's error is *measured* (dense-grid
+//!    max deviation vs scalar f64, in FP16 ULPs at base 1 — the parity
+//!    machinery of `backend_parity`) and its cost *modelled* (per-flush
+//!    [`flexsfu_backend::HwEstimate`] cycles/energy for the emulator, a
+//!    deterministic kernel-shape model for native). No wall clock
+//!    anywhere: two sweeps score bit-identically.
+//! 4. **Select** — the non-dominated [Pareto frontier](pareto) over
+//!    (error, cycles) is computed, and a [`TuneBudget`] — hard error
+//!    cap, hard cost cap, pluggable [`Objective`] — picks the winner,
+//!    or the sweep fails with a typed [`TuneError::Infeasible`] naming
+//!    the nearest miss.
+//! 5. **Bind** — the winning [`TunedPlan`] applies itself to a live
+//!    [`flexsfu_serve::FunctionRegistry`]: compile, lower through the
+//!    winning backend, register with a derived
+//!    [`flexsfu_serve::FlushPolicy`]. [`tune_and_bind_all`] brings the
+//!    whole serving deployment up "tuned" in one call.
+//!
+//! Any future backend (a real GPU lowering behind
+//! [`flexsfu_backend::EvalBackend`]) plugs into the same sweep for
+//! free: implement the trait, add a [`BackendChoice`], and the tuner
+//! prices it against the rest of the space.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsfu_funcs::Gelu;
+//! use flexsfu_serve::FunctionRegistry;
+//! use flexsfu_tune::{tune, TuneBudget, TuneOptions};
+//!
+//! // Tune GELU to 32 FP16-ULPs-at-1 of accuracy, minimizing cost.
+//! let plan = tune(&Gelu, &TuneBudget::max_error(32.0), &TuneOptions::quick())?;
+//! assert!(plan.winner().ulp_at_1 <= 32.0);
+//!
+//! // Deploy: one call registers table + backend + flush policy.
+//! let registry = FunctionRegistry::new();
+//! let id = plan.bind(&registry)?;
+//! assert_eq!(registry.id_of("gelu"), Some(id));
+//! # Ok::<(), flexsfu_tune::TuneError>(())
+//! ```
+
+mod budget;
+pub mod candidate;
+pub mod pareto;
+mod plan;
+mod space;
+mod tuner;
+
+pub use budget::{Objective, TuneBudget};
+pub use candidate::{native_cycles_per_elem, CandidateReport};
+pub use plan::{tune_and_bind, tune_and_bind_all, TunedPlan};
+pub use space::{BackendChoice, CandidateConfig, TuneSpace};
+pub use tuner::{
+    tune, tune_named, tune_table, SkippedCandidate, TuneError, TuneOptions, TuneReport,
+};

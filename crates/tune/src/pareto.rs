@@ -1,0 +1,94 @@
+//! Non-dominated (Pareto) filtering over the error/cost plane.
+
+/// Whether point `a` dominates point `b` in a minimize-both sense:
+/// no worse on either axis and strictly better on at least one.
+/// Coordinates are `(error, cost)`.
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// Indices of the non-dominated points, sorted by cost ascending (ties:
+/// error ascending, then original index). Exact duplicates keep only
+/// the earliest index, so the frontier is a set of distinct trade-off
+/// points.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_tune::pareto::pareto_frontier;
+///
+/// // (error, cost): the middle point is dominated by the first.
+/// let pts = [(1.0, 1.0), (2.0, 2.0), (4.0, 0.5)];
+/// assert_eq!(pareto_frontier(&pts), vec![2, 0]);
+/// ```
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            points.iter().enumerate().all(|(j, &p)| {
+                if j == i {
+                    return true;
+                }
+                // Not dominated by anyone, and not a duplicate of an
+                // earlier point (the earlier copy represents both).
+                !(dominates(p, points[i]) || (j < i && p == points[i]))
+            })
+        })
+        .collect();
+    frontier.sort_by(|&i, &j| {
+        let (a, b) = (points[i], points[j]);
+        a.1.total_cmp(&b.1)
+            .then(a.0.total_cmp(&b.0))
+            .then(i.cmp(&j))
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_needs_strict_improvement_somewhere() {
+        assert!(dominates((1.0, 1.0), (1.0, 2.0)));
+        assert!(dominates((0.5, 2.0), (1.0, 2.0)));
+        assert!(
+            !dominates((1.0, 1.0), (1.0, 1.0)),
+            "equal points don't dominate"
+        );
+        assert!(
+            !dominates((0.5, 3.0), (1.0, 2.0)),
+            "trade-offs don't dominate"
+        );
+    }
+
+    #[test]
+    fn frontier_drops_dominated_and_keeps_tradeoffs() {
+        let pts = [
+            (10.0, 0.5), // frontier: cheapest
+            (5.0, 1.0),  // frontier
+            (6.0, 1.5),  // dominated by (5.0, 1.0)
+            (1.0, 2.0),  // frontier: most accurate
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn frontier_of_empty_and_singleton() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert_eq!(pareto_frontier(&[(3.0, 3.0)]), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_keep_the_first_index_only() {
+        let pts = [(1.0, 1.0), (1.0, 1.0), (0.5, 2.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn result_is_sorted_by_cost() {
+        let pts = [(1.0, 3.0), (3.0, 1.0), (2.0, 2.0)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f, vec![1, 2, 0]);
+        assert!(f.windows(2).all(|w| pts[w[0]].1 <= pts[w[1]].1));
+    }
+}

@@ -1,0 +1,192 @@
+//! The candidate design space: breakpoint ladder × format ladder ×
+//! backends.
+//!
+//! One candidate is a *complete* deployable configuration: a table size,
+//! and the datapath that evaluates it — either the native SIMD kernels
+//! (exact f64 arithmetic, no quantization) or the Flex-SFU emulator
+//! through one [`DataFormat`]. The default space mirrors the paper's
+//! evaluation: table depths 8–64 (breakpoints 7–63), FP8/FP16/FP32
+//! minifloats plus a 16-bit fixed-point format fitted to the function's
+//! range.
+
+use flexsfu_formats::{DataFormat, ElemSize, FloatFormat};
+
+/// The datapath half of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendChoice {
+    /// The native SIMD lane kernels: bit-identical to scalar f64, no
+    /// hardware cost model — cost comes from the deterministic kernel
+    /// shape model ([`crate::candidate::native_cycles_per_elem`]).
+    Native,
+    /// The bit-faithful SFU emulator quantizing through `format`, at
+    /// the smallest paper-range LTC depth that holds the table.
+    Sfu {
+        /// Element format of breakpoints, coefficients and data.
+        format: DataFormat,
+    },
+}
+
+impl BackendChoice {
+    /// The backend label reports use (`"native"` / `"sfu-emu"`).
+    pub fn backend_label(&self) -> &'static str {
+        match self {
+            BackendChoice::Native => "native",
+            BackendChoice::Sfu { .. } => "sfu-emu",
+        }
+    }
+
+    /// The format label (`"fp16"`, `"q4.11"`, …; `"-"` for native).
+    pub fn format_label(&self) -> String {
+        match self {
+            BackendChoice::Native => "-".into(),
+            BackendChoice::Sfu { format } => format.label(),
+        }
+    }
+}
+
+/// One point of the design space: a table size plus its datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateConfig {
+    /// Breakpoints in the candidate's table (segments = breakpoints + 1,
+    /// counting the two outer asymptote regions).
+    pub breakpoints: usize,
+    /// The evaluating datapath.
+    pub backend: BackendChoice,
+}
+
+/// The ladders a sweep enumerates. The space is the cross product
+/// `breakpoint_ladder × ({native} ∪ sfu formats)`, in deterministic
+/// order: for each size, native first, then each format in ladder
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneSpace {
+    /// Table sizes to sweep, in breakpoints. Defaults to
+    /// `[7, 15, 31, 63]` — LTC depths 8/16/32/64, the paper's range.
+    pub breakpoint_ladder: Vec<usize>,
+    /// Minifloat formats for the SFU emulator. Defaults to
+    /// FP8/FP16/FP32.
+    pub formats: Vec<DataFormat>,
+    /// Whether to additionally try a 16-bit fixed-point format fitted
+    /// to the function's evaluation range
+    /// ([`DataFormat::fixed_for_range`]). Default `true`.
+    pub fixed_point_for_range: bool,
+    /// Whether native candidates are enumerated. Default `true` (the
+    /// native path is also the guaranteed-feasible fallback for pure
+    /// error budgets).
+    pub include_native: bool,
+}
+
+impl Default for TuneSpace {
+    fn default() -> Self {
+        Self {
+            breakpoint_ladder: vec![7, 15, 31, 63],
+            formats: vec![
+                DataFormat::Float(FloatFormat::FP8),
+                DataFormat::Float(FloatFormat::FP16),
+                DataFormat::Float(FloatFormat::FP32),
+            ],
+            fixed_point_for_range: true,
+            include_native: true,
+        }
+    }
+}
+
+impl TuneSpace {
+    /// A reduced space for smoke runs and benches: 15/31 breakpoints,
+    /// FP16 only (plus native).
+    pub fn quick() -> Self {
+        Self {
+            breakpoint_ladder: vec![15, 31],
+            formats: vec![DataFormat::Float(FloatFormat::FP16)],
+            fixed_point_for_range: false,
+            include_native: true,
+        }
+    }
+
+    /// The datapaths enumerated for every table size, in sweep order,
+    /// with range-fitted fixed point appended when enabled.
+    pub fn backends(&self, range: (f64, f64)) -> Vec<BackendChoice> {
+        let mut out = Vec::new();
+        if self.include_native {
+            out.push(BackendChoice::Native);
+        }
+        for &format in &self.formats {
+            out.push(BackendChoice::Sfu { format });
+        }
+        if self.fixed_point_for_range {
+            let (lo, hi) = range;
+            out.push(BackendChoice::Sfu {
+                format: DataFormat::fixed_for_range(ElemSize::B16, lo, hi),
+            });
+        }
+        out
+    }
+
+    /// The full candidate enumeration for `range`, in deterministic
+    /// sweep order.
+    pub fn candidates(&self, range: (f64, f64)) -> Vec<CandidateConfig> {
+        let backends = self.backends(range);
+        self.breakpoint_ladder
+            .iter()
+            .flat_map(|&breakpoints| {
+                backends.iter().map(move |&backend| CandidateConfig {
+                    breakpoints,
+                    backend,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_is_the_paper_cross_product() {
+        let space = TuneSpace::default();
+        let candidates = space.candidates((-8.0, 8.0));
+        // 4 sizes × (native + fp8 + fp16 + fp32 + q-fixed).
+        assert_eq!(candidates.len(), 4 * 5);
+        assert_eq!(candidates[0].backend, BackendChoice::Native);
+        assert_eq!(candidates[0].breakpoints, 7);
+        assert!(matches!(
+            candidates[4].backend,
+            BackendChoice::Sfu {
+                format: DataFormat::Fixed(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn enumeration_order_is_deterministic() {
+        let space = TuneSpace::default();
+        assert_eq!(space.candidates((-8.0, 8.0)), space.candidates((-8.0, 8.0)));
+    }
+
+    #[test]
+    fn fixed_point_format_tracks_the_range() {
+        let space = TuneSpace::default();
+        let wide = space.backends((-8.0, 8.0));
+        let narrow = space.backends((-1.0, 1.0));
+        let fixed_label = |b: &[BackendChoice]| b.last().unwrap().format_label();
+        assert_ne!(fixed_label(&wide), fixed_label(&narrow));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BackendChoice::Native.backend_label(), "native");
+        assert_eq!(BackendChoice::Native.format_label(), "-");
+        let sfu = BackendChoice::Sfu {
+            format: DataFormat::Float(FloatFormat::FP16),
+        };
+        assert_eq!(sfu.backend_label(), "sfu-emu");
+        assert_eq!(sfu.format_label(), "fp16");
+    }
+
+    #[test]
+    fn quick_space_is_small() {
+        let space = TuneSpace::quick();
+        assert_eq!(space.candidates((-8.0, 8.0)).len(), 2 * 2);
+    }
+}

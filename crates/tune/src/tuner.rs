@@ -1,0 +1,554 @@
+//! The sweep itself: enumerate, measure, filter, select.
+
+use crate::budget::{Objective, TuneBudget};
+use crate::candidate::{evaluate_candidate, CandidateReport};
+use crate::pareto::pareto_frontier;
+use crate::plan::TunedPlan;
+use crate::space::{CandidateConfig, TuneSpace};
+use flexsfu_backend::LowerError;
+use flexsfu_core::PwlFunction;
+use flexsfu_funcs::Activation;
+use flexsfu_optim::quick_nonuniform;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Knobs of one sweep (the *how*; the [`TuneBudget`] is the *what*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneOptions {
+    /// The candidate ladders.
+    pub space: TuneSpace,
+    /// Points in the deterministic error-measurement grid over the
+    /// tuning range.
+    pub grid_points: usize,
+    /// Reference flush size candidates are priced at (fill latency
+    /// amortizes over this many elements).
+    pub probe_elems: usize,
+    /// Loss-grid density for per-candidate table generation
+    /// ([`quick_nonuniform`]).
+    pub table_samples: usize,
+    /// Remove/insert escapes per generated table.
+    pub table_moves: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            space: TuneSpace::default(),
+            grid_points: 1601,
+            probe_elems: 4096,
+            table_samples: 1024,
+            table_moves: 2,
+        }
+    }
+}
+
+impl TuneOptions {
+    /// A reduced configuration for smoke runs and benches.
+    pub fn quick() -> Self {
+        Self {
+            space: TuneSpace::quick(),
+            grid_points: 501,
+            probe_elems: 4096,
+            table_samples: 512,
+            table_moves: 1,
+        }
+    }
+}
+
+/// A candidate the sweep could not measure, with the lowering failure
+/// that excluded it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkippedCandidate {
+    /// The excluded configuration.
+    pub config: CandidateConfig,
+    /// Why lowering failed (table too deep for the emulated LTC, or
+    /// breakpoints collapsing in the candidate's format).
+    pub reason: LowerError,
+}
+
+/// Everything one sweep measured, plus the selection it made.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// Function name (registry name, or the caller's label for user
+    /// tables).
+    pub name: String,
+    /// The tuning range candidates were measured over.
+    pub range: (f64, f64),
+    /// The budget the winner was selected under.
+    pub budget: TuneBudget,
+    /// Every measured candidate, in sweep order.
+    pub candidates: Vec<CandidateReport>,
+    /// Indices into [`Self::candidates`] of the non-dominated set over
+    /// `(ulp_at_1, cycles_per_elem)`, sorted by cost ascending.
+    pub frontier: Vec<usize>,
+    /// Candidates excluded because lowering failed.
+    pub skipped: Vec<SkippedCandidate>,
+    /// Index into [`Self::candidates`] of the selected winner.
+    pub winner: usize,
+}
+
+impl TuneReport {
+    /// The selected candidate.
+    pub fn winner(&self) -> &CandidateReport {
+        &self.candidates[self.winner]
+    }
+
+    /// The non-dominated candidates, cheapest first.
+    pub fn frontier_reports(&self) -> Vec<&CandidateReport> {
+        self.frontier.iter().map(|&i| &self.candidates[i]).collect()
+    }
+
+    /// Whether `i` is on the Pareto frontier.
+    pub fn on_frontier(&self, i: usize) -> bool {
+        self.frontier.contains(&i)
+    }
+}
+
+/// Why tuning failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// No measurable candidate satisfied the budget's hard caps. The
+    /// nearest miss (smallest summed relative overshoot,
+    /// [`TuneBudget::violation`]) is reported so the caller can see how
+    /// far the budget is from reality.
+    Infeasible {
+        /// Function being tuned.
+        name: String,
+        /// The budget that could not be met.
+        budget: TuneBudget,
+        /// The closest measured candidate.
+        nearest: CandidateReport,
+    },
+    /// The space was empty, or every candidate failed to lower.
+    NoCandidates {
+        /// Function being tuned.
+        name: String,
+    },
+    /// [`crate::tune_named`] got a name outside the function registry.
+    UnknownFunction(String),
+    /// Binding a plan into a serving registry failed.
+    Bind(flexsfu_serve::ServeError),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Infeasible {
+                name,
+                budget,
+                nearest,
+            } => write!(
+                f,
+                "no candidate for {name} meets ulp@1 <= {:.3}, cycles/elem <= {:.3}; \
+                 nearest miss: {} {} x {} breakpoints at ulp@1 {:.3}, cycles/elem {:.3}",
+                budget.max_ulp_at_1,
+                budget.max_cycles_per_elem,
+                nearest.config.backend.backend_label(),
+                nearest.config.backend.format_label(),
+                nearest.config.breakpoints,
+                nearest.ulp_at_1,
+                nearest.cycles_per_elem,
+            ),
+            TuneError::NoCandidates { name } => {
+                write!(
+                    f,
+                    "the design space for {name} produced no measurable candidate"
+                )
+            }
+            TuneError::UnknownFunction(name) => {
+                write!(f, "{name} is not a flexsfu-funcs registry function")
+            }
+            TuneError::Bind(e) => write!(f, "binding the tuned plan failed: {e}"),
+        }
+    }
+}
+
+impl Error for TuneError {}
+
+/// Selects the budget-feasible winner per the objective, with fully
+/// deterministic tie-breaks; `Err` carries the nearest-miss index when
+/// nothing is feasible. The returned winner is always a member of the
+/// Pareto frontier (dominating candidates sort strictly earlier under
+/// every objective's ordering).
+fn select_winner(candidates: &[CandidateReport], budget: &TuneBudget) -> Result<usize, usize> {
+    let feasible: Vec<usize> = (0..candidates.len())
+        .filter(|&i| budget.within(candidates[i].ulp_at_1, candidates[i].cycles_per_elem))
+        .collect();
+    if feasible.is_empty() {
+        let nearest = (0..candidates.len())
+            .min_by(|&i, &j| {
+                let vi = budget.violation(candidates[i].ulp_at_1, candidates[i].cycles_per_elem);
+                let vj = budget.violation(candidates[j].ulp_at_1, candidates[j].cycles_per_elem);
+                vi.total_cmp(&vj).then(i.cmp(&j))
+            })
+            .expect("candidates is non-empty");
+        return Err(nearest);
+    }
+    let key = |i: usize| (candidates[i].ulp_at_1, candidates[i].cycles_per_elem);
+    let winner = match budget.objective {
+        Objective::MinCyclesWithinError => feasible
+            .into_iter()
+            .min_by(|&i, &j| {
+                let ((ui, ci), (uj, cj)) = (key(i), key(j));
+                ci.total_cmp(&cj).then(ui.total_cmp(&uj)).then(i.cmp(&j))
+            })
+            .unwrap(),
+        Objective::MinErrorWithinCycles => feasible
+            .into_iter()
+            .min_by(|&i, &j| {
+                let ((ui, ci), (uj, cj)) = (key(i), key(j));
+                ui.total_cmp(&uj).then(ci.total_cmp(&cj)).then(i.cmp(&j))
+            })
+            .unwrap(),
+        Objective::Weighted {
+            ulp_weight,
+            cycle_weight,
+        } => {
+            // A negative (or NaN) weight rewards error or cost, which
+            // would let a dominated candidate win and break the
+            // winner-on-frontier guarantee.
+            assert!(
+                ulp_weight >= 0.0 && ulp_weight.is_finite(),
+                "Objective::Weighted needs a finite non-negative ulp_weight, got {ulp_weight}"
+            );
+            assert!(
+                cycle_weight >= 0.0 && cycle_weight.is_finite(),
+                "Objective::Weighted needs a finite non-negative cycle_weight, got {cycle_weight}"
+            );
+            let score = |i: usize| {
+                let (u, c) = key(i);
+                ulp_weight * u + cycle_weight * c
+            };
+            feasible
+                .into_iter()
+                .min_by(|&i, &j| {
+                    let ((ui, ci), (uj, cj)) = (key(i), key(j));
+                    score(i)
+                        .total_cmp(&score(j))
+                        .then(ui.total_cmp(&uj))
+                        .then(ci.total_cmp(&cj))
+                        .then(i.cmp(&j))
+                })
+                .unwrap()
+        }
+    };
+    Ok(winner)
+}
+
+/// The deterministic measurement grid: `points` equispaced samples over
+/// `[lo, hi]`, endpoints included. Shared by the sweep and
+/// [`crate::TunedPlan::remeasure_ulp`], so a re-measurement walks
+/// exactly the points the sweep scored.
+pub(crate) fn measurement_grid(range: (f64, f64), points: usize) -> Vec<f64> {
+    let (lo, hi) = range;
+    assert!(lo < hi, "tuning range must be a non-empty interval");
+    assert!(points >= 2, "grid needs at least its two endpoints");
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Runs the sweep shared by every entry point: measure all candidates
+/// over the given per-size tables, build the frontier, select a winner.
+fn sweep(
+    name: &str,
+    tables: &BTreeMap<usize, PwlFunction>,
+    truth_of: &dyn Fn(f64) -> f64,
+    range: (f64, f64),
+    budget: &TuneBudget,
+    opts: &TuneOptions,
+) -> Result<TunedPlan, TuneError> {
+    let grid = measurement_grid(range, opts.grid_points);
+    let truth: Vec<f64> = grid.iter().map(|&x| truth_of(x)).collect();
+    let backends = opts.space.backends(range);
+
+    let mut candidates = Vec::new();
+    let mut skipped = Vec::new();
+    for (&breakpoints, table) in tables {
+        let engine = table.compile();
+        for &backend in &backends {
+            let config = CandidateConfig {
+                breakpoints,
+                backend,
+            };
+            match evaluate_candidate(&engine, &grid, &truth, config, opts.probe_elems) {
+                Ok(report) => candidates.push(report),
+                Err(reason) => skipped.push(SkippedCandidate { config, reason }),
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return Err(TuneError::NoCandidates { name: name.into() });
+    }
+
+    let points: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|c| (c.ulp_at_1, c.cycles_per_elem))
+        .collect();
+    let frontier = pareto_frontier(&points);
+    let winner = select_winner(&candidates, budget).map_err(|nearest| TuneError::Infeasible {
+        name: name.into(),
+        budget: *budget,
+        nearest: candidates[nearest],
+    })?;
+    debug_assert!(
+        frontier.contains(&winner),
+        "objective selection must land on the frontier"
+    );
+
+    let table = tables[&candidates[winner].config.breakpoints].clone();
+    Ok(TunedPlan {
+        name: name.into(),
+        table,
+        report: TuneReport {
+            name: name.into(),
+            range,
+            budget: *budget,
+            candidates,
+            frontier,
+            skipped,
+            winner,
+        },
+    })
+}
+
+/// Tunes activation `f` over its default range: generates a non-uniform
+/// table per ladder size (optimizer refit + remove/insert heuristics,
+/// [`quick_nonuniform`]), measures every `size × format × backend`
+/// candidate — real error on a dense grid vs scalar f64, modelled
+/// cycles/energy from the emulator's per-flush estimates — and selects
+/// the budget's winner off the Pareto frontier.
+///
+/// # Errors
+///
+/// [`TuneError::Infeasible`] (with the nearest miss) when no candidate
+/// meets the hard caps; [`TuneError::NoCandidates`] if the space is
+/// empty or nothing lowers.
+///
+/// # Panics
+///
+/// Panics if the budget uses [`Objective::Weighted`] with a negative
+/// or non-finite weight.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_funcs::Sigmoid;
+/// use flexsfu_tune::{tune, TuneBudget, TuneOptions};
+///
+/// let plan = tune(&Sigmoid, &TuneBudget::max_error(32.0), &TuneOptions::quick())?;
+/// assert!(plan.winner().ulp_at_1 <= 32.0);
+/// # Ok::<(), flexsfu_tune::TuneError>(())
+/// ```
+pub fn tune(
+    f: &dyn Activation,
+    budget: &TuneBudget,
+    opts: &TuneOptions,
+) -> Result<TunedPlan, TuneError> {
+    let range = f.default_range();
+    let mut tables = BTreeMap::new();
+    for &n in &opts.space.breakpoint_ladder {
+        tables.insert(
+            n,
+            quick_nonuniform(f, n, range, opts.table_samples, opts.table_moves),
+        );
+    }
+    if tables.is_empty() {
+        return Err(TuneError::NoCandidates {
+            name: f.name().into(),
+        });
+    }
+    sweep(f.name(), &tables, &|x| f.eval(x), range, budget, opts)
+}
+
+/// [`tune`] for a function named in the `flexsfu-funcs` registry.
+///
+/// # Errors
+///
+/// [`TuneError::UnknownFunction`] for names outside the registry, plus
+/// everything [`tune`] returns.
+pub fn tune_named(
+    name: &str,
+    budget: &TuneBudget,
+    opts: &TuneOptions,
+) -> Result<TunedPlan, TuneError> {
+    let f = flexsfu_funcs::by_name(name).ok_or_else(|| TuneError::UnknownFunction(name.into()))?;
+    tune(f.as_ref(), budget, opts)
+}
+
+/// Tunes a **user-supplied table**: the table itself is the contract
+/// (truth = its scalar f64 evaluation), so the sweep varies only the
+/// datapath — native vs SFU emulation across the format ladder — and
+/// the breakpoint ladder is ignored. The native candidate therefore
+/// measures 0 ULP by construction, and the frontier shows what each
+/// quantized datapath costs in accuracy.
+///
+/// # Errors
+///
+/// As for [`tune`].
+pub fn tune_table(
+    name: &str,
+    table: &PwlFunction,
+    budget: &TuneBudget,
+    opts: &TuneOptions,
+) -> Result<TunedPlan, TuneError> {
+    let p = table.breakpoints();
+    let range = (p[0], p[p.len() - 1]);
+    let tables = BTreeMap::from([(table.num_breakpoints(), table.clone())]);
+    sweep(name, &tables, &|x| table.eval(x), range, budget, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::BackendChoice;
+    use flexsfu_core::init::uniform_pwl;
+    use flexsfu_funcs::{Gelu, Sigmoid, Tanh};
+
+    fn report(ulp: f64, cycles: f64) -> CandidateReport {
+        CandidateReport {
+            config: CandidateConfig {
+                breakpoints: 15,
+                backend: BackendChoice::Native,
+            },
+            ulp_at_1: ulp,
+            cycles_per_elem: cycles,
+            energy_nj_per_elem: 0.0,
+            area_um2: 0.0,
+        }
+    }
+
+    #[test]
+    fn winner_respects_each_objective() {
+        let cs = vec![report(10.0, 0.5), report(2.0, 1.5), report(5.0, 1.0)];
+        let cheapest = TuneBudget::max_error(100.0);
+        assert_eq!(select_winner(&cs, &cheapest), Ok(0));
+        let accurate = TuneBudget::max_cycles(100.0);
+        assert_eq!(select_winner(&cs, &accurate), Ok(1));
+        let capped = TuneBudget::max_error(6.0);
+        assert_eq!(select_winner(&cs, &capped), Ok(2), "10-ulp point excluded");
+        let weighted = TuneBudget {
+            max_ulp_at_1: f64::INFINITY,
+            max_cycles_per_elem: f64::INFINITY,
+            objective: Objective::Weighted {
+                ulp_weight: 1.0,
+                cycle_weight: 10.0,
+            },
+        };
+        // Scores: 15.0, 17.0, 15.0 — the 0/2 tie breaks on lower ulp
+        // (5.0 beats 10.0), so index 2 wins.
+        assert_eq!(select_winner(&cs, &weighted), Ok(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative ulp_weight")]
+    fn negative_weights_are_rejected() {
+        let cs = vec![report(0.0, 1.0), report(5.0, 1.0)];
+        let budget = TuneBudget {
+            max_ulp_at_1: f64::INFINITY,
+            max_cycles_per_elem: f64::INFINITY,
+            objective: Objective::Weighted {
+                ulp_weight: -1.0,
+                cycle_weight: 1.0,
+            },
+        };
+        let _ = select_winner(&cs, &budget);
+    }
+
+    #[test]
+    fn infeasible_returns_the_nearest_miss() {
+        let cs = vec![report(10.0, 0.5), report(4.0, 3.0)];
+        let budget = TuneBudget {
+            max_ulp_at_1: 3.0,
+            max_cycles_per_elem: 2.0,
+            objective: Objective::MinCyclesWithinError,
+        };
+        // Violations: (10-3)/3 ≈ 2.33 vs (4-3)/3 + (3-2)/2 ≈ 0.83.
+        assert_eq!(select_winner(&cs, &budget), Err(1));
+    }
+
+    #[test]
+    fn tune_meets_a_loose_error_budget_and_reports_a_frontier() {
+        let budget = TuneBudget::max_error(32.0);
+        let plan = tune(&Gelu, &budget, &TuneOptions::quick()).unwrap();
+        assert!(plan.winner().ulp_at_1 <= 32.0);
+        assert!(!plan.report.frontier.is_empty());
+        assert!(plan.report.on_frontier(plan.report.winner));
+        // Budget with unbounded cycles: the winner is the cheapest
+        // error-feasible point, so nothing on the frontier that also
+        // meets the cap may be cheaper.
+        for c in plan.report.frontier_reports() {
+            if c.ulp_at_1 <= 32.0 {
+                assert!(c.cycles_per_elem >= plan.winner().cycles_per_elem);
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_budget_is_a_typed_infeasible_with_nearest_miss() {
+        let budget = TuneBudget {
+            max_ulp_at_1: 1e-6,
+            max_cycles_per_elem: 1e-6,
+            objective: Objective::MinCyclesWithinError,
+        };
+        let err = tune(&Tanh, &budget, &TuneOptions::quick()).unwrap_err();
+        match err {
+            TuneError::Infeasible { name, nearest, .. } => {
+                assert_eq!(name, "tanh");
+                assert!(nearest.cycles_per_elem > 1e-6);
+                let msg = format!(
+                    "{}",
+                    TuneError::Infeasible {
+                        name,
+                        budget,
+                        nearest,
+                    }
+                );
+                assert!(msg.contains("nearest miss"), "{msg}");
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_typed() {
+        let err = tune_named("nope", &TuneBudget::max_error(32.0), &TuneOptions::quick());
+        assert_eq!(err.unwrap_err(), TuneError::UnknownFunction("nope".into()));
+    }
+
+    #[test]
+    fn user_table_native_candidate_measures_zero_ulp() {
+        let table = uniform_pwl(&Sigmoid, 15, (-6.0, 6.0));
+        let plan = tune_table(
+            "custom",
+            &table,
+            &TuneBudget::max_error(0.0),
+            &TuneOptions::quick(),
+        )
+        .unwrap();
+        // Only native can hit 0 ULP vs the table's own f64 evaluation.
+        assert_eq!(plan.winner().config.backend, BackendChoice::Native);
+        assert_eq!(plan.winner().ulp_at_1, 0.0);
+        assert_eq!(plan.report.range, (-6.0, 6.0));
+        // The breakpoint ladder is ignored for user tables.
+        assert!(plan
+            .report
+            .candidates
+            .iter()
+            .all(|c| c.config.breakpoints == 15));
+    }
+
+    #[test]
+    fn empty_ladder_is_no_candidates() {
+        let mut opts = TuneOptions::quick();
+        opts.space.breakpoint_ladder.clear();
+        let err = tune(&Tanh, &TuneBudget::max_error(32.0), &opts);
+        assert_eq!(
+            err.unwrap_err(),
+            TuneError::NoCandidates {
+                name: "tanh".into()
+            }
+        );
+    }
+}

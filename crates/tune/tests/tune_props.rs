@@ -1,0 +1,189 @@
+//! Property suite for the design-space tuner.
+//!
+//! The tuner's contract, stated as invariants over arbitrary budgets
+//! and point sets:
+//!
+//! * the reported Pareto frontier is **genuinely non-dominated** (no
+//!   member is dominated by any measured candidate, and every
+//!   non-member is dominated or a duplicate);
+//! * sweeps are **deterministic across runs** — scoring uses measured
+//!   grids and modelled cycles, never the wall clock, so two identical
+//!   calls produce bit-identical reports;
+//! * the winner **always satisfies the hard budget**, or `tune` returns
+//!   a typed `Infeasible` error whose nearest miss really is the
+//!   least-violating candidate — and no feasible candidate existed;
+//! * the acceptance bar: every `flexsfu-funcs` registry function tuned
+//!   under a 32-ulp@1 / unbounded-cycles budget yields a plan whose
+//!   ULP@1, **re-measured from a fresh post-binding lowering** against
+//!   scalar f64, meets the budget.
+
+use flexsfu_tune::pareto::{dominates, pareto_frontier};
+use flexsfu_tune::{tune, tune_named, Objective, TuneBudget, TuneError, TuneOptions, TuneReport};
+use proptest::prelude::*;
+
+/// Options used by the randomized-budget properties: small enough that
+/// 128 proptest cases stay fast, rich enough to exercise native + SFU.
+fn prop_opts() -> TuneOptions {
+    TuneOptions::quick()
+}
+
+/// Frontier invariant over a full report: members are never dominated;
+/// non-members are dominated by someone or exact duplicates of an
+/// earlier point.
+fn assert_frontier_sound(report: &TuneReport) {
+    let pts: Vec<(f64, f64)> = report
+        .candidates
+        .iter()
+        .map(|c| (c.ulp_at_1, c.cycles_per_elem))
+        .collect();
+    for &i in &report.frontier {
+        for (j, &p) in pts.iter().enumerate() {
+            assert!(
+                j == i || !dominates(p, pts[i]),
+                "frontier member {i} {:?} dominated by {j} {:?}",
+                pts[i],
+                p
+            );
+        }
+    }
+    for (i, &p) in pts.iter().enumerate() {
+        if report.frontier.contains(&i) {
+            continue;
+        }
+        let excluded_rightfully = pts
+            .iter()
+            .enumerate()
+            .any(|(j, &q)| (j != i && dominates(q, p)) || (j < i && q == p));
+        assert!(
+            excluded_rightfully,
+            "non-dominated candidate {i} {p:?} missing from the frontier"
+        );
+    }
+}
+
+proptest! {
+    /// `pareto_frontier` on arbitrary point clouds: members are
+    /// non-dominated, non-members are dominated or duplicates, and the
+    /// frontier is sorted by cost.
+    #[test]
+    fn pareto_frontier_is_sound_on_arbitrary_points(words in proptest::collection::vec(0u64..u64::MAX, 0..40)) {
+        let pts: Vec<(f64, f64)> = words
+            .iter()
+            .map(|&w| {
+                // Small coordinate alphabet forces ties and duplicates.
+                let e = ((w >> 8) % 7) as f64 * 0.5;
+                let c = (w % 5) as f64 * 0.25;
+                (e, c)
+            })
+            .collect();
+        let frontier = pareto_frontier(&pts);
+        for &i in &frontier {
+            for (j, &p) in pts.iter().enumerate() {
+                prop_assert!(j == i || !dominates(p, pts[i]));
+            }
+        }
+        for (i, &p) in pts.iter().enumerate() {
+            if frontier.contains(&i) {
+                continue;
+            }
+            prop_assert!(pts
+                .iter()
+                .enumerate()
+                .any(|(j, &q)| (j != i && dominates(q, p)) || (j < i && q == p)));
+        }
+        prop_assert!(frontier.windows(2).all(|w| pts[w[0]].1 <= pts[w[1]].1));
+    }
+
+    /// Under arbitrary hard caps the tuner either returns a winner
+    /// satisfying both caps (and sitting on a sound frontier), or a
+    /// typed `Infeasible` whose nearest miss is real: it violates the
+    /// budget, and so does every candidate of the same sweep re-run
+    /// unbounded (determinism makes the re-run exact).
+    #[test]
+    fn winner_feasible_or_typed_infeasible(word in 0u64..u64::MAX) {
+        let names = flexsfu_funcs::names();
+        let name = names[(word % names.len() as u64) as usize];
+        // Caps spanning clearly-feasible to clearly-impossible.
+        let max_ulp = 0.05 * ((word >> 8) % 1000) as f64;       // 0 .. 50 ulp
+        let max_cycles = 0.01 * ((word >> 24) % 400) as f64;    // 0 .. 4 c/e
+        let budget = TuneBudget {
+            max_ulp_at_1: max_ulp,
+            max_cycles_per_elem: max_cycles,
+            objective: Objective::MinCyclesWithinError,
+        };
+        match tune_named(name, &budget, &prop_opts()) {
+            Ok(plan) => {
+                let w = plan.winner();
+                prop_assert!(budget.within(w.ulp_at_1, w.cycles_per_elem));
+                prop_assert!(plan.report.on_frontier(plan.report.winner));
+                assert_frontier_sound(&plan.report);
+            }
+            Err(TuneError::Infeasible { nearest, .. }) => {
+                prop_assert!(budget.violation(nearest.ulp_at_1, nearest.cycles_per_elem) > 0.0);
+                // No candidate of the (deterministic) sweep was feasible,
+                // and none violates less than the reported nearest miss.
+                let unbounded = tune_named(name, &TuneBudget::max_error(f64::INFINITY), &prop_opts())
+                    .expect("unbounded sweep succeeds");
+                let near_v = budget.violation(nearest.ulp_at_1, nearest.cycles_per_elem);
+                for c in &unbounded.report.candidates {
+                    prop_assert!(!budget.within(c.ulp_at_1, c.cycles_per_elem));
+                    prop_assert!(budget.violation(c.ulp_at_1, c.cycles_per_elem) >= near_v - 1e-12);
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}
+
+/// Two identical sweeps produce bit-identical reports — nothing in the
+/// scoring path reads the wall clock or any other ambient state.
+#[test]
+fn sweeps_are_deterministic_across_runs() {
+    for name in ["gelu", "exp", "hardswish"] {
+        // Unbounded budget: determinism must hold regardless of
+        // feasibility, and hardswish needs the deeper default rungs to
+        // meet tight caps.
+        let budget = TuneBudget::max_error(f64::INFINITY);
+        let a = tune_named(name, &budget, &prop_opts()).unwrap();
+        let b = tune_named(name, &budget, &prop_opts()).unwrap();
+        assert_eq!(a.report, b.report, "{name}: reports diverged");
+        assert_eq!(a.table.breakpoints(), b.table.breakpoints());
+        for (x, y) in a.table.values().iter().zip(b.table.values()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}: table values diverged");
+        }
+    }
+}
+
+/// The acceptance bar: every registry function under 32 ulp@1 /
+/// unbounded cycles. The winner's error is re-measured from a fresh
+/// lowering (exactly what a post-binding program evaluates) against
+/// scalar f64 — not trusted from the sweep — and the frontier is
+/// checked dominated-point-free.
+#[test]
+fn every_registry_function_meets_a_32_ulp_budget() {
+    let budget = TuneBudget::max_error(32.0);
+    // The full paper-shaped space (all four sizes, every format), at a
+    // test-speed grid.
+    let opts = TuneOptions {
+        grid_points: 801,
+        table_samples: 768,
+        ..TuneOptions::default()
+    };
+    for name in flexsfu_funcs::names() {
+        let f = flexsfu_funcs::by_name(name).unwrap();
+        let plan = tune(f.as_ref(), &budget, &opts)
+            .unwrap_or_else(|e| panic!("{name}: 32-ulp tuning must be feasible: {e}"));
+        let remeasured = plan.remeasure_ulp(&|x| f.eval(x), opts.grid_points);
+        assert!(
+            remeasured <= 32.0,
+            "{name}: post-binding re-measured ULP@1 {remeasured} exceeds the budget"
+        );
+        assert_eq!(
+            remeasured.to_bits(),
+            plan.winner().ulp_at_1.to_bits(),
+            "{name}: fresh lowering must reproduce the sweep's measurement"
+        );
+        assert_frontier_sound(&plan.report);
+        assert!(plan.report.on_frontier(plan.report.winner), "{name}");
+    }
+}

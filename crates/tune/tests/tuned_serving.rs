@@ -1,0 +1,129 @@
+//! Integration: a tuned-and-bound function serves **bit-identically**
+//! to evaluating the same tensors directly through the plan's own
+//! backend program — across both datapaths (a forced-native winner and
+//! a forced-SFU winner in one registry), under concurrent clients, with
+//! the derived per-function flush policies installed.
+
+use flexsfu_serve::{FunctionRegistry, PwlServer, ServeConfig};
+use flexsfu_tune::{tune, tune_and_bind, BackendChoice, TuneBudget, TuneOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 40;
+const REQ_ELEMS: usize = 96;
+
+#[test]
+fn tuned_bindings_serve_bit_identically_to_direct_backend_eval() {
+    // One forced-native plan and one forced-SFU plan, bound side by
+    // side — the registry must route each function's flushes through
+    // its own tuned datapath.
+    let mut native_only = TuneOptions::quick();
+    native_only.space.formats.clear();
+    native_only.space.fixed_point_for_range = false;
+    let gelu_plan = tune(
+        &flexsfu_funcs::Gelu,
+        &TuneBudget::max_error(32.0),
+        &native_only,
+    )
+    .unwrap();
+    assert_eq!(gelu_plan.winner().config.backend, BackendChoice::Native);
+
+    let mut sfu_only = TuneOptions::quick();
+    sfu_only.space.include_native = false;
+    let tanh_plan = tune(
+        &flexsfu_funcs::Tanh,
+        &TuneBudget::max_error(32.0),
+        &sfu_only,
+    )
+    .unwrap();
+    assert!(matches!(
+        tanh_plan.winner().config.backend,
+        BackendChoice::Sfu { .. }
+    ));
+
+    let registry = Arc::new(FunctionRegistry::new());
+    let gelu_id = gelu_plan.bind(&registry).unwrap();
+    let tanh_id = tanh_plan.bind(&registry).unwrap();
+    assert_eq!(registry.backend_name(gelu_id), Some("native"));
+    assert_eq!(registry.backend_name(tanh_id), Some("sfu-emu"));
+    assert_eq!(registry.policy(gelu_id), Some(gelu_plan.flush_policy()));
+    assert_eq!(registry.policy(tanh_id), Some(tanh_plan.flush_policy()));
+
+    // The plans' own lowered programs are the references: the serving
+    // path may batch, coalesce and scatter however it likes, but every
+    // response must match them bit for bit.
+    let gelu_ref = gelu_plan.lower();
+    let tanh_ref = tanh_plan.lower();
+
+    let server = PwlServer::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            flush_interval: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let handle = handle.clone();
+            let (gelu_ref, tanh_ref) = (&gelu_ref, &tanh_ref);
+            scope.spawn(move || {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let seed = (client * REQUESTS_PER_CLIENT + r) as u64;
+                    let data = flexsfu_serve::testkit::request_tensor(seed, REQ_ELEMS);
+                    let (id, reference) = if (client + r) % 2 == 0 {
+                        (gelu_id, gelu_ref)
+                    } else {
+                        (tanh_id, tanh_ref)
+                    };
+                    let (want, _) = reference.eval_batch(&data);
+                    let got = handle.submit(id, data).unwrap().wait().unwrap();
+                    assert_eq!(got.len(), want.len());
+                    assert!(
+                        got.iter()
+                            .zip(&want)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "client {client} request {r}: served result diverged from \
+                         the tuned backend program"
+                    );
+                }
+            });
+        }
+    });
+    server.shutdown();
+
+    // The SFU-bound function really walked the modelled datapath.
+    let stats = registry.backend_stats(tanh_id).unwrap();
+    assert!(stats.flushes > 0 && stats.cycles > 0 && stats.energy_nj > 0.0);
+    // And the native one reports no hardware cost.
+    let native_stats = registry.backend_stats(gelu_id).unwrap();
+    assert!(native_stats.flushes > 0 && native_stats.cycles == 0);
+}
+
+#[test]
+fn tune_and_bind_brings_up_a_servable_registry_in_one_call() {
+    let registry = Arc::new(FunctionRegistry::new());
+    let plans = tune_and_bind(
+        &["sigmoid", "silu"],
+        &registry,
+        &TuneBudget::max_error(32.0),
+        &TuneOptions::quick(),
+    )
+    .unwrap();
+    let server = PwlServer::start(Arc::clone(&registry), ServeConfig::default());
+    let handle = server.handle();
+    for (id, plan) in &plans {
+        let data = flexsfu_serve::testkit::request_tensor(0xBEEF ^ id.0 as u64, 128);
+        let (want, _) = plan.lower().eval_batch(&data);
+        let got = handle.submit(*id, data).unwrap().wait().unwrap();
+        assert!(
+            got.iter()
+                .zip(&want)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{}: served result diverged",
+            plan.name
+        );
+    }
+    server.shutdown();
+}

@@ -1,0 +1,187 @@
+//! Tuning: explore the segments × formats × backends design space,
+//! pick winners under two different budgets, and serve through the
+//! auto-bound registry.
+//!
+//! Demonstrates the `flexsfu-tune` subsystem end to end: (1) bring a
+//! serving registry up tuned **in one call** (`tune_and_bind`) for
+//! sigmoid, GELU and the softmax `exp` under an **accuracy contract**
+//! (≤ 4 FP16 ULPs at base 1, cheapest feasible candidate wins), and
+//! print each function's Pareto frontier — every measured candidate
+//! with its real error and modelled cost, frontier members starred,
+//! the winner flagged; (2) re-tune the same functions under a **cost
+//! contract** (≤ 0.6 modelled cycles per element, most accurate
+//! feasible candidate wins) and show how the winners move across the
+//! frontier; (3) drive traffic through the auto-bound registry from
+//! concurrent clients, and assert every response is bit-identical to
+//! the winning backend program's own evaluation; (4) price the
+//! end-to-end accelerator model from a tuned winner's per-flush
+//! `HwEstimate` (`speedup_from_estimate`) instead of the fixed
+//! elems-per-cycle constant.
+//!
+//! ```sh
+//! cargo run --release --example tuning
+//! ```
+//!
+//! Expected output (cost/error numbers are deterministic; throughput
+//! varies by machine):
+//!
+//! ```text
+//! == budget A: ulp@1 <= 4, minimize cycles ==
+//! -- sigmoid --
+//! backend   format   breakpts    ulp@1  cycles/elem  nJ/elem    pareto
+//! native    -               7     9.95        2.500        -
+//! sfu-emu   fp8             7   124.59        0.252   0.0007    *
+//! sfu-emu   fp16            7    10.08        0.502   0.0014    *
+//! ...
+//! sfu-emu   fp16           31     2.26        0.502   0.0023    * <=
+//! ...
+//!    winner: sfu-emu fp16 x 31 breakpoints (20 candidates measured, 0 skipped)
+//!
+//! == budget B: cycles/elem <= 0.6, minimize error ==
+//! sigmoid: sfu-emu fp16 x 63 breakpoints, ulp@1 0.77, cycles/elem 0.50
+//! gelu: sfu-emu q4.11 x 63 breakpoints, ulp@1 3.44, cycles/elem 0.50
+//! exp: sfu-emu fp16 x 63 breakpoints, ulp@1 1.66, cycles/elem 0.50
+//!
+//! == serving through the tuned registry ==
+//!   4 clients x 150 requests: all bit-identical to the tuned backend programs
+//!
+//! == accelerator model, priced from the tuned winner ==
+//!   resnext26ts_synthetic: fixed-width speedup 3.33x, estimate-priced 1.66x
+//!   (1034 cycles / 2048 elems per flush)
+//! ```
+//!
+//! (The error/cost numbers are fully deterministic — the tuner never
+//! reads the wall clock; the 1-cluster FP16 winner streams 2 elements
+//! per cycle, which is why the estimate-priced end-to-end speedup is
+//! honest about being below the idealized 8-wide constant.)
+
+use flexsfu::backend::BackendProgram;
+use flexsfu::perf::{render_frontier_table, speedup, speedup_from_estimate, AcceleratorConfig};
+use flexsfu::serve::{FunctionRegistry, PwlServer, ServeConfig};
+use flexsfu::tune::{tune_and_bind, tune_named, BackendChoice, TuneBudget, TuneOptions};
+use std::sync::Arc;
+
+const FUNCS: [&str; 3] = ["sigmoid", "gelu", "exp"];
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 150;
+const REQ_ELEMS: usize = 96;
+
+fn main() {
+    let opts = TuneOptions::default();
+
+    // 1. Accuracy contract: at most 4 FP16 ULPs at base 1 of measured
+    //    error, then as cheap as possible. One `tune_and_bind` call
+    //    both runs the sweeps and registers every winner (table +
+    //    backend binding + derived flush policy) — the same plans are
+    //    printed here and served in step 3, with no duplicate sweep.
+    let budget_a = TuneBudget::max_error(4.0);
+    let registry = Arc::new(FunctionRegistry::new());
+    let plans = tune_and_bind(&FUNCS, &registry, &budget_a, &opts).expect("bulk bring-up");
+    println!("== budget A: ulp@1 <= 4, minimize cycles ==");
+    for (_, plan) in &plans {
+        println!("-- {} --", plan.name);
+        print!("{}", render_frontier_table(&plan.frontier_rows()));
+        let w = plan.winner();
+        assert!(w.ulp_at_1 <= 4.0);
+        println!(
+            "   winner: {} {} x {} breakpoints ({} candidates measured, {} skipped)\n",
+            w.config.backend.backend_label(),
+            w.config.backend.format_label(),
+            w.config.breakpoints,
+            plan.report.candidates.len(),
+            plan.report.skipped.len(),
+        );
+    }
+
+    // 2. Cost contract: at most 0.6 modelled cycles per element, then
+    //    as accurate as possible. Winners slide along the frontier.
+    let budget_b = TuneBudget::max_cycles(0.6);
+    println!("== budget B: cycles/elem <= 0.6, minimize error ==");
+    for name in FUNCS {
+        let plan = tune_named(name, &budget_b, &opts).expect("0.6-cycle budget is feasible");
+        let w = plan.winner();
+        assert!(w.cycles_per_elem <= 0.6);
+        assert!(
+            matches!(w.config.backend, BackendChoice::Sfu { .. }),
+            "only the SFU datapath is modelled below 0.6 cycles/elem"
+        );
+        println!(
+            "{name}: {} {} x {} breakpoints, ulp@1 {:.2}, cycles/elem {:.2}",
+            w.config.backend.backend_label(),
+            w.config.backend.format_label(),
+            w.config.breakpoints,
+            w.ulp_at_1,
+            w.cycles_per_elem,
+        );
+    }
+
+    // 3. Serve concurrent traffic through the registry step 1 brought
+    //    up, holding every response to bit-identity against the
+    //    winning program itself.
+    println!("\n== serving through the tuned registry ==");
+    let references: Vec<Arc<dyn BackendProgram>> =
+        plans.iter().map(|(_, plan)| plan.lower()).collect();
+    let server = PwlServer::start(Arc::clone(&registry), ServeConfig::default());
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let handle = handle.clone();
+            let (plans, references) = (&plans, &references);
+            scope.spawn(move || {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let pick = (client + r) % plans.len();
+                    let data = flexsfu::serve::testkit::request_tensor(
+                        (client * REQUESTS_PER_CLIENT + r) as u64,
+                        REQ_ELEMS,
+                    );
+                    let (want, _) = references[pick].eval_batch(&data);
+                    let got = handle.submit(plans[pick].0, data).unwrap().wait().unwrap();
+                    assert!(
+                        got.iter()
+                            .zip(&want)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "served response diverged from the tuned backend program"
+                    );
+                }
+            });
+        }
+    });
+    server.shutdown();
+    println!(
+        "  {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests: all bit-identical to the \
+         tuned backend programs"
+    );
+
+    // 4. Thread a tuned winner's HwEstimate into the end-to-end
+    //    accelerator model: price the paper's peak model from the
+    //    measured flush estimate instead of the fixed constant.
+    println!("\n== accelerator model, priced from the tuned winner ==");
+    let (_, sigmoid_plan) = &plans[0];
+    let flush = sigmoid_plan.flush_policy().max_elems;
+    let stats = {
+        let xs: Vec<f64> = (0..flush).map(|i| i as f64 * 1e-3 - 4.0).collect();
+        let (_, stats) = sigmoid_plan.lower().eval_batch(&xs);
+        stats
+    };
+    let cfg = AcceleratorConfig::ascend_like();
+    let zoo = flexsfu::zoo::generate_zoo(42);
+    let peak = zoo
+        .iter()
+        .find(|m| m.name == "resnext26ts_synthetic")
+        .expect("pinned peak model");
+    match stats.hw {
+        Some(est) => println!(
+            "  {}: fixed-width speedup {:.2}x, estimate-priced {:.2}x \
+             ({} cycles / {flush} elems per flush)",
+            peak.name,
+            speedup(peak, &cfg),
+            speedup_from_estimate(peak, &cfg, &est, flush),
+            est.cycles,
+        ),
+        None => println!(
+            "  {}: fixed-width speedup {:.2}x (native winner carries no hw estimate)",
+            peak.name,
+            speedup(peak, &cfg),
+        ),
+    }
+}

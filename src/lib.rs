@@ -33,6 +33,10 @@
 //!   clients submit `(function, tensor)` jobs, a batcher coalesces them
 //!   into engine-scale flushes, and recompiled tables hot-swap without
 //!   stopping traffic,
+//! * [`tune`] — the design-space exploration and auto-binding tuner:
+//!   sweep segments × formats × backends under a budget, compute the
+//!   Pareto frontier, and bind the winner into the serving registry in
+//!   one call,
 //! * [`zoo`] — the synthetic 778-model benchmark suite,
 //! * [`perf`] — the Ascend-like end-to-end performance model.
 //!
@@ -75,4 +79,5 @@ pub use flexsfu_nn as nn;
 pub use flexsfu_optim as optim;
 pub use flexsfu_perf as perf;
 pub use flexsfu_serve as serve;
+pub use flexsfu_tune as tune;
 pub use flexsfu_zoo as zoo;
