@@ -71,10 +71,10 @@
 mod native;
 mod sfu;
 
-pub use native::{NativeBackend, NativeProgram};
+pub use native::{NativeBackend, NativeProgram, NativeProgramF32};
 pub use sfu::{SfuBackend, SfuProgram};
 
-use flexsfu_core::CompiledPwl;
+use flexsfu_core::{CompiledPwl, CompiledPwlF32};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -170,6 +170,19 @@ pub trait EvalBackend: Send + Sync {
     /// [`LowerError`] when the function does not fit the backend's
     /// tables or its quantization.
     fn lower(&self, engine: &CompiledPwl) -> Result<Arc<dyn BackendProgram>, LowerError>;
+
+    /// Lowers the single-precision form of the function, if this backend
+    /// has an f32 lane. The default is `None` — a backend without an f32
+    /// datapath simply doesn't serve f32 traffic (the serving layer
+    /// surfaces that as a precision-unsupported error rather than
+    /// silently round-tripping the request through f64).
+    ///
+    /// [`NativeBackend`] overrides this with the identity lowering onto
+    /// [`flexsfu_core::ParallelPwlF32`].
+    fn lower_f32(&self, engine: &CompiledPwlF32) -> Option<Arc<dyn BackendProgramF32>> {
+        let _ = engine;
+        None
+    }
 }
 
 /// A lowered function, ready to batch-evaluate packed buffers.
@@ -194,6 +207,35 @@ pub trait BackendProgram: Send + Sync {
 
     /// Convenience: evaluates `xs` into a fresh contiguous `Vec`.
     fn eval_batch(&self, xs: &[f64]) -> (Vec<f64>, FlushStats) {
+        let mut out = vec![0.0; xs.len()];
+        let stats = self.eval_scatter_into(xs, &mut [out.as_mut_slice()]);
+        (out, stats)
+    }
+}
+
+/// A lowered single-precision function — the f32 twin of
+/// [`BackendProgram`], produced by [`EvalBackend::lower_f32`]. A request
+/// evaluated through this trait never touches f64: the packed flush
+/// buffer, the kernels and the scattered results are all f32.
+///
+/// Same sharing contract as [`BackendProgram`]: programs are immutable
+/// to callers and shared across the serving worker pool.
+pub trait BackendProgramF32: Send + Sync {
+    /// The owning backend's [`EvalBackend::name`].
+    fn backend_name(&self) -> &'static str;
+
+    /// Evaluates the packed f32 input and scatters results into the
+    /// non-contiguous output slices, in order — the same contract as
+    /// [`flexsfu_core::CompiledPwlF32::eval_scatter_into`] — returning
+    /// what the flush cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output lengths do not sum to `xs.len()`.
+    fn eval_scatter_into(&self, xs: &[f32], outs: &mut [&mut [f32]]) -> FlushStats;
+
+    /// Convenience: evaluates `xs` into a fresh contiguous `Vec`.
+    fn eval_batch(&self, xs: &[f32]) -> (Vec<f32>, FlushStats) {
         let mut out = vec![0.0; xs.len()];
         let stats = self.eval_scatter_into(xs, &mut [out.as_mut_slice()]);
         (out, stats)

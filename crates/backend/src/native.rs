@@ -1,8 +1,8 @@
 //! The identity lowering: the engine's own SIMD lane kernels as a
 //! backend.
 
-use crate::{BackendProgram, EvalBackend, FlushStats, LowerError};
-use flexsfu_core::{CompiledPwl, ParallelPwl};
+use crate::{BackendProgram, BackendProgramF32, EvalBackend, FlushStats, LowerError};
+use flexsfu_core::{CompiledPwl, CompiledPwlF32, ParallelPwl, ParallelPwlF32};
 use std::sync::Arc;
 
 /// The native backend: lowering is a no-op re-wrap of the engine, and
@@ -28,6 +28,12 @@ impl EvalBackend for NativeBackend {
     fn lower(&self, engine: &CompiledPwl) -> Result<Arc<dyn BackendProgram>, LowerError> {
         Ok(Arc::new(NativeProgram::from_engine(Arc::new(
             ParallelPwl::new(engine.clone()),
+        ))))
+    }
+
+    fn lower_f32(&self, engine: &CompiledPwlF32) -> Option<Arc<dyn BackendProgramF32>> {
+        Some(Arc::new(NativeProgramF32::from_engine(Arc::new(
+            ParallelPwlF32::new(engine.clone()),
         ))))
     }
 }
@@ -58,6 +64,42 @@ impl BackendProgram for NativeProgram {
     }
 
     fn eval_scatter_into(&self, xs: &[f64], outs: &mut [&mut [f64]]) -> FlushStats {
+        self.engine.eval_scatter_into(xs, outs);
+        FlushStats {
+            elems: xs.len(),
+            hw: None,
+        }
+    }
+}
+
+/// A lowered single-precision native program: a shared
+/// [`ParallelPwlF32`]. The identity f32 lowering — evaluation runs the
+/// eight-wide f32 lane kernels with no f64 round-trip anywhere, and each
+/// flush reports its element count (`hw: None`, like the f64 native
+/// program).
+#[derive(Debug, Clone)]
+pub struct NativeProgramF32 {
+    engine: Arc<ParallelPwlF32>,
+}
+
+impl NativeProgramF32 {
+    /// Wraps an f32 engine a caller already holds, without re-compiling.
+    pub fn from_engine(engine: Arc<ParallelPwlF32>) -> Self {
+        Self { engine }
+    }
+
+    /// The wrapped threaded f32 engine.
+    pub fn engine(&self) -> &Arc<ParallelPwlF32> {
+        &self.engine
+    }
+}
+
+impl BackendProgramF32 for NativeProgramF32 {
+    fn backend_name(&self) -> &'static str {
+        "native"
+    }
+
+    fn eval_scatter_into(&self, xs: &[f32], outs: &mut [&mut [f32]]) -> FlushStats {
         self.engine.eval_scatter_into(xs, outs);
         FlushStats {
             elems: xs.len(),
@@ -106,5 +148,48 @@ mod tests {
         for (g, w) in flat.iter().zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits());
         }
+    }
+
+    #[test]
+    fn native_f32_program_is_bit_identical_to_the_f32_engine() {
+        let pwl = uniform_pwl(&Gelu, 15, (-8.0, 8.0));
+        let engine = CompiledPwlF32::from_pwl(&pwl);
+        let program = NativeBackend::new()
+            .lower_f32(&engine)
+            .expect("native has an f32 lane");
+        assert_eq!(program.backend_name(), "native");
+        let xs: Vec<f32> = (0..500).map(|i| i as f32 * 0.04 - 10.0).collect();
+        let (got, stats) = program.eval_batch(&xs);
+        assert_eq!(stats.elems, xs.len());
+        assert!(stats.hw.is_none(), "native has no hardware cost model");
+        for (g, w) in got.iter().zip(engine.eval_batch(&xs)) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn native_f32_scatter_partitions_like_the_engine() {
+        let engine = CompiledPwlF32::from_pwl(&uniform_pwl(&Gelu, 7, (-8.0, 8.0)));
+        let program = NativeBackend::new().lower_f32(&engine).unwrap();
+        let xs: Vec<f32> = (0..100).map(|i| i as f32 * 0.1 - 5.0).collect();
+        let want = engine.eval_batch(&xs);
+        let mut a = vec![0.0f32; 30];
+        let mut b = vec![0.0f32; 0];
+        let mut c = vec![0.0f32; 70];
+        let stats = program.eval_scatter_into(
+            &xs,
+            &mut [a.as_mut_slice(), b.as_mut_slice(), c.as_mut_slice()],
+        );
+        assert_eq!(stats.elems, 100);
+        let flat: Vec<f32> = a.into_iter().chain(b).chain(c).collect();
+        for (g, w) in flat.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn sfu_backend_has_no_f32_lane() {
+        let engine = CompiledPwlF32::from_pwl(&uniform_pwl(&Gelu, 7, (-8.0, 8.0)));
+        assert!(crate::SfuBackend::fp16(16).lower_f32(&engine).is_none());
     }
 }

@@ -426,6 +426,16 @@ impl CompiledPwl {
         &self.slope
     }
 
+    /// The per-segment anchored form `(aₓ, a_y, m)` as the three SoA
+    /// columns, in table order. Internal view for the f32 engine's
+    /// conversion path ([`crate::engine_f32::CompiledPwlF32::from_compiled`]):
+    /// the stored f64 values are exactly what `from_pwl` would recompute,
+    /// so converting from a compiled engine or from its source function
+    /// yields identical f32 tables.
+    pub(crate) fn anchor_parts(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.anchor_x, &self.anchor_y, &self.slope)
+    }
+
     /// Lowers to the `(m, q)` coefficient-table view the hardware programs,
     /// identical to `CoeffTable::from_pwl` on the source function.
     pub fn to_coeff_table(&self) -> CoeffTable {

@@ -22,6 +22,11 @@
 //!   (structure-of-arrays form with precomputed slopes and branch-light
 //!   lookup), the [`PwlEvaluator`] trait every consumer routes through,
 //!   and the threaded [`ParallelPwl`],
+//! * [`engine_f32`] — the single-precision fast path: [`CompiledPwlF32`]
+//!   and [`ParallelPwlF32`], the same engine with f32 tables, eight-wide
+//!   lanes and half the table bandwidth, bit-identical across its own
+//!   scalar/batch/SIMD/scatter paths and within a declared ULP budget of
+//!   the f64 reference,
 //! * [`simd`] — the fixed-width lane types ([`simd::F64x4`],
 //!   [`simd::F32x8`]) the engine's vectorized kernels are written
 //!   against, with an AVX2 runtime-dispatch path and a nightly
@@ -51,6 +56,7 @@
 pub mod boundary;
 pub mod coeffs;
 pub mod engine;
+pub mod engine_f32;
 pub mod init;
 pub mod loss;
 pub mod pwl;
@@ -61,5 +67,6 @@ mod error;
 
 pub use coeffs::CoeffTable;
 pub use engine::{CompiledPwl, ParallelPwl, PwlEvaluator};
+pub use engine_f32::{CompiledPwlF32, ParallelPwlF32};
 pub use error::PwlError;
 pub use pwl::{PwlFunction, Region};

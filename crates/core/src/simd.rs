@@ -8,8 +8,24 @@
 //! engine's kernels are written against:
 //!
 //! * [`F64x4`] — four `f64` lanes (one 256-bit AVX2 register),
-//! * [`F32x8`] — eight `f32` lanes (the same register, single precision,
-//!   for future reduced-precision tensor paths).
+//! * [`F32x8`] — eight `f32` lanes (the same register, single precision —
+//!   the lane type behind [`crate::CompiledPwlF32`]'s kernels).
+//!
+//! # The 32-byte f32 bucket line
+//!
+//! The f64 engine's deep-table fast path rests on the measured-window
+//! argument: the bucket index is built by classifying every breakpoint
+//! with the *eval-time* bucket map, so when the measured window is ≤ 2,
+//! `seed + (bp(seed) < x) + (bp(seed+1) < x)` is exactly the breakpoint
+//! count — and a 64-byte `BucketLine` can fuse the one comparison
+//! breakpoint, the seed and both candidate coefficient triples into a
+//! single cache line. The f32 engine's `BucketLineF32` is the same
+//! proof at half the width: the classification runs in the f32 bucket
+//! map over the f32-rounded breakpoints, so the `window ≤ 2` guarantee
+//! holds for the rounded table by construction (not by assuming f64
+//! conclusions survive rounding), and the fused line shrinks to 32
+//! bytes — `[bp(seed), seed, aₓ(s), a_y(s), m(s), aₓ(s+1), a_y(s+1),
+//! m(s+1)]` as eight `f32`s, half the cache traffic per element.
 //!
 //! # Why arrays and not intrinsics?
 //!
@@ -20,9 +36,9 @@
 //! hot kernels twice — once for the baseline target and once under
 //! `#[target_feature(enable = "avx2")]`, selected at runtime — so the
 //! packed form is actually emitted on the machines that matter without a
-//! single platform intrinsic in the source. (The engine's AVX-512 bucket
-//! kernel is the one exception — hardware gathers have no autovectorized
-//! spelling.) Comparisons produce explicit all-ones/all-zeros
+//! single platform intrinsic in the source. (The engines' AVX-512
+//! kernels are the one exception — hardware gathers have no
+//! autovectorized spelling.) Comparisons produce explicit all-ones/all-zeros
 //! [`M64x4`]/[`M32x8`] bitmasks and selection is a float-domain blend,
 //! exactly the `cmppd`/`blendvpd` idiom the hardware executes.
 //!

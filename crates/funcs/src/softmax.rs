@@ -89,6 +89,37 @@ pub fn softmax_with_batch<F: FnOnce(&[f64], &mut [f64])>(xs: &[f64], exp_into: F
     out
 }
 
+/// Single-precision [`softmax_with_batch`]: the identical
+/// max-subtraction decomposition with every intermediate — shift,
+/// exponentials, sum, division — carried in f32, so an f32 inference
+/// pipeline's softmax never widens to f64. The batch evaluator passes
+/// the f32 engine's `eval_into` as `exp_into`, exactly like the f64
+/// variant.
+///
+/// # Panics
+///
+/// Same conditions as [`softmax_with_batch`]: empty or NaN input, or a
+/// non-positive/non-finite normalization sum.
+pub fn softmax_with_batch_f32<F: FnOnce(&[f32], &mut [f32])>(xs: &[f32], exp_into: F) -> Vec<f32> {
+    assert!(!xs.is_empty(), "softmax of an empty slice");
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, |a, b| {
+        assert!(!b.is_nan(), "softmax input contains NaN");
+        a.max(b)
+    });
+    let shifted: Vec<f32> = xs.iter().map(|&x| x - max).collect();
+    let mut out = vec![0.0f32; xs.len()];
+    exp_into(&shifted, &mut out);
+    let sum: f32 = out.iter().sum();
+    assert!(
+        sum > 0.0 && sum.is_finite(),
+        "softmax normalization sum must be positive and finite, got {sum}"
+    );
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
 /// In-place variant of [`softmax`].
 ///
 /// # Panics
@@ -172,6 +203,29 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn batch_variant_rejects_empty_input() {
         softmax_with_batch(&[], |_, _| {});
+    }
+
+    #[test]
+    fn f32_batch_variant_sums_to_one_and_tracks_f64() {
+        let xs64 = [0.5, -2.0, 3.0, 0.0, -7.5];
+        let xs32: Vec<f32> = xs64.iter().map(|&x| x as f32).collect();
+        let p32 = softmax_with_batch_f32(&xs32, |shifted, out| {
+            for (&t, o) in shifted.iter().zip(out.iter_mut()) {
+                *o = t.exp();
+            }
+        });
+        let sum: f32 = p32.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        let p64 = softmax(&xs64);
+        for (a, b) in p32.iter().zip(&p64) {
+            assert!((f64::from(*a) - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn f32_batch_variant_rejects_empty_input() {
+        softmax_with_batch_f32(&[], |_, _| {});
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! through the same `exp`-based decomposition the hardware accelerates.
 
 use crate::layers::Layer;
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, TensorF32};
 
 /// Layer normalization over the last dimension, with learnable gain/bias.
 #[derive(Debug)]
@@ -131,6 +131,8 @@ pub struct SelfAttention {
     grad_wv: Tensor,
     exp_pwl: Option<flexsfu_core::PwlFunction>,
     exp_compiled: Option<flexsfu_core::CompiledPwl>,
+    /// The f32 twin of `exp_compiled`, for [`Self::forward_f32`].
+    exp_compiled_f32: Option<flexsfu_core::CompiledPwlF32>,
     cache: Option<AttnCache>,
 }
 
@@ -174,15 +176,21 @@ impl SelfAttention {
             grad_wv: Tensor::zeros(vec![dim, dim]),
             exp_pwl: None,
             exp_compiled: None,
+            exp_compiled_f32: None,
             cache: None,
         }
     }
 
     /// Installs a PWL substitution for the softmax `exp` stage (inference
     /// only, like activation substitution), compiled once for the
-    /// evaluation engine.
+    /// evaluation engine — in both precisions, so [`Self::forward_f32`]
+    /// has an f32 form of the same table ready.
     pub fn set_exp_substitution(&mut self, pwl: Option<flexsfu_core::PwlFunction>) {
         self.exp_compiled = pwl.as_ref().map(flexsfu_core::PwlFunction::compile);
+        self.exp_compiled_f32 = self
+            .exp_compiled
+            .as_ref()
+            .map(flexsfu_core::CompiledPwlF32::from_compiled);
         self.exp_pwl = pwl;
     }
 
@@ -205,6 +213,75 @@ impl SelfAttention {
             }
             _ => flexsfu_funcs::softmax::softmax(row),
         }
+    }
+
+    /// Softmax over an f32 row: the same max-subtraction decomposition,
+    /// every intermediate in f32. With an exp substitution installed the
+    /// exponentials come from the f32 engine's lane kernels (then the
+    /// same non-negativity clamp as the f64 path); otherwise from
+    /// `f32::exp`.
+    fn softmax_row_f32(&self, row: &[f32]) -> Vec<f32> {
+        match &self.exp_compiled_f32 {
+            Some(engine) => flexsfu_funcs::softmax::softmax_with_batch_f32(row, |shifted, out| {
+                engine.eval_into(shifted, out);
+                for o in out.iter_mut() {
+                    *o = o.max(0.0);
+                }
+            }),
+            None => flexsfu_funcs::softmax::softmax_with_batch_f32(row, |shifted, out| {
+                for (o, &t) in out.iter_mut().zip(shifted) {
+                    *o = t.exp();
+                }
+            }),
+        }
+    }
+
+    /// Single-precision inference forward: projections, scores, softmax
+    /// (through the f32 exp engine when a substitution is installed) and
+    /// the value mix all run in f32 — the request data never widens to
+    /// f64. The layer's trained weights are f64; they round to f32 once
+    /// per call, which is the table-conversion analogue of the engine's
+    /// own f64→f32 compile, not part of the request path.
+    ///
+    /// Inference only — nothing is cached, `&self` suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not shaped `(batch, seq·dim)`.
+    pub fn forward_f32(&self, x: &TensorF32) -> TensorF32 {
+        let (s, d) = (self.seq, self.dim);
+        assert_eq!(
+            x.shape()[1],
+            s * d,
+            "expected (batch, seq*dim) = (_, {})",
+            s * d
+        );
+        let b = x.shape()[0];
+        let scale = 1.0 / (d as f32).sqrt();
+        let wq = TensorF32::from_f64(&self.wq);
+        let wk = TensorF32::from_f64(&self.wk);
+        let wv = TensorF32::from_f64(&self.wv);
+        let mut out = TensorF32::zeros(vec![b, s * d]);
+        for n in 0..b {
+            let tokens =
+                TensorF32::from_vec(x.data()[n * s * d..(n + 1) * s * d].to_vec(), vec![s, d]);
+            let q = tokens.matmul(&wq);
+            let k = tokens.matmul(&wk);
+            let v = tokens.matmul(&wv);
+            let scores = q.matmul(&k.transpose());
+            for i in 0..s {
+                let row: Vec<f32> = (0..s).map(|j| scores.data()[i * s + j] * scale).collect();
+                let w = self.softmax_row_f32(&row);
+                for c in 0..d {
+                    let mut acc = 0.0f32;
+                    for j in 0..s {
+                        acc += w[j] * v.data()[j * d + c];
+                    }
+                    out.data_mut()[n * s * d + i * d + c] = acc;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -451,6 +528,34 @@ mod tests {
                 "attention grad {i}: fd {fd} vs {}",
                 gx.data()[i]
             );
+        }
+    }
+
+    #[test]
+    fn forward_f32_tracks_the_f64_forward() {
+        let mut rng = rng_from(9);
+        let mut attn = SelfAttention::new(3, 4, &mut rng);
+        let x64 = Tensor::from_vec(
+            (0..24).map(|i| (i as f64 * 0.43).sin()).collect(),
+            vec![2, 12],
+        );
+        let x32 = TensorF32::from_f64(&x64);
+
+        // Exact exp in both precisions: the rows stay convex and close.
+        let y64 = attn.forward(&x64, false);
+        let y32 = attn.forward_f32(&x32);
+        assert_eq!(y32.shape(), y64.shape());
+        for (a, b) in y32.data().iter().zip(y64.data()) {
+            assert!((f64::from(*a) - b).abs() < 1e-4, "{a} vs {b}");
+        }
+
+        // With the PWL exp substituted, the f32 softmax runs through the
+        // f32 engine and still tracks the f64 substituted path.
+        attn.set_exp_substitution(Some(uniform_pwl(&Exp, 32, (-10.0, 0.1))));
+        let y64 = attn.forward(&x64, false);
+        let y32 = attn.forward_f32(&x32);
+        for (a, b) in y32.data().iter().zip(y64.data()) {
+            assert!((f64::from(*a) - b).abs() < 1e-4, "{a} vs {b}");
         }
     }
 

@@ -1,7 +1,7 @@
 //! Layers with forward and backward passes.
 
-use crate::tensor::Tensor;
-use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
+use crate::tensor::{Tensor, TensorF32};
+use flexsfu_core::{CompiledPwl, CompiledPwlF32, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::Activation;
 
 /// A differentiable layer.
@@ -131,6 +131,9 @@ pub struct ActivationLayer {
     act: Box<dyn Activation>,
     pwl: Option<PwlFunction>,
     compiled: Option<CompiledPwl>,
+    /// The f32 twin of `compiled`, built from the same table — the
+    /// engine [`Self::forward_f32`] evaluates through.
+    compiled_f32: Option<CompiledPwlF32>,
     cached_x: Option<Tensor>,
 }
 
@@ -150,6 +153,7 @@ impl ActivationLayer {
             act,
             pwl: None,
             compiled: None,
+            compiled_f32: None,
             cached_x: None,
         }
     }
@@ -160,15 +164,39 @@ impl ActivationLayer {
     }
 
     /// Installs (or clears) the PWL substitution, compiling it for the
-    /// batch engine.
+    /// batch engine — in both precisions, so [`Self::forward_f32`] has
+    /// an f32 form of the same table ready.
     pub fn set_substitution(&mut self, pwl: Option<PwlFunction>) {
         self.compiled = pwl.as_ref().map(PwlFunction::compile);
+        self.compiled_f32 = self.compiled.as_ref().map(CompiledPwlF32::from_compiled);
         self.pwl = pwl;
     }
 
     /// Whether a PWL override is active.
     pub fn is_substituted(&self) -> bool {
         self.pwl.is_some()
+    }
+
+    /// Single-precision inference forward: with a substitution
+    /// installed, the tensor batch-evaluates through the f32 engine's
+    /// eight-wide kernels — input, tables and output all f32, no f64
+    /// anywhere in the request path, bit-identical to
+    /// [`CompiledPwlF32::eval_batch`] on the flat data. Without a
+    /// substitution there is no f32 table, so the exact activation runs
+    /// per element in f64 and rounds once on the way out (the same
+    /// "exact fallback" semantics as [`Layer::forward`], at f64 cost).
+    ///
+    /// Inference only — there is no f32 training path, so nothing is
+    /// cached and `&self` suffices.
+    pub fn forward_f32(&self, x: &TensorF32) -> TensorF32 {
+        match &self.compiled_f32 {
+            Some(engine) => {
+                let mut y = TensorF32::zeros(x.shape().to_vec());
+                engine.eval_into(x.data(), y.data_mut());
+                y
+            }
+            None => x.map(|v| self.act.eval(f64::from(v)) as f32),
+        }
     }
 }
 
@@ -514,6 +542,39 @@ mod tests {
         // Training path ignores the substitution.
         let train_out = layer.forward(&x, true);
         assert_eq!(train_out, exact);
+    }
+
+    #[test]
+    fn forward_f32_is_bit_identical_to_the_f32_engine() {
+        let mut layer = ActivationLayer::new(by_name("silu").unwrap());
+        let pwl = uniform_pwl(&Silu, 33, (-8.0, 8.0));
+        layer.set_substitution(Some(pwl.clone()));
+        let engine = CompiledPwlF32::from_compiled(&pwl.compile());
+        let x = TensorF32::from_vec(
+            (0..257).map(|i| i as f32 * 0.05 - 6.0).collect(),
+            vec![1, 257],
+        );
+        let y = layer.forward_f32(&x);
+        assert_eq!(y.shape(), x.shape());
+        let want = engine.eval_batch(x.data());
+        for (a, b) in y.data().iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And it tracks the f64 substituted path closely.
+        let y64 = layer.forward(&x.to_f64(), false);
+        for (a, b) in y.data().iter().zip(y64.data()) {
+            assert!((f64::from(*a) - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_f32_without_substitution_rounds_the_exact_activation() {
+        let layer = ActivationLayer::new(by_name("silu").unwrap());
+        let x = TensorF32::from_vec(vec![-2.0, 0.0, 2.0], vec![1, 3]);
+        let y = layer.forward_f32(&x);
+        for (a, &xv) in y.data().iter().zip(x.data()) {
+            assert_eq!(*a, Silu.eval(f64::from(xv)) as f32);
+        }
     }
 
     #[test]

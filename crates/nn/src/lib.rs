@@ -15,6 +15,9 @@
 //! Provided pieces:
 //!
 //! * [`Tensor`] — a flat-storage n-d array with the few ops DNNs need,
+//!   and [`TensorF32`], its single-precision twin for the inference
+//!   fast path (`forward_f32` on activation, attention and serving
+//!   layers keeps a request in f32 end to end),
 //! * [`layers`] — `Dense`, `Conv2d`, `MaxPool2`, `Flatten` and
 //!   [`layers::ActivationLayer`] with full backprop,
 //! * [`serving`] — [`serving::AsyncActivationLayer`], the same
@@ -53,4 +56,4 @@ pub mod train;
 pub mod zoo;
 
 pub use model::Sequential;
-pub use tensor::Tensor;
+pub use tensor::{Tensor, TensorF32};

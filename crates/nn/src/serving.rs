@@ -23,7 +23,7 @@
 //! emulator — the model code does not change.
 
 use crate::layers::Layer;
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, TensorF32};
 use flexsfu_funcs::Activation;
 use flexsfu_serve::{FunctionId, ServeHandle};
 
@@ -66,6 +66,32 @@ impl AsyncActivationLayer {
     /// The wrapped exact activation's name.
     pub fn activation_name(&self) -> &'static str {
         self.act.name()
+    }
+
+    /// Single-precision inference forward: the whole tensor goes to the
+    /// server as one **f32 job** ([`ServeHandle::submit_f32`]), flows
+    /// through the f32 flush lane and the backend's f32 program, and
+    /// comes back f32 — bit-identical to evaluating the flat data
+    /// directly with the registry's
+    /// [`flexsfu_serve::FunctionRegistry::engine_f32`]. No f64 anywhere
+    /// in the request path.
+    ///
+    /// Inference only, like the other `forward_f32`s — nothing is
+    /// cached, `&self` suffices.
+    ///
+    /// # Panics
+    ///
+    /// As for the inference mode of [`Layer::forward`] — a rejected or
+    /// dropped job panics — plus the function's backend lacking an f32
+    /// lane ([`flexsfu_serve::ServeError::PrecisionUnsupported`]), which
+    /// is a deployment mismatch worth failing loudly on.
+    pub fn forward_f32(&self, x: &TensorF32) -> TensorF32 {
+        let ticket = self
+            .handle
+            .submit_f32(self.func, x.data().to_vec())
+            .expect("serving f32 submit failed");
+        let ys = ticket.wait().expect("serving result dropped");
+        TensorF32::from_vec(ys, x.shape().to_vec())
     }
 }
 
@@ -182,6 +208,36 @@ mod tests {
         // And the emulated flushes were accounted.
         let stats = registry.backend_stats(id).unwrap();
         assert!(stats.flushes > 0 && stats.cycles > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn f32_inference_matches_the_registrys_f32_engine_bit_for_bit() {
+        with_watchdog(
+            30,
+            "f32_inference_matches_the_registrys_f32_engine_bit_for_bit",
+            f32_inference_matches_the_registrys_f32_engine_bit_for_bit_body,
+        );
+    }
+
+    fn f32_inference_matches_the_registrys_f32_engine_bit_for_bit_body() {
+        let pwl = uniform_pwl(&Silu, 33, (-8.0, 8.0));
+        let registry = Arc::new(FunctionRegistry::new());
+        let id = registry.register("silu", &pwl);
+        let engine32 = registry.engine_f32(id).unwrap();
+        let server = PwlServer::start(Arc::clone(&registry), ServeConfig::default());
+        let layer = AsyncActivationLayer::new(by_name("silu").unwrap(), server.handle(), id);
+
+        let x = TensorF32::from_vec(
+            (0..257).map(|i| i as f32 * 0.05 - 6.0).collect(),
+            vec![1, 257],
+        );
+        let y = layer.forward_f32(&x);
+        assert_eq!(y.shape(), x.shape());
+        let want = engine32.eval_batch(x.data());
+        for (a, b) in y.data().iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
         server.shutdown();
     }
 

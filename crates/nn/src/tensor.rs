@@ -186,6 +186,176 @@ impl Tensor {
     }
 }
 
+/// The single-precision twin of [`Tensor`]: an n-dimensional array
+/// stored row-major in a flat `Vec<f32>`.
+///
+/// This is the inference fast path's container — a tensor born f32
+/// flows through [`crate::layers::ActivationLayer::forward_f32`] (and
+/// the serving adapter's f32 lane) without ever widening to f64.
+/// Training stays f64, so only the forward-path operations exist here.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_nn::TensorF32;
+///
+/// let a = TensorF32::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+/// assert_eq!(a.transpose().at2(0, 1), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorF32 {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl TensorF32 {
+    /// A zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension");
+        let n = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length does not match shape");
+        Self { shape, data }
+    }
+
+    /// Rounds a double-precision tensor to f32 once — the boundary
+    /// crossing for callers whose upstream data is f64. Everything
+    /// downstream of this call stays single-precision.
+    pub fn from_f64(t: &Tensor) -> Self {
+        Self {
+            shape: t.shape().to_vec(),
+            data: t.data().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Widens back to f64 (exact — every f32 is representable), for
+    /// comparing an f32 pipeline's output against the f64 reference.
+    pub fn to_f64(&self) -> Tensor {
+        Tensor::from_vec(
+            self.data.iter().map(|&v| v as f64).collect(),
+            self.shape.clone(),
+        )
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes in place (volume must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different volume.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape changes volume");
+        self.shape = shape;
+        self
+    }
+
+    /// 2-D element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or indices are out of range.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at2 needs a 2-D tensor");
+        assert!(r < self.shape[0] && c < self.shape[1], "index out of range");
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Matrix multiplication of two 2-D tensors, accumulated in f32.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `(m, k)` and `rhs` is `(k, n)`.
+    pub fn matmul(&self, rhs: &TensorF32) -> TensorF32 {
+        assert_eq!(self.shape.len(), 2, "lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "inner dimensions must agree ({k} vs {k2})");
+        let mut out = TensorF32::zeros(vec![m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[p * n..(p + 1) * n];
+                let dst = &mut out.data[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> TensorF32 {
+        assert_eq!(self.shape.len(), 2, "transpose needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = TensorF32::zeros(vec![n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> TensorF32 {
+        TensorF32 {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +414,37 @@ mod tests {
     #[should_panic(expected = "data length")]
     fn bad_from_vec_panics() {
         Tensor::from_vec(vec![0.0; 5], vec![2, 3]);
+    }
+
+    #[test]
+    fn f32_matmul_and_transpose_match_f64_for_exact_values() {
+        // Small integer values are exact in both precisions, so the two
+        // tensor types must agree bit-for-bit after widening.
+        let a64 = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let b64 = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], vec![3, 2]);
+        let a32 = TensorF32::from_f64(&a64);
+        let b32 = TensorF32::from_f64(&b64);
+        let c32 = a32.matmul(&b32);
+        assert_eq!(c32.to_f64(), a64.matmul(&b64));
+        assert_eq!(a32.transpose().to_f64(), a64.transpose());
+        assert_eq!(a32.transpose().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn f32_roundtrip_and_map() {
+        let t = TensorF32::from_vec(vec![1.5, -2.25], vec![2]);
+        assert_eq!(TensorF32::from_f64(&t.to_f64()), t);
+        assert_eq!(t.map(|x| x * 2.0).data(), &[3.0, -4.5]);
+        let r = t.clone().reshape(vec![1, 2]);
+        assert_eq!(r.shape(), &[1, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn f32_mismatched_matmul_panics() {
+        TensorF32::zeros(vec![2, 3]).matmul(&TensorF32::zeros(vec![2, 3]));
     }
 }

@@ -22,6 +22,13 @@ pub enum ServeError {
     /// The blocking [`crate::ServeHandle::submit`] waits for space
     /// instead of returning this.
     QueueFull,
+    /// An f32 job ([`crate::ServeHandle::submit_f32`]) named a function
+    /// whose backend has no single-precision lane
+    /// ([`flexsfu_backend::EvalBackend::lower_f32`] returned `None`).
+    /// The job is rejected rather than silently round-tripped through
+    /// f64 — the f32 path's contract is that a request never touches
+    /// f64.
+    PrecisionUnsupported(FunctionId),
     /// The result channel was dropped without a value — only possible if
     /// an evaluation worker panicked.
     Disconnected,
@@ -34,6 +41,10 @@ impl fmt::Display for ServeError {
             Self::LowerFailed(e) => write!(f, "backend lowering failed: {e}"),
             Self::ShuttingDown => write!(f, "server is shutting down"),
             Self::QueueFull => write!(f, "submission queue is full"),
+            Self::PrecisionUnsupported(id) => write!(
+                f,
+                "function {id:?}'s backend has no f32 lane (lower_f32 returned None)"
+            ),
             Self::Disconnected => write!(f, "result channel disconnected (worker panicked)"),
         }
     }

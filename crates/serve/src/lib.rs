@@ -44,6 +44,17 @@
 //!   gives a function its own [`FlushPolicy`] (size threshold +
 //!   deadline); due functions flush alone, so tight-deadline functions
 //!   are not held back by throughput-oriented ones.
+//! * **A single-precision job lane** — [`ServeHandle::submit_f32`]
+//!   serves `Vec<f32>` tensors end to end in f32: the packed flush
+//!   buffer, the backend's f32 program
+//!   ([`flexsfu_backend::BackendProgramF32`], the eight-wide f32
+//!   kernels on the native backend) and the scattered results never
+//!   touch f64, and the scatter-back is bit-identical to evaluating
+//!   the tensor directly with [`FunctionRegistry::engine_f32`]. Both
+//!   precisions share a function's queue accounting and flush policy,
+//!   but a flush unit never mixes precisions. Backends without an f32
+//!   lane reject f32 jobs at admission with
+//!   [`ServeError::PrecisionUnsupported`].
 //!
 //! # Example
 //!
@@ -94,4 +105,4 @@ pub mod testkit;
 pub use error::ServeError;
 pub use plan::{FlushPlan, GroupPlan, JobSpan};
 pub use registry::{BackendStatsSnapshot, FunctionId, FunctionRegistry};
-pub use server::{FlushPolicy, JobTicket, PwlServer, ServeConfig, ServeHandle};
+pub use server::{FlushPolicy, JobTicket, JobTicketF32, PwlServer, ServeConfig, ServeHandle};

@@ -22,8 +22,8 @@
 //! counters, readable via [`FunctionRegistry::backend_stats`].
 
 use crate::server::FlushPolicy;
-use flexsfu_backend::{BackendProgram, EvalBackend, FlushStats, NativeBackend};
-use flexsfu_core::{CompiledPwl, ParallelPwl, PwlFunction};
+use flexsfu_backend::{BackendProgram, BackendProgramF32, EvalBackend, FlushStats, NativeBackend};
+use flexsfu_core::{CompiledPwl, CompiledPwlF32, ParallelPwl, ParallelPwlF32, PwlFunction};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// An opaque handle naming a registered function. Ids are dense (the
@@ -71,10 +71,27 @@ struct Entry {
     /// The native threaded engine — always available as the software
     /// reference, whatever backend serves traffic.
     engine: Arc<ParallelPwl>,
+    /// The single-precision twin, compiled from the same table — the
+    /// direct-eval reference for f32 jobs, always available even when
+    /// the bound backend has no f32 lane.
+    engine_f32: Arc<ParallelPwlF32>,
     backend: Arc<dyn EvalBackend>,
     program: Arc<dyn BackendProgram>,
+    /// The backend's f32 lowering of the same table, or `None` when the
+    /// backend has no f32 lane — f32 submissions then fail with
+    /// [`crate::ServeError::PrecisionUnsupported`].
+    program_f32: Option<Arc<dyn BackendProgramF32>>,
     policy: Option<FlushPolicy>,
     stats: Arc<StatsAccumulator>,
+}
+
+/// The engine/program pairs of one binding, both precisions — what
+/// [`bind`] produces and [`FunctionRegistry::publish`] swaps in.
+struct Bound {
+    engine: Arc<ParallelPwl>,
+    engine_f32: Arc<ParallelPwlF32>,
+    program: Arc<dyn BackendProgram>,
+    program_f32: Option<Arc<dyn BackendProgramF32>>,
 }
 
 /// A concurrently readable, hot-swappable table of compiled engines with
@@ -99,23 +116,29 @@ pub struct FunctionRegistry {
     entries: RwLock<Vec<Entry>>,
 }
 
-/// Builds an entry's engine + program pair for `backend`: the program
-/// comes from the backend's own `lower`, whatever the backend is — no
-/// special-casing by label, so a third-party backend that happens to
-/// call itself `"native"` still gets its lowering (and cost model) run.
-/// The registry's reference engine is a second compile of the same
-/// table; for the built-in native backend that duplicates a few
-/// hundred `f64`s per function, which is cheaper than a fragile
-/// identity check.
-#[allow(clippy::type_complexity)]
-fn bind(
-    backend: &Arc<dyn EvalBackend>,
-    engine: CompiledPwl,
-) -> Result<(Arc<ParallelPwl>, Arc<dyn BackendProgram>), crate::ServeError> {
+/// Builds an entry's engine + program pairs (both precisions) for
+/// `backend`: the programs come from the backend's own `lower` /
+/// `lower_f32`, whatever the backend is — no special-casing by label,
+/// so a third-party backend that happens to call itself `"native"`
+/// still gets its lowering (and cost model) run. The registry's
+/// reference engines are a second compile of the same table; for the
+/// built-in native backend that duplicates a few hundred floats per
+/// function, which is cheaper than a fragile identity check. The f32
+/// twin is derived from the compiled f64 table
+/// ([`CompiledPwlF32::from_compiled`]), so both precisions always
+/// describe the same published function.
+fn bind(backend: &Arc<dyn EvalBackend>, engine: CompiledPwl) -> Result<Bound, crate::ServeError> {
     let program = backend
         .lower(&engine)
         .map_err(crate::ServeError::LowerFailed)?;
-    Ok((Arc::new(ParallelPwl::new(engine)), program))
+    let engine_f32 = CompiledPwlF32::from_compiled(&engine);
+    let program_f32 = backend.lower_f32(&engine_f32);
+    Ok(Bound {
+        engine: Arc::new(ParallelPwl::new(engine)),
+        engine_f32: Arc::new(ParallelPwlF32::new(engine_f32)),
+        program,
+        program_f32,
+    })
 }
 
 impl FunctionRegistry {
@@ -210,14 +233,16 @@ impl FunctionRegistry {
         backend: Arc<dyn EvalBackend>,
         policy: Option<FlushPolicy>,
     ) -> Result<FunctionId, crate::ServeError> {
-        let (par, program) = bind(&backend, engine)?;
+        let bound = bind(&backend, engine)?;
         let mut entries = self.entries.write().unwrap();
         let id = FunctionId(entries.len() as u32);
         entries.push(Entry {
             name: name.into(),
-            engine: par,
+            engine: bound.engine,
+            engine_f32: bound.engine_f32,
             backend,
-            program,
+            program: bound.program,
+            program_f32: bound.program_f32,
             policy,
             stats: Arc::new(StatsAccumulator::default()),
         });
@@ -255,16 +280,18 @@ impl FunctionRegistry {
             .get(id.0 as usize)
             .map(|e| Arc::clone(&e.backend))
             .ok_or(crate::ServeError::UnknownFunction(id))?;
-        let (par, program) = bind(&backend, engine)?;
-        // The write lock is now held only for the pointer swaps; both
-        // fields swap under one lock, so a flush snapshot never sees a
-        // torn engine/program pair.
+        let bound = bind(&backend, engine)?;
+        // The write lock is now held only for the pointer swaps; all
+        // four fields swap under one lock, so a flush snapshot never
+        // sees a torn engine/program pair — in either precision.
         let mut entries = self.entries.write().unwrap();
         let entry = entries
             .get_mut(id.0 as usize)
             .ok_or(crate::ServeError::UnknownFunction(id))?;
-        entry.program = program;
-        Ok(std::mem::replace(&mut entry.engine, par))
+        entry.program = bound.program;
+        entry.program_f32 = bound.program_f32;
+        entry.engine_f32 = bound.engine_f32;
+        Ok(std::mem::replace(&mut entry.engine, bound.engine))
     }
 
     /// The current native engine for `id`, or `None` if unregistered.
@@ -291,6 +318,48 @@ impl FunctionRegistry {
             .unwrap()
             .get(id.0 as usize)
             .map(|e| (Arc::clone(&e.program), Arc::clone(&e.stats)))
+    }
+
+    /// The f32 half of [`Self::binding`]: the backend's f32 program
+    /// snapshot for `id`, or `None` when `id` is unregistered *or* its
+    /// backend has no f32 lane (submission already rejected the latter
+    /// with [`crate::ServeError::PrecisionUnsupported`], so the batcher
+    /// only sees `None` here on an unregistered id). f32 flushes feed
+    /// the same per-function stats counters as f64 ones.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn binding_f32(
+        &self,
+        id: FunctionId,
+    ) -> Option<(Arc<dyn BackendProgramF32>, Arc<StatsAccumulator>)> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .and_then(|e| Some((Arc::clone(e.program_f32.as_ref()?), Arc::clone(&e.stats))))
+    }
+
+    /// Whether `id`'s backend can serve f32 jobs ([`None`] if `id` is
+    /// unregistered). Fixed by the backend binding at registration —
+    /// publishes re-lower through the same backend, so the answer never
+    /// changes over an entry's lifetime.
+    pub fn supports_f32(&self, id: FunctionId) -> Option<bool> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| e.program_f32.is_some())
+    }
+
+    /// The current native **f32** engine for `id` — the direct-eval
+    /// reference for single-precision jobs, compiled from the same
+    /// table as [`Self::engine`]. Snapshot semantics, like
+    /// [`Self::engine`].
+    pub fn engine_f32(&self, id: FunctionId) -> Option<Arc<ParallelPwlF32>> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| Arc::clone(&e.engine_f32))
     }
 
     /// The bound backend's name for `id` (`"native"`, `"sfu-emu"`, …).

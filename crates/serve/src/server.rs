@@ -35,7 +35,7 @@ use crate::error::ServeError;
 use crate::oneshot;
 use crate::plan::FlushPlan;
 use crate::registry::{FunctionId, FunctionRegistry, StatsAccumulator};
-use flexsfu_backend::BackendProgram;
+use flexsfu_backend::{BackendProgram, BackendProgramF32};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -113,23 +113,57 @@ impl Default for ServeConfig {
     }
 }
 
-/// One pending job: the tensor, its target function, and the channel the
-/// result goes back over.
+/// One pending job: the tensor (in its submitted precision), its target
+/// function, and the channel the result goes back over.
 struct Job {
     func: FunctionId,
-    data: Vec<f64>,
-    tx: oneshot::Sender<Vec<f64>>,
+    data: JobData,
+}
+
+/// A job's payload and result channel, tagged by precision. An f32 job
+/// stays f32 from submission to scatter-back — the packed flush buffer,
+/// the kernels and the result vector never touch f64.
+enum JobData {
+    F64 {
+        data: Vec<f64>,
+        tx: oneshot::Sender<Vec<f64>>,
+    },
+    F32 {
+        data: Vec<f32>,
+        tx: oneshot::Sender<Vec<f32>>,
+    },
+}
+
+impl JobData {
+    /// Element count — queue accounting and flush-policy triggers are
+    /// element-based regardless of precision.
+    fn len(&self) -> usize {
+        match self {
+            JobData::F64 { data, .. } => data.len(),
+            JobData::F32 { data, .. } => data.len(),
+        }
+    }
 }
 
 /// One function's packed share of a flush, ready for a worker: the
-/// backend program snapshot it evaluates through, and the stats sink
-/// the flush's cost lands in.
-struct FlushUnit {
-    program: Arc<dyn BackendProgram>,
-    stats: Arc<StatsAccumulator>,
-    xs: Vec<f64>,
-    /// `(element count, result channel)` in packed order.
-    jobs: Vec<(usize, oneshot::Sender<Vec<f64>>)>,
+/// backend program snapshot it evaluates through (in the flush's
+/// precision — a unit never mixes precisions, just as it never mixes
+/// functions), and the stats sink the flush's cost lands in.
+enum FlushUnit {
+    F64 {
+        program: Arc<dyn BackendProgram>,
+        stats: Arc<StatsAccumulator>,
+        xs: Vec<f64>,
+        /// `(element count, result channel)` in packed order.
+        jobs: Vec<(usize, oneshot::Sender<Vec<f64>>)>,
+    },
+    F32 {
+        program: Arc<dyn BackendProgramF32>,
+        stats: Arc<StatsAccumulator>,
+        xs: Vec<f32>,
+        /// `(element count, result channel)` in packed order.
+        jobs: Vec<(usize, oneshot::Sender<Vec<f32>>)>,
+    },
 }
 
 /// Per-function pending aggregate — the flush-policy triggers.
@@ -208,6 +242,33 @@ impl JobTicket {
 
 impl std::future::Future for JobTicket {
     type Output = Result<Vec<f64>, ServeError>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.get_mut().rx)
+            .poll(cx)
+            .map(|r| r.map_err(|_| ServeError::Disconnected))
+    }
+}
+
+/// The single-precision [`JobTicket`]: a pending f32 result from
+/// [`ServeHandle::submit_f32`]. Same dual wait/`.await` interface.
+pub struct JobTicketF32 {
+    rx: oneshot::Receiver<Vec<f32>>,
+}
+
+impl JobTicketF32 {
+    /// Blocks until the job's f32 results arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`], as for [`JobTicket::wait`].
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+impl std::future::Future for JobTicketF32 {
+    type Output = Result<Vec<f32>, ServeError>;
 
     fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         std::pin::Pin::new(&mut self.get_mut().rx)
@@ -344,6 +405,37 @@ impl ServeHandle {
         self.submit_inner(func, data, false)
     }
 
+    /// Submits a **single-precision** job: the tensor is batched into an
+    /// f32 flush buffer, evaluated through the backend's f32 program
+    /// (eight-wide f32 kernels on the native backend), and scattered
+    /// back as f32 — bit-identical to evaluating the tensor directly
+    /// with the registry's [`FunctionRegistry::engine_f32`]. f32 and f64
+    /// jobs of one function share its flush policy and pending-element
+    /// accounting but always flush in separate units — a unit never
+    /// mixes precisions. Blocks for queue space like [`Self::submit`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`], plus [`ServeError::PrecisionUnsupported`]
+    /// if the function's backend has no f32 lane.
+    pub fn submit_f32(&self, func: FunctionId, data: Vec<f32>) -> Result<JobTicketF32, ServeError> {
+        self.submit_f32_inner(func, data, true)
+    }
+
+    /// Non-blocking [`Self::submit_f32`]: a full queue returns
+    /// [`ServeError::QueueFull`] instead of waiting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit_f32`], plus [`ServeError::QueueFull`].
+    pub fn try_submit_f32(
+        &self,
+        func: FunctionId,
+        data: Vec<f32>,
+    ) -> Result<JobTicketF32, ServeError> {
+        self.submit_f32_inner(func, data, false)
+    }
+
     /// The registry this handle's server evaluates through.
     pub fn registry(&self) -> &Arc<FunctionRegistry> {
         &self.registry
@@ -358,6 +450,34 @@ impl ServeHandle {
         if !self.registry.contains(func) {
             return Err(ServeError::UnknownFunction(func));
         }
+        let (tx, rx) = oneshot::channel();
+        self.enqueue(func, JobData::F64 { data, tx }, block)?;
+        Ok(JobTicket { rx })
+    }
+
+    fn submit_f32_inner(
+        &self,
+        func: FunctionId,
+        data: Vec<f32>,
+        block: bool,
+    ) -> Result<JobTicketF32, ServeError> {
+        // The precision check runs at admission, not at flush: a job the
+        // backend can never evaluate must bounce here, where the caller
+        // can still handle it, not surface later as `Disconnected`.
+        match self.registry.supports_f32(func) {
+            None => return Err(ServeError::UnknownFunction(func)),
+            Some(false) => return Err(ServeError::PrecisionUnsupported(func)),
+            Some(true) => {}
+        }
+        let (tx, rx) = oneshot::channel();
+        self.enqueue(func, JobData::F32 { data, tx }, block)?;
+        Ok(JobTicketF32 { rx })
+    }
+
+    /// The precision-agnostic admission path: bounds, backpressure and
+    /// pending-aggregate bookkeeping are element-based, so both
+    /// precisions share one queue and one set of flush triggers.
+    fn enqueue(&self, func: FunctionId, data: JobData, block: bool) -> Result<(), ServeError> {
         let mut q = self.shared.queue.lock().unwrap();
         loop {
             if q.shutdown {
@@ -386,17 +506,16 @@ impl ServeHandle {
             q = self.shared.space.wait(q).unwrap();
             q.space_waiters -= 1;
         }
-        let (tx, rx) = oneshot::channel();
         let pending = q.pending.entry(func).or_insert_with(|| FuncPending {
             elems: 0,
             oldest: Instant::now(),
         });
         pending.elems += data.len();
         q.queued_elems += data.len();
-        q.jobs.push(Job { func, data, tx });
+        q.jobs.push(Job { func, data });
         drop(q);
         self.shared.job_ready.notify_one();
-        Ok(JobTicket { rx })
+        Ok(())
     }
 }
 
@@ -499,18 +618,33 @@ fn batcher_loop(
     }
 }
 
-/// Plans a drained batch, packs one contiguous buffer per function, and
-/// snapshots each function's current backend program for the unit — a
-/// concurrently published table applies from the next flush on, and no
-/// unit ever mixes tables (nor backends: units are per-function).
+/// Plans a drained batch, packs one contiguous buffer per function *and
+/// precision*, and snapshots each function's current backend program
+/// for the unit — a concurrently published table applies from the next
+/// flush on, and no unit ever mixes tables (nor backends nor
+/// precisions: units are per-function, and the drain is partitioned by
+/// precision before planning, preserving submission order within each).
 fn dispatch_flush(
     drained: Vec<Job>,
     registry: &FunctionRegistry,
     unit_tx: &mpsc::Sender<FlushUnit>,
 ) {
-    let shapes: Vec<(FunctionId, usize)> = drained.iter().map(|j| (j.func, j.data.len())).collect();
+    /// A drained job awaiting one precision's flush plan: its function,
+    /// its payload, and the oneshot completing it.
+    type PendingJob<T> = (FunctionId, Vec<T>, oneshot::Sender<Vec<T>>);
+    let mut jobs64: Vec<PendingJob<f64>> = Vec::new();
+    let mut jobs32: Vec<PendingJob<f32>> = Vec::new();
+    for job in drained {
+        match job.data {
+            JobData::F64 { data, tx } => jobs64.push((job.func, data, tx)),
+            JobData::F32 { data, tx } => jobs32.push((job.func, data, tx)),
+        }
+    }
+
+    // f64 share of the flush.
+    let shapes: Vec<(FunctionId, usize)> = jobs64.iter().map(|(f, d, _)| (*f, d.len())).collect();
     let plan = FlushPlan::build(&shapes);
-    let mut slots: Vec<Option<Job>> = drained.into_iter().map(Some).collect();
+    let mut slots: Vec<Option<PendingJob<f64>>> = jobs64.into_iter().map(Some).collect();
     for group in plan.groups {
         let Some((program, stats)) = registry.binding(group.func) else {
             // Unreachable in practice — submit validates ids and the
@@ -519,17 +653,47 @@ fn dispatch_flush(
             debug_assert!(false, "function {:?} vanished from registry", group.func);
             continue;
         };
-        let mut xs = vec![0.0; group.total];
+        let mut xs = vec![0.0f64; group.total];
         let mut jobs = Vec::with_capacity(group.spans.len());
         for span in &group.spans {
-            let job = slots[span.job].take().expect("span bijection");
-            xs[span.offset..span.offset + span.len].copy_from_slice(&job.data);
-            jobs.push((span.len, job.tx));
+            let (_, data, tx) = slots[span.job].take().expect("span bijection");
+            xs[span.offset..span.offset + span.len].copy_from_slice(&data);
+            jobs.push((span.len, tx));
         }
         // Workers gone (panicked) — nothing to do; senders drop and the
         // submitters observe `Disconnected`.
         if unit_tx
-            .send(FlushUnit {
+            .send(FlushUnit::F64 {
+                program,
+                stats,
+                xs,
+                jobs,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+
+    // f32 share — its own plan over its own buffers; admission already
+    // guaranteed every one of these functions has an f32 program.
+    let shapes: Vec<(FunctionId, usize)> = jobs32.iter().map(|(f, d, _)| (*f, d.len())).collect();
+    let plan = FlushPlan::build(&shapes);
+    let mut slots: Vec<Option<PendingJob<f32>>> = jobs32.into_iter().map(Some).collect();
+    for group in plan.groups {
+        let Some((program, stats)) = registry.binding_f32(group.func) else {
+            debug_assert!(false, "function {:?} lost its f32 binding", group.func);
+            continue;
+        };
+        let mut xs = vec![0.0f32; group.total];
+        let mut jobs = Vec::with_capacity(group.spans.len());
+        for span in &group.spans {
+            let (_, data, tx) = slots[span.job].take().expect("span bijection");
+            xs[span.offset..span.offset + span.len].copy_from_slice(&data);
+            jobs.push((span.len, tx));
+        }
+        if unit_tx
+            .send(FlushUnit::F32 {
                 program,
                 stats,
                 xs,
@@ -543,8 +707,9 @@ fn dispatch_flush(
 }
 
 /// An evaluation worker: scatter-evaluates each unit's packed buffer
-/// through its backend program straight into per-job result buffers,
-/// records the flush cost, and completes the oneshots.
+/// through its backend program (in the unit's precision) straight into
+/// per-job result buffers, records the flush cost, and completes the
+/// oneshots.
 fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
     loop {
         // Hold the channel lock only for the dequeue, not the evaluation.
@@ -552,15 +717,42 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
             Ok(u) => u,
             Err(_) => return, // batcher gone: shutdown complete
         };
-        let mut outs: Vec<Vec<f64>> = unit.jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
-        let flush_stats = {
-            let mut views: Vec<&mut [f64]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
-            unit.program.eval_scatter_into(&unit.xs, &mut views)
-        };
-        unit.stats.record(&flush_stats);
-        for ((_, tx), out) in unit.jobs.into_iter().zip(outs) {
-            // A dropped ticket is fine — the caller stopped caring.
-            tx.send(out);
+        match unit {
+            FlushUnit::F64 {
+                program,
+                stats,
+                xs,
+                jobs,
+            } => {
+                let mut outs: Vec<Vec<f64>> = jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
+                let flush_stats = {
+                    let mut views: Vec<&mut [f64]> =
+                        outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+                    program.eval_scatter_into(&xs, &mut views)
+                };
+                stats.record(&flush_stats);
+                for ((_, tx), out) in jobs.into_iter().zip(outs) {
+                    // A dropped ticket is fine — the caller stopped caring.
+                    tx.send(out);
+                }
+            }
+            FlushUnit::F32 {
+                program,
+                stats,
+                xs,
+                jobs,
+            } => {
+                let mut outs: Vec<Vec<f32>> = jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
+                let flush_stats = {
+                    let mut views: Vec<&mut [f32]> =
+                        outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+                    program.eval_scatter_into(&xs, &mut views)
+                };
+                stats.record(&flush_stats);
+                for ((_, tx), out) in jobs.into_iter().zip(outs) {
+                    tx.send(out);
+                }
+            }
         }
     }
 }

@@ -9,8 +9,10 @@
 //! (3) run the paper's optimizer in the background and **hot-swap** the
 //! optimized GELU table in while traffic keeps flowing — no request is
 //! dropped, and responses cut over to the new coefficients at a flush
-//! boundary; (4) shut down gracefully and print the per-function
-//! backend report (flushes, elements, modelled cycles/energy).
+//! boundary; (4) serve the same tensor as a **pure-f32 job** through the
+//! single-precision lane and print the f64-vs-f32 delta in FP32 ULPs;
+//! (5) shut down gracefully and print the per-function backend report
+//! (flushes, elements, modelled cycles/energy).
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -24,6 +26,7 @@
 //!   batched  : 1600 requests in 28.3 ms  (5.4 Melem/s), all bit-identical per backend
 //!   hot swap : optimized gelu table published mid-traffic; MSE 2.1e-4 -> 5.4e-6
 //!   cutover  : post-publish responses match the optimized table exactly
+//!   f32 lane : same tensor served in pure f32, bit-identical to the f32 engine; max f64-vs-f32 delta 4.64 FP32 ulp@1
 //!   shutdown : drained cleanly
 //!
 //! function      backend   flushes      elems      cycles  energy(nJ)  elems/cycle
@@ -160,7 +163,11 @@ fn main() {
     let e_optimized = CompiledPwl::from_pwl(&optimized_pwl);
     let data = request_tensor(0xDECAF);
     let want = e_optimized.eval_batch(&data);
-    let got = handle.submit(gelu_id, data).unwrap().wait().unwrap();
+    let got = handle
+        .submit(gelu_id, data.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
     assert!(
         got.iter()
             .zip(&want)
@@ -169,10 +176,42 @@ fn main() {
     );
     println!("  cutover  : post-publish responses match the optimized table exactly");
 
+    // 5. The f32 lane: the same tensor as a single-precision job. The
+    //    request stays f32 end to end — submit_f32 flows through packed
+    //    f32 flush buffers into the registry's `CompiledPwlF32`, and the
+    //    response is bit-identical to evaluating that engine directly.
+    //    The printed delta is against the f64 path: the cost of serving
+    //    in single precision, in FP32 ULPs at base 1 (2⁻²³).
+    use flexsfu::formats::{ulp::error_in_ulps_at, FloatFormat};
+    let data32: Vec<f32> = data.iter().map(|&x| x as f32).collect();
+    let got32 = handle
+        .submit_f32(gelu_id, data32.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let engine32 = registry.engine_f32(gelu_id).expect("gelu id is live");
+    let want32 = engine32.eval_batch(&data32);
+    assert!(
+        got32
+            .iter()
+            .zip(&want32)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "f32 response must be bit-identical to the registry's f32 engine"
+    );
+    let max_ulp = got32
+        .iter()
+        .zip(&want)
+        .map(|(&y32, &y64)| error_in_ulps_at(f64::from(y32), y64, FloatFormat::FP32, 1.0))
+        .fold(0.0f64, f64::max);
+    println!(
+        "  f32 lane : same tensor served in pure f32, bit-identical to the f32 engine; \
+         max f64-vs-f32 delta {max_ulp:.2} FP32 ulp@1"
+    );
+
     server.shutdown();
     println!("  shutdown : drained cleanly");
 
-    // 5. The per-function backend report: the emulated function carries
+    // 6. The per-function backend report: the emulated function carries
     //    modelled hardware costs, the native ones do not.
     let rows: Vec<BackendReportRow> = registry
         .functions()
