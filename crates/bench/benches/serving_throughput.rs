@@ -24,6 +24,12 @@
 //!   *modelled hardware* cycles, so a winner on the SFU emulator trades
 //!   host throughput for modelled-silicon cost by design (that is the
 //!   column's point).
+//! * **wire/req** and **wire/batch** — the batched server fronted by
+//!   the `flexsfu-wire` TCP tier over localhost: request-at-a-time
+//!   (submit, wait, repeat — every request pays a socket round trip)
+//!   and the same bounded-window pipeline as **batched** but over wire
+//!   tickets. Informational, no floor: the rows price the wire — frame
+//!   encode/decode plus loopback TCP — against in-process serving.
 //!
 //! The table reports aggregate throughput (Melem/s) plus the
 //! per-request latency histogram — mean, p50, p95 and p99 — per client
@@ -37,6 +43,7 @@ use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::{Gelu, Tanh};
 use flexsfu_serve::{FunctionId, FunctionRegistry, JobTicket, PwlServer, ServeConfig};
 use flexsfu_tune::{tune_and_bind, TuneBudget, TuneOptions};
+use flexsfu_wire::{WireClient, WireConfig, WireServer, WireTicket};
 use std::collections::VecDeque;
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
@@ -175,6 +182,70 @@ fn run_batched(
     stats
 }
 
+/// The serving config every wire run fronts (identical to
+/// [`run_batched`]'s, so the wire rows price only the wire).
+fn wire_serve_config(online: usize) -> ServeConfig {
+    ServeConfig {
+        flush_elements: 8 * 1024,
+        flush_interval: Duration::from_micros(200),
+        queue_elements: 64 * 1024,
+        eval_workers: online.clamp(1, 4),
+    }
+}
+
+/// One closed-loop run over localhost TCP: `clients` connections into a
+/// `WireServer` fronting a fresh `PwlServer`. `windowed` pipelines a
+/// bounded in-flight window per client (the **wire/batch** row);
+/// otherwise every request is submit → wait (the **wire/req** row).
+fn run_wire(
+    clients: usize,
+    online: usize,
+    registry: &Arc<FunctionRegistry>,
+    function: FunctionId,
+    windowed: bool,
+) -> RunStats {
+    let server = PwlServer::start(Arc::clone(registry), wire_serve_config(online));
+    let wire = WireServer::start_local(server.handle(), WireConfig::default())
+        .expect("bind ephemeral wire server");
+    let conns: Vec<WireClient> = (0..clients)
+        .map(|_| WireClient::connect(wire.local_addr()).expect("connect to wire server"))
+        .collect();
+    let windows: Vec<Mutex<VecDeque<(Instant, WireTicket)>>> =
+        (0..clients).map(|_| Mutex::new(VecDeque::new())).collect();
+    let wait_one = |window: &mut VecDeque<(Instant, WireTicket)>, completed: &mut Vec<Duration>| {
+        let (t0, ticket) = window.pop_front().expect("window non-empty");
+        std::hint::black_box(ticket.wait().expect("wire result"));
+        completed.push(t0.elapsed());
+    };
+    let stats = run_clients(clients, |c, r, data, completed| {
+        let conn = &conns[c];
+        if windowed {
+            let mut window = windows[c].lock().unwrap();
+            if window.len() == WINDOW {
+                wait_one(&mut window, completed);
+            }
+            window.push_back((
+                Instant::now(),
+                conn.submit_f64(function.0, data).expect("submit over wire"),
+            ));
+            if r == REQS_PER_CLIENT - 1 {
+                while !window.is_empty() {
+                    wait_one(&mut window, completed);
+                }
+            }
+        } else {
+            let t0 = Instant::now();
+            let ticket = conn.submit_f64(function.0, data).expect("submit over wire");
+            std::hint::black_box(ticket.wait().expect("wire result"));
+            completed.push(t0.elapsed());
+        }
+    });
+    drop(conns);
+    wire.shutdown();
+    server.shutdown();
+    stats
+}
+
 fn main() {
     let online = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -251,12 +322,19 @@ fn main() {
         // winning backend, derived flush policy).
         let tuned = run_batched(clients, online, &tuned_registry, tuned_gelu_id);
 
+        // The batched server behind the TCP wire tier — per-request and
+        // windowed (informational; prices the socket, no floor).
+        let wire_req = run_wire(clients, online, &registry, gelu_id, false);
+        let wire_batch = run_wire(clients, online, &registry, gelu_id, true);
+
         let m = 1e-6;
         for (design, stats) in [
             ("scalar/req", &scalar),
             ("engine/req", &per_req),
             ("batched   ", &batched),
             ("tuned     ", &tuned),
+            ("wire/req  ", &wire_req),
+            ("wire/batch", &wire_batch),
         ] {
             println!(
                 "{clients:>7}  {design}  {:>7.0}  {:>10.1?}  {:>10.1?}  {:>10.1?}  {:>10.1?}",

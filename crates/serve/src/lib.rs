@@ -44,6 +44,15 @@
 //!   gives a function its own [`FlushPolicy`] (size threshold +
 //!   deadline); due functions flush alone, so tight-deadline functions
 //!   are not held back by throughput-oriented ones.
+//! * **Drain and load hooks for the wire tier** —
+//!   [`PwlServer::begin_drain`] stops admissions without blocking (the
+//!   sharded deployment tier's handoff primitive — accepted jobs still
+//!   complete), and [`ServeHandle::queue_depth`] reads the pending
+//!   job/element counts a shard reports in health-check pongs. The
+//!   [`testkit`] additionally offers deterministic fault injection
+//!   ([`testkit::Faults`]: forced `QueueFull`, dropped replies, delayed
+//!   flushes) via [`PwlServer::start_with_faults`], so protocol suites
+//!   drive retry and backpressure paths instead of racing for them.
 //! * **A single-precision job lane** — [`ServeHandle::submit_f32`]
 //!   serves `Vec<f32>` tensors end to end in f32: the packed flush
 //!   buffer, the backend's f32 program
@@ -105,4 +114,6 @@ pub mod testkit;
 pub use error::ServeError;
 pub use plan::{FlushPlan, GroupPlan, JobSpan};
 pub use registry::{BackendStatsSnapshot, FunctionId, FunctionRegistry};
-pub use server::{FlushPolicy, JobTicket, JobTicketF32, PwlServer, ServeConfig, ServeHandle};
+pub use server::{
+    FlushPolicy, JobTicket, JobTicketF32, PwlServer, QueueDepth, ServeConfig, ServeHandle,
+};

@@ -9,6 +9,7 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
 
 /// Channel state: pending (with the waker of a parked poller, if any),
 /// a delivered value, or a sender dropped without sending.
@@ -38,6 +39,17 @@ pub struct Receiver<T> {
 /// The sender was dropped without sending a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
+
+/// Why [`Receiver::recv_timeout`] returned without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed first. The channel is consumed — a bounded
+    /// wait that gives up abandons the value (the sender's `send` into
+    /// the abandoned channel is still safe, it just goes nowhere).
+    Timeout,
+    /// The sender was dropped without sending.
+    Disconnected,
+}
 
 /// Creates a connected sender/receiver pair.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
@@ -120,6 +132,34 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Bounded [`Self::recv`]: waits at most `timeout` for the value.
+    /// The health-check path of the wire tier waits on pongs with this —
+    /// a dead peer costs a bounded wait, never a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if the timeout elapses first,
+    /// [`RecvTimeoutError::Disconnected`] if the sender was dropped
+    /// without sending.
+    pub fn recv_timeout(self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.inner.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *s, State::Dropped) {
+                State::Sent(v) => return Ok(v),
+                State::Dropped => return Err(RecvTimeoutError::Disconnected),
+                pending @ State::Pending(_) => {
+                    *s = pending;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    s = self.inner.cv.wait_timeout(s, deadline - now).unwrap().0;
+                }
+            }
+        }
+    }
+
     /// Non-blocking poll used by the `Future` implementation.
     fn poll_inner(&mut self, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
         let mut s = self.inner.state.lock().unwrap();
@@ -163,6 +203,26 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         tx.send("hello");
         assert_eq!(t.join().unwrap(), Ok("hello"));
+    }
+
+    #[test]
+    fn recv_timeout_delivers_times_out_and_disconnects() {
+        let (tx, rx) = channel();
+        tx.send(5u8);
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(5));
+
+        let (_tx, rx) = channel::<u8>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+
+        let (tx, rx) = channel::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::error::ServeError;
 use crate::oneshot;
 use crate::plan::FlushPlan;
 use crate::registry::{FunctionId, FunctionRegistry, StatsAccumulator};
+use crate::testkit::Faults;
 use flexsfu_backend::{BackendProgram, BackendProgramF32};
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -201,6 +202,21 @@ struct Shared {
     job_ready: Condvar,
     /// Signalled on flush and shutdown; blocked submitters wait here.
     space: Condvar,
+    /// Test-only fault injector ([`crate::testkit::Faults`]); `None` in
+    /// production servers.
+    faults: Option<Arc<Faults>>,
+}
+
+/// A point-in-time reading of the submission queue — the stats hook the
+/// wire tier reports in health-check pongs (see
+/// [`ServeHandle::queue_depth`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueDepth {
+    /// Pending jobs not yet drained into a flush.
+    pub jobs: usize,
+    /// Pending elements across those jobs — the quantity the
+    /// backpressure bound meters.
+    pub elems: usize,
 }
 
 /// A running serving front-end. Dropping it shuts down gracefully.
@@ -285,6 +301,30 @@ impl PwlServer {
     /// Panics if `config.flush_elements`, `config.queue_elements` or
     /// `config.eval_workers` is zero.
     pub fn start(registry: Arc<FunctionRegistry>, config: ServeConfig) -> Self {
+        Self::start_inner(registry, config, None)
+    }
+
+    /// [`Self::start`] with a [`crate::testkit::Faults`] injector
+    /// installed — test-support only: the wire-protocol suites use it to
+    /// deterministically trigger backpressure, dropped-reply and
+    /// delayed-flush paths instead of racing for them.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::start`].
+    pub fn start_with_faults(
+        registry: Arc<FunctionRegistry>,
+        config: ServeConfig,
+        faults: Arc<Faults>,
+    ) -> Self {
+        Self::start_inner(registry, config, Some(faults))
+    }
+
+    fn start_inner(
+        registry: Arc<FunctionRegistry>,
+        config: ServeConfig,
+        faults: Option<Arc<Faults>>,
+    ) -> Self {
         assert!(config.flush_elements > 0, "flush_elements must be nonzero");
         assert!(config.queue_elements > 0, "queue_elements must be nonzero");
         assert!(config.eval_workers > 0, "need at least one eval worker");
@@ -299,6 +339,7 @@ impl PwlServer {
             }),
             job_ready: Condvar::new(),
             space: Condvar::new(),
+            faults,
         });
 
         let (unit_tx, unit_rx) = mpsc::channel::<FlushUnit>();
@@ -306,9 +347,10 @@ impl PwlServer {
         let workers = (0..config.eval_workers)
             .map(|i| {
                 let rx = Arc::clone(&unit_rx);
+                let faults = shared.faults.clone();
                 std::thread::Builder::new()
                     .name(format!("flexsfu-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, faults.as_deref()))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -354,6 +396,31 @@ impl PwlServer {
     /// dropping the server, but explicit at call sites that care.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
+    }
+
+    /// The non-blocking first half of [`Self::shutdown`] — the drain
+    /// hook the sharded deployment tier uses for handoff: admissions
+    /// stop (new submits fail [`ServeError::ShuttingDown`]) and the
+    /// batcher begins its final drain, but the call returns immediately
+    /// instead of joining threads. Every job accepted before this call
+    /// still completes; a later [`Self::shutdown`] (or drop) joins the
+    /// threads as usual.
+    pub fn begin_drain(&self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Current submission-queue depth — see [`ServeHandle::queue_depth`].
+    pub fn queue_depth(&self) -> QueueDepth {
+        let q = self.shared.queue.lock().unwrap();
+        QueueDepth {
+            jobs: q.jobs.len(),
+            elems: q.queued_elems,
+        }
     }
 
     fn shutdown_inner(&mut self) {
@@ -441,6 +508,25 @@ impl ServeHandle {
         &self.registry
     }
 
+    /// Current submission-queue depth (pending jobs and elements) — the
+    /// load signal the wire tier folds into health-check pongs so a
+    /// router can see a shard's pressure without submitting to it.
+    /// Point-in-time: concurrent submits and flushes move it.
+    pub fn queue_depth(&self) -> QueueDepth {
+        let q = self.shared.queue.lock().unwrap();
+        QueueDepth {
+            jobs: q.jobs.len(),
+            elems: q.queued_elems,
+        }
+    }
+
+    /// Whether the server has stopped admitting jobs
+    /// ([`PwlServer::begin_drain`] / [`PwlServer::shutdown`] / drop).
+    /// Jobs accepted before that point still complete.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.queue.lock().unwrap().shutdown
+    }
+
     fn submit_inner(
         &self,
         func: FunctionId,
@@ -478,6 +564,22 @@ impl ServeHandle {
     /// pending-aggregate bookkeeping are element-based, so both
     /// precisions share one queue and one set of flush triggers.
     fn enqueue(&self, func: FunctionId, data: JobData, block: bool) -> Result<(), ServeError> {
+        // Injected backpressure (testkit): a forced bounce takes the
+        // exact organic path — flag the pressure and wake the batcher —
+        // so the retry loop under test exercises the real signals.
+        // Non-blocking admissions only: forcing a *blocking* submit full
+        // would just park it, which is not a fault worth injecting.
+        if !block {
+            if let Some(faults) = &self.shared.faults {
+                if faults.take_queue_full() {
+                    let mut q = self.shared.queue.lock().unwrap();
+                    q.rejected_full = true;
+                    drop(q);
+                    self.shared.job_ready.notify_one();
+                    return Err(ServeError::QueueFull);
+                }
+            }
+        }
         let mut q = self.shared.queue.lock().unwrap();
         loop {
             if q.shutdown {
@@ -710,13 +812,18 @@ fn dispatch_flush(
 /// through its backend program (in the unit's precision) straight into
 /// per-job result buffers, records the flush cost, and completes the
 /// oneshots.
-fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
+fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>, faults: Option<&Faults>) {
     loop {
         // Hold the channel lock only for the dequeue, not the evaluation.
         let unit = match rx.lock().unwrap().recv() {
             Ok(u) => u,
             Err(_) => return, // batcher gone: shutdown complete
         };
+        // Injected latency (testkit): widen the pending window so
+        // out-of-order completion is observable deterministically.
+        if let Some(delay) = faults.and_then(Faults::flush_delay) {
+            std::thread::sleep(delay);
+        }
         match unit {
             FlushUnit::F64 {
                 program,
@@ -732,6 +839,11 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
                 };
                 stats.record(&flush_stats);
                 for ((_, tx), out) in jobs.into_iter().zip(outs) {
+                    // Injected reply loss (testkit): drop the channel so
+                    // the ticket observes `Disconnected`.
+                    if faults.is_some_and(Faults::take_drop_reply) {
+                        continue;
+                    }
                     // A dropped ticket is fine — the caller stopped caring.
                     tx.send(out);
                 }
@@ -750,6 +862,9 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>) {
                 };
                 stats.record(&flush_stats);
                 for ((_, tx), out) in jobs.into_iter().zip(outs) {
+                    if faults.is_some_and(Faults::take_drop_reply) {
+                        continue;
+                    }
                     tx.send(out);
                 }
             }

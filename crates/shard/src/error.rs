@@ -1,0 +1,47 @@
+//! The router's error type: what a caller sees after routing, retries
+//! and failover have all been exhausted (or were never applicable).
+
+use flexsfu_wire::WireError;
+
+/// A routed evaluation's failure, post-failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterError {
+    /// The shard rejected the job for a reason no other shard would
+    /// accept either (unknown function, unsupported precision,
+    /// protocol-level breakage) — failover was not attempted.
+    Rejected(WireError),
+    /// Every shard is down or draining; there is nowhere to route.
+    NoHealthyShard,
+    /// The retry budget ran out. Carries the last shard-level error so
+    /// the caller can see *why* (queue pressure vs. dying shards).
+    RetriesExhausted {
+        /// Attempts made, including the first.
+        attempts: usize,
+        /// The error the final attempt died with.
+        last: WireError,
+    },
+    /// The shard index passed to a management call does not exist.
+    NoSuchShard(usize),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected(e) => write!(f, "rejected on every shard: {e}"),
+            Self::NoHealthyShard => write!(f, "no healthy shard to route to"),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+            Self::NoSuchShard(idx) => write!(f, "no shard with index {idx}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rejected(e) | Self::RetriesExhausted { last: e, .. } => Some(e),
+            Self::NoHealthyShard | Self::NoSuchShard(_) => None,
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # flexsfu-shard
+//!
+//! Sharded deployment of the wire serving tier: a [`ShardRouter`]
+//! spreads functions across N in-process [`flexsfu_wire::WireServer`]
+//! stacks, health-checks them over the wire itself, and hands traffic
+//! off a draining shard without losing a single accepted job.
+//!
+//! Routing is `hash(function id) % shards` with an explicit override
+//! map for pinning; an unhealthy preferred shard fails over to the next
+//! healthy index. Every shard runs the same registration closure, so
+//! function ids agree everywhere and failover never re-maps ids.
+//! Rejections that would repeat on any shard (unknown function,
+//! unsupported precision) return immediately as
+//! [`RouterError::Rejected`]; pressure and liveness failures retry
+//! within a budget, honoring the server's `RetryAfter` hints.
+//!
+//! The handoff protocol ([`ShardRouter::drain_shard`] then
+//! [`ShardRouter::stop_shard`]) leans on the wire tier's accepted-job
+//! guarantee: a draining server refuses new submits with a typed error
+//! (the router re-routes them) while answering everything it already
+//! acked; the drain call waits for the shard's in-flight gauge to reach
+//! zero before declaring it safe to stop.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsfu_core::init::uniform_pwl;
+//! use flexsfu_funcs::{Gelu, Tanh};
+//! use flexsfu_shard::{RouterConfig, ShardRouter};
+//! use flexsfu_serve::FunctionId;
+//! use std::time::Duration;
+//!
+//! let router = ShardRouter::deploy(2, RouterConfig::default(), |registry| {
+//!     registry.register("gelu", &uniform_pwl(&Gelu, 16, (-8.0, 8.0)));
+//!     registry.register("tanh", &uniform_pwl(&Tanh, 16, (-6.0, 6.0)));
+//! })?;
+//!
+//! let gelu = FunctionId(0);
+//! let ys = router.eval_f64(gelu, &[-1.0, 0.0, 2.0])?;
+//! assert_eq!(ys.len(), 3);
+//!
+//! // Drain one shard; traffic keeps flowing on the other.
+//! let idx = router.route(gelu)?;
+//! assert!(router.drain_shard(idx, Duration::from_secs(5))?);
+//! router.stop_shard(idx)?;
+//! let ys2 = router.eval_f64(gelu, &[-1.0, 0.0, 2.0])?;
+//! assert_eq!(ys.len(), ys2.len());
+//! router.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod error;
+mod router;
+
+pub use error::RouterError;
+pub use router::{RouterConfig, ShardRouter, ShardState};

@@ -1,0 +1,120 @@
+//! The wire tier's error type — every protocol-level failure a client
+//! (or the shard router) can observe, as a typed value.
+
+use crate::frame::{ErrorCode, FrameError};
+use std::time::Duration;
+
+/// Everything that can go wrong between submitting a job over the wire
+/// and receiving its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A socket operation failed (connect, read, write). Carries the
+    /// [`std::io::ErrorKind`] — the error itself is not `Clone`, and
+    /// retry decisions only need the kind.
+    Io(std::io::ErrorKind),
+    /// The peer sent bytes that do not decode as a frame.
+    Protocol(FrameError),
+    /// The *peer* reported that bytes we sent did not decode
+    /// ([`ErrorCode::Protocol`]); it closes the connection after this.
+    RemoteProtocol,
+    /// The server does not know the submitted function id.
+    UnknownFunction(u32),
+    /// The function's backend has no lane for the submitted precision.
+    PrecisionUnsupported(u32),
+    /// Admission bounced: the server's queue is full. Retry after the
+    /// hint — the protocol's backpressure signal, surfaced instead of
+    /// blocking the connection.
+    RetryAfter {
+        /// Server-suggested backoff before resubmitting.
+        hint: Duration,
+    },
+    /// The server is draining; submit to another shard.
+    Draining,
+    /// The serving back-end is shutting down.
+    ShuttingDown,
+    /// The job was accepted but the server's evaluation side failed to
+    /// answer it (a dropped reply channel). Safe to retry.
+    ServerInternal,
+    /// The connection closed (or was already closed) before this
+    /// request was answered.
+    ConnectionClosed,
+    /// A bounded wait ([`crate::WireTicket::wait_timeout`], health
+    /// pings) elapsed before the answer arrived.
+    Timeout,
+    /// The server answered with a payload of the wrong shape for the
+    /// request (e.g. an f32 result for an f64 submit) — a server bug
+    /// surfaced as a typed error rather than a silent cast.
+    UnexpectedPayload,
+}
+
+impl WireError {
+    /// Maps a server [`ErrorCode`] (+ detail field) onto the typed
+    /// error a caller matches on.
+    pub(crate) fn from_code(code: ErrorCode, detail: u32) -> Self {
+        match code {
+            ErrorCode::UnknownFunction => Self::UnknownFunction(detail),
+            ErrorCode::PrecisionUnsupported => Self::PrecisionUnsupported(detail),
+            ErrorCode::RetryAfter => Self::RetryAfter {
+                hint: Duration::from_micros(u64::from(detail)),
+            },
+            ErrorCode::Draining => Self::Draining,
+            ErrorCode::ShuttingDown => Self::ShuttingDown,
+            ErrorCode::Internal => Self::ServerInternal,
+            ErrorCode::Protocol => Self::RemoteProtocol,
+        }
+    }
+
+    /// Whether resubmitting the same job (possibly elsewhere) can
+    /// succeed — the shard router's failover predicate. Rejections that
+    /// would repeat on any shard (unknown function, wrong precision,
+    /// malformed frames) are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Self::RetryAfter { .. }
+                | Self::Draining
+                | Self::ShuttingDown
+                | Self::ServerInternal
+                | Self::ConnectionClosed
+                | Self::Io(_)
+                | Self::Timeout
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(kind) => write!(f, "socket error: {kind}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::RemoteProtocol => write!(f, "peer rejected our framing as malformed"),
+            Self::UnknownFunction(id) => write!(f, "function {id} is not registered"),
+            Self::PrecisionUnsupported(id) => {
+                write!(f, "function {id}'s backend lacks the submitted precision")
+            }
+            Self::RetryAfter { hint } => {
+                write!(f, "queue full; retry after {hint:?}")
+            }
+            Self::Draining => write!(f, "server is draining"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::ServerInternal => write!(f, "server failed to answer an accepted job"),
+            Self::ConnectionClosed => write!(f, "connection closed before the answer"),
+            Self::Timeout => write!(f, "timed out waiting for the answer"),
+            Self::UnexpectedPayload => write!(f, "server answered with a mismatched payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.kind())
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        Self::Protocol(e)
+    }
+}

@@ -1,0 +1,683 @@
+//! The frame codec: a hand-rolled, length-prefixed binary encoding of
+//! every message the serving tier speaks — no crates.io, same
+//! discipline as the serve crate's hand-rolled oneshot.
+//!
+//! # Layout
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! +----------------+---------+------------------------+
+//! | len: u32 LE    | kind:u8 | body (kind-specific)   |
+//! +----------------+---------+------------------------+
+//!                  |<------- len bytes ------------->|
+//! ```
+//!
+//! `len` counts the payload (kind byte + body), not itself, and is
+//! capped at [`MAX_PAYLOAD`]: a length prefix past the cap is rejected
+//! *before* any allocation, so garbage (or hostile) prefixes cannot
+//! balloon memory. All integers are little-endian; floats travel as
+//! their IEEE-754 bit patterns ([`f64::to_bits`]/[`f32::to_bits`]), so
+//! a value crosses the wire **bit-exactly** — including NaN payloads —
+//! which is what lets the test battery demand bit-identity between
+//! wire-served results and direct engine evaluation.
+//!
+//! Decoding is total: any byte sequence either yields a frame or a
+//! typed [`FrameError`] — never a panic, never a partial read of
+//! adjacent frames. [`FrameReader`] handles reassembly from an
+//! arbitrary chunking of the byte stream (the codec property suite
+//! feeds it one byte at a time).
+
+/// Hard cap on a frame's payload (kind byte + body): 16 MiB. Large
+/// enough for a 2M-element f64 tensor per request; small enough that a
+/// garbage length prefix cannot commit meaningful memory.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+
+/// Bytes of framing overhead per frame (the `u32` length prefix).
+pub const HEADER_LEN: usize = 4;
+
+/// Typed protocol-level failure codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The named function id is not registered on this server
+    /// (`detail` = the offending id).
+    UnknownFunction = 1,
+    /// The function's backend has no lane for the submitted precision
+    /// (`detail` = the function id).
+    PrecisionUnsupported = 2,
+    /// The server's admission queue bounced the job; retry after the
+    /// hinted backoff (`detail` = suggested microseconds). This is
+    /// [`flexsfu_serve::ServeError::QueueFull`] surfaced as protocol
+    /// backpressure instead of a blocked connection.
+    RetryAfter = 3,
+    /// The server is draining: accepted jobs still complete, new
+    /// submissions must go elsewhere (the shard router's handoff
+    /// signal).
+    Draining = 4,
+    /// The serving back-end behind this server is shutting down.
+    ShuttingDown = 5,
+    /// The job was accepted but its result channel died (an evaluation
+    /// worker failure). The submission may be retried.
+    Internal = 6,
+    /// The peer sent bytes that do not decode as a frame; the
+    /// connection closes after this reply.
+    Protocol = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => Self::UnknownFunction,
+            2 => Self::PrecisionUnsupported,
+            3 => Self::RetryAfter,
+            4 => Self::Draining,
+            5 => Self::ShuttingDown,
+            6 => Self::Internal,
+            7 => Self::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything that can travel over a serving connection, client → server
+/// (`Submit*`, `Ping`, `Drain`) and server → client (`Ack`, `Result*`,
+/// `Error`, `Pong`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Submit `data` for evaluation by function `func`; all later frames
+    /// about this job carry `req` (ids are per-connection, chosen by the
+    /// client, and may complete out of order).
+    SubmitF64 {
+        /// Client-chosen request id.
+        req: u64,
+        /// Target function id in the server's registry.
+        func: u32,
+        /// The request tensor, bit-exact.
+        data: Vec<f64>,
+    },
+    /// The single-precision job lane's submit.
+    SubmitF32 {
+        /// Client-chosen request id.
+        req: u64,
+        /// Target function id.
+        func: u32,
+        /// The request tensor, bit-exact.
+        data: Vec<f32>,
+    },
+    /// Health check; the server answers with [`Frame::Pong`].
+    Ping {
+        /// Echoed in the pong — the client's correlation id.
+        nonce: u64,
+    },
+    /// Administrative: put the server into draining mode (accepted jobs
+    /// finish, new submissions answer [`ErrorCode::Draining`]).
+    Drain,
+    /// The job was **accepted**: it now counts as an accepted job and
+    /// will be answered — by a result or a typed error — even if the
+    /// server drains. Always precedes the job's result on the wire.
+    Ack {
+        /// The accepted request.
+        req: u64,
+    },
+    /// A completed f64 job's results, bit-exact.
+    ResultF64 {
+        /// The completed request.
+        req: u64,
+        /// Result tensor, same length as the submission.
+        data: Vec<f64>,
+    },
+    /// A completed f32 job's results, bit-exact.
+    ResultF32 {
+        /// The completed request.
+        req: u64,
+        /// Result tensor, same length as the submission.
+        data: Vec<f32>,
+    },
+    /// A typed failure. `req` names the failed request, or 0 for
+    /// connection-level errors ([`ErrorCode::Protocol`]).
+    Error {
+        /// The failed request (0 = the connection itself).
+        req: u64,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Code-specific detail (function id, retry hint…).
+        detail: u32,
+    },
+    /// Health answer: the shard's drain state and queue load.
+    Pong {
+        /// The ping's nonce, echoed.
+        nonce: u64,
+        /// Whether the server is draining (no new admissions).
+        draining: bool,
+        /// Pending elements in the serving queue — the load signal.
+        queued_elems: u64,
+        /// Wire jobs accepted but not yet answered on this server.
+        inflight: u64,
+    },
+}
+
+mod kind {
+    pub const SUBMIT_F64: u8 = 0x01;
+    pub const SUBMIT_F32: u8 = 0x02;
+    pub const PING: u8 = 0x03;
+    pub const DRAIN: u8 = 0x04;
+    pub const ACK: u8 = 0x81;
+    pub const RESULT_F64: u8 = 0x82;
+    pub const RESULT_F32: u8 = 0x83;
+    pub const ERROR: u8 = 0x84;
+    pub const PONG: u8 = 0x85;
+}
+
+/// Why a byte sequence failed to decode. Every variant is a clean,
+/// typed rejection — malformed input never panics the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_PAYLOAD`]; rejected before any
+    /// allocation.
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// A zero-length payload (no kind byte).
+    EmptyPayload,
+    /// The kind byte names no known frame.
+    UnknownKind(u8),
+    /// The payload ended before the kind's fixed fields or declared
+    /// element count were satisfied.
+    Truncated {
+        /// Kind of the truncated frame.
+        kind: u8,
+        /// Bytes the kind's fields required.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload carries bytes past the kind's declared end — a
+    /// framing desync, rejected rather than silently ignored.
+    TrailingBytes {
+        /// Kind of the over-long frame.
+        kind: u8,
+        /// Surplus byte count.
+        extra: usize,
+    },
+    /// An [`Frame::Error`] frame carried an unassigned code byte.
+    BadErrorCode(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            Self::EmptyPayload => write!(f, "empty frame payload (no kind byte)"),
+            Self::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            Self::Truncated { kind, need, got } => {
+                write!(
+                    f,
+                    "kind {kind:#04x} frame truncated: need {need}, got {got}"
+                )
+            }
+            Self::TrailingBytes { kind, extra } => {
+                write!(f, "kind {kind:#04x} frame has {extra} trailing bytes")
+            }
+            Self::BadErrorCode(c) => write!(f, "unassigned error code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Little-endian field writers over the output buffer.
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Little-endian field readers; `None` = not enough bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+impl Frame {
+    /// Appends the length-prefixed encoding of `self` to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's payload would exceed [`MAX_PAYLOAD`] — the
+    /// encoder's callers size tensors from real requests, which the
+    /// serving bound already caps far below it.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len_at = out.len();
+        put_u32(out, 0); // patched below
+        match self {
+            Self::SubmitF64 { req, func, data } => {
+                out.push(kind::SUBMIT_F64);
+                put_u64(out, *req);
+                put_u32(out, *func);
+                put_u32(out, u32::try_from(data.len()).expect("tensor fits u32"));
+                for v in data {
+                    put_u64(out, v.to_bits());
+                }
+            }
+            Self::SubmitF32 { req, func, data } => {
+                out.push(kind::SUBMIT_F32);
+                put_u64(out, *req);
+                put_u32(out, *func);
+                put_u32(out, u32::try_from(data.len()).expect("tensor fits u32"));
+                for v in data {
+                    put_u32(out, v.to_bits());
+                }
+            }
+            Self::Ping { nonce } => {
+                out.push(kind::PING);
+                put_u64(out, *nonce);
+            }
+            Self::Drain => out.push(kind::DRAIN),
+            Self::Ack { req } => {
+                out.push(kind::ACK);
+                put_u64(out, *req);
+            }
+            Self::ResultF64 { req, data } => {
+                out.push(kind::RESULT_F64);
+                put_u64(out, *req);
+                put_u32(out, u32::try_from(data.len()).expect("tensor fits u32"));
+                for v in data {
+                    put_u64(out, v.to_bits());
+                }
+            }
+            Self::ResultF32 { req, data } => {
+                out.push(kind::RESULT_F32);
+                put_u64(out, *req);
+                put_u32(out, u32::try_from(data.len()).expect("tensor fits u32"));
+                for v in data {
+                    put_u32(out, v.to_bits());
+                }
+            }
+            Self::Error { req, code, detail } => {
+                out.push(kind::ERROR);
+                put_u64(out, *req);
+                out.push(*code as u8);
+                put_u32(out, *detail);
+            }
+            Self::Pong {
+                nonce,
+                draining,
+                queued_elems,
+                inflight,
+            } => {
+                out.push(kind::PONG);
+                put_u64(out, *nonce);
+                out.push(u8::from(*draining));
+                put_u64(out, *queued_elems);
+                put_u64(out, *inflight);
+            }
+        }
+        let payload = u32::try_from(out.len() - len_at - HEADER_LEN).expect("payload fits u32");
+        assert!(payload <= MAX_PAYLOAD, "frame exceeds MAX_PAYLOAD");
+        out[len_at..len_at + HEADER_LEN].copy_from_slice(&payload.to_le_bytes());
+    }
+
+    /// The length-prefixed encoding of `self` as a fresh buffer.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::encode_into`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame's payload (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`] for every malformed input — short fields,
+    /// element counts disagreeing with the byte count, unknown kinds,
+    /// unassigned error codes. Never panics.
+    pub fn decode_payload(payload: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(payload);
+        let Some(k) = c.u8() else {
+            return Err(FrameError::EmptyPayload);
+        };
+        let truncated = |c: &Cursor<'_>, need: usize| FrameError::Truncated {
+            kind: k,
+            need: need + 1, // + the kind byte, so the message names payload bytes
+            got: c.buf.len(),
+        };
+        let frame = match k {
+            kind::SUBMIT_F64 | kind::SUBMIT_F32 => {
+                let (Some(req), Some(func), Some(count)) = (c.u64(), c.u32(), c.u32()) else {
+                    return Err(truncated(&c, 16));
+                };
+                let count = count as usize;
+                let elem = if k == kind::SUBMIT_F64 { 8 } else { 4 };
+                if c.remaining() < count * elem {
+                    return Err(truncated(&c, 16 + count * elem));
+                }
+                if k == kind::SUBMIT_F64 {
+                    let data = (0..count)
+                        .map(|_| f64::from_bits(c.u64().unwrap()))
+                        .collect();
+                    Self::SubmitF64 { req, func, data }
+                } else {
+                    let data = (0..count)
+                        .map(|_| f32::from_bits(c.u32().unwrap()))
+                        .collect();
+                    Self::SubmitF32 { req, func, data }
+                }
+            }
+            kind::PING => {
+                let Some(nonce) = c.u64() else {
+                    return Err(truncated(&c, 8));
+                };
+                Self::Ping { nonce }
+            }
+            kind::DRAIN => Self::Drain,
+            kind::ACK => {
+                let Some(req) = c.u64() else {
+                    return Err(truncated(&c, 8));
+                };
+                Self::Ack { req }
+            }
+            kind::RESULT_F64 | kind::RESULT_F32 => {
+                let (Some(req), Some(count)) = (c.u64(), c.u32()) else {
+                    return Err(truncated(&c, 12));
+                };
+                let count = count as usize;
+                let elem = if k == kind::RESULT_F64 { 8 } else { 4 };
+                if c.remaining() < count * elem {
+                    return Err(truncated(&c, 12 + count * elem));
+                }
+                if k == kind::RESULT_F64 {
+                    let data = (0..count)
+                        .map(|_| f64::from_bits(c.u64().unwrap()))
+                        .collect();
+                    Self::ResultF64 { req, data }
+                } else {
+                    let data = (0..count)
+                        .map(|_| f32::from_bits(c.u32().unwrap()))
+                        .collect();
+                    Self::ResultF32 { req, data }
+                }
+            }
+            kind::ERROR => {
+                let (Some(req), Some(code), Some(detail)) = (c.u64(), c.u8(), c.u32()) else {
+                    return Err(truncated(&c, 13));
+                };
+                let code = ErrorCode::from_u8(code).ok_or(FrameError::BadErrorCode(code))?;
+                Self::Error { req, code, detail }
+            }
+            kind::PONG => {
+                let (Some(nonce), Some(draining), Some(queued_elems), Some(inflight)) =
+                    (c.u64(), c.u8(), c.u64(), c.u64())
+                else {
+                    return Err(truncated(&c, 25));
+                };
+                Self::Pong {
+                    nonce,
+                    draining: draining != 0,
+                    queued_elems,
+                    inflight,
+                }
+            }
+            other => return Err(FrameError::UnknownKind(other)),
+        };
+        if c.remaining() > 0 {
+            return Err(FrameError::TrailingBytes {
+                kind: k,
+                extra: c.remaining(),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+/// Incremental frame reassembly over an arbitrarily chunked byte stream.
+///
+/// Feed whatever the socket produced with [`FrameReader::feed`] and
+/// drain complete frames with [`FrameReader::next_frame`] — the reader
+/// is correct under any split of the stream, down to one byte at a time
+/// (pinned by the codec property suite). A length prefix past
+/// [`MAX_PAYLOAD`] fails immediately, before buffering the claimed
+/// bytes; after any error the stream is desynced and the connection
+/// should close.
+///
+/// # Examples
+///
+/// ```
+/// use flexsfu_wire::{Frame, FrameReader};
+///
+/// let frame = Frame::Ack { req: 7 };
+/// let bytes = frame.encode();
+/// let mut reader = FrameReader::new();
+/// // Feed the encoding in two arbitrary chunks.
+/// reader.feed(&bytes[..3]);
+/// assert!(reader.next_frame().unwrap().is_none()); // header incomplete
+/// reader.feed(&bytes[3..]);
+/// assert_eq!(reader.next_frame().unwrap(), Some(frame));
+/// ```
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes for reassembly.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet drained as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame: `Ok(None)` while more bytes are
+    /// needed, `Ok(Some(frame))` per completed frame (call in a loop —
+    /// one `feed` can complete several).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`] on an oversized length prefix or a
+    /// malformed payload; the stream is desynced afterwards and the
+    /// connection should be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..HEADER_LEN].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::Oversized { len });
+        }
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode_payload(&self.buf[HEADER_LEN..total])?;
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::SubmitF64 {
+                req: 1,
+                func: 2,
+                data: vec![0.5, -1.25, f64::NAN, f64::INFINITY],
+            },
+            Frame::SubmitF32 {
+                req: u64::MAX,
+                func: 0,
+                data: vec![1.5f32, f32::NEG_INFINITY],
+            },
+            Frame::Ping { nonce: 99 },
+            Frame::Drain,
+            Frame::Ack { req: 3 },
+            Frame::ResultF64 {
+                req: 1,
+                data: vec![],
+            },
+            Frame::ResultF32 {
+                req: 9,
+                data: vec![-0.0f32],
+            },
+            Frame::Error {
+                req: 4,
+                code: ErrorCode::RetryAfter,
+                detail: 250,
+            },
+            Frame::Pong {
+                nonce: 99,
+                draining: true,
+                queued_elems: 1_000,
+                inflight: 3,
+            },
+        ]
+    }
+
+    /// Bitwise frame equality — `PartialEq` on floats would call NaN
+    /// payloads unequal, and the codec's contract is bit-exactness.
+    fn assert_frames_bitwise_eq(got: &Frame, want: &Frame) {
+        match (got, want) {
+            (
+                Frame::SubmitF64 {
+                    req: r1,
+                    func: f1,
+                    data: d1,
+                },
+                Frame::SubmitF64 {
+                    req: r2,
+                    func: f2,
+                    data: d2,
+                },
+            ) => {
+                assert_eq!((r1, f1), (r2, f2));
+                assert_eq!(d1.len(), d2.len());
+                assert!(d1.iter().zip(d2).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            (Frame::ResultF64 { req: r1, data: d1 }, Frame::ResultF64 { req: r2, data: d2 }) => {
+                assert_eq!(r1, r2);
+                assert!(d1.iter().zip(d2).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            _ => assert_eq!(got, want),
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let mut r = FrameReader::new();
+            r.feed(&bytes);
+            let got = r.next_frame().unwrap().expect("complete frame");
+            assert_frames_bitwise_eq(&got, &frame);
+            assert_eq!(r.buffered(), 0);
+            assert!(r.next_frame().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_buffering() {
+        let mut r = FrameReader::new();
+        r.feed(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            r.next_frame(),
+            Err(FrameError::Oversized {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+        let mut r = FrameReader::new();
+        r.feed(&u32::MAX.to_le_bytes());
+        assert!(matches!(r.next_frame(), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn malformed_payloads_fail_typed() {
+        assert_eq!(Frame::decode_payload(&[]), Err(FrameError::EmptyPayload));
+        assert_eq!(
+            Frame::decode_payload(&[0x77]),
+            Err(FrameError::UnknownKind(0x77))
+        );
+        // Ack with a short req field.
+        assert!(matches!(
+            Frame::decode_payload(&[kind::ACK, 1, 2]),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Ack with trailing garbage.
+        let mut p = vec![kind::ACK];
+        p.extend_from_slice(&7u64.to_le_bytes());
+        p.push(0xFF);
+        assert_eq!(
+            Frame::decode_payload(&p),
+            Err(FrameError::TrailingBytes {
+                kind: kind::ACK,
+                extra: 1
+            })
+        );
+        // Error frame with an unassigned code.
+        let mut p = vec![kind::ERROR];
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.push(200);
+        p.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            Frame::decode_payload(&p),
+            Err(FrameError::BadErrorCode(200))
+        );
+        // Submit whose element count outruns its bytes.
+        let mut p = vec![kind::SUBMIT_F64];
+        p.extend_from_slice(&1u64.to_le_bytes());
+        p.extend_from_slice(&0u32.to_le_bytes());
+        p.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode_payload(&p),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+}

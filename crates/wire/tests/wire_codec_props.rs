@@ -1,0 +1,183 @@
+//! Property battery for the wire frame codec.
+//!
+//! The codec's contract, pinned here over sampled inputs:
+//!
+//! * **Round-trip identity** — any frame survives encode → decode with
+//!   its bytes (and therefore its float bit patterns) intact.
+//! * **Reassembly identity** — a stream of frames re-fed to a
+//!   [`FrameReader`] in arbitrary chunks, down to one byte at a time,
+//!   yields the same frames in the same order.
+//! * **Totality** — oversized length prefixes, truncated payloads and
+//!   arbitrary garbage all fail with a *typed* [`FrameError`], never a
+//!   panic and never a runaway allocation.
+
+use flexsfu_wire::frame::ErrorCode;
+use flexsfu_wire::{Frame, FrameError, FrameReader, MAX_PAYLOAD};
+use proptest::prelude::*;
+
+/// Deterministically builds one frame of any kind from sampled raw
+/// material. `sel` picks the kind; `bits` becomes the tensor (as raw
+/// IEEE bit patterns, so NaNs and infinities appear organically).
+fn build_frame(sel: u8, req: u64, func: u32, bits: &[u64]) -> Frame {
+    let f64s = || bits.iter().map(|&b| f64::from_bits(b)).collect::<Vec<_>>();
+    let f32s = || {
+        bits.iter()
+            .map(|&b| f32::from_bits(b as u32))
+            .collect::<Vec<_>>()
+    };
+    const CODES: [ErrorCode; 7] = [
+        ErrorCode::UnknownFunction,
+        ErrorCode::PrecisionUnsupported,
+        ErrorCode::RetryAfter,
+        ErrorCode::Draining,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+        ErrorCode::Protocol,
+    ];
+    match sel % 9 {
+        0 => Frame::SubmitF64 {
+            req,
+            func,
+            data: f64s(),
+        },
+        1 => Frame::SubmitF32 {
+            req,
+            func,
+            data: f32s(),
+        },
+        2 => Frame::Ping { nonce: req },
+        3 => Frame::Drain,
+        4 => Frame::Ack { req },
+        5 => Frame::ResultF64 { req, data: f64s() },
+        6 => Frame::ResultF32 { req, data: f32s() },
+        7 => Frame::Error {
+            req,
+            code: CODES[(func % 7) as usize],
+            detail: func,
+        },
+        _ => Frame::Pong {
+            nonce: req,
+            draining: func % 2 == 1,
+            queued_elems: u64::from(func),
+            inflight: req % 1024,
+        },
+    }
+}
+
+proptest! {
+    /// Encode → decode → re-encode is byte-identical, which subsumes
+    /// bit-exactness of every field (floats travel as bit patterns, so
+    /// equal bytes ⇒ equal NaN payloads).
+    #[test]
+    fn prop_roundtrip_any_frame(
+        sel in 0u8..9,
+        req in 0u64..=u64::MAX,
+        func in 0u32..=u32::MAX,
+        bits in proptest::collection::vec(0u64..=u64::MAX, 0..48),
+    ) {
+        let frame = build_frame(sel, req, func, &bits);
+        let bytes = frame.encode();
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        let got = reader.next_frame().unwrap().expect("one complete frame");
+        prop_assert_eq!(got.encode(), bytes);
+        prop_assert_eq!(reader.buffered(), 0);
+        prop_assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    /// A multi-frame stream reassembles identically from any chunking —
+    /// including the pathological one-byte-per-read socket.
+    #[test]
+    fn prop_chunked_reassembly_identity(
+        sels in proptest::collection::vec(0u8..9, 1..6),
+        req in 0u64..=u64::MAX,
+        func in 0u32..=u32::MAX,
+        bits in proptest::collection::vec(0u64..=u64::MAX, 0..16),
+        chunk in 1usize..7,
+    ) {
+        let frames: Vec<Frame> = sels
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| build_frame(s, req.wrapping_add(i as u64), func, &bits))
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.feed(piece);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got.len(), frames.len());
+        for (g, w) in got.iter().zip(&frames) {
+            prop_assert_eq!(g.encode(), w.encode());
+        }
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+
+    /// Any length prefix past the cap is rejected as soon as the header
+    /// is readable — before the reader buffers (or allocates for) the
+    /// claimed payload.
+    #[test]
+    fn prop_oversized_prefix_rejected(
+        over in 1u32..=(u32::MAX - MAX_PAYLOAD),
+        junk in proptest::collection::vec(0u8..=255, 0..32),
+    ) {
+        let len = MAX_PAYLOAD + over;
+        let mut reader = FrameReader::new();
+        reader.feed(&len.to_le_bytes());
+        reader.feed(&junk);
+        prop_assert_eq!(reader.next_frame(), Err(FrameError::Oversized { len }));
+    }
+
+    /// Every strict prefix of a valid payload fails to decode — no
+    /// kind's fields can be satisfied early, so truncation is always a
+    /// typed error, never a silently short tensor.
+    #[test]
+    fn prop_truncated_payload_rejected(
+        sel in 0u8..9,
+        req in 0u64..=u64::MAX,
+        func in 0u32..=u32::MAX,
+        bits in proptest::collection::vec(0u64..=u64::MAX, 0..8),
+        cut in 0.0f64..1.0,
+    ) {
+        let frame = build_frame(sel, req, func, &bits);
+        let bytes = frame.encode();
+        let payload = &bytes[4..];
+        prop_assume!(!payload.is_empty());
+        let keep = (cut * payload.len() as f64) as usize; // < len: strict prefix
+        prop_assert!(Frame::decode_payload(&payload[..keep]).is_err());
+        // And the full payload still decodes, so the prefix failure is
+        // about the cut, not the frame.
+        prop_assert!(Frame::decode_payload(payload).is_ok());
+    }
+
+    /// Arbitrary garbage never panics the reader: each call yields a
+    /// frame, a need-more-bytes, or a typed error.
+    #[test]
+    fn prop_garbage_never_panics(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+        chunk in 1usize..9,
+    ) {
+        let mut reader = FrameReader::new();
+        let mut desynced = false;
+        for piece in bytes.chunks(chunk) {
+            reader.feed(piece);
+            loop {
+                match reader.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        desynced = true;
+                        break;
+                    }
+                }
+            }
+            if desynced {
+                break; // a real connection closes here
+            }
+        }
+    }
+}

@@ -33,6 +33,13 @@
 //!   clients submit `(function, tensor)` jobs, a batcher coalesces them
 //!   into engine-scale flushes, and recompiled tables hot-swap without
 //!   stopping traffic,
+//! * [`wire`] — the std-only TCP serving tier: a hand-rolled
+//!   length-prefixed binary frame protocol carrying f64/f32 jobs
+//!   bit-exactly, a multiplexing server/client pair with out-of-order
+//!   responses, and backpressure surfaced as typed `RetryAfter` hints,
+//! * [`shard`] — sharded deployment over the wire tier: hash routing
+//!   with overrides, wire-level health checks, and draining handoff
+//!   that loses no accepted job,
 //! * [`tune`] — the design-space exploration and auto-binding tuner:
 //!   sweep segments × formats × backends under a budget, compute the
 //!   Pareto frontier, and bind the winner into the serving registry in
@@ -79,5 +86,7 @@ pub use flexsfu_nn as nn;
 pub use flexsfu_optim as optim;
 pub use flexsfu_perf as perf;
 pub use flexsfu_serve as serve;
+pub use flexsfu_shard as shard;
 pub use flexsfu_tune as tune;
+pub use flexsfu_wire as wire;
 pub use flexsfu_zoo as zoo;
