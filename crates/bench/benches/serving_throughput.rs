@@ -4,9 +4,12 @@
 //!
 //! Run with `cargo bench -p flexsfu-bench --bench serving_throughput`.
 //!
-//! Three designs serve the same workload (closed-loop clients issuing
-//! small request tensors against a 64-segment GELU table — the LTC depth
-//! the paper characterizes deepest):
+//! The workload is recorded once from the traffic simulator — a seeded
+//! Poisson arrival process over Gaussian GELU pre-activations
+//! (`flexsfu_traffic::sim::simulate`) — and every design replays the
+//! same payloads (closed-loop clients issuing small request tensors
+//! against a 64-segment GELU table — the LTC depth the paper
+//! characterizes deepest):
 //!
 //! * **scalar/req** — request-at-a-time with scalar `PwlFunction::eval`,
 //!   the path a naive service degenerates to (~90 Melem/s band);
@@ -30,6 +33,11 @@
 //!   and the same bounded-window pipeline as **batched** but over wire
 //!   tickets. Informational, no floor: the rows price the wire — frame
 //!   encode/decode plus loopback TCP — against in-process serving.
+//! * **traced** — the recorded trace replayed straight through
+//!   `flexsfu_traffic::sim::replay_rounds`: a single open-loop replayer
+//!   submitting round-batched events. Informational, no floor — it
+//!   prices the trace-replay harness and pins that recorded workloads
+//!   drive the server end to end.
 //!
 //! The table reports aggregate throughput (Melem/s) plus the
 //! per-request latency histogram — mean, p50, p95 and p99 — per client
@@ -42,10 +50,14 @@ use flexsfu_core::init::uniform_pwl;
 use flexsfu_core::{CompiledPwl, PwlEvaluator, PwlFunction};
 use flexsfu_funcs::{Gelu, Tanh};
 use flexsfu_serve::{FunctionId, FunctionRegistry, JobTicket, PwlServer, ServeConfig};
+use flexsfu_traffic::arrival::ArrivalProcess;
+use flexsfu_traffic::sampler::InputSampler;
+use flexsfu_traffic::sim::{replay_rounds, simulate, FunctionLoad, WorkloadSpec};
+use flexsfu_traffic::trace::Trace;
 use flexsfu_tune::{tune_and_bind, TuneBudget, TuneOptions};
 use flexsfu_wire::{WireClient, WireConfig, WireServer, WireTicket};
 use std::collections::VecDeque;
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Elements per request — a per-token activation slice, far below the
@@ -64,8 +76,38 @@ const CLIENTS: [usize; 3] = [1, 4, 16];
 /// The 2× design bar for batched over scalar/req at 16 clients.
 const BATCHED_OVER_SCALAR_TARGET: f64 = 2.0;
 
-fn request(seed: u64) -> Vec<f64> {
-    flexsfu_serve::testkit::request_tensor(seed, REQ_ELEMS)
+/// The recorded workload every design serves: a seeded Poisson arrival
+/// process over Gaussian GELU pre-activations from the traffic
+/// simulator, one event per request the 16-client run will issue.
+/// Simulated once; every design replays the same payloads, so the
+/// design comparison (and the 2× floor) is unchanged by the generator.
+fn workload_trace() -> &'static Trace {
+    static TRACE: OnceLock<Trace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let max_clients = *CLIENTS.iter().max().expect("non-empty sweep");
+        let spec = WorkloadSpec {
+            seed: 0xBE27C4,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 1e6 },
+            functions: vec![FunctionLoad {
+                name: "gelu".into(),
+                weight: 1.0,
+                elems: (REQ_ELEMS as u32, REQ_ELEMS as u32),
+                sampler: InputSampler::Gaussian {
+                    mean: 0.0,
+                    std: 2.0,
+                    clamp: (-8.0, 8.0),
+                },
+            }],
+            shifts: vec![],
+        };
+        let trace = simulate(&spec, u64::MAX, max_clients * REQS_PER_CLIENT);
+        assert_eq!(trace.events.len(), max_clients * REQS_PER_CLIENT);
+        trace
+    })
+}
+
+fn request(index: usize) -> Vec<f64> {
+    workload_trace().events[index].payload.clone()
 }
 
 /// Aggregate stats of one timed run.
@@ -110,7 +152,7 @@ where
                 let mut local = Vec::with_capacity(REQS_PER_CLIENT);
                 barrier.wait();
                 for r in 0..REQS_PER_CLIENT {
-                    let data = request((c * REQS_PER_CLIENT + r) as u64);
+                    let data = request(c * REQS_PER_CLIENT + r);
                     serve_request(c, r, data, &mut local);
                 }
                 all_latencies.lock().unwrap().extend(local);
@@ -180,6 +222,38 @@ fn run_batched(
     });
     server.shutdown();
     stats
+}
+
+/// The informational **traced** row: the recorded trace replayed
+/// straight through `flexsfu_traffic::sim::replay_rounds` — a single
+/// open-loop replayer submitting round-batched events against the same
+/// server config as **batched**. Prices the trace-replay harness itself
+/// (and pins that a recorded workload drives the server end to end);
+/// no per-request latency histogram, no floor.
+fn run_traced(clients: usize, online: usize, registry: &Arc<FunctionRegistry>) -> f64 {
+    let full = workload_trace();
+    let sub = Trace {
+        functions: full.functions.clone(),
+        events: full.events[..clients * REQS_PER_CLIENT].to_vec(),
+    };
+    let elems: usize = sub.events.iter().map(|e| e.payload.len()).sum();
+    let server = PwlServer::start(
+        Arc::clone(registry),
+        ServeConfig {
+            flush_elements: 8 * 1024,
+            flush_interval: Duration::from_micros(200),
+            queue_elements: 64 * 1024,
+            eval_workers: online.clamp(1, 4),
+        },
+    );
+    let handle = server.handle();
+    let t0 = Instant::now();
+    let report = replay_rounds(&sub, &handle, &|n| registry.id_of(n), 1024, |_| {})
+        .expect("replay against the bench registry");
+    let elapsed = t0.elapsed();
+    assert_eq!(report.completed, sub.events.len());
+    server.shutdown();
+    elems as f64 / elapsed.as_secs_f64()
 }
 
 /// The serving config every wire run fronts (identical to
@@ -327,6 +401,10 @@ fn main() {
         let wire_req = run_wire(clients, online, &registry, gelu_id, false);
         let wire_batch = run_wire(clients, online, &registry, gelu_id, true);
 
+        // The recorded trace replayed through replay_rounds
+        // (informational; single open-loop replayer, no floor).
+        let traced = run_traced(clients, online, &registry);
+
         let m = 1e-6;
         for (design, stats) in [
             ("scalar/req", &scalar),
@@ -345,6 +423,11 @@ fn main() {
                 stats.percentile(99.0),
             );
         }
+        println!(
+            "{clients:>7}  traced      {:>7.0}  open-loop replay of the recorded trace \
+             (informational)",
+            traced * m,
+        );
         if clients == 16 {
             batched_vs_scalar_at_16 = Some(batched.elems_per_sec / scalar.elems_per_sec);
         }

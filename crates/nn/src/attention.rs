@@ -8,6 +8,14 @@
 
 use crate::layers::Layer;
 use crate::tensor::{Tensor, TensorF32};
+use std::sync::{Arc, Mutex};
+
+/// A shared sink that statistic probes append observed values to.
+///
+/// Installed on [`LayerNorm`] (rsqrt arguments, `var + eps`) and
+/// [`SelfAttention`] (shifted softmax logits, the `exp` inputs) by the
+/// activation-statistics exporter in [`crate::stats`].
+pub type ProbeSink = Arc<Mutex<Vec<f64>>>;
 
 /// Layer normalization over the last dimension, with learnable gain/bias.
 #[derive(Debug)]
@@ -20,6 +28,8 @@ pub struct LayerNorm {
     // Cached normalized input and per-row inverse std for backward.
     cached_norm: Option<Tensor>,
     cached_inv_std: Vec<f64>,
+    /// Observes the per-row rsqrt argument `var + eps` when installed.
+    var_probe: Option<ProbeSink>,
 }
 
 impl LayerNorm {
@@ -38,7 +48,16 @@ impl LayerNorm {
             eps: 1e-5,
             cached_norm: None,
             cached_inv_std: Vec::new(),
+            var_probe: None,
         }
+    }
+
+    /// Installs (or clears) a probe that records the per-row rsqrt
+    /// argument `var + eps` on every forward pass — the live input
+    /// distribution of the `rsqrt` nonlinearity this layer would hand
+    /// the SFU.
+    pub fn set_variance_probe(&mut self, sink: Option<ProbeSink>) {
+        self.var_probe = sink;
     }
 }
 
@@ -56,6 +75,12 @@ impl Layer for LayerNorm {
             let row = &x.data()[r * d..(r + 1) * d];
             let mean = row.iter().sum::<f64>() / d as f64;
             let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / d as f64;
+            if let Some(probe) = &self.var_probe {
+                probe
+                    .lock()
+                    .expect("probe sink poisoned")
+                    .push(var + self.eps);
+            }
             let inv_std = 1.0 / (var + self.eps).sqrt();
             inv_stds.push(inv_std);
             for c in 0..d {
@@ -111,6 +136,10 @@ impl Layer for LayerNorm {
             (&mut self.beta, &mut self.grad_beta),
         ]
     }
+
+    fn as_layernorm_mut(&mut self) -> Option<&mut LayerNorm> {
+        Some(self)
+    }
 }
 
 /// Single-head self-attention over inputs shaped `(batch, seq · dim)`,
@@ -134,6 +163,9 @@ pub struct SelfAttention {
     /// The f32 twin of `exp_compiled`, for [`Self::forward_f32`].
     exp_compiled_f32: Option<flexsfu_core::CompiledPwlF32>,
     cache: Option<AttnCache>,
+    /// Observes the shifted softmax logits (the `exp` inputs) when
+    /// installed.
+    logit_probe: Option<ProbeSink>,
 }
 
 struct AttnCache {
@@ -178,7 +210,15 @@ impl SelfAttention {
             exp_compiled: None,
             exp_compiled_f32: None,
             cache: None,
+            logit_probe: None,
         }
+    }
+
+    /// Installs (or clears) a probe that records the shifted softmax
+    /// logits `row[i] − max(row)` — exactly the inputs the `exp` stage
+    /// (and hence a PWL exp substitution) sees, all in `(-∞, 0]`.
+    pub fn set_logit_probe(&mut self, sink: Option<ProbeSink>) {
+        self.logit_probe = sink;
     }
 
     /// Installs a PWL substitution for the softmax `exp` stage (inference
@@ -196,6 +236,15 @@ impl SelfAttention {
 
     /// Softmax over a row, honouring the exp substitution at inference.
     fn softmax_row(&self, row: &[f64], train: bool) -> Vec<f64> {
+        if let Some(probe) = &self.logit_probe {
+            // Record the same shift the softmax decomposition applies
+            // internally, so the probe sees the exp inputs verbatim.
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if max.is_finite() {
+                let mut sink = probe.lock().expect("probe sink poisoned");
+                sink.extend(row.iter().map(|&v| v - max));
+            }
+        }
         match (&self.exp_compiled, train) {
             (Some(engine), false) => {
                 // The batch analogue of `softmax_with(row, |t|

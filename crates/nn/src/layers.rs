@@ -38,6 +38,12 @@ pub trait Layer {
     fn as_attention_mut(&mut self) -> Option<&mut crate::attention::SelfAttention> {
         None
     }
+
+    /// Downcast hook for layer-norm statistic probes (the rsqrt-argument
+    /// exporter in [`crate::stats`]).
+    fn as_layernorm_mut(&mut self) -> Option<&mut crate::attention::LayerNorm> {
+        None
+    }
 }
 
 /// Fully connected layer `y = xW + b`.

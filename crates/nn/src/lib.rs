@@ -26,6 +26,11 @@
 //!   (cargo feature `serving`, on by default),
 //! * [`Sequential`] — model container with forward/backward and
 //!   activation substitution,
+//! * [`stats`] — activation-input statistics: probe-instrumented
+//!   forward passes that measure what each nonlinearity (GELU
+//!   pre-activations, softmax `exp` logits, layer-norm `rsqrt`
+//!   arguments) actually sees, as fixed-bucket histograms the traffic
+//!   simulator's empirical samplers invert,
 //! * [`train`] — SGD-with-momentum training on softmax cross-entropy,
 //! * [`data`] — seeded synthetic datasets (Gaussian blobs, spirals,
 //!   pattern images),
@@ -51,9 +56,11 @@ pub mod layers;
 pub mod model;
 #[cfg(feature = "serving")]
 pub mod serving;
+pub mod stats;
 pub mod tensor;
 pub mod train;
 pub mod zoo;
 
 pub use model::Sequential;
+pub use stats::{collect_activation_stats, ActivationStats, ModelActivationStats};
 pub use tensor::{Tensor, TensorF32};

@@ -70,6 +70,35 @@ impl Sequential {
         cur
     }
 
+    /// Inference forward that reports every activation layer's **input**
+    /// (the pre-activation tensor) to `observe`, tagged with the
+    /// activation's registry name — the capture hook the activation-
+    /// statistics exporter ([`crate::stats::collect_activation_stats`])
+    /// builds per-function input distributions from. Output is
+    /// identical to `forward(x, false)`.
+    pub fn forward_observed(
+        &mut self,
+        x: &Tensor,
+        observe: &mut dyn FnMut(&'static str, &Tensor),
+    ) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            if let Some(act) = layer.as_activation_mut() {
+                let name = act.activation_name();
+                observe(name, &cur);
+            }
+            cur = layer.forward(&cur, false);
+        }
+        cur
+    }
+
+    /// Mutable access to the layer stack, in order — how statistic
+    /// probes ([`crate::stats`]) reach attention and layer-norm layers
+    /// through their downcast hooks.
+    pub fn layers_mut(&mut self) -> impl Iterator<Item = &mut Box<dyn Layer>> {
+        self.layers.iter_mut()
+    }
+
     /// Backpropagates from the loss gradient at the output.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mut g = grad_out.clone();

@@ -1,0 +1,265 @@
+//! Activation-input statistics: what the zoo's nonlinearities actually
+//! see at inference time.
+//!
+//! The traffic simulator (`flexsfu-traffic`) wants realistic per-function
+//! input distributions — softmax `exp` logits live in `(-∞, 0]`,
+//! layer-norm `rsqrt` arguments are small positive variances, GELU
+//! pre-activations are roughly centred — not uniform noise. This module
+//! measures those distributions from real forward passes:
+//!
+//! * [`Sequential::forward_observed`](crate::Sequential::forward_observed)
+//!   captures every activation layer's input tensor by function name,
+//! * [`LayerNorm`](crate::attention::LayerNorm) and
+//!   [`SelfAttention`](crate::attention::SelfAttention) expose probe
+//!   sinks for the rsqrt argument (`var + eps`) and the shifted softmax
+//!   logits respectively,
+//! * [`collect_activation_stats`] wires all three up, runs a batch
+//!   stream, and folds the samples into fixed-bucket
+//!   [`ActivationStats`] histograms a sampler can invert.
+
+use crate::attention::ProbeSink;
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Fixed-bucket histogram summary of one observed input stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationStats {
+    /// Which stream this summarizes (activation registry name, or the
+    /// synthetic `"softmax_logits"` / `"rsqrt_args"` streams).
+    pub name: String,
+    /// Inclusive lower edge of the histogram (the observed minimum).
+    pub lo: f64,
+    /// Upper edge of the histogram (the observed maximum; the maximum
+    /// itself is clamped into the last bucket).
+    pub hi: f64,
+    /// Per-bucket sample counts over `[lo, hi)`.
+    pub counts: Vec<u64>,
+    /// Total number of samples.
+    pub total: u64,
+    /// Sample mean.
+    pub mean: f64,
+}
+
+impl ActivationStats {
+    /// Buckets `samples` over their own observed span.
+    ///
+    /// A constant stream (max == min) widens the span by one unit so
+    /// the histogram stays well-formed with all mass in bucket 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, `buckets` is zero, or any sample
+    /// is non-finite.
+    pub fn from_samples(name: &str, samples: &[f64], buckets: usize) -> Self {
+        assert!(!samples.is_empty(), "{name}: no samples to summarize");
+        assert!(buckets > 0, "{name}: need at least one bucket");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            assert!(s.is_finite(), "{name}: non-finite sample {s}");
+            lo = lo.min(s);
+            hi = hi.max(s);
+            sum += s;
+        }
+        if hi <= lo {
+            hi = lo + 1.0;
+        }
+        let mut counts = vec![0u64; buckets];
+        let inv_width = buckets as f64 / (hi - lo);
+        for &s in samples {
+            let b = (((s - lo) * inv_width) as usize).min(buckets - 1);
+            counts[b] += 1;
+        }
+        Self {
+            name: name.to_string(),
+            lo,
+            hi,
+            counts,
+            total: samples.len() as u64,
+            mean: sum / samples.len() as f64,
+        }
+    }
+}
+
+/// Everything [`collect_activation_stats`] measured on one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelActivationStats {
+    /// Pre-activation input distributions, keyed by activation name
+    /// (`"gelu"`, `"silu"`, …) — merged across layers sharing a
+    /// function.
+    pub preactivations: BTreeMap<String, ActivationStats>,
+    /// Shifted softmax logits (`row − max(row)`) from every attention
+    /// layer, or `None` if the model has no attention.
+    pub softmax_logits: Option<ActivationStats>,
+    /// rsqrt arguments (`var + eps`) from every layer-norm, or `None`
+    /// if the model has none.
+    pub rsqrt_args: Option<ActivationStats>,
+}
+
+/// Runs `batches` through `model` (inference mode) with every statistic
+/// probe installed and returns the observed input distributions, bucketed
+/// into `buckets` bins each.
+///
+/// Probes are removed before returning, so the model is left exactly as
+/// it was. Deterministic: same model, same batches → identical stats.
+///
+/// # Panics
+///
+/// Panics if `batches` is empty or `buckets` is zero.
+pub fn collect_activation_stats(
+    model: &mut Sequential,
+    batches: &[Tensor],
+    buckets: usize,
+) -> ModelActivationStats {
+    assert!(!batches.is_empty(), "need at least one batch");
+    let logit_sink: ProbeSink = Arc::new(Mutex::new(Vec::new()));
+    let var_sink: ProbeSink = Arc::new(Mutex::new(Vec::new()));
+    for layer in model.layers_mut() {
+        if let Some(attn) = layer.as_attention_mut() {
+            attn.set_logit_probe(Some(Arc::clone(&logit_sink)));
+        }
+        if let Some(ln) = layer.as_layernorm_mut() {
+            ln.set_variance_probe(Some(Arc::clone(&var_sink)));
+        }
+    }
+
+    let mut pre: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for batch in batches {
+        model.forward_observed(batch, &mut |name, input| {
+            pre.entry(name).or_default().extend_from_slice(input.data());
+        });
+    }
+
+    for layer in model.layers_mut() {
+        if let Some(attn) = layer.as_attention_mut() {
+            attn.set_logit_probe(None);
+        }
+        if let Some(ln) = layer.as_layernorm_mut() {
+            ln.set_variance_probe(None);
+        }
+    }
+
+    let summarize = |name: &str, sink: &ProbeSink| {
+        let samples = sink.lock().expect("probe sink poisoned");
+        (!samples.is_empty()).then(|| ActivationStats::from_samples(name, &samples, buckets))
+    };
+    ModelActivationStats {
+        preactivations: pre
+            .into_iter()
+            .map(|(name, samples)| {
+                (
+                    name.to_string(),
+                    ActivationStats::from_samples(name, &samples, buckets),
+                )
+            })
+            .collect(),
+        softmax_logits: summarize("softmax_logits", &logit_sink),
+        rsqrt_args: summarize("rsqrt_args", &var_sink),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::{LayerNorm, SelfAttention};
+    use crate::layers::{ActivationLayer, Dense};
+    use flexsfu_funcs::by_name;
+
+    fn rng_from(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        }
+    }
+
+    #[test]
+    fn from_samples_buckets_and_clamps_the_max() {
+        let s = ActivationStats::from_samples("t", &[0.0, 0.5, 1.0, 1.0], 4);
+        assert_eq!(s.lo, 0.0);
+        assert_eq!(s.hi, 1.0);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.counts, vec![1, 0, 1, 2]); // both 1.0s clamp into the last bucket
+        assert!((s.mean - 0.625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_stream_widens_to_a_valid_span() {
+        let s = ActivationStats::from_samples("c", &[3.0; 7], 8);
+        assert_eq!(s.lo, 3.0);
+        assert_eq!(s.hi, 4.0);
+        assert_eq!(s.counts[0], 7);
+        assert_eq!(s.counts[1..].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn mlp_preactivations_are_captured_by_function_name() {
+        let mut rng = rng_from(17);
+        let mut m = Sequential::new(vec![
+            Box::new(Dense::new(3, 8, &mut rng)),
+            Box::new(ActivationLayer::new(by_name("gelu").unwrap())),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ]);
+        let x = Tensor::from_vec((0..6).map(|i| (i as f64 * 0.7).sin()).collect(), vec![2, 3]);
+        let stats = collect_activation_stats(&mut m, &[x.clone(), x.clone()], 16);
+        let gelu = stats.preactivations.get("gelu").expect("gelu captured");
+        // 2 batches × 2 rows × 8 features into the activation layer.
+        assert_eq!(gelu.total, 32);
+        assert!(stats.softmax_logits.is_none());
+        assert!(stats.rsqrt_args.is_none());
+        // The observed forward is the plain inference forward.
+        let y_plain = m.forward(&x, false);
+        let y_obs = m.forward_observed(&x, &mut |_, _| {});
+        assert_eq!(y_plain, y_obs);
+    }
+
+    #[test]
+    fn transformer_probes_see_logits_and_variances() {
+        let mut rng = rng_from(23);
+        let mut m = Sequential::new(vec![
+            Box::new(LayerNorm::new(12)),
+            Box::new(SelfAttention::new(3, 4, &mut rng)),
+        ]);
+        let x = Tensor::from_vec(
+            (0..24).map(|i| (i as f64 * 0.37).cos()).collect(),
+            vec![2, 12],
+        );
+        let stats = collect_activation_stats(&mut m, &[x], 32);
+        let logits = stats.softmax_logits.expect("attention captured");
+        // 2 batch items × 3 softmax rows × 3 logits each.
+        assert_eq!(logits.total, 18);
+        // Shifted logits never exceed zero, and each row's max maps to 0.
+        assert!(logits.hi <= 1.0 + 1e-12); // widened only if constant
+        assert!(logits.lo <= 0.0);
+        let vars = stats.rsqrt_args.expect("layernorm captured");
+        assert_eq!(vars.total, 2); // one variance per row
+        assert!(
+            vars.lo > 0.0,
+            "rsqrt args must be positive, got {}",
+            vars.lo
+        );
+        // Probes were uninstalled: another forward adds nothing.
+        let again = collect_activation_stats(&mut m, &[Tensor::zeros(vec![1, 12])], 32);
+        assert_eq!(again.softmax_logits.unwrap().total, 9);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let build = || {
+            let mut rng = rng_from(5);
+            Sequential::new(vec![
+                Box::new(Dense::new(4, 6, &mut rng)) as Box<dyn crate::layers::Layer>,
+                Box::new(ActivationLayer::new(by_name("silu").unwrap())),
+            ])
+        };
+        let x = Tensor::from_vec((0..8).map(|i| i as f64 * 0.25 - 1.0).collect(), vec![2, 4]);
+        let a = collect_activation_stats(&mut build(), std::slice::from_ref(&x), 24);
+        let b = collect_activation_stats(&mut build(), &[x], 24);
+        assert_eq!(a, b);
+    }
+}

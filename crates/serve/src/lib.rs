@@ -53,6 +53,15 @@
 //!   ([`testkit::Faults`]: forced `QueueFull`, dropped replies, delayed
 //!   flushes) via [`PwlServer::start_with_faults`], so protocol suites
 //!   drive retry and backpressure paths instead of racing for them.
+//! * **Streaming input histograms** — every function accumulates a
+//!   fixed-bucket histogram of the raw inputs its flushes evaluate
+//!   (both precisions), alongside its backend stats. Read it cumulative
+//!   ([`FunctionRegistry::input_histogram`]) or windowed
+//!   ([`FunctionRegistry::drain_input_histogram`], snapshot-and-reset);
+//!   the bucket range is pinned at registration to the table's
+//!   breakpoint span and survives publishes, so an adaptive retuner can
+//!   compare live traffic against its tuning-time snapshot across
+//!   hot-swaps (see the `flexsfu-traffic` crate's drift detector).
 //! * **A single-precision job lane** — [`ServeHandle::submit_f32`]
 //!   serves `Vec<f32>` tensors end to end in f32: the packed flush
 //!   buffer, the backend's f32 program
@@ -105,6 +114,7 @@
 //! (Numbers vary by machine; bit-identity and the clean drain do not.)
 
 mod error;
+pub mod histogram;
 pub mod oneshot;
 pub mod plan;
 mod registry;
@@ -112,6 +122,7 @@ mod server;
 pub mod testkit;
 
 pub use error::ServeError;
+pub use histogram::{InputHistogramSnapshot, INPUT_HIST_BUCKETS};
 pub use plan::{FlushPlan, GroupPlan, JobSpan};
 pub use registry::{BackendStatsSnapshot, FunctionId, FunctionRegistry};
 pub use server::{

@@ -21,6 +21,7 @@
 //! [`flexsfu_backend::FlushStats`] accumulate into per-function
 //! counters, readable via [`FunctionRegistry::backend_stats`].
 
+use crate::histogram::{HistogramAccum, InputHistogramSnapshot, INPUT_HIST_BUCKETS};
 use crate::server::FlushPolicy;
 use flexsfu_backend::{BackendProgram, BackendProgramF32, EvalBackend, FlushStats, NativeBackend};
 use flexsfu_core::{CompiledPwl, CompiledPwlF32, ParallelPwl, ParallelPwlF32, PwlFunction};
@@ -83,6 +84,12 @@ struct Entry {
     program_f32: Option<Arc<dyn BackendProgramF32>>,
     policy: Option<FlushPolicy>,
     stats: Arc<StatsAccumulator>,
+    /// Streaming histogram of the raw inputs this function's flushes
+    /// evaluate (both precisions). Range pinned at registration to the
+    /// initial table's breakpoint span; deliberately **not** swapped by
+    /// [`FunctionRegistry::publish`], so drift windows before and after
+    /// a hot-swap stay mergeable.
+    histogram: Arc<HistogramAccum>,
 }
 
 /// The engine/program pairs of one binding, both precisions — what
@@ -233,6 +240,12 @@ impl FunctionRegistry {
         backend: Arc<dyn EvalBackend>,
         policy: Option<FlushPolicy>,
     ) -> Result<FunctionId, crate::ServeError> {
+        // Pin the histogram range to the table's breakpoint span before
+        // `bind` consumes the engine: the span is exactly the region the
+        // tuner measured over, so live traffic outside it lands in the
+        // snapshot's below/above tails.
+        let bps = engine.breakpoints();
+        let (hist_lo, hist_hi) = (bps[0], bps[bps.len() - 1]);
         let bound = bind(&backend, engine)?;
         let mut entries = self.entries.write().unwrap();
         let id = FunctionId(entries.len() as u32);
@@ -245,6 +258,7 @@ impl FunctionRegistry {
             program_f32: bound.program_f32,
             policy,
             stats: Arc::new(StatsAccumulator::default()),
+            histogram: Arc::new(HistogramAccum::new(hist_lo, hist_hi, INPUT_HIST_BUCKETS)),
         });
         Ok(id)
     }
@@ -305,19 +319,25 @@ impl FunctionRegistry {
             .map(|e| Arc::clone(&e.engine))
     }
 
-    /// Snapshot of the backend program and stats sink for `id` — what a
-    /// flush unit carries. Like [`Self::engine`], the snapshot is
-    /// unaffected by later publishes.
+    /// Snapshot of the backend program, stats sink and input-histogram
+    /// sink for `id` — what a flush unit carries. Like [`Self::engine`],
+    /// the snapshot is unaffected by later publishes.
     #[allow(clippy::type_complexity)]
     pub(crate) fn binding(
         &self,
         id: FunctionId,
-    ) -> Option<(Arc<dyn BackendProgram>, Arc<StatsAccumulator>)> {
-        self.entries
-            .read()
-            .unwrap()
-            .get(id.0 as usize)
-            .map(|e| (Arc::clone(&e.program), Arc::clone(&e.stats)))
+    ) -> Option<(
+        Arc<dyn BackendProgram>,
+        Arc<StatsAccumulator>,
+        Arc<HistogramAccum>,
+    )> {
+        self.entries.read().unwrap().get(id.0 as usize).map(|e| {
+            (
+                Arc::clone(&e.program),
+                Arc::clone(&e.stats),
+                Arc::clone(&e.histogram),
+            )
+        })
     }
 
     /// The f32 half of [`Self::binding`]: the backend's f32 program
@@ -330,12 +350,22 @@ impl FunctionRegistry {
     pub(crate) fn binding_f32(
         &self,
         id: FunctionId,
-    ) -> Option<(Arc<dyn BackendProgramF32>, Arc<StatsAccumulator>)> {
+    ) -> Option<(
+        Arc<dyn BackendProgramF32>,
+        Arc<StatsAccumulator>,
+        Arc<HistogramAccum>,
+    )> {
         self.entries
             .read()
             .unwrap()
             .get(id.0 as usize)
-            .and_then(|e| Some((Arc::clone(e.program_f32.as_ref()?), Arc::clone(&e.stats))))
+            .and_then(|e| {
+                Some((
+                    Arc::clone(e.program_f32.as_ref()?),
+                    Arc::clone(&e.stats),
+                    Arc::clone(&e.histogram),
+                ))
+            })
     }
 
     /// Whether `id`'s backend can serve f32 jobs ([`None`] if `id` is
@@ -378,6 +408,32 @@ impl FunctionRegistry {
             .unwrap()
             .get(id.0 as usize)
             .map(|e| e.stats.snapshot())
+    }
+
+    /// Cumulative input histogram of `id` since registration (or the
+    /// last [`Self::drain_input_histogram`]): every element its flushes
+    /// evaluated, both precisions. The bucket range is the breakpoint
+    /// span of the table `id` was *registered* with and survives
+    /// [`Self::publish`], so readings stay comparable across hot-swaps.
+    pub fn input_histogram(&self, id: FunctionId) -> Option<InputHistogramSnapshot> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| e.histogram.snapshot())
+    }
+
+    /// Atomically snapshots **and resets** `id`'s input histogram — the
+    /// windowed read a drift detector uses: each drain covers exactly
+    /// the traffic since the previous one, and the windows merge back
+    /// into the cumulative view ([`InputHistogramSnapshot::merge`])
+    /// because counts are plain sums.
+    pub fn drain_input_histogram(&self, id: FunctionId) -> Option<InputHistogramSnapshot> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| e.histogram.drain())
     }
 
     /// Sets (or clears, with `None`) the per-function flush policy of
@@ -526,7 +582,7 @@ mod tests {
         let too_deep = uniform_pwl(&Tanh, 63, (-8.0, 8.0));
         let err = r.publish(id, CompiledPwl::from_pwl(&too_deep));
         assert!(matches!(err, Err(crate::ServeError::LowerFailed(_))));
-        let (program, _) = r.binding(id).unwrap();
+        let (program, _, _) = r.binding(id).unwrap();
         assert_eq!(program.backend_name(), "sfu-emu");
         // A fitting publish re-lowers onto the same backend.
         r.publish(
@@ -564,6 +620,28 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.policy(plain), None);
+    }
+
+    #[test]
+    fn input_histogram_range_pinned_at_registration_and_survives_publish() {
+        let r = FunctionRegistry::new();
+        let id = r.register("tanh", &uniform_pwl(&Tanh, 8, (-4.0, 4.0)));
+        let before = r.input_histogram(id).unwrap();
+        assert_eq!((before.lo, before.hi), (-4.0, 4.0));
+        assert_eq!(before.total(), 0);
+        assert!(r.input_histogram(FunctionId(9)).is_none());
+        // Publishing a table with a different span keeps the histogram
+        // shape (and any accumulated counts).
+        r.publish(
+            id,
+            CompiledPwl::from_pwl(&uniform_pwl(&Tanh, 8, (-8.0, 8.0))),
+        )
+        .unwrap();
+        let after = r.input_histogram(id).unwrap();
+        assert_eq!((after.lo, after.hi), (-4.0, 4.0));
+        // Drain snapshots-and-resets.
+        let drained = r.drain_input_histogram(id).unwrap();
+        assert_eq!(drained.total(), 0);
     }
 
     #[test]

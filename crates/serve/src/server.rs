@@ -32,6 +32,7 @@
 //! threads — in-flight work is never discarded.
 
 use crate::error::ServeError;
+use crate::histogram::HistogramAccum;
 use crate::oneshot;
 use crate::plan::FlushPlan;
 use crate::registry::{FunctionId, FunctionRegistry, StatsAccumulator};
@@ -154,6 +155,7 @@ enum FlushUnit {
     F64 {
         program: Arc<dyn BackendProgram>,
         stats: Arc<StatsAccumulator>,
+        histogram: Arc<HistogramAccum>,
         xs: Vec<f64>,
         /// `(element count, result channel)` in packed order.
         jobs: Vec<(usize, oneshot::Sender<Vec<f64>>)>,
@@ -161,6 +163,7 @@ enum FlushUnit {
     F32 {
         program: Arc<dyn BackendProgramF32>,
         stats: Arc<StatsAccumulator>,
+        histogram: Arc<HistogramAccum>,
         xs: Vec<f32>,
         /// `(element count, result channel)` in packed order.
         jobs: Vec<(usize, oneshot::Sender<Vec<f32>>)>,
@@ -748,7 +751,7 @@ fn dispatch_flush(
     let plan = FlushPlan::build(&shapes);
     let mut slots: Vec<Option<PendingJob<f64>>> = jobs64.into_iter().map(Some).collect();
     for group in plan.groups {
-        let Some((program, stats)) = registry.binding(group.func) else {
+        let Some((program, stats, histogram)) = registry.binding(group.func) else {
             // Unreachable in practice — submit validates ids and the
             // registry never unregisters. Dropping the senders fails the
             // jobs with `Disconnected` rather than poisoning the server.
@@ -768,6 +771,7 @@ fn dispatch_flush(
             .send(FlushUnit::F64 {
                 program,
                 stats,
+                histogram,
                 xs,
                 jobs,
             })
@@ -783,7 +787,7 @@ fn dispatch_flush(
     let plan = FlushPlan::build(&shapes);
     let mut slots: Vec<Option<PendingJob<f32>>> = jobs32.into_iter().map(Some).collect();
     for group in plan.groups {
-        let Some((program, stats)) = registry.binding_f32(group.func) else {
+        let Some((program, stats, histogram)) = registry.binding_f32(group.func) else {
             debug_assert!(false, "function {:?} lost its f32 binding", group.func);
             continue;
         };
@@ -798,6 +802,7 @@ fn dispatch_flush(
             .send(FlushUnit::F32 {
                 program,
                 stats,
+                histogram,
                 xs,
                 jobs,
             })
@@ -828,9 +833,15 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>, faults: Option<&Faults>) {
             FlushUnit::F64 {
                 program,
                 stats,
+                histogram,
                 xs,
                 jobs,
             } => {
+                // Record inputs before completing any ticket: once every
+                // ticket of a quiesced batch has resolved, the histogram
+                // already reflects all of its elements — the ordering
+                // drift-window determinism relies on.
+                histogram.record_f64(&xs);
                 let mut outs: Vec<Vec<f64>> = jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
                 let flush_stats = {
                     let mut views: Vec<&mut [f64]> =
@@ -851,9 +862,11 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>, faults: Option<&Faults>) {
             FlushUnit::F32 {
                 program,
                 stats,
+                histogram,
                 xs,
                 jobs,
             } => {
+                histogram.record_f32(&xs);
                 let mut outs: Vec<Vec<f32>> = jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
                 let flush_stats = {
                     let mut views: Vec<&mut [f32]> =

@@ -1,0 +1,287 @@
+//! Seeded arrival processes on the virtual clock.
+//!
+//! Three request-interarrival models cover the serving regimes the
+//! adaptive loop has to survive:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless steady state, the
+//!   throughput-benchmark baseline,
+//! * [`ArrivalProcess::OnOff`] — bursty, self-similar-ish traffic:
+//!   Pareto-distributed on/off phases (heavy-tailed, the classic
+//!   source of long-range dependence) with Poisson arrivals inside on
+//!   phases,
+//! * [`ArrivalProcess::Diurnal`] — a smooth load ramp between a base
+//!   and a peak rate, sampled by Lewis–Shedler thinning.
+//!
+//! All sampling runs on the caller's seeded [`StdRng`], so a given
+//! `(process, seed)` pair produces the same arrival instants forever.
+
+use crate::clock::{secs_to_ns, VirtualNs};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An interarrival model. All rates are in requests per *virtual*
+/// second.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate.
+    Poisson {
+        /// Mean arrival rate (requests/s), must be positive and finite.
+        rate_hz: f64,
+    },
+    /// Heavy-tailed on/off bursts: during an *on* phase arrivals are
+    /// Poisson at `rate_hz`; phase durations are Pareto with shape
+    /// `pareto_alpha` (heavier tails as `alpha → 1`).
+    OnOff {
+        /// Arrival rate during on phases (requests/s).
+        rate_hz: f64,
+        /// Mean on-phase duration, seconds.
+        mean_on_s: f64,
+        /// Mean off-phase duration, seconds.
+        mean_off_s: f64,
+        /// Pareto shape parameter, must be `> 1` so the mean exists.
+        pareto_alpha: f64,
+    },
+    /// A sinusoidal rate ramp from `base_hz` up to `peak_hz` and back
+    /// every `period_s` seconds, starting at the trough.
+    Diurnal {
+        /// Trough arrival rate (requests/s).
+        base_hz: f64,
+        /// Peak arrival rate (requests/s), `>= base_hz`.
+        peak_hz: f64,
+        /// Cycle length, seconds.
+        period_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive/non-finite rates or durations, or a
+    /// Pareto shape `<= 1`.
+    pub fn validate(&self) {
+        let pos = |v: f64, what: &str| {
+            assert!(v > 0.0 && v.is_finite(), "{what} must be positive, got {v}");
+        };
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } => pos(rate_hz, "rate_hz"),
+            ArrivalProcess::OnOff {
+                rate_hz,
+                mean_on_s,
+                mean_off_s,
+                pareto_alpha,
+            } => {
+                pos(rate_hz, "rate_hz");
+                pos(mean_on_s, "mean_on_s");
+                pos(mean_off_s, "mean_off_s");
+                assert!(
+                    pareto_alpha > 1.0 && pareto_alpha.is_finite(),
+                    "pareto_alpha must exceed 1 for a finite mean, got {pareto_alpha}"
+                );
+            }
+            ArrivalProcess::Diurnal {
+                base_hz,
+                peak_hz,
+                period_s,
+            } => {
+                pos(base_hz, "base_hz");
+                pos(peak_hz, "peak_hz");
+                pos(period_s, "period_s");
+                assert!(
+                    peak_hz >= base_hz,
+                    "peak_hz {peak_hz} below base_hz {base_hz}"
+                );
+            }
+        }
+    }
+}
+
+/// Stateful arrival generator: owns the phase bookkeeping an
+/// [`ArrivalProcess`] needs between draws.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    /// On/off bookkeeping: current phase end, and whether it is an on
+    /// phase. `None` until the first draw.
+    phase: Option<(VirtualNs, bool)>,
+}
+
+/// Exponential interarrival sample, seconds.
+fn sample_exp(rng: &mut StdRng, rate_hz: f64) -> f64 {
+    // u ∈ [0, 1) so 1 − u ∈ (0, 1]: ln never sees zero.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate_hz
+}
+
+/// Pareto duration sample with the given mean, seconds.
+fn sample_pareto(rng: &mut StdRng, mean_s: f64, alpha: f64) -> f64 {
+    // mean = scale · α/(α−1)  ⇒  scale = mean · (α−1)/α.
+    let scale = mean_s * (alpha - 1.0) / alpha;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    scale * (1.0 - u).powf(-1.0 / alpha)
+}
+
+impl ArrivalGen {
+    /// Starts a generator for `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process parameters are invalid
+    /// ([`ArrivalProcess::validate`]).
+    pub fn new(process: ArrivalProcess) -> Self {
+        process.validate();
+        Self {
+            process,
+            phase: None,
+        }
+    }
+
+    /// The next arrival instant strictly after `now`. Draws from `rng`
+    /// only — same `(process, rng state, now)` always yields the same
+    /// instant.
+    pub fn next_after(&mut self, now: VirtualNs, rng: &mut StdRng) -> VirtualNs {
+        match self.process {
+            ArrivalProcess::Poisson { rate_hz } => {
+                now.saturating_add(secs_to_ns(sample_exp(rng, rate_hz)))
+            }
+            ArrivalProcess::OnOff {
+                rate_hz,
+                mean_on_s,
+                mean_off_s,
+                pareto_alpha,
+            } => {
+                let mut t = now;
+                let (mut phase_end, mut on) = self.phase.unwrap_or((0, false));
+                loop {
+                    if !on {
+                        // Skip the remainder of the off phase, then open
+                        // an on phase.
+                        t = t.max(phase_end);
+                        phase_end = t.saturating_add(secs_to_ns(sample_pareto(
+                            rng,
+                            mean_on_s,
+                            pareto_alpha,
+                        )));
+                        on = true;
+                    }
+                    let candidate = t.saturating_add(secs_to_ns(sample_exp(rng, rate_hz)));
+                    if candidate < phase_end {
+                        self.phase = Some((phase_end, on));
+                        return candidate;
+                    }
+                    // The on phase ended before the next arrival: go
+                    // dark for a Pareto off phase and retry.
+                    t = phase_end;
+                    phase_end =
+                        t.saturating_add(secs_to_ns(sample_pareto(rng, mean_off_s, pareto_alpha)));
+                    on = false;
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_hz,
+                peak_hz,
+                period_s,
+            } => {
+                // Lewis–Shedler thinning against the peak rate.
+                let mut t = now;
+                loop {
+                    t = t.saturating_add(secs_to_ns(sample_exp(rng, peak_hz)));
+                    let phase = (t as f64 / 1e9) / period_s;
+                    let rate = base_hz
+                        + (peak_hz - base_hz)
+                            * 0.5
+                            * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    if u < rate / peak_hz {
+                        return t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn arrivals(process: ArrivalProcess, seed: u64, n: usize) -> Vec<VirtualNs> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = ArrivalGen::new(process);
+        let mut t = 0;
+        (0..n)
+            .map(|_| {
+                t = gen.next_after(t, &mut rng);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_processes_are_strictly_increasing_and_seed_deterministic() {
+        for p in [
+            ArrivalProcess::Poisson { rate_hz: 1e4 },
+            ArrivalProcess::OnOff {
+                rate_hz: 1e4,
+                mean_on_s: 0.01,
+                mean_off_s: 0.02,
+                pareto_alpha: 1.5,
+            },
+            ArrivalProcess::Diurnal {
+                base_hz: 1e3,
+                peak_hz: 1e4,
+                period_s: 0.5,
+            },
+        ] {
+            let a = arrivals(p.clone(), 42, 500);
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "{p:?} not increasing");
+            assert_eq!(a, arrivals(p.clone(), 42, 500), "{p:?} not deterministic");
+            assert_ne!(a, arrivals(p, 43, 500), "seed ignored");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_roughly_right() {
+        let a = arrivals(ArrivalProcess::Poisson { rate_hz: 1e5 }, 7, 20_000);
+        let span_s = *a.last().unwrap() as f64 / 1e9;
+        let rate = a.len() as f64 / span_s;
+        assert!(
+            (rate - 1e5).abs() / 1e5 < 0.05,
+            "empirical rate {rate} far from 1e5"
+        );
+    }
+
+    #[test]
+    fn onoff_produces_bursts() {
+        // Burstiness signature: the interarrival coefficient of
+        // variation well above the Poisson value of 1.
+        let a = arrivals(
+            ArrivalProcess::OnOff {
+                rate_hz: 1e5,
+                mean_on_s: 0.001,
+                mean_off_s: 0.01,
+                pareto_alpha: 1.3,
+            },
+            11,
+            20_000,
+        );
+        let gaps: Vec<f64> = a.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 2.0, "on/off traffic not bursty: cv {cv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pareto_alpha")]
+    fn heavy_tail_without_a_mean_is_rejected() {
+        ArrivalGen::new(ArrivalProcess::OnOff {
+            rate_hz: 1.0,
+            mean_on_s: 1.0,
+            mean_off_s: 1.0,
+            pareto_alpha: 1.0,
+        });
+    }
+}

@@ -1,0 +1,246 @@
+//! Input-distribution drift detection.
+//!
+//! The serving tier streams every evaluated payload into a per-function
+//! [`InputHistogramSnapshot`]. The retuner's question is "does live
+//! traffic still look like the distribution the current table was tuned
+//! for?" — answered here with a **population-stability-style score**
+//! ([`population_stability`]): the symmetrized KL-shaped sum
+//! `Σ (qᵢ − pᵢ)·ln(qᵢ/pᵢ)` over smoothed bucket densities. Zero for
+//! identical distributions, growing without bound as mass moves;
+//! conventional credit-risk practice reads `< 0.1` as stable and
+//! `> 0.25` as a real shift, which is where
+//! [`DriftThreshold::default`] sits.
+
+use flexsfu_serve::InputHistogramSnapshot;
+
+/// Smoothing floor added to every bucket density so empty buckets do
+/// not blow the logarithm up to infinity.
+pub const PSI_EPSILON: f64 = 1e-6;
+
+/// A typed drift threshold on the population-stability score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftThreshold(f64);
+
+impl DriftThreshold {
+    /// Wraps a threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `score > 0` and finite.
+    pub fn new(score: f64) -> Self {
+        assert!(score > 0.0 && score.is_finite(), "bad threshold {score}");
+        Self(score)
+    }
+
+    /// The wrapped score.
+    pub fn score(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for DriftThreshold {
+    /// The conventional "significant shift" PSI level, 0.25.
+    fn default() -> Self {
+        Self(0.25)
+    }
+}
+
+/// Population-stability score between a reference and a live histogram.
+/// Symmetric, zero iff the (smoothed, clamped) densities agree,
+/// unbounded above. Out-of-range mass is folded into the edge buckets
+/// ([`InputHistogramSnapshot::clamped_counts`]) so escaping the range
+/// counts as drift rather than vanishing.
+///
+/// # Panics
+///
+/// Panics if the histograms have different ranges or bucket counts —
+/// scores across shapes are meaningless.
+pub fn population_stability(
+    reference: &InputHistogramSnapshot,
+    live: &InputHistogramSnapshot,
+) -> f64 {
+    assert!(
+        reference.lo == live.lo
+            && reference.hi == live.hi
+            && reference.counts.len() == live.counts.len(),
+        "histogram shapes differ: [{}, {}) x{} vs [{}, {}) x{}",
+        reference.lo,
+        reference.hi,
+        reference.counts.len(),
+        live.lo,
+        live.hi,
+        live.counts.len(),
+    );
+    let p_counts = reference.clamped_counts();
+    let q_counts = live.clamped_counts();
+    let p_total: u64 = p_counts.iter().sum();
+    let q_total: u64 = q_counts.iter().sum();
+    if p_total == 0 || q_total == 0 {
+        // No evidence on one side: indistinguishable by construction.
+        return 0.0;
+    }
+    let mut score = 0.0;
+    for (&pc, &qc) in p_counts.iter().zip(&q_counts) {
+        let p = pc as f64 / p_total as f64 + PSI_EPSILON;
+        let q = qc as f64 / q_total as f64 + PSI_EPSILON;
+        score += (q - p) * (q / p).ln();
+    }
+    score
+}
+
+/// What one drift check concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftVerdict {
+    /// Not enough live samples to say anything yet.
+    Insufficient {
+        /// Samples seen so far.
+        samples: u64,
+        /// Samples required.
+        needed: u64,
+    },
+    /// Live traffic matches the reference within the threshold.
+    Stable {
+        /// The measured score.
+        score: f64,
+    },
+    /// Live traffic has shifted past the threshold.
+    Drifted {
+        /// The measured score.
+        score: f64,
+    },
+}
+
+/// A drift detector: a pinned reference distribution, a typed
+/// threshold, and a minimum-evidence gate.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    reference: InputHistogramSnapshot,
+    threshold: DriftThreshold,
+    min_samples: u64,
+}
+
+impl DriftDetector {
+    /// Pins `reference` (the tuning-time input distribution) as the
+    /// baseline.
+    pub fn new(
+        reference: InputHistogramSnapshot,
+        threshold: DriftThreshold,
+        min_samples: u64,
+    ) -> Self {
+        Self {
+            reference,
+            threshold,
+            min_samples,
+        }
+    }
+
+    /// The pinned baseline.
+    pub fn reference(&self) -> &InputHistogramSnapshot {
+        &self.reference
+    }
+
+    /// Scores `live` against the baseline. Deterministic: same
+    /// histograms, same verdict (including the score's bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, as [`population_stability`] does.
+    pub fn observe(&self, live: &InputHistogramSnapshot) -> DriftVerdict {
+        let samples = live.total();
+        if samples < self.min_samples {
+            return DriftVerdict::Insufficient {
+                samples,
+                needed: self.min_samples,
+            };
+        }
+        let score = population_stability(&self.reference, live);
+        if score > self.threshold.score() {
+            DriftVerdict::Drifted { score }
+        } else {
+            DriftVerdict::Stable { score }
+        }
+    }
+
+    /// Re-pins the baseline — called after a retune publishes, so the
+    /// next comparison is against the distribution the *new* table was
+    /// tuned for.
+    pub fn rebase(&mut self, reference: InputHistogramSnapshot) {
+        self.reference = reference;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(counts: &[u64]) -> InputHistogramSnapshot {
+        let mut h = InputHistogramSnapshot::empty(-8.0, 8.0, counts.len());
+        h.counts.copy_from_slice(counts);
+        h
+    }
+
+    #[test]
+    fn identical_distributions_score_zero() {
+        let h = hist(&[10, 20, 30, 40]);
+        assert_eq!(population_stability(&h, &h), 0.0);
+        // Scale invariance: same shape, 10x the mass.
+        let big = hist(&[100, 200, 300, 400]);
+        assert!(population_stability(&h, &big).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_grows_with_separation() {
+        let reference = hist(&[100, 100, 0, 0]);
+        let nudged = hist(&[90, 110, 0, 0]);
+        let flipped = hist(&[0, 0, 100, 100]);
+        let small = population_stability(&reference, &nudged);
+        let large = population_stability(&reference, &flipped);
+        assert!(small > 0.0 && small < 0.1, "nudge scored {small}");
+        assert!(large > 1.0, "flip scored {large}");
+        // Symmetric.
+        assert_eq!(large, population_stability(&flipped, &reference));
+    }
+
+    #[test]
+    fn out_of_range_mass_counts_as_drift() {
+        let reference = hist(&[50, 50, 50, 50]);
+        let mut live = hist(&[50, 50, 50, 50]);
+        live.above = 500; // most traffic escaped the table's range
+        assert!(population_stability(&reference, &live) > 0.25);
+    }
+
+    #[test]
+    fn detector_gates_on_evidence_then_thresholds() {
+        let reference = hist(&[100, 100, 100, 100]);
+        let detector = DriftDetector::new(reference, DriftThreshold::default(), 64);
+        assert_eq!(
+            detector.observe(&hist(&[1, 0, 0, 0])),
+            DriftVerdict::Insufficient {
+                samples: 1,
+                needed: 64
+            }
+        );
+        assert!(matches!(
+            detector.observe(&hist(&[25, 25, 25, 25])),
+            DriftVerdict::Stable { .. }
+        ));
+        assert!(matches!(
+            detector.observe(&hist(&[100, 0, 0, 0])),
+            DriftVerdict::Drifted { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn shape_mismatch_is_refused() {
+        population_stability(&hist(&[1, 2]), &hist(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_sides_are_inconclusive_not_drifted() {
+        let empty = hist(&[0, 0, 0, 0]);
+        let busy = hist(&[10, 10, 10, 10]);
+        assert_eq!(population_stability(&empty, &busy), 0.0);
+        assert_eq!(population_stability(&busy, &empty), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The online adaptive retuning loop.
+//!
+//! An [`AdaptiveRetuner`] watches functions in a live
+//! [`FunctionRegistry`]. Each [`AdaptiveRetuner::poll`]:
+//!
+//! 1. drains the function's windowed input histogram
+//!    ([`FunctionRegistry::drain_input_histogram`]) and folds it into a
+//!    running live window,
+//! 2. scores the window against the tuning-time reference with the
+//!    [`DriftDetector`],
+//! 3. on a [`DriftVerdict::Drifted`] verdict, re-runs the tuner with
+//!    error **weighted by the observed histogram**
+//!    ([`flexsfu_tune::tune_named_weighted`]) and publishes the winner
+//!    through the registry's race-pinned hot swap
+//!    ([`FunctionRegistry::publish`]) — traffic keeps flowing, the next
+//!    flush picks up the new table,
+//! 4. rebases the detector on the drifted window and starts a fresh
+//!    one.
+//!
+//! `poll()` is deliberately **steppable**: it takes no time, reads no
+//! clock, and its emitted [`RetuneEvent`] sequence is a pure function
+//! of the histogram states it observed — which is exactly what the
+//! deterministic-replay battery pins down. [`AdaptiveRetuner::spawn`]
+//! wraps the same loop in a background thread for production use.
+
+use crate::drift::{DriftDetector, DriftThreshold, DriftVerdict};
+use flexsfu_serve::{FunctionId, FunctionRegistry, InputHistogramSnapshot};
+use flexsfu_tune::{tune_named_weighted, GridWeights, TuneBudget, TuneOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the retuner reacts to drift.
+#[derive(Debug, Clone)]
+pub struct RetunePolicy {
+    /// Drift score above which a retune fires.
+    pub threshold: DriftThreshold,
+    /// Minimum live samples before a verdict is attempted.
+    pub min_samples: u64,
+    /// Budget for the weighted re-tune.
+    pub budget: TuneBudget,
+    /// Sweep configuration for the weighted re-tune.
+    pub opts: TuneOptions,
+}
+
+impl RetunePolicy {
+    /// Default thresholds over a quick sweep with the given budget.
+    pub fn quick(budget: TuneBudget) -> Self {
+        Self {
+            threshold: DriftThreshold::default(),
+            min_samples: 1024,
+            budget,
+            opts: TuneOptions::quick(),
+        }
+    }
+}
+
+/// One decision the retuner took for one watched function during a
+/// poll. The sequence of these is the loop's observable behaviour —
+/// the replay battery asserts it reproduces bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetuneEvent {
+    /// Not enough evidence accumulated yet.
+    Insufficient {
+        /// Function name.
+        function: String,
+        /// Live samples so far.
+        samples: u64,
+    },
+    /// Live traffic still matches the tuning-time distribution.
+    Stable {
+        /// Function name.
+        function: String,
+        /// Drift score.
+        score: f64,
+    },
+    /// Drift detected; a weighted retune ran and its winner was
+    /// published.
+    Retuned {
+        /// Function name.
+        function: String,
+        /// Drift score that triggered the retune.
+        score: f64,
+        /// The published winner's breakpoint count.
+        breakpoints: usize,
+        /// The published winner's backend label.
+        backend: String,
+    },
+    /// Drift detected but the retune or the publish failed; the old
+    /// table keeps serving and the window keeps accumulating.
+    Failed {
+        /// Function name.
+        function: String,
+        /// Drift score that triggered the attempt.
+        score: f64,
+        /// What went wrong.
+        error: String,
+    },
+}
+
+/// Errors installing a watch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetuneError {
+    /// The registry has no function by that name.
+    UnknownFunction(String),
+    /// The function is already being watched.
+    AlreadyWatched(String),
+}
+
+impl std::fmt::Display for RetuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetuneError::UnknownFunction(n) => write!(f, "unknown function {n:?}"),
+            RetuneError::AlreadyWatched(n) => write!(f, "{n:?} is already watched"),
+        }
+    }
+}
+
+impl std::error::Error for RetuneError {}
+
+struct Watched {
+    id: FunctionId,
+    name: String,
+    detector: DriftDetector,
+    /// Live window accumulated since the last retune (or watch start).
+    window: InputHistogramSnapshot,
+}
+
+/// The adaptive retuning loop. See the module docs for the lifecycle.
+pub struct AdaptiveRetuner {
+    registry: Arc<FunctionRegistry>,
+    policy: RetunePolicy,
+    watched: Vec<Watched>,
+}
+
+impl AdaptiveRetuner {
+    /// A retuner over `registry` with `policy`.
+    pub fn new(registry: Arc<FunctionRegistry>, policy: RetunePolicy) -> Self {
+        Self {
+            registry,
+            policy,
+            watched: Vec::new(),
+        }
+    }
+
+    /// Watches `name`, pinning `reference` as the tuning-time input
+    /// distribution its live traffic is compared against. The live
+    /// window starts empty; any histogram mass the registry already
+    /// accumulated is drained away so the watch starts clean.
+    ///
+    /// # Errors
+    ///
+    /// [`RetuneError::UnknownFunction`] if the registry does not know
+    /// `name`; [`RetuneError::AlreadyWatched`] on a duplicate watch.
+    pub fn watch(
+        &mut self,
+        name: &str,
+        reference: InputHistogramSnapshot,
+    ) -> Result<(), RetuneError> {
+        let id = self
+            .registry
+            .id_of(name)
+            .ok_or_else(|| RetuneError::UnknownFunction(name.to_string()))?;
+        if self.watched.iter().any(|w| w.name == name) {
+            return Err(RetuneError::AlreadyWatched(name.to_string()));
+        }
+        let drained = self
+            .registry
+            .drain_input_histogram(id)
+            .expect("id came from this registry");
+        let mut window = drained;
+        window.clear();
+        self.watched.push(Watched {
+            id,
+            name: name.to_string(),
+            detector: DriftDetector::new(reference, self.policy.threshold, self.policy.min_samples),
+            window,
+        });
+        Ok(())
+    }
+
+    /// Watches `name` against whatever input distribution the registry
+    /// has accumulated *right now* — the "trust the warmup traffic"
+    /// variant of [`Self::watch`]: the drained histogram becomes the
+    /// reference and the live window starts empty.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::watch`].
+    pub fn watch_current(&mut self, name: &str) -> Result<(), RetuneError> {
+        let id = self
+            .registry
+            .id_of(name)
+            .ok_or_else(|| RetuneError::UnknownFunction(name.to_string()))?;
+        let reference = self
+            .registry
+            .drain_input_histogram(id)
+            .expect("id came from this registry");
+        if self.watched.iter().any(|w| w.name == name) {
+            return Err(RetuneError::AlreadyWatched(name.to_string()));
+        }
+        let mut window = reference.clone();
+        window.clear();
+        self.watched.push(Watched {
+            id,
+            name: name.to_string(),
+            detector: DriftDetector::new(reference, self.policy.threshold, self.policy.min_samples),
+            window,
+        });
+        Ok(())
+    }
+
+    /// Names currently under watch, in watch order.
+    pub fn watched(&self) -> Vec<&str> {
+        self.watched.iter().map(|w| w.name.as_str()).collect()
+    }
+
+    /// One steppable pass over every watched function: drain, score,
+    /// and — on drift — retune and publish. Returns one event per
+    /// watched function, in watch order.
+    ///
+    /// Determinism contract: given the same registry histogram states,
+    /// the same events come out (scores bit-equal, winners identical),
+    /// because the tuner itself is deterministic.
+    pub fn poll(&mut self) -> Vec<RetuneEvent> {
+        let mut events = Vec::with_capacity(self.watched.len());
+        for w in &mut self.watched {
+            if let Some(drained) = self.registry.drain_input_histogram(w.id) {
+                w.window.merge(&drained);
+            }
+            let event = match w.detector.observe(&w.window) {
+                DriftVerdict::Insufficient { samples, .. } => RetuneEvent::Insufficient {
+                    function: w.name.clone(),
+                    samples,
+                },
+                DriftVerdict::Stable { score } => RetuneEvent::Stable {
+                    function: w.name.clone(),
+                    score,
+                },
+                DriftVerdict::Drifted { score } => {
+                    let weights = GridWeights::from_histogram(&w.window);
+                    let outcome = tune_named_weighted(
+                        &w.name,
+                        &self.policy.budget,
+                        &self.policy.opts,
+                        &weights,
+                    )
+                    .map_err(|e| e.to_string())
+                    .and_then(|plan| {
+                        self.registry
+                            .publish(w.id, plan.table.compile())
+                            .map(|_| plan)
+                            .map_err(|e| e.to_string())
+                    });
+                    match outcome {
+                        Ok(plan) => {
+                            // The drifted window is the new normal.
+                            w.detector.rebase(w.window.clone());
+                            w.window.clear();
+                            RetuneEvent::Retuned {
+                                function: w.name.clone(),
+                                score,
+                                breakpoints: plan.winner().config.breakpoints,
+                                backend: plan.winner().config.backend.backend_label().to_string(),
+                            }
+                        }
+                        Err(error) => RetuneEvent::Failed {
+                            function: w.name.clone(),
+                            score,
+                            error,
+                        },
+                    }
+                }
+            };
+            events.push(event);
+        }
+        events
+    }
+
+    /// Runs the loop on a background thread, polling every `interval`.
+    /// The returned handle collects every emitted event;
+    /// [`RetunerHandle::stop`] joins the thread and hands them back.
+    pub fn spawn(self, interval: Duration) -> RetunerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let events: Arc<Mutex<Vec<RetuneEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread_events = Arc::clone(&events);
+        let join = std::thread::Builder::new()
+            .name("flexsfu-retuner".into())
+            .spawn(move || {
+                let mut retuner = self;
+                while !thread_stop.load(Ordering::Acquire) {
+                    let batch = retuner.poll();
+                    thread_events
+                        .lock()
+                        .expect("event log poisoned")
+                        .extend(batch);
+                    std::thread::park_timeout(interval);
+                }
+            })
+            .expect("spawn retuner thread");
+        RetunerHandle { stop, events, join }
+    }
+}
+
+/// Handle to a spawned background retuner.
+pub struct RetunerHandle {
+    stop: Arc<AtomicBool>,
+    events: Arc<Mutex<Vec<RetuneEvent>>>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl RetunerHandle {
+    /// Snapshot of the events emitted so far.
+    pub fn events(&self) -> Vec<RetuneEvent> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// Stops the loop, joins the thread, and returns the full event
+    /// log.
+    pub fn stop(self) -> Vec<RetuneEvent> {
+        self.stop.store(true, Ordering::Release);
+        self.join.thread().unpark();
+        self.join.join().expect("retuner thread panicked");
+        Arc::try_unwrap(self.events)
+            .map(|m| m.into_inner().expect("event log poisoned"))
+            .unwrap_or_else(|arc| arc.lock().expect("event log poisoned").clone())
+    }
+}

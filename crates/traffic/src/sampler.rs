@@ -1,0 +1,270 @@
+//! Per-function input samplers.
+//!
+//! A workload is only as realistic as its payloads: softmax `exp`
+//! inputs are shifted logits in `(-∞, 0]`, layer-norm `rsqrt`
+//! arguments are small positive variances, GELU pre-activations are
+//! roughly centred bell shapes. These samplers produce those shapes
+//! (parametrically, or empirically by inverting a measured histogram —
+//! e.g. one from `flexsfu_nn::stats` or a serving registry's
+//! [`flexsfu_serve::InputHistogramSnapshot`]) from the caller's seeded
+//! RNG, so payload streams are bit-reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A seeded request-payload distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSampler {
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Lower edge.
+        lo: f64,
+        /// Upper edge, `> lo`.
+        hi: f64,
+    },
+    /// Gaussian via Box–Muller, clamped into `[clamp.0, clamp.1]` so
+    /// payloads stay inside a table's breakpoint span.
+    Gaussian {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation, `> 0`.
+        std: f64,
+        /// Hard clamp applied after sampling.
+        clamp: (f64, f64),
+    },
+    /// Shifted softmax logits: each request draws `len` raw logits
+    /// `N(0, temp²)` and subtracts their max, landing every value in
+    /// `(-∞, 0]` with exactly one zero per request — the distribution
+    /// the attention probe measures.
+    SoftmaxLogits {
+        /// Raw logit spread (higher ⇒ colder softmax, wider tail).
+        temp: f64,
+        /// Clamp floor (values below are clamped up), keeps payloads
+        /// inside the `exp` table's range.
+        floor: f64,
+    },
+    /// Log-normal positives: `exp(N(mean_log, sigma_log²))`, the shape
+    /// of layer-norm variances feeding `rsqrt`, clamped to `[lo, hi]`.
+    RsqrtVariance {
+        /// Mean of the underlying normal (log-space).
+        mean_log: f64,
+        /// Std-dev of the underlying normal (log-space), `> 0`.
+        sigma_log: f64,
+        /// Hard clamp applied after sampling.
+        clamp: (f64, f64),
+    },
+    /// Inverse-CDF sampling from a measured fixed-bucket histogram over
+    /// `[lo, hi)`: pick a bucket by mass, then uniform within it.
+    Empirical {
+        /// Histogram lower edge.
+        lo: f64,
+        /// Histogram upper edge, `> lo`.
+        hi: f64,
+        /// Cumulative bucket mass, strictly positive total, last entry
+        /// equals the total. Built by [`InputSampler::empirical`].
+        cdf: Vec<u64>,
+    },
+}
+
+/// One standard-normal draw (Box–Muller, two uniforms — fixed RNG
+/// consumption per call keeps streams aligned across platforms).
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(0.0..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    // 1 − u1 ∈ (0, 1]: ln never sees zero.
+    (-2.0 * (1.0 - u1).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl InputSampler {
+    /// Builds an [`InputSampler::Empirical`] from per-bucket counts
+    /// over `[lo, hi)`. An all-zero (or empty) histogram carries no
+    /// information and degrades to [`InputSampler::Uniform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either edge is non-finite.
+    pub fn empirical(lo: f64, hi: f64, counts: &[u64]) -> Self {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad empirical range [{lo}, {hi})"
+        );
+        let mut acc = 0u64;
+        let cdf: Vec<u64> = counts
+            .iter()
+            .map(|&c| {
+                acc = acc.checked_add(c).expect("histogram mass overflows u64");
+                acc
+            })
+            .collect();
+        if acc == 0 {
+            return InputSampler::Uniform { lo, hi };
+        }
+        InputSampler::Empirical { lo, hi, cdf }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty ranges, non-positive spreads, or a malformed
+    /// empirical CDF.
+    pub fn validate(&self) {
+        match self {
+            InputSampler::Uniform { lo, hi } => {
+                assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range");
+            }
+            InputSampler::Gaussian { std, clamp, .. } => {
+                assert!(*std > 0.0 && std.is_finite(), "bad std {std}");
+                assert!(clamp.0 < clamp.1, "bad clamp {clamp:?}");
+            }
+            InputSampler::SoftmaxLogits { temp, floor } => {
+                assert!(*temp > 0.0 && temp.is_finite(), "bad temp {temp}");
+                assert!(*floor < 0.0, "floor must be negative, got {floor}");
+            }
+            InputSampler::RsqrtVariance {
+                sigma_log, clamp, ..
+            } => {
+                assert!(*sigma_log > 0.0 && sigma_log.is_finite(), "bad sigma");
+                assert!(clamp.0 < clamp.1 && clamp.0 > 0.0, "bad clamp {clamp:?}");
+            }
+            InputSampler::Empirical { lo, hi, cdf } => {
+                assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range");
+                assert!(!cdf.is_empty(), "empty empirical cdf");
+                assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "cdf not monotone");
+                assert!(*cdf.last().unwrap() > 0, "zero-mass empirical cdf");
+            }
+        }
+    }
+
+    /// Draws one request payload of `len` elements. Every value is
+    /// finite. Consumes `rng` sequentially, so equal seeds give equal
+    /// payload streams.
+    pub fn sample(&self, rng: &mut StdRng, len: usize) -> Vec<f64> {
+        match self {
+            InputSampler::Uniform { lo, hi } => (0..len).map(|_| rng.gen_range(*lo..*hi)).collect(),
+            InputSampler::Gaussian { mean, std, clamp } => (0..len)
+                .map(|_| (mean + std * sample_standard_normal(rng)).clamp(clamp.0, clamp.1))
+                .collect(),
+            InputSampler::SoftmaxLogits { temp, floor } => {
+                let raw: Vec<f64> = (0..len)
+                    .map(|_| temp * sample_standard_normal(rng))
+                    .collect();
+                let max = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                if !max.is_finite() {
+                    return vec![0.0; len];
+                }
+                raw.iter().map(|&v| (v - max).max(*floor)).collect()
+            }
+            InputSampler::RsqrtVariance {
+                mean_log,
+                sigma_log,
+                clamp,
+            } => (0..len)
+                .map(|_| {
+                    (mean_log + sigma_log * sample_standard_normal(rng))
+                        .exp()
+                        .clamp(clamp.0, clamp.1)
+                })
+                .collect(),
+            InputSampler::Empirical { lo, hi, cdf } => {
+                let total = *cdf.last().expect("validated non-empty");
+                let width = (hi - lo) / cdf.len() as f64;
+                (0..len)
+                    .map(|_| {
+                        let u: u64 = rng.gen_range(0..total);
+                        // First bucket whose cumulative mass exceeds u.
+                        let b = cdf.partition_point(|&c| c <= u);
+                        let frac: f64 = rng.gen_range(0.0..1.0);
+                        lo + (b as f64 + frac) * width
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draws(s: &InputSampler, seed: u64, n: usize) -> Vec<f64> {
+        s.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        s.sample(&mut rng, n)
+    }
+
+    #[test]
+    fn every_sampler_is_finite_and_seed_deterministic() {
+        let samplers = [
+            InputSampler::Uniform { lo: -8.0, hi: 8.0 },
+            InputSampler::Gaussian {
+                mean: 0.5,
+                std: 2.0,
+                clamp: (-8.0, 8.0),
+            },
+            InputSampler::SoftmaxLogits {
+                temp: 3.0,
+                floor: -10.0,
+            },
+            InputSampler::RsqrtVariance {
+                mean_log: -1.0,
+                sigma_log: 0.8,
+                clamp: (1e-6, 16.0),
+            },
+            InputSampler::empirical(-8.0, 8.0, &[0, 5, 10, 5, 0, 0, 0, 1]),
+        ];
+        for s in &samplers {
+            let a = draws(s, 9, 4096);
+            assert!(a.iter().all(|v| v.is_finite()), "{s:?} non-finite");
+            assert_eq!(a, draws(s, 9, 4096), "{s:?} not deterministic");
+            assert_ne!(a, draws(s, 10, 4096), "{s:?} ignores seed");
+        }
+    }
+
+    #[test]
+    fn softmax_logits_are_nonpositive_with_one_zero_per_request() {
+        let s = InputSampler::SoftmaxLogits {
+            temp: 2.0,
+            floor: -10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let req = s.sample(&mut rng, 16);
+            assert!(req.iter().all(|&v| (-10.0..=0.0).contains(&v)));
+            assert_eq!(req.iter().filter(|&&v| v == 0.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn rsqrt_variances_are_positive() {
+        let s = InputSampler::RsqrtVariance {
+            mean_log: -2.0,
+            sigma_log: 1.0,
+            clamp: (1e-6, 16.0),
+        };
+        assert!(draws(&s, 5, 4096).iter().all(|&v| v >= 1e-6));
+    }
+
+    #[test]
+    fn empirical_sampling_respects_bucket_mass() {
+        // All mass in the top quarter of [-8, 8): samples land in [4, 8).
+        let mut counts = vec![0u64; 8];
+        counts[6] = 10;
+        counts[7] = 30;
+        let s = InputSampler::empirical(-8.0, 8.0, &counts);
+        let a = draws(&s, 21, 8192);
+        assert!(a.iter().all(|&v| (4.0..8.0).contains(&v)));
+        // ~3:1 split between the two hot buckets.
+        let top = a.iter().filter(|&&v| v >= 6.0).count() as f64 / a.len() as f64;
+        assert!((top - 0.75).abs() < 0.05, "top-bucket share {top}");
+    }
+
+    #[test]
+    fn empty_empirical_degrades_to_uniform() {
+        assert_eq!(
+            InputSampler::empirical(-1.0, 1.0, &[0, 0, 0]),
+            InputSampler::Uniform { lo: -1.0, hi: 1.0 }
+        );
+    }
+}

@@ -80,6 +80,29 @@ pub(crate) fn max_ulp_at_1(got: &[f64], truth: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// [`max_ulp_at_1`] with each grid point's error scaled by its weight:
+/// `max_i w_i * e_i`. A zero-weight point is skipped outright (its
+/// error is irrelevant even when infinite — `0 * inf` must not inject
+/// NaN), and a flat weight vector (all exactly `1.0`) reproduces
+/// [`max_ulp_at_1`] bit-for-bit, because `e * 1.0 == e` exactly.
+pub(crate) fn max_weighted_ulp_at_1(got: &[f64], truth: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(got.len(), truth.len());
+    assert_eq!(got.len(), weights.len());
+    got.iter()
+        .zip(truth)
+        .zip(weights)
+        .filter(|(_, &w)| w > 0.0)
+        .map(|((&g, &t), &w)| {
+            let e = ulp::error_in_ulps_at(g, t, FloatFormat::FP16, 1.0);
+            if e.is_nan() {
+                f64::INFINITY
+            } else {
+                e * w
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
 /// Measures `config` on a compiled table: evaluates `grid` through the
 /// candidate's datapath, compares against `truth` (scalar f64 values of
 /// the source function at the same grid), and prices a flush of
@@ -101,17 +124,57 @@ pub fn evaluate_candidate(
     config: CandidateConfig,
     probe_elems: usize,
 ) -> Result<CandidateReport, LowerError> {
+    evaluate_candidate_inner(engine, grid, truth, None, config, probe_elems)
+}
+
+/// [`evaluate_candidate`] under a resolved per-grid-point weight vector
+/// (see [`crate::GridWeights`]): the reported `ulp_at_1` becomes the
+/// **weighted** max `w_i * e_i`, so error where the observed input
+/// distribution puts no mass stops counting against the candidate.
+/// With all weights exactly `1.0` the result is bit-identical to the
+/// unweighted measurement.
+///
+/// # Errors
+///
+/// As for [`evaluate_candidate`].
+///
+/// # Panics
+///
+/// As for [`evaluate_candidate`], plus mismatched `weights` length.
+pub fn evaluate_candidate_weighted(
+    engine: &CompiledPwl,
+    grid: &[f64],
+    truth: &[f64],
+    weights: &[f64],
+    config: CandidateConfig,
+    probe_elems: usize,
+) -> Result<CandidateReport, LowerError> {
+    evaluate_candidate_inner(engine, grid, truth, Some(weights), config, probe_elems)
+}
+
+fn evaluate_candidate_inner(
+    engine: &CompiledPwl,
+    grid: &[f64],
+    truth: &[f64],
+    weights: Option<&[f64]>,
+    config: CandidateConfig,
+    probe_elems: usize,
+) -> Result<CandidateReport, LowerError> {
     assert_eq!(grid.len(), truth.len(), "grid and truth must align");
     assert!(
         probe_elems > 0,
         "probe flush must hold at least one element"
     );
+    let score = |got: &[f64]| match weights {
+        Some(w) => max_weighted_ulp_at_1(got, truth, w),
+        None => max_ulp_at_1(got, truth),
+    };
     match config.backend {
         BackendChoice::Native => {
             let got = engine.eval_batch(grid);
             Ok(CandidateReport {
                 config,
-                ulp_at_1: max_ulp_at_1(&got, truth),
+                ulp_at_1: score(&got),
                 cycles_per_elem: native_cycles_per_elem(engine.num_segments()),
                 energy_nj_per_elem: 0.0,
                 area_um2: 0.0,
@@ -124,7 +187,7 @@ pub fn evaluate_candidate(
             let est = program.estimate(probe_elems);
             Ok(CandidateReport {
                 config,
-                ulp_at_1: max_ulp_at_1(&got, truth),
+                ulp_at_1: score(&got),
                 cycles_per_elem: est.cycles as f64 / probe_elems as f64,
                 energy_nj_per_elem: est.energy_nj / probe_elems as f64,
                 area_um2: est.area_um2,
@@ -232,6 +295,25 @@ mod tests {
             64,
         );
         assert_eq!(err.unwrap_err(), LowerError::BreakpointCollision);
+    }
+
+    #[test]
+    fn weighted_error_scales_skips_zero_mass_and_degrades_flat() {
+        let got = [1.0, 2.0, 3.0];
+        let truth = [1.0, 1.0, 1.0];
+        let unweighted = max_ulp_at_1(&got, &truth);
+        // Flat weights (exactly 1.0) are bit-identical to unweighted.
+        let flat = max_weighted_ulp_at_1(&got, &truth, &[1.0, 1.0, 1.0]);
+        assert_eq!(flat.to_bits(), unweighted.to_bits());
+        // Zero weight silences a point — even an infinitely wrong one.
+        let silenced = max_weighted_ulp_at_1(&[1.0, f64::NAN], &[1.0, 1.0], &[1.0, 0.0]);
+        assert_eq!(silenced, 0.0);
+        // Weight scales the error it keeps.
+        let half = max_weighted_ulp_at_1(&got, &truth, &[0.0, 0.0, 0.5]);
+        assert_eq!(
+            half.to_bits(),
+            (0.5 * max_ulp_at_1(&[3.0], &[1.0])).to_bits()
+        );
     }
 
     #[test]

@@ -36,6 +36,16 @@
 //! free: implement the trait, add a [`BackendChoice`], and the tuner
 //! prices it against the rest of the space.
 //!
+//! When serving statistics exist, the same sweep can measure
+//! **distribution-weighted** error instead ([`tune_weighted`] /
+//! [`tune_named_weighted`]): a [`GridWeights`] built from a serving
+//! registry's input histogram scales each grid point's ULP deviation by
+//! the density live traffic puts there, so candidates are only charged
+//! for error where inputs actually land — the measurement the adaptive
+//! retuning loop in `flexsfu-traffic` re-runs when the observed
+//! distribution drifts. Flat weights reproduce the uniform sweep
+//! bit-for-bit.
+//!
 //! # Example
 //!
 //! ```
@@ -60,11 +70,14 @@ pub mod pareto;
 mod plan;
 mod space;
 mod tuner;
+mod weights;
 
 pub use budget::{Objective, TuneBudget};
-pub use candidate::{native_cycles_per_elem, CandidateReport};
+pub use candidate::{evaluate_candidate_weighted, native_cycles_per_elem, CandidateReport};
 pub use plan::{tune_and_bind, tune_and_bind_all, TunedPlan};
 pub use space::{BackendChoice, CandidateConfig, TuneSpace};
 pub use tuner::{
-    tune, tune_named, tune_table, SkippedCandidate, TuneError, TuneOptions, TuneReport,
+    tune, tune_named, tune_named_weighted, tune_table, tune_weighted, SkippedCandidate, TuneError,
+    TuneOptions, TuneReport,
 };
+pub use weights::GridWeights;

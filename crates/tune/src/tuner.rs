@@ -1,10 +1,11 @@
 //! The sweep itself: enumerate, measure, filter, select.
 
 use crate::budget::{Objective, TuneBudget};
-use crate::candidate::{evaluate_candidate, CandidateReport};
+use crate::candidate::{evaluate_candidate, evaluate_candidate_weighted, CandidateReport};
 use crate::pareto::pareto_frontier;
 use crate::plan::TunedPlan;
 use crate::space::{CandidateConfig, TuneSpace};
+use crate::weights::GridWeights;
 use flexsfu_backend::LowerError;
 use flexsfu_core::PwlFunction;
 use flexsfu_funcs::Activation;
@@ -258,9 +259,14 @@ fn sweep(
     range: (f64, f64),
     budget: &TuneBudget,
     opts: &TuneOptions,
+    weights: Option<&GridWeights>,
 ) -> Result<TunedPlan, TuneError> {
     let grid = measurement_grid(range, opts.grid_points);
     let truth: Vec<f64> = grid.iter().map(|&x| truth_of(x)).collect();
+    // Resolve the weight of every grid point once per sweep, not per
+    // candidate; flat weights (all exactly 1.0) take the unweighted
+    // path so the measurements stay bit-identical by construction.
+    let resolved = weights.filter(|w| !w.is_flat()).map(|w| w.resolve(&grid));
     let backends = opts.space.backends(range);
 
     let mut candidates = Vec::new();
@@ -272,7 +278,13 @@ fn sweep(
                 breakpoints,
                 backend,
             };
-            match evaluate_candidate(&engine, &grid, &truth, config, opts.probe_elems) {
+            let measured = match &resolved {
+                Some(w) => {
+                    evaluate_candidate_weighted(&engine, &grid, &truth, w, config, opts.probe_elems)
+                }
+                None => evaluate_candidate(&engine, &grid, &truth, config, opts.probe_elems),
+            };
+            match measured {
                 Ok(report) => candidates.push(report),
                 Err(reason) => skipped.push(SkippedCandidate { config, reason }),
             }
@@ -346,6 +358,41 @@ pub fn tune(
     budget: &TuneBudget,
     opts: &TuneOptions,
 ) -> Result<TunedPlan, TuneError> {
+    tune_inner(f, budget, opts, None)
+}
+
+/// [`tune`] with the error metric weighted by an observed input
+/// distribution ([`GridWeights`], typically built from a serving
+/// registry's [`flexsfu_serve::InputHistogramSnapshot`]): each grid
+/// point's measured ULP deviation is scaled by the relative density
+/// live traffic puts there before the max is taken. Error in regions
+/// the distribution never visits stops disqualifying cheap candidates,
+/// so a skewed workload can select a smaller table than the uniform
+/// sweep would — while **flat** weights reproduce the uniform sweep
+/// bit-for-bit (same measurements, same winner).
+///
+/// The reported `ulp_at_1` figures (winner, frontier, nearest miss) are
+/// all weighted under the same vector, so the budget's `max_ulp_at_1`
+/// cap is interpreted as a cap on *distribution-weighted* error.
+///
+/// # Errors
+///
+/// As for [`tune`].
+pub fn tune_weighted(
+    f: &dyn Activation,
+    budget: &TuneBudget,
+    opts: &TuneOptions,
+    weights: &GridWeights,
+) -> Result<TunedPlan, TuneError> {
+    tune_inner(f, budget, opts, Some(weights))
+}
+
+fn tune_inner(
+    f: &dyn Activation,
+    budget: &TuneBudget,
+    opts: &TuneOptions,
+    weights: Option<&GridWeights>,
+) -> Result<TunedPlan, TuneError> {
     let range = f.default_range();
     let mut tables = BTreeMap::new();
     for &n in &opts.space.breakpoint_ladder {
@@ -359,7 +406,15 @@ pub fn tune(
             name: f.name().into(),
         });
     }
-    sweep(f.name(), &tables, &|x| f.eval(x), range, budget, opts)
+    sweep(
+        f.name(),
+        &tables,
+        &|x| f.eval(x),
+        range,
+        budget,
+        opts,
+        weights,
+    )
 }
 
 /// [`tune`] for a function named in the `flexsfu-funcs` registry.
@@ -375,6 +430,23 @@ pub fn tune_named(
 ) -> Result<TunedPlan, TuneError> {
     let f = flexsfu_funcs::by_name(name).ok_or_else(|| TuneError::UnknownFunction(name.into()))?;
     tune(f.as_ref(), budget, opts)
+}
+
+/// [`tune_weighted`] for a function named in the `flexsfu-funcs`
+/// registry — the entry point an adaptive retuner calls with the
+/// histogram it drained from serving.
+///
+/// # Errors
+///
+/// As for [`tune_named`].
+pub fn tune_named_weighted(
+    name: &str,
+    budget: &TuneBudget,
+    opts: &TuneOptions,
+    weights: &GridWeights,
+) -> Result<TunedPlan, TuneError> {
+    let f = flexsfu_funcs::by_name(name).ok_or_else(|| TuneError::UnknownFunction(name.into()))?;
+    tune_weighted(f.as_ref(), budget, opts, weights)
 }
 
 /// Tunes a **user-supplied table**: the table itself is the contract
@@ -396,7 +468,7 @@ pub fn tune_table(
     let p = table.breakpoints();
     let range = (p[0], p[p.len() - 1]);
     let tables = BTreeMap::from([(table.num_breakpoints(), table.clone())]);
-    sweep(name, &tables, &|x| table.eval(x), range, budget, opts)
+    sweep(name, &tables, &|x| table.eval(x), range, budget, opts, None)
 }
 
 #[cfg(test)]

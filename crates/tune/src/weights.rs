@@ -1,0 +1,157 @@
+//! Distribution weights for error measurement — how a serving-side
+//! input histogram re-shapes what "worst-case error" means.
+//!
+//! The plain sweep scores a candidate by its max ULP deviation over a
+//! dense *uniform* grid: every point of the tuning range counts the
+//! same, however rarely live traffic visits it. [`GridWeights`] instead
+//! scales each grid point's error by the relative density the observed
+//! input distribution puts there, so a candidate is only charged for
+//! error where traffic actually lands. Two properties make the weighted
+//! sweep well-behaved:
+//!
+//! * **Flat ⇒ uniform, exactly.** A flat histogram (equal counts in
+//!   every bucket) resolves to a weight of exactly `1.0` at every grid
+//!   point, and `e * 1.0` is bit-identical to `e` — so the weighted
+//!   sweep degrades to the unweighted one bit-for-bit, winner and all.
+//! * **Zero mass ⇒ zero charge.** Buckets live traffic never touched
+//!   contribute nothing, letting a smaller/cheaper table win when the
+//!   observed distribution concentrates where the function is easy.
+
+use flexsfu_serve::InputHistogramSnapshot;
+
+/// Piecewise-constant relative density over a tuning range, normalized
+/// so that a flat distribution yields weight `1.0` everywhere (weighted
+/// error then equals unweighted error exactly). Build one from a
+/// serving histogram with [`GridWeights::from_histogram`] and pass it
+/// to [`crate::tune_weighted`] / [`crate::tune_named_weighted`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridWeights {
+    lo: f64,
+    hi: f64,
+    /// Per-bucket relative density: `count_b * buckets / total`.
+    weights: Vec<f64>,
+}
+
+impl GridWeights {
+    /// Uniform weights (`1.0` everywhere) over `[lo, hi)` — the
+    /// explicit spelling of "no distribution information".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn flat(lo: f64, hi: f64) -> Self {
+        Self::from_counts(lo, hi, &[1])
+    }
+
+    /// Weights from raw bucket counts over `[lo, hi)` (equal-width
+    /// buckets). All-zero counts degrade to [`Self::flat`]: an empty
+    /// histogram carries no information, not "charge nothing anywhere".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or the range is not a finite
+    /// non-empty interval.
+    pub fn from_counts(lo: f64, hi: f64, counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "weights need at least one bucket");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "weight range must be finite and non-empty (got [{lo}, {hi}))"
+        );
+        let total: u128 = counts.iter().map(|&c| u128::from(c)).sum();
+        let n = counts.len();
+        let weights = if total == 0 {
+            vec![1.0; n]
+        } else {
+            // `(count * n) / total` as one division: for a flat
+            // histogram the numerator equals `total`, so every weight
+            // is exactly 1.0 — the bit-for-bit degradation guarantee.
+            counts
+                .iter()
+                .map(|&c| (u128::from(c) * n as u128) as f64 / total as f64)
+                .collect()
+        };
+        Self { lo, hi, weights }
+    }
+
+    /// Weights from a serving-side input histogram, with the
+    /// out-of-range tail mass folded into the edge buckets
+    /// ([`InputHistogramSnapshot::clamped_counts`]) — traffic beyond
+    /// the table's span still argues for accuracy at the edges.
+    pub fn from_histogram(h: &InputHistogramSnapshot) -> Self {
+        Self::from_counts(h.lo, h.hi, &h.clamped_counts())
+    }
+
+    /// The relative density at `x`, clamping out-of-range points to the
+    /// nearest bucket (the sweep's grid may extend past the histogram's
+    /// span when the tuning range does).
+    pub fn weight_at(&self, x: f64) -> f64 {
+        let n = self.weights.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let b = if t <= 0.0 {
+            0
+        } else {
+            ((t * n as f64) as usize).min(n - 1)
+        };
+        self.weights[b]
+    }
+
+    /// The weight range covered, `[lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Whether every weight is exactly `1.0` — the uniform case.
+    pub fn is_flat(&self) -> bool {
+        self.weights.iter().all(|&w| w == 1.0)
+    }
+
+    /// Resolves the weight of every grid point once, so the per-
+    /// candidate measurement is a plain zip.
+    pub(crate) fn resolve(&self, grid: &[f64]) -> Vec<f64> {
+        grid.iter().map(|&x| self.weight_at(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_counts_resolve_to_exactly_one() {
+        for n in [1usize, 3, 7, 64, 100] {
+            let w = GridWeights::from_counts(-8.0, 8.0, &vec![17; n]);
+            assert!(w.is_flat(), "n = {n}");
+            assert_eq!(w.weight_at(-8.0).to_bits(), 1.0f64.to_bits());
+            assert_eq!(w.weight_at(3.21).to_bits(), 1.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_counts_degrade_to_flat() {
+        let w = GridWeights::from_counts(0.0, 1.0, &[0, 0, 0]);
+        assert!(w.is_flat());
+    }
+
+    #[test]
+    fn skewed_counts_weight_the_hot_region_up() {
+        // All mass in the middle bucket of three.
+        let w = GridWeights::from_counts(0.0, 3.0, &[0, 12, 0]);
+        assert_eq!(w.weight_at(0.5), 0.0);
+        assert_eq!(w.weight_at(1.5), 3.0);
+        assert_eq!(w.weight_at(2.5), 0.0);
+        // Out-of-range points clamp to the edge buckets.
+        assert_eq!(w.weight_at(-10.0), 0.0);
+        assert_eq!(w.weight_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_tail_mass_lands_in_edge_buckets() {
+        let mut h = flexsfu_serve::InputHistogramSnapshot::empty(0.0, 4.0, 4);
+        h.record_slice(&[0.5, 1.5, 2.5, 3.5, -9.0, 9.0, 9.5]);
+        let w = GridWeights::from_histogram(&h);
+        // 7 in-range-after-clamp observations over 4 buckets; the last
+        // bucket holds 1 + 2 clamped = 3.
+        assert_eq!(w.weight_at(3.5), 3.0 * 4.0 / 7.0);
+        assert_eq!(w.weight_at(0.5), 2.0 * 4.0 / 7.0);
+    }
+}

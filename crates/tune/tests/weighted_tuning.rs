@@ -1,0 +1,163 @@
+//! Distribution-weighted tuning battery: a skewed observed input
+//! distribution must change the sweep's answer — and a flat one must
+//! not.
+//!
+//! The scenario mirrors the adaptive serving loop: traffic for `tanh`
+//! concentrates in the saturated tail `[6, 8)`, where a piecewise-
+//! linear approximation is nearly exact. The uniform sweep still
+//! charges the small 7-breakpoint table for its worst error mid-range
+//! and is forced up the ladder; the weighted sweep sees that live
+//! traffic never lands mid-range and keeps the small (cheaper) table —
+//! a *different Pareto winner that is measurably better under the
+//! weighted objective* (meets the weighted error cap at strictly lower
+//! modelled cost). Everything is deterministic: same inputs, same
+//! reports, bit for bit.
+
+use flexsfu_funcs::{Activation, Tanh};
+use flexsfu_serve::InputHistogramSnapshot;
+use flexsfu_tune::{
+    evaluate_candidate_weighted, tune, tune_weighted, GridWeights, TuneBudget, TuneOptions,
+    TuneSpace,
+};
+
+/// A native-only two-size space: cost is the deterministic kernel-shape
+/// model (7 breakpoints = 2.5 cycles/elem, 63 = 2.75), so "cheaper"
+/// unambiguously means "the smaller table".
+fn native_two_size_opts() -> TuneOptions {
+    let mut opts = TuneOptions::quick();
+    opts.space = TuneSpace {
+        breakpoint_ladder: vec![7, 63],
+        formats: vec![],
+        fixed_point_for_range: false,
+        include_native: true,
+    };
+    opts
+}
+
+/// All observed mass in the saturated tail `[6, 8)` of tanh's default
+/// `[-8, 8)` range: the hottest 8 of 64 buckets, everything else cold.
+fn tail_skewed_histogram() -> InputHistogramSnapshot {
+    let mut h = InputHistogramSnapshot::empty(-8.0, 8.0, 64);
+    for b in 56..64 {
+        h.counts[b] = 1000;
+    }
+    h
+}
+
+#[test]
+fn skewed_distribution_flips_the_winner_to_the_cheaper_table() {
+    let opts = native_two_size_opts();
+    let weights = GridWeights::from_histogram(&tail_skewed_histogram());
+    assert!(!weights.is_flat());
+
+    // Probe sweep under an unbounded budget: measure what each table
+    // costs in uniform and weighted error. Deterministic, so the
+    // derived budget below is too.
+    let free = TuneBudget::max_error(f64::INFINITY);
+    let probe_u = tune(&Tanh, &free, &opts).unwrap();
+    let probe_w = tune_weighted(&Tanh, &free, &opts, &weights).unwrap();
+    let ulp_of = |plan: &flexsfu_tune::TunedPlan, bps: usize| {
+        plan.report
+            .candidates
+            .iter()
+            .find(|c| c.config.breakpoints == bps)
+            .expect("candidate present")
+            .ulp_at_1
+    };
+    let (u7, u63) = (ulp_of(&probe_u, 7), ulp_of(&probe_u, 63));
+    let (w7, _w63) = (ulp_of(&probe_w, 7), ulp_of(&probe_w, 63));
+    // The premise of the scenario: mid-range error dominates the
+    // uniform measurement of the small table, tail error is tiny.
+    assert!(
+        w7 < u7,
+        "weighted error of the 7-bp table ({w7}) must undercut uniform ({u7})"
+    );
+
+    // A cap between the two: the small table is infeasible under the
+    // uniform metric, feasible under the weighted one.
+    let cap = 0.5 * (w7 + u7);
+    assert!(u63 <= cap, "big table must satisfy the cap uniformly");
+    let budget = TuneBudget::max_error(cap);
+
+    let uniform = tune(&Tanh, &budget, &opts).unwrap();
+    let weighted = tune_weighted(&Tanh, &budget, &opts, &weights).unwrap();
+    assert_eq!(uniform.winner().config.breakpoints, 63);
+    assert_eq!(weighted.winner().config.breakpoints, 7);
+    assert_ne!(uniform.winner().config, weighted.winner().config);
+
+    // "Measurably better under the weighted metric": re-measure the
+    // uniform winner's table under the same weights — both winners meet
+    // the weighted cap, but the weighted winner is strictly cheaper, so
+    // it dominates under the budget's min-cycles-within-error
+    // objective.
+    let grid: Vec<f64> = (0..opts.grid_points)
+        .map(|i| -8.0 + 16.0 * i as f64 / (opts.grid_points - 1) as f64)
+        .collect();
+    let truth: Vec<f64> = grid.iter().map(|&x| Tanh.eval(x)).collect();
+    let resolved: Vec<f64> = grid.iter().map(|&x| weights.weight_at(x)).collect();
+    let rescored = evaluate_candidate_weighted(
+        &uniform.table.compile(),
+        &grid,
+        &truth,
+        &resolved,
+        uniform.winner().config,
+        opts.probe_elems,
+    )
+    .unwrap();
+    assert!(rescored.ulp_at_1 <= cap);
+    assert!(weighted.winner().ulp_at_1 <= cap);
+    assert!(
+        weighted.winner().cycles_per_elem < rescored.cycles_per_elem,
+        "weighted winner must be strictly cheaper ({} vs {})",
+        weighted.winner().cycles_per_elem,
+        rescored.cycles_per_elem,
+    );
+
+    // Deterministic end to end: rerunning both sweeps reproduces the
+    // reports exactly.
+    assert_eq!(tune(&Tanh, &budget, &opts).unwrap().report, uniform.report);
+    assert_eq!(
+        tune_weighted(&Tanh, &budget, &opts, &weights)
+            .unwrap()
+            .report,
+        weighted.report
+    );
+}
+
+#[test]
+fn flat_histogram_degrades_to_the_uniform_answer_bit_for_bit() {
+    let opts = native_two_size_opts();
+    // A uniformly filled histogram resolves to weight exactly 1.0 in
+    // every bucket...
+    let mut h = InputHistogramSnapshot::empty(-8.0, 8.0, 64);
+    for c in h.counts.iter_mut() {
+        *c = 321;
+    }
+    let weights = GridWeights::from_histogram(&h);
+    assert!(weights.is_flat());
+
+    // ...so the weighted sweep *is* the uniform sweep: same candidates,
+    // same measured ulps (bitwise), same winner.
+    let budget = TuneBudget::max_error(32.0);
+    let uniform = tune(&Tanh, &budget, &opts).unwrap();
+    let weighted = tune_weighted(&Tanh, &budget, &opts, &weights).unwrap();
+    assert_eq!(uniform.report, weighted.report);
+    assert_eq!(uniform.winner().config, weighted.winner().config);
+    for (a, b) in uniform
+        .report
+        .candidates
+        .iter()
+        .zip(&weighted.report.candidates)
+    {
+        assert_eq!(a.ulp_at_1.to_bits(), b.ulp_at_1.to_bits());
+    }
+}
+
+#[test]
+fn empty_histogram_carries_no_information_and_stays_flat() {
+    // A drained-but-never-fed histogram must not zero out the metric
+    // (which would make *every* candidate feasible at every budget).
+    let h = InputHistogramSnapshot::empty(-8.0, 8.0, 64);
+    let weights = GridWeights::from_histogram(&h);
+    assert!(weights.is_flat());
+}

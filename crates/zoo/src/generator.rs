@@ -234,6 +234,32 @@ pub fn generate_zoo(seed: u64) -> Vec<ModelDescriptor> {
     out
 }
 
+/// Aggregate activation-traffic mix of a zoo population: for each
+/// dominant activation, the fraction of all activation *elements* that
+/// flow through it — i.e. how a workload generator should weight its
+/// per-function arrival streams to look like this fleet. Sorted by
+/// descending share (ties broken by name); shares sum to 1 for a
+/// non-empty population.
+pub fn activation_mix(models: &[ModelDescriptor]) -> Vec<(&'static str, f64)> {
+    let mut totals: std::collections::BTreeMap<&'static str, f64> =
+        std::collections::BTreeMap::new();
+    for m in models {
+        *totals.entry(m.dominant_activation).or_insert(0.0) += m.activation_elems;
+    }
+    let grand: f64 = totals.values().sum();
+    if grand <= 0.0 {
+        return Vec::new();
+    }
+    let mut mix: Vec<(&'static str, f64)> =
+        totals.into_iter().map(|(k, v)| (k, v / grand)).collect();
+    mix.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite shares")
+            .then(a.0.cmp(b.0))
+    });
+    mix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +319,25 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn activation_mix_weights_by_element_traffic() {
+        let zoo = generate_zoo(19);
+        let mix = activation_mix(&zoo);
+        assert!(!mix.is_empty());
+        let total: f64 = mix.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12, "shares sum to {total}");
+        assert!(mix.iter().all(|&(_, s)| s > 0.0));
+        // Sorted by descending share.
+        assert!(mix.windows(2).all(|w| w[0].1 >= w[1].1));
+        // Every name comes from the zoo itself.
+        for (name, _) in &mix {
+            assert!(zoo.iter().any(|m| m.dominant_activation == *name));
+        }
+        // Deterministic, and empty populations yield an empty mix.
+        assert_eq!(mix, activation_mix(&generate_zoo(19)));
+        assert!(activation_mix(&[]).is_empty());
     }
 
     #[test]

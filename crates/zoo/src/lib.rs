@@ -29,5 +29,5 @@ pub mod generator;
 pub mod yeardist;
 
 pub use descriptor::{Family, ModelDescriptor};
-pub use generator::{generate_zoo, CV_MODELS, NLP_MODELS};
+pub use generator::{activation_mix, generate_zoo, CV_MODELS, NLP_MODELS};
 pub use yeardist::{activation_mix_for_year, year_distribution, YEARS};

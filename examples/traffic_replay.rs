@@ -1,0 +1,252 @@
+//! Trace-driven serving with online adaptive retuning, end to end.
+//!
+//! The pipeline the `flexsfu-traffic` crate closes:
+//!
+//! 1. **Measure** — run a small transformer block and capture what its
+//!    nonlinearities actually see at inference time
+//!    ([`collect_activation_stats`]): GELU pre-activation inputs and the
+//!    shifted softmax logits feeding `exp`. The zoo's element-traffic
+//!    mix ([`activation_mix`]) weights the two request streams.
+//! 2. **Record** — declare a seeded Poisson workload whose per-function
+//!    samplers invert those measured histograms, inject a mid-run
+//!    distribution shift into the GELU stream, and simulate it into a
+//!    binary trace. Record → replay is bitwise identity.
+//! 3. **Replay + adapt** — replay the trace into a live `PwlServer`
+//!    while an [`AdaptiveRetuner`] watches the served input histograms:
+//!    the shift drives drift-detect → histogram-weighted retune →
+//!    race-pinned hot swap, with zero lost jobs. Replaying the same
+//!    bytes into a fresh deployment reproduces the identical decision
+//!    sequence and result checksum, bit for bit.
+//!
+//! ```sh
+//! cargo run --release --example traffic_replay
+//! ```
+//!
+//! [`collect_activation_stats`]: flexsfu::nn::collect_activation_stats
+//! [`activation_mix`]: flexsfu::zoo::activation_mix
+//! [`AdaptiveRetuner`]: flexsfu::traffic::AdaptiveRetuner
+
+use flexsfu::core::init::uniform_pwl;
+use flexsfu::funcs::by_name;
+use flexsfu::nn::attention::{LayerNorm, SelfAttention};
+use flexsfu::nn::layers::{ActivationLayer, Dense, Layer};
+use flexsfu::nn::{collect_activation_stats, ActivationStats, Sequential, Tensor};
+use flexsfu::serve::{FunctionRegistry, PwlServer, ServeConfig};
+use flexsfu::traffic::sim::{replay_rounds, simulate, FunctionLoad, SamplerShift, WorkloadSpec};
+use flexsfu::traffic::trace::Trace;
+use flexsfu::traffic::{
+    AdaptiveRetuner, ArrivalProcess, InputSampler, ReplayReport, RetuneEvent, RetunePolicy,
+};
+use flexsfu::tune::TuneBudget;
+use flexsfu::zoo::{activation_mix, generate_zoo};
+use std::sync::Arc;
+
+/// Events in the recorded trace.
+const EVENTS: usize = 1500;
+/// Round size for the deterministic replay barriers.
+const ROUND: usize = 150;
+/// Virtual instant of the injected GELU distribution shift (~round 4 of
+/// the Poisson stream below).
+const SHIFT_AT_NS: u64 = 3_000_000;
+
+fn rng_from(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+/// One transformer-ish block: layer-norm → self-attention → GELU MLP.
+fn transformer_block() -> Sequential {
+    let mut rng = rng_from(41);
+    Sequential::new(vec![
+        Box::new(LayerNorm::new(24)) as Box<dyn Layer>,
+        Box::new(SelfAttention::new(4, 6, &mut rng)),
+        Box::new(Dense::new(24, 32, &mut rng)),
+        Box::new(ActivationLayer::new(by_name("gelu").unwrap())),
+        Box::new(Dense::new(32, 8, &mut rng)),
+    ])
+}
+
+/// Replays `bytes` into a fresh deployment with the retuner polled at
+/// every round barrier; returns the decision sequence and the replay
+/// report.
+fn replay_deployment(
+    bytes: &[u8],
+    gelu_span: (f64, f64),
+    exp_span: (f64, f64),
+) -> (Vec<RetuneEvent>, ReplayReport) {
+    let trace = Trace::decode(bytes).expect("recorded bytes decode");
+    let registry = Arc::new(FunctionRegistry::new());
+    registry.register(
+        "gelu",
+        &uniform_pwl(by_name("gelu").unwrap().as_ref(), 31, gelu_span),
+    );
+    registry.register(
+        "exp",
+        &uniform_pwl(by_name("exp").unwrap().as_ref(), 31, exp_span),
+    );
+    let server = PwlServer::start(Arc::clone(&registry), ServeConfig::default());
+    let handle = server.handle();
+
+    let mut retuner = AdaptiveRetuner::new(
+        Arc::clone(&registry),
+        RetunePolicy::quick(TuneBudget::max_error(f64::INFINITY)),
+    );
+    let mut decisions = Vec::new();
+    let report = replay_rounds(&trace, &handle, &|n| registry.id_of(n), ROUND, |round| {
+        if round == 0 {
+            // The first round's traffic is the tuning-time reference.
+            retuner.watch_current("gelu").unwrap();
+            retuner.watch_current("exp").unwrap();
+        } else {
+            decisions.extend(retuner.poll());
+        }
+    })
+    .expect("replay completes with zero lost jobs");
+    server.shutdown();
+    (decisions, report)
+}
+
+fn span(stats: &ActivationStats) -> (f64, f64) {
+    (stats.lo, stats.hi)
+}
+
+fn main() {
+    // 1. Measure what the block's nonlinearities actually see.
+    let mut model = transformer_block();
+    let mut rng = rng_from(97);
+    let batches: Vec<Tensor> = (0..24)
+        .map(|_| Tensor::from_vec((0..96).map(|_| rng() * 1.6).collect(), vec![4, 24]))
+        .collect();
+    let stats = collect_activation_stats(&mut model, &batches, 48);
+    let gelu_stats = stats.preactivations.get("gelu").expect("block has a GELU");
+    let logit_stats = stats.softmax_logits.as_ref().expect("block has attention");
+    let rsqrt_stats = stats.rsqrt_args.as_ref().expect("block has a layer-norm");
+    println!(
+        "measured: gelu pre-activations [{:.2}, {:.2}] mean {:+.3} ({} samples)",
+        gelu_stats.lo, gelu_stats.hi, gelu_stats.mean, gelu_stats.total
+    );
+    println!(
+        "          softmax logits      [{:.2}, {:.2}] mean {:+.3} ({} samples)",
+        logit_stats.lo, logit_stats.hi, logit_stats.mean, logit_stats.total
+    );
+    println!(
+        "          rsqrt arguments     [{:.4}, {:.4}] ({} samples)",
+        rsqrt_stats.lo, rsqrt_stats.hi, rsqrt_stats.total
+    );
+
+    // The zoo's element-traffic mix weights the request streams.
+    let mix = activation_mix(&generate_zoo(1));
+    let share = |name: &str| {
+        mix.iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, s)| *s)
+    };
+    let gelu_weight = (share("gelu") + share("silu")).max(0.05);
+    let exp_weight = share("softmax").max(0.05);
+    println!(
+        "zoo mix: gelu-family {:.0}% vs softmax-exp {:.0}% of activation traffic",
+        100.0 * gelu_weight / (gelu_weight + exp_weight),
+        100.0 * exp_weight / (gelu_weight + exp_weight),
+    );
+
+    // 2. Record: measured-histogram samplers, a mid-run GELU shift.
+    let (g_lo, g_hi) = span(gelu_stats);
+    let shift_lo = g_lo + 0.75 * (g_hi - g_lo);
+    let shift_hi = g_lo + 0.98 * (g_hi - g_lo);
+    let spec = WorkloadSpec {
+        seed: 0x7AFF1C,
+        arrivals: ArrivalProcess::Poisson { rate_hz: 2e5 },
+        functions: vec![
+            FunctionLoad {
+                name: "gelu".into(),
+                weight: gelu_weight,
+                elems: (8, 32),
+                sampler: InputSampler::empirical(g_lo, g_hi, &gelu_stats.counts),
+            },
+            FunctionLoad {
+                name: "exp".into(),
+                weight: exp_weight,
+                elems: (8, 32),
+                sampler: InputSampler::empirical(
+                    logit_stats.lo,
+                    logit_stats.hi,
+                    &logit_stats.counts,
+                ),
+            },
+        ],
+        shifts: vec![SamplerShift {
+            at_ns: SHIFT_AT_NS,
+            function: "gelu".into(),
+            sampler: InputSampler::Uniform {
+                lo: shift_lo,
+                hi: shift_hi,
+            },
+        }],
+    };
+    let trace = simulate(&spec, u64::MAX, EVENTS);
+    let bytes = trace.encode();
+    assert_eq!(
+        Trace::decode(&bytes).unwrap(),
+        trace,
+        "record -> replay is identity"
+    );
+    println!(
+        "recorded: {} events / {} functions into {} bytes; gelu shifts to [{:.2}, {:.2}] at {} ms",
+        trace.events.len(),
+        trace.functions.len(),
+        bytes.len(),
+        shift_lo,
+        shift_hi,
+        SHIFT_AT_NS / 1_000_000,
+    );
+
+    // 3. Replay into a live deployment, twice.
+    let (decisions_a, report_a) = replay_deployment(&bytes, span(gelu_stats), span(logit_stats));
+    let (decisions_b, report_b) = replay_deployment(&bytes, span(gelu_stats), span(logit_stats));
+
+    assert_eq!(report_a.submitted, EVENTS);
+    assert_eq!(report_a.completed, EVENTS, "zero lost jobs");
+    for d in &decisions_a {
+        match d {
+            RetuneEvent::Retuned {
+                function,
+                score,
+                breakpoints,
+                backend,
+            } => println!(
+                "  drift on {function}: score {score:.3} -> retuned to {breakpoints} \
+                 breakpoints on {backend}, hot-swapped mid-traffic"
+            ),
+            RetuneEvent::Failed {
+                function, error, ..
+            } => {
+                println!("  retune failed on {function}: {error}")
+            }
+            RetuneEvent::Stable { .. } | RetuneEvent::Insufficient { .. } => {}
+        }
+    }
+    let retunes = decisions_a
+        .iter()
+        .filter(|d| matches!(d, RetuneEvent::Retuned { .. }))
+        .count();
+    assert!(
+        retunes >= 1,
+        "the injected shift must drive at least one retune"
+    );
+
+    assert_eq!(
+        decisions_a, decisions_b,
+        "decision sequences replay bit-for-bit"
+    );
+    assert_eq!(report_a, report_b, "result checksums replay bit-for-bit");
+    println!(
+        "replayed: {} requests completed, {retunes} retune(s); second replay reproduced \
+         the decision sequence and checksum {:#018x} exactly",
+        report_a.completed, report_a.checksum,
+    );
+}

@@ -44,6 +44,12 @@
 //!   sweep segments × formats × backends under a budget, compute the
 //!   Pareto frontier, and bind the winner into the serving registry in
 //!   one call,
+//! * [`traffic`] — trace-driven workload simulation and online adaptive
+//!   retuning: seeded arrival processes on a virtual clock, per-function
+//!   input samplers drawn from observed activation statistics, a binary
+//!   trace codec for bit-exact record/replay, and a drift detector +
+//!   background retuner that re-tunes with histogram-weighted error and
+//!   hot-swaps the winner mid-traffic,
 //! * [`zoo`] — the synthetic 778-model benchmark suite,
 //! * [`perf`] — the Ascend-like end-to-end performance model.
 //!
@@ -87,6 +93,7 @@ pub use flexsfu_optim as optim;
 pub use flexsfu_perf as perf;
 pub use flexsfu_serve as serve;
 pub use flexsfu_shard as shard;
+pub use flexsfu_traffic as traffic;
 pub use flexsfu_tune as tune;
 pub use flexsfu_wire as wire;
 pub use flexsfu_zoo as zoo;
