@@ -1,0 +1,36 @@
+//! Observability core for the Flex-SFU serving stack.
+//!
+//! Hand-rolled, std-only, zero-dep — in the house style of the serve
+//! oneshot and the wire codec. Three pillars:
+//!
+//! 1. **Metrics** ([`metrics`]): a [`MetricsRegistry`] of sharded atomic
+//!    [`Counter`]s, [`Gauge`]s, and fixed-boundary log-scale
+//!    [`LogHistogram`]s. Handles resolve once (locked, allocating) and
+//!    record forever after with no locks and zero heap — cheap enough
+//!    for the flush hot path, and pinned there by a counting-allocator
+//!    test.
+//! 2. **Tracing** ([`span`]): a sampled [`SpanRecorder`] ring of per-job
+//!    [`Stage`] timestamps (submit → enqueue → flush-plan → backend eval
+//!    → scatter-back → wire write), stamped through a [`Clock`] trait so
+//!    production uses monotonic time while trace replays use a
+//!    [`ManualClock`] and produce bit-identical spans.
+//! 3. **Exposition** ([`snapshot`]): mergeable [`MetricsSnapshot`]s with
+//!    a versioned `FXOB` binary codec (total decoding — this is the wire
+//!    `Stats` frame payload) and a Prometheus text rendering.
+//!
+//! The serving layers (`flexsfu-serve`, `flexsfu-wire`, `flexsfu-shard`,
+//! `flexsfu-traffic`) each accept an optional handle into this crate and
+//! stay zero-overhead when observability is off.
+
+pub mod clock;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{
+    bucket_index, bucket_upper, labeled, Counter, Gauge, HistogramSnapshot, LogHistogram,
+    MetricsRegistry, COUNTER_SHARDS, HIST_BUCKETS,
+};
+pub use snapshot::{MetricsSnapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use span::{SampleRate, Span, SpanCell, SpanRecorder, Stage, STAGES, STAGE_COUNT};

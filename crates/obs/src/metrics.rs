@@ -1,0 +1,560 @@
+//! Hot-path metric primitives: sharded counters, gauges, and
+//! fixed-boundary log-scale histograms.
+//!
+//! Everything here is built for the flush hot path: the record/increment
+//! operations touch only pre-resolved atomics — no locks, no heap, no
+//! formatting. Handles are resolved **once** through the
+//! [`MetricsRegistry`] (which does lock and allocate) and then cached by
+//! the instrumented layer; a counting-allocator test in this crate pins
+//! the warm record path at zero allocations.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shards per [`Counter`]. Increments from different threads usually
+/// land on different cache lines; reads sum all shards.
+pub const COUNTER_SHARDS: usize = 8;
+
+/// Sub-buckets per power-of-two octave in [`LogHistogram`]. Four
+/// sub-buckets bound the relative quantile error at 25%.
+const SUBS: usize = 4;
+const SUB_BITS: u32 = 2; // log2(SUBS)
+
+/// Total fixed bucket count of a [`LogHistogram`]: values `0..4` get an
+/// exact bucket each, then every octave `[2^k, 2^(k+1))` for
+/// `k in 2..=63` is split into four linear sub-buckets.
+pub const HIST_BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS; // 252
+
+// Per-thread shard slot, assigned round-robin on first use. Const-init
+// so first access performs no lazy heap initialisation.
+thread_local! {
+    static SHARD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn shard_slot() -> usize {
+    SHARD_SLOT.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// One cache line worth of counter shard, padded so neighbouring shards
+/// do not false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// Monotone event counter, sharded across cache-padded atomics.
+///
+/// [`Counter::add`] is wait-free and allocation-free; [`Counter::get`]
+/// sums the shards (reads may race concurrent increments, as any
+/// snapshot of a live counter must).
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_slot()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// Last-write-wins instantaneous value, stored as `f64` bits in one
+/// atomic. Set and read are single atomic ops; [`Gauge::add`] is a CAS
+/// loop. All allocation-free.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// A gauge at 0.0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket index for a recorded value. Values `0..4` map to themselves;
+/// larger values land in one of four linear sub-buckets of their
+/// power-of-two octave, so the bucket width is always ≤ 25% of the
+/// value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        SUBS + (msb - SUB_BITS) as usize * SUBS + sub
+    }
+}
+
+/// Inclusive upper bound of bucket `idx` — the value [`HistogramSnapshot`]
+/// quantiles report.
+///
+/// # Panics
+///
+/// Panics if `idx >= HIST_BUCKETS`.
+pub fn bucket_upper(idx: usize) -> u64 {
+    assert!(idx < HIST_BUCKETS, "bucket {idx} out of range");
+    if idx < SUBS {
+        idx as u64
+    } else {
+        let oct = (idx - SUBS) / SUBS + SUB_BITS as usize;
+        let sub = ((idx - SUBS) % SUBS) as u64;
+        let base = 1u64 << oct;
+        let step = 1u64 << (oct - SUB_BITS as usize);
+        // `base - 1 + ...` keeps the top bucket from overflowing u64.
+        base - 1 + (sub + 1) * step
+    }
+}
+
+/// Fixed-boundary log-scale histogram of `u64` samples (typically
+/// nanoseconds or element counts).
+///
+/// Recording is two relaxed `fetch_add`s into a fixed array — wait-free,
+/// allocation-free, and mergeable: every histogram shares the same
+/// [`HIST_BUCKETS`] boundaries, so snapshots add bucket-wise.
+#[derive(Debug)]
+pub struct LogHistogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            counts: [ZERO; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the live buckets into an owned, mergeable snapshot.
+    ///
+    /// The total count is derived from the buckets so count and buckets
+    /// are always consistent with each other; `sum` is read separately
+    /// and may trail a racing `record` by one sample's value.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            sum: self.sum.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+}
+
+/// Owned copy of a [`LogHistogram`]: plain data, safe to merge, encode,
+/// and query for quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, length [`HIST_BUCKETS`].
+    pub counts: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().fold(0u64, |a, &c| a.wrapping_add(c))
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Adds `other` bucket-wise. Since all histograms share one fixed
+    /// boundary set, merging is exact — and associative and commutative,
+    /// which the property tests pin.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.wrapping_add(*b);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (rank `ceil(q·n)`, clamped to `[1, n]`). Returns 0 when empty.
+    /// The reported value is within one bucket boundary (≤ 25% relative)
+    /// of the exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(self.counts.len() - 1)
+    }
+
+    /// Median bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile bucket bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Renders a metric key with labels: `name{k="v",…}`. Keys are plain
+/// strings — the registry and snapshot treat the rendered form as the
+/// identity, so the same name+labels always resolves to the same handle.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<LogHistogram>>,
+}
+
+/// Get-or-create directory of named metrics.
+///
+/// Resolution takes a lock and may allocate; it is meant to run at
+/// set-up (or first sight of a function name), after which the returned
+/// `Arc` handles are cached and every record is lock- and
+/// allocation-free. Keys carry their labels inline — see [`labeled`].
+///
+/// A key identifies exactly one metric kind; resolving the same key as
+/// two different kinds is a caller bug (both metrics would exist and
+/// collide in rendered output).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (creating if absent) the counter named `key`.
+    pub fn counter(&self, key: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.read().unwrap().counters.get(key) {
+            return Arc::clone(c);
+        }
+        let mut inner = self.inner.write().unwrap();
+        Arc::clone(inner.counters.entry(key.to_string()).or_default())
+    }
+
+    /// Resolves (creating if absent) the gauge named `key`.
+    pub fn gauge(&self, key: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.read().unwrap().gauges.get(key) {
+            return Arc::clone(g);
+        }
+        let mut inner = self.inner.write().unwrap();
+        Arc::clone(inner.gauges.entry(key.to_string()).or_default())
+    }
+
+    /// Resolves (creating if absent) the histogram named `key`.
+    pub fn histogram(&self, key: &str) -> Arc<LogHistogram> {
+        if let Some(h) = self.inner.read().unwrap().histograms.get(key) {
+            return Arc::clone(h);
+        }
+        let mut inner = self.inner.write().unwrap();
+        Arc::clone(inner.histograms.entry(key.to_string()).or_default())
+    }
+
+    /// Copies every registered metric into an owned
+    /// [`crate::MetricsSnapshot`], sorted by key.
+    pub fn snapshot(&self) -> crate::MetricsSnapshot {
+        let inner = self.inner.read().unwrap();
+        crate::MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_shards() {
+        let c = Counter::new();
+        for _ in 0..10 {
+            c.inc();
+        }
+        c.add(90);
+        assert_eq!(c.get(), 100);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn bucket_round_trip_brackets_every_value() {
+        let probes = [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            1000,
+            4095,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < HIST_BUCKETS, "index {i} for {v}");
+            assert!(v <= bucket_upper(i), "{v} above its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} below previous bound");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for i in 1..HIST_BUCKETS {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "bucket {i}");
+        }
+        assert_eq!(bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_bucket() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum, 500_500);
+        // Exact p50 is 500; the reported bound must share its bucket.
+        assert_eq!(bucket_index(s.p50()), bucket_index(500));
+        assert_eq!(bucket_index(s.p99()), bucket_index(990));
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet() {
+        let s = HistogramSnapshot::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_bucket_wise() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.counts[bucket_index(10)], 2);
+        assert_eq!(m.sum, 1_000_020);
+    }
+
+    #[test]
+    fn labeled_renders_and_registry_dedupes() {
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(
+            labeled("m", &[("a", "x"), ("b", "y")]),
+            "m{a=\"x\",b=\"y\"}"
+        );
+        let r = MetricsRegistry::new();
+        let c1 = r.counter("hits");
+        let c2 = r.counter("hits");
+        c1.inc();
+        assert_eq!(c2.get(), 1);
+        assert!(Arc::ptr_eq(&c1, &c2));
+    }
+
+    #[test]
+    fn registry_snapshot_lists_everything_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b_total").add(2);
+        r.counter("a_total").add(1);
+        r.gauge("depth").set(3.0);
+        r.histogram("lat_ns").record(7);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![("a_total".into(), 1), ("b_total".into(), 2)]
+        );
+        assert_eq!(s.gauges, vec![("depth".into(), 3.0)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].1.count(), 1);
+    }
+}

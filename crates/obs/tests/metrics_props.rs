@@ -1,0 +1,134 @@
+//! Property battery for the metrics core — the algebra the fleet view
+//! stands on:
+//!
+//! * snapshot **merge is commutative and associative** (counters and
+//!   histogram buckets add exactly; gauge values are generated
+//!   integer-valued so float addition is exact too), with the empty
+//!   snapshot as identity,
+//! * a histogram **quantile is the bucket bound of the exact order
+//!   statistic**: `quantile(q)` equals `bucket_upper(bucket_index(x))`
+//!   for the rank-`ceil(q·n)` sample `x` — within one bucket of exact,
+//!   by construction,
+//! * the **codec round-trips** any registry-built snapshot bit-for-bit
+//!   and is **total**: arbitrary bytes and corrupted blobs decode or
+//!   fail typed, never panic.
+
+use flexsfu_obs::{bucket_index, bucket_upper, LogHistogram, MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Builds a snapshot from op words: each word encodes a metric kind, a
+/// key from a small pool (labelled and bare), and a value. Gauges stay
+/// integer-valued so merging them is exact float arithmetic.
+fn snapshot_from(ops: &[u64]) -> MetricsSnapshot {
+    const KEYS: [&str; 5] = [
+        "req_total",
+        "req_total{function=\"gelu\"}",
+        "queue_depth",
+        "eval_ns",
+        "eval_ns{function=\"tanh\"}",
+    ];
+    let r = MetricsRegistry::new();
+    for &op in ops {
+        let key = KEYS[(op >> 2) as usize % KEYS.len()];
+        match op % 3 {
+            0 => r.counter(key).add((op >> 5) % 1_000_000),
+            1 => r.gauge(key).add(((op >> 5) % 1_000) as f64),
+            _ => r.histogram(key).record(op >> 5),
+        }
+    }
+    r.snapshot()
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn ops() -> proptest::collection::VecStrategy<std::ops::RangeInclusive<u64>> {
+    proptest::collection::vec(0u64..=u64::MAX, 0..24)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in ops(), b in ops()) {
+        let (a, b) = (snapshot_from(&a), snapshot_from(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in ops(), b in ops(), c in ops()) {
+        let (a, b, c) = (snapshot_from(&a), snapshot_from(&b), snapshot_from(&c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn empty_snapshot_is_the_merge_identity(a in ops()) {
+        let a = snapshot_from(&a);
+        let empty = MetricsSnapshot::new();
+        prop_assert_eq!(merged(&a, &empty), a.clone());
+        prop_assert_eq!(merged(&empty, &a), a);
+    }
+
+    /// `quantile(q)` reports exactly the upper bound of the bucket the
+    /// exact order statistic fell into — never more than one log-bucket
+    /// (≤ 25% relative) away from the true value.
+    #[test]
+    fn quantiles_are_the_exact_order_statistic_bucket(
+        mut values in proptest::collection::vec(0u64..=u64::MAX, 1..64),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        values.sort_unstable();
+        let n = values.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let exact = values[rank as usize - 1];
+        prop_assert_eq!(snap.quantile(q), bucket_upper(bucket_index(exact)));
+    }
+
+    /// Bucket geometry: indexing is monotone in the sample and the
+    /// reported bound never undercuts the sample it stands for.
+    #[test]
+    fn bucket_bounds_cover_their_samples(v in 0u64..=u64::MAX, w in 0u64..=u64::MAX) {
+        prop_assert!(bucket_upper(bucket_index(v)) >= v);
+        if v <= w {
+            prop_assert!(bucket_index(v) <= bucket_index(w));
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_bit_for_bit(a in ops()) {
+        let a = snapshot_from(&a);
+        prop_assert_eq!(MetricsSnapshot::decode(&a.encode()), Ok(a));
+    }
+
+    /// Totality on arbitrary input: decoding returns, panic-free, on
+    /// any byte soup.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = MetricsSnapshot::decode(&bytes);
+    }
+
+    /// Totality under single-byte corruption of a valid blob: decodes
+    /// (possibly to different data) or fails typed — and truncation at
+    /// any point before the end is always an error, never a partial
+    /// parse.
+    #[test]
+    fn corrupted_and_truncated_blobs_fail_typed(a in ops(), at in 0usize..4096, bit in 0u8..8) {
+        let a = snapshot_from(&a);
+        let good = a.encode();
+        let mut bad = good.clone();
+        let at = at % bad.len();
+        bad[at] ^= 1 << bit;
+        let _ = MetricsSnapshot::decode(&bad);
+        for cut in 0..good.len() {
+            prop_assert!(MetricsSnapshot::decode(&good[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Concurrency battery for the metrics core: many threads hammering
+//! shared handles must lose nothing — counter totals are exact (the
+//! shards repartition the count, never drop it), histogram bucket sums
+//! are exact, the span ring's bookkeeping stays consistent under
+//! eviction races, and snapshots taken from two racing registries merge
+//! to the combined totals.
+
+use flexsfu_obs::{labeled, ManualClock, MetricsRegistry, SampleRate, SpanRecorder, STAGES};
+use flexsfu_serve::testkit::with_watchdog;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const OPS: u64 = 50_000;
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    with_watchdog(60, "concurrent_recording_loses_nothing", || {
+        let registry = Arc::new(MetricsRegistry::new());
+        let spans = Arc::new(SpanRecorder::new(
+            256,
+            SampleRate(16),
+            Arc::new(ManualClock::new()),
+        ));
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                let spans = Arc::clone(&spans);
+                std::thread::spawn(move || {
+                    // Every thread resolves the same keys — handle
+                    // resolution itself is part of the race.
+                    let shared = registry.counter("ops_total");
+                    let own =
+                        registry.counter(&labeled("ops_total", &[("thread", &t.to_string())]));
+                    let gauge = registry.gauge("last_op");
+                    let hist = registry.histogram("op_ns");
+                    for i in 0..OPS {
+                        shared.inc();
+                        own.inc();
+                        gauge.set(i as f64);
+                        hist.record(i % 1024);
+                        if let Some(cell) = spans.try_start(t as u32) {
+                            for &stage in &STAGES {
+                                cell.record(stage, i);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread panicked");
+        }
+
+        let total = THREADS as u64 * OPS;
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ops_total"), Some(total));
+        for t in 0..THREADS {
+            assert_eq!(
+                snap.counter(&labeled("ops_total", &[("thread", &t.to_string())])),
+                Some(OPS)
+            );
+        }
+        let hist = snap.histogram("op_ns").expect("histogram present");
+        assert_eq!(hist.count(), total);
+        // Sum of (i % 1024) over OPS iterations, once per thread.
+        let per_thread: u64 = (0..OPS).map(|i| i % 1024).sum();
+        assert_eq!(hist.sum, THREADS as u64 * per_thread);
+        // The gauge holds one thread's final write, whichever raced last.
+        assert_eq!(snap.gauge("last_op"), Some((OPS - 1) as f64));
+
+        // Span accounting balances: every submit claimed exactly one
+        // sequence number, and sampled cells are either retained or
+        // counted as dropped.
+        assert_eq!(spans.submitted(), total);
+        let sampled = total.div_ceil(16);
+        let dump = spans.dump();
+        assert_eq!(dump.len() as u64 + spans.dropped(), sampled);
+        assert_eq!(dump.len(), 256, "ring full after {sampled} samples");
+        for span in &dump {
+            // Fully stamped: the recording threads stamp every stage
+            // before moving on.
+            for &stage in &STAGES {
+                assert!(span.stage(stage).is_some());
+            }
+        }
+    });
+}
+
+/// Two registries raced independently still merge to combined totals —
+/// the property `scrape_all` relies on when it folds per-shard
+/// snapshots, here pinned under concurrent mutation.
+#[test]
+fn racing_registries_merge_to_combined_totals() {
+    with_watchdog(60, "racing_registries_merge_to_combined_totals", || {
+        let a = Arc::new(MetricsRegistry::new());
+        let b = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let r = if t % 2 == 0 {
+                    Arc::clone(&a)
+                } else {
+                    Arc::clone(&b)
+                };
+                std::thread::spawn(move || {
+                    let c = r.counter("ops_total");
+                    let h = r.histogram("op_ns");
+                    for i in 0..OPS {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread panicked");
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let total = THREADS as u64 * OPS;
+        assert_eq!(merged.counter("ops_total"), Some(total));
+        assert_eq!(merged.histogram("op_ns").expect("present").count(), total);
+    });
+}

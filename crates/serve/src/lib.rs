@@ -115,6 +115,7 @@
 
 mod error;
 pub mod histogram;
+pub mod obs;
 pub mod oneshot;
 pub mod plan;
 mod registry;
@@ -123,6 +124,7 @@ pub mod testkit;
 
 pub use error::ServeError;
 pub use histogram::{InputHistogramSnapshot, INPUT_HIST_BUCKETS};
+pub use obs::ServeObs;
 pub use plan::{FlushPlan, GroupPlan, JobSpan};
 pub use registry::{BackendStatsSnapshot, FunctionId, FunctionRegistry};
 pub use server::{

@@ -478,6 +478,16 @@ impl FunctionRegistry {
         (id.0 as usize) < self.entries.read().unwrap().len()
     }
 
+    /// The registration name of `id` — the inverse of [`Self::id_of`]
+    /// (used e.g. to label per-function metric series).
+    pub fn name_of(&self, id: FunctionId) -> Option<String> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .map(|e| e.name.clone())
+    }
+
     /// Looks an id up by registration name (first match).
     pub fn id_of(&self, name: &str) -> Option<FunctionId> {
         self.entries

@@ -33,11 +33,13 @@
 
 use crate::error::ServeError;
 use crate::histogram::HistogramAccum;
+use crate::obs::{FuncObs, ObsState, ServeObs};
 use crate::oneshot;
 use crate::plan::FlushPlan;
 use crate::registry::{FunctionId, FunctionRegistry, StatsAccumulator};
 use crate::testkit::Faults;
 use flexsfu_backend::{BackendProgram, BackendProgramF32};
+use flexsfu_obs::{SpanCell, Stage};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -120,6 +122,11 @@ impl Default for ServeConfig {
 struct Job {
     func: FunctionId,
     data: JobData,
+    /// Enqueue instant (obs clock, ns) — the queue-wait anchor. Zero
+    /// when the server runs without observability.
+    enqueued_ns: u64,
+    /// Trace cell when this job was sampled.
+    span: Option<Arc<SpanCell>>,
 }
 
 /// A job's payload and result channel, tagged by precision. An f32 job
@@ -147,6 +154,10 @@ impl JobData {
     }
 }
 
+/// One packed job inside a flush unit: `(element count, result
+/// channel, trace cell)` in packed order.
+type PackedJob<T> = (usize, oneshot::Sender<Vec<T>>, Option<Arc<SpanCell>>);
+
 /// One function's packed share of a flush, ready for a worker: the
 /// backend program snapshot it evaluates through (in the flush's
 /// precision — a unit never mixes precisions, just as it never mixes
@@ -157,17 +168,25 @@ enum FlushUnit {
         stats: Arc<StatsAccumulator>,
         histogram: Arc<HistogramAccum>,
         xs: Vec<f64>,
-        /// `(element count, result channel)` in packed order.
-        jobs: Vec<(usize, oneshot::Sender<Vec<f64>>)>,
+        jobs: Vec<PackedJob<f64>>,
+        obs: Option<UnitObs>,
     },
     F32 {
         program: Arc<dyn BackendProgramF32>,
         stats: Arc<StatsAccumulator>,
         histogram: Arc<HistogramAccum>,
         xs: Vec<f32>,
-        /// `(element count, result channel)` in packed order.
-        jobs: Vec<(usize, oneshot::Sender<Vec<f32>>)>,
+        jobs: Vec<PackedJob<f32>>,
+        obs: Option<UnitObs>,
     },
+}
+
+/// The observability handles one flush unit carries to its worker: the
+/// global state plus the unit's function-labelled series, both
+/// pre-resolved — the worker records without locks or allocation.
+struct UnitObs {
+    state: Arc<ObsState>,
+    func: Arc<FuncObs>,
 }
 
 /// Per-function pending aggregate — the flush-policy triggers.
@@ -208,6 +227,9 @@ struct Shared {
     /// Test-only fault injector ([`crate::testkit::Faults`]); `None` in
     /// production servers.
     faults: Option<Arc<Faults>>,
+    /// Observability handles ([`PwlServer::start_with_obs`]); `None`
+    /// keeps every instrumented site a single branch.
+    obs: Option<Arc<ObsState>>,
 }
 
 /// A point-in-time reading of the submission queue — the stats hook the
@@ -244,6 +266,7 @@ pub struct ServeHandle {
 /// any executor (the oneshot receiver stores the task's waker).
 pub struct JobTicket {
     rx: oneshot::Receiver<Vec<f64>>,
+    span: Option<Arc<SpanCell>>,
 }
 
 impl JobTicket {
@@ -256,6 +279,12 @@ impl JobTicket {
     /// evaluation worker panicked).
     pub fn wait(self) -> Result<Vec<f64>, ServeError> {
         self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// The job's trace cell, when the server traced it — downstream
+    /// tiers (the wire pump) stamp their stages through this.
+    pub fn span(&self) -> Option<&Arc<SpanCell>> {
+        self.span.as_ref()
     }
 }
 
@@ -273,6 +302,7 @@ impl std::future::Future for JobTicket {
 /// [`ServeHandle::submit_f32`]. Same dual wait/`.await` interface.
 pub struct JobTicketF32 {
     rx: oneshot::Receiver<Vec<f32>>,
+    span: Option<Arc<SpanCell>>,
 }
 
 impl JobTicketF32 {
@@ -283,6 +313,12 @@ impl JobTicketF32 {
     /// [`ServeError::Disconnected`], as for [`JobTicket::wait`].
     pub fn wait(self) -> Result<Vec<f32>, ServeError> {
         self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// The job's trace cell, when the server traced it — see
+    /// [`JobTicket::span`].
+    pub fn span(&self) -> Option<&Arc<SpanCell>> {
+        self.span.as_ref()
     }
 }
 
@@ -304,7 +340,23 @@ impl PwlServer {
     /// Panics if `config.flush_elements`, `config.queue_elements` or
     /// `config.eval_workers` is zero.
     pub fn start(registry: Arc<FunctionRegistry>, config: ServeConfig) -> Self {
-        Self::start_inner(registry, config, None)
+        Self::start_inner(registry, config, None, None)
+    }
+
+    /// [`Self::start`] with observability: metrics land in
+    /// `obs.metrics`, sampled jobs are traced through `obs.spans`. The
+    /// un-instrumented paths are unchanged; instrumented sites record
+    /// through handles resolved once at start-up.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::start`].
+    pub fn start_with_obs(
+        registry: Arc<FunctionRegistry>,
+        config: ServeConfig,
+        obs: ServeObs,
+    ) -> Self {
+        Self::start_inner(registry, config, None, Some(obs))
     }
 
     /// [`Self::start`] with a [`crate::testkit::Faults`] injector
@@ -320,13 +372,14 @@ impl PwlServer {
         config: ServeConfig,
         faults: Arc<Faults>,
     ) -> Self {
-        Self::start_inner(registry, config, Some(faults))
+        Self::start_inner(registry, config, Some(faults), None)
     }
 
     fn start_inner(
         registry: Arc<FunctionRegistry>,
         config: ServeConfig,
         faults: Option<Arc<Faults>>,
+        obs: Option<ServeObs>,
     ) -> Self {
         assert!(config.flush_elements > 0, "flush_elements must be nonzero");
         assert!(config.queue_elements > 0, "queue_elements must be nonzero");
@@ -343,6 +396,7 @@ impl PwlServer {
             job_ready: Condvar::new(),
             space: Condvar::new(),
             faults,
+            obs: obs.as_ref().map(|o| Arc::new(ObsState::new(o))),
         });
 
         let (unit_tx, unit_rx) = mpsc::channel::<FlushUnit>();
@@ -540,8 +594,8 @@ impl ServeHandle {
             return Err(ServeError::UnknownFunction(func));
         }
         let (tx, rx) = oneshot::channel();
-        self.enqueue(func, JobData::F64 { data, tx }, block)?;
-        Ok(JobTicket { rx })
+        let span = self.enqueue(func, JobData::F64 { data, tx }, block)?;
+        Ok(JobTicket { rx, span })
     }
 
     fn submit_f32_inner(
@@ -559,14 +613,23 @@ impl ServeHandle {
             Some(true) => {}
         }
         let (tx, rx) = oneshot::channel();
-        self.enqueue(func, JobData::F32 { data, tx }, block)?;
-        Ok(JobTicketF32 { rx })
+        let span = self.enqueue(func, JobData::F32 { data, tx }, block)?;
+        Ok(JobTicketF32 { rx, span })
     }
 
     /// The precision-agnostic admission path: bounds, backpressure and
     /// pending-aggregate bookkeeping are element-based, so both
-    /// precisions share one queue and one set of flush triggers.
-    fn enqueue(&self, func: FunctionId, data: JobData, block: bool) -> Result<(), ServeError> {
+    /// precisions share one queue and one set of flush triggers. Returns
+    /// the job's trace cell when the server sampled it.
+    fn enqueue(
+        &self,
+        func: FunctionId,
+        data: JobData,
+        block: bool,
+    ) -> Result<Option<Arc<SpanCell>>, ServeError> {
+        // One clock read up front (observability on only): the Submit
+        // stamp must predate any time spent parked on the element bound.
+        let submit_ns = self.shared.obs.as_ref().map(|o| o.now_ns());
         // Injected backpressure (testkit): a forced bounce takes the
         // exact organic path — flag the pressure and wake the batcher —
         // so the retry loop under test exercises the real signals.
@@ -617,10 +680,33 @@ impl ServeHandle {
         });
         pending.elems += data.len();
         q.queued_elems += data.len();
-        q.jobs.push(Job { func, data });
+        // Sampling decision under the queue lock: job ids are assigned
+        // in admission order, so a sequential replay samples the same
+        // jobs every run.
+        let (enqueued_ns, span) = match &self.shared.obs {
+            Some(obs) => {
+                obs.submits.inc();
+                let span = obs.spans.try_start(func.0);
+                let now = obs.now_ns();
+                if let Some(cell) = &span {
+                    cell.record(Stage::Submit, submit_ns.unwrap_or(now));
+                    cell.record(Stage::Enqueue, now);
+                }
+                obs.queue_jobs.set((q.jobs.len() + 1) as f64);
+                obs.queue_elems.set(q.queued_elems as f64);
+                (now, span)
+            }
+            None => (0, None),
+        };
+        q.jobs.push(Job {
+            func,
+            data,
+            enqueued_ns,
+            span: span.clone(),
+        });
         drop(q);
         self.shared.job_ready.notify_one();
-        Ok(())
+        Ok(span)
     }
 }
 
@@ -666,8 +752,25 @@ fn batcher_loop(
             // on size or shutdown only") must saturate to "never", not
             // overflow `Instant` and panic the batcher.
             let deadline = pending.oldest.checked_add(policy.deadline);
-            if force_all || pending.elems >= policy.max_elems || deadline.is_some_and(|d| now >= d)
-            {
+            let fired_size = pending.elems >= policy.max_elems;
+            let fired_deadline = deadline.is_some_and(|d| now >= d);
+            if force_all || fired_size || fired_deadline {
+                if let Some(obs) = &shared.obs {
+                    // A function's own trigger takes precedence over the
+                    // queue-wide overrides in the reason accounting: a
+                    // size-due function drained during shutdown still
+                    // flushed "because it was full".
+                    let reason = if fired_size {
+                        &obs.flush_size
+                    } else if fired_deadline {
+                        &obs.flush_deadline
+                    } else if q.shutdown {
+                        &obs.flush_shutdown
+                    } else {
+                        &obs.flush_pressure
+                    };
+                    reason.inc();
+                }
                 due.push(func);
             } else if let Some(d) = deadline {
                 next_deadline = Some(next_deadline.map_or(d, |nd: Instant| nd.min(d)));
@@ -691,10 +794,14 @@ fn batcher_loop(
                     q.queued_elems -= p.elems;
                 }
             }
+            if let Some(obs) = &shared.obs {
+                obs.queue_jobs.set(q.jobs.len() as f64);
+                obs.queue_elems.set(q.queued_elems as f64);
+            }
             drop(q);
             shared.space.notify_all();
             if !drained.is_empty() {
-                dispatch_flush(drained, registry, unit_tx);
+                dispatch_flush(drained, registry, unit_tx, shared.obs.as_ref());
             }
             q = shared.queue.lock().unwrap();
             continue;
@@ -733,21 +840,36 @@ fn dispatch_flush(
     drained: Vec<Job>,
     registry: &FunctionRegistry,
     unit_tx: &mpsc::Sender<FlushUnit>,
+    obs: Option<&Arc<ObsState>>,
 ) {
     /// A drained job awaiting one precision's flush plan: its function,
-    /// its payload, and the oneshot completing it.
-    type PendingJob<T> = (FunctionId, Vec<T>, oneshot::Sender<Vec<T>>);
+    /// its payload, the oneshot completing it, its enqueue instant, and
+    /// its trace cell.
+    type PendingJob<T> = (
+        FunctionId,
+        Vec<T>,
+        oneshot::Sender<Vec<T>>,
+        u64,
+        Option<Arc<SpanCell>>,
+    );
     let mut jobs64: Vec<PendingJob<f64>> = Vec::new();
     let mut jobs32: Vec<PendingJob<f32>> = Vec::new();
     for job in drained {
         match job.data {
-            JobData::F64 { data, tx } => jobs64.push((job.func, data, tx)),
-            JobData::F32 { data, tx } => jobs32.push((job.func, data, tx)),
+            JobData::F64 { data, tx } => {
+                jobs64.push((job.func, data, tx, job.enqueued_ns, job.span))
+            }
+            JobData::F32 { data, tx } => {
+                jobs32.push((job.func, data, tx, job.enqueued_ns, job.span))
+            }
         }
     }
+    // One clock read covers the whole plan: every job in this drain was
+    // planned at the same instant, and queue wait is measured to here.
+    let plan_ns = obs.map(|o| o.now_ns()).unwrap_or_default();
 
     // f64 share of the flush.
-    let shapes: Vec<(FunctionId, usize)> = jobs64.iter().map(|(f, d, _)| (*f, d.len())).collect();
+    let shapes: Vec<(FunctionId, usize)> = jobs64.iter().map(|(f, d, ..)| (*f, d.len())).collect();
     let plan = FlushPlan::build(&shapes);
     let mut slots: Vec<Option<PendingJob<f64>>> = jobs64.into_iter().map(Some).collect();
     for group in plan.groups {
@@ -758,12 +880,28 @@ fn dispatch_flush(
             debug_assert!(false, "function {:?} vanished from registry", group.func);
             continue;
         };
+        let unit_obs = obs.map(|o| UnitObs {
+            state: Arc::clone(o),
+            func: o.func(group.func, registry),
+        });
         let mut xs = vec![0.0f64; group.total];
         let mut jobs = Vec::with_capacity(group.spans.len());
         for span in &group.spans {
-            let (_, data, tx) = slots[span.job].take().expect("span bijection");
+            let (_, data, tx, enqueued_ns, cell) = slots[span.job].take().expect("span bijection");
             xs[span.offset..span.offset + span.len].copy_from_slice(&data);
-            jobs.push((span.len, tx));
+            if let Some(u) = &unit_obs {
+                u.func
+                    .queue_wait_ns
+                    .record(plan_ns.saturating_sub(enqueued_ns));
+                if let Some(cell) = &cell {
+                    cell.record(Stage::FlushPlan, plan_ns);
+                }
+            }
+            jobs.push((span.len, tx, cell));
+        }
+        if let Some(u) = &unit_obs {
+            u.state.flush_units.inc();
+            u.state.flush_elems.record(group.total as u64);
         }
         // Workers gone (panicked) — nothing to do; senders drop and the
         // submitters observe `Disconnected`.
@@ -774,6 +912,7 @@ fn dispatch_flush(
                 histogram,
                 xs,
                 jobs,
+                obs: unit_obs,
             })
             .is_err()
         {
@@ -783,7 +922,7 @@ fn dispatch_flush(
 
     // f32 share — its own plan over its own buffers; admission already
     // guaranteed every one of these functions has an f32 program.
-    let shapes: Vec<(FunctionId, usize)> = jobs32.iter().map(|(f, d, _)| (*f, d.len())).collect();
+    let shapes: Vec<(FunctionId, usize)> = jobs32.iter().map(|(f, d, ..)| (*f, d.len())).collect();
     let plan = FlushPlan::build(&shapes);
     let mut slots: Vec<Option<PendingJob<f32>>> = jobs32.into_iter().map(Some).collect();
     for group in plan.groups {
@@ -791,12 +930,28 @@ fn dispatch_flush(
             debug_assert!(false, "function {:?} lost its f32 binding", group.func);
             continue;
         };
+        let unit_obs = obs.map(|o| UnitObs {
+            state: Arc::clone(o),
+            func: o.func(group.func, registry),
+        });
         let mut xs = vec![0.0f32; group.total];
         let mut jobs = Vec::with_capacity(group.spans.len());
         for span in &group.spans {
-            let (_, data, tx) = slots[span.job].take().expect("span bijection");
+            let (_, data, tx, enqueued_ns, cell) = slots[span.job].take().expect("span bijection");
             xs[span.offset..span.offset + span.len].copy_from_slice(&data);
-            jobs.push((span.len, tx));
+            if let Some(u) = &unit_obs {
+                u.func
+                    .queue_wait_ns
+                    .record(plan_ns.saturating_sub(enqueued_ns));
+                if let Some(cell) = &cell {
+                    cell.record(Stage::FlushPlan, plan_ns);
+                }
+            }
+            jobs.push((span.len, tx, cell));
+        }
+        if let Some(u) = &unit_obs {
+            u.state.flush_units.inc();
+            u.state.flush_elems.record(group.total as u64);
         }
         if unit_tx
             .send(FlushUnit::F32 {
@@ -805,11 +960,26 @@ fn dispatch_flush(
                 histogram,
                 xs,
                 jobs,
+                obs: unit_obs,
             })
             .is_err()
         {
             return;
         }
+    }
+}
+
+/// Post-eval bookkeeping of one instrumented flush unit: evaluation
+/// latency into the global and per-function histograms, modelled cost
+/// into the backend counters (energy rounded to whole nanojoules).
+fn record_flush_obs(u: &UnitObs, eval_start_ns: u64, stats: &flexsfu_backend::FlushStats) {
+    let dt = u.state.now_ns().saturating_sub(eval_start_ns);
+    u.state.eval_ns_all.record(dt);
+    u.func.eval_ns.record(dt);
+    u.state.backend_elems.add(stats.elems as u64);
+    if let Some(hw) = stats.hw {
+        u.state.cycles.add(hw.cycles);
+        u.state.energy_nj.add(hw.energy_nj.round() as u64);
     }
 }
 
@@ -836,24 +1006,43 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>, faults: Option<&Faults>) {
                 histogram,
                 xs,
                 jobs,
+                obs,
             } => {
                 // Record inputs before completing any ticket: once every
                 // ticket of a quiesced batch has resolved, the histogram
                 // already reflects all of its elements — the ordering
                 // drift-window determinism relies on.
                 histogram.record_f64(&xs);
-                let mut outs: Vec<Vec<f64>> = jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
+                let eval_start = obs.as_ref().map(|u| {
+                    let t = u.state.now_ns();
+                    for (_, _, cell) in &jobs {
+                        if let Some(cell) = cell {
+                            cell.record(Stage::BackendEval, t);
+                        }
+                    }
+                    t
+                });
+                let mut outs: Vec<Vec<f64>> = jobs.iter().map(|(n, ..)| vec![0.0; *n]).collect();
                 let flush_stats = {
                     let mut views: Vec<&mut [f64]> =
                         outs.iter_mut().map(|o| o.as_mut_slice()).collect();
                     program.eval_scatter_into(&xs, &mut views)
                 };
                 stats.record(&flush_stats);
-                for ((_, tx), out) in jobs.into_iter().zip(outs) {
+                if let (Some(u), Some(t0)) = (&obs, eval_start) {
+                    record_flush_obs(u, t0, &flush_stats);
+                }
+                for ((_, tx, cell), out) in jobs.into_iter().zip(outs) {
                     // Injected reply loss (testkit): drop the channel so
                     // the ticket observes `Disconnected`.
                     if faults.is_some_and(Faults::take_drop_reply) {
                         continue;
+                    }
+                    // Stamp before completing the ticket: a replay
+                    // driver that advances a manual clock once all
+                    // tickets resolved must never race a late stamp.
+                    if let (Some(u), Some(cell)) = (&obs, &cell) {
+                        cell.record(Stage::ScatterBack, u.state.now_ns());
                     }
                     // A dropped ticket is fine — the caller stopped caring.
                     tx.send(out);
@@ -865,18 +1054,34 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<FlushUnit>>, faults: Option<&Faults>) {
                 histogram,
                 xs,
                 jobs,
+                obs,
             } => {
                 histogram.record_f32(&xs);
-                let mut outs: Vec<Vec<f32>> = jobs.iter().map(|(n, _)| vec![0.0; *n]).collect();
+                let eval_start = obs.as_ref().map(|u| {
+                    let t = u.state.now_ns();
+                    for (_, _, cell) in &jobs {
+                        if let Some(cell) = cell {
+                            cell.record(Stage::BackendEval, t);
+                        }
+                    }
+                    t
+                });
+                let mut outs: Vec<Vec<f32>> = jobs.iter().map(|(n, ..)| vec![0.0; *n]).collect();
                 let flush_stats = {
                     let mut views: Vec<&mut [f32]> =
                         outs.iter_mut().map(|o| o.as_mut_slice()).collect();
                     program.eval_scatter_into(&xs, &mut views)
                 };
                 stats.record(&flush_stats);
-                for ((_, tx), out) in jobs.into_iter().zip(outs) {
+                if let (Some(u), Some(t0)) = (&obs, eval_start) {
+                    record_flush_obs(u, t0, &flush_stats);
+                }
+                for ((_, tx, cell), out) in jobs.into_iter().zip(outs) {
                     if faults.is_some_and(Faults::take_drop_reply) {
                         continue;
+                    }
+                    if let (Some(u), Some(cell)) = (&obs, &cell) {
+                        cell.record(Stage::ScatterBack, u.state.now_ns());
                     }
                     tx.send(out);
                 }

@@ -53,4 +53,6 @@ mod error;
 mod router;
 
 pub use error::RouterError;
-pub use router::{RouterConfig, ShardRouter, ShardState};
+pub use router::{
+    RouterConfig, ShardRouter, ShardState, M_FAILOVERS, M_HEALTH_TRANSITIONS, M_RETRIES,
+};

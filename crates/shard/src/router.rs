@@ -17,7 +17,8 @@
 //! in-flight gauge to settle).
 
 use crate::error::RouterError;
-use flexsfu_serve::{FunctionId, FunctionRegistry, PwlServer, ServeConfig};
+use flexsfu_obs::{labeled, Counter, MetricsRegistry, MetricsSnapshot, SpanRecorder};
+use flexsfu_serve::{FunctionId, FunctionRegistry, PwlServer, ServeConfig, ServeObs};
 use flexsfu_wire::{WireClient, WireConfig, WireError, WireServer};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -25,6 +26,15 @@ use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Evaluation attempts retried after a retryable failure (counter).
+pub const M_RETRIES: &str = "flexsfu_router_retries_total";
+/// Retries that also marked the failing shard unroutable, so the next
+/// attempt lands elsewhere (counter).
+pub const M_FAILOVERS: &str = "flexsfu_router_failovers_total";
+/// Shard state transitions, labelled `to="healthy"|"draining"|"down"`
+/// (counter).
+pub const M_HEALTH_TRANSITIONS: &str = "flexsfu_router_health_transitions_total";
 
 /// A shard's routability, as the router currently believes it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +86,12 @@ pub struct RouterConfig {
     /// Pin specific functions to specific shard indices, overriding the
     /// hash. (The pinned shard still fails over when unhealthy.)
     pub overrides: HashMap<FunctionId, usize>,
+    /// Deploy every shard with observability (its own
+    /// [`MetricsRegistry`] + span recorder, threaded through the serve
+    /// and wire tiers) and give the router its own routing-decision
+    /// metrics. Off by default — an unobserved deployment runs the
+    /// exact pre-telemetry hot paths.
+    pub observability: bool,
 }
 
 impl Default for RouterConfig {
@@ -87,6 +103,7 @@ impl Default for RouterConfig {
             ping_timeout: Duration::from_millis(500),
             max_attempts: 8,
             overrides: HashMap::new(),
+            observability: false,
         }
     }
 }
@@ -98,6 +115,13 @@ struct ShardRuntime {
     server: PwlServer,
 }
 
+/// The router's own observability: where routing decisions are counted.
+struct RouterObs {
+    metrics: Arc<MetricsRegistry>,
+    retries: Arc<Counter>,
+    failovers: Arc<Counter>,
+}
+
 /// One deployed shard, as the router sees it.
 struct Shard {
     addr: SocketAddr,
@@ -105,6 +129,11 @@ struct Shard {
     client: WireClient,
     state: AtomicU8,
     runtime: Mutex<Option<ShardRuntime>>,
+    /// The shard's serving-stack telemetry bundle (None = unobserved).
+    obs: Option<ServeObs>,
+    /// Router-registry transition counters, indexed by
+    /// [`ShardState::as_u8`] of the state transitioned *to*.
+    transitions: Option<[Arc<Counter>; 3]>,
 }
 
 impl Shard {
@@ -115,12 +144,19 @@ impl Shard {
     /// `Down` is sticky: a shard the router stopped (or whose
     /// connection died) is never routed to again — the router's client
     /// connection is gone, so "recovered" is unobservable anyway.
+    /// Observed routers count every *actual* transition (no-op updates
+    /// and the sticky-down rejection don't count).
     fn set_state(&self, next: ShardState) {
-        let _ = self
+        let res = self
             .state
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
                 (ShardState::from_u8(cur) != ShardState::Down).then_some(next.as_u8())
             });
+        if let (Ok(prev), Some(t)) = (res, &self.transitions) {
+            if prev != next.as_u8() {
+                t[next.as_u8() as usize].inc();
+            }
+        }
     }
 }
 
@@ -135,6 +171,7 @@ pub struct ShardRouter {
     overrides: HashMap<FunctionId, usize>,
     max_attempts: usize,
     health: Option<JoinHandle<()>>,
+    obs: Option<RouterObs>,
 }
 
 impl ShardRouter {
@@ -159,12 +196,46 @@ impl ShardRouter {
         register: impl Fn(&FunctionRegistry),
     ) -> Result<Self, WireError> {
         assert!(num_shards > 0, "a deployment needs at least one shard");
+        let router_obs = config.observability.then(|| {
+            let metrics = Arc::new(MetricsRegistry::new());
+            RouterObs {
+                retries: metrics.counter(M_RETRIES),
+                failovers: metrics.counter(M_FAILOVERS),
+                metrics,
+            }
+        });
+        let transitions = router_obs.as_ref().map(|o| {
+            ["healthy", "draining", "down"].map(|to| {
+                o.metrics
+                    .counter(&labeled(M_HEALTH_TRANSITIONS, &[("to", to)]))
+            })
+        });
         let mut shards = Vec::with_capacity(num_shards);
         for _ in 0..num_shards {
             let registry = Arc::new(FunctionRegistry::new());
             register(&registry);
-            let server = PwlServer::start(Arc::clone(&registry), config.serve.clone());
-            let wire = WireServer::start_local(server.handle(), config.wire.clone())?;
+            // Each observed shard gets its *own* registry + span ring —
+            // scrape_all later merges them under a `shard` label, so
+            // per-shard registries keep the series disentangled.
+            let obs = config
+                .observability
+                .then(|| ServeObs::with_defaults(Arc::new(MetricsRegistry::new())));
+            let server = match &obs {
+                Some(o) => PwlServer::start_with_obs(
+                    Arc::clone(&registry),
+                    config.serve.clone(),
+                    o.clone(),
+                ),
+                None => PwlServer::start(Arc::clone(&registry), config.serve.clone()),
+            };
+            let wire = match &obs {
+                Some(o) => WireServer::start_local_with_obs(
+                    server.handle(),
+                    config.wire.clone(),
+                    o.clone(),
+                )?,
+                None => WireServer::start_local(server.handle(), config.wire.clone())?,
+            };
             let addr = wire.local_addr();
             let client = WireClient::connect(addr)?;
             shards.push(Shard {
@@ -173,6 +244,8 @@ impl ShardRouter {
                 client,
                 state: AtomicU8::new(ShardState::Healthy.as_u8()),
                 runtime: Mutex::new(Some(ShardRuntime { wire, server })),
+                obs,
+                transitions: transitions.clone(),
             });
         }
         let shared = Arc::new(RouterShared {
@@ -193,6 +266,7 @@ impl ShardRouter {
             overrides: config.overrides,
             max_attempts: config.max_attempts.max(1),
             health,
+            obs: router_obs,
         })
     }
 
@@ -240,6 +314,65 @@ impl ShardRouter {
         let shard = self.shard(idx)?;
         let runtime = shard.runtime.lock().unwrap();
         Ok(runtime.as_ref().map_or(0, |r| r.wire.inflight()))
+    }
+
+    /// Shard `idx`'s metrics registry (`None` when the deployment was
+    /// not started with [`RouterConfig::observability`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoSuchShard`].
+    pub fn shard_metrics(&self, idx: usize) -> Result<Option<Arc<MetricsRegistry>>, RouterError> {
+        Ok(self
+            .shard(idx)?
+            .obs
+            .as_ref()
+            .map(|o| Arc::clone(&o.metrics)))
+    }
+
+    /// Shard `idx`'s span recorder (`None` when unobserved).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoSuchShard`].
+    pub fn shard_spans(&self, idx: usize) -> Result<Option<Arc<SpanRecorder>>, RouterError> {
+        Ok(self.shard(idx)?.obs.as_ref().map(|o| Arc::clone(&o.spans)))
+    }
+
+    /// A point-in-time snapshot of shard `idx`'s metrics, unlabelled
+    /// (`None` when unobserved).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoSuchShard`].
+    pub fn shard_snapshot(&self, idx: usize) -> Result<Option<MetricsSnapshot>, RouterError> {
+        Ok(self.shard(idx)?.obs.as_ref().map(|o| o.metrics.snapshot()))
+    }
+
+    /// The router's own metrics registry — retries, failovers, health
+    /// transitions (`None` when unobserved).
+    pub fn router_metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.obs.as_ref().map(|o| Arc::clone(&o.metrics))
+    }
+
+    /// One deployment-wide snapshot: the router's own series merged
+    /// with every observed shard's snapshot, each shard's series
+    /// disambiguated with a `shard="<idx>"` label. Equals (by
+    /// construction — snapshots are merged locally, not scraped over
+    /// the wire) the label-then-merge of [`Self::shard_snapshot`] over
+    /// all shards plus [`Self::router_metrics`]'s snapshot.
+    pub fn scrape_all(&self) -> MetricsSnapshot {
+        let mut total = self
+            .obs
+            .as_ref()
+            .map(|o| o.metrics.snapshot())
+            .unwrap_or_default();
+        for (i, shard) in self.shared.shards.iter().enumerate() {
+            if let Some(obs) = &shard.obs {
+                total.merge(&obs.metrics.snapshot().with_label("shard", &i.to_string()));
+            }
+        }
+        total
     }
 
     /// The shard a fresh submission for `func` routes to right now.
@@ -306,17 +439,34 @@ impl ShardRouter {
                 Ok(v) => return Ok(v),
                 Err(e) if !e.is_retryable() => return Err(RouterError::Rejected(e)),
                 Err(e) => {
-                    match &e {
+                    if let Some(o) = &self.obs {
+                        o.retries.inc();
+                    }
+                    let unroutable = match &e {
                         // Backpressure: honor the server's hint, then
                         // try again (same shard, usually).
-                        WireError::RetryAfter { hint } => std::thread::sleep(*hint),
-                        WireError::Draining => shard.set_state(ShardState::Draining),
+                        WireError::RetryAfter { hint } => {
+                            std::thread::sleep(*hint);
+                            false
+                        }
+                        WireError::Draining => {
+                            shard.set_state(ShardState::Draining);
+                            true
+                        }
                         WireError::ConnectionClosed
                         | WireError::Io(_)
-                        | WireError::ShuttingDown => shard.set_state(ShardState::Down),
+                        | WireError::ShuttingDown => {
+                            shard.set_state(ShardState::Down);
+                            true
+                        }
                         // Internal/timeout: plain retry; re-serving is
                         // harmless (evaluation is pure).
-                        _ => {}
+                        _ => false,
+                    };
+                    if unroutable {
+                        if let Some(o) = &self.obs {
+                            o.failovers.inc();
+                        }
                     }
                     last = e;
                 }

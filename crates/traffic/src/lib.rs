@@ -74,7 +74,10 @@ pub mod trace;
 pub use arrival::ArrivalProcess;
 pub use clock::VirtualClock;
 pub use drift::{population_stability, DriftDetector, DriftThreshold, DriftVerdict};
-pub use retune::{AdaptiveRetuner, RetuneError, RetuneEvent, RetunePolicy, RetunerHandle};
+pub use retune::{
+    AdaptiveRetuner, RetuneError, RetuneEvent, RetunePolicy, RetunerHandle, M_DRIFT_SCORE,
+    M_RETUNES, M_RETUNE_FAILURES,
+};
 pub use sampler::InputSampler;
 pub use sim::{replay_rounds, simulate, FunctionLoad, ReplayReport, SamplerShift, WorkloadSpec};
 pub use trace::{Trace, TraceError, TraceEvent};

@@ -24,11 +24,20 @@
 //! wraps the same loop in a background thread for production use.
 
 use crate::drift::{DriftDetector, DriftThreshold, DriftVerdict};
+use flexsfu_obs::{labeled, Counter, Gauge, MetricsRegistry};
 use flexsfu_serve::{FunctionId, FunctionRegistry, InputHistogramSnapshot};
 use flexsfu_tune::{tune_named_weighted, GridWeights, TuneBudget, TuneOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Gauge (per watched function, `function` label): the most recent
+/// drift score — the same bits the emitted [`RetuneEvent`] carries.
+pub const M_DRIFT_SCORE: &str = "flexsfu_adaptive_drift_score";
+/// Counter: retunes that published a new table.
+pub const M_RETUNES: &str = "flexsfu_adaptive_retunes_total";
+/// Counter: drift-triggered retunes that failed (tune or publish).
+pub const M_RETUNE_FAILURES: &str = "flexsfu_adaptive_retune_failures_total";
 
 /// How the retuner reacts to drift.
 #[derive(Debug, Clone)]
@@ -124,6 +133,14 @@ struct Watched {
     detector: DriftDetector,
     /// Live window accumulated since the last retune (or watch start).
     window: InputHistogramSnapshot,
+    /// Published drift score, when the loop is metered.
+    score: Option<Arc<Gauge>>,
+}
+
+struct RetunerObs {
+    metrics: Arc<MetricsRegistry>,
+    retunes: Arc<Counter>,
+    failures: Arc<Counter>,
 }
 
 /// The adaptive retuning loop. See the module docs for the lifecycle.
@@ -131,6 +148,7 @@ pub struct AdaptiveRetuner {
     registry: Arc<FunctionRegistry>,
     policy: RetunePolicy,
     watched: Vec<Watched>,
+    obs: Option<RetunerObs>,
 }
 
 impl AdaptiveRetuner {
@@ -140,7 +158,27 @@ impl AdaptiveRetuner {
             registry,
             policy,
             watched: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Publishes the loop's decisions into `metrics`: every poll writes
+    /// each watched function's drift score to the
+    /// [`M_DRIFT_SCORE`]`{function=…}` gauge, and every retune outcome
+    /// bumps [`M_RETUNES`] or [`M_RETUNE_FAILURES`]. Pass the registry a
+    /// deployment already scrapes (a shard's own registry, say) and the
+    /// adaptive loop shows up in the same exposition for free.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        let obs = RetunerObs {
+            retunes: metrics.counter(M_RETUNES),
+            failures: metrics.counter(M_RETUNE_FAILURES),
+            metrics,
+        };
+        for w in &mut self.watched {
+            w.score = Some(score_gauge(&obs.metrics, &w.name));
+        }
+        self.obs = Some(obs);
+        self
     }
 
     /// Watches `name`, pinning `reference` as the tuning-time input
@@ -175,6 +213,7 @@ impl AdaptiveRetuner {
             name: name.to_string(),
             detector: DriftDetector::new(reference, self.policy.threshold, self.policy.min_samples),
             window,
+            score: self.obs.as_ref().map(|o| score_gauge(&o.metrics, name)),
         });
         Ok(())
     }
@@ -206,6 +245,7 @@ impl AdaptiveRetuner {
             name: name.to_string(),
             detector: DriftDetector::new(reference, self.policy.threshold, self.policy.min_samples),
             window,
+            score: self.obs.as_ref().map(|o| score_gauge(&o.metrics, name)),
         });
         Ok(())
     }
@@ -233,11 +273,19 @@ impl AdaptiveRetuner {
                     function: w.name.clone(),
                     samples,
                 },
-                DriftVerdict::Stable { score } => RetuneEvent::Stable {
-                    function: w.name.clone(),
-                    score,
-                },
+                DriftVerdict::Stable { score } => {
+                    if let Some(g) = &w.score {
+                        g.set(score);
+                    }
+                    RetuneEvent::Stable {
+                        function: w.name.clone(),
+                        score,
+                    }
+                }
                 DriftVerdict::Drifted { score } => {
+                    if let Some(g) = &w.score {
+                        g.set(score);
+                    }
                     let weights = GridWeights::from_histogram(&w.window);
                     let outcome = tune_named_weighted(
                         &w.name,
@@ -257,6 +305,9 @@ impl AdaptiveRetuner {
                             // The drifted window is the new normal.
                             w.detector.rebase(w.window.clone());
                             w.window.clear();
+                            if let Some(o) = &self.obs {
+                                o.retunes.inc();
+                            }
                             RetuneEvent::Retuned {
                                 function: w.name.clone(),
                                 score,
@@ -264,11 +315,16 @@ impl AdaptiveRetuner {
                                 backend: plan.winner().config.backend.backend_label().to_string(),
                             }
                         }
-                        Err(error) => RetuneEvent::Failed {
-                            function: w.name.clone(),
-                            score,
-                            error,
-                        },
+                        Err(error) => {
+                            if let Some(o) = &self.obs {
+                                o.failures.inc();
+                            }
+                            RetuneEvent::Failed {
+                                function: w.name.clone(),
+                                score,
+                                error,
+                            }
+                        }
                     }
                 }
             };
@@ -301,6 +357,10 @@ impl AdaptiveRetuner {
             .expect("spawn retuner thread");
         RetunerHandle { stop, events, join }
     }
+}
+
+fn score_gauge(metrics: &MetricsRegistry, name: &str) -> Arc<Gauge> {
+    metrics.gauge(&labeled(M_DRIFT_SCORE, &[("function", name)]))
 }
 
 /// Handle to a spawned background retuner.

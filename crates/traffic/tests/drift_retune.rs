@@ -17,12 +17,17 @@
 
 use flexsfu_core::init::uniform_pwl;
 use flexsfu_core::PwlEvaluator;
+use flexsfu_obs::{
+    labeled, Clock, ManualClock, MetricsRegistry, SampleRate, Span, SpanRecorder, Stage,
+};
 use flexsfu_serve::testkit::with_watchdog;
 use flexsfu_serve::{
-    FunctionRegistry, InputHistogramSnapshot, PwlServer, ServeConfig, INPUT_HIST_BUCKETS,
+    FunctionRegistry, InputHistogramSnapshot, PwlServer, ServeConfig, ServeObs, INPUT_HIST_BUCKETS,
 };
 use flexsfu_traffic::arrival::ArrivalProcess;
-use flexsfu_traffic::retune::{AdaptiveRetuner, RetuneEvent, RetunePolicy};
+use flexsfu_traffic::retune::{
+    AdaptiveRetuner, RetuneEvent, RetunePolicy, M_DRIFT_SCORE, M_RETUNES, M_RETUNE_FAILURES,
+};
 use flexsfu_traffic::sampler::InputSampler;
 use flexsfu_traffic::sim::{replay_rounds, simulate, FunctionLoad, SamplerShift, WorkloadSpec};
 use flexsfu_traffic::trace::Trace;
@@ -350,6 +355,151 @@ fn replaying_the_recorded_trace_reproduces_the_decision_sequence() {
         assert_eq!(decisions_a, decisions_b);
         assert_eq!(report_a, report_b);
         assert_eq!(swapped_a, swapped_b);
+    });
+}
+
+/// One fully observed deployment run on a virtual span clock: a fresh
+/// serve stack whose [`SpanRecorder`] stamps from a [`ManualClock`]
+/// advanced exactly once per round barrier, with the retuner's
+/// decisions metered into the same registry.
+#[allow(clippy::type_complexity)]
+fn observed_run(
+    trace_bytes: &[u8],
+) -> (
+    Vec<Span>,
+    Vec<RetuneEvent>,
+    ReplayReport,
+    flexsfu_obs::MetricsSnapshot,
+) {
+    let trace = Trace::decode(trace_bytes).expect("valid trace bytes");
+    let registry = Arc::new(FunctionRegistry::new());
+    registry.register(
+        "tanh",
+        &uniform_pwl(
+            flexsfu_funcs::by_name("tanh").unwrap().as_ref(),
+            31,
+            (-8.0, 8.0),
+        ),
+    );
+    registry.register(
+        "gelu",
+        &uniform_pwl(
+            flexsfu_funcs::by_name("gelu").unwrap().as_ref(),
+            31,
+            (-8.0, 8.0),
+        ),
+    );
+    let metrics = Arc::new(MetricsRegistry::new());
+    let clock = Arc::new(ManualClock::new());
+    let spans = Arc::new(SpanRecorder::new(
+        1024,
+        SampleRate(4),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    ));
+    let server = PwlServer::start_with_obs(
+        Arc::clone(&registry),
+        ServeConfig::default(),
+        ServeObs::new(Arc::clone(&metrics), Arc::clone(&spans)),
+    );
+    let handle = server.handle();
+    let mut retuner =
+        AdaptiveRetuner::new(Arc::clone(&registry), policy()).with_metrics(Arc::clone(&metrics));
+    let mut decisions = Vec::new();
+    let report = replay_rounds(
+        &trace,
+        &handle,
+        &|name| registry.id_of(name),
+        200,
+        |round| {
+            // Every stamp of round k reads k ms of virtual time; the
+            // round barrier guarantees all of round k's stamps landed
+            // before this advance.
+            clock.advance(1_000_000);
+            if round == 0 {
+                retuner.watch_current("tanh").unwrap();
+            } else {
+                decisions.extend(retuner.poll());
+            }
+        },
+    )
+    .unwrap();
+    let mut dump = spans.dump();
+    dump.sort_by_key(|s| s.job);
+    let snap = metrics.snapshot();
+    server.shutdown();
+    (dump, decisions, report, snap)
+}
+
+#[test]
+fn span_stamps_replay_bit_identically_on_a_virtual_clock() {
+    with_watchdog(240, "span_stamps_replay_bit_identically", || {
+        // The step-change scenario: drift fires mid-trace, so the run
+        // exercises retune accounting alongside the span pipeline.
+        let spec = WorkloadSpec {
+            seed: 23,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 1e5 },
+            functions: vec![centered_tanh_load()],
+            shifts: vec![tail_shift(6_000_000)],
+        };
+        let bytes = simulate(&spec, u64::MAX, 2400).encode();
+
+        let (spans_a, decisions_a, report_a, snap_a) = observed_run(&bytes);
+        let (spans_b, decisions_b, report_b, snap_b) = observed_run(&bytes);
+
+        // Zero lost jobs and the decision sequence replays, as before —
+        // now under full observability.
+        assert_eq!(report_a.submitted, 2400);
+        assert_eq!(report_a.completed, 2400);
+        assert_eq!(report_a, report_b);
+        assert_eq!(decisions_a, decisions_b);
+
+        // The acceptance pin: every sampled span — job id, function,
+        // and all stage stamps — is bit-identical across two fresh
+        // deployments of the same trace.
+        assert_eq!(spans_a.len(), 2400 / 4, "1-in-4 sampling of the trace");
+        assert_eq!(spans_a, spans_b);
+
+        // The stamps really come from the virtual clock: in-process
+        // serving runs submit → scatter-back within one frozen round,
+        // never reaching the wire, and later rounds stamp later values.
+        for s in &spans_a {
+            let submit = s.stage(Stage::Submit).expect("submit stamped");
+            assert_eq!(submit % 1_000_000, 0, "stamp off the round grid");
+            assert_eq!(s.stage(Stage::Enqueue), Some(submit));
+            assert_eq!(s.stage(Stage::FlushPlan), Some(submit));
+            assert_eq!(s.stage(Stage::BackendEval), Some(submit));
+            assert_eq!(s.stage(Stage::ScatterBack), Some(submit));
+            assert_eq!(s.stage(Stage::WireWrite), None);
+        }
+        let first = spans_a.first().unwrap().stage(Stage::Submit).unwrap();
+        let last = spans_a.last().unwrap().stage(Stage::Submit).unwrap();
+        assert!(last > first, "virtual time never advanced across rounds");
+
+        // The retuner's decisions surfaced as metrics, identically in
+        // both runs: the step change retuned (never failed), and the
+        // gauge holds the exact score bits of the last scored verdict.
+        assert!(snap_a.counter(M_RETUNES).unwrap_or(0) >= 1);
+        assert_eq!(snap_a.counter(M_RETUNE_FAILURES).unwrap_or(0), 0);
+        assert_eq!(snap_a.counter(M_RETUNES), snap_b.counter(M_RETUNES));
+        let gauge_key = labeled(M_DRIFT_SCORE, &[("function", "tanh")]);
+        let last_score = decisions_a
+            .iter()
+            .rev()
+            .find_map(|d| match d {
+                RetuneEvent::Stable { score, .. }
+                | RetuneEvent::Retuned { score, .. }
+                | RetuneEvent::Failed { score, .. } => Some(*score),
+                RetuneEvent::Insufficient { .. } => None,
+            })
+            .expect("at least one scored verdict");
+        assert_eq!(
+            snap_a.gauge(&gauge_key).map(f64::to_bits),
+            Some(last_score.to_bits())
+        );
+        assert_eq!(
+            snap_a.gauge(&gauge_key).map(f64::to_bits),
+            snap_b.gauge(&gauge_key).map(f64::to_bits)
+        );
     });
 }
 

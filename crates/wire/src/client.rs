@@ -12,6 +12,7 @@
 
 use crate::error::WireError;
 use crate::frame::{Frame, FrameReader};
+use flexsfu_obs::MetricsSnapshot;
 use flexsfu_serve::oneshot;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -44,6 +45,14 @@ pub struct Health {
     pub queued_elems: u64,
     /// Wire jobs accepted but not yet answered, server-wide.
     pub inflight: u64,
+    /// Jobs sitting in the serving queue (pre-flush).
+    pub queued_jobs: u64,
+    /// Flush units the server has dispatched (zero from a legacy peer
+    /// or an unobserved server).
+    pub flushes: u64,
+    /// p99 backend evaluation time in microseconds (zero from a legacy
+    /// peer or an unobserved server).
+    pub eval_p99_us: u64,
 }
 
 /// Client-side shared state: the mux table and the connection-dead
@@ -51,6 +60,7 @@ pub struct Health {
 struct ClientShared {
     pending: Mutex<HashMap<u64, PendingEntry>>,
     pings: Mutex<HashMap<u64, oneshot::Sender<Health>>>,
+    stats: Mutex<HashMap<u64, oneshot::Sender<Vec<u8>>>>,
     closed: AtomicBool,
 }
 
@@ -66,9 +76,10 @@ impl ClientShared {
         for e in entries {
             e.tx.send(Err(err.clone()));
         }
-        // Dropping the senders disconnects ping receivers, which
+        // Dropping the senders disconnects ping/scrape receivers, which
         // surfaces as a timeout/closed error at the caller.
         self.pings.lock().unwrap().clear();
+        self.stats.lock().unwrap().clear();
     }
 }
 
@@ -99,6 +110,7 @@ impl WireClient {
         let shared = Arc::new(ClientShared {
             pending: Mutex::new(HashMap::new()),
             pings: Mutex::new(HashMap::new()),
+            stats: Mutex::new(HashMap::new()),
             closed: AtomicBool::new(false),
         });
         let reader = {
@@ -171,6 +183,37 @@ impl WireClient {
             Ok(h) => Ok(h),
             Err(oneshot::RecvTimeoutError::Timeout) => {
                 self.shared.pings.lock().unwrap().remove(&nonce);
+                Err(WireError::Timeout)
+            }
+            Err(oneshot::RecvTimeoutError::Disconnected) => Err(WireError::ConnectionClosed),
+        }
+    }
+
+    /// Scrapes the server's metrics: sends a [`Frame::StatsRequest`]
+    /// and waits up to `timeout` for the decoded snapshot. A server
+    /// running without observability answers an empty snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Timeout`] if no stats frame arrives in time,
+    /// [`WireError::BadSnapshot`] if the blob does not decode, and
+    /// [`WireError::ConnectionClosed`]/[`WireError::Io`] if the
+    /// connection is gone.
+    pub fn scrape(&self, timeout: Duration) -> Result<MetricsSnapshot, WireError> {
+        if self.is_closed() {
+            return Err(WireError::ConnectionClosed);
+        }
+        let nonce = self.next_req.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = oneshot::channel();
+        self.shared.stats.lock().unwrap().insert(nonce, tx);
+        if let Err(e) = self.write_frame(&Frame::StatsRequest { nonce }) {
+            self.shared.stats.lock().unwrap().remove(&nonce);
+            return Err(e);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(blob) => MetricsSnapshot::decode(&blob).map_err(|_| WireError::BadSnapshot),
+            Err(oneshot::RecvTimeoutError::Timeout) => {
+                self.shared.stats.lock().unwrap().remove(&nonce);
                 Err(WireError::Timeout)
             }
             Err(oneshot::RecvTimeoutError::Disconnected) => Err(WireError::ConnectionClosed),
@@ -290,20 +333,35 @@ fn dispatch(frame: Frame, shared: &ClientShared) {
             draining,
             queued_elems,
             inflight,
+            queued_jobs,
+            flushes,
+            eval_p99_us,
         } => {
             if let Some(tx) = shared.pings.lock().unwrap().remove(&nonce) {
                 tx.send(Health {
                     draining,
                     queued_elems,
                     inflight,
+                    queued_jobs,
+                    flushes,
+                    eval_p99_us,
                 });
+            }
+        }
+        Frame::Stats { nonce, snapshot } => {
+            if let Some(tx) = shared.stats.lock().unwrap().remove(&nonce) {
+                tx.send(snapshot);
             }
         }
         // Client-to-server frames arriving at the client are a server
         // bug; dropping them is the safest recovery (tickets they can't
         // complete will surface ConnectionClosed when the server's
         // confusion inevitably kills the stream).
-        Frame::SubmitF64 { .. } | Frame::SubmitF32 { .. } | Frame::Ping { .. } | Frame::Drain => {}
+        Frame::SubmitF64 { .. }
+        | Frame::SubmitF32 { .. }
+        | Frame::Ping { .. }
+        | Frame::Drain
+        | Frame::StatsRequest { .. } => {}
     }
 }
 

@@ -45,6 +45,10 @@ pub enum WireError {
     /// request (e.g. an f32 result for an f64 submit) — a server bug
     /// surfaced as a typed error rather than a silent cast.
     UnexpectedPayload,
+    /// A [`crate::Frame::Stats`] blob did not decode as a metrics
+    /// snapshot (version skew or corruption) — the frame layer was
+    /// fine, the snapshot inside it was not.
+    BadSnapshot,
 }
 
 impl WireError {
@@ -101,6 +105,7 @@ impl std::fmt::Display for WireError {
             Self::ConnectionClosed => write!(f, "connection closed before the answer"),
             Self::Timeout => write!(f, "timed out waiting for the answer"),
             Self::UnexpectedPayload => write!(f, "server answered with a mismatched payload"),
+            Self::BadSnapshot => write!(f, "server's stats snapshot did not decode"),
         }
     }
 }

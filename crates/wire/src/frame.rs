@@ -144,7 +144,11 @@ pub enum Frame {
         /// Code-specific detail (function id, retry hint…).
         detail: u32,
     },
-    /// Health answer: the shard's drain state and queue load.
+    /// Health answer: the shard's drain state and queue load, plus a
+    /// telemetry tail (queued jobs, flushes, eval p99) that older peers
+    /// simply omit — the decoder accepts both the legacy 25-byte body
+    /// (tail reads as zeros) and the current 49-byte one, so mixed
+    /// protocol versions keep health-checking each other.
     Pong {
         /// The ping's nonce, echoed.
         nonce: u64,
@@ -154,6 +158,31 @@ pub enum Frame {
         queued_elems: u64,
         /// Wire jobs accepted but not yet answered on this server.
         inflight: u64,
+        /// Pending jobs (not elements) in the serving queue.
+        queued_jobs: u64,
+        /// Flush units dispatched since the server started (zero when
+        /// the server runs without observability).
+        flushes: u64,
+        /// p99 backend evaluation time in microseconds (zero without
+        /// observability).
+        eval_p99_us: u64,
+    },
+    /// Ask the server for its full metrics snapshot; answered by
+    /// [`Frame::Stats`].
+    StatsRequest {
+        /// Echoed in the stats reply — the client's correlation id.
+        nonce: u64,
+    },
+    /// The server's metrics snapshot as an opaque, versioned
+    /// `flexsfu-obs` blob ([`flexsfu_obs::MetricsSnapshot::encode`]) —
+    /// the codec only frames it, so the snapshot format can evolve
+    /// independently of the wire protocol.
+    Stats {
+        /// The request's nonce, echoed.
+        nonce: u64,
+        /// The encoded snapshot (empty snapshot when the server runs
+        /// without observability).
+        snapshot: Vec<u8>,
     },
 }
 
@@ -162,11 +191,13 @@ mod kind {
     pub const SUBMIT_F32: u8 = 0x02;
     pub const PING: u8 = 0x03;
     pub const DRAIN: u8 = 0x04;
+    pub const STATS_REQUEST: u8 = 0x05;
     pub const ACK: u8 = 0x81;
     pub const RESULT_F64: u8 = 0x82;
     pub const RESULT_F32: u8 = 0x83;
     pub const ERROR: u8 = 0x84;
     pub const PONG: u8 = 0x85;
+    pub const STATS: u8 = 0x86;
 }
 
 /// Why a byte sequence failed to decode. Every variant is a clean,
@@ -340,12 +371,31 @@ impl Frame {
                 draining,
                 queued_elems,
                 inflight,
+                queued_jobs,
+                flushes,
+                eval_p99_us,
             } => {
                 out.push(kind::PONG);
                 put_u64(out, *nonce);
                 out.push(u8::from(*draining));
                 put_u64(out, *queued_elems);
                 put_u64(out, *inflight);
+                put_u64(out, *queued_jobs);
+                put_u64(out, *flushes);
+                put_u64(out, *eval_p99_us);
+            }
+            Self::StatsRequest { nonce } => {
+                out.push(kind::STATS_REQUEST);
+                put_u64(out, *nonce);
+            }
+            Self::Stats { nonce, snapshot } => {
+                out.push(kind::STATS);
+                put_u64(out, *nonce);
+                put_u32(
+                    out,
+                    u32::try_from(snapshot.len()).expect("snapshot fits u32"),
+                );
+                out.extend_from_slice(snapshot);
             }
         }
         let payload = u32::try_from(out.len() - len_at - HEADER_LEN).expect("payload fits u32");
@@ -450,12 +500,44 @@ impl Frame {
                 else {
                     return Err(truncated(&c, 25));
                 };
+                // Version tolerance: a legacy peer's pong ends here; a
+                // current peer appends the three telemetry u64s. Any
+                // other length is still malformed (truncated tail here,
+                // surplus bytes by the trailing check below).
+                let (queued_jobs, flushes, eval_p99_us) = if c.remaining() == 0 {
+                    (0, 0, 0)
+                } else {
+                    let (Some(j), Some(fl), Some(p)) = (c.u64(), c.u64(), c.u64()) else {
+                        return Err(truncated(&c, 49));
+                    };
+                    (j, fl, p)
+                };
                 Self::Pong {
                     nonce,
                     draining: draining != 0,
                     queued_elems,
                     inflight,
+                    queued_jobs,
+                    flushes,
+                    eval_p99_us,
                 }
+            }
+            kind::STATS_REQUEST => {
+                let Some(nonce) = c.u64() else {
+                    return Err(truncated(&c, 8));
+                };
+                Self::StatsRequest { nonce }
+            }
+            kind::STATS => {
+                let (Some(nonce), Some(len)) = (c.u64(), c.u32()) else {
+                    return Err(truncated(&c, 12));
+                };
+                let len = len as usize;
+                if c.remaining() < len {
+                    return Err(truncated(&c, 12 + len));
+                }
+                let snapshot = c.take(len).unwrap().to_vec();
+                Self::Stats { nonce, snapshot }
             }
             other => return Err(FrameError::UnknownKind(other)),
         };
@@ -578,6 +660,18 @@ mod tests {
                 draining: true,
                 queued_elems: 1_000,
                 inflight: 3,
+                queued_jobs: 12,
+                flushes: 77,
+                eval_p99_us: 450,
+            },
+            Frame::StatsRequest { nonce: 41 },
+            Frame::Stats {
+                nonce: 41,
+                snapshot: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
+            Frame::Stats {
+                nonce: 42,
+                snapshot: vec![],
             },
         ]
     }
@@ -678,6 +772,63 @@ mod tests {
         assert!(matches!(
             Frame::decode_payload(&p),
             Err(FrameError::Truncated { .. })
+        ));
+        // Stats whose declared blob length outruns its bytes.
+        let mut p = vec![kind::STATS];
+        p.extend_from_slice(&7u64.to_le_bytes());
+        p.extend_from_slice(&100u32.to_le_bytes());
+        p.push(0);
+        assert!(matches!(
+            Frame::decode_payload(&p),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    /// The pre-telemetry 25-byte pong body must keep decoding (tail
+    /// fields read as zero), while partially-present tails stay typed
+    /// errors — the version-tolerance contract.
+    #[test]
+    fn legacy_pong_body_decodes_with_zero_tail() {
+        let mut legacy = vec![kind::PONG];
+        legacy.extend_from_slice(&9u64.to_le_bytes());
+        legacy.push(1);
+        legacy.extend_from_slice(&500u64.to_le_bytes());
+        legacy.extend_from_slice(&2u64.to_le_bytes());
+        assert_eq!(
+            Frame::decode_payload(&legacy),
+            Ok(Frame::Pong {
+                nonce: 9,
+                draining: true,
+                queued_elems: 500,
+                inflight: 2,
+                queued_jobs: 0,
+                flushes: 0,
+                eval_p99_us: 0,
+            })
+        );
+        // A torn telemetry tail is truncated, not silently zeroed.
+        let mut torn = legacy.clone();
+        torn.extend_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            Frame::decode_payload(&torn),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Surplus bytes past the full tail are still a desync.
+        let full = Frame::Pong {
+            nonce: 9,
+            draining: true,
+            queued_elems: 500,
+            inflight: 2,
+            queued_jobs: 3,
+            flushes: 4,
+            eval_p99_us: 5,
+        }
+        .encode();
+        let mut surplus = full[HEADER_LEN..].to_vec();
+        surplus.push(0xFF);
+        assert!(matches!(
+            Frame::decode_payload(&surplus),
+            Err(FrameError::TrailingBytes { .. })
         ));
     }
 }

@@ -31,6 +31,12 @@
 //!   boundary the sharded tier's zero-loss failover is built on.
 //! * [`WireError`] — every failure as a typed value, with
 //!   [`WireError::is_retryable`] as the failover predicate.
+//! * [`obs`] — the wire tier's telemetry names and its
+//!   [`flexsfu_obs`] wiring: frame/byte/error counters, the
+//!   ack-to-result latency histogram, `Frame::Stats` carrying a whole
+//!   metrics snapshot over the wire, and the extended `Pong` health
+//!   tail (queue depth, flushes, eval p99) that older peers simply
+//!   don't decode.
 //!
 //! The sharded deployment layer (hash routing, health checks, draining
 //! handoff) lives one crate up in `flexsfu-shard`; this crate is the
@@ -70,6 +76,7 @@
 mod client;
 mod error;
 pub mod frame;
+pub mod obs;
 mod server;
 
 pub use client::{AckProbe, Health, WireClient, WireTicket, WireTicketF32};

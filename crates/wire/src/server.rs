@@ -28,7 +28,9 @@
 //! connection), but carries no ordering relative to *other* requests.
 
 use crate::frame::{ErrorCode, Frame, FrameReader};
-use flexsfu_serve::{FunctionId, JobTicket, JobTicketF32, ServeError, ServeHandle};
+use crate::obs::WireObsState;
+use flexsfu_obs::{SpanCell, Stage};
+use flexsfu_serve::{FunctionId, JobTicket, JobTicketF32, ServeError, ServeHandle, ServeObs};
 use std::future::Future;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -104,6 +106,9 @@ struct ServerShared {
     /// reported in pongs so a router can wait out a drain.
     inflight: AtomicU64,
     conns: ConnGauge,
+    /// Pre-resolved telemetry handles; `None` runs the exact
+    /// pre-observability hot path.
+    obs: Option<Arc<WireObsState>>,
 }
 
 /// A running wire front-end over one [`flexsfu_serve::PwlServer`]'s
@@ -129,6 +134,52 @@ impl WireServer {
         addr: SocketAddr,
         config: WireConfig,
     ) -> std::io::Result<Self> {
+        Self::start_inner(handle, addr, config, None)
+    }
+
+    /// [`Self::start`] with telemetry: frame/byte/error counters, the
+    /// ack→answer histogram, pong telemetry tails, and
+    /// [`Frame::StatsRequest`] answered with real snapshots. Pass the
+    /// *same* [`ServeObs`] the serving engine was started with, so the
+    /// pong tail and the stats snapshot report the engine behind this
+    /// socket.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::start`].
+    pub fn start_with_obs(
+        handle: ServeHandle,
+        addr: SocketAddr,
+        config: WireConfig,
+        obs: ServeObs,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(
+            handle,
+            addr,
+            config,
+            Some(Arc::new(WireObsState::new(&obs))),
+        )
+    }
+
+    /// [`Self::start_with_obs`] on `127.0.0.1:0`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::start`].
+    pub fn start_local_with_obs(
+        handle: ServeHandle,
+        config: WireConfig,
+        obs: ServeObs,
+    ) -> std::io::Result<Self> {
+        Self::start_with_obs(handle, ([127, 0, 0, 1], 0).into(), config, obs)
+    }
+
+    fn start_inner(
+        handle: ServeHandle,
+        addr: SocketAddr,
+        config: WireConfig,
+        obs: Option<Arc<WireObsState>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -139,6 +190,7 @@ impl WireServer {
             draining: AtomicBool::new(false),
             inflight: AtomicU64::new(0),
             conns: ConnGauge::default(),
+            obs,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -256,9 +308,18 @@ fn accept_loop(
 }
 
 /// One accepted job awaiting its result in the pump.
-enum PendingJob {
-    F64(u64, JobTicket),
-    F32(u64, JobTicketF32),
+struct PendingJob {
+    req: u64,
+    /// Clock read at the ack write (0 when the server runs without
+    /// observability) — the start of the ack→answer histogram window.
+    t_ack: u64,
+    ticket: Ticket,
+}
+
+/// The parked ticket, either precision lane.
+enum Ticket {
+    F64(JobTicket),
+    F32(JobTicketF32),
 }
 
 /// The pump's shared state: tickets parked for completion, plus the
@@ -318,9 +379,12 @@ impl Wake for PumpWaker {
     }
 }
 
-/// Serialized frame writes over one connection.
+/// Serialized frame writes over one connection. Outbound telemetry
+/// (frames, bytes, per-code errors) is counted here, at the single
+/// choke point every reply funnels through.
 struct ConnWriter {
     stream: Mutex<TcpStream>,
+    obs: Option<Arc<WireObsState>>,
 }
 
 impl ConnWriter {
@@ -328,6 +392,9 @@ impl ConnWriter {
     /// caller stops using it — the peer is gone, nothing to report).
     fn send(&self, frame: &Frame) -> std::io::Result<()> {
         let bytes = frame.encode();
+        if let Some(o) = &self.obs {
+            o.count_outbound(frame, bytes.len());
+        }
         let mut s = self.stream.lock().unwrap();
         s.write_all(&bytes)
     }
@@ -345,6 +412,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<ServerShared>) {
             Ok(s) => Mutex::new(s),
             Err(_) => return,
         },
+        obs: shared.obs.clone(),
     });
 
     let pump = Pump::new();
@@ -382,7 +450,12 @@ fn read_frames(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
-            Ok(n) => reader.feed(&chunk[..n]),
+            Ok(n) => {
+                if let Some(o) = &shared.obs {
+                    o.bytes_in.add(n as u64);
+                }
+                reader.feed(&chunk[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -394,6 +467,9 @@ fn read_frames(
         loop {
             match reader.next_frame() {
                 Ok(Some(frame)) => {
+                    if let Some(o) = &shared.obs {
+                        o.frames_in.inc();
+                    }
                     if !handle_frame(frame, shared, writer, pump) {
                         return;
                     }
@@ -427,7 +503,7 @@ fn handle_frame(
                 return true;
             }
             match shared.handle.try_submit(FunctionId(func), data) {
-                Ok(ticket) => accept(req, PendingJob::F64(req, ticket), shared, writer, pump),
+                Ok(ticket) => accept(req, Ticket::F64(ticket), shared, writer, pump),
                 Err(e) => writer.send(&submit_error(req, &e, shared)).is_ok(),
             }
         }
@@ -436,18 +512,40 @@ fn handle_frame(
                 return true;
             }
             match shared.handle.try_submit_f32(FunctionId(func), data) {
-                Ok(ticket) => accept(req, PendingJob::F32(req, ticket), shared, writer, pump),
+                Ok(ticket) => accept(req, Ticket::F32(ticket), shared, writer, pump),
                 Err(e) => writer.send(&submit_error(req, &e, shared)).is_ok(),
             }
         }
         Frame::Ping { nonce } => {
             let depth = shared.handle.queue_depth();
+            // The telemetry tail reads the serving tier's own series —
+            // zeros when the server runs without observability.
+            let (flushes, eval_p99_us) = match &shared.obs {
+                Some(o) => (o.flush_units.get(), o.eval_ns.snapshot().p99() / 1_000),
+                None => (0, 0),
+            };
             writer
                 .send(&Frame::Pong {
                     nonce,
                     draining: shared.draining.load(Ordering::SeqCst),
                     queued_elems: depth.elems as u64,
                     inflight: shared.inflight.load(Ordering::SeqCst),
+                    queued_jobs: depth.jobs as u64,
+                    flushes,
+                    eval_p99_us,
+                })
+                .is_ok()
+        }
+        Frame::StatsRequest { nonce } => {
+            let snapshot = shared
+                .obs
+                .as_ref()
+                .map(|o| o.metrics.snapshot())
+                .unwrap_or_default();
+            writer
+                .send(&Frame::Stats {
+                    nonce,
+                    snapshot: snapshot.encode(),
                 })
                 .is_ok()
         }
@@ -461,7 +559,8 @@ fn handle_frame(
         | Frame::ResultF64 { .. }
         | Frame::ResultF32 { .. }
         | Frame::Error { .. }
-        | Frame::Pong { .. } => {
+        | Frame::Pong { .. }
+        | Frame::Stats { .. } => {
             let _ = writer.send(&Frame::Error {
                 req: 0,
                 code: ErrorCode::Protocol,
@@ -491,7 +590,7 @@ fn refuse_if_draining(req: u64, shared: &ServerShared, writer: &ConnWriter) -> b
 /// precedes its result on the wire.
 fn accept(
     req: u64,
-    job: PendingJob,
+    ticket: Ticket,
     shared: &ServerShared,
     writer: &ConnWriter,
     pump: &Pump,
@@ -502,8 +601,9 @@ fn accept(
         // the result harmlessly.
         return false;
     }
+    let t_ack = shared.obs.as_ref().map_or(0, |o| o.now_ns());
     shared.inflight.fetch_add(1, Ordering::SeqCst);
-    pump.add(job);
+    pump.add(PendingJob { req, t_ack, ticket });
     true
 }
 
@@ -554,11 +654,20 @@ fn pump_loop(pump: &Arc<Pump>, writer: &ConnWriter, shared: &ServerShared) {
         let mut still_pending = Vec::with_capacity(batch.len());
         for job in batch.drain(..) {
             match poll_job(job, &mut cx) {
-                Ok(frame) => {
+                Ok((frame, t_ack, span)) => {
                     // A dead socket is fine — the peer stopped caring;
                     // the job itself completed and is no longer
                     // in flight either way.
                     let _ = writer.send(&frame);
+                    if let Some(o) = &shared.obs {
+                        let now = o.now_ns();
+                        if t_ack != 0 {
+                            o.ack_to_result_ns.record(now.saturating_sub(t_ack));
+                        }
+                        if let Some(cell) = &span {
+                            cell.record(Stage::WireWrite, now);
+                        }
+                    }
                     shared.inflight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Err(job) => still_pending.push(job),
@@ -572,29 +681,59 @@ fn pump_loop(pump: &Arc<Pump>, writer: &ConnWriter, shared: &ServerShared) {
     }
 }
 
-/// Polls one parked job: `Ok(reply frame)` when complete, `Err(job)` to
-/// re-park. A `Disconnected` ticket (an evaluation-side failure, e.g.
-/// the testkit's drop-before-reply fault) answers
-/// [`ErrorCode::Internal`] — accepted jobs are always answered.
-fn poll_job(job: PendingJob, cx: &mut Context<'_>) -> Result<Frame, PendingJob> {
-    match job {
-        PendingJob::F64(req, mut ticket) => match std::pin::Pin::new(&mut ticket).poll(cx) {
-            Poll::Ready(Ok(data)) => Ok(Frame::ResultF64 { req, data }),
-            Poll::Ready(Err(_)) => Ok(Frame::Error {
+/// Polls one parked job: `Ok((reply frame, ack stamp, span))` when
+/// complete, `Err(job)` to re-park. A `Disconnected` ticket (an
+/// evaluation-side failure, e.g. the testkit's drop-before-reply
+/// fault) answers [`ErrorCode::Internal`] — accepted jobs are always
+/// answered.
+#[allow(clippy::type_complexity)]
+fn poll_job(
+    job: PendingJob,
+    cx: &mut Context<'_>,
+) -> Result<(Frame, u64, Option<Arc<SpanCell>>), PendingJob> {
+    let PendingJob { req, t_ack, ticket } = job;
+    match ticket {
+        Ticket::F64(mut ticket) => match std::pin::Pin::new(&mut ticket).poll(cx) {
+            Poll::Ready(Ok(data)) => Ok((
+                Frame::ResultF64 { req, data },
+                t_ack,
+                ticket.span().cloned(),
+            )),
+            Poll::Ready(Err(_)) => Ok((
+                Frame::Error {
+                    req,
+                    code: ErrorCode::Internal,
+                    detail: 0,
+                },
+                t_ack,
+                ticket.span().cloned(),
+            )),
+            Poll::Pending => Err(PendingJob {
                 req,
-                code: ErrorCode::Internal,
-                detail: 0,
+                t_ack,
+                ticket: Ticket::F64(ticket),
             }),
-            Poll::Pending => Err(PendingJob::F64(req, ticket)),
         },
-        PendingJob::F32(req, mut ticket) => match std::pin::Pin::new(&mut ticket).poll(cx) {
-            Poll::Ready(Ok(data)) => Ok(Frame::ResultF32 { req, data }),
-            Poll::Ready(Err(_)) => Ok(Frame::Error {
+        Ticket::F32(mut ticket) => match std::pin::Pin::new(&mut ticket).poll(cx) {
+            Poll::Ready(Ok(data)) => Ok((
+                Frame::ResultF32 { req, data },
+                t_ack,
+                ticket.span().cloned(),
+            )),
+            Poll::Ready(Err(_)) => Ok((
+                Frame::Error {
+                    req,
+                    code: ErrorCode::Internal,
+                    detail: 0,
+                },
+                t_ack,
+                ticket.span().cloned(),
+            )),
+            Poll::Pending => Err(PendingJob {
                 req,
-                code: ErrorCode::Internal,
-                detail: 0,
+                t_ack,
+                ticket: Ticket::F32(ticket),
             }),
-            Poll::Pending => Err(PendingJob::F32(req, ticket)),
         },
     }
 }

@@ -1,0 +1,272 @@
+//! End-to-end observability over a sharded deployment.
+//!
+//! One binary walks the whole telemetry surface the `flexsfu-obs` crate
+//! threads through the serving stack:
+//!
+//! 1. **Deploy observed** — a two-shard [`ShardRouter`] with
+//!    `observability: true`: every shard gets its own metrics registry
+//!    and sampled span ring, the router keeps its own registry for
+//!    routing decisions.
+//! 2. **Serve + adapt** — warm traffic on both shards, then a shifted
+//!    input distribution at GELU drives the [`AdaptiveRetuner`]
+//!    (metered into shard 0's registry) through drift-detect →
+//!    histogram-weighted retune → hot swap.
+//! 3. **Expose** — a per-stage latency table from the sampled spans
+//!    (submit → enqueue → flush-plan → backend-eval → scatter-back →
+//!    wire-write), and one [`ShardRouter::scrape_all`] snapshot that
+//!    provably equals the label-then-merge of every shard's own
+//!    snapshot, rendered as Prometheus text.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+//!
+//! [`ShardRouter`]: flexsfu::shard::ShardRouter
+//! [`ShardRouter::scrape_all`]: flexsfu::shard::ShardRouter::scrape_all
+//! [`AdaptiveRetuner`]: flexsfu::traffic::AdaptiveRetuner
+
+use flexsfu::core::init::uniform_pwl;
+use flexsfu::funcs::{Gelu, Tanh};
+use flexsfu::obs::{labeled, LogHistogram, Stage};
+use flexsfu::serve::obs::{M_FLUSH_UNITS, M_SUBMITS};
+use flexsfu::serve::FunctionId;
+use flexsfu::shard::{RouterConfig, ShardRouter};
+use flexsfu::traffic::{AdaptiveRetuner, RetuneEvent, RetunePolicy, M_RETUNES};
+use flexsfu::tune::TuneBudget;
+use flexsfu::wire::obs::{M_ACK_TO_RESULT_NS, M_FRAMES_IN, M_FRAMES_OUT};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+const GELU: FunctionId = FunctionId(0);
+const TANH: FunctionId = FunctionId(1);
+const ELEMS: usize = 64;
+
+/// Warm-phase GELU payload: deterministic sweep over `[-4, 4]`.
+fn warm_payload(i: usize) -> Vec<f64> {
+    (0..ELEMS)
+        .map(|j| -4.0 + 8.0 * ((i * ELEMS + j) % 257) as f64 / 256.0)
+        .collect()
+}
+
+/// Post-shift GELU payload: traffic jumps into the saturated tail.
+fn shifted_payload(i: usize) -> Vec<f64> {
+    (0..ELEMS)
+        .map(|j| 5.5 + 2.3 * ((i * ELEMS + j) % 193) as f64 / 192.0)
+        .collect()
+}
+
+fn main() {
+    // ── 1. Observed two-shard deployment ────────────────────────────
+    // GELU pinned to shard 0, tanh to shard 1, health thread off so the
+    // scrape-equality check below compares a quiescent deployment.
+    let overrides: HashMap<_, _> = [(GELU, 0usize), (TANH, 1usize)].into();
+    let config = RouterConfig {
+        health_interval: Duration::ZERO,
+        observability: true,
+        overrides,
+        ..RouterConfig::default()
+    };
+    let router = ShardRouter::deploy(2, config, |r| {
+        r.register("gelu", &uniform_pwl(&Gelu, 31, (-8.0, 8.0)));
+        r.register("tanh", &uniform_pwl(&Tanh, 31, (-6.0, 6.0)));
+    })
+    .expect("deploy observed router");
+    println!("deployed 2 observed shards (gelu -> shard 0, tanh -> shard 1)");
+
+    // ── 2a. Warm traffic on both shards ─────────────────────────────
+    for i in 0..120 {
+        router.eval_f64(GELU, &warm_payload(i)).expect("gelu eval");
+        router
+            .eval_f64(TANH, &warm_payload(i + 7))
+            .expect("tanh eval");
+    }
+
+    // ── 2b. Adaptive retuner, metered into shard 0's registry ───────
+    // The warm histogram becomes the reference; the retuner's gauge and
+    // counters land in the same registry `scrape_all` folds in, so the
+    // adaptive loop is visible in the deployment-wide scrape for free.
+    let policy = RetunePolicy {
+        min_samples: 1024,
+        ..RetunePolicy::quick(TuneBudget::max_error(f64::INFINITY))
+    };
+    let shard0_metrics = router
+        .shard_metrics(0)
+        .expect("shard 0 exists")
+        .expect("observability is on");
+    let mut retuner = AdaptiveRetuner::new(router.registry(0).expect("shard 0"), policy)
+        .with_metrics(shard0_metrics);
+    retuner.watch_current("gelu").expect("watch gelu");
+
+    let mut retuned = None;
+    'shifted: for round in 0..40 {
+        for i in 0..40 {
+            router
+                .eval_f64(GELU, &shifted_payload(round * 40 + i))
+                .expect("shifted eval");
+        }
+        for event in retuner.poll() {
+            if let RetuneEvent::Retuned {
+                score,
+                breakpoints,
+                backend,
+                ..
+            } = &event
+            {
+                println!(
+                    "round {round}: drift score {score:.4} -> retuned gelu \
+                     ({breakpoints} breakpoints, backend {backend}) and hot-swapped"
+                );
+                retuned = Some(event);
+                break 'shifted;
+            }
+        }
+    }
+    assert!(retuned.is_some(), "shifted traffic never drove a retune");
+    // Post-swap traffic keeps flowing through the new table.
+    router
+        .eval_f64(GELU, &shifted_payload(9_999))
+        .expect("post-swap eval");
+
+    // ── 3a. Per-stage latency table from shard 0's sampled spans ────
+    // The wire pump stamps the final stage just after writing the
+    // result frame, so settle until every dumped span is complete.
+    let spans = router
+        .shard_spans(0)
+        .expect("shard 0 exists")
+        .expect("observability is on");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let dump = loop {
+        let dump = spans.dump();
+        if !dump.is_empty() && dump.iter().all(|s| s.stage(Stage::WireWrite).is_some()) {
+            break dump;
+        }
+        assert!(Instant::now() < deadline, "spans never finished stamping");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    const LEGS: [(&str, Stage, Stage); 6] = [
+        ("submit   -> enqueue     ", Stage::Submit, Stage::Enqueue),
+        ("enqueue  -> flush plan  ", Stage::Enqueue, Stage::FlushPlan),
+        (
+            "flush    -> backend eval",
+            Stage::FlushPlan,
+            Stage::BackendEval,
+        ),
+        (
+            "backend  -> scatter back",
+            Stage::BackendEval,
+            Stage::ScatterBack,
+        ),
+        (
+            "scatter  -> wire write  ",
+            Stage::ScatterBack,
+            Stage::WireWrite,
+        ),
+        ("submit   -> wire write  ", Stage::Submit, Stage::WireWrite),
+    ];
+    println!("\nper-stage latency, {} sampled spans (ns):", dump.len());
+    println!("  {:<26} {:>9} {:>9} {:>9}", "leg", "p50", "p95", "p99");
+    let mut leg_p99_sum = 0u64;
+    for (label, from, to) in LEGS {
+        let h = LogHistogram::new();
+        for span in &dump {
+            let d = span
+                .between(from, to)
+                .expect("settled spans have every stage");
+            h.record(d);
+        }
+        let s = h.snapshot();
+        println!(
+            "  {:<26} {:>9} {:>9} {:>9}",
+            label,
+            s.p50(),
+            s.p95(),
+            s.p99()
+        );
+        if from != Stage::Submit {
+            leg_p99_sum += s.p99();
+        }
+    }
+    // Sanity: stage stamps are causally ordered in every span.
+    for span in &dump {
+        let mut prev = span.stage(Stage::Submit).expect("stamped");
+        for stage in [
+            Stage::Enqueue,
+            Stage::FlushPlan,
+            Stage::BackendEval,
+            Stage::ScatterBack,
+            Stage::WireWrite,
+        ] {
+            let t = span.stage(stage).expect("stamped");
+            assert!(prev <= t, "stages out of order");
+            prev = t;
+        }
+    }
+    println!("  (sum of leg p99 upper bounds: {leg_p99_sum} ns)");
+
+    // ── 3b. One scrape for the whole deployment ─────────────────────
+    // `scrape_all` merges locally, so it must equal the label-then-merge
+    // of the router's and every shard's own snapshot — exactly. The wire
+    // pumps finish post-write bookkeeping moments after results land, so
+    // settle until two passes agree.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let scrape = loop {
+        let mut expected = router.router_metrics().expect("observed").snapshot();
+        for idx in 0..2 {
+            let shard = router
+                .shard_snapshot(idx)
+                .expect("shard exists")
+                .expect("observability is on")
+                .with_label("shard", &idx.to_string());
+            expected.merge(&shard);
+        }
+        let got = router.scrape_all();
+        if got == expected {
+            break got;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "scrape_all never settled to the per-shard merge"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    println!("\nscrape_all == router metrics + per-shard labelled snapshots: verified");
+
+    // The headline series all moved.
+    let series = [
+        labeled(M_SUBMITS, &[("shard", "0")]),
+        labeled(M_SUBMITS, &[("shard", "1")]),
+        labeled(M_FLUSH_UNITS, &[("shard", "0")]),
+        labeled(M_FRAMES_IN, &[("shard", "0")]),
+        labeled(M_FRAMES_OUT, &[("shard", "1")]),
+        labeled(M_RETUNES, &[("shard", "0")]),
+    ];
+    println!("headline counters:");
+    for key in &series {
+        let v = scrape.counter(key).unwrap_or(0);
+        assert!(v > 0, "{key} never moved");
+        println!("  {key} = {v}");
+    }
+    let ack = scrape
+        .histogram(&labeled(M_ACK_TO_RESULT_NS, &[("shard", "0")]))
+        .expect("ack->result histogram scraped");
+    println!(
+        "  {} : count {}, p99 {} ns",
+        labeled(M_ACK_TO_RESULT_NS, &[("shard", "0")]),
+        ack.count(),
+        ack.p99()
+    );
+
+    // Prometheus text exposition — bucket series elided for brevity.
+    let text = scrape.render_prometheus();
+    let (kept, elided): (Vec<&str>, Vec<&str>) = text.lines().partition(|l| !l.contains("_bucket"));
+    println!(
+        "\nprometheus exposition ({} bucket lines elided):",
+        elided.len()
+    );
+    for line in kept {
+        println!("  {line}");
+    }
+
+    router.shutdown();
+    println!("\ndone: deployment drained cleanly");
+}

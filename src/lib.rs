@@ -40,6 +40,12 @@
 //! * [`shard`] — sharded deployment over the wire tier: hash routing
 //!   with overrides, wire-level health checks, and draining handoff
 //!   that loses no accepted job,
+//! * [`obs`] — the observability core threaded through every serving
+//!   layer: a sharded-atomic metrics registry with log-scale latency
+//!   histograms, sampled request-lifecycle spans on a swappable clock,
+//!   and mergeable snapshots with a versioned binary codec and a
+//!   Prometheus text rendering, scraped in one call from a whole
+//!   sharded deployment,
 //! * [`tune`] — the design-space exploration and auto-binding tuner:
 //!   sweep segments × formats × backends under a budget, compute the
 //!   Pareto frontier, and bind the winner into the serving registry in
@@ -89,6 +95,7 @@ pub use flexsfu_formats as formats;
 pub use flexsfu_funcs as funcs;
 pub use flexsfu_hw as hw;
 pub use flexsfu_nn as nn;
+pub use flexsfu_obs as obs;
 pub use flexsfu_optim as optim;
 pub use flexsfu_perf as perf;
 pub use flexsfu_serve as serve;
