@@ -287,9 +287,18 @@ impl HistogramSnapshot {
     }
 
     /// Upper bound of the bucket holding the `q`-quantile sample
-    /// (rank `ceil(q·n)`, clamped to `[1, n]`). Returns 0 when empty.
+    /// (rank `ceil(q·n)`, clamped to `[1, n]`).
     /// The reported value is within one bucket boundary (≤ 25% relative)
     /// of the exact order statistic.
+    ///
+    /// **Empty histograms return the sentinel `0`** — pinned contract,
+    /// not an accident: `0` never exceeds any ceiling, so SLO rules
+    /// and dashboards comparing against an idle histogram read "no
+    /// data" as "no breach" instead of a fake latency. The sentinel
+    /// coincides with the report for all-zero samples (bucket 0's
+    /// upper bound is 0); callers that must distinguish "empty" from
+    /// "every sample was zero" check [`HistogramSnapshot::count`]
+    /// first.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -510,6 +519,33 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.quantile(0.5), 0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    /// Pins the documented empty-histogram contract: every quantile of
+    /// an empty histogram — including out-of-range `q` — is the
+    /// sentinel `0`, any nonzero sample reports above the sentinel,
+    /// and `count()` is the disambiguator for all-zero data.
+    #[test]
+    fn empty_quantile_sentinel_is_pinned() {
+        let empty = HistogramSnapshot::new();
+        for q in [-1.0, 0.0, 0.5, 0.95, 0.99, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+        assert_eq!(empty.count(), 0);
+        let h = LogHistogram::new();
+        h.record(1);
+        assert!(
+            h.snapshot().quantile(0.5) > 0,
+            "real samples report above the sentinel"
+        );
+        // All-zero data coincides with the sentinel; count() tells them apart.
+        let zeros = LogHistogram::new();
+        zeros.record(0);
+        let s = zeros.snapshot();
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Declarative SLO rules over metric snapshots, with typed alert
+//! transitions.
+//!
+//! An [`SloEvaluator`] holds a handful of [`SloRule`]s — a histogram
+//! quantile ceiling, a gauge ceiling, a counter-ratio ceiling — and
+//! [`SloEvaluator::eval`]uates them against any [`MetricsSnapshot`]
+//! (a local scrape, a `scrape_all`, a collector's merged view). It is
+//! edge-triggered: only **transitions** come back, [`SloAlert::Firing`]
+//! when a rule first breaches and [`SloAlert::Resolved`] when it
+//! recovers, never a steady-state repeat.
+//!
+//! Wired to a registry ([`SloEvaluator::with_metrics`]), the evaluator
+//! publishes its state into the same telemetry it watches: a per-rule
+//! `flexsfu_slo_firing{rule=…}` gauge (1 firing / 0 resolved) and
+//! transition counters — the retuner-style loop pattern, now covering
+//! operability.
+//!
+//! A rule whose metric is absent from the snapshot is *not evaluated*
+//! (no data is not a breach); it keeps whatever state it had.
+
+use crate::metrics::{Gauge, MetricsRegistry};
+use crate::snapshot::MetricsSnapshot;
+use crate::{labeled, Counter};
+use std::sync::Arc;
+
+/// Gauge (per rule, `rule` label): 1 while the rule fires, else 0.
+pub const M_SLO_FIRING: &str = "flexsfu_slo_firing";
+/// Counter (per rule, `rule` label): transitions into firing.
+pub const M_SLO_FIRED: &str = "flexsfu_slo_fired_total";
+/// Counter (per rule, `rule` label): transitions back to resolved.
+pub const M_SLO_RESOLVED: &str = "flexsfu_slo_resolved_total";
+
+/// What a rule measures and the ceiling it enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloKind {
+    /// Histogram `metric`'s `q`-quantile must stay at or below
+    /// `ceiling` (same unit as the histogram's samples).
+    QuantileCeiling {
+        /// Histogram key, exactly as it appears in the snapshot.
+        metric: String,
+        /// Quantile in `[0, 1]` (e.g. `0.99`).
+        q: f64,
+        /// Inclusive ceiling on the quantile.
+        ceiling: u64,
+    },
+    /// Gauge `metric` must stay at or below `ceiling`.
+    GaugeCeiling {
+        /// Gauge key, exactly as it appears in the snapshot.
+        metric: String,
+        /// Inclusive ceiling on the gauge value.
+        ceiling: f64,
+    },
+    /// `numerator / denominator` (two counters) must stay at or below
+    /// `ceiling`. A zero denominator reads as ratio 0 (no traffic, no
+    /// breach).
+    RatioCeiling {
+        /// Numerator counter key (e.g. an error total).
+        numerator: String,
+        /// Denominator counter key (e.g. a request total).
+        denominator: String,
+        /// Inclusive ceiling on the ratio.
+        ceiling: f64,
+    },
+}
+
+/// A named SLO rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Stable rule name (lands in the `rule` label).
+    pub name: String,
+    /// What to measure and the ceiling.
+    pub kind: SloKind,
+}
+
+impl SloRule {
+    /// `metric`'s p99 must stay at or below `ceiling`.
+    pub fn p99_ceiling(name: &str, metric: &str, ceiling: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: SloKind::QuantileCeiling {
+                metric: metric.to_string(),
+                q: 0.99,
+                ceiling,
+            },
+        }
+    }
+
+    /// Gauge `metric` must stay at or below `ceiling`.
+    pub fn gauge_ceiling(name: &str, metric: &str, ceiling: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: SloKind::GaugeCeiling {
+                metric: metric.to_string(),
+                ceiling,
+            },
+        }
+    }
+
+    /// `numerator / denominator` must stay at or below `ceiling`.
+    pub fn ratio_ceiling(name: &str, numerator: &str, denominator: &str, ceiling: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: SloKind::RatioCeiling {
+                numerator: numerator.to_string(),
+                denominator: denominator.to_string(),
+                ceiling,
+            },
+        }
+    }
+}
+
+/// One edge-triggered alert transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloAlert {
+    /// The rule just breached its ceiling.
+    Firing {
+        /// Rule name.
+        rule: String,
+        /// Measured value at the breach.
+        value: f64,
+        /// The ceiling it crossed.
+        ceiling: f64,
+    },
+    /// The rule just recovered.
+    Resolved {
+        /// Rule name.
+        rule: String,
+        /// Measured value at recovery.
+        value: f64,
+    },
+}
+
+struct RuleState {
+    rule: SloRule,
+    firing: bool,
+    gauge: Option<Arc<Gauge>>,
+    fired: Option<Arc<Counter>>,
+    resolved: Option<Arc<Counter>>,
+}
+
+/// Evaluates a rule set against snapshots, emitting transitions.
+#[derive(Default)]
+pub struct SloEvaluator {
+    rules: Vec<RuleState>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl SloEvaluator {
+    /// An evaluator with no rules yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes rule state into `metrics`: [`M_SLO_FIRING`]`{rule=…}`
+    /// gauges and [`M_SLO_FIRED`]/[`M_SLO_RESOLVED`] transition
+    /// counters. Call before adding rules (or existing rules are wired
+    /// up retroactively).
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        for state in &mut self.rules {
+            wire(state, &metrics);
+        }
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Adds a rule (builder form).
+    pub fn rule(mut self, rule: SloRule) -> Self {
+        self.add_rule(rule);
+        self
+    }
+
+    /// Adds a rule, starting in the resolved state.
+    pub fn add_rule(&mut self, rule: SloRule) {
+        let mut state = RuleState {
+            rule,
+            firing: false,
+            gauge: None,
+            fired: None,
+            resolved: None,
+        };
+        if let Some(m) = &self.metrics {
+            wire(&mut state, m);
+        }
+        self.rules.push(state);
+    }
+
+    /// Rule names, in addition order.
+    pub fn rules(&self) -> Vec<&str> {
+        self.rules.iter().map(|s| s.rule.name.as_str()).collect()
+    }
+
+    /// True while `name` is in the firing state.
+    pub fn is_firing(&self, name: &str) -> bool {
+        self.rules.iter().any(|s| s.rule.name == name && s.firing)
+    }
+
+    /// Evaluates every rule against `snapshot` and returns the
+    /// transitions (empty when nothing changed state). Rules whose
+    /// metrics are absent keep their previous state.
+    pub fn eval(&mut self, snapshot: &MetricsSnapshot) -> Vec<SloAlert> {
+        let mut alerts = Vec::new();
+        for state in &mut self.rules {
+            let measured = match &state.rule.kind {
+                SloKind::QuantileCeiling { metric, q, ceiling } => snapshot
+                    .histogram(metric)
+                    .map(|h| (h.quantile(*q) as f64, *ceiling as f64)),
+                SloKind::GaugeCeiling { metric, ceiling } => {
+                    snapshot.gauge(metric).map(|v| (v, *ceiling))
+                }
+                SloKind::RatioCeiling {
+                    numerator,
+                    denominator,
+                    ceiling,
+                } => snapshot.counter(denominator).map(|d| {
+                    let n = snapshot.counter(numerator).unwrap_or(0) as f64;
+                    let ratio = if d == 0 { 0.0 } else { n / d as f64 };
+                    (ratio, *ceiling)
+                }),
+            };
+            let Some((value, ceiling)) = measured else {
+                continue;
+            };
+            let breach = value > ceiling;
+            if breach && !state.firing {
+                state.firing = true;
+                if let Some(g) = &state.gauge {
+                    g.set(1.0);
+                }
+                if let Some(c) = &state.fired {
+                    c.inc();
+                }
+                alerts.push(SloAlert::Firing {
+                    rule: state.rule.name.clone(),
+                    value,
+                    ceiling,
+                });
+            } else if !breach && state.firing {
+                state.firing = false;
+                if let Some(g) = &state.gauge {
+                    g.set(0.0);
+                }
+                if let Some(c) = &state.resolved {
+                    c.inc();
+                }
+                alerts.push(SloAlert::Resolved {
+                    rule: state.rule.name.clone(),
+                    value,
+                });
+            }
+        }
+        alerts
+    }
+}
+
+fn wire(state: &mut RuleState, metrics: &MetricsRegistry) {
+    let labels = [("rule", state.rule.name.as_str())];
+    let gauge = metrics.gauge(&labeled(M_SLO_FIRING, &labels));
+    gauge.set(if state.firing { 1.0 } else { 0.0 });
+    state.gauge = Some(gauge);
+    state.fired = Some(metrics.counter(&labeled(M_SLO_FIRED, &labels)));
+    state.resolved = Some(metrics.counter(&labeled(M_SLO_RESOLVED, &labels)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with(gauge: f64, errors: u64, reqs: u64, evals: &[u64]) -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.gauge("queue_depth").set(gauge);
+        r.counter("errors_total").add(errors);
+        r.counter("requests_total").add(reqs);
+        let h = r.histogram("eval_ns");
+        for &v in evals {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    fn evaluator() -> SloEvaluator {
+        SloEvaluator::new()
+            .rule(SloRule::p99_ceiling("eval_p99", "eval_ns", 10_000))
+            .rule(SloRule::gauge_ceiling("queue", "queue_depth", 8.0))
+            .rule(SloRule::ratio_ceiling(
+                "errors",
+                "errors_total",
+                "requests_total",
+                0.01,
+            ))
+    }
+
+    #[test]
+    fn transitions_fire_once_and_resolve_once() {
+        let mut slo = evaluator();
+        // Healthy: nothing fires.
+        assert!(slo
+            .eval(&snapshot_with(2.0, 0, 100, &[100, 200]))
+            .is_empty());
+        // Queue spikes: exactly one firing transition …
+        let alerts = slo.eval(&snapshot_with(20.0, 0, 100, &[100]));
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(
+            &alerts[0],
+            SloAlert::Firing { rule, value, ceiling } if rule == "queue" && *value == 20.0 && *ceiling == 8.0
+        ));
+        assert!(slo.is_firing("queue"));
+        // … and a steady breach stays silent.
+        assert!(slo.eval(&snapshot_with(25.0, 0, 100, &[100])).is_empty());
+        // Recovery: exactly one resolved transition.
+        let alerts = slo.eval(&snapshot_with(1.0, 0, 100, &[100]));
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(&alerts[0], SloAlert::Resolved { rule, .. } if rule == "queue"));
+        assert!(!slo.is_firing("queue"));
+    }
+
+    #[test]
+    fn quantile_and_ratio_rules_measure_correctly() {
+        let mut slo = evaluator();
+        // p99 over ceiling.
+        let alerts = slo.eval(&snapshot_with(0.0, 0, 100, &[1_000_000]));
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, SloAlert::Firing { rule, .. } if rule == "eval_p99")));
+        // Error ratio 5/100 over the 1% ceiling.
+        let alerts = slo.eval(&snapshot_with(0.0, 5, 100, &[1_000_000]));
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, SloAlert::Firing { rule, .. } if rule == "errors")));
+        // Zero denominator is not a breach.
+        let mut fresh = evaluator();
+        let alerts = fresh.eval(&snapshot_with(0.0, 5, 0, &[100]));
+        assert!(!alerts
+            .iter()
+            .any(|a| matches!(a, SloAlert::Firing { rule, .. } if rule == "errors")));
+    }
+
+    #[test]
+    fn absent_metrics_keep_state() {
+        let mut slo = evaluator();
+        slo.eval(&snapshot_with(20.0, 0, 100, &[100]));
+        assert!(slo.is_firing("queue"));
+        // An empty snapshot says nothing about the queue.
+        assert!(slo.eval(&MetricsSnapshot::new()).is_empty());
+        assert!(slo.is_firing("queue"));
+    }
+
+    #[test]
+    fn state_publishes_into_the_registry() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut slo = evaluator().with_metrics(Arc::clone(&metrics));
+        slo.eval(&snapshot_with(20.0, 0, 100, &[100]));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("flexsfu_slo_firing{rule=\"queue\"}"), Some(1.0));
+        assert_eq!(
+            snap.counter("flexsfu_slo_fired_total{rule=\"queue\"}"),
+            Some(1)
+        );
+        slo.eval(&snapshot_with(1.0, 0, 100, &[100]));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("flexsfu_slo_firing{rule=\"queue\"}"), Some(0.0));
+        assert_eq!(
+            snap.counter("flexsfu_slo_resolved_total{rule=\"queue\"}"),
+            Some(1)
+        );
+    }
+}

@@ -289,7 +289,7 @@ impl MetricsSnapshot {
             out.push_str(base);
             if let Some(l) = labels {
                 out.push('{');
-                out.push_str(l);
+                out.push_str(&escape_labels(l));
                 out.push('}');
             }
             out.push(' ');
@@ -367,6 +367,76 @@ impl MetricsSnapshot {
             }
         }
         out
+    }
+}
+
+/// Escapes label *values* for the Prometheus text format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+///
+/// Registry keys embed label values raw (`name{k="v"}` — the rendered
+/// string *is* the handle identity, so construction never rewrites it);
+/// the text exposition is where escaping is required, so the renderer
+/// re-parses the label block here. A value's closing quote is the `"`
+/// that ends the block or is followed by a `,key="` pair boundary —
+/// unambiguous for every value a single hostile label can produce
+/// (embedded quotes, trailing backslashes, newlines).
+fn escape_labels(labels: &str) -> String {
+    fn push_escaped(out: &mut String, value: &str) {
+        for ch in value.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+    }
+    /// Does `rest` (the text after a candidate closing quote) start a
+    /// new `,key="` pair (or end the block)?
+    fn pair_boundary(rest: &str) -> bool {
+        let b = rest.as_bytes();
+        if b.first() != Some(&b',') {
+            return false;
+        }
+        let mut k = 1;
+        while k < b.len() && b[k] != b'=' && b[k] != b',' && b[k] != b'"' {
+            k += 1;
+        }
+        k > 1 && k + 1 < b.len() && b[k] == b'=' && b[k + 1] == b'"'
+    }
+
+    let mut out = String::with_capacity(labels.len());
+    let mut rest = labels;
+    loop {
+        // Copy `key="` through verbatim.
+        let Some(eq) = rest.find("=\"") else {
+            out.push_str(rest);
+            return out;
+        };
+        out.push_str(&rest[..eq + 2]);
+        let value_and_on = &rest[eq + 2..];
+        // Find the closing quote of this value.
+        let mut probe = 0;
+        let close = loop {
+            match value_and_on[probe..].find('"') {
+                // Unterminated (malformed key): treat the remainder as
+                // the value and close it ourselves.
+                None => break value_and_on.len(),
+                Some(off) => {
+                    let q = probe + off;
+                    if q + 1 == value_and_on.len() || pair_boundary(&value_and_on[q + 1..]) {
+                        break q;
+                    }
+                    probe = q + 1;
+                }
+            }
+        };
+        push_escaped(&mut out, &value_and_on[..close]);
+        out.push('"');
+        if close >= value_and_on.len().saturating_sub(1) {
+            return out;
+        }
+        rest = &value_and_on[close + 1..];
     }
 }
 
@@ -506,6 +576,37 @@ mod tests {
         );
         assert_eq!(s.gauge("queue_depth{shard=\"1\"}"), Some(3.0));
         assert!(s.histogram("eval_ns{shard=\"1\"}").is_some());
+    }
+
+    /// Golden test for the escaping satellite: hostile label values
+    /// (embedded quote, backslash — including a trailing one — and a
+    /// newline) must render as valid Prometheus text, escaped exactly.
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let r = MetricsRegistry::new();
+        r.counter("req_total{path=\"a\\b\"c\nd\"}").add(7);
+        r.counter("req_total{trail=\"x\\\"}").add(1);
+        r.gauge("depth{f=\"he said \"hi\"\",shard=\"0\"}").set(2.0);
+        let h = r.histogram("lat_ns{name=\"q\"uote\"}");
+        h.record(100);
+        let text = r.snapshot().render_prometheus();
+        let b100 = bucket_upper(bucket_index(100)).to_string();
+        let expect = format!(
+            "# TYPE req_total counter\n\
+             req_total{{path=\"a\\\\b\\\"c\\nd\"}} 7\n\
+             req_total{{trail=\"x\\\\\"}} 1\n\
+             # TYPE depth gauge\n\
+             depth{{f=\"he said \\\"hi\\\"\",shard=\"0\"}} 2\n\
+             # TYPE lat_ns histogram\n\
+             lat_ns_bucket{{name=\"q\\\"uote\",le=\"{b100}\"}} 1\n\
+             lat_ns_bucket{{name=\"q\\\"uote\",le=\"+Inf\"}} 1\n\
+             lat_ns_sum{{name=\"q\\\"uote\"}} 100\n\
+             lat_ns_count{{name=\"q\\\"uote\"}} 1\n"
+        );
+        assert_eq!(text, expect);
+        // The hostile newline was escaped, not emitted: the exposition
+        // has exactly one line per sample/TYPE comment.
+        assert_eq!(text.lines().count(), 10);
     }
 
     #[test]

@@ -18,28 +18,45 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Lifecycle stages a request moves through, in pipeline order.
+///
+/// The first three stages are stamped router-side (`flexsfu-shard`), the
+/// rest shard-side; a distributed request's two spans share a trace id
+/// and split the array between them. Re-stamps are last-wins, so after a
+/// failover the surviving stamps are the *final* attempt's — `Retry`
+/// (stamped at each retry decision) lands between the first
+/// `RouteSelect` and the final `WireSubmit`, which keeps the array order
+/// equal to timestamp order on every path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Stage {
+    /// Router picked the serving shard (stamped once, first attempt).
+    RouteSelect = 0,
+    /// Router decided to retry after a failed attempt (last retry wins).
+    Retry = 1,
+    /// Router handed the request to the wire client (final attempt).
+    WireSubmit = 2,
     /// Request handed to the serving tier.
-    Submit = 0,
+    Submit = 3,
     /// Request accepted into the batching queue.
-    Enqueue = 1,
+    Enqueue = 4,
     /// Batcher planned the flush containing this request.
-    FlushPlan = 2,
+    FlushPlan = 5,
     /// Backend evaluation of the flush began.
-    BackendEval = 3,
+    BackendEval = 6,
     /// Results scattered back and the ticket completed.
-    ScatterBack = 4,
+    ScatterBack = 7,
     /// Result frame written to the client socket (wire tier only).
-    WireWrite = 5,
+    WireWrite = 8,
 }
 
 /// Number of [`Stage`] variants; the length of a span's stamp array.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 9;
 
 /// All stages, in pipeline order.
 pub const STAGES: [Stage; STAGE_COUNT] = [
+    Stage::RouteSelect,
+    Stage::Retry,
+    Stage::WireSubmit,
     Stage::Submit,
     Stage::Enqueue,
     Stage::FlushPlan,
@@ -52,6 +69,9 @@ impl Stage {
     /// Stable lower-case name (used in dumps and docs).
     pub fn name(self) -> &'static str {
         match self {
+            Stage::RouteSelect => "route_select",
+            Stage::Retry => "retry",
+            Stage::WireSubmit => "wire_submit",
             Stage::Submit => "submit",
             Stage::Enqueue => "enqueue",
             Stage::FlushPlan => "flush_plan",
@@ -72,16 +92,18 @@ const UNSET: u64 = u64::MAX;
 pub struct SpanCell {
     job: u64,
     func: u32,
+    trace: Option<u64>,
     stamps: [AtomicU64; STAGE_COUNT],
 }
 
 impl SpanCell {
-    fn new(job: u64, func: u32) -> Self {
+    fn new(job: u64, func: u32, trace: Option<u64>) -> Self {
         #[allow(clippy::declare_interior_mutable_const)]
         const EMPTY: AtomicU64 = AtomicU64::new(UNSET);
         Self {
             job,
             func,
+            trace,
             stamps: [EMPTY; STAGE_COUNT],
         }
     }
@@ -94,6 +116,15 @@ impl SpanCell {
     /// Numeric id of the function the job targets.
     pub fn func(&self) -> u32 {
         self.func
+    }
+
+    /// Distributed trace id, if this span participates in one.
+    ///
+    /// `Some` for spans originated by [`SpanRecorder::start_trace`]
+    /// (trace roots) and for spans adopted from a propagated id
+    /// ([`SpanRecorder::adopt`]); `None` for plain local samples.
+    pub fn trace(&self) -> Option<u64> {
+        self.trace
     }
 
     /// Stamps `stage` at `at_ns`. (`u64::MAX` is the reserved "unset"
@@ -120,6 +151,8 @@ pub struct Span {
     pub job: u64,
     /// Numeric function id.
     pub func: u32,
+    /// Distributed trace id; `None` for plain local samples.
+    pub trace: Option<u64>,
     /// Per-stage timestamps in ns; `None` = stage not reached (or not
     /// applicable — in-process callers never see a wire write).
     pub stamps: [Option<u64>; STAGE_COUNT],
@@ -230,14 +263,41 @@ impl SpanRecorder {
         if !job.is_multiple_of(self.rate as u64) {
             return None;
         }
-        let cell = Arc::new(SpanCell::new(job, func));
+        Some(self.register(SpanCell::new(job, func, None)))
+    }
+
+    /// Like [`SpanRecorder::try_start`], but a sampled span becomes the
+    /// *root* of a distributed trace: it carries a fresh nonzero trace
+    /// id (`job + 1`, so a sequential replay regenerates the same ids)
+    /// for downstream processes to adopt.
+    pub fn start_trace(&self, func: u32) -> Option<Arc<SpanCell>> {
+        let job = self.seq.fetch_add(1, Ordering::Relaxed);
+        if !job.is_multiple_of(self.rate as u64) {
+            return None;
+        }
+        Some(self.register(SpanCell::new(job, func, Some(job + 1))))
+    }
+
+    /// Adopts a trace id propagated from an upstream process.
+    ///
+    /// The upstream origin already made the sampling decision when it
+    /// minted the id, so adoption *always* records — local 1-in-N
+    /// sampling is bypassed (the job still claims a sequential id, so
+    /// interleaved untraced traffic keeps its cadence).
+    pub fn adopt(&self, func: u32, trace_id: u64) -> Arc<SpanCell> {
+        let job = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.register(SpanCell::new(job, func, Some(trace_id)))
+    }
+
+    fn register(&self, cell: SpanCell) -> Arc<SpanCell> {
+        let cell = Arc::new(cell);
         let mut ring = self.ring.lock().unwrap();
         if ring.slots.len() == self.capacity {
             ring.slots.pop_front();
             ring.dropped += 1;
         }
         ring.slots.push_back(Arc::clone(&cell));
-        Some(cell)
+        cell
     }
 
     /// Stamps `stage` on `cell` with the recorder's clock.
@@ -272,6 +332,7 @@ impl SpanRecorder {
                 Span {
                     job: cell.job,
                     func: cell.func,
+                    trace: cell.trace,
                     stamps,
                 }
             })
@@ -314,10 +375,11 @@ mod tests {
         assert_eq!(spans.len(), 1);
         let s = &spans[0];
         assert_eq!(s.func, 7);
-        assert_eq!(s.stage(Stage::Submit), Some(100));
-        assert_eq!(s.stage(Stage::WireWrite), Some(600));
+        assert_eq!(s.stage(Stage::RouteSelect), Some(100));
+        assert_eq!(s.stage(Stage::Submit), Some(400));
+        assert_eq!(s.stage(Stage::WireWrite), Some(900));
         assert_eq!(s.between(Stage::Submit, Stage::BackendEval), Some(300));
-        assert_eq!(s.total_ns(), Some(500));
+        assert_eq!(s.total_ns(), Some(800));
     }
 
     #[test]
@@ -329,6 +391,39 @@ mod tests {
         assert_eq!(s.stage(Stage::WireWrite), None);
         assert_eq!(s.between(Stage::Submit, Stage::WireWrite), None);
         assert_eq!(s.total_ns(), Some(0)); // only one stamp
+    }
+
+    #[test]
+    fn local_samples_carry_no_trace_id() {
+        let (_, rec) = recorder(1, 8);
+        let cell = rec.try_start(0).unwrap();
+        assert_eq!(cell.trace(), None);
+        assert_eq!(rec.dump()[0].trace, None);
+    }
+
+    #[test]
+    fn trace_roots_mint_sequential_nonzero_ids() {
+        let (_, rec) = recorder(2, 8);
+        let ids: Vec<Option<u64>> = (0..6)
+            .map(|f| rec.start_trace(f).map(|c| c.trace().unwrap()))
+            .collect();
+        // Jobs 0, 2, 4 sampled; trace id = job + 1, never zero.
+        assert_eq!(ids, [Some(1), None, Some(3), None, Some(5), None]);
+    }
+
+    #[test]
+    fn adoption_bypasses_sampling_and_keeps_the_propagated_id() {
+        let (_, rec) = recorder(1000, 8);
+        // Rate 1000 would sample only job 0 — adoption must ignore that.
+        let _ = rec.try_start(0); // job 0, sampled locally
+        let adopted = rec.adopt(7, 4242);
+        assert_eq!(adopted.trace(), Some(4242));
+        assert_eq!(adopted.job(), 1);
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 2, "adopted span always lands in the ring");
+        assert_eq!(dump[1].trace, Some(4242));
+        // Interleaved untraced traffic keeps its sequential cadence.
+        assert_eq!(rec.submitted(), 2);
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Cross-process trace assembly: joining span rings into waterfalls.
+//!
+//! A distributed request leaves one [`Span`] per process it crosses —
+//! the router's span carries the routing stages
+//! ([`Stage::RouteSelect`], [`Stage::Retry`], [`Stage::WireSubmit`])
+//! and mints the trace id, the serving shard's span carries the queue
+//! and backend stages and *adopts* that id off the wire. The
+//! [`TraceAssembler`] collects `dump()`s from any number of origins
+//! (the same collection sweep `scrape_all` does for metrics) and joins
+//! them by trace id into [`AssembledTrace`]s: one per-request waterfall
+//! with every stamped stage from every process, in provable order.
+//!
+//! Ordering across processes is only meaningful when the origins stamp
+//! from comparable clocks — in tests, one shared
+//! [`crate::ManualClock`]; in production, co-located monotonic clocks.
+//! [`AssembledTrace::is_consistent`] checks the resulting waterfall
+//! never steps backwards in pipeline order, which is exactly the
+//! cross-process claim a shared manual clock lets a test prove
+//! bit-exactly.
+
+use crate::span::{Span, Stage, STAGES};
+
+/// One process's span inside an assembled trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginSpan {
+    /// Label of the ring this span came from (e.g. `router`, `shard0`).
+    pub origin: String,
+    /// The span itself (its `trace` field equals the trace's id).
+    pub span: Span,
+}
+
+/// One stamped stage inside a waterfall, in flattened order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaterfallStep {
+    /// Origin label of the span that stamped this stage.
+    pub origin: String,
+    /// The stage that was stamped.
+    pub stage: Stage,
+    /// The stamp, in the origin clock's nanoseconds.
+    pub at_ns: u64,
+}
+
+/// Every span sharing one trace id, joined across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembledTrace {
+    /// The shared trace id (minted by the root span's recorder).
+    pub trace_id: u64,
+    /// Member spans, in origin registration order (root origin first
+    /// when it was added first), then by job id within an origin.
+    pub spans: Vec<OriginSpan>,
+}
+
+impl AssembledTrace {
+    /// Flattens every stamped stage into one sequence ordered by
+    /// timestamp, ties broken by pipeline position — so a frozen
+    /// manual clock (all stamps equal) still yields pipeline order.
+    pub fn waterfall(&self) -> Vec<WaterfallStep> {
+        let mut steps: Vec<WaterfallStep> = Vec::new();
+        for member in &self.spans {
+            for &stage in &STAGES {
+                if let Some(at_ns) = member.span.stage(stage) {
+                    steps.push(WaterfallStep {
+                        origin: member.origin.clone(),
+                        stage,
+                        at_ns,
+                    });
+                }
+            }
+        }
+        steps.sort_by_key(|s| (s.at_ns, s.stage as usize));
+        steps
+    }
+
+    /// True when the waterfall never moves backwards: timestamps are
+    /// non-decreasing (guaranteed by construction) *and* pipeline
+    /// positions are non-decreasing — i.e. no shard stage is stamped
+    /// before a router stage that precedes it in the pipeline, across
+    /// process boundaries.
+    pub fn is_consistent(&self) -> bool {
+        let steps = self.waterfall();
+        steps
+            .windows(2)
+            .all(|w| w[0].stage as usize <= w[1].stage as usize)
+    }
+
+    /// End-to-end duration: first stamp anywhere to last stamp
+    /// anywhere (saturating); `None` for an empty trace.
+    pub fn total_ns(&self) -> Option<u64> {
+        let steps = self.waterfall();
+        let first = steps.first()?.at_ns;
+        let last = steps.last()?.at_ns;
+        Some(last.saturating_sub(first))
+    }
+
+    /// Multi-line human rendering of the waterfall, one stage per
+    /// line: `origin  stage  @ ns`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {} ({} span{})",
+            self.trace_id,
+            self.spans.len(),
+            if self.spans.len() == 1 { "" } else { "s" }
+        );
+        for step in self.waterfall() {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<13} @ {} ns",
+                step.origin,
+                step.stage.name(),
+                step.at_ns
+            );
+        }
+        out
+    }
+}
+
+/// Joins span dumps from many origins into per-request traces.
+///
+/// Feed it `dump()`s (router ring, each shard's ring); `assemble()`
+/// groups every span that carries a trace id by that id and returns
+/// the traces sorted by id. Untraced local samples are skipped — they
+/// belong to exactly one process and need no assembly.
+#[derive(Debug, Default)]
+pub struct TraceAssembler {
+    origins: Vec<(String, Vec<Span>)>,
+}
+
+impl TraceAssembler {
+    /// An assembler with no origins yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one origin's span dump under `label`. Add the trace-root
+    /// origin (the router) first so its span leads each trace.
+    pub fn add_origin(&mut self, label: impl Into<String>, spans: Vec<Span>) -> &mut Self {
+        self.origins.push((label.into(), spans));
+        self
+    }
+
+    /// Groups spans by trace id; traces sorted ascending by id, member
+    /// spans in origin order then job order — fully deterministic for
+    /// a replayed deployment.
+    pub fn assemble(&self) -> Vec<AssembledTrace> {
+        let mut traces: Vec<AssembledTrace> = Vec::new();
+        for (label, spans) in &self.origins {
+            let mut sorted: Vec<&Span> = spans.iter().filter(|s| s.trace.is_some()).collect();
+            sorted.sort_by_key(|s| s.job);
+            for span in sorted {
+                let id = span.trace.expect("filtered to traced spans");
+                let member = OriginSpan {
+                    origin: label.clone(),
+                    span: span.clone(),
+                };
+                match traces.iter_mut().find(|t| t.trace_id == id) {
+                    Some(t) => t.spans.push(member),
+                    None => traces.push(AssembledTrace {
+                        trace_id: id,
+                        spans: vec![member],
+                    }),
+                }
+            }
+        }
+        traces.sort_by_key(|t| t.trace_id);
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+    use crate::span::{SampleRate, SpanRecorder};
+    use std::sync::Arc;
+
+    /// Router + shard rings on ONE manual clock: the assembled order
+    /// must interleave the two processes' stages in pipeline order.
+    #[test]
+    fn cross_process_ordering_is_proven_on_a_manual_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let router = SpanRecorder::new(16, SampleRate::ALL, clock.clone() as Arc<dyn Clock>);
+        let shard = SpanRecorder::new(16, SampleRate::ALL, clock.clone() as Arc<dyn Clock>);
+
+        let root = router.start_trace(3).expect("rate 1 samples");
+        let id = root.trace().unwrap();
+        clock.set(10);
+        router.stamp(&root, Stage::RouteSelect);
+        clock.set(20);
+        router.stamp(&root, Stage::WireSubmit);
+
+        let adopted = shard.adopt(3, id);
+        clock.set(30);
+        shard.stamp(&adopted, Stage::Submit);
+        clock.set(40);
+        shard.stamp(&adopted, Stage::Enqueue);
+        clock.set(50);
+        shard.stamp(&adopted, Stage::FlushPlan);
+        clock.set(60);
+        shard.stamp(&adopted, Stage::BackendEval);
+        clock.set(70);
+        shard.stamp(&adopted, Stage::ScatterBack);
+        clock.set(80);
+        shard.stamp(&adopted, Stage::WireWrite);
+
+        let mut asm = TraceAssembler::new();
+        asm.add_origin("router", router.dump());
+        asm.add_origin("shard0", shard.dump());
+        let traces = asm.assemble();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.trace_id, id);
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].origin, "router");
+        assert_eq!(t.spans[1].origin, "shard0");
+        assert!(t.is_consistent(), "waterfall stepped backwards");
+        assert_eq!(t.total_ns(), Some(70));
+
+        let stages: Vec<Stage> = t.waterfall().iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            [
+                Stage::RouteSelect,
+                Stage::WireSubmit,
+                Stage::Submit,
+                Stage::Enqueue,
+                Stage::FlushPlan,
+                Stage::BackendEval,
+                Stage::ScatterBack,
+                Stage::WireWrite,
+            ]
+        );
+    }
+
+    /// A frozen clock (every stamp identical) still yields pipeline
+    /// order via the tie-break, so replays assemble bit-identically.
+    #[test]
+    fn frozen_clock_ties_break_to_pipeline_order() {
+        let clock = Arc::new(ManualClock::new());
+        clock.set(500);
+        let router = SpanRecorder::new(16, SampleRate::ALL, clock.clone() as Arc<dyn Clock>);
+        let shard = SpanRecorder::new(16, SampleRate::ALL, clock.clone() as Arc<dyn Clock>);
+        let root = router.start_trace(0).unwrap();
+        router.stamp(&root, Stage::RouteSelect);
+        router.stamp(&root, Stage::WireSubmit);
+        let adopted = shard.adopt(0, root.trace().unwrap());
+        shard.stamp(&adopted, Stage::Submit);
+        shard.stamp(&adopted, Stage::WireWrite);
+
+        let mut asm = TraceAssembler::new();
+        asm.add_origin("router", router.dump());
+        asm.add_origin("shard0", shard.dump());
+        let traces = asm.assemble();
+        assert!(traces[0].is_consistent());
+        let stages: Vec<Stage> = traces[0].waterfall().iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            [
+                Stage::RouteSelect,
+                Stage::WireSubmit,
+                Stage::Submit,
+                Stage::WireWrite
+            ]
+        );
+    }
+
+    #[test]
+    fn untraced_spans_are_skipped_and_traces_sort_by_id() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = SpanRecorder::new(16, SampleRate::ALL, clock as Arc<dyn Clock>);
+        let _local = rec.try_start(0); // no trace id
+        let b = rec.adopt(0, 9);
+        let a = rec.adopt(0, 4);
+        rec.stamp(&a, Stage::Submit);
+        rec.stamp(&b, Stage::Submit);
+
+        let mut asm = TraceAssembler::new();
+        asm.add_origin("only", rec.dump());
+        let traces = asm.assemble();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].trace_id, 4);
+        assert_eq!(traces[1].trace_id, 9);
+    }
+
+    #[test]
+    fn inconsistent_order_is_detected() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = SpanRecorder::new(16, SampleRate::ALL, clock.clone() as Arc<dyn Clock>);
+        let cell = rec.adopt(0, 1);
+        clock.set(100);
+        rec.stamp(&cell, Stage::Submit);
+        clock.set(50); // enqueue "before" submit: broken clock domain
+        rec.stamp(&cell, Stage::Enqueue);
+        let mut asm = TraceAssembler::new();
+        asm.add_origin("only", rec.dump());
+        let traces = asm.assemble();
+        assert!(!traces[0].is_consistent());
+    }
+
+    #[test]
+    fn render_lists_one_line_per_stamped_stage() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = SpanRecorder::new(16, SampleRate::ALL, clock as Arc<dyn Clock>);
+        let cell = rec.adopt(7, 42);
+        rec.stamp(&cell, Stage::Submit);
+        rec.stamp(&cell, Stage::ScatterBack);
+        let mut asm = TraceAssembler::new();
+        asm.add_origin("shard0", rec.dump());
+        let text = asm.assemble()[0].render();
+        assert!(text.starts_with("trace 42 (1 span)"));
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("submit"));
+        assert!(text.contains("scatter_back"));
+    }
+}

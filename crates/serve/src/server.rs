@@ -516,7 +516,7 @@ impl ServeHandle {
     /// [`ServeError::ShuttingDown`] if the server stopped admitting jobs
     /// (including while blocked waiting for space).
     pub fn submit(&self, func: FunctionId, data: Vec<f64>) -> Result<JobTicket, ServeError> {
-        self.submit_inner(func, data, true)
+        self.submit_inner(func, data, true, None)
     }
 
     /// Non-blocking [`Self::submit`]: a full queue returns
@@ -526,7 +526,27 @@ impl ServeHandle {
     ///
     /// As [`Self::submit`], plus [`ServeError::QueueFull`].
     pub fn try_submit(&self, func: FunctionId, data: Vec<f64>) -> Result<JobTicket, ServeError> {
-        self.submit_inner(func, data, false)
+        self.submit_inner(func, data, false, None)
+    }
+
+    /// Non-blocking submit carrying a propagated distributed-trace id.
+    ///
+    /// With `trace == Some(id)` the job's span is **always** recorded
+    /// (the origin that minted the id already made the sampling
+    /// decision) and tagged with `id`, so a cross-process assembler can
+    /// join it with the origin's stages; `None` behaves exactly like
+    /// [`Self::try_submit`] (local sampling, no trace id).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_submit`].
+    pub fn try_submit_traced(
+        &self,
+        func: FunctionId,
+        data: Vec<f64>,
+        trace: Option<u64>,
+    ) -> Result<JobTicket, ServeError> {
+        self.submit_inner(func, data, false, trace)
     }
 
     /// Submits a **single-precision** job: the tensor is batched into an
@@ -543,7 +563,7 @@ impl ServeHandle {
     /// As [`Self::submit`], plus [`ServeError::PrecisionUnsupported`]
     /// if the function's backend has no f32 lane.
     pub fn submit_f32(&self, func: FunctionId, data: Vec<f32>) -> Result<JobTicketF32, ServeError> {
-        self.submit_f32_inner(func, data, true)
+        self.submit_f32_inner(func, data, true, None)
     }
 
     /// Non-blocking [`Self::submit_f32`]: a full queue returns
@@ -557,7 +577,22 @@ impl ServeHandle {
         func: FunctionId,
         data: Vec<f32>,
     ) -> Result<JobTicketF32, ServeError> {
-        self.submit_f32_inner(func, data, false)
+        self.submit_f32_inner(func, data, false, None)
+    }
+
+    /// Non-blocking f32 submit carrying a propagated distributed-trace
+    /// id; see [`Self::try_submit_traced`] for the adoption contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_submit_f32`].
+    pub fn try_submit_f32_traced(
+        &self,
+        func: FunctionId,
+        data: Vec<f32>,
+        trace: Option<u64>,
+    ) -> Result<JobTicketF32, ServeError> {
+        self.submit_f32_inner(func, data, false, trace)
     }
 
     /// The registry this handle's server evaluates through.
@@ -589,12 +624,13 @@ impl ServeHandle {
         func: FunctionId,
         data: Vec<f64>,
         block: bool,
+        trace: Option<u64>,
     ) -> Result<JobTicket, ServeError> {
         if !self.registry.contains(func) {
             return Err(ServeError::UnknownFunction(func));
         }
         let (tx, rx) = oneshot::channel();
-        let span = self.enqueue(func, JobData::F64 { data, tx }, block)?;
+        let span = self.enqueue(func, JobData::F64 { data, tx }, block, trace)?;
         Ok(JobTicket { rx, span })
     }
 
@@ -603,6 +639,7 @@ impl ServeHandle {
         func: FunctionId,
         data: Vec<f32>,
         block: bool,
+        trace: Option<u64>,
     ) -> Result<JobTicketF32, ServeError> {
         // The precision check runs at admission, not at flush: a job the
         // backend can never evaluate must bounce here, where the caller
@@ -613,7 +650,7 @@ impl ServeHandle {
             Some(true) => {}
         }
         let (tx, rx) = oneshot::channel();
-        let span = self.enqueue(func, JobData::F32 { data, tx }, block)?;
+        let span = self.enqueue(func, JobData::F32 { data, tx }, block, trace)?;
         Ok(JobTicketF32 { rx, span })
     }
 
@@ -626,6 +663,7 @@ impl ServeHandle {
         func: FunctionId,
         data: JobData,
         block: bool,
+        trace: Option<u64>,
     ) -> Result<Option<Arc<SpanCell>>, ServeError> {
         // One clock read up front (observability on only): the Submit
         // stamp must predate any time spent parked on the element bound.
@@ -682,11 +720,16 @@ impl ServeHandle {
         q.queued_elems += data.len();
         // Sampling decision under the queue lock: job ids are assigned
         // in admission order, so a sequential replay samples the same
-        // jobs every run.
+        // jobs every run. A propagated trace id bypasses local sampling
+        // (the origin already decided) and tags the span for the
+        // cross-process assembler.
         let (enqueued_ns, span) = match &self.shared.obs {
             Some(obs) => {
                 obs.submits.inc();
-                let span = obs.spans.try_start(func.0);
+                let span = match trace {
+                    Some(id) => Some(obs.spans.adopt(func.0, id)),
+                    None => obs.spans.try_start(func.0),
+                };
                 let now = obs.now_ns();
                 if let Some(cell) = &span {
                     cell.record(Stage::Submit, submit_ns.unwrap_or(now));

@@ -21,6 +21,16 @@
 //! acked; the drain call waits for the shard's in-flight gauge to reach
 //! zero before declaring it safe to stop.
 //!
+//! With [`RouterConfig::observability`] on, the router also originates
+//! distributed traces: a sampled trace id
+//! ([`RouterConfig::trace_sample`]) rides each Submit frame, the
+//! serving shard adopts it, and [`ShardRouter::assemble_traces`] joins
+//! the router's `RouteSelect`/`Retry`/`WireSubmit` stamps with the
+//! shard's queue/backend/wire stamps into one
+//! [`flexsfu_obs::AssembledTrace`] waterfall per request. A shared
+//! [`RouterConfig::clock`] makes the cross-process ordering provable in
+//! tests.
+//!
 //! # Example
 //!
 //! ```

@@ -17,7 +17,10 @@
 //! in-flight gauge to settle).
 
 use crate::error::RouterError;
-use flexsfu_obs::{labeled, Counter, MetricsRegistry, MetricsSnapshot, SpanRecorder};
+use flexsfu_obs::{
+    labeled, AssembledTrace, Clock, Counter, MetricsRegistry, MetricsSnapshot, MonotonicClock,
+    SampleRate, SpanRecorder, Stage, TraceAssembler,
+};
 use flexsfu_serve::{FunctionId, FunctionRegistry, PwlServer, ServeConfig, ServeObs};
 use flexsfu_wire::{WireClient, WireConfig, WireError, WireServer};
 use std::collections::HashMap;
@@ -92,6 +95,18 @@ pub struct RouterConfig {
     /// metrics. Off by default — an unobserved deployment runs the
     /// exact pre-telemetry hot paths.
     pub observability: bool,
+    /// Stamping clock shared by the router's span recorder and every
+    /// shard's. `None` (the default) gives each recorder its own
+    /// monotonic clock; inject one [`flexsfu_obs::ManualClock`] to make
+    /// cross-process stamp ordering exact and replays bit-identical.
+    /// Only read when `observability` is on.
+    pub clock: Option<Arc<dyn Clock>>,
+    /// 1-in-N sampling for router-originated distributed traces. A
+    /// sampled request mints a trace id, stamps the routing stages on
+    /// its own span, and propagates the id over the wire so the serving
+    /// shard's span joins the same trace. Only read when
+    /// `observability` is on.
+    pub trace_sample: SampleRate,
 }
 
 impl Default for RouterConfig {
@@ -104,6 +119,8 @@ impl Default for RouterConfig {
             max_attempts: 8,
             overrides: HashMap::new(),
             observability: false,
+            clock: None,
+            trace_sample: SampleRate::default(),
         }
     }
 }
@@ -115,11 +132,17 @@ struct ShardRuntime {
     server: PwlServer,
 }
 
-/// The router's own observability: where routing decisions are counted.
+/// The router's own observability: where routing decisions are counted
+/// and distributed traces originate.
 struct RouterObs {
     metrics: Arc<MetricsRegistry>,
     retries: Arc<Counter>,
     failovers: Arc<Counter>,
+    /// Router-side span ring — the root of every distributed trace.
+    /// Sampled requests stamp [`Stage::RouteSelect`] /
+    /// [`Stage::Retry`] / [`Stage::WireSubmit`] here and mint the
+    /// trace id the shard's span adopts.
+    spans: Arc<SpanRecorder>,
 }
 
 /// One deployed shard, as the router sees it.
@@ -196,11 +219,23 @@ impl ShardRouter {
         register: impl Fn(&FunctionRegistry),
     ) -> Result<Self, WireError> {
         assert!(num_shards > 0, "a deployment needs at least one shard");
+        // One shared stamping clock per observed deployment: router and
+        // shard spans live in the same time domain, so an assembled
+        // waterfall's cross-process ordering is meaningful.
+        let clock: Arc<dyn Clock> = config
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(MonotonicClock::new()));
         let router_obs = config.observability.then(|| {
             let metrics = Arc::new(MetricsRegistry::new());
             RouterObs {
                 retries: metrics.counter(M_RETRIES),
                 failovers: metrics.counter(M_FAILOVERS),
+                spans: Arc::new(SpanRecorder::new(
+                    4096,
+                    config.trace_sample,
+                    Arc::clone(&clock),
+                )),
                 metrics,
             }
         });
@@ -216,10 +251,18 @@ impl ShardRouter {
             register(&registry);
             // Each observed shard gets its *own* registry + span ring —
             // scrape_all later merges them under a `shard` label, so
-            // per-shard registries keep the series disentangled.
-            let obs = config
-                .observability
-                .then(|| ServeObs::with_defaults(Arc::new(MetricsRegistry::new())));
+            // per-shard registries keep the series disentangled. The
+            // ring stamps from the deployment-wide clock (see above).
+            let obs = config.observability.then(|| {
+                ServeObs::new(
+                    Arc::new(MetricsRegistry::new()),
+                    Arc::new(SpanRecorder::new(
+                        4096,
+                        SampleRate::default(),
+                        Arc::clone(&clock),
+                    )),
+                )
+            });
             let server = match &obs {
                 Some(o) => PwlServer::start_with_obs(
                     Arc::clone(&registry),
@@ -355,6 +398,30 @@ impl ShardRouter {
         self.obs.as_ref().map(|o| Arc::clone(&o.metrics))
     }
 
+    /// The router-side span ring — where distributed traces originate
+    /// (`None` when unobserved).
+    pub fn router_spans(&self) -> Option<Arc<SpanRecorder>> {
+        self.obs.as_ref().map(|o| Arc::clone(&o.spans))
+    }
+
+    /// Joins the router's span ring with every shard's into assembled
+    /// per-request traces — the tracing counterpart of
+    /// [`Self::scrape_all`]. Origins are labelled `router` and
+    /// `shard<idx>`; the router is added first so its span (the trace
+    /// root) leads each waterfall. Empty for an unobserved deployment.
+    pub fn assemble_traces(&self) -> Vec<AssembledTrace> {
+        let mut asm = TraceAssembler::new();
+        if let Some(o) = &self.obs {
+            asm.add_origin("router", o.spans.dump());
+        }
+        for (i, shard) in self.shared.shards.iter().enumerate() {
+            if let Some(obs) = &shard.obs {
+                asm.add_origin(format!("shard{i}"), obs.spans.dump());
+            }
+        }
+        asm.assemble()
+    }
+
     /// One deployment-wide snapshot: the router's own series merged
     /// with every observed shard's snapshot, each shard's series
     /// disambiguated with a `shard="<idx>"` label. Equals (by
@@ -401,10 +468,10 @@ impl ShardRouter {
     ///
     /// See [`RouterError`].
     pub fn eval_f64(&self, func: FunctionId, data: &[f64]) -> Result<Vec<f64>, RouterError> {
-        self.eval_with(func, |shard| {
+        self.eval_with(func, |shard, trace| {
             shard
                 .client
-                .submit_f64(func.0, data.to_vec())
+                .submit_f64_traced(func.0, data.to_vec(), trace)
                 .and_then(flexsfu_wire::WireTicket::wait)
         })
     }
@@ -417,28 +484,48 @@ impl ShardRouter {
     /// yields `Rejected(PrecisionUnsupported)` (identical registration
     /// means every shard would answer the same).
     pub fn eval_f32(&self, func: FunctionId, data: &[f32]) -> Result<Vec<f32>, RouterError> {
-        self.eval_with(func, |shard| {
+        self.eval_with(func, |shard, trace| {
             shard
                 .client
-                .submit_f32(func.0, data.to_vec())
+                .submit_f32_traced(func.0, data.to_vec(), trace)
                 .and_then(flexsfu_wire::WireTicketF32::wait)
         })
     }
 
     /// The shared retry/failover loop around one submit-and-wait shape.
+    ///
+    /// Observed deployments sample a distributed trace here
+    /// ([`SpanRecorder::start_trace`]): the router's span stamps
+    /// [`Stage::RouteSelect`] once (the first routing decision),
+    /// [`Stage::WireSubmit`] per attempt (last-wins, so the surviving
+    /// stamp is the attempt that produced the answer) and
+    /// [`Stage::Retry`] per retry decision — and the minted id rides
+    /// the submit frame so the serving shard's span joins the trace.
     fn eval_with<T>(
         &self,
         func: FunctionId,
-        attempt_on: impl Fn(&Shard) -> Result<T, WireError>,
+        attempt_on: impl Fn(&Shard, Option<u64>) -> Result<T, WireError>,
     ) -> Result<T, RouterError> {
+        let cell = self.obs.as_ref().and_then(|o| o.spans.start_trace(func.0));
+        let trace = cell.as_ref().and_then(|c| c.trace());
+        let stamp = |stage: Stage| {
+            if let (Some(o), Some(c)) = (&self.obs, &cell) {
+                o.spans.stamp(c, stage);
+            }
+        };
         let mut last = WireError::ConnectionClosed;
-        for _attempt in 0..self.max_attempts {
+        for attempt in 0..self.max_attempts {
             let idx = self.route(func)?;
             let shard = &self.shared.shards[idx];
-            match attempt_on(shard) {
+            if attempt == 0 {
+                stamp(Stage::RouteSelect);
+            }
+            stamp(Stage::WireSubmit);
+            match attempt_on(shard, trace) {
                 Ok(v) => return Ok(v),
                 Err(e) if !e.is_retryable() => return Err(RouterError::Rejected(e)),
                 Err(e) => {
+                    stamp(Stage::Retry);
                     if let Some(o) = &self.obs {
                         o.retries.inc();
                     }

@@ -18,12 +18,15 @@
 use flexsfu_core::init::uniform_pwl;
 use flexsfu_core::PwlEvaluator;
 use flexsfu_obs::{
-    labeled, Clock, ManualClock, MetricsRegistry, SampleRate, Span, SpanRecorder, Stage,
+    labeled, AssembledTrace, Clock, ManualClock, MemorySink, MetricsRegistry, SampleRate, Span,
+    SpanRecorder, Stage, TelemetryBatch, TelemetryExporter,
 };
 use flexsfu_serve::testkit::with_watchdog;
 use flexsfu_serve::{
-    FunctionRegistry, InputHistogramSnapshot, PwlServer, ServeConfig, ServeObs, INPUT_HIST_BUCKETS,
+    FunctionId, FunctionRegistry, InputHistogramSnapshot, PwlServer, ServeConfig, ServeObs,
+    INPUT_HIST_BUCKETS,
 };
+use flexsfu_shard::{RouterConfig, ShardRouter};
 use flexsfu_traffic::arrival::ArrivalProcess;
 use flexsfu_traffic::retune::{
     AdaptiveRetuner, RetuneEvent, RetunePolicy, M_DRIFT_SCORE, M_RETUNES, M_RETUNE_FAILURES,
@@ -500,6 +503,182 @@ fn span_stamps_replay_bit_identically_on_a_virtual_clock() {
             snap_a.gauge(&gauge_key).map(f64::to_bits),
             snap_b.gauge(&gauge_key).map(f64::to_bits)
         );
+    });
+}
+
+/// One sharded deployment run of a recorded trace: every event routed
+/// through an observed [`ShardRouter`] in rounds on a shared
+/// [`ManualClock`] frozen within each round, with a steppable
+/// [`TelemetryExporter`] on the router's registry ticked into a
+/// [`MemorySink`] at every round barrier. Returns the assembled
+/// cross-process traces, the pushed batches, and the result checksum.
+fn sharded_replay(trace_bytes: &[u8]) -> (Vec<AssembledTrace>, Vec<TelemetryBatch>, u64) {
+    let trace = flexsfu_traffic::Trace::decode(trace_bytes).expect("valid trace bytes");
+    let clock = Arc::new(ManualClock::new());
+    let config = RouterConfig {
+        health_interval: std::time::Duration::ZERO,
+        observability: true,
+        clock: Some(Arc::clone(&clock) as Arc<dyn Clock>),
+        trace_sample: SampleRate::ALL,
+        overrides: [(FunctionId(0), 0usize), (FunctionId(1), 1usize)].into(),
+        ..RouterConfig::default()
+    };
+    // Registration order pins the ids: tanh = 0 on shard 0, gelu = 1 on
+    // shard 1 via the overrides above — both shards serve every run.
+    let router = ShardRouter::deploy(2, config, |r| {
+        r.register(
+            "tanh",
+            &uniform_pwl(
+                flexsfu_funcs::by_name("tanh").unwrap().as_ref(),
+                31,
+                (-8.0, 8.0),
+            ),
+        );
+        r.register(
+            "gelu",
+            &uniform_pwl(
+                flexsfu_funcs::by_name("gelu").unwrap().as_ref(),
+                31,
+                (-8.0, 8.0),
+            ),
+        );
+    })
+    .expect("deploy");
+    let ids: Vec<FunctionId> = trace
+        .functions
+        .iter()
+        .map(|name| match name.as_str() {
+            "tanh" => FunctionId(0),
+            "gelu" => FunctionId(1),
+            other => panic!("unregistered trace function {other}"),
+        })
+        .collect();
+
+    let sink = MemorySink::new();
+    let store = sink.store();
+    let mut exporter = TelemetryExporter::new(
+        "router",
+        router.router_metrics().expect("observed"),
+        Box::new(sink),
+    )
+    .with_spans(router.router_spans().expect("observed"));
+
+    // Spins until every originated trace carries the serving shard's
+    // `WireWrite` stamp — the wire pump stamps it after writing the
+    // result frame, so it races the client's result receipt.
+    let settle = |expected: usize| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let traces = router.assemble_traces();
+            let done = traces.len() == expected
+                && traces.iter().all(|t| {
+                    t.spans.len() >= 2
+                        && t.spans
+                            .iter()
+                            .any(|m| m.span.stage(Stage::WireWrite).is_some())
+                });
+            if done {
+                return;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "traces never settled: {} of {expected}",
+                traces.len()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    };
+
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut routed = 0usize;
+    for (round, chunk) in trace.events.chunks(12).enumerate() {
+        clock.set(1_000_000 * (round as u64 + 1));
+        for e in chunk {
+            let ys = router
+                .eval_f64(ids[e.func as usize], &e.payload)
+                .expect("routed replay lost a job");
+            for y in ys {
+                checksum ^= y.to_bits();
+                checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            routed += 1;
+        }
+        settle(routed);
+        exporter.tick();
+    }
+    assert_eq!(routed, trace.events.len(), "every event must route");
+
+    let traces = router.assemble_traces();
+    let batches = store.lock().unwrap().clone();
+    router.shutdown();
+    (traces, batches, checksum)
+}
+
+/// The cross-process extension of the span-determinism pin above: two
+/// fresh **sharded** deployments replaying the same recorded trace on
+/// the same manual-clock schedule assemble bit-identical distributed
+/// traces — router stages and shard stages joined — and their push-mode
+/// telemetry batches replay bit-for-bit too.
+#[test]
+fn sharded_replay_assembles_bit_identical_cross_process_traces() {
+    with_watchdog(240, "sharded_replay_bit_identical_traces", || {
+        let spec = WorkloadSpec {
+            seed: 97,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 1e5 },
+            functions: vec![
+                centered_tanh_load(),
+                FunctionLoad {
+                    name: "gelu".into(),
+                    weight: 1.0,
+                    elems: (4, 12),
+                    sampler: InputSampler::Gaussian {
+                        mean: 0.0,
+                        std: 2.0,
+                        clamp: (-8.0, 8.0),
+                    },
+                },
+            ],
+            shifts: vec![],
+        };
+        let bytes = simulate(&spec, u64::MAX, 48).encode();
+
+        let (traces_a, batches_a, sum_a) = sharded_replay(&bytes);
+        let (traces_b, batches_b, sum_b) = sharded_replay(&bytes);
+
+        // Zero lost jobs and bit-identical serving results.
+        assert_eq!(sum_a, sum_b, "replayed results diverged");
+
+        // Every routed event produced one assembled cross-process trace
+        // with the router's root span joined to the serving shard's.
+        assert_eq!(traces_a.len(), 48);
+        for t in &traces_a {
+            assert_eq!(t.spans.len(), 2, "trace {} span count", t.trace_id);
+            assert_eq!(t.spans[0].origin, "router");
+            assert!(
+                t.spans[1].origin.starts_with("shard"),
+                "second span must come from a shard"
+            );
+            assert!(t.is_consistent(), "trace {} stepped backwards", t.trace_id);
+        }
+        assert!(traces_a.iter().any(|t| t.spans[1].origin == "shard0"));
+        assert!(traces_a.iter().any(|t| t.spans[1].origin == "shard1"));
+
+        // The acceptance pin: the *assembled* traces — ids, origins,
+        // every stage stamp — replay bit-identically, not just the
+        // per-process span sequences.
+        assert_eq!(traces_a, traces_b, "assembled traces diverged");
+
+        // And so does the pushed telemetry: one batch per round barrier,
+        // monotone sequence numbers, every router span exported exactly
+        // once across the watermark-partitioned batches.
+        assert_eq!(batches_a.len(), 4, "one batch per round");
+        for (i, b) in batches_a.iter().enumerate() {
+            assert_eq!(b.origin, "router");
+            assert_eq!(b.seq, i as u64);
+        }
+        let exported: usize = batches_a.iter().map(|b| b.spans.len()).sum();
+        assert_eq!(exported, 48, "every router span ships exactly once");
+        assert_eq!(batches_a, batches_b, "telemetry batches diverged");
     });
 }
 

@@ -144,8 +144,37 @@ impl WireClient {
     /// frame cannot be written; server-side rejections (unknown
     /// function, `RetryAfter`, draining…) surface on the *ticket*.
     pub fn submit_f64(&self, func: u32, data: Vec<f64>) -> Result<WireTicket, WireError> {
+        self.submit_f64_traced(func, data, None)
+    }
+
+    /// Submits an f64 tensor carrying an optional distributed trace id.
+    ///
+    /// With `trace == None` the emitted frame is byte-identical to the
+    /// legacy (v1) submit, so untraced traffic interoperates with old
+    /// servers; a `Some` id appends the version-tolerant trace tail and
+    /// requires a trace-aware peer only to *propagate* it (a v1 server
+    /// would reject the longer body, so routers only stamp ids toward
+    /// shards they own).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit_f64`].
+    pub fn submit_f64_traced(
+        &self,
+        func: u32,
+        data: Vec<f64>,
+        trace: Option<u64>,
+    ) -> Result<WireTicket, WireError> {
         let (req, rx, acked) = self.register()?;
-        self.send(&Frame::SubmitF64 { req, func, data }, req)?;
+        self.send(
+            &Frame::SubmitF64 {
+                req,
+                func,
+                data,
+                trace,
+            },
+            req,
+        )?;
         Ok(WireTicket { rx, acked })
     }
 
@@ -155,8 +184,31 @@ impl WireClient {
     ///
     /// As [`Self::submit_f64`].
     pub fn submit_f32(&self, func: u32, data: Vec<f32>) -> Result<WireTicketF32, WireError> {
+        self.submit_f32_traced(func, data, None)
+    }
+
+    /// Submits an f32 tensor carrying an optional distributed trace id;
+    /// see [`Self::submit_f64_traced`] for the interop contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit_f64`].
+    pub fn submit_f32_traced(
+        &self,
+        func: u32,
+        data: Vec<f32>,
+        trace: Option<u64>,
+    ) -> Result<WireTicketF32, WireError> {
         let (req, rx, acked) = self.register()?;
-        self.send(&Frame::SubmitF32 { req, func, data }, req)?;
+        self.send(
+            &Frame::SubmitF32 {
+                req,
+                func,
+                data,
+                trace,
+            },
+            req,
+        )?;
         Ok(WireTicketF32 { rx, acked })
     }
 

@@ -95,6 +95,13 @@ pub enum Frame {
         func: u32,
         /// The request tensor, bit-exact.
         data: Vec<f64>,
+        /// Distributed trace id, as an optional body tail (the `Pong`
+        /// tail pattern): `None` encodes the legacy v1 body exactly, so
+        /// untraced submits stay byte-identical to what v1 peers send
+        /// and accept; `Some` appends eight bytes that a v2 server
+        /// adopts into its span ring. Only trace-originating callers
+        /// (the shard router) set it.
+        trace: Option<u64>,
     },
     /// The single-precision job lane's submit.
     SubmitF32 {
@@ -104,6 +111,8 @@ pub enum Frame {
         func: u32,
         /// The request tensor, bit-exact.
         data: Vec<f32>,
+        /// Distributed trace id tail; see [`Frame::SubmitF64::trace`].
+        trace: Option<u64>,
     },
     /// Health check; the server answers with [`Frame::Pong`].
     Ping {
@@ -317,7 +326,12 @@ impl Frame {
         let len_at = out.len();
         put_u32(out, 0); // patched below
         match self {
-            Self::SubmitF64 { req, func, data } => {
+            Self::SubmitF64 {
+                req,
+                func,
+                data,
+                trace,
+            } => {
                 out.push(kind::SUBMIT_F64);
                 put_u64(out, *req);
                 put_u32(out, *func);
@@ -325,14 +339,25 @@ impl Frame {
                 for v in data {
                     put_u64(out, v.to_bits());
                 }
+                if let Some(id) = trace {
+                    put_u64(out, *id);
+                }
             }
-            Self::SubmitF32 { req, func, data } => {
+            Self::SubmitF32 {
+                req,
+                func,
+                data,
+                trace,
+            } => {
                 out.push(kind::SUBMIT_F32);
                 put_u64(out, *req);
                 put_u32(out, *func);
                 put_u32(out, u32::try_from(data.len()).expect("tensor fits u32"));
                 for v in data {
                     put_u32(out, v.to_bits());
+                }
+                if let Some(id) = trace {
+                    put_u64(out, *id);
                 }
             }
             Self::Ping { nonce } => {
@@ -441,16 +466,48 @@ impl Frame {
                 if c.remaining() < count * elem {
                     return Err(truncated(&c, 16 + count * elem));
                 }
+                let data64;
+                let data32;
                 if k == kind::SUBMIT_F64 {
-                    let data = (0..count)
-                        .map(|_| f64::from_bits(c.u64().unwrap()))
-                        .collect();
-                    Self::SubmitF64 { req, func, data }
+                    data64 = Some(
+                        (0..count)
+                            .map(|_| f64::from_bits(c.u64().unwrap()))
+                            .collect::<Vec<_>>(),
+                    );
+                    data32 = None;
                 } else {
-                    let data = (0..count)
-                        .map(|_| f32::from_bits(c.u32().unwrap()))
-                        .collect();
-                    Self::SubmitF32 { req, func, data }
+                    data64 = None;
+                    data32 = Some(
+                        (0..count)
+                            .map(|_| f32::from_bits(c.u32().unwrap()))
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                // Version tolerance (the `Pong` tail pattern): a v1
+                // peer's submit body ends at the tensor; a tracing
+                // peer appends one u64 trace id. A torn tail is still
+                // truncated, surplus bytes still a desync.
+                let trace = if c.remaining() == 0 {
+                    None
+                } else {
+                    let Some(id) = c.u64() else {
+                        return Err(truncated(&c, 16 + count * elem + 8));
+                    };
+                    Some(id)
+                };
+                match data64 {
+                    Some(data) => Self::SubmitF64 {
+                        req,
+                        func,
+                        data,
+                        trace,
+                    },
+                    None => Self::SubmitF32 {
+                        req,
+                        func,
+                        data: data32.expect("one lane is set"),
+                        trace,
+                    },
                 }
             }
             kind::PING => {
@@ -633,11 +690,25 @@ mod tests {
                 req: 1,
                 func: 2,
                 data: vec![0.5, -1.25, f64::NAN, f64::INFINITY],
+                trace: None,
+            },
+            Frame::SubmitF64 {
+                req: 8,
+                func: 2,
+                data: vec![2.5],
+                trace: Some(4242),
             },
             Frame::SubmitF32 {
                 req: u64::MAX,
                 func: 0,
                 data: vec![1.5f32, f32::NEG_INFINITY],
+                trace: None,
+            },
+            Frame::SubmitF32 {
+                req: 11,
+                func: 1,
+                data: vec![],
+                trace: Some(u64::MAX),
             },
             Frame::Ping { nonce: 99 },
             Frame::Drain,
@@ -685,14 +756,16 @@ mod tests {
                     req: r1,
                     func: f1,
                     data: d1,
+                    trace: t1,
                 },
                 Frame::SubmitF64 {
                     req: r2,
                     func: f2,
                     data: d2,
+                    trace: t2,
                 },
             ) => {
-                assert_eq!((r1, f1), (r2, f2));
+                assert_eq!((r1, f1, t1), (r2, f2, t2));
                 assert_eq!(d1.len(), d2.len());
                 assert!(d1.iter().zip(d2).all(|(a, b)| a.to_bits() == b.to_bits()));
             }
@@ -830,5 +903,119 @@ mod tests {
             Frame::decode_payload(&surplus),
             Err(FrameError::TrailingBytes { .. })
         ));
+    }
+
+    /// Mixed v1/v2 `Submit` interop, both directions.
+    ///
+    /// Old client → new server: a hand-built legacy body (no trace
+    /// tail) decodes cleanly with `trace: None`. New client → old
+    /// server: an *untraced* v2 submit encodes byte-identically to the
+    /// v1 layout, so a v1 decoder (for which the tensor must consume
+    /// the whole body) accepts it unchanged — no trace id, no error.
+    #[test]
+    fn submit_v1_v2_interop_decodes_cleanly() {
+        // v1 body, by hand: req ‖ func ‖ count ‖ payload, no tail.
+        for (k, elems) in [(kind::SUBMIT_F64, 8), (kind::SUBMIT_F32, 4)] {
+            let mut legacy = vec![k];
+            legacy.extend_from_slice(&21u64.to_le_bytes());
+            legacy.extend_from_slice(&3u32.to_le_bytes());
+            legacy.extend_from_slice(&2u32.to_le_bytes());
+            legacy.extend_from_slice(&vec![0u8; 2 * elems]);
+            match Frame::decode_payload(&legacy).expect("legacy submit decodes") {
+                Frame::SubmitF64 {
+                    req, func, trace, ..
+                }
+                | Frame::SubmitF32 {
+                    req, func, trace, ..
+                } => {
+                    assert_eq!((req, func), (21, 3));
+                    assert_eq!(trace, None, "v1 body must not invent a trace id");
+                }
+                other => panic!("wrong frame {other:?}"),
+            }
+        }
+        // An untraced v2 submit is byte-identical to the v1 encoding —
+        // the exact property that lets a v1 server accept it.
+        let v2_untraced = Frame::SubmitF64 {
+            req: 21,
+            func: 3,
+            data: vec![1.0, 2.0],
+            trace: None,
+        }
+        .encode();
+        let mut v1 = vec![kind::SUBMIT_F64];
+        v1.extend_from_slice(&21u64.to_le_bytes());
+        v1.extend_from_slice(&3u32.to_le_bytes());
+        v1.extend_from_slice(&2u32.to_le_bytes());
+        v1.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        v1.extend_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert_eq!(&v2_untraced[HEADER_LEN..], &v1[..]);
+
+        // A torn trace tail is a typed truncation, not a silent None…
+        let mut torn = v1.clone();
+        torn.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        assert!(matches!(
+            Frame::decode_payload(&torn),
+            Err(FrameError::Truncated { .. })
+        ));
+        // …and surplus past a full tail is still a desync.
+        let mut surplus = v1.clone();
+        surplus.extend_from_slice(&7u64.to_le_bytes());
+        surplus.push(0xFF);
+        assert!(matches!(
+            Frame::decode_payload(&surplus),
+            Err(FrameError::TrailingBytes { .. })
+        ));
+    }
+
+    /// `Frame::Stats` under torn/truncated delivery: every prefix of
+    /// the encoding is either "need more bytes" at the reader layer or
+    /// a typed truncation at the payload layer — never a panic, never
+    /// a partial frame.
+    #[test]
+    fn stats_frame_survives_torn_delivery() {
+        let frame = Frame::Stats {
+            nonce: 77,
+            snapshot: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+        };
+        let bytes = frame.encode();
+        // Reader: any torn prefix just waits for more bytes.
+        for cut in 0..bytes.len() {
+            let mut r = FrameReader::new();
+            r.feed(&bytes[..cut]);
+            assert_eq!(r.next_frame(), Ok(None), "cut {cut}");
+            r.feed(&bytes[cut..]);
+            assert_eq!(r.next_frame(), Ok(Some(frame.clone())), "resume {cut}");
+        }
+        // Payload decoder: every truncation point is a typed error.
+        let payload = &bytes[HEADER_LEN..];
+        for cut in 1..payload.len() {
+            assert!(
+                matches!(
+                    Frame::decode_payload(&payload[..cut]),
+                    Err(FrameError::Truncated { .. })
+                ),
+                "cut {cut}"
+            );
+        }
+        // A blob length claiming more than the body delivers is torn…
+        let mut short = vec![kind::STATS];
+        short.extend_from_slice(&77u64.to_le_bytes());
+        short.extend_from_slice(&9u32.to_le_bytes());
+        short.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            Frame::decode_payload(&short),
+            Err(FrameError::Truncated { .. })
+        ));
+        // …and bytes past the declared blob are trailing.
+        let mut long = bytes[HEADER_LEN..].to_vec();
+        long.push(0);
+        assert_eq!(
+            Frame::decode_payload(&long),
+            Err(FrameError::TrailingBytes {
+                kind: kind::STATS,
+                extra: 1
+            })
+        );
     }
 }

@@ -37,6 +37,10 @@
 //!   metrics snapshot over the wire, and the extended `Pong` health
 //!   tail (queue depth, flushes, eval p99) that older peers simply
 //!   don't decode.
+//! * [`telemetry`] — the push pipeline's transport: a [`WireSink`]
+//!   shipping exporter batches as acknowledged `Stats` frames and the
+//!   [`TelemetryCollector`] that merges per-origin snapshots and
+//!   spans on the other end.
 //!
 //! The sharded deployment layer (hash routing, health checks, draining
 //! handoff) lives one crate up in `flexsfu-shard`; this crate is the
@@ -78,8 +82,10 @@ mod error;
 pub mod frame;
 pub mod obs;
 mod server;
+pub mod telemetry;
 
 pub use client::{AckProbe, Health, WireClient, WireTicket, WireTicketF32};
 pub use error::WireError;
 pub use frame::{Frame, FrameError, FrameReader, MAX_PAYLOAD};
 pub use server::{WireConfig, WireServer};
+pub use telemetry::{TelemetryCollector, WireSink};

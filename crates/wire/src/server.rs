@@ -498,20 +498,38 @@ fn handle_frame(
     pump: &Arc<Pump>,
 ) -> bool {
     match frame {
-        Frame::SubmitF64 { req, func, data } => {
+        Frame::SubmitF64 {
+            req,
+            func,
+            data,
+            trace,
+        } => {
             if refuse_if_draining(req, shared, writer) {
                 return true;
             }
-            match shared.handle.try_submit(FunctionId(func), data) {
+            // The decoded trace tail rides into the serving tier so the
+            // shard-side recorder adopts the router-minted id.
+            match shared
+                .handle
+                .try_submit_traced(FunctionId(func), data, trace)
+            {
                 Ok(ticket) => accept(req, Ticket::F64(ticket), shared, writer, pump),
                 Err(e) => writer.send(&submit_error(req, &e, shared)).is_ok(),
             }
         }
-        Frame::SubmitF32 { req, func, data } => {
+        Frame::SubmitF32 {
+            req,
+            func,
+            data,
+            trace,
+        } => {
             if refuse_if_draining(req, shared, writer) {
                 return true;
             }
-            match shared.handle.try_submit_f32(FunctionId(func), data) {
+            match shared
+                .handle
+                .try_submit_f32_traced(FunctionId(func), data, trace)
+            {
                 Ok(ticket) => accept(req, Ticket::F32(ticket), shared, writer, pump),
                 Err(e) => writer.send(&submit_error(req, &e, shared)).is_ok(),
             }

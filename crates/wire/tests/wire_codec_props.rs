@@ -35,15 +35,19 @@ fn build_frame(sel: u8, req: u64, func: u32, bits: &[u64]) -> Frame {
         ErrorCode::Protocol,
     ];
     match sel % 11 {
+        // The trace tail is derived from the inputs so the roundtrip
+        // property covers traced and untraced (v1-shaped) submits alike.
         0 => Frame::SubmitF64 {
             req,
             func,
             data: f64s(),
+            trace: (func % 2 == 1).then_some(req ^ u64::from(func)),
         },
         1 => Frame::SubmitF32 {
             req,
             func,
             data: f32s(),
+            trace: (req % 2 == 1).then_some(req.wrapping_add(u64::from(func))),
         },
         2 => Frame::Ping { nonce: req },
         3 => Frame::Drain,
@@ -142,9 +146,11 @@ proptest! {
 
     /// Every strict prefix of a valid payload fails to decode — no
     /// kind's fields can be satisfied early, so truncation is always a
-    /// typed error, never a silently short tensor. The one sanctioned
-    /// exception: a pong cut exactly at its legacy 25-byte body *is* a
-    /// valid frame (the version-tolerance contract) and must decode.
+    /// typed error, never a silently short tensor. The sanctioned
+    /// exceptions are the version-tolerance contracts: a pong cut
+    /// exactly at its legacy 25-byte body *is* a valid frame and must
+    /// decode, and a traced submit cut exactly before its 8-byte trace
+    /// tail is a valid v1 (untraced) submit.
     #[test]
     fn prop_truncated_payload_rejected(
         sel in 0u8..11,
@@ -159,7 +165,14 @@ proptest! {
         prop_assume!(!payload.is_empty());
         let keep = (cut * payload.len() as f64) as usize; // < len: strict prefix
         let legacy_pong = matches!(frame, Frame::Pong { .. }) && keep == 26;
-        prop_assert_eq!(Frame::decode_payload(&payload[..keep]).is_ok(), legacy_pong);
+        let v1_submit = matches!(
+            frame,
+            Frame::SubmitF64 { trace: Some(_), .. } | Frame::SubmitF32 { trace: Some(_), .. }
+        ) && keep == payload.len() - 8;
+        prop_assert_eq!(
+            Frame::decode_payload(&payload[..keep]).is_ok(),
+            legacy_pong || v1_submit
+        );
         // And the full payload still decodes, so the prefix failure is
         // about the cut, not the frame.
         prop_assert!(Frame::decode_payload(payload).is_ok());

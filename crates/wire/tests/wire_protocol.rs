@@ -266,6 +266,7 @@ fn garbage_and_torn_frames_reject_typed_without_leaking_connections() {
                 req: 1,
                 func: 0,
                 data: vec![1.0; 64],
+                trace: None,
             };
             let bytes = frame.encode();
             let mut torn = TcpStream::connect(addr).unwrap();

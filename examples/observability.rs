@@ -10,12 +10,20 @@
 //! 2. **Serve + adapt** — warm traffic on both shards, then a shifted
 //!    input distribution at GELU drives the [`AdaptiveRetuner`]
 //!    (metered into shard 0's registry) through drift-detect →
-//!    histogram-weighted retune → hot swap.
-//! 3. **Expose** — a per-stage latency table from the sampled spans
-//!    (submit → enqueue → flush-plan → backend-eval → scatter-back →
-//!    wire-write), and one [`ShardRouter::scrape_all`] snapshot that
-//!    provably equals the label-then-merge of every shard's own
-//!    snapshot, rendered as Prometheus text.
+//!    histogram-weighted retune → hot swap, while a declarative
+//!    [`SloEvaluator`] rule on the drift-score gauge **fires** at the
+//!    breach and **resolves** once the rebased detector settles.
+//! 3. **Trace** — the router originates sampled trace ids that ride the
+//!    Submit frames across the wire; [`ShardRouter::assemble_traces`]
+//!    joins the router's routing stages with the serving shard's queue /
+//!    backend / wire stages into one rendered waterfall.
+//! 4. **Push** — a [`TelemetryExporter`] per origin ships snapshots and
+//!    spans to a [`TelemetryCollector`] over the same wire protocol: a
+//!    fleet view assembled with zero scrapes.
+//! 5. **Expose** — a per-stage latency table from the sampled spans,
+//!    and one [`ShardRouter::scrape_all`] snapshot that provably equals
+//!    the label-then-merge of every shard's own snapshot, rendered as
+//!    Prometheus text.
 //!
 //! ```sh
 //! cargo run --release --example observability
@@ -23,17 +31,25 @@
 //!
 //! [`ShardRouter`]: flexsfu::shard::ShardRouter
 //! [`ShardRouter::scrape_all`]: flexsfu::shard::ShardRouter::scrape_all
+//! [`ShardRouter::assemble_traces`]: flexsfu::shard::ShardRouter::assemble_traces
 //! [`AdaptiveRetuner`]: flexsfu::traffic::AdaptiveRetuner
+//! [`SloEvaluator`]: flexsfu::obs::SloEvaluator
+//! [`TelemetryExporter`]: flexsfu::obs::TelemetryExporter
+//! [`TelemetryCollector`]: flexsfu::wire::TelemetryCollector
 
 use flexsfu::core::init::uniform_pwl;
 use flexsfu::funcs::{Gelu, Tanh};
-use flexsfu::obs::{labeled, LogHistogram, Stage};
+use flexsfu::obs::{
+    labeled, ExporterConfig, LogHistogram, SampleRate, SloAlert, SloEvaluator, SloRule, Stage,
+    TelemetryExporter, M_EXPORTER_SHIPPED, M_SLO_FIRED, M_SLO_RESOLVED,
+};
 use flexsfu::serve::obs::{M_FLUSH_UNITS, M_SUBMITS};
 use flexsfu::serve::FunctionId;
 use flexsfu::shard::{RouterConfig, ShardRouter};
-use flexsfu::traffic::{AdaptiveRetuner, RetuneEvent, RetunePolicy, M_RETUNES};
+use flexsfu::traffic::{AdaptiveRetuner, RetuneEvent, RetunePolicy, M_DRIFT_SCORE, M_RETUNES};
 use flexsfu::tune::TuneBudget;
 use flexsfu::wire::obs::{M_ACK_TO_RESULT_NS, M_FRAMES_IN, M_FRAMES_OUT};
+use flexsfu::wire::{TelemetryCollector, WireSink};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -63,6 +79,7 @@ fn main() {
     let config = RouterConfig {
         health_interval: Duration::ZERO,
         observability: true,
+        trace_sample: SampleRate(4),
         overrides,
         ..RouterConfig::default()
     };
@@ -89,13 +106,26 @@ fn main() {
         min_samples: 1024,
         ..RetunePolicy::quick(TuneBudget::max_error(f64::INFINITY))
     };
+    let drift_ceiling = policy.threshold.score();
     let shard0_metrics = router
         .shard_metrics(0)
         .expect("shard 0 exists")
         .expect("observability is on");
     let mut retuner = AdaptiveRetuner::new(router.registry(0).expect("shard 0"), policy)
-        .with_metrics(shard0_metrics);
+        .with_metrics(std::sync::Arc::clone(&shard0_metrics));
     retuner.watch_current("gelu").expect("watch gelu");
+
+    // A declarative SLO on the drift-score gauge, metered into the same
+    // registry: the firing gauge and transition counters ride the
+    // deployment-wide scrape alongside everything else.
+    let gauge_key = labeled(M_DRIFT_SCORE, &[("function", "gelu")]);
+    let mut slo = SloEvaluator::new()
+        .with_metrics(std::sync::Arc::clone(&shard0_metrics))
+        .rule(SloRule::gauge_ceiling(
+            "gelu-drift",
+            &gauge_key,
+            drift_ceiling,
+        ));
 
     let mut retuned = None;
     'shifted: for round in 0..40 {
@@ -117,17 +147,157 @@ fn main() {
                      ({breakpoints} breakpoints, backend {backend}) and hot-swapped"
                 );
                 retuned = Some(event);
-                break 'shifted;
             }
+        }
+        for alert in slo.eval(&shard0_metrics.snapshot()) {
+            if let SloAlert::Firing {
+                rule,
+                value,
+                ceiling,
+            } = alert
+            {
+                println!("SLO [{rule}] FIRING: drift score {value:.4} > ceiling {ceiling}");
+            }
+        }
+        if retuned.is_some() {
+            break 'shifted;
         }
     }
     assert!(retuned.is_some(), "shifted traffic never drove a retune");
-    // Post-swap traffic keeps flowing through the new table.
-    router
-        .eval_f64(GELU, &shifted_payload(9_999))
-        .expect("post-swap eval");
+    assert!(
+        slo.is_firing("gelu-drift"),
+        "the breach never fired the SLO"
+    );
 
-    // ── 3a. Per-stage latency table from shard 0's sampled spans ────
+    // Post-swap traffic keeps flowing through the new table; the rebased
+    // detector scores the shifted window as the new normal, the gauge
+    // drops, and the rule emits exactly one edge-triggered resolve.
+    let mut resolved = false;
+    'resolve: for round in 0..40 {
+        for i in 0..40 {
+            router
+                .eval_f64(GELU, &shifted_payload(10_000 + round * 40 + i))
+                .expect("post-swap eval");
+        }
+        retuner.poll();
+        for alert in slo.eval(&shard0_metrics.snapshot()) {
+            if let SloAlert::Resolved { rule, value } = alert {
+                println!("SLO [{rule}] RESOLVED: drift score back to {value:.4}");
+                resolved = true;
+                break 'resolve;
+            }
+        }
+    }
+    assert!(resolved, "the SLO never resolved after the hot swap");
+
+    // ── 3. One request, both processes, one waterfall ───────────────
+    // The router mints sampled trace ids that ride the Submit frames;
+    // the shard adopts them, so assembling the rings joins the routing
+    // stages with the serving stages. The wire pump stamps the final
+    // stage just after writing the result frame, so settle until a
+    // cross-process trace is complete.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let sample = loop {
+        let traces = router.assemble_traces();
+        if let Some(t) = traces.iter().rev().find(|t| {
+            t.spans.len() >= 2
+                && t.spans
+                    .iter()
+                    .any(|m| m.span.stage(Stage::WireWrite).is_some())
+        }) {
+            break t.clone();
+        }
+        assert!(Instant::now() < deadline, "no cross-process trace settled");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(sample.is_consistent(), "waterfall stepped backwards");
+    println!("\ndistributed trace waterfall:");
+    for line in sample.render().lines() {
+        println!("  {line}");
+    }
+    println!(
+        "  end-to-end: {} ns across {} processes",
+        sample.total_ns().expect("stamped trace"),
+        sample.spans.len()
+    );
+
+    // ── 4. Push-mode telemetry: exporters -> collector ──────────────
+    // One exporter per origin ships snapshots + spans over the same
+    // wire protocol; the collector merges a fleet view and re-assembles
+    // cross-process traces — nobody scrapes anything.
+    let collector = TelemetryCollector::start_local().expect("collector");
+    let addr = collector.local_addr();
+    let exporter_config = ExporterConfig {
+        interval: Duration::from_millis(20),
+        ..ExporterConfig::default()
+    };
+    let handles = vec![
+        TelemetryExporter::new(
+            "router",
+            router.router_metrics().expect("observed"),
+            Box::new(WireSink::new(addr)),
+        )
+        .with_spans(router.router_spans().expect("observed"))
+        .with_config(exporter_config.clone())
+        .spawn(),
+        TelemetryExporter::new(
+            "shard0",
+            router.shard_metrics(0).unwrap().expect("observed"),
+            Box::new(WireSink::new(addr)),
+        )
+        .with_spans(router.shard_spans(0).unwrap().expect("observed"))
+        .with_config(exporter_config.clone())
+        .spawn(),
+        TelemetryExporter::new(
+            "shard1",
+            router.shard_metrics(1).unwrap().expect("observed"),
+            Box::new(WireSink::new(addr)),
+        )
+        .with_spans(router.shard_spans(1).unwrap().expect("observed"))
+        .with_config(exporter_config)
+        .spawn(),
+    ];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let pushed_traces = collector.assembler().assemble();
+        if collector.origins() == ["router", "shard0", "shard1"]
+            && pushed_traces
+                .iter()
+                .any(|t| t.spans.len() >= 2 && t.is_consistent())
+        {
+            println!(
+                "\npush pipeline: collector holds {} origins, {} batches, \
+                 {} assembled cross-process traces",
+                collector.origins().len(),
+                collector.batches_received(),
+                pushed_traces.len()
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "push pipeline never delivered: {:?}",
+            collector.origins()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let merged = collector.merged();
+    let pushed_submits = merged
+        .counter(&labeled(M_SUBMITS, &[("origin", "shard0")]))
+        .unwrap_or(0);
+    assert!(
+        pushed_submits > 0,
+        "pushed fleet view missing shard0 serves"
+    );
+    println!("  merged fleet view: shard0 submits = {pushed_submits} (zero scrapes issued)");
+    // Stop the exporters (each flushes once more), then the collector —
+    // the scrape-equality check below wants a quiescent deployment.
+    for h in handles {
+        h.stop();
+    }
+    collector.shutdown();
+
+    // ── 5a. Per-stage latency table from shard 0's sampled spans ────
     // The wire pump stamps the final stage just after writing the
     // result frame, so settle until every dumped span is complete.
     let spans = router
@@ -203,7 +373,7 @@ fn main() {
     }
     println!("  (sum of leg p99 upper bounds: {leg_p99_sum} ns)");
 
-    // ── 3b. One scrape for the whole deployment ─────────────────────
+    // ── 5b. One scrape for the whole deployment ─────────────────────
     // `scrape_all` merges locally, so it must equal the label-then-merge
     // of the router's and every shard's own snapshot — exactly. The wire
     // pumps finish post-write bookkeeping moments after results land, so
@@ -239,6 +409,9 @@ fn main() {
         labeled(M_FRAMES_IN, &[("shard", "0")]),
         labeled(M_FRAMES_OUT, &[("shard", "1")]),
         labeled(M_RETUNES, &[("shard", "0")]),
+        labeled(M_SLO_FIRED, &[("rule", "gelu-drift"), ("shard", "0")]),
+        labeled(M_SLO_RESOLVED, &[("rule", "gelu-drift"), ("shard", "0")]),
+        M_EXPORTER_SHIPPED.to_string(),
     ];
     println!("headline counters:");
     for key in &series {
